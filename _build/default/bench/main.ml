@@ -1,0 +1,207 @@
+(* Benchmark harness: regenerates every figure of the paper's evaluation
+   and runs Bechamel microbenchmarks of the computational kernels.
+
+   Usage:
+     dune exec bench/main.exe                 # quick mode, all figures
+     dune exec bench/main.exe -- --full       # paper-scale grids/runs
+     dune exec bench/main.exe -- fig6a fig12a # a subset of targets
+     dune exec bench/main.exe -- micro        # kernel microbenchmarks only
+     dune exec bench/main.exe -- --csv-dir D  # also write one CSV per target
+     dune exec bench/main.exe -- --jobs 8     # figures in parallel domains
+
+   Every figure prints the same series the paper plots; EXPERIMENTS.md
+   records the expected shapes and the paper-vs-measured comparison. *)
+
+let figures : (string * string * (Core.Scale.t -> Core.Table.t)) list =
+  [
+    ("fig1a", "RRG throughput vs Theorem-1 bound, N=40, degree sweep",
+     Core.Experiments.fig1a);
+    ("fig1b", "RRG ASPL vs Cerf bound, N=40, degree sweep",
+     Core.Experiments.fig1b);
+    ("fig2a", "RRG throughput vs bound, r=10, size sweep", Core.Experiments.fig2a);
+    ("fig2b", "RRG ASPL vs bound, r=10, size sweep", Core.Experiments.fig2b);
+    ("fig3", "ASPL curved steps, degree 4, log-scale sizes", Core.Experiments.fig3);
+    ("fig4a", "server distribution sweep, port ratios", Core.Hetero_experiments.fig4a);
+    ("fig4b", "server distribution sweep, small-switch counts",
+     Core.Hetero_experiments.fig4b);
+    ("fig4c", "server distribution sweep, oversubscription",
+     Core.Hetero_experiments.fig4c);
+    ("fig5", "power-law ports, servers ~ port^beta", Core.Hetero_experiments.fig5);
+    ("fig6a", "cross-cluster sweep, port ratios", Core.Hetero_experiments.fig6a);
+    ("fig6b", "cross-cluster sweep, small-switch counts",
+     Core.Hetero_experiments.fig6b);
+    ("fig6c", "cross-cluster sweep, oversubscription", Core.Hetero_experiments.fig6c);
+    ("fig7a", "joint sweep, ports 30/10", Core.Hetero_experiments.fig7a);
+    ("fig7b", "joint sweep, ports 30/20", Core.Hetero_experiments.fig7b);
+    ("fig8a", "mixed line-speeds, server splits", Core.Hetero_experiments.fig8a);
+    ("fig8b", "mixed line-speeds, high-speed rates", Core.Hetero_experiments.fig8b);
+    ("fig8c", "mixed line-speeds, high-speed link counts",
+     Core.Hetero_experiments.fig8c);
+    ("fig9a", "decomposition along fig4c sweep", Core.Hetero_experiments.fig9a);
+    ("fig9b", "decomposition along fig6c sweep", Core.Hetero_experiments.fig9b);
+    ("fig9c", "decomposition along fig8c sweep", Core.Hetero_experiments.fig9c);
+    ("fig10a", "Eqn-1 bound vs observed, uniform speeds",
+     Core.Hetero_experiments.fig10a);
+    ("fig10b", "Eqn-1 bound vs observed, mixed speeds",
+     Core.Hetero_experiments.fig10b);
+    ("fig11", "C-bar* thresholds over 18 configs", Core.Hetero_experiments.fig11);
+    ("fig12a", "rewired VL2 capacity ratio", Core.Vl2_study.fig12a);
+    ("fig12b", "chunky traffic on rewired VL2", Core.Vl2_study.fig12b);
+    ("fig12c", "capacity ratio per traffic matrix", Core.Vl2_study.fig12c);
+    ("fig13", "packet-level vs flow-level throughput",
+     Core.Packet_experiments.fig13);
+    ("ablation_bisection", "bisection bandwidth vs throughput (par. 6)",
+     Core.Ablations.bisection_vs_throughput);
+    ("ablation_eps", "FPTAS certified interval vs exact LP",
+     Core.Ablations.fptas_accuracy);
+    ("ablation_topologies", "equal-equipment topology comparison (par. 4)",
+     Core.Ablations.equal_equipment_topologies);
+    ("ablation_rrg", "jellyfish vs pairing RRG construction",
+     Core.Ablations.rrg_construction);
+    ("ablation_routing", "optimal vs k-shortest vs ECMP vs single path",
+     Core.Ablations.routing_restriction);
+    ("ablation_expansion", "incremental expansion vs fresh RRG",
+     Core.Ablations.incremental_expansion);
+    ("ablation_local_search", "hill climbing from RRG vs from a ring",
+     Core.Ablations.local_search_gain);
+    ("ablation_cabling", "cable shortening at fixed degrees",
+     Core.Ablations.cabling);
+    ("ablation_structured", "BCube/DCell/Dragonfly vs RRG",
+     Core.Ablations.structured_topologies);
+    ("ablation_spectral", "expansion quality vs throughput (par. 6.2)",
+     Core.Ablations.spectral_vs_throughput);
+    ("ablation_proportionality", "a2a bounds other workloads (par. 9)",
+     Core.Ablations.traffic_proportionality);
+    ("ablation_vlb", "Valiant load balancing vs optimal routing",
+     Core.Ablations.vlb_routing);
+    ("ablation_transport", "Reno vs DCTCP transport in the packet sim",
+     Core.Ablations.transport_comparison);
+    ("ablation_failures", "link-failure resilience: RRG vs fat-tree",
+     Core.Ablations.failure_resilience);
+    ("ablation_multiclass", "3-class placement exponent sweep (par. 9 future work)",
+     Core.Ablations.multi_class_placement);
+  ]
+
+(* Compute a figure and render it to a string so parallel workers don't
+   interleave output. *)
+let compute_figure scale (name, description, f) =
+  let t0 = Unix.gettimeofday () in
+  let table = f scale in
+  let dt = Unix.gettimeofday () -. t0 in
+  let buf = Buffer.create 1024 in
+  let ppf = Format.formatter_of_buffer buf in
+  let title = Printf.sprintf "%s — %s" name description in
+  Format.fprintf ppf "%s@.%s@." title (String.make (String.length title) '=');
+  Format.fprintf ppf "%a@." Core.Table.pp table;
+  Format.fprintf ppf "(%s completed in %.1fs)@.@." name dt;
+  Format.pp_print_flush ppf ();
+  (name, table, Buffer.contents buf)
+
+let emit_figure ~csv_dir (name, table, rendered) =
+  print_string rendered;
+  flush stdout;
+  match csv_dir with
+  | None -> ()
+  | Some dir ->
+      let path = Filename.concat dir (name ^ ".csv") in
+      let oc = open_out path in
+      output_string oc (Core.Table.to_csv table);
+      close_out oc
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel microbenchmarks of the kernels                             *)
+
+let microbenchmarks () =
+  let open Bechamel in
+  let st = Random.State.make [| 42 |] in
+  let g200 = Core.Rrg.jellyfish st ~n:200 ~r:10 in
+  let lengths = Array.make (Core.Graph.num_arcs g200) 1.0 in
+  let topo40 = Core.Rrg.topology st ~n:40 ~k:15 ~r:10 in
+  let tm = Core.Traffic.permutation st ~servers:topo40.Core.Topology.servers in
+  let cs = Core.Traffic.to_commodities tm in
+  let quick = Core.Scale.quick.Core.Scale.params in
+  let tests =
+    [
+      Test.make ~name:"rrg-jellyfish-n40-r10"
+        (Staged.stage (fun () ->
+             let st = Random.State.make [| 1 |] in
+             ignore (Core.Rrg.jellyfish st ~n:40 ~r:10)));
+      Test.make ~name:"dijkstra-n200-r10"
+        (Staged.stage (fun () ->
+             ignore (Core.Dijkstra.shortest_tree g200 ~lengths ~src:0)));
+      Test.make ~name:"aspl-n200-r10"
+        (Staged.stage (fun () -> ignore (Core.Graph_metrics.aspl g200)));
+      Test.make ~name:"mcmf-fptas-n40-perm"
+        (Staged.stage (fun () ->
+             ignore
+               (Core.Mcmf_fptas.solve ~params:quick topo40.Core.Topology.graph cs)));
+      Test.make ~name:"maxflow-dinic-n200"
+        (Staged.stage (fun () ->
+             ignore (Core.Maxflow.max_flow g200 ~src:0 ~dst:100)));
+    ]
+  in
+  let instance = Toolkit.Instance.monotonic_clock in
+  let cfg = Benchmark.cfg ~limit:50 ~quota:(Time.second 0.5) ~kde:(Some 10) () in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+  in
+  let table = Core.Table.create ~header:[ "kernel"; "time_per_run_ns" ] in
+  List.iter
+    (fun test ->
+      let results = Benchmark.all cfg [ instance ] test in
+      let analyzed = Analyze.all ols instance results in
+      Hashtbl.iter
+        (fun name ols_result ->
+          let estimate =
+            match Analyze.OLS.estimates ols_result with
+            | Some [ e ] -> Printf.sprintf "%.0f" e
+            | _ -> "n/a"
+          in
+          Core.Table.add_row table [ name; estimate ])
+        analyzed)
+    tests;
+  Core.Table.print ~title:"Kernel microbenchmarks (Bechamel)" table
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let args = Array.to_list Sys.argv |> List.tl in
+  let full = List.mem "--full" args in
+  let rec extract_csv_dir acc = function
+    | "--csv-dir" :: dir :: rest -> (Some dir, List.rev_append acc rest)
+    | x :: rest -> extract_csv_dir (x :: acc) rest
+    | [] -> (None, List.rev acc)
+  in
+  let csv_dir, args = extract_csv_dir [] args in
+  (match csv_dir with
+  | Some dir when not (Sys.file_exists dir) -> Sys.mkdir dir 0o755
+  | _ -> ());
+  let rec extract_jobs acc = function
+    | "--jobs" :: j :: rest -> (int_of_string j, List.rev_append acc rest)
+    | x :: rest -> extract_jobs (x :: acc) rest
+    | [] -> (1, List.rev acc)
+  in
+  let jobs, args = extract_jobs [] args in
+  let names = List.filter (fun a -> a <> "--full") args in
+  let scale = if full then Core.Scale.full else Core.Scale.quick in
+  Format.printf "mode: %s (runs=%d, eps=%.2f, gap=%.2f)@.@."
+    (if full then "full (paper-scale)" else "quick")
+    scale.Core.Scale.runs scale.Core.Scale.params.Core.Mcmf_fptas.eps
+    scale.Core.Scale.params.Core.Mcmf_fptas.gap;
+  let wants name = names = [] || List.mem name names in
+  let known = List.map (fun (n, _, _) -> n) figures @ [ "micro" ] in
+  List.iter
+    (fun n ->
+      if not (List.mem n known) then begin
+        Format.eprintf "unknown target %s; known: %s@." n
+          (String.concat " " known);
+        exit 1
+      end)
+    names;
+  let selected = List.filter (fun (n, _, _) -> wants n) figures in
+  if jobs <= 1 then
+    List.iter (fun fig -> emit_figure ~csv_dir (compute_figure scale fig)) selected
+  else
+    Core.Parallel.map ~domains:jobs (compute_figure scale) selected
+    |> List.iter (emit_figure ~csv_dir);
+  if wants "micro" then microbenchmarks ()

@@ -1,0 +1,442 @@
+(* topobench — command-line front end to the topology-throughput library.
+
+   Mirrors the role of the paper's released TopoBench tool: build a
+   topology, pick a traffic matrix, and measure throughput (plus bounds and
+   the §6.1 decomposition) without writing any OCaml. *)
+
+open Cmdliner
+
+(* ---- shared argument parsing ---- *)
+
+let seed_arg =
+  let doc = "Random seed (experiments are deterministic given the seed)." in
+  Arg.(value & opt int 1 & info [ "seed" ] ~doc)
+
+let eps_arg =
+  let doc = "FPTAS length step; smaller is slower and more accurate." in
+  Arg.(value & opt float 0.05 & info [ "eps" ] ~doc)
+
+let gap_arg =
+  let doc = "Certified relative gap at which the solver stops." in
+  Arg.(value & opt float 0.05 & info [ "gap" ] ~doc)
+
+let params_of eps gap = { Core.Mcmf_fptas.eps; gap; max_phases = 100_000 }
+
+type topo_spec =
+  | Rrg of int * int * int (* n, k, r *)
+  | Vl2 of int * int (* da, di *)
+  | Rewired of int * int * int (* da, di, tors *)
+  | Fat_tree of int
+  | Hypercube of int * int (* dim, servers per switch *)
+  | Bcube of int * int (* n, k *)
+  | Dcell of int * int (* n, l *)
+  | Dragonfly of int * int (* a, h *)
+  | From_file of string
+
+let topo_conv =
+  let parse s =
+    let fail () =
+      Error
+        (`Msg
+          (Printf.sprintf
+             "cannot parse topology %S; expected rrg:N,K,R | vl2:DA,DI | \
+              rewired:DA,DI,TORS | fat-tree:K | hypercube:DIM,SERVERS"
+             s))
+    in
+    match String.split_on_char ':' s with
+    | [ "rrg"; rest ] -> (
+        match String.split_on_char ',' rest with
+        | [ n; k; r ] -> (
+            try Ok (Rrg (int_of_string n, int_of_string k, int_of_string r))
+            with Failure _ -> fail ())
+        | _ -> fail ())
+    | [ "vl2"; rest ] -> (
+        match String.split_on_char ',' rest with
+        | [ da; di ] -> (
+            try Ok (Vl2 (int_of_string da, int_of_string di))
+            with Failure _ -> fail ())
+        | _ -> fail ())
+    | [ "rewired"; rest ] -> (
+        match String.split_on_char ',' rest with
+        | [ da; di; t ] -> (
+            try
+              Ok (Rewired (int_of_string da, int_of_string di, int_of_string t))
+            with Failure _ -> fail ())
+        | _ -> fail ())
+    | [ "fat-tree"; k ] -> (
+        try Ok (Fat_tree (int_of_string k)) with Failure _ -> fail ())
+    | [ "hypercube"; rest ] -> (
+        match String.split_on_char ',' rest with
+        | [ d; s ] -> (
+            try Ok (Hypercube (int_of_string d, int_of_string s))
+            with Failure _ -> fail ())
+        | _ -> fail ())
+    | [ "bcube"; rest ] -> (
+        match String.split_on_char ',' rest with
+        | [ n; k ] -> (
+            try Ok (Bcube (int_of_string n, int_of_string k))
+            with Failure _ -> fail ())
+        | _ -> fail ())
+    | [ "dcell"; rest ] -> (
+        match String.split_on_char ',' rest with
+        | [ n; l ] -> (
+            try Ok (Dcell (int_of_string n, int_of_string l))
+            with Failure _ -> fail ())
+        | _ -> fail ())
+    | [ "dragonfly"; rest ] -> (
+        match String.split_on_char ',' rest with
+        | [ a; h ] -> (
+            try Ok (Dragonfly (int_of_string a, int_of_string h))
+            with Failure _ -> fail ())
+        | _ -> fail ())
+    | [ "file"; path ] -> Ok (From_file path)
+    | _ -> fail ()
+  in
+  let print ppf = function
+    | Rrg (n, k, r) -> Format.fprintf ppf "rrg:%d,%d,%d" n k r
+    | Vl2 (da, di) -> Format.fprintf ppf "vl2:%d,%d" da di
+    | Rewired (da, di, t) -> Format.fprintf ppf "rewired:%d,%d,%d" da di t
+    | Fat_tree k -> Format.fprintf ppf "fat-tree:%d" k
+    | Hypercube (d, s) -> Format.fprintf ppf "hypercube:%d,%d" d s
+    | Bcube (n, k) -> Format.fprintf ppf "bcube:%d,%d" n k
+    | Dcell (n, l) -> Format.fprintf ppf "dcell:%d,%d" n l
+    | Dragonfly (a, h) -> Format.fprintf ppf "dragonfly:%d,%d" a h
+    | From_file p -> Format.fprintf ppf "file:%s" p
+  in
+  Arg.conv (parse, print)
+
+let topo_arg =
+  let doc =
+    "Topology: rrg:N,K,R (N switches, K ports, R network links each), \
+     vl2:DA,DI, rewired:DA,DI,TORS, fat-tree:K, hypercube:DIM,SERVERS, \
+     bcube:N,K, dcell:N,L, dragonfly:A,H, or file:PATH (the Topology_io \
+     text format)."
+  in
+  Arg.(required & pos 0 (some topo_conv) None & info [] ~docv:"TOPOLOGY" ~doc)
+
+let build_topology spec seed =
+  let st = Random.State.make [| seed |] in
+  match spec with
+  | Rrg (n, k, r) -> Core.Rrg.topology st ~n ~k ~r
+  | Vl2 (da, di) -> Core.Vl2.create ~da ~di ()
+  | Rewired (da, di, tors) -> Core.Rewire.create st ~tors ~da ~di ()
+  | Fat_tree k -> Core.Fat_tree.create ~k ()
+  | Hypercube (dim, servers_per_switch) ->
+      Core.Hypercube.topology ~dim ~servers_per_switch
+  | Bcube (n, k) -> Core.Bcube.create ~n ~k
+  | Dcell (n, l) -> Core.Dcell.create ~n ~l
+  | Dragonfly (a, h) -> Core.Dragonfly.create ~a ~h ()
+  | From_file path -> Core.Topology_io.load path
+
+type traffic_kind = Perm | A2a | Chunky of float
+
+let traffic_conv =
+  let parse s =
+    match s with
+    | "permutation" | "perm" -> Ok Perm
+    | "all-to-all" | "a2a" -> Ok A2a
+    | s when String.length s > 7 && String.sub s 0 7 = "chunky:" -> (
+        try
+          let f = float_of_string (String.sub s 7 (String.length s - 7)) in
+          Ok (Chunky (f /. 100.0))
+        with Failure _ -> Error (`Msg "chunky:PERCENT"))
+    | _ -> Error (`Msg "traffic must be permutation | a2a | chunky:PERCENT")
+  in
+  let print ppf = function
+    | Perm -> Format.fprintf ppf "permutation"
+    | A2a -> Format.fprintf ppf "a2a"
+    | Chunky f -> Format.fprintf ppf "chunky:%.0f" (f *. 100.0)
+  in
+  Arg.conv (parse, print)
+
+let traffic_arg =
+  let doc = "Traffic matrix: permutation (default), a2a, or chunky:PERCENT." in
+  Arg.(value & opt traffic_conv Perm & info [ "traffic" ] ~doc)
+
+let make_traffic kind st servers =
+  match kind with
+  | Perm -> Core.Traffic.permutation st ~servers
+  | A2a -> Core.Traffic.all_to_all ~servers
+  | Chunky fraction -> Core.Traffic.chunky st ~servers ~fraction
+
+(* ---- throughput command ---- *)
+
+let throughput_cmd =
+  let run spec traffic seed eps gap =
+    let topo = build_topology spec seed in
+    let st = Random.State.make [| seed; 1 |] in
+    let tm = make_traffic traffic st topo.Core.Topology.servers in
+    let cs = Core.Traffic.to_commodities tm in
+    let t =
+      Core.Throughput.compute
+        ~solver:(Core.Throughput.Fptas (params_of eps gap))
+        topo.Core.Topology.graph cs
+    in
+    let lo, hi = t.Core.Throughput.lambda_bounds in
+    Format.printf "topology        : %a@." Core.Topology.pp topo;
+    Format.printf "traffic         : %s (%d switch-level commodities)@."
+      tm.Core.Traffic.name (Array.length cs);
+    Format.printf "throughput      : %.4f  (certified in [%.4f, %.4f])@."
+      t.Core.Throughput.lambda lo hi;
+    Format.printf "utilization     : %.4f@." t.Core.Throughput.utilization;
+    Format.printf "mean path length: %.4f hops (stretch %.4f)@."
+      t.Core.Throughput.mean_shortest_path t.Core.Throughput.stretch;
+    Format.printf "Theorem-1 bound : %.4f@."
+      (Core.Throughput_bound.upper_bound_capacity topo.Core.Topology.graph cs)
+  in
+  let doc = "Measure max-concurrent-flow throughput of a topology." in
+  Cmd.v
+    (Cmd.info "throughput" ~doc)
+    Term.(const run $ topo_arg $ traffic_arg $ seed_arg $ eps_arg $ gap_arg)
+
+(* ---- aspl command ---- *)
+
+let aspl_cmd =
+  let run spec seed =
+    let topo = build_topology spec seed in
+    let g = topo.Core.Topology.graph in
+    let aspl, diameter = Core.Graph_metrics.aspl_and_diameter g in
+    Format.printf "topology : %a@." Core.Topology.pp topo;
+    Format.printf "ASPL     : %.4f@." aspl;
+    Format.printf "diameter : %d@." diameter;
+    (match Core.Graph.is_regular g with
+    | Some r ->
+        Format.printf "Cerf ASPL lower bound (r=%d): %.4f@." r
+          (Core.Aspl_bound.d_star ~n:(Core.Graph.n g) ~r)
+    | None -> Format.printf "(irregular graph; no Cerf bound)@.")
+  in
+  let doc = "Path-length statistics of a topology vs. the Cerf bound." in
+  Cmd.v (Cmd.info "aspl" ~doc) Term.(const run $ topo_arg $ seed_arg)
+
+(* ---- spectral command ---- *)
+
+let spectral_cmd =
+  let run spec seed =
+    let topo = build_topology spec seed in
+    let g = topo.Core.Topology.graph in
+    Format.printf "topology : %a@." Core.Topology.pp topo;
+    match Core.Graph.is_regular g with
+    | None -> Format.printf "graph is irregular; spectral analysis needs regularity@."
+    | Some d ->
+        let lambda2 = Core.Spectral.second_eigenvalue g in
+        Format.printf "degree            : %d@." d;
+        Format.printf "|lambda_2|        : %.4f@." lambda2;
+        Format.printf "spectral gap      : %.4f@." (float_of_int d -. lambda2);
+        Format.printf "Ramanujan bound   : %.4f@." (Core.Spectral.ramanujan_bound ~d);
+        Format.printf "expansion quality : %.4f (1 = spectrally optimal)@."
+          (Core.Spectral.expansion_quality g)
+  in
+  let doc = "Expansion (second eigenvalue) of a regular topology." in
+  Cmd.v (Cmd.info "spectral" ~doc) Term.(const run $ topo_arg $ seed_arg)
+
+(* ---- compare command ---- *)
+
+let compare_cmd =
+  let topo2_arg =
+    Arg.(required & pos 1 (some topo_conv) None & info [] ~docv:"TOPOLOGY2"
+           ~doc:"Second topology to compare against.")
+  in
+  let run spec1 spec2 traffic seed eps gap =
+    let measure spec =
+      let topo = build_topology spec seed in
+      let st = Random.State.make [| seed; 1 |] in
+      let tm = make_traffic traffic st topo.Core.Topology.servers in
+      let cs = Core.Traffic.to_commodities tm in
+      let t =
+        Core.Throughput.compute
+          ~solver:(Core.Throughput.Fptas (params_of eps gap))
+          topo.Core.Topology.graph cs
+      in
+      (topo, t)
+    in
+    let topo1, t1 = measure spec1 in
+    let topo2, t2 = measure spec2 in
+    let table =
+      Core.Table.create
+        ~header:[ "metric"; topo1.Core.Topology.name; topo2.Core.Topology.name ]
+    in
+    let row name f =
+      Core.Table.add_row table
+        [ name; Printf.sprintf "%.4f" (f (topo1, t1));
+          Printf.sprintf "%.4f" (f (topo2, t2)) ]
+    in
+    row "throughput" (fun (_, t) -> t.Core.Throughput.lambda);
+    row "utilization" (fun (_, t) -> t.Core.Throughput.utilization);
+    row "mean path length" (fun (_, t) -> t.Core.Throughput.mean_shortest_path);
+    row "stretch" (fun (_, t) -> t.Core.Throughput.stretch);
+    row "aspl" (fun (topo, _) -> Core.Graph_metrics.aspl topo.Core.Topology.graph);
+    row "servers" (fun (topo, _) -> float_of_int (Core.Topology.num_servers topo));
+    Core.Table.print table
+  in
+  let doc = "Compare two topologies under the same traffic model." in
+  Cmd.v (Cmd.info "compare" ~doc)
+    Term.(const run $ topo_arg $ topo2_arg $ traffic_arg $ seed_arg $ eps_arg
+          $ gap_arg)
+
+(* ---- routing command ---- *)
+
+let routing_cmd =
+  let run spec seed eps gap =
+    let topo = build_topology spec seed in
+    let g = topo.Core.Topology.graph in
+    let st = Random.State.make [| seed; 1 |] in
+    let tm = Core.Traffic.permutation st ~servers:topo.Core.Topology.servers in
+    let cs = Core.Traffic.to_commodities tm in
+    let params = params_of eps gap in
+    let optimal = Core.Mcmf_fptas.lambda ~params g cs in
+    let table = Core.Table.create ~header:[ "routing"; "lambda"; "fraction" ] in
+    let add name lambda =
+      Core.Table.add_row table
+        [ name; Printf.sprintf "%.4f" lambda;
+          Printf.sprintf "%.3f" (lambda /. optimal) ]
+    in
+    add "optimal (any path)" optimal;
+    add "8 shortest paths"
+      (Core.Mcmf_paths.lambda ~params g (Core.Mcmf_paths.of_k_shortest g ~k:8 cs));
+    add "ecmp"
+      (Core.Mcmf_paths.lambda ~params g (Core.Mcmf_paths.of_ecmp g ~limit:64 cs));
+    add "vlb (8 intermediates)"
+      (Core.Mcmf_paths.lambda ~params g (Core.Vlb.restrict st g ~intermediates:8 cs));
+    add "single shortest path"
+      (Core.Mcmf_paths.lambda ~params g (Core.Mcmf_paths.of_k_shortest g ~k:1 cs));
+    Core.Table.print table
+  in
+  let doc = "Compare routing models (optimal, k-shortest, ECMP, VLB) on a topology." in
+  Cmd.v (Cmd.info "routing" ~doc)
+    Term.(const run $ topo_arg $ seed_arg $ eps_arg $ gap_arg)
+
+(* ---- failures command ---- *)
+
+let failures_cmd =
+  let fractions_arg =
+    let doc = "Comma-separated failed-link fractions (default 0,0.05,0.1,0.2)." in
+    Arg.(value & opt (list float) [ 0.0; 0.05; 0.1; 0.2 ] & info [ "fractions" ] ~doc)
+  in
+  let run spec seed eps gap fractions =
+    let topo = build_topology spec seed in
+    let st = Random.State.make [| seed; 2 |] in
+    let params = params_of eps gap in
+    let lambda_of g =
+      let tm_st = Random.State.make [| seed; 3 |] in
+      let tm = Core.Traffic.permutation tm_st ~servers:topo.Core.Topology.servers in
+      Core.Mcmf_fptas.lambda ~params g (Core.Traffic.to_commodities tm)
+    in
+    let base = lambda_of topo.Core.Topology.graph in
+    let table =
+      Core.Table.create ~header:[ "failed_fraction"; "lambda"; "retained" ]
+    in
+    List.iter
+      (fun fraction ->
+        let g =
+          if fraction = 0.0 then topo.Core.Topology.graph
+          else
+            Core.Resilience.fail_links_connected st topo.Core.Topology.graph
+              ~fraction
+        in
+        let lambda = lambda_of g in
+        Core.Table.add_floats table [ fraction; lambda; lambda /. base ])
+      fractions;
+    Core.Table.print table
+  in
+  let doc = "Throughput under uniform random link failures." in
+  Cmd.v (Cmd.info "failures" ~doc)
+    Term.(const run $ topo_arg $ seed_arg $ eps_arg $ gap_arg $ fractions_arg)
+
+(* ---- save command ---- *)
+
+let save_cmd =
+  let out_arg =
+    Arg.(required & pos 1 (some string) None & info [] ~docv:"PATH"
+           ~doc:"Output file (Topology_io text format).")
+  in
+  let run spec seed path =
+    let topo = build_topology spec seed in
+    Core.Topology_io.save path topo;
+    Format.printf "wrote %a to %s@." Core.Topology.pp topo path
+  in
+  let doc = "Generate a topology and write it to a file." in
+  Cmd.v (Cmd.info "save" ~doc) Term.(const run $ topo_arg $ seed_arg $ out_arg)
+
+(* ---- export command ---- *)
+
+let export_cmd =
+  let run spec seed dot =
+    let topo = build_topology spec seed in
+    if dot then print_string (Core.Graph.to_dot topo.Core.Topology.graph)
+    else
+      List.iter
+        (fun (u, v, c) -> Printf.printf "%d %d %g\n" u v c)
+        (Core.Graph.to_edge_list topo.Core.Topology.graph)
+  in
+  let dot_arg =
+    Arg.(value & flag & info [ "dot" ] ~doc:"Emit Graphviz instead of an edge list.")
+  in
+  let doc = "Dump a topology as an edge list or Graphviz dot." in
+  Cmd.v (Cmd.info "export" ~doc) Term.(const run $ topo_arg $ seed_arg $ dot_arg)
+
+(* ---- figure command ---- *)
+
+let figure_cmd =
+  let figures =
+    [
+      ("fig1a", Core.Experiments.fig1a);
+      ("fig1b", Core.Experiments.fig1b);
+      ("fig2a", Core.Experiments.fig2a);
+      ("fig2b", Core.Experiments.fig2b);
+      ("fig3", Core.Experiments.fig3);
+      ("fig4a", Core.Hetero_experiments.fig4a);
+      ("fig4b", Core.Hetero_experiments.fig4b);
+      ("fig4c", Core.Hetero_experiments.fig4c);
+      ("fig5", Core.Hetero_experiments.fig5);
+      ("fig6a", Core.Hetero_experiments.fig6a);
+      ("fig6b", Core.Hetero_experiments.fig6b);
+      ("fig6c", Core.Hetero_experiments.fig6c);
+      ("fig7a", Core.Hetero_experiments.fig7a);
+      ("fig7b", Core.Hetero_experiments.fig7b);
+      ("fig8a", Core.Hetero_experiments.fig8a);
+      ("fig8b", Core.Hetero_experiments.fig8b);
+      ("fig8c", Core.Hetero_experiments.fig8c);
+      ("fig9a", Core.Hetero_experiments.fig9a);
+      ("fig9b", Core.Hetero_experiments.fig9b);
+      ("fig9c", Core.Hetero_experiments.fig9c);
+      ("fig10a", Core.Hetero_experiments.fig10a);
+      ("fig10b", Core.Hetero_experiments.fig10b);
+      ("fig11", Core.Hetero_experiments.fig11);
+      ("fig12a", Core.Vl2_study.fig12a);
+      ("fig12b", Core.Vl2_study.fig12b);
+      ("fig12c", Core.Vl2_study.fig12c);
+      ("fig13", Core.Packet_experiments.fig13);
+    ]
+  in
+  let name_arg =
+    let doc = "Figure to regenerate (fig1a .. fig13)." in
+    Arg.(
+      required
+      & pos 0 (some (enum (List.map (fun (n, f) -> (n, (n, f))) figures))) None
+      & info [] ~docv:"FIGURE" ~doc)
+  in
+  let full_arg =
+    Arg.(value & flag & info [ "full" ] ~doc:"Paper-scale grids and run counts.")
+  in
+  let csv_arg =
+    Arg.(value & flag & info [ "csv" ] ~doc:"Emit CSV instead of an aligned table.")
+  in
+  let run (name, f) full csv =
+    let scale = if full then Core.Scale.full else Core.Scale.quick in
+    let table = f scale in
+    if csv then print_string (Core.Table.to_csv table)
+    else Core.Table.print ~title:name table
+  in
+  let doc = "Regenerate one of the paper's figures." in
+  Cmd.v (Cmd.info "figure" ~doc) Term.(const run $ name_arg $ full_arg $ csv_arg)
+
+(* ---- main ---- *)
+
+let () =
+  let doc = "throughput benchmarking of data-center topologies (NSDI'14 reproduction)" in
+  let info = Cmd.info "topobench" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ throughput_cmd; aspl_cmd; spectral_cmd; compare_cmd; routing_cmd;
+            failures_cmd; save_cmd; export_cmd; figure_cmd ]))

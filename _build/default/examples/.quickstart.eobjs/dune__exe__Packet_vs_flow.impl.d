@@ -1,0 +1,1 @@
+examples/packet_vs_flow.ml: Core Format Random

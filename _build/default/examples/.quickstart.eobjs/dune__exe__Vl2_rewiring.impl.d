@@ -1,0 +1,1 @@
+examples/vl2_rewiring.ml: Core Format Random

@@ -1,0 +1,1 @@
+lib/bounds/aspl_bound.mli:

@@ -1,0 +1,1 @@
+lib/bounds/cut_bound.ml: Array Dcn_graph Dcn_topology Float

@@ -1,0 +1,1 @@
+lib/bounds/cut_bound.mli: Dcn_topology

@@ -1,0 +1,1 @@
+lib/bounds/throughput_bound.ml: Array Aspl_bound Dcn_flow Dcn_graph

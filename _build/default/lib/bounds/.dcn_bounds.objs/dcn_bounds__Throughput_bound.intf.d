@@ -1,0 +1,1 @@
+lib/bounds/throughput_bound.mli: Dcn_flow Dcn_graph

@@ -1,0 +1,36 @@
+let d_star ~n ~r =
+  if n < 2 then invalid_arg "Aspl_bound.d_star: n < 2";
+  if r < 2 then invalid_arg "Aspl_bound.d_star: r < 2";
+  (* Fill distance levels greedily: level j holds at most r(r-1)^(j-1)
+     nodes; distribute the n-1 non-root nodes over levels 1, 2, ... *)
+  let remaining = ref (n - 1) in
+  let level_capacity = ref (float_of_int r) in
+  let level = ref 1 in
+  let total_distance = ref 0.0 in
+  while !remaining > 0 do
+    (* Compare in float first: capacity grows geometrically and would
+       overflow int conversion at deep levels. *)
+    let here =
+      if !level_capacity >= float_of_int !remaining then !remaining
+      else int_of_float !level_capacity
+    in
+    total_distance := !total_distance +. (float_of_int (!level * here));
+    remaining := !remaining - here;
+    level_capacity := !level_capacity *. float_of_int (r - 1);
+    incr level
+  done;
+  !total_distance /. float_of_int (n - 1)
+
+let moore_bound_nodes ~r ~diameter =
+  if r < 2 then invalid_arg "Aspl_bound.moore_bound_nodes: r < 2";
+  if diameter < 0 then invalid_arg "Aspl_bound.moore_bound_nodes: diameter < 0";
+  let total = ref 1 in
+  let level_capacity = ref r in
+  for _ = 1 to diameter do
+    total := !total + !level_capacity;
+    level_capacity := !level_capacity * (r - 1)
+  done;
+  !total
+
+let level_boundaries ~r ~max_diameter =
+  List.init max_diameter (fun i -> moore_bound_nodes ~r ~diameter:(i + 1))

@@ -1,0 +1,20 @@
+(** Lower bound on average shortest path length in r-regular graphs
+    (Cerf, Cowan, Mullin, Stanton 1974), the ⟨D⟩ ≥ d* bound of §4.
+
+    The bound assumes the best case where the distance-j "ball" around any
+    node is a full tree: r nodes at distance 1, r(r−1) at distance 2,
+    r(r−1)² at distance 3, … — producing the "curved step" shape of
+    Fig. 3 as each level fills. *)
+
+val d_star : n:int -> r:int -> float
+(** [d_star ~n ~r] is the ⟨D⟩ lower bound for an r-regular graph on n
+    nodes. Raises [Invalid_argument] for [n < 2] or [r < 2]. For [r ≥ n-1]
+    the bound degenerates to 1 (complete graph). *)
+
+val moore_bound_nodes : r:int -> diameter:int -> int
+(** Largest node count the tree view allows within the given diameter —
+    the Moore bound, marking where each "step" of Fig. 3 begins. *)
+
+val level_boundaries : r:int -> max_diameter:int -> int list
+(** [moore_bound_nodes] for diameters 1..max_diameter — the x-tics of
+    Fig. 3 (17, 53, 161, 485, 1457 for r = 4). *)

@@ -1,0 +1,34 @@
+type t = {
+  path_term : float;
+  cut_term : float;
+  bound : float;
+  cross_capacity : float;
+}
+
+let eval (topo : Dcn_topology.Topology.t) =
+  let g = topo.Dcn_topology.Topology.graph in
+  let servers = topo.Dcn_topology.Topology.servers in
+  let cluster = topo.Dcn_topology.Topology.cluster in
+  let n1 = ref 0 and n2 = ref 0 in
+  Array.iteri
+    (fun i s -> if cluster.(i) = 0 then n1 := !n1 + s else n2 := !n2 + s)
+    servers;
+  if !n1 = 0 || !n2 = 0 then
+    invalid_arg "Cut_bound.eval: a cluster holds no servers";
+  let n1 = float_of_int !n1 and n2 = float_of_int !n2 in
+  let capacity = Dcn_graph.Graph.total_capacity g in
+  let aspl = Dcn_graph.Graph_metrics.aspl g in
+  let cross = Dcn_graph.Cuts.cross_cluster_capacity g ~cluster in
+  let path_term = capacity /. (aspl *. (n1 +. n2)) in
+  let cut_term = cross *. (n1 +. n2) /. (2.0 *. n1 *. n2) in
+  { path_term; cut_term; bound = Float.min path_term cut_term;
+    cross_capacity = cross }
+
+let cut_threshold ~t_star ~n1 ~n2 =
+  if n1 < 1 || n2 < 1 then invalid_arg "Cut_bound.cut_threshold: empty cluster";
+  let n1 = float_of_int n1 and n2 = float_of_int n2 in
+  t_star *. 2.0 *. n1 *. n2 /. (n1 +. n2)
+
+let drop_point_equal_clusters ~capacity ~aspl =
+  if aspl <= 0.0 then invalid_arg "Cut_bound: non-positive ASPL";
+  capacity /. (2.0 *. aspl)

@@ -1,0 +1,31 @@
+(** The two-cluster throughput bound of §6.2 (Equation 1) and the C̄*
+    threshold of Fig. 11.
+
+    For a network split into clusters holding n₁ and n₂ servers, with total
+    capacity C and cross-cluster capacity C̄, random-permutation throughput
+    obeys
+
+    T ≤ min ( C / (⟨D⟩·(n₁+n₂)) ,  C̄·(n₁+n₂) / (2·n₁·n₂) ).
+
+    The first term is Theorem 1; the second counts the expected
+    2·n₁·n₂/(n₁+n₂) cross-cluster flows against the cut. *)
+
+type t = {
+  path_term : float;  (** C / (⟨D⟩·(n₁+n₂)). *)
+  cut_term : float;  (** C̄·(n₁+n₂) / (2·n₁·n₂). *)
+  bound : float;  (** min of the two. *)
+  cross_capacity : float;  (** C̄. *)
+}
+
+val eval : Dcn_topology.Topology.t -> t
+(** Uses the topology's cluster labels (cluster 0 vs. the rest) and its
+    graph ASPL. Raises [Invalid_argument] if either cluster holds no
+    servers. *)
+
+val cut_threshold : t_star:float -> n1:int -> n2:int -> float
+(** C̄* = T*·2n₁n₂/(n₁+n₂): the cross-capacity below which throughput must
+    drop under its peak T* (§6.2, Fig. 11). *)
+
+val drop_point_equal_clusters : capacity:float -> aspl:float -> float
+(** Equation 2's special case for equal-size clusters: the bound starts
+    dropping when C̄ ≤ C / (2⟨D⟩). *)

@@ -1,0 +1,20 @@
+let upper_bound ~n ~r ~flows =
+  if flows < 1 then invalid_arg "Throughput_bound.upper_bound: no flows";
+  let d = Aspl_bound.d_star ~n ~r in
+  float_of_int (n * r) /. (d *. float_of_int flows)
+
+let upper_bound_with_aspl ~n ~r ~flows ~aspl =
+  if flows < 1 then invalid_arg "Throughput_bound: no flows";
+  if aspl <= 0.0 then invalid_arg "Throughput_bound: non-positive ASPL";
+  float_of_int (n * r) /. (aspl *. float_of_int flows)
+
+let upper_bound_capacity g commodities =
+  let pairs =
+    Array.to_list
+      (Array.map
+         (fun (c : Dcn_flow.Commodity.t) -> (c.src, c.dst, c.demand))
+         commodities)
+  in
+  let mean_dist = Dcn_graph.Graph_metrics.weighted_pair_distance g ~pairs in
+  let demand = Dcn_flow.Commodity.total_demand commodities in
+  Dcn_graph.Graph.total_capacity g /. (mean_dist *. demand)

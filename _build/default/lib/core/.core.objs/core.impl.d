@@ -1,0 +1,1 @@
+lib/core/core.ml: Ablations Dcn_bounds Dcn_flow Dcn_graph Dcn_io Dcn_lp Dcn_packetsim Dcn_routing Dcn_topology Dcn_traffic Dcn_util Experiments Hetero_experiments Packet_experiments Scale Vl2_study

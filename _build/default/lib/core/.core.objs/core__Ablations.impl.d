@@ -1,0 +1,1 @@
+lib/core/ablations.ml: Array Dcn_bounds Dcn_flow Dcn_graph Dcn_packetsim Dcn_topology Dcn_traffic Dcn_util Float Hashtbl List Packet_experiments Printf Random Scale

@@ -1,0 +1,1 @@
+lib/core/ablations.mli: Dcn_util Scale

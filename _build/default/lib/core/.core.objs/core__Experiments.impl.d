@@ -1,0 +1,1 @@
+lib/core/experiments.ml: Dcn_bounds Dcn_flow Dcn_graph Dcn_topology Dcn_traffic Dcn_util Float List Scale

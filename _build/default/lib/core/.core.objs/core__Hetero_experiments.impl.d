@@ -1,0 +1,1 @@
+lib/core/hetero_experiments.ml: Array Dcn_bounds Dcn_flow Dcn_topology Dcn_traffic Dcn_util Float List Printf Scale

@@ -1,0 +1,1 @@
+lib/core/hetero_experiments.mli: Dcn_util Scale

@@ -1,0 +1,1 @@
+lib/core/packet_experiments.ml: Array Dcn_flow Dcn_packetsim Dcn_routing Dcn_topology Dcn_traffic Dcn_util Float Hashtbl List Random Scale

@@ -1,0 +1,1 @@
+lib/core/packet_experiments.mli: Dcn_graph Dcn_packetsim Dcn_topology Dcn_traffic Dcn_util Scale

@@ -1,0 +1,1 @@
+lib/core/scale.ml: Array Dcn_flow Dcn_util Random

@@ -1,0 +1,1 @@
+lib/core/scale.mli: Dcn_flow Random

@@ -1,0 +1,1 @@
+lib/core/vl2_study.ml: Dcn_flow Dcn_topology Dcn_traffic Dcn_util Float List Printf Random Scale

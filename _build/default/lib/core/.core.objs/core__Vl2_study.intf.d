@@ -1,0 +1,1 @@
+lib/core/vl2_study.mli: Dcn_topology Dcn_util Scale

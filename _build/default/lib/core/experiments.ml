@@ -1,0 +1,138 @@
+module Table = Dcn_util.Table
+module Topology = Dcn_topology.Topology
+module Rrg = Dcn_topology.Rrg
+module Traffic = Dcn_traffic.Traffic
+module Mcmf_fptas = Dcn_flow.Mcmf_fptas
+module Graph_metrics = Dcn_graph.Graph_metrics
+module Aspl_bound = Dcn_bounds.Aspl_bound
+module Throughput_bound = Dcn_bounds.Throughput_bound
+
+let rrg_throughput_ratio scale ~salt ~n ~r ~traffic =
+  let servers_per_switch =
+    match traffic with `Permutation s | `All_to_all s -> s
+  in
+  let measure st =
+    let topo = Rrg.topology st ~n ~k:(r + servers_per_switch) ~r in
+    let servers = topo.Topology.servers in
+    let tm =
+      match traffic with
+      | `Permutation _ -> Traffic.permutation st ~servers
+      | `All_to_all _ -> Traffic.all_to_all ~servers
+    in
+    let cs = Traffic.to_commodities tm in
+    let result = Mcmf_fptas.solve ~params:scale.Scale.params topo.Topology.graph cs in
+    let lambda =
+      (result.Mcmf_fptas.lambda_lower +. result.Mcmf_fptas.lambda_upper) /. 2.0
+    in
+    (* The Theorem-1 bound treats every server-level flow as one unit;
+       all-to-all has S(S-1) flows of unit demand, a permutation has S. *)
+    let s = Traffic.num_servers ~servers in
+    let flows =
+      match traffic with `Permutation _ -> s | `All_to_all _ -> s * (s - 1)
+    in
+    lambda /. Throughput_bound.upper_bound ~n ~r ~flows
+  in
+  Scale.averaged scale ~salt measure
+
+let rrg_aspl scale ~salt ~n ~r =
+  let measure st =
+    let g = Rrg.jellyfish st ~n ~r in
+    Graph_metrics.aspl g
+  in
+  Scale.averaged scale ~salt measure
+
+let degree_grid scale =
+  if scale.Scale.dense then [ 3; 5; 7; 9; 11; 13; 15; 17; 20; 23; 26; 29; 33 ]
+  else [ 3; 5; 9; 13; 19; 25; 33 ]
+
+let size_grid scale =
+  if scale.Scale.dense then [ 15; 20; 30; 40; 60; 80; 100; 120; 140; 160; 180; 200 ]
+  else [ 15; 25; 40; 70; 120; 200 ]
+
+(* All-to-all commodity counts grow as N²; past this size the paper notes
+   its own simulator stops scaling, and we skip the series as well. *)
+let all_to_all_size_limit = 80
+
+let fig1a scale =
+  let n = 40 in
+  let t =
+    Table.create
+      ~header:
+        [ "degree"; "a2a_ratio"; "perm10_ratio"; "perm5_ratio"; "perm5_std" ]
+  in
+  List.iter
+    (fun r ->
+      let a2a, _ = rrg_throughput_ratio scale ~salt:(100 + r) ~n ~r ~traffic:(`All_to_all 5) in
+      let p10, _ = rrg_throughput_ratio scale ~salt:(200 + r) ~n ~r ~traffic:(`Permutation 10) in
+      let p5, p5_std = rrg_throughput_ratio scale ~salt:(300 + r) ~n ~r ~traffic:(`Permutation 5) in
+      Table.add_floats t [ float_of_int r; a2a; p10; p5; p5_std ])
+    (degree_grid scale);
+  t
+
+let fig1b scale =
+  let n = 40 in
+  let t = Table.create ~header:[ "degree"; "observed_aspl"; "aspl_lower_bound" ] in
+  List.iter
+    (fun r ->
+      let aspl, _ = rrg_aspl scale ~salt:(400 + r) ~n ~r in
+      Table.add_floats t [ float_of_int r; aspl; Aspl_bound.d_star ~n ~r ])
+    (degree_grid scale);
+  t
+
+let fig2a scale =
+  let r = 10 in
+  let t =
+    Table.create
+      ~header:[ "size"; "a2a_ratio"; "perm10_ratio"; "perm5_ratio"; "perm5_std" ]
+  in
+  List.iter
+    (fun n ->
+      let a2a =
+        if n <= all_to_all_size_limit then begin
+          let v, _ = rrg_throughput_ratio scale ~salt:(500 + n) ~n ~r ~traffic:(`All_to_all 5) in
+          v
+        end
+        else Float.nan
+      in
+      let p10, _ = rrg_throughput_ratio scale ~salt:(600 + n) ~n ~r ~traffic:(`Permutation 10) in
+      let p5, p5_std = rrg_throughput_ratio scale ~salt:(700 + n) ~n ~r ~traffic:(`Permutation 5) in
+      Table.add_floats t [ float_of_int n; a2a; p10; p5; p5_std ])
+    (size_grid scale);
+  t
+
+let fig2b scale =
+  let r = 10 in
+  let t = Table.create ~header:[ "size"; "observed_aspl"; "aspl_lower_bound" ] in
+  List.iter
+    (fun n ->
+      let aspl, _ = rrg_aspl scale ~salt:(800 + n) ~n ~r in
+      Table.add_floats t [ float_of_int n; aspl; Aspl_bound.d_star ~n ~r ])
+    (size_grid scale);
+  t
+
+let fig3 scale =
+  let r = 4 in
+  let sizes =
+    (* The Moore-bound boundaries for degree 4 (17, 53, 161, 485, 1457 at
+       diameters 2..6) plus midpoints, to show the "curved step" shape. *)
+    let boundaries =
+      match Aspl_bound.level_boundaries ~r ~max_diameter:6 with
+      | _diameter_one :: rest -> rest
+      | [] -> []
+    in
+    let rec with_midpoints = function
+      | a :: (b :: _ as rest) -> a :: ((a + b) / 2) :: with_midpoints rest
+      | tail -> tail
+    in
+    if scale.Scale.dense then with_midpoints boundaries else boundaries
+  in
+  let t =
+    Table.create ~header:[ "size"; "observed_aspl"; "aspl_lower_bound"; "ratio" ]
+  in
+  List.iter
+    (fun n ->
+      let aspl, _ = rrg_aspl scale ~salt:(900 + n) ~n ~r in
+      let bound = Aspl_bound.d_star ~n ~r in
+      Table.add_floats t [ float_of_int n; aspl; bound; aspl /. bound ])
+    sizes;
+  t

@@ -1,0 +1,38 @@
+(** Homogeneous topology experiments: Figures 1, 2 and 3 (paper §4).
+
+    Every function returns a printable table whose columns mirror the
+    corresponding figure's series; benches print them, EXPERIMENTS.md
+    records the shapes. *)
+
+val fig1a : Scale.t -> Dcn_util.Table.t
+(** Throughput of RRGs relative to the Theorem-1 upper bound as density
+    grows: N = 40 switches, network degree r on the x-axis, for all-to-all
+    traffic and permutations with 5 and 10 servers per switch. *)
+
+val fig1b : Scale.t -> Dcn_util.Table.t
+(** Observed ASPL vs. the Cerf et al. lower bound, same sweep as fig1a. *)
+
+val fig2a : Scale.t -> Dcn_util.Table.t
+(** Same ratio as fig1a but sweeping network size N with degree r = 10.
+    All-to-all is computed only up to the size where its N² commodities
+    remain tractable, mirroring the paper's own scaling remark. *)
+
+val fig2b : Scale.t -> Dcn_util.Table.t
+(** ASPL vs. bound for the fig2a sweep. *)
+
+val fig3 : Scale.t -> Dcn_util.Table.t
+(** ASPL "curved steps": degree 4, sizes spanning the Moore-bound level
+    boundaries 17, 53, 161, 485, 1457; observed ASPL, the bound, and their
+    ratio. *)
+
+(** {1 Reusable measurements} *)
+
+val rrg_throughput_ratio :
+  Scale.t -> salt:int -> n:int -> r:int ->
+  traffic:[ `Permutation of int | `All_to_all of int ] ->
+  float * float
+(** Mean and stdev over runs of λ divided by the Theorem-1 bound for
+    RRG(N, k, r); the traffic argument carries servers per switch. *)
+
+val rrg_aspl : Scale.t -> salt:int -> n:int -> r:int -> float * float
+(** Mean and stdev of the ASPL of RRG samples. *)

@@ -1,0 +1,605 @@
+module Table = Dcn_util.Table
+module Topology = Dcn_topology.Topology
+module Hetero = Dcn_topology.Hetero
+module Traffic = Dcn_traffic.Traffic
+module Mcmf_fptas = Dcn_flow.Mcmf_fptas
+module Throughput = Dcn_flow.Throughput
+module Cut_bound = Dcn_bounds.Cut_bound
+
+(* ------------------------------------------------------------------ *)
+(* Shared machinery                                                    *)
+
+type family = {
+  nl : int;  (* large switches *)
+  kl : int;  (* their ports *)
+  ns : int;  (* small switches *)
+  ks : int;  (* their ports *)
+  total_servers : int;
+}
+
+(* Expected servers per large switch when spreading total servers over all
+   ports uniformly — the paper's x-axis normalizer for Figs 4, 5, 7. *)
+let expected_servers_per_large f =
+  float_of_int (f.total_servers * f.kl) /. float_of_int ((f.nl * f.kl) + (f.ns * f.ks))
+
+(* Feasible uniform splits: sl servers on each large switch, ss on each
+   small one, summing exactly to the total and leaving every switch at
+   least one network port. *)
+let feasible_splits f =
+  let splits = ref [] in
+  for sl = 0 to f.kl - 1 do
+    let rem = f.total_servers - (f.nl * sl) in
+    if rem >= 0 && rem mod f.ns = 0 then begin
+      let ss = rem / f.ns in
+      if ss <= f.ks - 1 then splits := (sl, ss) :: !splits
+    end
+  done;
+  List.sort compare !splits
+
+(* The split closest to port-proportional. *)
+let proportional_split f =
+  let expected = expected_servers_per_large f in
+  match feasible_splits f with
+  | [] -> invalid_arg "proportional_split: no feasible split"
+  | splits ->
+      List.fold_left
+        (fun (best_sl, best_ss) (sl, ss) ->
+          if Float.abs (float_of_int sl -. expected)
+             < Float.abs (float_of_int best_sl -. expected)
+          then (sl, ss)
+          else (best_sl, best_ss))
+        (List.hd splits) splits
+
+let classes f ~split:(sl, ss) =
+  ( { Hetero.count = f.nl; ports = f.kl; servers_each = sl },
+    { Hetero.count = f.ns; ports = f.ks; servers_each = ss } )
+
+type highspeed = { h_links : int; h_speed : float }
+
+let build ?cross_fraction ?highspeed f ~split st =
+  let large, small = classes f ~split in
+  match highspeed with
+  | None -> Hetero.two_class ?cross_fraction st ~large ~small
+  | Some { h_links; h_speed } ->
+      Hetero.with_highspeed ?cross_fraction st ~large ~small ~h_links ~h_speed
+
+(* Mean throughput (and full metrics of the last run) for a configuration
+   under random permutation traffic. *)
+let measure scale ~salt ?cross_fraction ?highspeed f ~split =
+  let last = ref None in
+  let mean, std =
+    Scale.averaged scale ~salt (fun st ->
+        let topo = build ?cross_fraction ?highspeed f ~split st in
+        let tm = Traffic.permutation st ~servers:topo.Topology.servers in
+        let cs = Traffic.to_commodities tm in
+        let t =
+          Throughput.compute
+            ~solver:(Throughput.Fptas scale.Scale.params)
+            topo.Topology.graph cs
+        in
+        last := Some (topo, t);
+        t.Throughput.lambda)
+  in
+  match !last with
+  | None -> assert false
+  | Some (topo, t) -> (mean, std, topo, t)
+
+let lambda_of scale ~salt ?cross_fraction ?highspeed f ~split =
+  let mean, _, _, _ = measure scale ~salt ?cross_fraction ?highspeed f ~split in
+  mean
+
+let cross_grid scale =
+  if scale.Scale.dense then
+    List.init 20 (fun i -> 0.1 *. float_of_int (i + 1))
+  else [ 0.2; 0.4; 0.7; 1.0; 1.4; 2.0 ]
+
+let normalize_to_peak rows =
+  (* rows : (x, y) list — scale y so the max is 1. *)
+  let peak = List.fold_left (fun acc (_, y) -> Float.max acc y) 0.0 rows in
+  List.map (fun (x, y) -> (x, if peak > 0.0 then y /. peak else y)) rows
+
+(* ------------------------------------------------------------------ *)
+(* Fig 4: server distribution sweeps                                   *)
+
+let split_grid scale f =
+  let splits = feasible_splits f in
+  let expected = expected_servers_per_large f in
+  let in_range (sl, _) =
+    let x = float_of_int sl /. expected in
+    x >= 0.3 && x <= 2.5
+  in
+  let splits = List.filter in_range splits in
+  if scale.Scale.dense || List.length splits <= 7 then splits
+  else begin
+    (* Thin to ~7 points, keeping the extremes and the proportional one. *)
+    let arr = Array.of_list splits in
+    let n = Array.length arr in
+    let keep = List.init 7 (fun i -> arr.(i * (n - 1) / 6)) in
+    List.sort_uniq compare (proportional_split f :: keep)
+  end
+
+let server_distribution_table scale ~salt_base ~label families =
+  let header =
+    "servers_at_large_ratio"
+    :: List.concat_map (fun (name, _) -> [ name ]) families
+  in
+  (* Collect each family's curve, then merge on x (each family has its own
+     x grid, so emit one row per (family, x) with blanks elsewhere). *)
+  let t = Table.create ~header in
+  let curves =
+    List.mapi
+      (fun fi (_, f) ->
+        let expected = expected_servers_per_large f in
+        let rows =
+          List.map
+            (fun (sl, ss) ->
+              let x = float_of_int sl /. expected in
+              let y =
+                lambda_of scale ~salt:(salt_base + (100 * fi) + sl) f
+                  ~split:(sl, ss)
+              in
+              (x, y))
+            (split_grid scale f)
+        in
+        normalize_to_peak rows)
+      families
+  in
+  List.iteri
+    (fun fi rows ->
+      List.iter
+        (fun (x, y) ->
+          let cells =
+            List.mapi
+              (fun i _ ->
+                if i = fi then Printf.sprintf "%.4f" y else "")
+              families
+          in
+          Table.add_row t (Printf.sprintf "%.3f" x :: cells))
+        rows)
+    curves;
+  ignore label;
+  t
+
+let fig4a scale =
+  server_distribution_table scale ~salt_base:4100 ~label:"fig4a"
+    [
+      ("ports_3to1", { nl = 20; kl = 30; ns = 40; ks = 10; total_servers = 400 });
+      ("ports_2to1", { nl = 20; kl = 30; ns = 40; ks = 15; total_servers = 400 });
+      ("ports_3to2", { nl = 20; kl = 30; ns = 40; ks = 20; total_servers = 400 });
+    ]
+
+let fig4b scale =
+  server_distribution_table scale ~salt_base:4200 ~label:"fig4b"
+    [
+      ("small_20", { nl = 20; kl = 30; ns = 20; ks = 20; total_servers = 400 });
+      ("small_30", { nl = 20; kl = 30; ns = 30; ks = 20; total_servers = 400 });
+      ("small_40", { nl = 20; kl = 30; ns = 40; ks = 20; total_servers = 400 });
+    ]
+
+let fig4c scale =
+  server_distribution_table scale ~salt_base:4300 ~label:"fig4c"
+    [
+      ("servers_480", { nl = 20; kl = 30; ns = 30; ks = 20; total_servers = 480 });
+      ("servers_510", { nl = 20; kl = 30; ns = 30; ks = 20; total_servers = 510 });
+      ("servers_540", { nl = 20; kl = 30; ns = 30; ks = 20; total_servers = 540 });
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Fig 5: power-law port counts, servers ∝ port^β                      *)
+
+let fig5 scale =
+  let n = 40 in
+  let betas =
+    if scale.Scale.dense then
+      List.init 9 (fun i -> 0.2 *. float_of_int i)
+    else [ 0.0; 0.4; 0.8; 1.0; 1.2; 1.6 ]
+  in
+  let t = Table.create ~header:[ "beta"; "avg6"; "avg8"; "avg10" ] in
+  let curve salt avg =
+    let rows =
+      List.map
+        (fun beta ->
+          let y, _ =
+            Scale.averaged scale ~salt:(salt + int_of_float (beta *. 10.0))
+              (fun st ->
+                let ports = Hetero.power_law_ports st ~n ~avg () in
+                let total_ports = Array.fold_left ( + ) 0 ports in
+                let total = total_ports / 3 in
+                let servers =
+                  Hetero.place_servers_power ~total ~ports ~beta
+                in
+                let topo =
+                  Hetero.random_topology_with_ports st ~ports ~servers
+                    ~name:"power-law"
+                in
+                let tm = Traffic.permutation st ~servers:topo.Topology.servers in
+                Mcmf_fptas.lambda ~params:scale.Scale.params topo.Topology.graph
+                  (Traffic.to_commodities tm))
+        in
+          (beta, y))
+        betas
+    in
+    normalize_to_peak rows
+  in
+  let c6 = curve 5100 6.0 and c8 = curve 5200 8.0 and c10 = curve 5300 10.0 in
+  List.iteri
+    (fun i beta ->
+      let y curve = snd (List.nth curve i) in
+      Table.add_floats t [ beta; y c6; y c8; y c10 ])
+    betas;
+  t
+
+(* ------------------------------------------------------------------ *)
+(* Fig 6: cross-cluster connectivity sweeps                            *)
+
+let cross_sweep_table scale ~salt_base families =
+  let header = "cross_ratio" :: List.map fst families in
+  let t = Table.create ~header in
+  let grid = cross_grid scale in
+  let curves =
+    List.mapi
+      (fun fi (_, f) ->
+        let split = proportional_split f in
+        List.map
+          (fun x ->
+            let salt = salt_base + (100 * fi) + int_of_float (x *. 20.0) in
+            (x, lambda_of scale ~salt ~cross_fraction:x f ~split))
+          grid)
+      families
+  in
+  List.iteri
+    (fun i x ->
+      let cells =
+        List.map (fun rows -> Printf.sprintf "%.4f" (snd (List.nth rows i))) curves
+      in
+      Table.add_row t (Printf.sprintf "%.2f" x :: cells))
+    grid;
+  t
+
+let fig6a scale =
+  cross_sweep_table scale ~salt_base:6100
+    [
+      ("ports_3to1", { nl = 20; kl = 30; ns = 40; ks = 10; total_servers = 400 });
+      ("ports_2to1", { nl = 20; kl = 30; ns = 40; ks = 15; total_servers = 400 });
+      ("ports_3to2", { nl = 20; kl = 30; ns = 40; ks = 20; total_servers = 400 });
+    ]
+
+let fig6b scale =
+  cross_sweep_table scale ~salt_base:6200
+    [
+      ("small_20", { nl = 20; kl = 30; ns = 20; ks = 20; total_servers = 400 });
+      ("small_30", { nl = 20; kl = 30; ns = 30; ks = 20; total_servers = 400 });
+      ("small_40", { nl = 20; kl = 30; ns = 40; ks = 20; total_servers = 400 });
+    ]
+
+let fig6c scale =
+  cross_sweep_table scale ~salt_base:6300
+    [
+      ("servers_300", { nl = 20; kl = 30; ns = 30; ks = 20; total_servers = 300 });
+      ("servers_500", { nl = 20; kl = 30; ns = 30; ks = 20; total_servers = 500 });
+      ("servers_700", { nl = 20; kl = 30; ns = 30; ks = 20; total_servers = 700 });
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Fig 7: joint server-split × cross-connectivity sweeps               *)
+
+let joint_sweep_table scale ~salt_base f splits =
+  let header =
+    "cross_ratio"
+    :: List.map (fun (sl, ss) -> Printf.sprintf "%dH_%dL" sl ss) splits
+  in
+  let t = Table.create ~header in
+  let grid = cross_grid scale in
+  List.iter
+    (fun x ->
+      let cells =
+        List.mapi
+          (fun si split ->
+            let salt = salt_base + (100 * si) + int_of_float (x *. 20.0) in
+            Printf.sprintf "%.4f"
+              (lambda_of scale ~salt ~cross_fraction:x f ~split))
+          splits
+      in
+      Table.add_row t (Printf.sprintf "%.2f" x :: cells))
+    grid;
+  t
+
+let fig7a scale =
+  let f = { nl = 20; kl = 30; ns = 40; ks = 10; total_servers = 400 } in
+  joint_sweep_table scale ~salt_base:7100 f
+    [ (16, 2); (14, 3); (12, 4); (10, 5); (8, 6) ]
+
+let fig7b scale =
+  let f = { nl = 20; kl = 30; ns = 40; ks = 20; total_servers = 560 } in
+  joint_sweep_table scale ~salt_base:7200 f
+    [ (22, 3); (18, 5); (14, 7); (10, 9); (6, 11) ]
+
+(* ------------------------------------------------------------------ *)
+(* Fig 8: mixed line-speeds                                            *)
+
+let fig8_family = { nl = 20; kl = 40; ns = 20; ks = 15; total_servers = 860 }
+
+let fig8a scale =
+  let f = fig8_family in
+  let hs = { h_links = 3; h_speed = 10.0 } in
+  let splits = [ (36, 7); (35, 8); (34, 9); (33, 10); (32, 11) ] in
+  let header =
+    "cross_ratio"
+    :: List.map (fun (sl, ss) -> Printf.sprintf "%dH_%dL" sl ss) splits
+  in
+  let t = Table.create ~header in
+  List.iter
+    (fun x ->
+      let cells =
+        List.mapi
+          (fun si split ->
+            let salt = 8100 + (100 * si) + int_of_float (x *. 20.0) in
+            Printf.sprintf "%.4f"
+              (lambda_of scale ~salt ~cross_fraction:x ~highspeed:hs f ~split))
+          splits
+      in
+      Table.add_row t (Printf.sprintf "%.2f" x :: cells))
+    (cross_grid scale);
+  t
+
+let fig8_speed_or_count_table scale ~salt_base variants =
+  let f = fig8_family in
+  let split = (34, 9) in
+  let header = "cross_ratio" :: List.map fst variants in
+  let t = Table.create ~header in
+  List.iter
+    (fun x ->
+      let cells =
+        List.mapi
+          (fun vi (_, hs) ->
+            let salt = salt_base + (100 * vi) + int_of_float (x *. 20.0) in
+            Printf.sprintf "%.4f"
+              (lambda_of scale ~salt ~cross_fraction:x ~highspeed:hs f ~split))
+          variants
+      in
+      Table.add_row t (Printf.sprintf "%.2f" x :: cells))
+    (cross_grid scale);
+  t
+
+let fig8b scale =
+  fig8_speed_or_count_table scale ~salt_base:8200
+    [
+      ("speed_2", { h_links = 6; h_speed = 2.0 });
+      ("speed_4", { h_links = 6; h_speed = 4.0 });
+      ("speed_8", { h_links = 6; h_speed = 8.0 });
+    ]
+
+let fig8c scale =
+  fig8_speed_or_count_table scale ~salt_base:8300
+    [
+      ("links_3", { h_links = 3; h_speed = 4.0 });
+      ("links_6", { h_links = 6; h_speed = 4.0 });
+      ("links_9", { h_links = 9; h_speed = 4.0 });
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Fig 9: throughput decomposition                                     *)
+
+type sweep_point = { x : float; t : Throughput.t }
+
+let decomposition_table points =
+  (* Normalize each factor by its value at the throughput peak, as in the
+     paper's Fig. 9. *)
+  let peak =
+    List.fold_left
+      (fun best p ->
+        match best with
+        | None -> Some p
+        | Some b -> if p.t.Throughput.lambda > b.t.Throughput.lambda then Some p else best)
+      None points
+  in
+  let peak = match peak with Some p -> p | None -> invalid_arg "no points" in
+  let tbl =
+    Table.create
+      ~header:[ "x"; "throughput"; "utilization"; "inv_spl"; "inv_stretch" ]
+  in
+  List.iter
+    (fun p ->
+      let norm get = get p.t /. get peak.t in
+      Table.add_floats tbl
+        [
+          p.x;
+          norm (fun m -> m.Throughput.lambda);
+          norm (fun m -> m.Throughput.utilization);
+          norm (fun m -> 1.0 /. m.Throughput.mean_shortest_path);
+          norm (fun m -> 1.0 /. m.Throughput.stretch);
+        ])
+    points;
+  tbl
+
+let fig9a scale =
+  let f = { nl = 20; kl = 30; ns = 30; ks = 20; total_servers = 480 } in
+  let expected = expected_servers_per_large f in
+  let points =
+    List.map
+      (fun split ->
+        let sl, _ = split in
+        let _, _, _, t = measure scale ~salt:(9100 + sl) f ~split in
+        { x = float_of_int sl /. expected; t })
+      (split_grid scale f)
+  in
+  decomposition_table points
+
+let fig9b scale =
+  let f = { nl = 20; kl = 30; ns = 30; ks = 20; total_servers = 500 } in
+  let split = proportional_split f in
+  let points =
+    List.map
+      (fun x ->
+        let salt = 9200 + int_of_float (x *. 20.0) in
+        let _, _, _, t = measure scale ~salt ~cross_fraction:x f ~split in
+        { x; t })
+      (cross_grid scale)
+  in
+  decomposition_table points
+
+let fig9c scale =
+  let f = fig8_family in
+  let split = (34, 9) in
+  let hs = { h_links = 3; h_speed = 4.0 } in
+  let points =
+    List.map
+      (fun x ->
+        let salt = 9300 + int_of_float (x *. 20.0) in
+        let _, _, _, t = measure scale ~salt ~cross_fraction:x ~highspeed:hs f ~split in
+        { x; t })
+      (cross_grid scale)
+  in
+  decomposition_table points
+
+(* ------------------------------------------------------------------ *)
+(* Fig 10: the Equation-1 bound vs observed                            *)
+
+let bound_vs_observed scale ~salt_base ?highspeed f =
+  let split = proportional_split f in
+  List.map
+    (fun x ->
+      let salt = salt_base + int_of_float (x *. 20.0) in
+      let _, _, topo, t = measure scale ~salt ~cross_fraction:x ?highspeed f ~split in
+      let b = Cut_bound.eval topo in
+      (x, t.Throughput.lambda, b.Cut_bound.bound))
+    (cross_grid scale)
+
+let fig10a scale =
+  let case_a = { nl = 20; kl = 30; ns = 40; ks = 10; total_servers = 400 } in
+  let case_b = { nl = 20; kl = 30; ns = 30; ks = 20; total_servers = 480 } in
+  let ra = bound_vs_observed scale ~salt_base:10100 case_a in
+  let rb = bound_vs_observed scale ~salt_base:10200 case_b in
+  let t =
+    Table.create
+      ~header:[ "cross_ratio"; "bound_A"; "throughput_A"; "bound_B"; "throughput_B" ]
+  in
+  List.iter2
+    (fun (x, la, ba) (_, lb, bb) -> Table.add_floats t [ x; ba; la; bb; lb ])
+    ra rb;
+  t
+
+let fig10b scale =
+  let f = fig8_family in
+  let variants =
+    [
+      ("A", { h_links = 3; h_speed = 4.0 });
+      ("B", { h_links = 6; h_speed = 4.0 });
+      ("C", { h_links = 9; h_speed = 4.0 });
+    ]
+  in
+  let results =
+    List.mapi
+      (fun i (_, hs) ->
+        bound_vs_observed scale ~salt_base:(10300 + (100 * i)) ~highspeed:hs f)
+      variants
+  in
+  let t =
+    Table.create
+      ~header:
+        [ "cross_ratio"; "bound_A"; "throughput_A"; "bound_B"; "throughput_B";
+          "bound_C"; "throughput_C" ]
+  in
+  let ra = List.nth results 0 and rb = List.nth results 1 and rc = List.nth results 2 in
+  List.iteri
+    (fun i (x, la, ba) ->
+      let _, lb, bb = List.nth rb i and _, lc, bc = List.nth rc i in
+      Table.add_floats t [ x; ba; la; bb; lb; bc; lc ])
+    ra;
+  t
+
+(* ------------------------------------------------------------------ *)
+(* Fig 11: the C̄* drop threshold over 18 configurations               *)
+
+let fig11 scale =
+  let port_pairs = [ (30, 10); (30, 15); (30, 20) ] in
+  let count_pairs = [ (20, 30); (20, 40) ] in
+  let server_scales = [ 0.8; 1.0; 1.2 ] in
+  let t =
+    Table.create
+      ~header:
+        [ "config"; "cross_ratio"; "normalized_throughput"; "threshold_ratio" ]
+  in
+  let config_id = ref 0 in
+  List.iter
+    (fun (kl, ks) ->
+      List.iter
+        (fun (nl, ns) ->
+          List.iter
+            (fun sscale ->
+              incr config_id;
+              let base = ((nl * kl) + (ns * ks)) / 3 in
+              let requested = int_of_float (sscale *. float_of_int base) in
+              (* Not every total admits a uniform split; snap to the
+                 nearest one that does. *)
+              let rec feasible_total delta =
+                if delta > 50 then
+                  invalid_arg "fig11: no feasible server total nearby"
+                else begin
+                  let candidates = [ requested + delta; requested - delta ] in
+                  let ok t =
+                    t > 0
+                    && feasible_splits { nl; kl; ns; ks; total_servers = t } <> []
+                  in
+                  match List.find_opt ok candidates with
+                  | Some t -> t
+                  | None -> feasible_total (delta + 1)
+                end
+              in
+              let total = feasible_total 0 in
+              let f = { nl; kl; ns; ks; total_servers = total } in
+              let split = proportional_split f in
+              let grid = cross_grid scale in
+              let rows =
+                List.map
+                  (fun x ->
+                    let salt = 11000 + (100 * !config_id) + int_of_float (x *. 20.0) in
+                    let _, _, topo, tm = measure scale ~salt ~cross_fraction:x f ~split in
+                    (x, topo, tm))
+                  grid
+              in
+              (* Peak throughput over the sweep → C̄* → back to x units. *)
+              let peak =
+                List.fold_left
+                  (fun acc (_, _, m) -> Float.max acc m.Throughput.lambda)
+                  0.0 rows
+              in
+              let sl, ss = split in
+              let large = { Hetero.count = nl; ports = kl; servers_each = sl } in
+              let small = { Hetero.count = ns; ports = ks; servers_each = ss } in
+              let n1 = nl * sl and n2 = ns * ss in
+              let cstar = Cut_bound.cut_threshold ~t_star:peak ~n1 ~n2 in
+              (* C̄ at ratio x is 2·x·E[cross links] (both directions). *)
+              let expected = Hetero.expected_cross_links ~large ~small in
+              let threshold_ratio = cstar /. (2.0 *. expected) in
+              (* Normalize y to the value at x closest to 1, as the figure
+                 does. *)
+              let at_one =
+                let closest =
+                  List.fold_left
+                    (fun best ((x, _, _) as row) ->
+                      match best with
+                      | Some (bx, _, _)
+                        when Float.abs (bx -. 1.0) <= Float.abs (x -. 1.0) ->
+                          best
+                      | _ -> Some row)
+                    None rows
+                in
+                match closest with
+                | Some (_, _, m) -> m.Throughput.lambda
+                | None -> invalid_arg "fig11: empty sweep"
+              in
+              List.iter
+                (fun (x, _, m) ->
+                  Table.add_row t
+                    [
+                      string_of_int !config_id;
+                      Printf.sprintf "%.2f" x;
+                      Printf.sprintf "%.4f" (m.Throughput.lambda /. at_one);
+                      Printf.sprintf "%.3f" threshold_ratio;
+                    ])
+                rows)
+            server_scales)
+        count_pairs)
+    port_pairs;
+  t

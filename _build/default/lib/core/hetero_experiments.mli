@@ -1,0 +1,69 @@
+(** Heterogeneous topology experiments: Figures 4–11 (paper §5–§6).
+
+    All tables carry an x column matching the paper's x-axis:
+    - server-distribution sweeps (Figs 4, 5, 7-curves): servers at large
+      switches as a ratio to the expectation under port-proportional
+      random spreading;
+    - interconnect sweeps (Figs 6–11): cross-cluster links as a ratio to
+      the expectation under unbiased random wiring. *)
+
+val fig4a : Scale.t -> Dcn_util.Table.t
+(** Server-distribution sweep for port ratios 3:1, 2:1, 3:2 (20 large + 40
+    small switches, 400 servers); throughput normalized to each curve's
+    peak. *)
+
+val fig4b : Scale.t -> Dcn_util.Table.t
+(** Same sweep varying the number of small switches (20/30/40). *)
+
+val fig4c : Scale.t -> Dcn_util.Table.t
+(** Same sweep varying oversubscription (480/510/540 servers). *)
+
+val fig5 : Scale.t -> Dcn_util.Table.t
+(** Power-law port counts; servers placed ∝ port^β, β on the x-axis, for
+    mean port counts 6, 8 and 10. *)
+
+val fig6a : Scale.t -> Dcn_util.Table.t
+(** Cross-cluster connectivity sweep (port ratios 3:1/2:1/3:2),
+    port-proportional servers; raw per-flow throughput. *)
+
+val fig6b : Scale.t -> Dcn_util.Table.t
+val fig6c : Scale.t -> Dcn_util.Table.t
+
+val fig7a : Scale.t -> Dcn_util.Table.t
+(** Joint sweep: one curve per server split (16H,2L … 8H,6L), x =
+    cross-cluster ratio; ports 30/10. *)
+
+val fig7b : Scale.t -> Dcn_util.Table.t
+(** Ports 30/20, splits 22H,3L … 6H,11L. *)
+
+val fig8a : Scale.t -> Dcn_util.Table.t
+(** Mixed line-speeds: server-split curves with 3 high-speed (10×) links
+    per large switch. *)
+
+val fig8b : Scale.t -> Dcn_util.Table.t
+(** High-speed line-rate 2/4/8 with 6 links per large switch. *)
+
+val fig8c : Scale.t -> Dcn_util.Table.t
+(** 3/6/9 high-speed links at rate 4. *)
+
+val fig9a : Scale.t -> Dcn_util.Table.t
+(** Decomposition T, U, 1/⟨D⟩, 1/AS (each normalized at the throughput
+    peak) along the fig4c 480-server sweep. *)
+
+val fig9b : Scale.t -> Dcn_util.Table.t
+(** Same along the fig6c 500-server sweep. *)
+
+val fig9c : Scale.t -> Dcn_util.Table.t
+(** Same along the fig8c 3-H-links sweep. *)
+
+val fig10a : Scale.t -> Dcn_util.Table.t
+(** Equation-1 bound vs. observed throughput, two uniform-line-speed
+    configurations. *)
+
+val fig10b : Scale.t -> Dcn_util.Table.t
+(** Same with mixed line-speeds (bound expected to be looser). *)
+
+val fig11 : Scale.t -> Dcn_util.Table.t
+(** 18 two-cluster configurations: per configuration and cross-link ratio,
+    normalized throughput plus the analytically derived C̄* threshold ratio
+    below which throughput must drop. *)

@@ -1,0 +1,30 @@
+(** Flow-model validation with packet-level simulation (paper §8.2,
+    Fig. 13).
+
+    Random permutation traffic runs twice on the same deliberately
+    oversubscribed rewired-VL2 topology: once through the fluid
+    concurrent-flow solver and once through the discrete-event simulator
+    with a multipath AIMD transport over the 8 shortest ToR-to-ToR paths.
+    The paper reports the packet level within a few percent (6% at worst)
+    of the fluid optimum. *)
+
+val fig13 : Scale.t -> Dcn_util.Table.t
+(** Columns: aggregation degree, flow-level λ, packet-level mean goodput
+    per flow (both in units of the server line rate). *)
+
+val flows_of_permutation :
+  Dcn_graph.Graph.t ->
+  tm:Dcn_traffic.Traffic.t ->
+  subflows:int ->
+  Dcn_packetsim.Packet_sim.flow_spec array
+(** One packet flow per unit of aggregated demand, each routed over up to
+    [subflows] shortest switch-to-switch paths (cached per pair). *)
+
+val compare_once :
+  Scale.t ->
+  salt:int ->
+  topo:Dcn_topology.Topology.t ->
+  subflows:int ->
+  float * float
+(** One (flow-level, packet-level) measurement on a given topology under a
+    fresh random permutation — exposed for tests and the example. *)

@@ -1,0 +1,31 @@
+type t = {
+  runs : int;
+  params : Dcn_flow.Mcmf_fptas.params;
+  dense : bool;
+  seed : int;
+}
+
+let quick =
+  {
+    runs = 3;
+    params = { Dcn_flow.Mcmf_fptas.eps = 0.1; gap = 0.08; max_phases = 100_000 };
+    dense = false;
+    seed = 20140402;
+  }
+
+let full =
+  {
+    runs = 20;
+    params = Dcn_flow.Mcmf_fptas.default_params;
+    dense = true;
+    seed = 20140402;
+  }
+
+let rng t salt = Random.State.make [| t.seed; salt |]
+
+let averaged t ~salt f =
+  let values =
+    Array.init t.runs (fun i ->
+        f (Random.State.make [| t.seed; salt; i |]))
+  in
+  (Dcn_util.Stats.mean values, Dcn_util.Stats.stdev values)

@@ -1,0 +1,27 @@
+(** Experiment scale presets.
+
+    The paper averages 20 runs per point with CPLEX-exact solves; quick
+    mode trades runs, grid density, and FPTAS gap for turnaround so the
+    whole figure suite finishes in minutes, while [full] approaches the
+    paper's statistical setup. *)
+
+type t = {
+  runs : int;  (** Independent topology samples per data point. *)
+  params : Dcn_flow.Mcmf_fptas.params;  (** Solver accuracy. *)
+  dense : bool;  (** Use the paper's full parameter grids. *)
+  seed : int;  (** Base RNG seed; run [i] of a point derives from it. *)
+}
+
+val quick : t
+(** 3 runs, ~8% certified gap, sparse grids. *)
+
+val full : t
+(** 20 runs, ~3% certified gap, paper-density grids. *)
+
+val rng : t -> int -> Random.State.t
+(** [rng scale salt] is a deterministic generator for one experiment
+    stream; different salts give independent streams. *)
+
+val averaged : t -> salt:int -> (Random.State.t -> float) -> float * float
+(** Run the measurement once per configured run with per-run RNGs; returns
+    (mean, stdev). *)

@@ -1,0 +1,39 @@
+(** Improving VL2 by rewiring (paper §7, Fig. 12).
+
+    "Supporting T ToRs at full throughput" means: with T ToRs attached
+    (20 servers each), every flow of a random permutation achieves its full
+    server line rate. VL2 supports exactly [da·di/4] ToRs by construction;
+    the rewired topology's capacity is found by binary search with the
+    FPTAS, requiring the measured λ to clear a threshold slightly below 1
+    to absorb the solver's certified gap. *)
+
+type traffic_kind = [ `Permutation | `All_to_all | `Chunky of float ]
+
+val full_threshold : Scale.t -> float
+(** The λ acceptance threshold (0.97): slightly below 1 to absorb solver
+    and sampling noise without inflating capacity estimates. In quick mode
+    the solver's ±4% midpoint uncertainty adds comparable noise to the
+    measured capacities; shapes are unaffected. *)
+
+val supports :
+  Scale.t -> salt:int -> traffic:traffic_kind -> Dcn_topology.Topology.t -> bool
+(** Does the topology deliver full throughput (per the kind's definition —
+    for all-to-all, the fair share 1/(S−1) per flow) on every configured
+    run? *)
+
+val max_tors_at_full_throughput :
+  Scale.t -> salt:int -> traffic:traffic_kind -> da:int -> di:int -> int
+(** Largest ToR count the rewired topology supports at full throughput
+    (binary search over ToR count; each probe re-samples topologies). *)
+
+val fig12a : Scale.t -> Dcn_util.Table.t
+(** Ratio of rewired capacity to VL2's [da·di/4], sweeping the aggregation
+    degree D_A for several intermediate degrees D_I. *)
+
+val fig12b : Scale.t -> Dcn_util.Table.t
+(** Throughput of the rewired topology (sized at its permutation capacity)
+    under 20%/60%/100% chunky traffic. *)
+
+val fig12c : Scale.t -> Dcn_util.Table.t
+(** Capacity ratio over VL2 when full throughput is required under
+    all-to-all, permutation, and 100%-chunky traffic. *)

@@ -1,0 +1,1 @@
+lib/flow/commodity.ml: Array Float Format Hashtbl List

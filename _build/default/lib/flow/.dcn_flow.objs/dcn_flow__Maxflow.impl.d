@@ -1,0 +1,1 @@
+lib/flow/maxflow.ml: Array Dcn_graph Float Graph List Queue

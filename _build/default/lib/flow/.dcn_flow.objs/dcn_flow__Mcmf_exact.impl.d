@@ -1,0 +1,1 @@
+lib/flow/mcmf_exact.ml: Array Commodity Dcn_graph Dcn_lp Graph List

@@ -1,0 +1,1 @@
+lib/flow/mcmf_exact.mli: Commodity Dcn_graph Graph

@@ -1,0 +1,1 @@
+lib/flow/mcmf_fptas.ml: Array Commodity Dcn_graph Dijkstra Float Graph Graph_metrics List

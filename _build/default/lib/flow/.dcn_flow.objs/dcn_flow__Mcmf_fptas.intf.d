@@ -1,0 +1,1 @@
+lib/flow/mcmf_fptas.mli: Commodity Dcn_graph Graph

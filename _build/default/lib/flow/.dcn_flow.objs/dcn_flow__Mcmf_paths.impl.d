@@ -1,0 +1,1 @@
+lib/flow/mcmf_paths.ml: Array Commodity Dcn_graph Dcn_routing Float Graph Hashtbl List Mcmf_fptas

@@ -1,0 +1,1 @@
+lib/flow/mcmf_paths.mli: Commodity Dcn_graph Graph Mcmf_fptas

@@ -1,0 +1,1 @@
+lib/flow/throughput.ml: Array Commodity Dcn_graph Graph Graph_metrics Hashtbl List Mcmf_exact Mcmf_fptas

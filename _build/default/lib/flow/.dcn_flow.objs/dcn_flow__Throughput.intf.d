@@ -1,0 +1,1 @@
+lib/flow/throughput.mli: Commodity Dcn_graph Graph Mcmf_fptas

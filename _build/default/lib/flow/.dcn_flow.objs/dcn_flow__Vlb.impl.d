@@ -1,0 +1,1 @@
+lib/flow/vlb.ml: Array Commodity Dcn_graph Dcn_routing Dcn_util Graph Hashtbl List Mcmf_paths

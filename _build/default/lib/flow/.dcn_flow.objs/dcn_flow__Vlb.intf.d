@@ -1,0 +1,1 @@
+lib/flow/vlb.mli: Commodity Dcn_graph Graph Mcmf_paths Random

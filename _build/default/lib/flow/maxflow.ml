@@ -1,0 +1,106 @@
+open Dcn_graph
+
+type result = {
+  value : float;
+  flow : float array;
+  cut_side : bool array;
+}
+
+let eps = 1e-12
+
+(* Dinic: BFS level graph + DFS blocking flows on residual capacities.
+   Residuals live in [res]; pushing f on arc a moves f from res.(a) to
+   res.(rev a), which works uniformly for directed and undirected links. *)
+let max_flow g ~src ~dst =
+  let n = Graph.n g in
+  if src = dst then invalid_arg "Maxflow: src = dst";
+  if src < 0 || src >= n || dst < 0 || dst >= n then
+    invalid_arg "Maxflow: endpoint out of range";
+  let m = Graph.num_arcs g in
+  let res = Array.init m (fun a -> Graph.arc_cap g a) in
+  let level = Array.make n (-1) in
+  let build_levels () =
+    Array.fill level 0 n (-1);
+    level.(src) <- 0;
+    let queue = Queue.create () in
+    Queue.push src queue;
+    while not (Queue.is_empty queue) do
+      let u = Queue.pop queue in
+      Graph.iter_out g u (fun a ->
+          if res.(a) > eps then begin
+            let v = Graph.arc_dst g a in
+            if level.(v) < 0 then begin
+              level.(v) <- level.(u) + 1;
+              Queue.push v queue
+            end
+          end)
+    done;
+    level.(dst) >= 0
+  in
+  (* Per-node cursor into the adjacency list for the current phase. *)
+  let cursor = Array.make n 0 in
+  let adj = Array.init n (fun u -> Graph.fold_out g u (fun acc a -> a :: acc) [] |> List.rev |> Array.of_list) in
+  let rec push u limit =
+    if u = dst then limit
+    else begin
+      let arcs = adj.(u) in
+      let sent = ref 0.0 in
+      while cursor.(u) < Array.length arcs && limit -. !sent > eps do
+        let a = arcs.(cursor.(u)) in
+        let v = Graph.arc_dst g a in
+        if res.(a) > eps && level.(v) = level.(u) + 1 then begin
+          let pushed = push v (Float.min (limit -. !sent) res.(a)) in
+          if pushed > eps then begin
+            res.(a) <- res.(a) -. pushed;
+            let r = Graph.arc_rev g a in
+            res.(r) <- res.(r) +. pushed;
+            sent := !sent +. pushed
+          end
+          else cursor.(u) <- cursor.(u) + 1
+        end
+        else cursor.(u) <- cursor.(u) + 1
+      done;
+      !sent
+    end
+  in
+  let total = ref 0.0 in
+  while build_levels () do
+    Array.fill cursor 0 n 0;
+    let rec drain () =
+      let f = push src infinity in
+      if f > eps then begin
+        total := !total +. f;
+        drain ()
+      end
+    in
+    drain ()
+  done;
+  let flow = Array.init m (fun a -> Float.max 0.0 (Graph.arc_cap g a -. res.(a))) in
+  (* Cancel circulation on reverse-arc pairs so flow is the net value. *)
+  for a = 0 to m - 1 do
+    let r = Graph.arc_rev g a in
+    if a < r then begin
+      let overlap = Float.min flow.(a) flow.(r) in
+      flow.(a) <- flow.(a) -. overlap;
+      flow.(r) <- flow.(r) -. overlap
+    end
+  done;
+  let cut_side = Array.make n false in
+  (* Final BFS marks residual-reachable nodes. *)
+  let queue = Queue.create () in
+  cut_side.(src) <- true;
+  Queue.push src queue;
+  while not (Queue.is_empty queue) do
+    let u = Queue.pop queue in
+    Graph.iter_out g u (fun a ->
+        if res.(a) > eps then begin
+          let v = Graph.arc_dst g a in
+          if not cut_side.(v) then begin
+            cut_side.(v) <- true;
+            Queue.push v queue
+          end
+        end)
+  done;
+  { value = !total; flow; cut_side }
+
+let min_cut_value g ~src ~dst = (max_flow g ~src ~dst).value

@@ -1,0 +1,24 @@
+(** Single-commodity maximum flow (Dinic's algorithm) and minimum cuts.
+
+    Used for the cut-based analyses of §6 (the Eqn.-1 bound needs exact cut
+    capacities; max-flow = min-cut certifies them) and as an oracle in the
+    test suite: on a single commodity, the concurrent-flow FPTAS must agree
+    with Dinic within its certified gap. *)
+
+open Dcn_graph
+
+
+type result = {
+  value : float;  (** Maximum s-t flow value. *)
+  flow : float array;  (** Net flow per arc id (0 ≤ flow ≤ cap). *)
+  cut_side : bool array;
+      (** [cut_side.(v)] iff [v] is reachable from the source in the final
+          residual network; the arcs from [true] to [false] form a minimum
+          cut. *)
+}
+
+val max_flow : Graph.t -> src:int -> dst:int -> result
+(** Raises [Invalid_argument] if [src = dst] or out of range. *)
+
+val min_cut_value : Graph.t -> src:int -> dst:int -> float
+(** Capacity of the minimum s-t cut (equals the max-flow value). *)

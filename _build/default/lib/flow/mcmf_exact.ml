@@ -1,0 +1,63 @@
+open Dcn_graph
+
+type result = { lambda : float; arc_flow : float array }
+
+(* Variable layout: column 0 is λ; then one column per (commodity, usable
+   arc). Usable arcs are those with positive capacity. *)
+let solve g commodities =
+  let n = Graph.n g in
+  Commodity.validate ~n commodities;
+  let k = Array.length commodities in
+  let m_all = Graph.num_arcs g in
+  let usable = ref [] in
+  Graph.iter_arcs g (fun a -> if Graph.arc_cap g a > 0.0 then usable := a :: !usable);
+  let arcs = Array.of_list (List.rev !usable) in
+  let m = Array.length arcs in
+  let col_of = Array.make m_all (-1) in
+  Array.iteri (fun i a -> col_of.(a) <- i) arcs;
+  let nvars = 1 + (k * m) in
+  let var j i = 1 + (j * m) + i in
+  let rows = ref [] in
+  (* Conservation at every node except each commodity's destination (that
+     row is implied by the others). At the source, outflow - inflow = λ·d. *)
+  Array.iteri
+    (fun j (c : Commodity.t) ->
+      for v = 0 to n - 1 do
+        if v <> c.dst then begin
+          let coeffs = Array.make nvars 0.0 in
+          Array.iteri
+            (fun i a ->
+              if Graph.arc_src g a = v then
+                coeffs.(var j i) <- coeffs.(var j i) +. 1.0;
+              if Graph.arc_dst g a = v then
+                coeffs.(var j i) <- coeffs.(var j i) -. 1.0)
+            arcs;
+          if v = c.src then coeffs.(0) <- -.c.demand;
+          rows := (coeffs, Dcn_lp.Simplex.Eq, 0.0) :: !rows
+        end
+      done)
+    commodities;
+  (* Shared capacity per arc. *)
+  Array.iteri
+    (fun i a ->
+      let coeffs = Array.make nvars 0.0 in
+      for j = 0 to k - 1 do
+        coeffs.(var j i) <- 1.0
+      done;
+      rows := (coeffs, Dcn_lp.Simplex.Le, Graph.arc_cap g a) :: !rows)
+    arcs;
+  let objective = Array.make nvars 0.0 in
+  objective.(0) <- 1.0;
+  let problem = { Dcn_lp.Simplex.objective; rows = List.rev !rows } in
+  match Dcn_lp.Simplex.solve problem with
+  | Dcn_lp.Simplex.Infeasible -> failwith "Mcmf_exact: LP infeasible (bug)"
+  | Dcn_lp.Simplex.Unbounded -> failwith "Mcmf_exact: LP unbounded (bug)"
+  | Dcn_lp.Simplex.Optimal sol ->
+      let arc_flow = Array.make m_all 0.0 in
+      Array.iteri
+        (fun i a ->
+          for j = 0 to k - 1 do
+            arc_flow.(a) <- arc_flow.(a) +. sol.variables.(var j i)
+          done)
+        arcs;
+      { lambda = sol.objective_value; arc_flow }

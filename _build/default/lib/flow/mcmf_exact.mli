@@ -1,0 +1,22 @@
+(** Exact maximum concurrent multicommodity flow via the simplex LP.
+
+    Mirrors the paper's CPLEX formulation directly: per-commodity arc flow
+    variables, conservation equalities, shared capacity constraints, and a
+    concurrency variable λ maximized subject to each commodity shipping
+    λ·demand. Exponential in nothing but dense in everything — intended for
+    small instances (n ≲ 20, a few commodities), primarily to certify
+    {!Mcmf_fptas} in the test suite. *)
+
+open Dcn_graph
+
+
+type result = {
+  lambda : float;  (** Optimal concurrency: every commodity ships λ·demand. *)
+  arc_flow : float array;  (** Total flow per arc id, summed over commodities. *)
+}
+
+val solve : Graph.t -> Commodity.t array -> result
+(** Raises [Invalid_argument] on malformed commodities and [Failure] if the
+    LP solver reports infeasible/unbounded, which cannot happen for a
+    well-formed instance (λ = 0 is always feasible and capacities bound λ
+    whenever some commodity's endpoints are distinct). *)

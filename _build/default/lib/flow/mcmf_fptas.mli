@@ -1,0 +1,58 @@
+(** Maximum concurrent multicommodity flow, Garg–Könemann/Fleischer FPTAS.
+
+    This is the scalable replacement for the paper's CPLEX runs. The
+    algorithm maintains multiplicative arc lengths; each phase routes every
+    commodity's full demand along (approximately) shortest paths under the
+    current lengths. Commodities sharing a source reuse one shortest-path
+    tree, rebuilt lazily when a used path's current length exceeds
+    [(1 + eps)] times its length at tree-build time (Fleischer's rule).
+
+    Rather than relying on the worst-case scaling analysis, the solver
+    certifies its own answer each phase:
+
+    - primal: after [p] complete phases each commodity has shipped
+      [p·demand]; dividing all flow by the peak congestion [μ] gives a
+      feasible solution with concurrency [λ_lo = p / μ];
+    - dual: any positive length function [l] yields the bound
+      [λ* ≤ D(l) / Σⱼ dⱼ·dist_l(sⱼ,tⱼ)] (LP duality); the smallest bound
+      seen so far is [λ_hi].
+
+    Iteration stops once [λ_hi / λ_lo ≤ 1 + gap], so the returned interval
+    is trustworthy independently of the theory's constants. *)
+
+open Dcn_graph
+
+
+type params = {
+  eps : float;  (** Multiplicative length step (0 < eps < 1). *)
+  gap : float;  (** Certified relative gap at which to stop. *)
+  max_phases : int;
+      (** Phase budget. If exhausted before the target gap (possible when
+          [gap] is small relative to the O(eps) primal loss of the
+          multiplicative-weights scheme), the result is still a valid —
+          merely wider — certificate, flagged by [converged = false]. *)
+}
+
+val default_params : params
+(** eps = 0.05, gap = 0.03, max_phases = 100_000. *)
+
+val quick_params : params
+(** Coarser/faster: eps = 0.1, gap = 0.08 — for smoke tests and quick-mode
+    benches. *)
+
+type result = {
+  lambda_lower : float;  (** Concurrency of the returned feasible flow. *)
+  lambda_upper : float;  (** Certified upper bound on the optimum. *)
+  arc_flow : float array;
+      (** Feasible per-arc flow (≤ capacity) achieving [lambda_lower]. *)
+  phases : int;  (** Complete phases executed. *)
+  converged : bool;  (** Whether the target gap was certified in budget. *)
+}
+
+val solve : ?params:params -> Graph.t -> Commodity.t array -> result
+(** Raises [Invalid_argument] if there are no commodities, if a commodity's
+    endpoints are disconnected, or if params are out of range. *)
+
+val lambda : ?params:params -> Graph.t -> Commodity.t array -> float
+(** Shorthand for the midpoint estimate
+    [(lambda_lower + lambda_upper) / 2]. *)

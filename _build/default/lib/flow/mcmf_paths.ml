@@ -1,0 +1,210 @@
+open Dcn_graph
+
+type commodity = {
+  src : int;
+  dst : int;
+  demand : float;
+  paths : int list list;
+}
+
+type result = {
+  lambda_lower : float;
+  lambda_upper : float;
+  arc_flow : float array;
+  phases : int;
+  converged : bool;
+}
+
+let validate g commodities =
+  if Array.length commodities = 0 then invalid_arg "Mcmf_paths: no commodities";
+  Array.iter
+    (fun c ->
+      if c.src = c.dst then invalid_arg "Mcmf_paths: src = dst";
+      if c.demand <= 0.0 then invalid_arg "Mcmf_paths: non-positive demand";
+      if c.paths = [] then invalid_arg "Mcmf_paths: commodity without paths";
+      List.iter
+        (fun p ->
+          let rec check at = function
+            | [] -> if at <> c.dst then invalid_arg "Mcmf_paths: path misses dst"
+            | a :: rest ->
+                if Graph.arc_src g a <> at then
+                  invalid_arg "Mcmf_paths: discontinuous path";
+                if Graph.arc_cap g a <= 0.0 then
+                  invalid_arg "Mcmf_paths: path uses a zero-capacity arc";
+                check (Graph.arc_dst g a) rest
+          in
+          check c.src p)
+        c.paths)
+    commodities
+
+(* Demand conditioning, as in Mcmf_fptas: scale so λ* is Θ(1) using a
+   capacity/shortest-length estimate over the given path sets. *)
+let demand_scale g commodities =
+  let capacity = Graph.total_capacity g in
+  let weighted_hops =
+    Array.fold_left
+      (fun acc c ->
+        let shortest =
+          List.fold_left (fun m p -> min m (List.length p)) max_int c.paths
+        in
+        acc +. (c.demand *. float_of_int shortest))
+      0.0 commodities
+  in
+  Float.max 1e-30 (capacity /. Float.max 1.0 weighted_hops)
+
+let solve ?(params = Mcmf_fptas.default_params) g commodities =
+  validate g commodities;
+  (* Adaptive length step, as in Mcmf_fptas: both certificates remain
+     valid when eps shrinks mid-run. *)
+  let eps = ref params.Mcmf_fptas.eps in
+  let m_all = Graph.num_arcs g in
+  let scale = demand_scale g commodities in
+  let k = Array.length commodities in
+  let demand = Array.map (fun c -> c.demand *. scale) commodities in
+  (* Paths as arrays for cheap iteration. *)
+  let paths =
+    Array.map (fun c -> Array.of_list (List.map Array.of_list c.paths)) commodities
+  in
+  let m_pos = ref 0 in
+  Graph.iter_arcs g (fun a -> if Graph.arc_cap g a > 0.0 then incr m_pos);
+  let delta = (float_of_int !m_pos /. (1.0 -. !eps)) ** (-1.0 /. !eps) in
+  let lengths = Array.make m_all infinity in
+  Graph.iter_arcs g (fun a ->
+      if Graph.arc_cap g a > 0.0 then lengths.(a) <- delta /. Graph.arc_cap g a);
+  let flow = Array.make m_all 0.0 in
+  let path_length p =
+    Array.fold_left (fun acc a -> acc +. lengths.(a)) 0.0 p
+  in
+  let min_path j =
+    let best = ref 0 and best_len = ref infinity in
+    Array.iteri
+      (fun i p ->
+        let len = path_length p in
+        if len < !best_len then begin
+          best := i;
+          best_len := len
+        end)
+      paths.(j);
+    (paths.(j).(!best), !best_len)
+  in
+  let route_commodity j =
+    let rec go rem =
+      if rem > 0.0 then begin
+        let p, _ = min_path j in
+        let bottleneck =
+          Array.fold_left (fun acc a -> Float.min acc (Graph.arc_cap g a)) infinity p
+        in
+        let amount = Float.min rem bottleneck in
+        Array.iter
+          (fun a ->
+            flow.(a) <- flow.(a) +. amount;
+            let cap = Graph.arc_cap g a in
+            lengths.(a) <- lengths.(a) *. (1.0 +. (!eps *. amount /. cap)))
+          p;
+        go (rem -. amount)
+      end
+    in
+    go demand.(j)
+  in
+  let rescale_lengths () =
+    let max_len = ref 0.0 in
+    Graph.iter_arcs g (fun a ->
+        if Graph.arc_cap g a > 0.0 then max_len := Float.max !max_len lengths.(a));
+    if !max_len > 1e100 then begin
+      let inv = 1.0 /. !max_len in
+      Graph.iter_arcs g (fun a ->
+          if Graph.arc_cap g a > 0.0 then lengths.(a) <- lengths.(a) *. inv)
+    end
+  in
+  let dual_bound () =
+    let d_l = ref 0.0 in
+    Graph.iter_arcs g (fun a ->
+        if Graph.arc_cap g a > 0.0 then
+          d_l := !d_l +. (Graph.arc_cap g a *. lengths.(a)));
+    let alpha = ref 0.0 in
+    for j = 0 to k - 1 do
+      let _, len = min_path j in
+      alpha := !alpha +. (demand.(j) *. len)
+    done;
+    let bound = !d_l /. !alpha in
+    if Float.is_nan bound || bound <= 0.0 then infinity else bound
+  in
+  let congestion () =
+    let mu = ref 0.0 in
+    Graph.iter_arcs g (fun a ->
+        if Graph.arc_cap g a > 0.0 then
+          mu := Float.max !mu (flow.(a) /. Graph.arc_cap g a));
+    !mu
+  in
+  let finish phases lambda_lo lambda_hi mu ~converged =
+    let arc_flow =
+      if mu > 0.0 then Array.map (fun f -> f /. mu) flow else Array.copy flow
+    in
+    {
+      lambda_lower = lambda_lo *. scale;
+      lambda_upper = lambda_hi *. scale;
+      arc_flow;
+      phases;
+      converged;
+    }
+  in
+  let stall_window = 30 in
+  let min_eps = 0.0125 in
+  let rec phase_loop phases best_dual last_ratio stalled =
+    for j = 0 to k - 1 do
+      route_commodity j
+    done;
+    rescale_lengths ();
+    let phases = phases + 1 in
+    let mu = congestion () in
+    let lambda_lo = float_of_int phases /. mu in
+    let best_dual = Float.min best_dual (dual_bound ()) in
+    let ratio = best_dual /. lambda_lo in
+    if ratio <= 1.0 +. params.Mcmf_fptas.gap then
+      finish phases lambda_lo best_dual mu ~converged:true
+    else if phases >= params.Mcmf_fptas.max_phases then
+      finish phases lambda_lo best_dual mu ~converged:false
+    else begin
+      let progress_step =
+        Float.max 5e-4 (0.01 *. (ratio -. 1.0 -. params.Mcmf_fptas.gap))
+      in
+      let stalled = if ratio > last_ratio -. progress_step then stalled + 1 else 0 in
+      let last_ratio = Float.min last_ratio ratio in
+      if stalled >= stall_window && !eps > min_eps then begin
+        eps := Float.max min_eps (!eps /. 2.0);
+        phase_loop phases best_dual last_ratio 0
+      end
+      else phase_loop phases best_dual last_ratio stalled
+    end
+  in
+  phase_loop 0 infinity infinity 0
+
+let lambda ?params g commodities =
+  let r = solve ?params g commodities in
+  (r.lambda_lower +. r.lambda_upper) /. 2.0
+
+let with_cached_paths enumerate commodities =
+  let cache = Hashtbl.create 64 in
+  Array.map
+    (fun (c : Commodity.t) ->
+      let paths =
+        match Hashtbl.find_opt cache (c.Commodity.src, c.Commodity.dst) with
+        | Some p -> p
+        | None ->
+            let p = enumerate c.Commodity.src c.Commodity.dst in
+            Hashtbl.add cache (c.Commodity.src, c.Commodity.dst) p;
+            p
+      in
+      { src = c.Commodity.src; dst = c.Commodity.dst;
+        demand = c.Commodity.demand; paths })
+    commodities
+
+let of_k_shortest g ~k commodities =
+  with_cached_paths
+    (fun src dst -> Dcn_routing.Ksp.k_shortest g ~src ~dst ~k)
+    commodities
+
+let of_ecmp g ~limit commodities =
+  with_cached_paths
+    (fun src dst -> Dcn_routing.Ecmp.shortest_paths g ~src ~dst ~limit)
+    commodities

@@ -1,0 +1,50 @@
+(** Maximum concurrent flow restricted to fixed path sets.
+
+    The LP solved everywhere else lets flow split over {e any} path; real
+    networks route over a small set (ECMP's equal-cost shortest paths, or
+    MPTCP's k shortest). This solver computes the max–min fair throughput
+    when each commodity may only use its listed paths — quantifying the
+    routing-restriction penalty the paper and Jellyfish discuss (§8): ECMP
+    alone loses noticeably, 8-shortest-path multipath is near optimal.
+
+    Same multiplicative-weights scheme and the same certified primal–dual
+    interval as {!Mcmf_fptas}, with path enumeration replacing Dijkstra:
+    the dual uses [D(l) / Σⱼ dⱼ·min_{P∈paths(j)} l(P)], which is exactly
+    the dual of the path-restricted LP. *)
+
+open Dcn_graph
+
+type commodity = {
+  src : int;
+  dst : int;
+  demand : float;
+  paths : int list list;  (** Arc-id paths from [src] to [dst]. *)
+}
+
+type result = {
+  lambda_lower : float;
+  lambda_upper : float;
+  arc_flow : float array;
+  phases : int;
+  converged : bool;
+}
+
+val solve :
+  ?params:Mcmf_fptas.params -> Graph.t -> commodity array -> result
+(** Raises [Invalid_argument] if a commodity has no paths, a path does not
+    run from its source to its destination, or an endpoint repeats
+    ([src = dst]). *)
+
+val lambda :
+  ?params:Mcmf_fptas.params -> Graph.t -> commodity array -> float
+(** Midpoint of the certified interval. *)
+
+val of_k_shortest :
+  Graph.t -> k:int -> Commodity.t array -> commodity array
+(** Equip each commodity with its [k] shortest simple paths (Yen's
+    algorithm from [Dcn_routing.Ksp]); path sets are cached per switch
+    pair. *)
+
+val of_ecmp : Graph.t -> limit:int -> Commodity.t array -> commodity array
+(** Equip each commodity with its equal-cost shortest paths only (at most
+    [limit] of them) — the ECMP routing model. *)

@@ -1,0 +1,67 @@
+open Dcn_graph
+
+type solver =
+  | Fptas of Mcmf_fptas.params
+  | Exact
+
+type t = {
+  lambda : float;
+  lambda_bounds : float * float;
+  utilization : float;
+  mean_shortest_path : float;
+  stretch : float;
+  arc_flow : float array;
+}
+
+let metrics g commodities ~lambda ~arc_flow ~lambda_bounds =
+  let pairs =
+    Array.to_list
+      (Array.map (fun (c : Commodity.t) -> (c.src, c.dst, c.demand)) commodities)
+  in
+  let mean_shortest_path = Graph_metrics.weighted_pair_distance g ~pairs in
+  let capacity = Graph.total_capacity g in
+  let total_flow = Array.fold_left ( +. ) 0.0 arc_flow in
+  let utilization = total_flow /. capacity in
+  (* Delivered volume is λ·Σd; hop-volume of shortest routing would be
+     λ·Σ(d·dist); the routed hop-volume is Σ_a flow(a). *)
+  let delivered = lambda *. Commodity.total_demand commodities in
+  let shortest_volume = delivered *. mean_shortest_path in
+  let stretch = if shortest_volume > 0.0 then total_flow /. shortest_volume else 1.0 in
+  {
+    lambda;
+    lambda_bounds;
+    utilization;
+    mean_shortest_path;
+    stretch;
+    arc_flow;
+  }
+
+let compute ?(solver = Fptas Mcmf_fptas.default_params) g commodities =
+  match solver with
+  | Fptas params ->
+      let r = Mcmf_fptas.solve ~params g commodities in
+      metrics g commodities ~lambda:r.Mcmf_fptas.lambda_lower
+        ~arc_flow:r.Mcmf_fptas.arc_flow
+        ~lambda_bounds:(r.Mcmf_fptas.lambda_lower, r.Mcmf_fptas.lambda_upper)
+  | Exact ->
+      let r = Mcmf_exact.solve g commodities in
+      metrics g commodities ~lambda:r.Mcmf_exact.lambda
+        ~arc_flow:r.Mcmf_exact.arc_flow
+        ~lambda_bounds:(r.Mcmf_exact.lambda, r.Mcmf_exact.lambda)
+
+let lambda ?solver g commodities = (compute ?solver g commodities).lambda
+
+let class_utilization g ~arc_flow ~cluster =
+  let acc = Hashtbl.create 8 in
+  Graph.iter_arcs g (fun a ->
+      let cap = Graph.arc_cap g a in
+      if cap > 0.0 then begin
+        let cu = cluster.(Graph.arc_src g a) and cv = cluster.(Graph.arc_dst g a) in
+        let key = (min cu cv, max cu cv) in
+        let used, avail =
+          try Hashtbl.find acc key with Not_found -> (0.0, 0.0)
+        in
+        Hashtbl.replace acc key (used +. arc_flow.(a), avail +. cap)
+      end);
+  Hashtbl.fold (fun key (used, avail) l -> (key, used /. avail) :: l) acc []
+  |> List.sort compare

@@ -1,0 +1,38 @@
+(** Network throughput and its decomposition (paper §3, §6.1).
+
+    Throughput of a topology under a traffic matrix is the maximum
+    concurrent flow λ: the largest value such that every flow ships λ times
+    its demand simultaneously — the paper's max–min fair "minimum flow"
+    measure.
+
+    §6.1 decomposes throughput as [T = C·U / (⟨D⟩·AS·f)] where [C] is total
+    capacity, [U] mean link utilization, [⟨D⟩] the demand-weighted shortest
+    path length, [AS] the stretch of the routed paths, and [f] the demand
+    volume; {!compute} reports every factor so Fig. 9 can be regenerated. *)
+
+open Dcn_graph
+
+
+type solver =
+  | Fptas of Mcmf_fptas.params  (** Scalable approximate solver with certified gap. *)
+  | Exact  (** Simplex LP; small instances only. *)
+
+type t = {
+  lambda : float;  (** Concurrent-flow value (per unit demand). *)
+  lambda_bounds : float * float;
+      (** Certified (lower, upper); equal for the exact solver. *)
+  utilization : float;  (** U: flow-weighted mean link utilization in [0,1]. *)
+  mean_shortest_path : float;  (** ⟨D⟩: demand-weighted shortest-path hops. *)
+  stretch : float;  (** AS: routed hop-volume / shortest-possible hop-volume, ≥ ~1. *)
+  arc_flow : float array;  (** Feasible per-arc flow achieving the lower bound. *)
+}
+
+val compute : ?solver:solver -> Graph.t -> Commodity.t array -> t
+(** Defaults to [Fptas Mcmf_fptas.default_params]. *)
+
+val lambda : ?solver:solver -> Graph.t -> Commodity.t array -> float
+
+val class_utilization :
+  Graph.t -> arc_flow:float array -> cluster:int array -> ((int * int) * float) list
+(** Mean utilization of links grouped by the (unordered) cluster pair of
+    their endpoints — the §6.1 bottleneck-location analysis. *)

@@ -1,0 +1,60 @@
+open Dcn_graph
+
+let is_simple g ~src arcs =
+  let nodes = src :: List.map (fun a -> Graph.arc_dst g a) arcs in
+  List.length nodes = List.length (List.sort_uniq compare nodes)
+
+let paths st g ~src ~dst ~intermediates =
+  if src = dst then invalid_arg "Vlb.paths: src = dst";
+  if intermediates < 0 then invalid_arg "Vlb.paths: negative intermediates";
+  match Dcn_routing.Ksp.shortest_path g ~src ~dst with
+  | None -> []
+  | Some direct ->
+      let n = Graph.n g in
+      let candidates =
+        Dcn_util.Sampling.permutation st n
+        |> Array.to_list
+        |> List.filter (fun m -> m <> src && m <> dst)
+      in
+      let rec take acc count = function
+        | [] -> List.rev acc
+        | _ when count = 0 -> List.rev acc
+        | m :: rest -> (
+            match
+              ( Dcn_routing.Ksp.shortest_path g ~src ~dst:m,
+              Dcn_routing.Ksp.shortest_path g ~src:m ~dst )
+            with
+            | Some first_leg, Some second_leg ->
+                let path = first_leg @ second_leg in
+                if is_simple g ~src path then
+                  take (path :: acc) (count - 1) rest
+                else take acc count rest
+            | _ -> take acc count rest)
+      in
+      let bounced = take [] intermediates candidates in
+      (* Keep the direct path too; dedupe in case a bounce equals it. *)
+      List.sort_uniq compare (direct :: bounced)
+
+let restrict st g ~intermediates commodities =
+  let cache = Hashtbl.create 64 in
+  Array.map
+    (fun (c : Commodity.t) ->
+      let key = (c.Commodity.src, c.Commodity.dst) in
+      let ps =
+        match Hashtbl.find_opt cache key with
+        | Some p -> p
+        | None ->
+            let p =
+              paths st g ~src:c.Commodity.src ~dst:c.Commodity.dst
+                ~intermediates
+            in
+            Hashtbl.add cache key p;
+            p
+      in
+      {
+        Mcmf_paths.src = c.Commodity.src;
+        dst = c.Commodity.dst;
+        demand = c.Commodity.demand;
+        paths = ps;
+      })
+    commodities

@@ -1,0 +1,1 @@
+lib/graph/cuts.ml: Array Dcn_util Graph

@@ -1,0 +1,1 @@
+lib/graph/graph_metrics.ml: Array Bfs Graph Hashtbl List

@@ -1,0 +1,26 @@
+let distances_into g src dist =
+  Array.fill dist 0 (Array.length dist) max_int;
+  dist.(src) <- 0;
+  let queue = Queue.create () in
+  Queue.push src queue;
+  while not (Queue.is_empty queue) do
+    let u = Queue.pop queue in
+    let du = dist.(u) in
+    Graph.iter_out g u (fun a ->
+        if Graph.arc_cap g a > 0.0 then begin
+          let v = Graph.arc_dst g a in
+          if dist.(v) = max_int then begin
+            dist.(v) <- du + 1;
+            Queue.push v queue
+          end
+        end)
+  done
+
+let distances g src =
+  let dist = Array.make (Graph.n g) max_int in
+  distances_into g src dist;
+  dist
+
+let eccentricity g src =
+  let dist = distances g src in
+  Array.fold_left max 0 dist

@@ -1,0 +1,13 @@
+(** Unweighted shortest paths (hop counts) over positive-capacity arcs. *)
+
+val distances : Graph.t -> int -> int array
+(** [distances g src] is the hop distance from [src] to every node;
+    unreachable nodes get [max_int]. *)
+
+val distances_into : Graph.t -> int -> int array -> unit
+(** Like {!distances} but fills a caller-provided array of length [n],
+    avoiding allocation in all-pairs loops. *)
+
+val eccentricity : Graph.t -> int -> int
+(** Largest finite distance from the node; [max_int] if some node is
+    unreachable. *)

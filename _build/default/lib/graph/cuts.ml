@@ -1,0 +1,72 @@
+let cut_capacity g ~side =
+  let acc = ref 0.0 in
+  Graph.iter_arcs g (fun a ->
+      if side.(Graph.arc_src g a) <> side.(Graph.arc_dst g a) then
+        acc := !acc +. Graph.arc_cap g a);
+  !acc
+
+let cross_cluster_capacity g ~cluster =
+  let acc = ref 0.0 in
+  Graph.iter_arcs g (fun a ->
+      if cluster.(Graph.arc_src g a) <> cluster.(Graph.arc_dst g a) then
+        acc := !acc +. Graph.arc_cap g a);
+  !acc
+
+(* Reduction in cut capacity if node [u] crosses the partition: its cut
+   edges become internal (-) and its internal edges become cut (+), so the
+   reduction is (external - internal) capacity. Positive = cut shrinks. *)
+let move_gain g side u =
+  let gain = ref 0.0 in
+  Graph.iter_out g u (fun a ->
+      let c = Graph.arc_cap g a +. Graph.arc_cap g (Graph.arc_rev g a) in
+      if side.(Graph.arc_dst g a) = side.(u) then gain := !gain -. c
+      else gain := !gain +. c);
+  !gain
+
+let improve_by_swaps g side =
+  let n = Graph.n g in
+  let improved = ref true in
+  while !improved do
+    improved := false;
+    (* Best single swap (u on one side, v on the other) that lowers the cut. *)
+    let best = ref None in
+    for u = 0 to n - 1 do
+      for v = u + 1 to n - 1 do
+        if side.(u) <> side.(v) then begin
+          let direct =
+            Graph.fold_out g u
+              (fun acc a ->
+                if Graph.arc_dst g a = v then
+                  acc +. Graph.arc_cap g a +. Graph.arc_cap g (Graph.arc_rev g a)
+                else acc)
+              0.0
+          in
+          (* Swapping both keeps balance; u-v edges stay cut either way. *)
+          let gain = move_gain g side u +. move_gain g side v -. (2.0 *. direct) in
+          match !best with
+          | Some (g0, _, _) when g0 >= gain -> ()
+          | _ -> if gain > 1e-9 then best := Some (gain, u, v)
+        end
+      done
+    done;
+    match !best with
+    | Some (_, u, v) ->
+        side.(u) <- not side.(u);
+        side.(v) <- not side.(v);
+        improved := true
+    | None -> ()
+  done
+
+let bisection_bandwidth ?(attempts = 10) st g =
+  let n = Graph.n g in
+  if n < 2 then invalid_arg "bisection_bandwidth: need at least two nodes";
+  let best = ref infinity in
+  for _ = 1 to attempts do
+    let order = Dcn_util.Sampling.permutation st n in
+    let side = Array.make n false in
+    Array.iteri (fun rank u -> side.(u) <- rank < n / 2) order;
+    improve_by_swaps g side;
+    let cut = cut_capacity g ~side /. 2.0 in
+    if cut < !best then best := cut
+  done;
+  !best

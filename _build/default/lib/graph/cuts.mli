@@ -1,0 +1,21 @@
+(** Cut capacities and a bisection-bandwidth heuristic.
+
+    §6 of the paper argues that bisection bandwidth is a poor predictor of
+    throughput; the [ablation_bisection] bench uses these utilities to
+    reproduce that argument. Exact minimum bisection is NP-hard, so
+    {!bisection_bandwidth} is a randomized Kernighan–Lin-style heuristic —
+    adequate because the paper's point is qualitative. *)
+
+val cut_capacity : Graph.t -> side:bool array -> float
+(** Total capacity of arcs from [side=true] nodes to [side=false] nodes plus
+    the reverse direction — i.e. both directions, matching the paper's C̄. *)
+
+val cross_cluster_capacity : Graph.t -> cluster:int array -> float
+(** C̄ when nodes carry arbitrary cluster ids: capacity (both directions) of
+    arcs whose endpoints have different ids. *)
+
+val bisection_bandwidth :
+  ?attempts:int -> Random.State.t -> Graph.t -> float
+(** Heuristic minimum over balanced bipartitions of {!cut_capacity} divided
+    by 2 (one direction). [attempts] random starts (default 10), each
+    improved by greedy balanced swaps. *)

@@ -1,0 +1,54 @@
+type tree = { dist : float array; parent_arc : int array }
+
+let shortest_tree_into g ~lengths ~src tree =
+  let dist = tree.dist and parent_arc = tree.parent_arc in
+  Array.fill dist 0 (Array.length dist) infinity;
+  Array.fill parent_arc 0 (Array.length parent_arc) (-1);
+  dist.(src) <- 0.0;
+  let heap = Dcn_util.Heap.create (Graph.n g) in
+  Dcn_util.Heap.push heap 0.0 src;
+  let rec drain () =
+    match Dcn_util.Heap.pop_min heap with
+    | None -> ()
+    | Some (d, u) ->
+        (* Lazy deletion: skip stale entries. *)
+        if d <= dist.(u) then begin
+          let relax a =
+            if Graph.arc_cap g a > 0.0 then begin
+              let w = lengths.(a) in
+              if w < 0.0 then
+                invalid_arg "Dijkstra: negative arc length";
+              let v = Graph.arc_dst g a in
+              let nd = d +. w in
+              if nd < dist.(v) then begin
+                dist.(v) <- nd;
+                parent_arc.(v) <- a;
+                Dcn_util.Heap.push heap nd v
+              end
+            end
+          in
+          Graph.iter_out g u relax
+        end;
+        drain ()
+  in
+  drain ()
+
+let shortest_tree g ~lengths ~src =
+  let tree =
+    { dist = Array.make (Graph.n g) infinity;
+      parent_arc = Array.make (Graph.n g) (-1) }
+  in
+  shortest_tree_into g ~lengths ~src tree;
+  tree
+
+let path_arcs g tree v =
+  if tree.dist.(v) = infinity then raise Not_found;
+  let rec walk v acc =
+    match tree.parent_arc.(v) with
+    | -1 -> acc
+    | a -> walk (Graph.arc_src g a) (a :: acc)
+  in
+  walk v []
+
+let path_length ~lengths arcs =
+  List.fold_left (fun acc a -> acc +. lengths.(a)) 0.0 arcs

@@ -1,0 +1,24 @@
+(** Weighted single-source shortest paths with caller-supplied arc lengths.
+
+    The multicommodity-flow FPTAS re-runs Dijkstra under a multiplicatively
+    updated length function, so lengths live in an external array indexed by
+    arc id rather than in the graph. Zero-capacity arcs are skipped. *)
+
+type tree = {
+  dist : float array;  (** [dist.(v)] = length of shortest path, [infinity] if unreachable. *)
+  parent_arc : int array;  (** Arc entering [v] on the tree; [-1] at the source / unreachable. *)
+}
+
+val shortest_tree : Graph.t -> lengths:float array -> src:int -> tree
+(** Full shortest-path tree from [src]. Raises [Invalid_argument] if any
+    scanned arc has a negative length. *)
+
+val shortest_tree_into : Graph.t -> lengths:float array -> src:int -> tree -> unit
+(** Allocation-free variant reusing a previously returned tree's arrays. *)
+
+val path_arcs : Graph.t -> tree -> int -> int list
+(** Arcs of the tree path from the source to the node, source-side first.
+    Empty for the source itself; raises [Not_found] if unreachable. *)
+
+val path_length : lengths:float array -> int list -> float
+(** Sum of the current lengths of the given arcs. *)

@@ -1,0 +1,98 @@
+(** Capacitated directed multigraph in compressed-sparse-row form.
+
+    This is the substrate under every topology in the repository. Nodes are
+    switches, numbered [0 .. n-1]. Links are stored as directed {e arcs};
+    an undirected data-center link of capacity [c] is a pair of arcs, one in
+    each direction, each of capacity [c], cross-referenced through
+    {!arc_rev}. Parallel links are permitted (the random-regular-graph
+    pairing model and VL2's bipartite core both produce them), hence
+    "multigraph".
+
+    A graph is immutable once frozen from a {!builder}; all solvers index
+    per-arc state (lengths, flows) by arc id, which is dense in
+    [0 .. num_arcs-1]. *)
+
+type t
+
+(** {1 Construction} *)
+
+type builder
+
+val builder : int -> builder
+(** [builder n] starts an empty graph over [n] nodes. *)
+
+val add_edge : builder -> ?cap:float -> int -> int -> unit
+(** [add_edge b u v] adds an undirected link of capacity [cap] (default 1.0)
+    in each direction. Self-loops are rejected ([Invalid_argument]): a switch
+    never cables to itself. *)
+
+val add_arc : builder -> ?cap:float -> int -> int -> unit
+(** Directed variant, used by flow-solver tests; its reverse arc is created
+    with capacity 0 so residual-graph algorithms still work. *)
+
+val freeze : builder -> t
+(** Compile the builder to CSR form. The builder may be reused afterwards. *)
+
+val of_edges : int -> (int * int * float) list -> t
+(** [of_edges n edges] freezes a graph with the given undirected edges. *)
+
+(** {1 Accessors} *)
+
+val n : t -> int
+val num_arcs : t -> int
+
+val num_edges : t -> int
+(** Number of undirected links, i.e. arcs with strictly positive capacity
+    whose id is smaller than their reverse's (forward copies). *)
+
+val arc_src : t -> int -> int
+val arc_dst : t -> int -> int
+val arc_cap : t -> int -> float
+val arc_rev : t -> int -> int
+
+val out_degree : t -> int -> int
+(** Number of outgoing arcs (counting zero-capacity reverse stubs). *)
+
+val degree : t -> int -> int
+(** Number of outgoing arcs with positive capacity — the port count used for
+    switch-to-switch links in an undirected topology. *)
+
+val iter_out : t -> int -> (int -> unit) -> unit
+(** [iter_out g u f] applies [f] to each outgoing arc id of [u]. *)
+
+val fold_out : t -> int -> ('a -> int -> 'a) -> 'a -> 'a
+
+val iter_arcs : t -> (int -> unit) -> unit
+
+val total_capacity : t -> float
+(** Sum of all arc capacities (both directions counted, matching the
+    paper's definition of [C] in Theorem 1). *)
+
+val neighbors : t -> int -> int list
+(** Destination nodes of positive-capacity outgoing arcs (with
+    multiplicity). *)
+
+(** {1 Structure tests} *)
+
+val is_connected : t -> bool
+(** Weak connectivity over positive-capacity arcs. *)
+
+val is_regular : t -> int option
+(** [Some r] if every node has {!degree} [r]. *)
+
+val has_multi_edge : t -> bool
+(** True iff some node pair is joined by more than one positive-capacity
+    link in the same direction. *)
+
+val equal_structure : t -> t -> bool
+(** Same node count and same multiset of (src, dst, cap) arcs. *)
+
+(** {1 Export} *)
+
+val to_edge_list : t -> (int * int * float) list
+(** Undirected edges (forward copies only), sorted. *)
+
+val pp : Format.formatter -> t -> unit
+
+val to_dot : t -> string
+(** Graphviz rendering of the undirected link structure. *)

@@ -1,0 +1,66 @@
+let check g =
+  match Graph.is_regular g with
+  | None -> invalid_arg "Spectral: graph must be regular"
+  | Some d ->
+      if not (Graph.is_connected g) then
+        invalid_arg "Spectral: graph must be connected";
+      d
+
+(* y := A x, counting parallel links with multiplicity. *)
+let apply_adjacency g x y =
+  Array.fill y 0 (Array.length y) 0.0;
+  Graph.iter_arcs g (fun a ->
+      if Graph.arc_cap g a > 0.0 then begin
+        let u = Graph.arc_src g a and v = Graph.arc_dst g a in
+        y.(u) <- y.(u) +. x.(v)
+      end)
+
+let norm x = sqrt (Array.fold_left (fun acc v -> acc +. (v *. v)) 0.0 x)
+
+let second_eigenvalue ?(iterations = 1000) ?(tolerance = 1e-9) g =
+  ignore (check g);
+  let n = Graph.n g in
+  if n < 2 then invalid_arg "Spectral: need at least two nodes";
+  (* Deflate the all-ones top eigenvector by keeping iterates orthogonal
+     to it, then run power iteration. A deterministic non-uniform start
+     avoids needing an RNG. *)
+  let x = Array.init n (fun i -> sin (float_of_int (i + 1))) in
+  let y = Array.make n 0.0 in
+  let deflate v =
+    let mean = Array.fold_left ( +. ) 0.0 v /. float_of_int n in
+    Array.iteri (fun i vi -> v.(i) <- vi -. mean) v
+  in
+  let normalize v =
+    let s = norm v in
+    if s > 0.0 then Array.iteri (fun i vi -> v.(i) <- vi /. s) v
+  in
+  deflate x;
+  normalize x;
+  let estimate = ref 0.0 in
+  (try
+     for _ = 1 to iterations do
+       apply_adjacency g x y;
+       deflate y;
+       let next = norm y in
+       if Float.abs (next -. !estimate) < tolerance then begin
+         estimate := next;
+         raise Exit
+       end;
+       estimate := next;
+       normalize y;
+       Array.blit y 0 x 0 n
+     done
+   with Exit -> ());
+  !estimate
+
+let spectral_gap ?iterations g =
+  let d = check g in
+  float_of_int d -. second_eigenvalue ?iterations g
+
+let ramanujan_bound ~d =
+  if d < 2 then invalid_arg "Spectral.ramanujan_bound: d < 2";
+  2.0 *. sqrt (float_of_int (d - 1))
+
+let expansion_quality ?iterations g =
+  let d = check g in
+  ramanujan_bound ~d /. second_eigenvalue ?iterations g

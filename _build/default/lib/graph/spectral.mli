@@ -1,0 +1,31 @@
+(** Spectral expansion estimates.
+
+    §6.2's throughput lower bound leans on expander properties of random
+    regular graphs (Lemmas 1–4 cite the expander mixing lemma). This
+    module estimates the quantities those arguments use: the second
+    eigenvalue of the adjacency operator and the spectral gap. Together
+    with the [ablation_spectral] bench they let users check how far a
+    topology is from a good expander — a cheap predictor of its
+    throughput behaviour.
+
+    Eigenvalues are estimated by power iteration with deflation of the
+    known top eigenvector; for a d-regular graph the top eigenvalue is d
+    with eigenvector 1/√n·(1,…,1). *)
+
+val second_eigenvalue :
+  ?iterations:int -> ?tolerance:float -> Graph.t -> float
+(** |λ₂| of the adjacency matrix of a regular graph (parallel links count
+    with multiplicity). Raises [Invalid_argument] if the graph is not
+    regular or not connected. Default 1000 iterations, tolerance 1e-9. *)
+
+val spectral_gap : ?iterations:int -> Graph.t -> float
+(** d − |λ₂|. Larger = better expander. A Ramanujan graph achieves
+    d − 2√(d−1). *)
+
+val ramanujan_bound : d:int -> float
+(** 2√(d−1): the asymptotically optimal |λ₂| for d-regular graphs. *)
+
+val expansion_quality : ?iterations:int -> Graph.t -> float
+(** [ramanujan_bound / |λ₂|] ∈ (0, ~1]: 1 means spectrally optimal.
+    Random regular graphs score close to 1 (Friedman's theorem), rings
+    and other poor expanders score near 0 as n grows. *)

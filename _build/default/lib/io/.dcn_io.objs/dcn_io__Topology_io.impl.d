@@ -1,0 +1,1 @@
+lib/io/topology_io.ml: Array Buffer Dcn_graph Dcn_topology Fun In_channel List Printf String

@@ -1,0 +1,1 @@
+lib/io/traffic_io.ml: Buffer Dcn_traffic Fun In_channel List Printf String

@@ -1,0 +1,1 @@
+lib/io/traffic_io.mli: Dcn_traffic

@@ -1,0 +1,101 @@
+module Topology = Dcn_topology.Topology
+module Graph = Dcn_graph.Graph
+
+let to_string (topo : Topology.t) =
+  let buf = Buffer.create 1024 in
+  let addf fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  addf "name %s\n" topo.Topology.name;
+  addf "switches %d\n" (Topology.num_switches topo);
+  Array.iteri
+    (fun i s -> if s > 0 then addf "servers %d %d\n" i s)
+    topo.Topology.servers;
+  Array.iteri
+    (fun i c -> if c <> 0 then addf "cluster %d %d\n" i c)
+    topo.Topology.cluster;
+  List.iter
+    (fun (u, v, cap) -> addf "link %d %d %g\n" u v cap)
+    (Graph.to_edge_list topo.Topology.graph);
+  Buffer.contents buf
+
+type parse_state = {
+  mutable name : string;
+  mutable n : int;
+  mutable servers : int array;
+  mutable cluster : int array;
+  mutable links : (int * int * float) list;
+}
+
+let of_string text =
+  let state =
+    { name = "unnamed"; n = -1; servers = [||]; cluster = [||]; links = [] }
+  in
+  let fail lineno msg = failwith (Printf.sprintf "line %d: %s" lineno msg) in
+  let check_switch lineno i =
+    if state.n < 0 then fail lineno "switches must be declared first";
+    if i < 0 || i >= state.n then fail lineno "switch id out of range"
+  in
+  let parse_line lineno line =
+    let line =
+      match String.index_opt line '#' with
+      | Some i -> String.sub line 0 i
+      | None -> line
+    in
+    let tokens =
+      String.split_on_char ' ' (String.trim line)
+      |> List.filter (fun t -> t <> "")
+    in
+    let int_of lineno s =
+      try int_of_string s with Failure _ -> fail lineno ("bad integer " ^ s)
+    in
+    let float_of lineno s =
+      try float_of_string s with Failure _ -> fail lineno ("bad number " ^ s)
+    in
+    match tokens with
+    | [] -> ()
+    | [ "name"; n ] -> state.name <- n
+    | "name" :: rest -> state.name <- String.concat " " rest
+    | [ "switches"; n ] ->
+        if state.n >= 0 then fail lineno "switches declared twice";
+        let n = int_of lineno n in
+        if n < 1 then fail lineno "switch count must be positive";
+        state.n <- n;
+        state.servers <- Array.make n 0;
+        state.cluster <- Array.make n 0
+    | [ "servers"; i; s ] ->
+        let i = int_of lineno i in
+        check_switch lineno i;
+        let s = int_of lineno s in
+        if s < 0 then fail lineno "negative server count";
+        state.servers.(i) <- s
+    | [ "cluster"; i; c ] ->
+        let i = int_of lineno i in
+        check_switch lineno i;
+        state.cluster.(i) <- int_of lineno c
+    | [ "link"; u; v; cap ] ->
+        let u = int_of lineno u and v = int_of lineno v in
+        check_switch lineno u;
+        check_switch lineno v;
+        let cap = float_of lineno cap in
+        if cap <= 0.0 then fail lineno "link capacity must be positive";
+        if u = v then fail lineno "self-loop link";
+        state.links <- (u, v, cap) :: state.links
+    | keyword :: _ -> fail lineno ("unknown directive " ^ keyword)
+  in
+  String.split_on_char '\n' text
+  |> List.iteri (fun i line -> parse_line (i + 1) line);
+  if state.n < 0 then failwith "line 0: no switches directive";
+  let graph = Graph.of_edges state.n (List.rev state.links) in
+  Topology.make ~name:state.name ~graph ~servers:state.servers
+    ~cluster:state.cluster ()
+
+let save path topo =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string topo))
+
+let load path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> of_string (In_channel.input_all ic))

@@ -1,0 +1,32 @@
+(** Plain-text serialization of topologies.
+
+    The original TopoBench consumes and produces topology files; this
+    format plays that role so generated networks can be stored, diffed,
+    and re-measured. It is line-oriented:
+
+    {v
+    # anything after '#' is a comment
+    name rrg(n=4,k=6,r=3)
+    switches 4
+    servers 0 3          # switch 0 carries 3 servers
+    servers 1 3
+    cluster 2 1          # switch 2 belongs to cluster 1 (default 0)
+    link 0 1 1.0         # undirected link with capacity 1.0
+    link 0 2 10
+    v}
+
+    Switches default to 0 servers and cluster 0; [switches] must appear
+    before any line that references a switch id. Duplicate [link] lines
+    create parallel links, matching the multigraph semantics of
+    {!Dcn_graph.Graph}. *)
+
+val to_string : Dcn_topology.Topology.t -> string
+
+val of_string : string -> Dcn_topology.Topology.t
+(** Raises [Failure] with a line-numbered message on malformed input. *)
+
+val save : string -> Dcn_topology.Topology.t -> unit
+(** [save path topo]: write the textual form to a file. *)
+
+val load : string -> Dcn_topology.Topology.t
+(** Raises [Sys_error] if unreadable, [Failure] if malformed. *)

@@ -1,0 +1,19 @@
+(** Plain-text serialization of (aggregated) traffic matrices.
+
+    Line-oriented, mirroring {!Topology_io}:
+
+    {v
+    # comments allowed
+    name permutation
+    flows_per_server 1
+    demand 0 3 2.0       # 2 units from switch 0 to switch 3
+    v} *)
+
+val to_string : Dcn_traffic.Traffic.t -> string
+
+val of_string : string -> Dcn_traffic.Traffic.t
+(** Raises [Failure] with a line-numbered message on malformed input. *)
+
+val save : string -> Dcn_traffic.Traffic.t -> unit
+
+val load : string -> Dcn_traffic.Traffic.t

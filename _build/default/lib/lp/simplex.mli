@@ -1,0 +1,43 @@
+(** Dense two-phase primal simplex.
+
+    This replaces the paper's CPLEX dependency for exact solves. It is a
+    textbook tableau implementation — adequate for the small
+    multicommodity-flow LPs used to cross-validate the FPTAS (tens to a few
+    hundred variables), not for the full-scale experiments, which go through
+    {!Dcn_flow.Mcmf_fptas} instead.
+
+    Problems are stated over non-negative variables:
+    maximize [c·x] subject to rows [aᵢ·x (≤ | = | ≥) bᵢ], [x ≥ 0].
+
+    Degeneracy is handled by switching from Dantzig pricing to Bland's rule
+    once the iteration count passes a threshold, which guarantees
+    termination. *)
+
+type relation = Le | Eq | Ge
+
+type problem = {
+  objective : float array;  (** Coefficients of the maximization objective. *)
+  rows : (float array * relation * float) list;
+      (** Each row's coefficients (length = #variables), relation, rhs. *)
+}
+
+type solution = {
+  objective_value : float;
+  variables : float array;
+}
+
+type outcome =
+  | Optimal of solution
+  | Infeasible
+  | Unbounded
+
+val solve : ?max_iterations:int -> problem -> outcome
+(** [max_iterations] defaults to a generous bound proportional to the
+    problem size; exceeding it raises [Failure], which indicates a bug
+    rather than a legitimate answer. Raises [Invalid_argument] on malformed
+    input (row length mismatch, NaN coefficients). *)
+
+val check_feasible : ?tol:float -> problem -> float array -> bool
+(** [check_feasible p x] verifies every row of [p] within [tol]
+    (default 1e-6) — used by tests to validate returned solutions
+    independently of the solver. *)

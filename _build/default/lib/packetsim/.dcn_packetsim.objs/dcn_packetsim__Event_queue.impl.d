@@ -1,0 +1,1 @@
+lib/packetsim/event_queue.ml: Array Float

@@ -1,0 +1,1 @@
+lib/packetsim/packet_sim.ml: Array Dcn_graph Dcn_util Event_queue Float Graph List

@@ -1,0 +1,1 @@
+lib/packetsim/packet_sim.mli: Dcn_graph Graph

@@ -1,0 +1,19 @@
+(** Polymorphic time-ordered event queue for the discrete-event simulator.
+
+    A binary min-heap on float timestamps. Events with equal timestamps pop
+    in insertion order (a monotone sequence number breaks ties), which keeps
+    simulations deterministic. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val add : 'a t -> float -> 'a -> unit
+(** Schedule an event. Raises [Invalid_argument] on NaN time. *)
+
+val pop : 'a t -> (float * 'a) option
+(** Earliest event, or [None] when the queue is empty. *)
+
+val is_empty : 'a t -> bool
+
+val size : 'a t -> int

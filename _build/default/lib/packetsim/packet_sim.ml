@@ -1,0 +1,279 @@
+open Dcn_graph
+
+type transport =
+  | Reno
+  | Dctcp of { mark_threshold : int; gain : float }
+
+type config = {
+  subflows : int;
+  queue_capacity : int;
+  link_rate : float;
+  prop_delay : float;
+  source_rate : float;
+  initial_cwnd : float;
+  initial_ssthresh : float;
+  duration : float;
+  warmup : float;
+  loss_feedback_delay : float;
+  transport : transport;
+}
+
+let default_config =
+  {
+    subflows = 8;
+    queue_capacity = 20;
+    link_rate = 1.0;
+    prop_delay = 0.1;
+    source_rate = 1.0;
+    initial_cwnd = 2.0;
+    initial_ssthresh = 16.0;
+    duration = 4000.0;
+    warmup = 1000.0;
+    loss_feedback_delay = 0.5;
+    transport = Reno;
+  }
+
+let dctcp_config =
+  { default_config with transport = Dctcp { mark_threshold = 7; gain = 0.0625 } }
+
+type flow_spec = { src : int; dst : int; paths : int list list }
+
+type flow_stats = { delivered : int; dropped : int; goodput : float }
+
+type result = {
+  flows : flow_stats array;
+  min_goodput : float;
+  mean_goodput : float;
+  total_delivered : int;
+  total_dropped : int;
+}
+
+type subflow = {
+  path : int array;  (* arc ids *)
+  rtt_estimate : float;
+  mutable cwnd : float;
+  mutable ssthresh : float;
+  mutable in_flight : int;
+  mutable last_cut : float;  (* time of last multiplicative decrease *)
+  mutable alpha : float;  (* DCTCP: EWMA of the marked fraction *)
+}
+
+type flow_state = {
+  spec : flow_spec;
+  subs : subflow array;
+  mutable next_allowed_send : float;
+  mutable pace_event_pending : bool;
+  mutable delivered : int;
+  mutable dropped : int;
+}
+
+(* The [bool] on packet-carrying events is the ECN congestion-experienced
+   mark, set when any traversed queue exceeds the DCTCP threshold. *)
+type event =
+  | Enqueue of int * int * int * bool  (* flow, subflow, hop, marked *)
+  | Dequeue of int * int * int * bool  (* flow, subflow, hop, marked *)
+  | Ack of int * int * bool
+  | Loss of int * int
+  | Pace of int  (* source pacing window opened *)
+
+let validate g specs =
+  if Array.length specs = 0 then invalid_arg "Packet_sim: no flows";
+  Array.iter
+    (fun s ->
+      if s.paths = [] then invalid_arg "Packet_sim: flow without paths";
+      List.iter
+        (fun p ->
+          if p = [] then invalid_arg "Packet_sim: empty path";
+          let rec check at = function
+            | [] -> if at <> s.dst then invalid_arg "Packet_sim: path misses dst"
+            | a :: rest ->
+                if Graph.arc_src g a <> at then
+                  invalid_arg "Packet_sim: discontinuous path";
+                check (Graph.arc_dst g a) rest
+          in
+          check s.src p)
+        s.paths)
+    specs
+
+let run ?(config = default_config) g specs =
+  validate g specs;
+  let c = config in
+  if c.subflows < 1 then invalid_arg "Packet_sim: subflows < 1";
+  let m = Graph.num_arcs g in
+  (* Per-link FIFO state: queued packet count and time the server frees. *)
+  let queue_len = Array.make m 0 in
+  let busy_until = Array.make m 0.0 in
+  let service_time a = 1.0 /. (Graph.arc_cap g a *. c.link_rate) in
+  let make_subflow path_list =
+    let path = Array.of_list path_list in
+    let hops = float_of_int (Array.length path) in
+    {
+      path;
+      rtt_estimate = (2.0 *. hops *. c.prop_delay) +. (hops *. 0.5);
+      cwnd = c.initial_cwnd;
+      ssthresh = c.initial_ssthresh;
+      in_flight = 0;
+      last_cut = 0.0;
+      alpha = 0.0;
+    }
+  in
+  let flows =
+    Array.map
+      (fun spec ->
+        let chosen =
+          List.filteri (fun i _ -> i < c.subflows) spec.paths
+        in
+        {
+          spec;
+          subs = Array.of_list (List.map make_subflow chosen);
+          next_allowed_send = 0.0;
+          pace_event_pending = false;
+          delivered = 0;
+          dropped = 0;
+        })
+      specs
+  in
+  let events : event Event_queue.t = Event_queue.create () in
+  let send_interval = 1.0 /. c.source_rate in
+  (* Launch one packet on a subflow: it immediately enters hop 0's queue. *)
+  let send now fi si =
+    let f = flows.(fi) in
+    let sub = f.subs.(si) in
+    sub.in_flight <- sub.in_flight + 1;
+    f.next_allowed_send <- Float.max now f.next_allowed_send +. send_interval;
+    Event_queue.add events now (Enqueue (fi, si, 0, false))
+  in
+  (* Open the window: send as many packets as cwnd and pacing allow,
+     spreading across subflows round-robin from [start]. *)
+  let try_send now fi start =
+    let f = flows.(fi) in
+    let nsubs = Array.length f.subs in
+    let rec fill i scanned =
+      if scanned < 2 * nsubs then begin
+        if now +. 1e-12 < f.next_allowed_send then begin
+          if not f.pace_event_pending then begin
+            f.pace_event_pending <- true;
+            Event_queue.add events f.next_allowed_send (Pace fi)
+          end
+        end
+        else begin
+          let si = (start + i) mod nsubs in
+          let sub = f.subs.(si) in
+          let window = int_of_float (Float.max 1.0 sub.cwnd) in
+          if sub.in_flight < window then begin
+            send now fi si;
+            fill (i + 1) 0
+          end
+          else fill (i + 1) (scanned + 1)
+        end
+      end
+    in
+    fill 0 0
+  in
+  let on_ack now fi si marked =
+    let f = flows.(fi) in
+    let sub = f.subs.(si) in
+    sub.in_flight <- max 0 (sub.in_flight - 1);
+    (match c.transport with
+    | Reno ->
+        if sub.cwnd < sub.ssthresh then sub.cwnd <- sub.cwnd +. 1.0
+        else sub.cwnd <- sub.cwnd +. (1.0 /. sub.cwnd)
+    | Dctcp { gain; _ } ->
+        sub.alpha <-
+          ((1.0 -. gain) *. sub.alpha) +. (gain *. if marked then 1.0 else 0.0);
+        if marked then begin
+          (* At most one proportional decrease per RTT, as in DCTCP. *)
+          if now -. sub.last_cut > sub.rtt_estimate then begin
+            sub.cwnd <- Float.max 1.0 (sub.cwnd *. (1.0 -. (sub.alpha /. 2.0)));
+            sub.last_cut <- now
+          end
+        end
+        else if sub.cwnd < sub.ssthresh then sub.cwnd <- sub.cwnd +. 1.0
+        else sub.cwnd <- sub.cwnd +. (1.0 /. sub.cwnd));
+    try_send now fi si
+  in
+  let on_loss now fi si =
+    let f = flows.(fi) in
+    let sub = f.subs.(si) in
+    sub.in_flight <- max 0 (sub.in_flight - 1);
+    (* At most one multiplicative decrease per RTT, like Reno's
+       once-per-window halving. *)
+    if now -. sub.last_cut > sub.rtt_estimate then begin
+      sub.ssthresh <- Float.max 1.0 (sub.cwnd /. 2.0);
+      sub.cwnd <- sub.ssthresh;
+      sub.last_cut <- now
+    end;
+    try_send now fi si
+  in
+  let handle now = function
+    | Enqueue (fi, si, hop, marked) ->
+        let f = flows.(fi) in
+        let a = f.subs.(si).path.(hop) in
+        if queue_len.(a) >= c.queue_capacity then begin
+          f.dropped <- f.dropped + 1;
+          Event_queue.add events (now +. c.loss_feedback_delay) (Loss (fi, si))
+        end
+        else begin
+          let marked =
+            marked
+            ||
+            match c.transport with
+            | Reno -> false
+            | Dctcp { mark_threshold; _ } -> queue_len.(a) >= mark_threshold
+          in
+          queue_len.(a) <- queue_len.(a) + 1;
+          let depart = Float.max now busy_until.(a) +. service_time a in
+          busy_until.(a) <- depart;
+          Event_queue.add events depart (Dequeue (fi, si, hop, marked))
+        end
+    | Dequeue (fi, si, hop, marked) ->
+        let f = flows.(fi) in
+        let path = f.subs.(si).path in
+        let a = path.(hop) in
+        queue_len.(a) <- queue_len.(a) - 1;
+        if hop + 1 = Array.length path then begin
+          if now >= c.warmup then f.delivered <- f.delivered + 1;
+          (* The ACK travels back along an uncongested reverse path. *)
+          let back = float_of_int (Array.length path) *. c.prop_delay in
+          Event_queue.add events (now +. back) (Ack (fi, si, marked))
+        end
+        else
+          Event_queue.add events (now +. c.prop_delay)
+            (Enqueue (fi, si, hop + 1, marked))
+    | Ack (fi, si, marked) -> on_ack now fi si marked
+    | Loss (fi, si) -> on_loss now fi si
+    | Pace fi ->
+        flows.(fi).pace_event_pending <- false;
+        try_send now fi 0
+  in
+  Array.iteri (fun fi _ -> try_send 0.0 fi 0) flows;
+  let rec loop () =
+    match Event_queue.pop events with
+    | None -> ()
+    | Some (t, _) when t > c.duration -> ()
+    | Some (t, ev) ->
+        handle t ev;
+        loop ()
+  in
+  loop ();
+  let window = c.duration -. c.warmup in
+  let stats =
+    Array.map
+      (fun f ->
+        {
+          delivered = f.delivered;
+          dropped = f.dropped;
+          goodput = float_of_int f.delivered /. (window *. c.link_rate);
+        })
+      flows
+  in
+  let goodputs = Array.map (fun s -> s.goodput) stats in
+  {
+    flows = stats;
+    min_goodput = Array.fold_left Float.min infinity goodputs;
+    mean_goodput = Dcn_util.Stats.mean goodputs;
+    total_delivered =
+      Array.fold_left (fun a (s : flow_stats) -> a + s.delivered) 0 stats;
+    total_dropped =
+      Array.fold_left (fun a (s : flow_stats) -> a + s.dropped) 0 stats;
+  }

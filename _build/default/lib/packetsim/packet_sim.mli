@@ -1,0 +1,74 @@
+(** Discrete-event packet-level simulation with a multipath AIMD transport.
+
+    Validates the fluid-flow throughput model (paper §8.2, Fig. 13): each
+    flow opens up to [subflows] AIMD-controlled subflows, one per supplied
+    path — mirroring "MPTCP with the shortest paths, using as many as 8
+    subflows". Links are FIFO drop-tail queues served at
+    [capacity × link_rate] packets per time unit.
+
+    Transport model per subflow (a compact Reno): slow start below
+    [ssthresh] (cwnd += 1 per ACK), congestion avoidance above
+    (cwnd += 1/cwnd), multiplicative decrease on loss with at most one
+    halving per round-trip estimate. Losses reach the source after
+    [loss_feedback_delay] (an explicit-notification stand-in for
+    dupACK/timeout detection — the dynamics, not the detection mechanism,
+    are what Fig. 13 exercises). Sources pace packets at [source_rate],
+    modeling the server NIC.
+
+    All state advances only through the event queue, so runs are exactly
+    reproducible. *)
+
+open Dcn_graph
+
+type transport =
+  | Reno  (** Loss-driven AIMD: halve on loss, as described above. *)
+  | Dctcp of { mark_threshold : int; gain : float }
+      (** ECN-driven (Alizadeh et al., SIGCOMM 2010, cited in §9): links
+          mark packets when their queue exceeds [mark_threshold]; sources
+          track the marked fraction α with EWMA weight [gain] and reduce
+          cwnd by α/2 once per RTT. Queues stay near the threshold instead
+          of oscillating between full and half-empty. *)
+
+type config = {
+  subflows : int;
+  queue_capacity : int;  (** Packets per link queue. *)
+  link_rate : float;  (** Packets per time unit per unit of capacity. *)
+  prop_delay : float;  (** Per-hop propagation delay. *)
+  source_rate : float;  (** NIC pacing (packets per time unit); [infinity] disables. *)
+  initial_cwnd : float;
+  initial_ssthresh : float;
+  duration : float;  (** Simulated time. *)
+  warmup : float;  (** Deliveries before this time are not counted. *)
+  loss_feedback_delay : float;
+  transport : transport;
+}
+
+val default_config : config
+(** Reno transport. *)
+
+val dctcp_config : config
+(** DCTCP with mark threshold at ~1/3 of the queue and gain 1/16. *)
+
+type flow_spec = {
+  src : int;
+  dst : int;
+  paths : int list list;  (** Arc-id paths from [src] to [dst], best first. *)
+}
+
+type flow_stats = {
+  delivered : int;  (** Packets delivered inside the measurement window. *)
+  dropped : int;  (** Packets lost at full queues (whole run). *)
+  goodput : float;  (** Delivered capacity units (packets/time ÷ link_rate). *)
+}
+
+type result = {
+  flows : flow_stats array;
+  min_goodput : float;
+  mean_goodput : float;
+  total_delivered : int;
+  total_dropped : int;
+}
+
+val run : ?config:config -> Graph.t -> flow_spec array -> result
+(** Raises [Invalid_argument] on an empty flow list, a flow without paths,
+    or a path that does not lead from its source to its destination. *)

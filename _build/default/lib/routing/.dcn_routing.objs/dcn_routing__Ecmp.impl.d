@@ -1,0 +1,1 @@
+lib/routing/ecmp.ml: Array Bfs Dcn_graph Graph List

@@ -1,0 +1,1 @@
+lib/routing/ecmp.mli: Dcn_graph Graph

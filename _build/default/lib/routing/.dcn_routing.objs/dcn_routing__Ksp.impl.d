@@ -1,0 +1,1 @@
+lib/routing/ksp.ml: Array Dcn_graph Graph List Queue

@@ -1,0 +1,1 @@
+lib/routing/ksp.mli: Dcn_graph Graph

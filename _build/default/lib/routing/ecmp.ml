@@ -1,0 +1,56 @@
+open Dcn_graph
+
+let saturating_add a b =
+  let cap = max_int / 2 in
+  if a >= cap - b then cap else a + b
+
+let count_shortest_paths g ~src ~dst =
+  let dist = Bfs.distances g src in
+  if dist.(dst) = max_int then 0
+  else begin
+    let n = Graph.n g in
+    (* Count paths by scanning nodes in increasing BFS distance. *)
+    let order = Array.init n (fun v -> v) in
+    Array.sort (fun a b -> compare dist.(a) dist.(b)) order;
+    let count = Array.make n 0 in
+    count.(src) <- 1;
+    Array.iter
+      (fun u ->
+        if dist.(u) < max_int && count.(u) > 0 then
+          Graph.iter_out g u (fun a ->
+              if Graph.arc_cap g a > 0.0 then begin
+                let v = Graph.arc_dst g a in
+                if dist.(v) = dist.(u) + 1 then
+                  count.(v) <- saturating_add count.(v) count.(u)
+              end))
+      order;
+    count.(dst)
+  end
+
+let shortest_paths g ~src ~dst ~limit =
+  if limit < 1 then invalid_arg "Ecmp.shortest_paths: limit < 1";
+  if src = dst then invalid_arg "Ecmp.shortest_paths: src = dst";
+  let dist = Bfs.distances g src in
+  if dist.(dst) = max_int then []
+  else begin
+    (* DFS backwards over the shortest-path DAG, collecting up to [limit]
+       paths. Arcs (u -> v) with dist v = dist u + 1 form the DAG. *)
+    let results = ref [] in
+    let num = ref 0 in
+    let rec grow u suffix =
+      if !num < limit then begin
+        if u = dst then begin
+          results := List.rev suffix :: !results;
+          incr num
+        end
+        else
+          Graph.iter_out g u (fun a ->
+              if !num < limit && Graph.arc_cap g a > 0.0 then begin
+                let v = Graph.arc_dst g a in
+                if dist.(v) = dist.(u) + 1 then grow v (a :: suffix)
+              end)
+      end
+    in
+    grow src [];
+    List.rev !results
+  end

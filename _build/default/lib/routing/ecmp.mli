@@ -1,0 +1,16 @@
+(** Equal-cost multi-path enumeration.
+
+    All shortest paths between two switches (up to a cap), extracted from
+    the BFS shortest-path DAG — the path diversity measure used in the
+    extension benches and as an alternative subflow source for the packet
+    simulator. *)
+
+open Dcn_graph
+
+val count_shortest_paths : Graph.t -> src:int -> dst:int -> int
+(** Number of distinct shortest paths (saturating at [max_int/2]). 0 if
+    disconnected. *)
+
+val shortest_paths : Graph.t -> src:int -> dst:int -> limit:int -> int list list
+(** Up to [limit] distinct shortest paths as arc lists, in a deterministic
+    order. Raises [Invalid_argument] for [limit < 1] or [src = dst]. *)

@@ -1,0 +1,109 @@
+open Dcn_graph
+
+(* Dijkstra over unit arc lengths with node/arc masks — the subroutine
+   Yen's algorithm needs for its spur-path computations. *)
+let masked_shortest g ~src ~dst ~banned_nodes ~banned_arcs =
+  let n = Graph.n g in
+  let dist = Array.make n max_int in
+  let parent = Array.make n (-1) in
+  let queue = Queue.create () in
+  if not banned_nodes.(src) then begin
+    dist.(src) <- 0;
+    Queue.push src queue
+  end;
+  while not (Queue.is_empty queue) do
+    let u = Queue.pop queue in
+    Graph.iter_out g u (fun a ->
+        if Graph.arc_cap g a > 0.0 && not banned_arcs.(a) then begin
+          let v = Graph.arc_dst g a in
+          if (not banned_nodes.(v)) && dist.(v) = max_int then begin
+            dist.(v) <- dist.(u) + 1;
+            parent.(v) <- a;
+            Queue.push v queue
+          end
+        end)
+  done;
+  if dist.(dst) = max_int then None
+  else begin
+    let rec walk v acc =
+      match parent.(v) with
+      | -1 -> acc
+      | a -> walk (Graph.arc_src g a) (a :: acc)
+    in
+    Some (walk dst [])
+  end
+
+let shortest_path g ~src ~dst =
+  let banned_nodes = Array.make (Graph.n g) false in
+  let banned_arcs = Array.make (Graph.num_arcs g) false in
+  masked_shortest g ~src ~dst ~banned_nodes ~banned_arcs
+
+let path_nodes g ~src arcs =
+  src :: List.map (fun a -> Graph.arc_dst g a) arcs
+
+let k_shortest g ~src ~dst ~k =
+  if k < 1 then invalid_arg "Ksp.k_shortest: k < 1";
+  if src = dst then invalid_arg "Ksp.k_shortest: src = dst";
+  match shortest_path g ~src ~dst with
+  | None -> []
+  | Some first ->
+      let n = Graph.n g and m = Graph.num_arcs g in
+      let accepted = ref [ first ] in
+      (* Candidate set keyed by (length, path) so duplicates are merged. *)
+      let candidates = ref [] in
+      let add_candidate p =
+        let len = List.length p in
+        if not (List.exists (fun (_, q) -> q = p) !candidates) then
+          candidates := (len, p) :: !candidates
+      in
+      let banned_nodes = Array.make n false in
+      let banned_arcs = Array.make m false in
+      let reset_masks () =
+        Array.fill banned_nodes 0 n false;
+        Array.fill banned_arcs 0 m false
+      in
+      let rec extend () =
+        if List.length !accepted < k then begin
+          let prev = List.hd !accepted in
+          let prev_nodes = Array.of_list (path_nodes g ~src prev) in
+          let prev_arcs = Array.of_list prev in
+          (* Spur from every prefix of the latest accepted path. *)
+          for i = 0 to Array.length prev_arcs - 1 do
+            reset_masks ();
+            let spur_node = prev_nodes.(i) in
+            let root = Array.to_list (Array.sub prev_arcs 0 i) in
+            (* Ban arcs that would retrace any accepted path sharing this
+               root (and their reverses, to keep paths simple overall). *)
+            List.iter
+              (fun p ->
+                let p_arr = Array.of_list p in
+                if Array.length p_arr > i
+                   && Array.to_list (Array.sub p_arr 0 i) = root
+                then begin
+                  banned_arcs.(p_arr.(i)) <- true;
+                  banned_arcs.(Graph.arc_rev g p_arr.(i)) <- true
+                end)
+              !accepted;
+            (* Ban the root's interior nodes so spur paths are simple. *)
+            for j = 0 to i - 1 do
+              banned_nodes.(prev_nodes.(j)) <- true
+            done;
+            match
+              masked_shortest g ~src:spur_node ~dst ~banned_nodes ~banned_arcs
+            with
+            | None -> ()
+            | Some spur -> add_candidate (root @ spur)
+          done;
+          (* Promote the best unused candidate. *)
+          let unused =
+            List.filter (fun (_, p) -> not (List.mem p !accepted)) !candidates
+          in
+          match List.sort compare unused with
+          | [] -> ()
+          | (_, best) :: _ ->
+              accepted := best :: !accepted;
+              extend ()
+        end
+      in
+      extend ();
+      List.rev !accepted

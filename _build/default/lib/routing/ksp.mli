@@ -1,0 +1,19 @@
+(** k-shortest simple paths (Yen's algorithm) over hop counts.
+
+    The packet-level validation (§8.2) routes MPTCP subflows over "as many
+    as 8 shortest paths", exactly what this module provides. Paths are
+    returned as arc-id lists, shortest first, ties broken deterministically
+    by the underlying Dijkstra visit order. *)
+
+open Dcn_graph
+
+val shortest_path : Graph.t -> src:int -> dst:int -> int list option
+(** One shortest path (arc ids), or [None] if disconnected. *)
+
+val k_shortest : Graph.t -> src:int -> dst:int -> k:int -> int list list
+(** Up to [k] distinct loop-free paths in nondecreasing hop length. Fewer
+    are returned if the graph has fewer. Raises [Invalid_argument] for
+    [k < 1] or [src = dst]. *)
+
+val path_nodes : Graph.t -> src:int -> int list -> int list
+(** Expand an arc path to its node sequence, starting from [src]. *)

@@ -1,0 +1,1 @@
+lib/topology/bcube.ml: Array Dcn_graph Graph Printf Topology

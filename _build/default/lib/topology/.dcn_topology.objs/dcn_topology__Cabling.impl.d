@@ -1,0 +1,1 @@
+lib/topology/cabling.ml: Array Dcn_graph Dcn_util Float Graph Hashtbl List

@@ -1,0 +1,1 @@
+lib/topology/cabling.mli: Dcn_graph Graph Random

@@ -1,0 +1,1 @@
+lib/topology/dcell.ml: Array Dcn_graph Graph Printf Topology

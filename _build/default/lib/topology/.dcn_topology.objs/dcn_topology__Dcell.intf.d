@@ -1,0 +1,1 @@
+lib/topology/dcell.mli: Topology

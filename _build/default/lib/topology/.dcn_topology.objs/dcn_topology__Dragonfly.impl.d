@@ -1,0 +1,1 @@
+lib/topology/dragonfly.ml: Array Dcn_graph Graph Printf Topology

@@ -1,0 +1,1 @@
+lib/topology/hetero.ml: Array Dcn_graph Dcn_util Float Graph List Printf Random String Topology Wiring

@@ -1,0 +1,1 @@
+lib/topology/hetero.mli: Random Topology

@@ -1,0 +1,1 @@
+lib/topology/hypercube.ml: Array Dcn_graph Graph Printf Topology

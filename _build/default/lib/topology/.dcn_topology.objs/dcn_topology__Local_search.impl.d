@@ -1,0 +1,1 @@
+lib/topology/local_search.ml: Array Cuts Dcn_graph Dcn_util Graph Graph_metrics Hashtbl List

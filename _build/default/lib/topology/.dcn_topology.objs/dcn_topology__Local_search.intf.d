@@ -1,0 +1,1 @@
+lib/topology/local_search.mli: Dcn_graph Graph Random

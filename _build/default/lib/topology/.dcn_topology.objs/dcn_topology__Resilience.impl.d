@@ -1,0 +1,1 @@
+lib/topology/resilience.ml: Array Dcn_graph Dcn_util Graph Topology

@@ -1,0 +1,1 @@
+lib/topology/resilience.mli: Dcn_graph Graph Random Topology

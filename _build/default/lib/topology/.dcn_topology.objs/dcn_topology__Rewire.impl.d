@@ -1,0 +1,1 @@
+lib/topology/rewire.ml: Array Dcn_graph Dcn_util Graph List Printf Random Topology Vl2 Wiring

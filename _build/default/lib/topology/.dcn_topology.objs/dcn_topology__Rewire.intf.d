@@ -1,0 +1,1 @@
+lib/topology/rewire.mli: Random Topology

@@ -1,0 +1,1 @@
+lib/topology/rrg.ml: Array Dcn_graph Dcn_util Graph Hashtbl List Printf Topology Wiring

@@ -1,0 +1,1 @@
+lib/topology/rrg.mli: Dcn_graph Graph Random Topology

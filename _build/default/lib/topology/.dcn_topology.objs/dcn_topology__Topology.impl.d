@@ -1,0 +1,1 @@
+lib/topology/topology.ml: Array Cuts Dcn_graph Format Graph Printf

@@ -1,0 +1,1 @@
+lib/topology/torus.ml: Array Dcn_graph Graph List Printf String Topology

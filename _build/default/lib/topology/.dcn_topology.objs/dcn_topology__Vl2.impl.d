@@ -1,0 +1,1 @@
+lib/topology/vl2.ml: Array Dcn_graph Graph Printf Topology

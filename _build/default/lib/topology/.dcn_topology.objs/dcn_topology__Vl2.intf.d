@@ -1,0 +1,1 @@
+lib/topology/vl2.mli: Topology

@@ -1,0 +1,1 @@
+lib/topology/wiring.ml: Array Dcn_util Hashtbl List Random

@@ -1,0 +1,1 @@
+lib/topology/wiring.mli: Random

@@ -1,0 +1,41 @@
+open Dcn_graph
+
+let pow n k =
+  let rec go acc k = if k = 0 then acc else go (acc * n) (k - 1) in
+  go 1 k
+
+let num_servers ~n ~k = pow n (k + 1)
+
+let num_switches ~n ~k = (k + 1) * pow n k
+
+let create ~n ~k =
+  if n < 2 then invalid_arg "Bcube: n < 2";
+  if k < 0 then invalid_arg "Bcube: k < 0";
+  let servers = num_servers ~n ~k in
+  let switches = num_switches ~n ~k in
+  if servers + switches > 1_000_000 then invalid_arg "Bcube: too large";
+  (* Node ids: servers first (by base-n address), then switches grouped by
+     level. Level-i switch index: i*n^k + (address with digit i removed). *)
+  let nk = pow n k in
+  let server_id addr = addr in
+  let switch_id level rest = servers + (level * nk) + rest in
+  let b = Graph.builder (servers + switches) in
+  for addr = 0 to servers - 1 do
+    for level = 0 to k do
+      (* Remove digit [level] from the address. *)
+      let low = addr mod pow n level in
+      let high = addr / pow n (level + 1) in
+      let rest = (high * pow n level) + low in
+      Graph.add_edge b (server_id addr) (switch_id level rest)
+    done
+  done;
+  let graph = Graph.freeze b in
+  let server_counts =
+    Array.init (servers + switches) (fun v -> if v < servers then 1 else 0)
+  in
+  let cluster =
+    Array.init (servers + switches) (fun v -> if v < servers then 1 else 0)
+  in
+  Topology.make
+    ~name:(Printf.sprintf "bcube(n=%d,k=%d)" n k)
+    ~graph ~servers:server_counts ~cluster ()

@@ -1,0 +1,19 @@
+(** BCube (Guo et al., SIGCOMM 2009) — the server-centric design cited in
+    §2 as reference [18].
+
+    BCube(n, k) hosts n^(k+1) servers, each with k+1 NICs; level-i
+    switches (n ports each, (k+1)·n^k switches total) connect servers that
+    differ only in the i-th digit of their base-n address. Servers forward
+    traffic, so they appear as graph nodes here (cluster 1), each carrying
+    one attached "server" in the traffic-matrix sense; switches are
+    cluster 0. *)
+
+val num_servers : n:int -> k:int -> int
+(** n^(k+1). *)
+
+val num_switches : n:int -> k:int -> int
+(** (k+1)·n^k. *)
+
+val create : n:int -> k:int -> Topology.t
+(** Raises [Invalid_argument] for [n < 2] or [k < 0], or if the topology
+    would exceed a million nodes. *)

@@ -1,0 +1,118 @@
+open Dcn_graph
+
+type placement = (float * float) array
+
+let grid ~n ~spacing =
+  if n < 1 then invalid_arg "Cabling.grid: n < 1";
+  if spacing <= 0.0 then invalid_arg "Cabling.grid: non-positive spacing";
+  let side = int_of_float (ceil (sqrt (float_of_int n))) in
+  Array.init n (fun i ->
+      (float_of_int (i mod side) *. spacing, float_of_int (i / side) *. spacing))
+
+let clustered_grid ~cluster ~spacing ~cluster_gap =
+  let n = Array.length cluster in
+  if n < 1 then invalid_arg "Cabling.clustered_grid: empty";
+  (* Lay each cluster out on its own grid block, blocks side by side. *)
+  let ids = Array.to_list cluster |> List.sort_uniq compare in
+  let positions = Array.make n (0.0, 0.0) in
+  let x_offset = ref 0.0 in
+  List.iter
+    (fun id ->
+      let members =
+        Array.to_list (Array.mapi (fun i c -> (i, c)) cluster)
+        |> List.filter (fun (_, c) -> c = id)
+        |> List.map fst
+      in
+      let count = List.length members in
+      let side = int_of_float (ceil (sqrt (float_of_int count))) in
+      List.iteri
+        (fun rank node ->
+          positions.(node) <-
+            ( !x_offset +. (float_of_int (rank mod side) *. spacing),
+              float_of_int (rank / side) *. spacing ))
+        members;
+      x_offset := !x_offset +. (float_of_int side *. spacing) +. cluster_gap)
+    ids;
+  positions
+
+let manhattan (x1, y1) (x2, y2) = Float.abs (x1 -. x2) +. Float.abs (y1 -. y2)
+
+let cable_length g placement =
+  if Array.length placement <> Graph.n g then
+    invalid_arg "Cabling.cable_length: placement size mismatch";
+  List.fold_left
+    (fun acc (u, v, _) -> acc +. manhattan placement.(u) placement.(v))
+    0.0 (Graph.to_edge_list g)
+
+let shorten_cables ?(evaluations = 4000) ?preserve_cut st g placement =
+  if Array.length placement <> Graph.n g then
+    invalid_arg "Cabling.shorten_cables: placement size mismatch";
+  (match preserve_cut with
+  | Some c when Array.length c <> Graph.n g ->
+      invalid_arg "Cabling.shorten_cables: cluster size mismatch"
+  | _ -> ());
+  let crossings pairs =
+    match preserve_cut with
+    | None -> 0
+    | Some cluster ->
+        List.fold_left
+          (fun acc (u, v) -> if cluster.(u) <> cluster.(v) then acc + 1 else acc)
+          0 pairs
+  in
+  let edges = Hashtbl.create (Graph.num_arcs g) in
+  List.iter
+    (fun (u, v, cap) ->
+      if cap <> 1.0 then invalid_arg "Cabling: unit capacities required";
+      Hashtbl.replace edges (min u v, max u v) ())
+    (Graph.to_edge_list g);
+  let adjacent u v = Hashtbl.mem edges (min u v, max u v) in
+  let dist u v = manhattan placement.(u) placement.(v) in
+  let rebuild () =
+    let b = Graph.builder (Graph.n g) in
+    Hashtbl.iter (fun (u, v) () -> Graph.add_edge b u v) edges;
+    Graph.freeze b
+  in
+  let edge_array () =
+    Hashtbl.fold (fun e () acc -> e :: acc) edges [] |> Array.of_list
+  in
+  let arr = ref (edge_array ()) in
+  let evaluated = ref 0 and draws = ref 0 in
+  while !evaluated < evaluations && !draws < 50 * evaluations do
+    incr draws;
+    let (a, b) = Dcn_util.Sampling.pick st !arr in
+    let (c, d) = Dcn_util.Sampling.pick st !arr in
+    let distinct = a <> c && a <> d && b <> c && b <> d in
+    if distinct then begin
+      (* Try both reconnections, pick the better length reduction. *)
+      let old_len = dist a b +. dist c d in
+      let old_cross = crossings [ (a, b); (c, d) ] in
+      let candidates =
+        [ ((a, c), (b, d)); ((a, d), (b, c)) ]
+        |> List.filter (fun ((p, q), (r, s)) ->
+               (not (adjacent p q))
+               && (not (adjacent r s))
+               && crossings [ (p, q); (r, s) ] = old_cross)
+        |> List.map (fun (((p, q), (r, s)) as cand) ->
+               (dist p q +. dist r s, cand))
+        |> List.sort compare
+      in
+      match candidates with
+      | (new_len, ((p, q), (r, s))) :: _ when new_len < old_len -. 1e-12 ->
+          incr evaluated;
+          Hashtbl.remove edges (min a b, max a b);
+          Hashtbl.remove edges (min c d, max c d);
+          Hashtbl.replace edges (min p q, max p q) ();
+          Hashtbl.replace edges (min r s, max r s) ();
+          if Graph.is_connected (rebuild ()) then arr := edge_array ()
+          else begin
+            (* Revert a disconnecting swap. *)
+            Hashtbl.remove edges (min p q, max p q);
+            Hashtbl.remove edges (min r s, max r s);
+            Hashtbl.replace edges (min a b, max a b) ();
+            Hashtbl.replace edges (min c d, max c d) ()
+          end
+      | _ -> incr evaluated
+    end
+  done;
+  let final = rebuild () in
+  (final, cable_length final placement)

@@ -1,0 +1,49 @@
+(** Physical placement and cable length (paper §1/§5 discussion).
+
+    A consequence of the §5 result — throughput is flat across a wide
+    range of cross-cluster connectivity — is that switches can be placed
+    for cable locality at no throughput cost. This module quantifies that:
+    place switches on a machine-room grid, measure total cable length, and
+    apply throughput-neutral (degree-preserving) swaps that shorten
+    cables.
+
+    Distances are Manhattan (cable trays run along aisles). *)
+
+open Dcn_graph
+
+type placement = (float * float) array
+(** Coordinates of each switch. *)
+
+val grid : n:int -> spacing:float -> placement
+(** Row-major positions on the smallest square grid with [n] cells. *)
+
+val clustered_grid :
+  cluster:int array -> spacing:float -> cluster_gap:float -> placement
+(** Like {!grid} but nodes of the same cluster are laid out contiguously,
+    with [cluster_gap] extra distance between cluster blocks — the
+    "switches of a class share a room" layout. *)
+
+val cable_length : Graph.t -> placement -> float
+(** Total Manhattan length of all links (each counted once). *)
+
+val shorten_cables :
+  ?evaluations:int ->
+  ?preserve_cut:int array ->
+  Random.State.t ->
+  Graph.t ->
+  placement ->
+  Graph.t * float
+(** Degree-preserving 2-swaps accepted whenever they reduce total cable
+    length while keeping the graph connected and simple. Returns the
+    rewired graph and its cable length. Unit capacities are required.
+
+    Degree preservation alone does NOT protect throughput: unconstrained
+    shortening eliminates exactly the long cross-cluster cables whose
+    scarcity §6 shows to be the bottleneck. Pass [preserve_cut] (the
+    cluster labelling) to additionally reject any swap that changes the
+    number of links crossing between clusters; C̄ then stays fixed, which
+    removes the dominant failure mode. A residual cost remains — swaps
+    that localize links inside a cluster degrade intra-cluster expansion,
+    which the C̄-based plateau argument does not cover — so cable savings
+    still trade against some throughput; the [ablation_cabling] bench
+    quantifies both regimes. *)

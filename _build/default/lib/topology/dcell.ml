@@ -1,0 +1,49 @@
+open Dcn_graph
+
+let rec num_servers ~n ~l =
+  if l = 0 then n
+  else begin
+    let t = num_servers ~n ~l:(l - 1) in
+    t * (t + 1)
+  end
+
+let create ~n ~l =
+  if n < 2 then invalid_arg "Dcell: n < 2";
+  if l < 0 then invalid_arg "Dcell: l < 0";
+  let servers = num_servers ~n ~l in
+  let switches = servers / n in
+  if servers + switches > 1_000_000 then invalid_arg "Dcell: too large";
+  (* Server uids are global in [0, servers); each block of n consecutive
+     uids forms a DCell_0 sharing mini-switch uid/n. *)
+  let b = Graph.builder (servers + switches) in
+  for s = 0 to servers - 1 do
+    Graph.add_edge b s (servers + (s / n))
+  done;
+  (* Level-by-level interconnection: at level l', sub-modules of size
+     t_(l'-1) within each DCell_l' (size t_l') are completely joined by
+     the (i, j-1) <-> (j, i) rule. *)
+  for level = 1 to l do
+    let sub = num_servers ~n ~l:(level - 1) in
+    let whole = sub * (sub + 1) in
+    let num_groups = servers / whole in
+    for grp = 0 to num_groups - 1 do
+      let base = grp * whole in
+      for i = 0 to sub - 1 do
+        for j = i + 1 to sub do
+          let u = base + (i * sub) + (j - 1) in
+          let v = base + (j * sub) + i in
+          Graph.add_edge b u v
+        done
+      done
+    done
+  done;
+  let graph = Graph.freeze b in
+  let server_counts =
+    Array.init (servers + switches) (fun v -> if v < servers then 1 else 0)
+  in
+  let cluster =
+    Array.init (servers + switches) (fun v -> if v < servers then 1 else 0)
+  in
+  Topology.make
+    ~name:(Printf.sprintf "dcell(n=%d,l=%d)" n l)
+    ~graph ~servers:server_counts ~cluster ()

@@ -1,0 +1,18 @@
+(** DCell (Guo et al., SIGCOMM 2008) — the recursive server-centric design
+    cited in §2 as reference [19].
+
+    DCell(n, 0) is n servers on one n-port mini-switch. DCell(n, l) joins
+    g_l = t_(l-1) + 1 copies of DCell(n, l-1) by a complete graph at the
+    sub-module level: sub-module i's server number j−1 links to sub-module
+    j's server number i for every i < j. Each server ends with l+1 links
+    (one to its switch, one per level); servers are graph nodes carrying
+    one traffic-matrix server each (cluster 1), mini-switches are
+    cluster 0. *)
+
+val num_servers : n:int -> l:int -> int
+(** t_l: n for l = 0, then t_l = t_(l-1)·(t_(l-1)+1). Grows doubly
+    exponentially — DCell(4,2) already has 420 servers. *)
+
+val create : n:int -> l:int -> Topology.t
+(** Raises [Invalid_argument] for [n < 2], [l < 0], or more than a million
+    nodes. *)

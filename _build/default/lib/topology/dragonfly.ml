@@ -1,0 +1,39 @@
+open Dcn_graph
+
+let num_groups ~a ~h = (a * h) + 1
+
+let create ?p ~a ~h () =
+  if a < 1 || h < 1 then invalid_arg "Dragonfly: a and h must be >= 1";
+  let p = match p with None -> h | Some p -> p in
+  if p < 0 then invalid_arg "Dragonfly: negative servers per router";
+  let g = num_groups ~a ~h in
+  let n = g * a in
+  let router grp idx = (grp * a) + idx in
+  let b = Graph.builder n in
+  (* Complete graph within each group. *)
+  for grp = 0 to g - 1 do
+    for i = 0 to a - 1 do
+      for j = i + 1 to a - 1 do
+        Graph.add_edge b (router grp i) (router grp j)
+      done
+    done
+  done;
+  (* Palm-tree global links: group [grp]'s global port [k] reaches group
+     [(grp + k + 1) mod g]; port k belongs to router [k / h]. Each
+     inter-group link appears twice in this enumeration (once per side),
+     so only the side with the smaller group id adds it. *)
+  for grp = 0 to g - 1 do
+    for k = 0 to (a * h) - 1 do
+      let peer = (grp + k + 1) mod g in
+      if grp < peer then begin
+        let peer_port = g - 2 - k in
+        Graph.add_edge b (router grp (k / h)) (router peer (peer_port / h))
+      end
+    done
+  done;
+  let graph = Graph.freeze b in
+  let servers = Array.make n p in
+  let cluster = Array.init n (fun v -> v / a) in
+  Topology.make
+    ~name:(Printf.sprintf "dragonfly(a=%d,h=%d,p=%d)" a h p)
+    ~graph ~servers ~cluster ()

@@ -1,0 +1,17 @@
+(** Dragonfly (Kim et al., ISCA 2008) — the hierarchical low-diameter HPC
+    interconnect, included as a further structured baseline for the
+    equal-equipment comparisons of §4.
+
+    A canonical dragonfly has [g = a·h + 1] groups of [a] routers; routers
+    within a group form a complete graph, each router drives [h] global
+    links, and the "palm-tree" arrangement gives every pair of groups
+    exactly one global link. Each router hosts [p] servers (canonically
+    p = h). *)
+
+val num_groups : a:int -> h:int -> int
+(** a·h + 1. *)
+
+val create : ?p:int -> a:int -> h:int -> unit -> Topology.t
+(** [p] defaults to [h]. Cluster label = group index. Raises
+    [Invalid_argument] for [a < 1], [h < 1], or [a = 1 && h < 2] (a lone
+    router per group needs its global links to reach every other group). *)

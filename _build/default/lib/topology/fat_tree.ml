@@ -1,0 +1,39 @@
+open Dcn_graph
+
+let num_servers ~k = k * k * k / 4
+
+let create ?(k = 4) () =
+  if k < 2 || k mod 2 = 1 then invalid_arg "Fat_tree: k must be even and >= 2";
+  let half = k / 2 in
+  let num_edge = k * half in
+  let num_agg = k * half in
+  let num_core = half * half in
+  let edge_id pod i = (pod * half) + i in
+  let agg_id pod i = num_edge + (pod * half) + i in
+  let core_id i = num_edge + num_agg + i in
+  let n = num_edge + num_agg + num_core in
+  let b = Graph.builder n in
+  for pod = 0 to k - 1 do
+    for e = 0 to half - 1 do
+      for a = 0 to half - 1 do
+        Graph.add_edge b (edge_id pod e) (agg_id pod a)
+      done
+    done;
+    (* Aggregation switch a of each pod connects to cores
+       [a*half .. a*half + half - 1]. *)
+    for a = 0 to half - 1 do
+      for c = 0 to half - 1 do
+        Graph.add_edge b (agg_id pod a) (core_id ((a * half) + c))
+      done
+    done
+  done;
+  let servers =
+    Array.init n (fun v -> if v < num_edge then half else 0)
+  in
+  let cluster =
+    Array.init n (fun v ->
+        if v < num_edge then 0 else if v < num_edge + num_agg then 1 else 2)
+  in
+  Topology.make
+    ~name:(Printf.sprintf "fat-tree(k=%d)" k)
+    ~graph:(Graph.freeze b) ~servers ~cluster ()

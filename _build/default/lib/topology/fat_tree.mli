@@ -1,0 +1,15 @@
+(** Three-tier folded-Clos "fat-tree" of k-port switches (Al-Fares et al.,
+    SIGCOMM 2008) — the baseline the Jellyfish comparison in §2/§4 refers
+    to.
+
+    [k] pods each hold k/2 edge and k/2 aggregation switches; (k/2)² core
+    switches each connect to one aggregation switch per pod; each edge
+    switch hosts k/2 servers. Totals: 5k²/4 switches, k³/4 servers.
+
+    Cluster labels: edge = 0, aggregation = 1, core = 2. *)
+
+val create : ?k:int -> unit -> Topology.t
+(** [k] defaults to 4 and must be even and ≥ 2. *)
+
+val num_servers : k:int -> int
+(** k³/4. *)

@@ -1,0 +1,245 @@
+open Dcn_graph
+
+type cls = { count : int; ports : int; servers_each : int }
+
+let net_ports c =
+  let p = c.ports - c.servers_each in
+  if c.servers_each < 0 then invalid_arg "Hetero: negative server count";
+  if p < 1 then
+    invalid_arg "Hetero: class keeps no network ports after servers";
+  p
+
+let stub_array ~first_node c =
+  let per = net_ports c in
+  let stubs = Array.make (c.count * per) 0 in
+  for i = 0 to c.count - 1 do
+    for j = 0 to per - 1 do
+      stubs.((i * per) + j) <- first_node + i
+    done
+  done;
+  stubs
+
+let expected_cross_links ~large ~small =
+  let l = float_of_int (large.count * net_ports large) in
+  let s = float_of_int (small.count * net_ports small) in
+  l *. s /. (l +. s -. 1.0)
+
+let max_connectivity_retries = 50
+
+(* Split the stub pool: [cross] stubs from each side are matched across,
+   the remainder within each side. Parity of the remainders is maintained
+   by nudging [cross] by one when needed. *)
+let build_two_class ?(cross_fraction = 1.0) st ~large ~small =
+  if cross_fraction < 0.0 then invalid_arg "Hetero: negative cross_fraction";
+  let nl = large.count and ns = small.count in
+  let l_stubs = stub_array ~first_node:0 large in
+  let s_stubs = stub_array ~first_node:nl small in
+  let l = Array.length l_stubs and s = Array.length s_stubs in
+  if (l + s) mod 2 = 1 then
+    invalid_arg "Hetero: total network ports must be even";
+  let expected = expected_cross_links ~large ~small in
+  let cross =
+    let c = int_of_float (Float.round (cross_fraction *. expected)) in
+    let c = min c (min l s) in
+    let c = max c 1 in
+    (* Both leftovers need to be even; l and s have equal parity because
+       l + s is even, so a single adjustment fixes both. *)
+    if (l - c) mod 2 = 1 then
+      if c > 1 then c - 1 else c + 1
+    else c
+  in
+  if cross > min l s then invalid_arg "Hetero: cross links exceed stub budget";
+  let build () =
+    let shuffled side = Dcn_util.Sampling.shuffle st side in
+    let l_pool = Array.copy l_stubs and s_pool = Array.copy s_stubs in
+    shuffled l_pool;
+    shuffled s_pool;
+    let l_cross = Array.sub l_pool 0 cross in
+    let s_cross = Array.sub s_pool 0 cross in
+    let l_rest = Array.sub l_pool cross (l - cross) in
+    let s_rest = Array.sub s_pool cross (s - cross) in
+    let cross_edges = Wiring.random_bipartite_matching st l_cross s_cross in
+    let l_edges = Wiring.random_matching ~existing:cross_edges st l_rest in
+    let s_edges =
+      Wiring.random_matching ~existing:(cross_edges @ l_edges) st s_rest
+    in
+    let b = Graph.builder (nl + ns) in
+    List.iter (fun (u, v) -> Graph.add_edge b u v) cross_edges;
+    List.iter (fun (u, v) -> Graph.add_edge b u v) l_edges;
+    List.iter (fun (u, v) -> Graph.add_edge b u v) s_edges;
+    Graph.freeze b
+  in
+  let rec attempt k =
+    if k >= max_connectivity_retries then
+      failwith "Hetero: failed to produce a connected graph";
+    let g = build () in
+    if Graph.is_connected g then g else attempt (k + 1)
+  in
+  let graph = attempt 0 in
+  let servers =
+    Array.init (nl + ns) (fun i ->
+        if i < nl then large.servers_each else small.servers_each)
+  in
+  let cluster = Array.init (nl + ns) (fun i -> if i < nl then 0 else 1) in
+  (graph, servers, cluster)
+
+let two_class ?cross_fraction st ~large ~small =
+  let graph, servers, cluster = build_two_class ?cross_fraction st ~large ~small in
+  Topology.make
+    ~name:
+      (Printf.sprintf "hetero(%dx%dp/%ds, %dx%dp/%ds)" large.count large.ports
+         large.servers_each small.count small.ports small.servers_each)
+    ~graph ~servers ~cluster ()
+
+let with_highspeed ?cross_fraction st ~large ~small ~h_links ~h_speed =
+  if h_links < 0 then invalid_arg "Hetero: negative h_links";
+  if h_speed <= 0.0 then invalid_arg "Hetero: h_speed must be positive";
+  if large.count * h_links mod 2 = 1 then
+    invalid_arg "Hetero: nl * h_links must be even";
+  let graph, servers, cluster = build_two_class ?cross_fraction st ~large ~small in
+  let b = Graph.builder (Graph.n graph) in
+  List.iter
+    (fun (u, v, c) -> Graph.add_edge b ~cap:c u v)
+    (Graph.to_edge_list graph);
+  if h_links > 0 then begin
+    let stubs = Array.make (large.count * h_links) 0 in
+    for i = 0 to large.count - 1 do
+      for j = 0 to h_links - 1 do
+        stubs.((i * h_links) + j) <- i
+      done
+    done;
+    let h_edges = Wiring.random_matching st stubs in
+    List.iter (fun (u, v) -> Graph.add_edge b ~cap:h_speed u v) h_edges
+  end;
+  Topology.make
+    ~name:
+      (Printf.sprintf "hetero-hs(%dx%dp+%dx%g, %dx%dp)" large.count large.ports
+         h_links h_speed small.count small.ports)
+    ~graph:(Graph.freeze b) ~servers ~cluster ()
+
+let place_servers_power ~total ~ports ~beta =
+  let n = Array.length ports in
+  if n = 0 then invalid_arg "place_servers_power: no switches";
+  let weights = Array.map (fun k -> float_of_int k ** beta) ports in
+  let raw = Dcn_util.Sampling.split_proportionally ~total ~weights in
+  (* Clamp so each switch keeps >= 1 network port; push overflow to the
+     switches with the most headroom. *)
+  let placed = Array.mapi (fun i s -> min s (ports.(i) - 1)) raw in
+  let overflow = total - Array.fold_left ( + ) 0 placed in
+  let rec spread todo =
+    if todo > 0 then begin
+      let best = ref (-1) and room = ref 0 in
+      for i = 0 to n - 1 do
+        let r = ports.(i) - 1 - placed.(i) in
+        if r > !room then begin
+          room := r;
+          best := i
+        end
+      done;
+      if !best < 0 then invalid_arg "place_servers_power: not enough ports";
+      placed.(!best) <- placed.(!best) + 1;
+      spread (todo - 1)
+    end
+  in
+  spread overflow;
+  placed
+
+let power_law_ports st ~n ~avg ?(gamma = 2.5) ?(k_min = 4) ?(k_max = 48) () =
+  if n < 1 then invalid_arg "power_law_ports: n < 1";
+  if avg < float_of_int k_min || avg > float_of_int k_max then
+    invalid_arg "power_law_ports: avg outside [k_min, k_max]";
+  (* Inverse-CDF sampling of a Pareto with shape (gamma - 1), truncated to
+     [x_min, k_max]; x_min is tuned by bisection so the sample mean lands
+     near [avg]. *)
+  let sample x_min =
+    Array.init n (fun _ ->
+        let u = Random.State.float st 1.0 in
+        let x = x_min *. ((1.0 -. u) ** (-1.0 /. (gamma -. 1.0))) in
+        let k = int_of_float (Float.round x) in
+        max k_min (min k_max k))
+  in
+  let mean a =
+    float_of_int (Array.fold_left ( + ) 0 a) /. float_of_int (Array.length a)
+  in
+  let rec tune lo hi tries =
+    let mid = (lo +. hi) /. 2.0 in
+    let ports = sample mid in
+    let m = mean ports in
+    if Float.abs (m -. avg) <= 0.5 || tries > 40 then ports
+    else if m > avg then tune lo mid (tries + 1)
+    else tune mid hi (tries + 1)
+  in
+  tune 1.0 (float_of_int k_max) 0
+
+let random_topology_with_ports st ~ports ~servers ~name =
+  let n = Array.length ports in
+  if Array.length servers <> n then
+    invalid_arg "random_topology_with_ports: length mismatch";
+  let stubs = ref [] in
+  for i = 0 to n - 1 do
+    let free = ports.(i) - servers.(i) in
+    if free < 1 then
+      invalid_arg "random_topology_with_ports: switch keeps no network port";
+    for _ = 1 to free do
+      stubs := i :: !stubs
+    done
+  done;
+  let stubs = Array.of_list !stubs in
+  let stubs =
+    if Array.length stubs mod 2 = 1 then begin
+      let drop = Random.State.int st (Array.length stubs) in
+      Array.init
+        (Array.length stubs - 1)
+        (fun i -> if i < drop then stubs.(i) else stubs.(i + 1))
+    end
+    else stubs
+  in
+  let rec attempt k =
+    if k >= max_connectivity_retries then
+      failwith "random_topology_with_ports: failed to connect";
+    let edges = Wiring.random_matching st stubs in
+    let b = Graph.builder n in
+    List.iter (fun (u, v) -> Graph.add_edge b u v) edges;
+    let g = Graph.freeze b in
+    if Graph.is_connected g then g else attempt (k + 1)
+  in
+  Topology.make ~name ~graph:(attempt 0) ~servers ()
+
+let multi_class ?(beta = 1.0) ?total_servers st classes =
+  if classes = [] then invalid_arg "Hetero.multi_class: no classes";
+  List.iter
+    (fun c ->
+      if c.count < 1 then invalid_arg "Hetero.multi_class: empty class";
+      if c.ports < 2 then invalid_arg "Hetero.multi_class: too few ports")
+    classes;
+  let ports =
+    Array.concat
+      (List.map (fun c -> Array.make c.count c.ports) classes)
+  in
+  let cluster =
+    Array.concat
+      (List.mapi (fun i c -> Array.make c.count i) classes)
+  in
+  let servers =
+    match total_servers with
+    | Some total -> place_servers_power ~total ~ports ~beta
+    | None ->
+        Array.concat
+          (List.map (fun c -> Array.make c.count c.servers_each) classes)
+  in
+  Array.iteri
+    (fun i s ->
+      if s > ports.(i) - 1 then
+        invalid_arg "Hetero.multi_class: servers exhaust a switch's ports")
+    servers;
+  let topo =
+    random_topology_with_ports st ~ports ~servers
+      ~name:
+        (Printf.sprintf "multi-class(%s)"
+           (String.concat "+"
+              (List.map
+                 (fun c -> Printf.sprintf "%dx%dp" c.count c.ports)
+                 classes)))
+  in
+  Topology.make ~name:topo.Topology.name ~graph:topo.Topology.graph ~servers
+    ~cluster ()

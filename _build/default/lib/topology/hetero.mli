@@ -1,0 +1,88 @@
+(** Heterogeneous topologies built from random graphs (paper §5).
+
+    Two switch classes — [nl] "large" switches with [kl] ports and [ns]
+    "small" switches with [ks] ports — carry a prescribed number of servers
+    each; the ports left over are wired randomly, optionally biasing the
+    number of links that cross between the two classes.
+
+    Node numbering: large switches first ([0 .. nl-1]), then small; the
+    produced {!Topology.t} labels them cluster 0 and 1 respectively.
+
+    The cross-cluster knob follows the paper's x-axes: [cross_fraction] is
+    the ratio of realized cross-class links to the expectation under
+    unbiased random wiring, which for L large-side and S small-side stubs
+    is [L·S/(L+S−1)]. *)
+
+type cls = {
+  count : int;  (** Number of switches of this class. *)
+  ports : int;  (** Ports per switch. *)
+  servers_each : int;  (** Servers attached to each switch of the class. *)
+}
+
+val expected_cross_links : large:cls -> small:cls -> float
+(** Expectation of the number of cross-class links under unbiased random
+    stub matching. *)
+
+val two_class :
+  ?cross_fraction:float ->
+  Random.State.t ->
+  large:cls ->
+  small:cls ->
+  Topology.t
+(** Build the §5.1/§5.2 network. [cross_fraction] defaults to 1.0
+    (unbiased). Raises [Invalid_argument] if server counts exceed ports, if
+    a class would keep no network ports, or if the requested cross links
+    exceed either side's stub budget. The construction retries until
+    connected; it raises [Failure] if it cannot achieve connectivity
+    (e.g. [cross_fraction] so small that zero cross links are requested). *)
+
+val with_highspeed :
+  ?cross_fraction:float ->
+  Random.State.t ->
+  large:cls ->
+  small:cls ->
+  h_links:int ->
+  h_speed:float ->
+  Topology.t
+(** §5.2: additionally give every large switch [h_links] high-line-speed
+    ports of capacity [h_speed] (low-speed links have capacity 1), wired by
+    a random matching among the large switches only — the paper's "high
+    line-speed ports connect only to other high line-speed ports".
+    [nl·h_links] must be even. *)
+
+val place_servers_power :
+  total:int -> ports:int array -> beta:float -> int array
+(** Fig. 5's placement rule: servers at switch [i] proportional to
+    [ports.(i) ** beta], rounded largest-remainder so the total is exact,
+    then clamped so every switch keeps at least one network port (overflow
+    is redistributed to the switches with the most remaining room). *)
+
+val power_law_ports :
+  Random.State.t -> n:int -> avg:float -> ?gamma:float -> ?k_min:int ->
+  ?k_max:int -> unit -> int array
+(** Draw [n] port counts from a discrete truncated power law with exponent
+    [gamma] (default 2.5), then rescale/adjust so the mean is within half a
+    port of [avg]. Bounds default to [k_min = 4] and [k_max = 48]. *)
+
+val random_topology_with_ports :
+  Random.State.t -> ports:int array -> servers:int array -> name:string ->
+  Topology.t
+(** Wire the free ports ([ports.(i) - servers.(i)]) of an arbitrary switch
+    pool into an unbiased random graph (used by Fig. 5). Drops one stub at
+    random if the total is odd. *)
+
+val multi_class :
+  ?beta:float -> ?total_servers:int -> Random.State.t -> cls list -> Topology.t
+(** Generalization of {!two_class} to any number of switch classes — the
+    extension §9 lists as future work (c). Classes are laid out in order
+    (cluster label = class index). Two placement modes:
+
+    - default: each class keeps its [servers_each] value;
+    - with [total_servers] (and optionally [beta], default 1.0): the
+      classes' [servers_each] are ignored and [total_servers] are placed
+      per switch in proportion to [ports^beta] (§5.1's rule, extended).
+
+    The interconnect is an unbiased random graph over all remaining ports
+    (the §5 result that vanilla randomness is among the optima). Raises
+    [Invalid_argument] on empty input or infeasible placements; retries
+    wiring until connected. *)

@@ -1,0 +1,22 @@
+open Dcn_graph
+
+let graph ~dim =
+  if dim < 1 then invalid_arg "Hypercube: dim must be >= 1";
+  let n = 1 lsl dim in
+  let b = Graph.builder n in
+  for u = 0 to n - 1 do
+    for bit = 0 to dim - 1 do
+      let v = u lxor (1 lsl bit) in
+      if u < v then Graph.add_edge b u v
+    done
+  done;
+  Graph.freeze b
+
+let topology ~dim ~servers_per_switch =
+  if servers_per_switch < 0 then invalid_arg "Hypercube: negative servers";
+  let g = graph ~dim in
+  Topology.make
+    ~name:(Printf.sprintf "hypercube(d=%d)" dim)
+    ~graph:g
+    ~servers:(Array.make (Graph.n g) servers_per_switch)
+    ()

@@ -1,0 +1,10 @@
+(** Binary hypercube over 2^d switches (degree d).
+
+    §4 cites the random graph's ~30% throughput advantage over hypercubes at
+    512 nodes; the [ablation_topologies] bench reproduces that comparison
+    with equal equipment. *)
+
+val graph : dim:int -> Dcn_graph.Graph.t
+(** Raises [Invalid_argument] if [dim < 1] . *)
+
+val topology : dim:int -> servers_per_switch:int -> Topology.t

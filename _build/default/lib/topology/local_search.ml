@@ -1,0 +1,97 @@
+open Dcn_graph
+
+type objective =
+  | Minimize_aspl
+  | Maximize_bisection
+
+type report = {
+  graph : Graph.t;
+  initial_score : float;
+  final_score : float;
+  accepted_swaps : int;
+  evaluated_swaps : int;
+}
+
+(* Mutable edge-set view of a unit-capacity graph. *)
+type state = {
+  n : int;
+  edges : ((int * int), unit) Hashtbl.t;
+}
+
+let state_of_graph g =
+  let edges = Hashtbl.create (Graph.num_arcs g) in
+  List.iter
+    (fun (u, v, cap) ->
+      if cap <> 1.0 then
+        invalid_arg "Local_search: unit capacities required";
+      Hashtbl.replace edges (min u v, max u v) ())
+    (Graph.to_edge_list g);
+  { n = Graph.n g; edges }
+
+let graph_of_state s =
+  let b = Graph.builder s.n in
+  Hashtbl.iter (fun (u, v) () -> Graph.add_edge b u v) s.edges;
+  Graph.freeze b
+
+let score objective st g =
+  match objective with
+  | Minimize_aspl -> -.Graph_metrics.aspl g
+  | Maximize_bisection -> Cuts.bisection_bandwidth ~attempts:3 st g
+
+let optimize ?(objective = Minimize_aspl) ?(evaluations = 2000) st g =
+  if not (Graph.is_connected g) then
+    invalid_arg "Local_search: input must be connected";
+  let s = state_of_graph g in
+  let adjacent u v = Hashtbl.mem s.edges (min u v, max u v) in
+  let current = ref (score objective st g) in
+  let initial_score = !current in
+  let accepted = ref 0 in
+  let evaluated = ref 0 in
+  let edge_array () =
+    Hashtbl.fold (fun e () acc -> e :: acc) s.edges [] |> Array.of_list
+  in
+  let arr = ref (edge_array ()) in
+  let attempt () =
+    let (a, b) = Dcn_util.Sampling.pick st !arr in
+    let (c, d) = Dcn_util.Sampling.pick st !arr in
+    let distinct = a <> c && a <> d && b <> c && b <> d in
+    (* Candidate: (a,b),(c,d) -> (a,c),(b,d). *)
+    if distinct && (not (adjacent a c)) && not (adjacent b d) then begin
+      Hashtbl.remove s.edges (min a b, max a b);
+      Hashtbl.remove s.edges (min c d, max c d);
+      Hashtbl.replace s.edges (min a c, max a c) ();
+      Hashtbl.replace s.edges (min b d, max b d) ();
+      let g' = graph_of_state s in
+      incr evaluated;
+      let candidate_score =
+        if Graph.is_connected g' then score objective st g' else neg_infinity
+      in
+      if candidate_score > !current +. 1e-12 then begin
+        current := candidate_score;
+        incr accepted;
+        arr := edge_array ()
+      end
+      else begin
+        (* Revert. *)
+        Hashtbl.remove s.edges (min a c, max a c);
+        Hashtbl.remove s.edges (min b d, max b d);
+        Hashtbl.replace s.edges (min a b, max a b) ();
+        Hashtbl.replace s.edges (min c d, max c d) ()
+      end
+    end
+  in
+  (* Bounded by draw attempts too: a near-complete graph may admit no
+     valid swap, and rejected draws must not spin forever. *)
+  let draws = ref 0 in
+  while !evaluated < evaluations && !draws < 50 * evaluations do
+    incr draws;
+    attempt ()
+  done;
+  let final = graph_of_state s in
+  {
+    graph = final;
+    initial_score;
+    final_score = !current;
+    accepted_swaps = !accepted;
+    evaluated_swaps = !evaluated;
+  }

@@ -1,0 +1,39 @@
+(** Local-search topology optimization — a REWIRE-style baseline (§2).
+
+    The paper contrasts its principled random-graph designs with
+    heuristic local search (REWIRE), which spends days of compute for
+    opaque gains. This module implements the core of such a heuristic:
+    degree-preserving 2-swap hill climbing on a proxy objective. Its role
+    here is evidential: started from a random regular graph, local search
+    barely improves ASPL or throughput — supporting §4's near-optimality
+    claim — while started from a deliberately bad topology (e.g. a ring)
+    it recovers most of the gap, showing the search itself works.
+
+    A 2-swap removes links (a,b) and (c,d) and adds (a,c) and (b,d),
+    preserving every degree. Swaps producing self-loops or parallel links
+    are rejected, as are those that disconnect the graph. *)
+
+open Dcn_graph
+
+type objective =
+  | Minimize_aspl  (** Average shortest path length (the §4 throughput proxy). *)
+  | Maximize_bisection  (** Heuristic bisection bandwidth (coarser, slower). *)
+
+type report = {
+  graph : Graph.t;
+  initial_score : float;
+  final_score : float;
+  accepted_swaps : int;
+  evaluated_swaps : int;
+}
+
+val optimize :
+  ?objective:objective ->
+  ?evaluations:int ->
+  Random.State.t ->
+  Graph.t ->
+  report
+(** First-improvement hill climbing for at most [evaluations] (default
+    2000) candidate swaps. The input must be connected; unit link
+    capacities are assumed (heterogeneous capacities are not swapped
+    correctly and are rejected). *)

@@ -1,0 +1,31 @@
+open Dcn_graph
+
+let fail_links st g ~fraction =
+  if fraction < 0.0 || fraction >= 1.0 then
+    invalid_arg "Resilience.fail_links: fraction outside [0, 1)";
+  let edges = Array.of_list (Graph.to_edge_list g) in
+  let total = Array.length edges in
+  let to_fail = int_of_float (floor (fraction *. float_of_int total)) in
+  Dcn_util.Sampling.shuffle st edges;
+  let b = Graph.builder (Graph.n g) in
+  for i = to_fail to total - 1 do
+    let u, v, cap = edges.(i) in
+    Graph.add_edge b ~cap u v
+  done;
+  Graph.freeze b
+
+let fail_links_connected ?(attempts = 50) st g ~fraction =
+  let rec go k =
+    if k >= attempts then
+      failwith "Resilience: no connected survivor at this failure rate";
+    let survivor = fail_links st g ~fraction in
+    if Graph.is_connected survivor then survivor else go (k + 1)
+  in
+  go 0
+
+let degrade (topo : Topology.t) ~graph =
+  if Graph.n graph <> Graph.n topo.Topology.graph then
+    invalid_arg "Resilience.degrade: node count changed";
+  Topology.make
+    ~name:(topo.Topology.name ^ "+failures")
+    ~graph ~servers:topo.Topology.servers ~cluster:topo.Topology.cluster ()

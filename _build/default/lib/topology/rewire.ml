@@ -1,0 +1,129 @@
+open Dcn_graph
+
+let switch_ports ~da ~di =
+  let num_agg = di and num_core = da / 2 in
+  Array.init (num_agg + num_core) (fun i -> if i < num_agg then da else di)
+
+let max_tors ~da ~di =
+  let ports = switch_ports ~da ~di in
+  let total = Array.fold_left ( + ) 0 ports in
+  (* Every switch must keep >= 1 port for the random interconnect. *)
+  (total - Array.length ports) / 2
+
+let max_connectivity_retries = 50
+
+let create ?(servers_per_tor = Vl2.default_servers_per_tor)
+    ?(link_speed = 10.0) st ~tors ~da ~di () =
+  if da mod 2 = 1 then invalid_arg "Rewire: da must be even";
+  if da < 2 || di < 2 then invalid_arg "Rewire: degrees must be at least 2";
+  if tors < 1 || tors > max_tors ~da ~di then
+    invalid_arg "Rewire: tors out of range";
+  let ports = switch_ports ~da ~di in
+  let num_sw = Array.length ports in
+  let num_agg = di in
+  (* §5.1: distribute the 2·T ToR uplinks over switches in proportion to
+     their port counts. *)
+  let uplinks =
+    Dcn_util.Sampling.split_proportionally ~total:(2 * tors)
+      ~weights:(Array.map float_of_int ports)
+  in
+  Array.iteri
+    (fun i u ->
+      if u > ports.(i) - 1 then
+        invalid_arg "Rewire: uplink share exhausts a switch's ports")
+    uplinks;
+  let tor_id i = i in
+  let sw_id i = tors + i in
+  let n = tors + num_sw in
+  let build () =
+    (* Uplink slots: switch id repeated per granted uplink; pair slot 2i
+       and 2i+1 with ToR i, fixing collisions (both uplinks of a ToR on
+       the same switch) by swapping with a random later slot. *)
+    let slots = Array.make (2 * tors) 0 in
+    let cursor = ref 0 in
+    Array.iteri
+      (fun i u ->
+        for _ = 1 to u do
+          slots.(!cursor) <- i;
+          incr cursor
+        done)
+      uplinks;
+    Dcn_util.Sampling.shuffle st slots;
+    (* A swap that separates one ToR's uplinks can collide another's, so
+       passes repeat until a full scan finds no collisions. *)
+    let count_collisions () =
+      let c = ref 0 in
+      for i = 0 to tors - 1 do
+        if slots.(2 * i) = slots.((2 * i) + 1) then incr c
+      done;
+      !c
+    in
+    let fix_pass () =
+      for i = 0 to tors - 1 do
+        let a = 2 * i in
+        if slots.(a) = slots.(a + 1) then begin
+          let j = Random.State.int st (2 * tors) in
+          if slots.(j) <> slots.(a) then begin
+            let tmp = slots.(a + 1) in
+            slots.(a + 1) <- slots.(j);
+            slots.(j) <- tmp
+          end
+        end
+      done
+    in
+    let rec until_separated pass =
+      if count_collisions () > 0 then begin
+        if pass > 1000 then
+          failwith "Rewire: could not separate a ToR's uplinks";
+        fix_pass ();
+        until_separated (pass + 1)
+      end
+    in
+    until_separated 0;
+    let b = Graph.builder n in
+    for i = 0 to tors - 1 do
+      Graph.add_edge b ~cap:link_speed (tor_id i) (sw_id slots.(2 * i));
+      Graph.add_edge b ~cap:link_speed (tor_id i) (sw_id slots.((2 * i) + 1))
+    done;
+    (* Random interconnect over the leftover switch ports. *)
+    let stubs = ref [] in
+    Array.iteri
+      (fun i u ->
+        for _ = 1 to ports.(i) - u do
+          stubs := i :: !stubs
+        done)
+      uplinks;
+    let stubs = Array.of_list !stubs in
+    let stubs =
+      (* Parity: with an odd leftover, one stub stays dark (a real rewiring
+         would leave one port unused). *)
+      if Array.length stubs mod 2 = 1 then begin
+        let drop = Random.State.int st (Array.length stubs) in
+        Array.init (Array.length stubs - 1) (fun i ->
+            if i < drop then stubs.(i) else stubs.(i + 1))
+      end
+      else stubs
+    in
+    let edges = Wiring.random_matching st stubs in
+    List.iter
+      (fun (u, v) -> Graph.add_edge b ~cap:link_speed (sw_id u) (sw_id v))
+      edges;
+    Graph.freeze b
+  in
+  let rec attempt k =
+    if k >= max_connectivity_retries then
+      failwith "Rewire: failed to produce a connected graph";
+    let g = build () in
+    if Graph.is_connected g then g else attempt (k + 1)
+  in
+  let graph = attempt 0 in
+  let servers =
+    Array.init n (fun v -> if v < tors then servers_per_tor else 0)
+  in
+  let cluster =
+    Array.init n (fun v ->
+        if v < tors then 0 else if v < tors + num_agg then 1 else 2)
+  in
+  Topology.make
+    ~name:(Printf.sprintf "rewired-vl2(da=%d,di=%d,tors=%d)" da di tors)
+    ~graph ~servers ~cluster ()

@@ -1,0 +1,27 @@
+(** The paper's improved VL2 (§7): same equipment, rewired.
+
+    Equipment identical to {!Vl2.create}: [di] aggregation switches with
+    [da] ports, [da/2] core switches with [di] ports, and ToRs with two
+    uplinks each — but following §5.1, ToR uplinks are distributed over
+    aggregation {e and} core switches in proportion to switch port counts,
+    and the ports remaining after ToR attachment are wired uniformly at
+    random (§4's random-graph interconnect).
+
+    Cluster labels match {!Vl2}: ToR = 0, aggregation = 1, core = 2. *)
+
+val create :
+  ?servers_per_tor:int ->
+  ?link_speed:float ->
+  Random.State.t ->
+  tors:int ->
+  da:int ->
+  di:int ->
+  unit ->
+  Topology.t
+(** Raises [Invalid_argument] if the ToR uplinks exceed the switch-port
+    budget, [da] is odd, or degrees are < 2. Retries wiring until the
+    switch graph is connected. *)
+
+val max_tors : da:int -> di:int -> int
+(** Largest ToR count whose 2 uplinks per ToR leave at least one free
+    network port per aggregation/core switch. *)

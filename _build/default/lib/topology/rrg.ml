@@ -1,0 +1,211 @@
+open Dcn_graph
+
+let check_args ~n ~r =
+  if r < 2 then invalid_arg "Rrg: degree must be at least 2";
+  if r >= n then invalid_arg "Rrg: degree must be below the switch count";
+  if n * r mod 2 = 1 then invalid_arg "Rrg: n*r must be even"
+
+let max_connectivity_retries = 50
+
+let until_connected build =
+  let rec attempt k =
+    if k >= max_connectivity_retries then
+      failwith "Rrg: failed to produce a connected graph";
+    let g = build () in
+    if Graph.is_connected g then g else attempt (k + 1)
+  in
+  attempt 0
+
+(* Jellyfish-style incremental construction. Adjacency is tracked in a set
+   of (min,max) pairs; free ports per node in an array. When no two
+   non-adjacent nodes with free ports remain but free ports do, a random
+   existing edge (u,v) with endpoints not adjacent to a free-port node x is
+   removed and replaced by (x,u),(x,v). *)
+let jellyfish st ~n ~r =
+  check_args ~n ~r;
+  let build () =
+    let edges = Hashtbl.create (n * r) in
+    let adjacent u v = Hashtbl.mem edges (min u v, max u v) in
+    let add_edge u v = Hashtbl.replace edges (min u v, max u v) () in
+    let remove_edge u v = Hashtbl.remove edges (min u v, max u v) in
+    let free = Array.make n r in
+    let nodes_with_free () =
+      let acc = ref [] in
+      for u = n - 1 downto 0 do
+        if free.(u) > 0 then acc := u :: !acc
+      done;
+      Array.of_list !acc
+    in
+    let rec fill stuck =
+      let candidates = nodes_with_free () in
+      let total_free = Array.fold_left (fun a u -> a + free.(u)) 0 candidates in
+      if total_free = 0 then ()
+      else if Array.length candidates >= 2 && stuck < 200 then begin
+        let u = Dcn_util.Sampling.pick st candidates in
+        let v = Dcn_util.Sampling.pick st candidates in
+        if u <> v && not (adjacent u v) then begin
+          add_edge u v;
+          free.(u) <- free.(u) - 1;
+          free.(v) <- free.(v) - 1;
+          fill 0
+        end
+        else fill (stuck + 1)
+      end
+      else begin
+        (* Deadlocked: the nodes holding free ports are mutually adjacent
+           (or there is just one). Break a random edge (u,v) and splice the
+           free ports into it. *)
+        let all_edges =
+          Hashtbl.fold (fun (u, v) () acc -> (u, v) :: acc) edges []
+          |> Array.of_list
+        in
+        let x = Dcn_util.Sampling.pick st candidates in
+        if free.(x) >= 2 then begin
+          (* Replace (u,v) with (x,u) and (x,v). *)
+          let rec swap tries =
+            if tries > 10_000 then
+              failwith "Rrg.jellyfish: deadlock repair failed"
+            else begin
+              let u, v = Dcn_util.Sampling.pick st all_edges in
+              if u <> x && v <> x && (not (adjacent x u)) && not (adjacent x v)
+              then begin
+                remove_edge u v;
+                add_edge x u;
+                add_edge x v;
+                free.(x) <- free.(x) - 2
+              end
+              else swap (tries + 1)
+            end
+          in
+          swap 0
+        end
+        else begin
+          (* Two adjacent nodes x, y each hold one free port (the total
+             free count is even, so a lone single-port node cannot occur).
+             Replace (u,v) with (x,u) and (y,v). *)
+          let y =
+            match Array.to_list candidates |> List.filter (fun c -> c <> x) with
+            | [] -> failwith "Rrg.jellyfish: parity violation"
+            | others -> Dcn_util.Sampling.pick st (Array.of_list others)
+          in
+          let rec swap tries =
+            if tries > 10_000 then
+              failwith "Rrg.jellyfish: deadlock repair failed"
+            else begin
+              let u, v = Dcn_util.Sampling.pick st all_edges in
+              let distinct = u <> x && v <> x && u <> y && v <> y in
+              if distinct && (not (adjacent x u)) && not (adjacent y v) then begin
+                remove_edge u v;
+                add_edge x u;
+                add_edge y v;
+                free.(x) <- free.(x) - 1;
+                free.(y) <- free.(y) - 1
+              end
+              else if distinct && (not (adjacent x v)) && not (adjacent y u)
+              then begin
+                remove_edge u v;
+                add_edge x v;
+                add_edge y u;
+                free.(x) <- free.(x) - 1;
+                free.(y) <- free.(y) - 1
+              end
+              else swap (tries + 1)
+            end
+          in
+          swap 0
+        end;
+        fill 0
+      end
+    in
+    fill 0;
+    let b = Graph.builder n in
+    Hashtbl.iter (fun (u, v) () -> Graph.add_edge b u v) edges;
+    Graph.freeze b
+  in
+  until_connected build
+
+let pairing st ~n ~r =
+  check_args ~n ~r;
+  let build () =
+    let stubs = Array.make (n * r) 0 in
+    for u = 0 to n - 1 do
+      for j = 0 to r - 1 do
+        stubs.((u * r) + j) <- u
+      done
+    done;
+    let edges = Wiring.random_matching st stubs in
+    let b = Graph.builder n in
+    List.iter (fun (u, v) -> Graph.add_edge b u v) edges;
+    Graph.freeze b
+  in
+  until_connected build
+
+let topology ?(construction = `Jellyfish) st ~n ~k ~r =
+  if r > k then invalid_arg "Rrg.topology: r exceeds port count";
+  let graph =
+    match construction with
+    | `Jellyfish -> jellyfish st ~n ~r
+    | `Pairing -> pairing st ~n ~r
+  in
+  let servers = Array.make n (k - r) in
+  Topology.make
+    ~name:(Printf.sprintf "rrg(n=%d,k=%d,r=%d)" n k r)
+    ~graph ~servers ()
+
+let expand st g ~new_nodes =
+  if new_nodes < 0 then invalid_arg "Rrg.expand: negative node count";
+  let r =
+    match Graph.is_regular g with
+    | Some r when r mod 2 = 0 -> r
+    | Some _ -> invalid_arg "Rrg.expand: degree must be even to splice"
+    | None -> invalid_arg "Rrg.expand: graph is not regular"
+  in
+  if Graph.n g < r + 1 then invalid_arg "Rrg.expand: graph too small";
+  (* Work on a mutable edge set across all insertions. *)
+  let edges = Hashtbl.create (Graph.n g * r) in
+  List.iter
+    (fun (u, v, _) -> Hashtbl.replace edges (min u v, max u v) ())
+    (Graph.to_edge_list g);
+  let adjacent u v = Hashtbl.mem edges (min u v, max u v) in
+  let add_edge u v = Hashtbl.replace edges (min u v, max u v) () in
+  let remove_edge u v = Hashtbl.remove edges (min u v, max u v) in
+  let splice node =
+    (* Choose r/2 links whose endpoints are pairwise distinct and not yet
+       adjacent to the new node. *)
+    let all = Hashtbl.fold (fun e () acc -> e :: acc) edges [] |> Array.of_list in
+    let chosen = ref [] in
+    let used = Hashtbl.create 16 in
+    let rec pick needed tries =
+      if needed > 0 then begin
+        if tries > 100_000 then failwith "Rrg.expand: could not find links";
+        let u, v = Dcn_util.Sampling.pick st all in
+        if
+          (not (Hashtbl.mem used u))
+          && (not (Hashtbl.mem used v))
+          && adjacent u v (* still present: not claimed this round *)
+          && (not (adjacent node u))
+          && not (adjacent node v)
+        then begin
+          Hashtbl.add used u ();
+          Hashtbl.add used v ();
+          remove_edge u v;
+          chosen := (u, v) :: !chosen;
+          pick (needed - 1) (tries + 1)
+        end
+        else pick needed (tries + 1)
+      end
+    in
+    pick (r / 2) 0;
+    List.iter
+      (fun (u, v) ->
+        add_edge node u;
+        add_edge node v)
+      !chosen
+  in
+  let n0 = Graph.n g in
+  for i = 0 to new_nodes - 1 do
+    splice (n0 + i)
+  done;
+  let b = Graph.builder (n0 + new_nodes) in
+  Hashtbl.iter (fun (u, v) () -> Graph.add_edge b u v) edges;
+  Graph.freeze b

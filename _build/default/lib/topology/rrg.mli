@@ -1,0 +1,48 @@
+(** Random regular graphs — RRG(N, k, r) in the paper's notation (§4).
+
+    Each of N switches has k ports, r of them wired to other switches and
+    k−r to servers. The switch-to-switch interconnect is a uniformly random
+    r-regular graph. Two constructions are provided:
+
+    - {!jellyfish}: the incremental construction of Singla et al. (Jellyfish,
+      NSDI 2012): repeatedly join random non-adjacent switches with free
+      ports, breaking deadlocks with degree-preserving edge swaps. Always a
+      simple graph.
+    - {!pairing}: the configuration model — a uniform matching of port
+      stubs with self-loops repaired and parallel links repaired
+      best-effort. Closest to the "sampled uniformly from all r-regular
+      graphs" ideal, but may retain a parallel link at high density.
+
+    Both retry until the result is connected (an r ≥ 3 random graph is
+    connected with high probability, so retries are rare). *)
+
+open Dcn_graph
+
+val jellyfish : Random.State.t -> n:int -> r:int -> Graph.t
+(** Raises [Invalid_argument] if [r ≥ n], [r < 2], or [n·r] is odd. *)
+
+val pairing : Random.State.t -> n:int -> r:int -> Graph.t
+(** Same preconditions. *)
+
+val topology :
+  ?construction:[ `Jellyfish | `Pairing ] ->
+  Random.State.t ->
+  n:int ->
+  k:int ->
+  r:int ->
+  Topology.t
+(** RRG(N, k, r): the interconnect plus [k − r] servers on every switch.
+    Raises [Invalid_argument] if [r > k]. *)
+
+val expand : Random.State.t -> Graph.t -> new_nodes:int -> Graph.t
+(** Incremental expansion (§2 / Jellyfish): add switches one at a time to
+    an existing r-regular random graph. Each new switch claims r/2 random
+    existing links with pairwise-distinct endpoints; every claimed link
+    (u,v) is replaced by (new,u) and (new,v). Existing switches keep their
+    degree, the new switch ends with degree r, and the result remains a
+    simple connected graph distributed like a slightly-less-uniform RRG.
+
+    Raises [Invalid_argument] if the input is not regular of even degree
+    (odd degrees cannot be spliced pairwise) or has fewer than r+1 nodes,
+    and [Failure] if disjoint links cannot be found (pathologically dense
+    input). *)

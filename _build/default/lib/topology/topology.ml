@@ -1,0 +1,55 @@
+open Dcn_graph
+
+type t = {
+  name : string;
+  graph : Graph.t;
+  servers : int array;
+  cluster : int array;
+}
+
+let make ~name ~graph ~servers ?cluster () =
+  let n = Graph.n graph in
+  if Array.length servers <> n then
+    invalid_arg "Topology.make: servers array length mismatch";
+  if Array.exists (fun s -> s < 0) servers then
+    invalid_arg "Topology.make: negative server count";
+  let cluster =
+    match cluster with
+    | None -> Array.make n 0
+    | Some c ->
+        if Array.length c <> n then
+          invalid_arg "Topology.make: cluster array length mismatch";
+        c
+  in
+  { name; graph; servers; cluster }
+
+let num_switches t = Graph.n t.graph
+
+let num_servers t = Array.fold_left ( + ) 0 t.servers
+
+let total_ports t =
+  let network_ports = ref 0 in
+  for u = 0 to Graph.n t.graph - 1 do
+    network_ports := !network_ports + Graph.degree t.graph u
+  done;
+  num_servers t + !network_ports
+
+let validate_ports t ~max_ports =
+  if Array.length max_ports <> Graph.n t.graph then
+    invalid_arg "Topology.validate_ports: length mismatch";
+  for u = 0 to Graph.n t.graph - 1 do
+    let used = t.servers.(u) + Graph.degree t.graph u in
+    if used > max_ports.(u) then
+      invalid_arg
+        (Printf.sprintf
+           "Topology.validate_ports: switch %d uses %d of %d ports" u used
+           max_ports.(u))
+  done
+
+let cross_cluster_capacity t =
+  Cuts.cross_cluster_capacity t.graph ~cluster:t.cluster
+
+let pp ppf t =
+  Format.fprintf ppf "%s: %d switches, %d servers, %d links" t.name
+    (num_switches t) (num_servers t)
+    (Graph.num_edges t.graph)

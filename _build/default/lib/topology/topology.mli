@@ -1,0 +1,39 @@
+(** A data-center topology: switch graph + server placement + clusters.
+
+    Switches are graph nodes; servers never appear as nodes (the flow model
+    aggregates them per switch — see {!Dcn_traffic.Traffic}). The optional
+    cluster labelling records which design class each switch belongs to
+    (e.g. large/small in §5, ToR/agg/core in §7) for the per-class
+    utilization and cut analyses. *)
+
+open Dcn_graph
+
+type t = {
+  name : string;
+  graph : Graph.t;
+  servers : int array;  (** [servers.(sw)] = servers attached to switch [sw]. *)
+  cluster : int array;  (** Design-class label per switch; all 0 if unclassed. *)
+}
+
+val make :
+  name:string -> graph:Graph.t -> servers:int array -> ?cluster:int array ->
+  unit -> t
+(** Raises [Invalid_argument] if array lengths disagree with the graph's
+    node count or any server count is negative. *)
+
+val num_switches : t -> int
+val num_servers : t -> int
+
+val total_ports : t -> int
+(** Server-facing ports plus switch-facing ports (counting each link twice,
+    once per endpoint) — the equipment measure used for "same switching
+    equipment" comparisons. *)
+
+val validate_ports : t -> max_ports:int array -> unit
+(** Check that each switch's servers + network links fit its port budget.
+    Raises [Invalid_argument] otherwise. *)
+
+val cross_cluster_capacity : t -> float
+(** C̄: capacity (both directions) of links joining different clusters. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,38 @@
+open Dcn_graph
+
+let graph ~dims =
+  if dims = [] then invalid_arg "Torus: no dimensions";
+  List.iter (fun d -> if d < 2 then invalid_arg "Torus: extent must be >= 2") dims;
+  let dims = Array.of_list dims in
+  let n = Array.fold_left ( * ) 1 dims in
+  (* Mixed-radix node coordinates; stride of dimension i is the product of
+     the extents of dimensions > i. *)
+  let ndims = Array.length dims in
+  let strides = Array.make ndims 1 in
+  for i = ndims - 2 downto 0 do
+    strides.(i) <- strides.(i + 1) * dims.(i + 1)
+  done;
+  let coord u i = u / strides.(i) mod dims.(i) in
+  let with_coord u i c = u + ((c - coord u i) * strides.(i)) in
+  let b = Graph.builder n in
+  for u = 0 to n - 1 do
+    for i = 0 to ndims - 1 do
+      let c = coord u i in
+      let next = with_coord u i ((c + 1) mod dims.(i)) in
+      (* Each node adds its forward ring edge; the node at the end of the
+         ring adds the wrap-around, except in a 2-ring where forward and
+         wrap are the same physical link. *)
+      if c + 1 < dims.(i) || dims.(i) > 2 then Graph.add_edge b u next
+    done
+  done;
+  Graph.freeze b
+
+let topology ~dims ~servers_per_switch =
+  if servers_per_switch < 0 then invalid_arg "Torus: negative servers";
+  let g = graph ~dims in
+  let dims_str = String.concat "x" (List.map string_of_int dims) in
+  Topology.make
+    ~name:(Printf.sprintf "torus(%s)" dims_str)
+    ~graph:g
+    ~servers:(Array.make (Graph.n g) servers_per_switch)
+    ()

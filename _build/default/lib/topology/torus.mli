@@ -1,0 +1,8 @@
+(** k-ary n-dimensional torus (wrap-around mesh) — the classic
+    supercomputer interconnect (§2), included as an ablation baseline. *)
+
+val graph : dims:int list -> Dcn_graph.Graph.t
+(** [dims] lists the extent of each dimension; each must be ≥ 2. A
+    dimension of extent 2 contributes a single link (not a doubled one). *)
+
+val topology : dims:int list -> servers_per_switch:int -> Topology.t

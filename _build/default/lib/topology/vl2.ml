@@ -1,0 +1,41 @@
+open Dcn_graph
+
+let default_servers_per_tor = 20
+
+let num_tors ~da ~di = da * di / 4
+
+let create ?(servers_per_tor = default_servers_per_tor) ?(link_speed = 10.0)
+    ?tors ~da ~di () =
+  if da mod 2 = 1 then invalid_arg "Vl2: da must be even";
+  if da < 2 || di < 2 then invalid_arg "Vl2: degrees must be at least 2";
+  let max_tors = num_tors ~da ~di in
+  let t = match tors with None -> max_tors | Some t -> t in
+  if t < 1 || t > max_tors then invalid_arg "Vl2: tors out of range";
+  let num_agg = di and num_core = da / 2 in
+  let tor_id i = i in
+  let agg_id i = t + i in
+  let core_id i = t + num_agg + i in
+  let n = t + num_agg + num_core in
+  let b = Graph.builder n in
+  (* Each ToR has two uplinks to distinct aggregation switches; spreading
+     them round-robin keeps aggregation load within one uplink of even. *)
+  for i = 0 to t - 1 do
+    let a1 = 2 * i mod num_agg and a2 = ((2 * i) + 1) mod num_agg in
+    Graph.add_edge b ~cap:link_speed (tor_id i) (agg_id a1);
+    Graph.add_edge b ~cap:link_speed (tor_id i) (agg_id a2)
+  done;
+  (* Complete bipartite aggregation-core interconnect. *)
+  for a = 0 to num_agg - 1 do
+    for c = 0 to num_core - 1 do
+      Graph.add_edge b ~cap:link_speed (agg_id a) (core_id c)
+    done
+  done;
+  let servers =
+    Array.init n (fun v -> if v < t then servers_per_tor else 0)
+  in
+  let cluster =
+    Array.init n (fun v -> if v < t then 0 else if v < t + num_agg then 1 else 2)
+  in
+  Topology.make
+    ~name:(Printf.sprintf "vl2(da=%d,di=%d,tors=%d)" da di t)
+    ~graph:(Graph.freeze b) ~servers ~cluster ()

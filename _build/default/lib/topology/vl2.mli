@@ -1,0 +1,29 @@
+(** The VL2 topology (Greenberg et al., SIGCOMM 2009) as described in §7.
+
+    Three switch layers: ToRs (20 servers each, 2 uplinks), [di] aggregation
+    switches with [da] ports, and [da/2] intermediate (core) switches with
+    [di] ports; aggregation and core are completely bipartite. All
+    switch-to-switch links run at [link_speed] (default 10, i.e. 10 GbE
+    against 1 GbE server links), and the topology supports [da·di/4] ToRs.
+
+    Cluster labels: ToR = 0, aggregation = 1, core = 2. *)
+
+val default_servers_per_tor : int
+(** 20, per the paper. *)
+
+val num_tors : da:int -> di:int -> int
+(** [da·di/4]. *)
+
+val create :
+  ?servers_per_tor:int ->
+  ?link_speed:float ->
+  ?tors:int ->
+  da:int ->
+  di:int ->
+  unit ->
+  Topology.t
+(** Build VL2. [tors] (default [num_tors ~da ~di]) allows oversubscribing
+    or undersubscribing the ToR layer for the throughput-vs-size studies;
+    it must not exceed [da·di/4] (no ToR-facing aggregation ports remain
+    beyond that). Raises [Invalid_argument] if [da] is odd, either degree
+    is < 2, or [tors] is out of range. *)

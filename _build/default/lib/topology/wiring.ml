@@ -1,0 +1,151 @@
+type edge = int * int
+
+let key (u, v) = if u <= v then (u, v) else (v, u)
+
+(* Multiset of undirected edges, used to detect parallel links. *)
+module Multiset = struct
+  type t = (edge, int) Hashtbl.t
+
+  let create existing : t =
+    let tbl = Hashtbl.create 64 in
+    List.iter
+      (fun e ->
+        let k = key e in
+        Hashtbl.replace tbl k (1 + try Hashtbl.find tbl k with Not_found -> 0))
+      existing;
+    tbl
+
+  let count tbl e = try Hashtbl.find tbl (key e) with Not_found -> 0
+
+  let add tbl e = Hashtbl.replace tbl (key e) (count tbl e + 1)
+
+  let remove tbl e =
+    let c = count tbl e in
+    if c <= 1 then Hashtbl.remove tbl (key e)
+    else Hashtbl.replace tbl (key e) (c - 1)
+end
+
+(* Swap the second endpoints of pairs i and j if that strictly reduces the
+   number of defects. [defect] scores an edge: 2 for a self-loop, 1 for a
+   parallel link, 0 otherwise. *)
+let try_swap seen left right i j ~defect =
+  let old_i = (left.(i), right.(i)) and old_j = (left.(j), right.(j)) in
+  let new_i = (left.(i), right.(j)) and new_j = (left.(j), right.(i)) in
+  (* Score under the multiset with the old pair removed. *)
+  Multiset.remove seen old_i;
+  Multiset.remove seen old_j;
+  let before = defect seen old_i + defect seen old_j in
+  let score_i = defect seen new_i in
+  Multiset.add seen new_i;
+  let score_j = defect seen new_j in
+  Multiset.remove seen new_i;
+  let after = score_i + score_j in
+  if after < before then begin
+    Multiset.add seen new_i;
+    Multiset.add seen new_j;
+    let tmp = right.(i) in
+    right.(i) <- right.(j);
+    right.(j) <- tmp;
+    true
+  end
+  else begin
+    Multiset.add seen old_i;
+    Multiset.add seen old_j;
+    false
+  end
+
+let repair ?(avoid_multi = true) st ~existing left right =
+  let npairs = Array.length left in
+  (* Self-loops must dominate the defect score by more than any number of
+     parallel links a swap can create: a hub with more ports than peers is
+     forced to keep parallel links, and trading a self-loop for two of
+     them must still count as progress. *)
+  let defect seen (u, v) =
+    if u = v then 1000
+    else if avoid_multi && Multiset.count seen (u, v) >= 1 then 1
+    else 0
+  in
+  let seen = Multiset.create existing in
+  for i = 0 to npairs - 1 do
+    Multiset.add seen (left.(i), right.(i))
+  done;
+  (* Each pass scans all pairs and tries random partners for defective
+     ones. Self-loops strictly dominate the defect score, so they are fixed
+     first; remaining multi-edges get best-effort treatment. *)
+  let max_passes = 200 in
+  let attempts_per_defect = 40 in
+  let pass () =
+    let bad = ref 0 in
+    for i = 0 to npairs - 1 do
+      Multiset.remove seen (left.(i), right.(i));
+      let d = defect seen (left.(i), right.(i)) in
+      Multiset.add seen (left.(i), right.(i));
+      if d > 0 then begin
+        let fixed = ref false in
+        let tries = ref 0 in
+        while (not !fixed) && !tries < attempts_per_defect do
+          let j = Random.State.int st npairs in
+          if j <> i then fixed := try_swap seen left right i j ~defect;
+          incr tries
+        done;
+        if not !fixed then incr bad
+      end
+    done;
+    !bad
+  in
+  (* Random perturbation to escape local minima of the greedy repair:
+     swap random pairs unconditionally as long as no self-loop results. *)
+  let shake () =
+    for _ = 1 to max 1 (npairs / 4) do
+      let i = Random.State.int st npairs and j = Random.State.int st npairs in
+      if i <> j && left.(i) <> right.(j) && left.(j) <> right.(i) then begin
+        Multiset.remove seen (left.(i), right.(i));
+        Multiset.remove seen (left.(j), right.(j));
+        let tmp = right.(i) in
+        right.(i) <- right.(j);
+        right.(j) <- tmp;
+        Multiset.add seen (left.(i), right.(i));
+        Multiset.add seen (left.(j), right.(j))
+      end
+    done
+  in
+  let rec run p last_bad =
+    if p >= max_passes then last_bad
+    else begin
+      let bad = pass () in
+      if bad = 0 then 0
+      else begin
+        if bad >= last_bad then shake ();
+        run (p + 1) bad
+      end
+    end
+  in
+  let residual = run 0 max_int in
+  (* Self-loops are never acceptable. *)
+  Array.iteri
+    (fun i u ->
+      if u = right.(i) then
+        failwith "Wiring: could not eliminate self-loops (degree too skewed)")
+    left;
+  ignore residual
+
+let random_matching ?(existing = []) ?(avoid_multi = true) st stubs =
+  let total = Array.length stubs in
+  if total mod 2 = 1 then invalid_arg "Wiring.random_matching: odd stub count";
+  let shuffled = Array.copy stubs in
+  Dcn_util.Sampling.shuffle st shuffled;
+  let npairs = total / 2 in
+  let left = Array.init npairs (fun i -> shuffled.(2 * i)) in
+  let right = Array.init npairs (fun i -> shuffled.((2 * i) + 1)) in
+  repair ~avoid_multi st ~existing left right;
+  Array.to_list (Array.init npairs (fun i -> (left.(i), right.(i))))
+
+let random_bipartite_matching ?(existing = []) ?(avoid_multi = true) st
+    left_stubs right_stubs =
+  if Array.length left_stubs <> Array.length right_stubs then
+    invalid_arg "Wiring.random_bipartite_matching: side size mismatch";
+  let left = Array.copy left_stubs and right = Array.copy right_stubs in
+  Dcn_util.Sampling.shuffle st left;
+  Dcn_util.Sampling.shuffle st right;
+  repair ~avoid_multi st ~existing left right;
+  Array.to_list (Array.init (Array.length left) (fun i -> (left.(i), right.(i))))

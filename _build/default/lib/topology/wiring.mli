@@ -1,0 +1,39 @@
+(** Random wiring of switch ports ("stubs").
+
+    A stub is one free port, represented by its switch id; an array of stubs
+    with a switch appearing once per free port describes the remaining
+    connectivity after servers are attached. Random topologies are built by
+    drawing a uniformly random perfect matching on the stubs — the
+    configuration model — then repairing defects with degree-preserving
+    2-swaps:
+
+    - self-loops are always repaired (or the construction fails);
+    - parallel links are repaired best-effort when [avoid_multi] is set
+      (the default); dense instances may keep a few.
+
+    The [existing] edges participate in the parallel-link bookkeeping so
+    multi-stage constructions (e.g. cross-cluster wiring followed by
+    intra-cluster wiring) stay simple overall. *)
+
+type edge = int * int
+
+val random_matching :
+  ?existing:edge list ->
+  ?avoid_multi:bool ->
+  Random.State.t ->
+  int array ->
+  edge list
+(** Pair up the stubs. Raises [Invalid_argument] on an odd stub count and
+    [Failure] if self-loops cannot be repaired (more than half the stubs on
+    one switch). *)
+
+val random_bipartite_matching :
+  ?existing:edge list ->
+  ?avoid_multi:bool ->
+  Random.State.t ->
+  int array ->
+  int array ->
+  edge list
+(** Match each left stub with a right stub (arrays must have equal length).
+    Self-loops cannot arise if the two sides are disjoint; parallel links
+    are repaired best-effort as above. *)

@@ -1,0 +1,1 @@
+lib/traffic/traffic.ml: Array Dcn_flow Dcn_util Float Hashtbl List Printf

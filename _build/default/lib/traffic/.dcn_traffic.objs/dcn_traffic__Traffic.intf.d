@@ -1,0 +1,1 @@
+lib/traffic/traffic.mli: Dcn_flow Random

@@ -1,0 +1,179 @@
+type t = {
+  name : string;
+  demands : (int * int * float) list;
+  flows_per_server : int;
+}
+
+let num_servers ~servers = Array.fold_left ( + ) 0 servers
+
+let offsets servers =
+  let n = Array.length servers in
+  let off = Array.make (n + 1) 0 in
+  for i = 0 to n - 1 do
+    off.(i + 1) <- off.(i) + servers.(i)
+  done;
+  off
+
+(* Binary search for the switch whose server-id range contains sid. *)
+let switch_of_offsets off n sid =
+  let rec search lo hi =
+    if lo + 1 >= hi then lo
+    else begin
+      let mid = (lo + hi) / 2 in
+      if off.(mid) <= sid then search mid hi else search lo mid
+    end
+  in
+  search 0 n
+
+let server_switch ~servers sid =
+  let off = offsets servers in
+  let n = Array.length servers in
+  if sid < 0 || sid >= off.(n) then invalid_arg "Traffic.server_switch: bad id";
+  switch_of_offsets off n sid
+
+(* Aggregate server-level (src_server, dst_server) pairs into switch-level
+   demands, dropping intra-switch pairs. *)
+let aggregate ~name ~flows_per_server ~servers pairs =
+  let off = offsets servers in
+  let n = Array.length servers in
+  let switch_of = switch_of_offsets off n in
+  let tbl = Hashtbl.create 256 in
+  List.iter
+    (fun (a, b) ->
+      let u = switch_of a and v = switch_of b in
+      if u <> v then begin
+        let prev = try Hashtbl.find tbl (u, v) with Not_found -> 0.0 in
+        Hashtbl.replace tbl (u, v) (prev +. 1.0)
+      end)
+    pairs;
+  let demands =
+    Hashtbl.fold (fun (u, v) d acc -> (u, v, d) :: acc) tbl []
+    |> List.sort compare
+  in
+  { name; demands; flows_per_server }
+
+let to_commodities t =
+  if t.demands = [] then
+    invalid_arg "Traffic.to_commodities: no inter-switch demand";
+  Array.of_list
+    (List.map
+       (fun (src, dst, demand) -> Dcn_flow.Commodity.make ~src ~dst ~demand)
+       t.demands)
+
+let total_demand t =
+  List.fold_left (fun acc (_, _, d) -> acc +. d) 0.0 t.demands
+
+let permutation st ~servers =
+  let total = num_servers ~servers in
+  if total < 2 then invalid_arg "Traffic.permutation: need at least 2 servers";
+  let image = Dcn_util.Sampling.derangement st total in
+  let pairs = ref [] in
+  for s = 0 to total - 1 do
+    pairs := (s, image.(s)) :: !pairs
+  done;
+  aggregate ~name:"permutation" ~flows_per_server:1 ~servers !pairs
+
+let all_to_all ~servers =
+  let n = Array.length servers in
+  let total = num_servers ~servers in
+  if total < 2 then invalid_arg "Traffic.all_to_all: need at least 2 servers";
+  let demands = ref [] in
+  for u = 0 to n - 1 do
+    for v = 0 to n - 1 do
+      if u <> v && servers.(u) > 0 && servers.(v) > 0 then
+        demands :=
+          (u, v, float_of_int (servers.(u) * servers.(v))) :: !demands
+    done
+  done;
+  {
+    name = "all-to-all";
+    demands = List.sort compare !demands;
+    flows_per_server = total - 1;
+  }
+
+let chunky st ~servers ~fraction =
+  if fraction < 0.0 || fraction > 1.0 then
+    invalid_arg "Traffic.chunky: fraction out of [0,1]";
+  let n = Array.length servers in
+  let off = offsets servers in
+  let tors =
+    List.filter (fun i -> servers.(i) > 0) (List.init n (fun i -> i))
+    |> Array.of_list
+  in
+  let num_tors = Array.length tors in
+  if num_tors < 2 then invalid_arg "Traffic.chunky: need at least 2 ToRs";
+  (* Even number of chunky ToRs so they can pair up. *)
+  let chunky_count =
+    let c = int_of_float (Float.round (fraction *. float_of_int num_tors)) in
+    let c = min c num_tors in
+    if c mod 2 = 1 then c - 1 else c
+  in
+  Dcn_util.Sampling.shuffle st tors;
+  let pairs = ref [] in
+  (* ToR-level permutation on the chunky part: pair consecutive ToRs both
+     ways; server i of one ToR sends to server i of the other (a
+     server-level bijection between the two racks). *)
+  let link_tors a b =
+    let cnt = min servers.(a) servers.(b) in
+    for i = 0 to cnt - 1 do
+      pairs := (off.(a) + i, off.(b) + i) :: !pairs
+    done;
+    (* Leftover servers on the bigger rack still send somewhere: wrap
+       around the partner's servers. *)
+    for i = cnt to servers.(a) - 1 do
+      if servers.(b) > 0 then pairs := (off.(a) + i, off.(b) + (i mod servers.(b))) :: !pairs
+    done
+  in
+  let i = ref 0 in
+  while !i + 1 < chunky_count do
+    let a = tors.(!i) and b = tors.(!i + 1) in
+    link_tors a b;
+    link_tors b a;
+    i := !i + 2
+  done;
+  (* Remaining ToRs: server-level random permutation among their servers. *)
+  let rest_servers = ref [] in
+  for j = chunky_count to num_tors - 1 do
+    let t = tors.(j) in
+    for s = off.(t) to off.(t) + servers.(t) - 1 do
+      rest_servers := s :: !rest_servers
+    done
+  done;
+  let rest = Array.of_list !rest_servers in
+  let k = Array.length rest in
+  if k >= 2 then begin
+    let image = Dcn_util.Sampling.derangement st k in
+    Array.iteri (fun idx s -> pairs := (s, rest.(image.(idx))) :: !pairs) rest
+  end;
+  aggregate
+    ~name:(Printf.sprintf "chunky-%.0f%%" (fraction *. 100.0))
+    ~flows_per_server:1 ~servers !pairs
+
+let hotspot st ~servers ~targets =
+  let n = Array.length servers in
+  let off = offsets servers in
+  let with_servers =
+    List.filter (fun i -> servers.(i) > 0) (List.init n (fun i -> i))
+    |> Array.of_list
+  in
+  if targets < 1 || targets > Array.length with_servers then
+    invalid_arg "Traffic.hotspot: bad target count";
+  let chosen =
+    Dcn_util.Sampling.sample_without_replacement st targets
+      (Array.length with_servers)
+    |> Array.map (fun i -> with_servers.(i))
+  in
+  let hot_servers =
+    Array.to_list chosen
+    |> List.concat_map (fun t ->
+           List.init servers.(t) (fun i -> off.(t) + i))
+    |> Array.of_list
+  in
+  let total = num_servers ~servers in
+  let pairs = ref [] in
+  for s = 0 to total - 1 do
+    let dst = Dcn_util.Sampling.pick st hot_servers in
+    if dst <> s then pairs := (s, dst) :: !pairs
+  done;
+  aggregate ~name:(Printf.sprintf "hotspot-%d" targets) ~flows_per_server:1
+    ~servers !pairs

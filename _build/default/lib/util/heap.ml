@@ -1,0 +1,75 @@
+type t = {
+  mutable keys : float array;
+  mutable payloads : int array;
+  mutable size : int;
+}
+
+let create capacity_hint =
+  let cap = max 4 capacity_hint in
+  { keys = Array.make cap 0.0; payloads = Array.make cap 0; size = 0 }
+
+let is_empty h = h.size = 0
+
+let length h = h.size
+
+let grow h =
+  let cap = Array.length h.keys in
+  let keys = Array.make (2 * cap) 0.0 in
+  let payloads = Array.make (2 * cap) 0 in
+  Array.blit h.keys 0 keys 0 h.size;
+  Array.blit h.payloads 0 payloads 0 h.size;
+  h.keys <- keys;
+  h.payloads <- payloads
+
+let swap h i j =
+  let ki = h.keys.(i) and pi = h.payloads.(i) in
+  h.keys.(i) <- h.keys.(j);
+  h.payloads.(i) <- h.payloads.(j);
+  h.keys.(j) <- ki;
+  h.payloads.(j) <- pi
+
+let rec sift_up h i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if h.keys.(i) < h.keys.(parent) then begin
+      swap h i parent;
+      sift_up h parent
+    end
+  end
+
+let rec sift_down h i =
+  let left = (2 * i) + 1 in
+  let right = left + 1 in
+  let smallest =
+    if left < h.size && h.keys.(left) < h.keys.(i) then left else i
+  in
+  let smallest =
+    if right < h.size && h.keys.(right) < h.keys.(smallest) then right
+    else smallest
+  in
+  if smallest <> i then begin
+    swap h i smallest;
+    sift_down h smallest
+  end
+
+let push h key payload =
+  if h.size = Array.length h.keys then grow h;
+  h.keys.(h.size) <- key;
+  h.payloads.(h.size) <- payload;
+  h.size <- h.size + 1;
+  sift_up h (h.size - 1)
+
+let pop_min h =
+  if h.size = 0 then None
+  else begin
+    let key = h.keys.(0) and payload = h.payloads.(0) in
+    h.size <- h.size - 1;
+    if h.size > 0 then begin
+      h.keys.(0) <- h.keys.(h.size);
+      h.payloads.(0) <- h.payloads.(h.size);
+      sift_down h 0
+    end;
+    Some (key, payload)
+  end
+
+let clear h = h.size <- 0

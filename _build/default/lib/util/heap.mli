@@ -1,0 +1,25 @@
+(** Mutable binary min-heap keyed by floats, with integer payloads.
+
+    Used as the priority queue for Dijkstra's algorithm. Decrease-key is
+    handled by lazy deletion: callers may insert the same payload several
+    times and must ignore stale pops (see {!Dcn_graph.Dijkstra}). *)
+
+type t
+
+val create : int -> t
+(** [create capacity_hint] is an empty heap. The hint only pre-sizes the
+    backing array; the heap grows as needed. *)
+
+val is_empty : t -> bool
+
+val length : t -> int
+(** Number of (possibly stale) entries currently stored. *)
+
+val push : t -> float -> int -> unit
+(** [push h key payload] inserts [payload] with priority [key]. *)
+
+val pop_min : t -> (float * int) option
+(** Remove and return the entry with the smallest key, or [None] if empty. *)
+
+val clear : t -> unit
+(** Remove all entries, keeping the backing storage. *)

@@ -1,0 +1,41 @@
+type 'b outcome = Pending | Done of 'b | Failed of exn
+
+let map ?domains f xs =
+  let tasks = Array.of_list xs in
+  let n = Array.length tasks in
+  let workers =
+    let d =
+      match domains with
+      | Some d -> d
+      | None -> Domain.recommended_domain_count ()
+    in
+    min (max 1 d) n
+  in
+  if workers <= 1 || n <= 1 then List.map f xs
+  else begin
+    let results = Array.make n Pending in
+    let next = Atomic.make 0 in
+    let worker () =
+      let rec loop () =
+        let i = Atomic.fetch_and_add next 1 in
+        if i < n then begin
+          (results.(i) <-
+            (match f tasks.(i) with
+            | v -> Done v
+            | exception e -> Failed e));
+          loop ()
+        end
+      in
+      loop ()
+    in
+    let spawned = List.init (workers - 1) (fun _ -> Domain.spawn worker) in
+    worker ();
+    List.iter Domain.join spawned;
+    Array.to_list
+      (Array.map
+         (function
+           | Done v -> v
+           | Failed e -> raise e
+           | Pending -> assert false)
+         results)
+  end

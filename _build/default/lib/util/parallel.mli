@@ -1,0 +1,13 @@
+(** Simple OCaml 5 domain pool for embarrassingly parallel experiment
+    batches.
+
+    Tasks must be independent and must not share mutable state (every
+    experiment in this repository derives its own [Random.State.t] from a
+    seed, so whole figures qualify). Results keep input order. *)
+
+val map : ?domains:int -> ('a -> 'b) -> 'a list -> 'b list
+(** [map ~domains f xs] evaluates [f] on every element using up to
+    [domains] worker domains (default: [Domain.recommended_domain_count],
+    capped at the task count). With [domains <= 1], plain [List.map] — no
+    domains spawned. Exceptions raised by [f] are re-raised after all
+    workers finish. *)

@@ -1,0 +1,62 @@
+let shuffle st a =
+  for i = Array.length a - 1 downto 1 do
+    let j = Random.State.int st (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let permutation st n =
+  let a = Array.init n (fun i -> i) in
+  shuffle st a;
+  a
+
+let derangement st n =
+  if n = 1 then invalid_arg "Sampling.derangement: no derangement of size 1";
+  let rec attempt () =
+    let p = permutation st n in
+    let rec fixed i = i < n && (p.(i) = i || fixed (i + 1)) in
+    if n > 0 && fixed 0 then attempt () else p
+  in
+  attempt ()
+
+let sample_without_replacement st k n =
+  if k > n then invalid_arg "Sampling.sample_without_replacement: k > n";
+  (* Partial Fisher–Yates: only the first k slots need shuffling. *)
+  let a = Array.init n (fun i -> i) in
+  for i = 0 to k - 1 do
+    let j = i + Random.State.int st (n - i) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done;
+  Array.sub a 0 k
+
+let pick st a =
+  if Array.length a = 0 then invalid_arg "Sampling.pick: empty array";
+  a.(Random.State.int st (Array.length a))
+
+let split_proportionally ~total ~weights =
+  let n = Array.length weights in
+  if n = 0 then invalid_arg "Sampling.split_proportionally: no bins";
+  let sum = Array.fold_left ( +. ) 0.0 weights in
+  if sum <= 0.0 then invalid_arg "Sampling.split_proportionally: zero weight";
+  let shares = Array.map (fun w -> float_of_int total *. w /. sum) weights in
+  let parts = Array.map (fun s -> int_of_float (floor s)) shares in
+  let assigned = Array.fold_left ( + ) 0 parts in
+  let remainders =
+    Array.mapi (fun i s -> (s -. floor s, i)) shares |> Array.to_list
+  in
+  let by_remainder =
+    List.sort (fun (r1, _) (r2, _) -> compare r2 r1) remainders
+  in
+  let rec distribute todo = function
+    | [] -> if todo > 0 then invalid_arg "split_proportionally: ran out of bins"
+    | (_, i) :: rest ->
+        if todo > 0 then begin
+          parts.(i) <- parts.(i) + 1;
+          distribute (todo - 1) rest
+        end
+  in
+  distribute (total - assigned) by_remainder;
+  parts

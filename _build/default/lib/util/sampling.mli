@@ -1,0 +1,28 @@
+(** Deterministic random-sampling primitives.
+
+    Every function takes an explicit [Random.State.t]; nothing in the
+    repository touches the global RNG, so all experiments replay exactly
+    given a seed. *)
+
+val shuffle : Random.State.t -> 'a array -> unit
+(** In-place Fisher–Yates shuffle. *)
+
+val permutation : Random.State.t -> int -> int array
+(** [permutation st n] is a uniformly random permutation of [0 .. n-1]. *)
+
+val derangement : Random.State.t -> int -> int array
+(** A uniformly random permutation with no fixed points (rejection sampling).
+    Raises [Invalid_argument] for [n = 1], which has no derangement. *)
+
+val sample_without_replacement : Random.State.t -> int -> int -> int array
+(** [sample_without_replacement st k n] is [k] distinct values drawn
+    uniformly from [0 .. n-1], in random order. Raises if [k > n]. *)
+
+val pick : Random.State.t -> 'a array -> 'a
+(** A uniform element of a non-empty array. *)
+
+val split_proportionally : total:int -> weights:float array -> int array
+(** Deterministically apportion [total] integer units across bins in
+    proportion to non-negative [weights], using largest-remainder rounding
+    so the parts sum exactly to [total]. Used to spread servers across
+    switches "in proportion to the β-th power of port count" (Fig. 5). *)

@@ -1,0 +1,64 @@
+type t = { header : string list; mutable rows : string list list }
+
+let create ~header = { header; rows = [] }
+
+let add_row t row =
+  if List.length row <> List.length t.header then
+    invalid_arg "Table.add_row: width mismatch";
+  t.rows <- row :: t.rows
+
+let add_floats t row = add_row t (List.map (Printf.sprintf "%.4g") row)
+
+let all_rows t = t.header :: List.rev t.rows
+
+let csv_cell cell =
+  let needs_quote =
+    String.exists (fun c -> c = ',' || c = '"' || c = '\n') cell
+  in
+  if needs_quote then begin
+    let buf = Buffer.create (String.length cell + 2) in
+    Buffer.add_char buf '"';
+    String.iter
+      (fun c ->
+        if c = '"' then Buffer.add_string buf "\"\"" else Buffer.add_char buf c)
+      cell;
+    Buffer.add_char buf '"';
+    Buffer.contents buf
+  end
+  else cell
+
+let to_csv t =
+  let line row = String.concat "," (List.map csv_cell row) in
+  String.concat "\n" (List.map line (all_rows t)) ^ "\n"
+
+let column_widths t =
+  let rows = all_rows t in
+  let ncols = List.length t.header in
+  let widths = Array.make ncols 0 in
+  let measure row =
+    List.iteri (fun i cell -> widths.(i) <- max widths.(i) (String.length cell)) row
+  in
+  List.iter measure rows;
+  widths
+
+let pp ppf t =
+  let widths = column_widths t in
+  let pp_row row =
+    List.iteri
+      (fun i cell ->
+        if i > 0 then Format.pp_print_string ppf "  ";
+        Format.fprintf ppf "%-*s" widths.(i) cell)
+      row;
+    Format.pp_print_newline ppf ()
+  in
+  pp_row t.header;
+  let rule = List.mapi (fun i _ -> String.make widths.(i) '-') t.header in
+  pp_row rule;
+  List.iter pp_row (List.rev t.rows)
+
+let print ?title t =
+  (match title with
+  | None -> ()
+  | Some s ->
+      Format.printf "%s@.%s@." s (String.make (String.length s) '='));
+  Format.printf "%a@." pp t

@@ -1,0 +1,27 @@
+(** Aligned text tables and CSV emission for experiment output.
+
+    Every bench target prints its figure's data series through this module so
+    the rows can be diffed against the paper's plots or piped into a plotting
+    tool. *)
+
+type t
+
+val create : header:string list -> t
+(** A table with the given column names. *)
+
+val add_row : t -> string list -> unit
+(** Append a row. Raises [Invalid_argument] if the width disagrees with the
+    header. *)
+
+val add_floats : t -> float list -> unit
+(** Convenience: format every cell with [%.4g]. *)
+
+val to_csv : t -> string
+(** Comma-separated rendering, header first. Cells containing commas or
+    quotes are quoted per RFC 4180. *)
+
+val pp : Format.formatter -> t -> unit
+(** Whitespace-aligned rendering for terminals. *)
+
+val print : ?title:string -> t -> unit
+(** [pp] to stdout, preceded by an optional underlined title. *)

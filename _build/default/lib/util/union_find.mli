@@ -1,0 +1,19 @@
+(** Disjoint-set forest with path compression and union by rank.
+
+    Used to check/enforce connectivity during topology construction. *)
+
+type t
+
+val create : int -> t
+(** [create n] is a structure over elements [0 .. n-1], each its own set. *)
+
+val find : t -> int -> int
+(** Canonical representative of the element's set. *)
+
+val union : t -> int -> int -> bool
+(** Merge the two sets; returns [true] iff they were distinct. *)
+
+val same : t -> int -> int -> bool
+
+val count : t -> int
+(** Number of disjoint sets currently present. *)

@@ -1,0 +1,1 @@
+test/test_bounds.ml: Alcotest Dcn_bounds Dcn_flow Dcn_graph Dcn_topology Dcn_traffic Float List QCheck QCheck_alcotest Random

@@ -1,0 +1,1 @@
+test/test_cuts.ml: Alcotest Cuts Dcn_graph Dcn_topology Graph Random

@@ -1,0 +1,1 @@
+test/test_edge_cases.ml: Alcotest Array Dcn_bounds Dcn_flow Dcn_graph Dcn_lp Dcn_topology Dcn_traffic Float Graph List Random

@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Array Dcn_flow Dcn_graph Dcn_routing Dcn_topology Dcn_traffic Float Graph List QCheck QCheck_alcotest Random

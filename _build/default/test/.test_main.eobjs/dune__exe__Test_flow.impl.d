@@ -1,0 +1,1 @@
+test/test_flow.ml: Alcotest Array Commodity Dcn_flow Dcn_graph Dcn_topology Graph Maxflow Mcmf_exact Mcmf_fptas QCheck QCheck_alcotest Random Throughput

@@ -1,0 +1,1 @@
+test/test_graph.ml: Alcotest Dcn_graph Graph List QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_heap.ml: Alcotest Dcn_util List QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_io.ml: Alcotest Array Dcn_graph Dcn_io Dcn_topology Dcn_traffic Filename Fun QCheck QCheck_alcotest Random Sys

@@ -1,0 +1,1 @@
+test/test_packetsim.ml: Alcotest Array Dcn_graph Dcn_packetsim Dcn_routing Float Graph List QCheck QCheck_alcotest

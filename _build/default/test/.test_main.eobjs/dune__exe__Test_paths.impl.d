@@ -1,0 +1,1 @@
+test/test_paths.ml: Alcotest Array Bfs Dcn_bounds Dcn_graph Dcn_topology Dijkstra Graph Graph_metrics List Printf QCheck QCheck_alcotest Random

@@ -1,0 +1,1 @@
+test/test_properties.ml: Array Bfs Cuts Dcn_bounds Dcn_flow Dcn_graph Dcn_routing Dcn_topology Float Gen Graph List QCheck QCheck_alcotest Random

@@ -1,0 +1,1 @@
+test/test_resilience.ml: Alcotest Array Dcn_graph Dcn_topology Graph List Random String

@@ -1,0 +1,1 @@
+test/test_routing.ml: Alcotest Dcn_graph Dcn_routing Dcn_topology Graph List QCheck QCheck_alcotest Random

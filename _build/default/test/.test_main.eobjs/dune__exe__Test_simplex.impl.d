@@ -1,0 +1,1 @@
+test/test_simplex.ml: Alcotest Array Dcn_lp Float List QCheck QCheck_alcotest Simplex

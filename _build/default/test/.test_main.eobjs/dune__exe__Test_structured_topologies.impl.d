@@ -1,0 +1,1 @@
+test/test_structured_topologies.ml: Alcotest Dcn_graph Dcn_topology Graph Hashtbl List QCheck QCheck_alcotest Random Spectral

@@ -1,0 +1,1 @@
+test/test_topologies.ml: Alcotest Array Dcn_flow Dcn_graph Dcn_topology Dcn_traffic Float Graph List QCheck QCheck_alcotest Random

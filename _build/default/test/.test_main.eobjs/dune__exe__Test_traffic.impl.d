@@ -1,0 +1,1 @@
+test/test_traffic.ml: Alcotest Array Dcn_flow Dcn_traffic Float Gen List QCheck QCheck_alcotest Random

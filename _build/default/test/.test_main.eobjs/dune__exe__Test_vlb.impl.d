@@ -1,0 +1,1 @@
+test/test_vlb.ml: Alcotest Array Dcn_flow Dcn_graph Dcn_routing Dcn_topology Dcn_traffic Graph List Random

@@ -1,0 +1,1 @@
+test/test_wiring.ml: Alcotest Array Dcn_topology Gen List QCheck QCheck_alcotest Random

@@ -1,0 +1,184 @@
+(* Tests for the ASPL lower bound, Theorem 1, and the Eqn-1 cut bound. *)
+
+module Aspl_bound = Dcn_bounds.Aspl_bound
+module Throughput_bound = Dcn_bounds.Throughput_bound
+module Cut_bound = Dcn_bounds.Cut_bound
+module Rrg = Dcn_topology.Rrg
+module Hetero = Dcn_topology.Hetero
+module Topology = Dcn_topology.Topology
+module Traffic = Dcn_traffic.Traffic
+module Mcmf_fptas = Dcn_flow.Mcmf_fptas
+
+let st () = Random.State.make [| 77 |]
+
+(* ---- ASPL bound ---- *)
+
+let test_d_star_complete_graph () =
+  (* r = n-1: everything at distance 1. *)
+  Alcotest.(check (float 1e-9)) "complete" 1.0 (Aspl_bound.d_star ~n:10 ~r:9)
+
+let test_d_star_two_levels () =
+  (* n=10, r=3: 3 nodes at distance 1, 6 at distance 2 → (3 + 12)/9. *)
+  Alcotest.(check (float 1e-9)) "two levels" (15.0 /. 9.0)
+    (Aspl_bound.d_star ~n:10 ~r:3)
+
+let test_d_star_exact_tree () =
+  (* n = 1 + r + r(r-1) exactly fills two levels: r=3, n=10 covered above;
+     r=4, n=17: (4 + 2*12)/16 = 28/16. *)
+  Alcotest.(check (float 1e-9)) "moore point" (28.0 /. 16.0)
+    (Aspl_bound.d_star ~n:17 ~r:4)
+
+let test_d_star_monotone_in_n () =
+  let prev = ref 0.0 in
+  for n = 5 to 200 do
+    let d = Aspl_bound.d_star ~n ~r:4 in
+    if d < !prev -. 1e-12 then Alcotest.fail "bound not monotone in n";
+    prev := d
+  done
+
+let test_d_star_decreasing_in_r () =
+  let prev = ref infinity in
+  for r = 2 to 30 do
+    let d = Aspl_bound.d_star ~n:40 ~r in
+    if d > !prev +. 1e-12 then Alcotest.fail "bound not decreasing in r";
+    prev := d
+  done
+
+let test_moore_bound () =
+  Alcotest.(check int) "r=4 diam1" 5 (Aspl_bound.moore_bound_nodes ~r:4 ~diameter:1);
+  Alcotest.(check int) "r=4 diam2" 17 (Aspl_bound.moore_bound_nodes ~r:4 ~diameter:2);
+  Alcotest.(check int) "r=4 diam3" 53 (Aspl_bound.moore_bound_nodes ~r:4 ~diameter:3);
+  Alcotest.(check (list int)) "fig3 x-tics" [ 17; 53; 161; 485; 1457 ]
+    (List.tl (Aspl_bound.level_boundaries ~r:4 ~max_diameter:6))
+
+let test_aspl_bound_invalid_args () =
+  Alcotest.check_raises "n too small" (Invalid_argument "Aspl_bound.d_star: n < 2")
+    (fun () -> ignore (Aspl_bound.d_star ~n:1 ~r:3))
+
+(* ---- Theorem 1 ---- *)
+
+let test_upper_bound_formula () =
+  (* bound = N·r / (d*·f). *)
+  let n = 10 and r = 3 and flows = 30 in
+  let expect = 30.0 /. (15.0 /. 9.0 *. 30.0) in
+  Alcotest.(check (float 1e-9)) "formula" expect
+    (Throughput_bound.upper_bound ~n ~r ~flows)
+
+let test_upper_bound_with_aspl_tighter () =
+  (* Using the true (larger) ASPL gives a smaller (tighter) bound. *)
+  let st = st () in
+  let g = Rrg.jellyfish st ~n:20 ~r:4 in
+  let aspl = Dcn_graph.Graph_metrics.aspl g in
+  let loose = Throughput_bound.upper_bound ~n:20 ~r:4 ~flows:40 in
+  let tight = Throughput_bound.upper_bound_with_aspl ~n:20 ~r:4 ~flows:40 ~aspl in
+  Alcotest.(check bool) "tight <= loose" true (tight <= loose +. 1e-12)
+
+let test_lambda_below_bound () =
+  (* The solver's certified λ upper bound must respect Theorem 1 (with the
+     graph's own distances). *)
+  let stt = st () in
+  let topo = Rrg.topology stt ~n:20 ~k:9 ~r:4 in
+  let tm = Traffic.permutation stt ~servers:topo.Topology.servers in
+  let cs = Traffic.to_commodities tm in
+  let r =
+    Mcmf_fptas.solve
+      ~params:{ Mcmf_fptas.eps = 0.05; gap = 0.03; max_phases = 100000 }
+      topo.Topology.graph cs
+  in
+  let bound = Throughput_bound.upper_bound_capacity topo.Topology.graph cs in
+  Alcotest.(check bool) "lambda_lower <= capacity bound" true
+    (r.Mcmf_fptas.lambda_lower <= bound +. 1e-9)
+
+(* ---- Cut bound ---- *)
+
+let hetero_topo ?cross_fraction () =
+  Hetero.two_class ?cross_fraction (st ())
+    ~large:{ Hetero.count = 8; ports = 10; servers_each = 4 }
+    ~small:{ Hetero.count = 8; ports = 10; servers_each = 4 }
+
+let test_cut_bound_fields () =
+  let topo = hetero_topo () in
+  let b = Cut_bound.eval topo in
+  Alcotest.(check bool) "bound is min" true
+    (b.Cut_bound.bound = Float.min b.Cut_bound.path_term b.Cut_bound.cut_term);
+  Alcotest.(check (float 1e-9)) "cross capacity consistent"
+    (Topology.cross_cluster_capacity topo)
+    b.Cut_bound.cross_capacity
+
+let test_cut_bound_above_lambda () =
+  let topo = hetero_topo ~cross_fraction:0.4 () in
+  let stt = st () in
+  let tm = Traffic.permutation stt ~servers:topo.Topology.servers in
+  let cs = Traffic.to_commodities tm in
+  let lambda =
+    (Mcmf_fptas.solve
+       ~params:{ Mcmf_fptas.eps = 0.05; gap = 0.03; max_phases = 100000 }
+       topo.Topology.graph cs)
+      .Mcmf_fptas.lambda_lower
+  in
+  let b = Cut_bound.eval topo in
+  (* Eqn 1 assumes the expected number of cross flows; a single sampled
+     permutation can have noticeably fewer (binomial noise on ~30 flows),
+     hence the generous slack. *)
+  Alcotest.(check bool) "lambda <= cut bound (with slack)" true
+    (lambda <= (1.3 *. b.Cut_bound.bound) +. 1e-9)
+
+let test_cut_bound_tracks_cross_capacity () =
+  let sparse = Cut_bound.eval (hetero_topo ~cross_fraction:0.2 ()) in
+  let dense = Cut_bound.eval (hetero_topo ~cross_fraction:1.5 ()) in
+  Alcotest.(check bool) "cut term grows" true
+    (sparse.Cut_bound.cut_term < dense.Cut_bound.cut_term)
+
+let test_cut_threshold () =
+  (* C̄* = T*·2n1n2/(n1+n2). *)
+  Alcotest.(check (float 1e-9)) "threshold" 32.0
+    (Cut_bound.cut_threshold ~t_star:1.0 ~n1:32 ~n2:32);
+  Alcotest.check_raises "empty cluster"
+    (Invalid_argument "Cut_bound.cut_threshold: empty cluster") (fun () ->
+      ignore (Cut_bound.cut_threshold ~t_star:1.0 ~n1:0 ~n2:5))
+
+let test_drop_point () =
+  Alcotest.(check (float 1e-9)) "eqn 2" 25.0
+    (Cut_bound.drop_point_equal_clusters ~capacity:100.0 ~aspl:2.0)
+
+let test_cut_bound_requires_two_clusters () =
+  let stt = st () in
+  let topo = Rrg.topology stt ~n:10 ~k:5 ~r:3 in
+  Alcotest.check_raises "single cluster"
+    (Invalid_argument "Cut_bound.eval: a cluster holds no servers") (fun () ->
+      ignore (Cut_bound.eval topo))
+
+let prop_bound_scales_with_capacity =
+  QCheck.Test.make ~name:"Theorem-1 bound halves when flows double" ~count:50
+    QCheck.(pair (int_range 6 60) (int_range 3 5))
+    (fun (n, r) ->
+      QCheck.assume (r < n);
+      let f = 10 * n in
+      let b1 = Throughput_bound.upper_bound ~n ~r ~flows:f in
+      let b2 = Throughput_bound.upper_bound ~n ~r ~flows:(2 * f) in
+      Float.abs ((b1 /. 2.0) -. b2) < 1e-9)
+
+let suite =
+  ( "bounds",
+    [
+      Alcotest.test_case "d* complete graph" `Quick test_d_star_complete_graph;
+      Alcotest.test_case "d* two levels" `Quick test_d_star_two_levels;
+      Alcotest.test_case "d* at a Moore point" `Quick test_d_star_exact_tree;
+      Alcotest.test_case "d* monotone in n" `Quick test_d_star_monotone_in_n;
+      Alcotest.test_case "d* decreasing in r" `Quick test_d_star_decreasing_in_r;
+      Alcotest.test_case "Moore boundaries (fig3 x-tics)" `Quick test_moore_bound;
+      Alcotest.test_case "d* argument checks" `Quick test_aspl_bound_invalid_args;
+      Alcotest.test_case "Theorem-1 formula" `Quick test_upper_bound_formula;
+      Alcotest.test_case "measured-ASPL variant tighter" `Quick
+        test_upper_bound_with_aspl_tighter;
+      Alcotest.test_case "solver respects Theorem 1" `Slow test_lambda_below_bound;
+      Alcotest.test_case "cut-bound structure" `Quick test_cut_bound_fields;
+      Alcotest.test_case "cut bound above lambda" `Slow test_cut_bound_above_lambda;
+      Alcotest.test_case "cut term tracks C̄" `Quick
+        test_cut_bound_tracks_cross_capacity;
+      Alcotest.test_case "C̄* threshold" `Quick test_cut_threshold;
+      Alcotest.test_case "Eqn-2 drop point" `Quick test_drop_point;
+      Alcotest.test_case "cluster requirement" `Quick
+        test_cut_bound_requires_two_clusters;
+      QCheck_alcotest.to_alcotest prop_bound_scales_with_capacity;
+    ] )

@@ -1,0 +1,235 @@
+(* Edge-case tests across modules: smallest legal inputs, boundary
+   conditions, and error paths not covered by the main suites. *)
+
+open Dcn_graph
+module Simplex = Dcn_lp.Simplex
+module Traffic = Dcn_traffic.Traffic
+module Vl2 = Dcn_topology.Vl2
+module Rewire = Dcn_topology.Rewire
+module Fat_tree = Dcn_topology.Fat_tree
+module Commodity = Dcn_flow.Commodity
+module Mcmf_fptas = Dcn_flow.Mcmf_fptas
+module Maxflow = Dcn_flow.Maxflow
+
+(* ---- graphs ---- *)
+
+let test_empty_graph () =
+  let g = Graph.of_edges 3 [] in
+  Alcotest.(check int) "no arcs" 0 (Graph.num_arcs g);
+  Alcotest.(check bool) "disconnected" false (Graph.is_connected g);
+  Alcotest.(check (option int)) "0-regular" (Some 0) (Graph.is_regular g)
+
+let test_single_node_graph () =
+  let g = Graph.of_edges 1 [] in
+  Alcotest.(check bool) "trivially connected" true (Graph.is_connected g)
+
+let test_two_node_multilink () =
+  let g = Graph.of_edges 2 [ (0, 1, 1.0); (0, 1, 2.0); (1, 0, 4.0) ] in
+  Alcotest.(check int) "three links" 3 (Graph.num_edges g);
+  Alcotest.(check (float 1e-9)) "total capacity" 14.0 (Graph.total_capacity g);
+  (* Max flow uses all three in parallel. *)
+  Alcotest.(check (float 1e-9)) "parallel maxflow" 7.0
+    (Maxflow.min_cut_value g ~src:0 ~dst:1)
+
+(* ---- simplex ---- *)
+
+let test_simplex_empty_rows () =
+  (* No constraints, positive objective: unbounded. *)
+  (match Simplex.solve { Simplex.objective = [| 1.0 |]; rows = [] } with
+  | Simplex.Unbounded -> ()
+  | _ -> Alcotest.fail "expected unbounded");
+  (* Negative objective: optimum at the origin. *)
+  match Simplex.solve { Simplex.objective = [| -1.0 |]; rows = [] } with
+  | Simplex.Optimal s ->
+      Alcotest.(check (float 1e-9)) "origin" 0.0 s.Simplex.objective_value
+  | _ -> Alcotest.fail "expected optimal"
+
+let test_simplex_zero_objective () =
+  match
+    Simplex.solve
+      {
+        Simplex.objective = [| 0.0; 0.0 |];
+        rows = [ ([| 1.0; 1.0 |], Simplex.Eq, 2.0) ];
+      }
+  with
+  | Simplex.Optimal s ->
+      Alcotest.(check (float 1e-9)) "zero" 0.0 s.Simplex.objective_value;
+      Alcotest.(check bool) "feasible point returned" true
+        (Float.abs (s.Simplex.variables.(0) +. s.Simplex.variables.(1) -. 2.0)
+        < 1e-6)
+  | _ -> Alcotest.fail "expected optimal"
+
+let test_simplex_equality_infeasible_sign () =
+  (* x1 + x2 = -1 with x >= 0 is infeasible even after rhs normalization. *)
+  match
+    Simplex.solve
+      {
+        Simplex.objective = [| 1.0; 1.0 |];
+        rows = [ ([| 1.0; 1.0 |], Simplex.Eq, -1.0) ];
+      }
+  with
+  | Simplex.Infeasible -> ()
+  | _ -> Alcotest.fail "expected infeasible"
+
+(* ---- traffic ---- *)
+
+let test_traffic_two_servers () =
+  let tm = Traffic.permutation (Random.State.make [| 1 |]) ~servers:[| 1; 1 |] in
+  (* The only derangement swaps them: demand 1 each way. *)
+  Alcotest.(check (float 1e-9)) "two flows" 2.0 (Traffic.total_demand tm)
+
+let test_traffic_single_switch_permutation () =
+  (* All servers on one switch: every flow is intra-switch. *)
+  let tm = Traffic.permutation (Random.State.make [| 1 |]) ~servers:[| 4 |] in
+  Alcotest.(check bool) "no demands" true (tm.Traffic.demands = []);
+  Alcotest.check_raises "no commodities"
+    (Invalid_argument "Traffic.to_commodities: no inter-switch demand")
+    (fun () -> ignore (Traffic.to_commodities tm))
+
+let test_chunky_zero_servers_switches () =
+  (* Switches without servers are skipped as ToRs. *)
+  let servers = [| 3; 0; 3; 0; 3; 3 |] in
+  let tm = Traffic.chunky (Random.State.make [| 2 |]) ~servers ~fraction:1.0 in
+  List.iter
+    (fun (u, v, _) ->
+      if servers.(u) = 0 || servers.(v) = 0 then
+        Alcotest.fail "empty switch involved")
+    tm.Traffic.demands
+
+(* ---- topologies ---- *)
+
+let test_vl2_minimum () =
+  let topo = Vl2.create ~da:2 ~di:2 () in
+  (* 1 ToR, 2 aggs, 1 core. *)
+  Alcotest.(check int) "switches" 4 (Dcn_topology.Topology.num_switches topo);
+  Alcotest.(check bool) "connected" true
+    (Graph.is_connected topo.Dcn_topology.Topology.graph)
+
+let test_vl2_undersubscribed () =
+  let topo = Vl2.create ~tors:2 ~da:8 ~di:8 () in
+  let server_bearing =
+    Array.fold_left (fun a s -> a + if s > 0 then 1 else 0) 0
+      topo.Dcn_topology.Topology.servers
+  in
+  Alcotest.(check int) "2 tors" 2 server_bearing;
+  Alcotest.(check int) "40 servers" 40 (Dcn_topology.Topology.num_servers topo)
+
+let test_vl2_rejects_oversubscription () =
+  Alcotest.check_raises "tors over design" (Invalid_argument "Vl2: tors out of range")
+    (fun () -> ignore (Vl2.create ~tors:100 ~da:4 ~di:4 ()))
+
+let test_rewire_custom_link_speed () =
+  let st = Random.State.make [| 5 |] in
+  let topo = Rewire.create ~link_speed:3.0 st ~tors:6 ~da:4 ~di:4 () in
+  Graph.iter_arcs topo.Dcn_topology.Topology.graph (fun a ->
+      let c = Graph.arc_cap topo.Dcn_topology.Topology.graph a in
+      if c <> 3.0 then Alcotest.fail "wrong link speed")
+
+let test_fat_tree_k2 () =
+  let topo = Fat_tree.create ~k:2 () in
+  (* 2 pods x (1 edge + 1 agg) + 1 core = 5 switches, 2 servers. *)
+  Alcotest.(check int) "switches" 5 (Dcn_topology.Topology.num_switches topo);
+  Alcotest.(check int) "servers" 2 (Dcn_topology.Topology.num_servers topo);
+  Alcotest.(check bool) "connected" true
+    (Graph.is_connected topo.Dcn_topology.Topology.graph)
+
+(* ---- solver boundary conditions ---- *)
+
+let test_fptas_tiny_graph () =
+  let g = Graph.of_edges 2 [ (0, 1, 1.0) ] in
+  let r =
+    Mcmf_fptas.solve
+      ~params:{ Mcmf_fptas.eps = 0.05; gap = 0.03; max_phases = 100_000 }
+      g
+      [| Commodity.make ~src:0 ~dst:1 ~demand:1.0 |]
+  in
+  Alcotest.(check bool) "single link lambda = 1" true
+    (r.Mcmf_fptas.lambda_lower > 0.97 && r.Mcmf_fptas.lambda_upper < 1.03)
+
+let test_fptas_huge_demand_scale () =
+  (* Demand pre-scaling should make absolute demand magnitude irrelevant. *)
+  let g = Graph.of_edges 2 [ (0, 1, 1.0) ] in
+  let lam d =
+    Mcmf_fptas.lambda
+      ~params:{ Mcmf_fptas.eps = 0.05; gap = 0.03; max_phases = 100_000 }
+      g
+      [| Commodity.make ~src:0 ~dst:1 ~demand:d |]
+  in
+  let small = lam 1e-6 and big = lam 1e6 in
+  Alcotest.(check bool) "inverse proportional" true
+    (Float.abs ((small *. 1e-6) -. (big *. 1e6)) /. (small *. 1e-6) < 0.1)
+
+let test_fptas_asymmetric_capacities () =
+  (* A directed bottleneck: forward capacity 1, reverse 10. *)
+  let b = Graph.builder 2 in
+  Graph.add_arc b ~cap:1.0 0 1;
+  Graph.add_arc b ~cap:10.0 1 0;
+  let g = Graph.freeze b in
+  let fwd =
+    Mcmf_fptas.lambda g [| Commodity.make ~src:0 ~dst:1 ~demand:1.0 |]
+  in
+  let bwd =
+    Mcmf_fptas.lambda g [| Commodity.make ~src:1 ~dst:0 ~demand:1.0 |]
+  in
+  Alcotest.(check bool) "forward ~1" true (Float.abs (fwd -. 1.0) < 0.1);
+  Alcotest.(check bool) "backward ~10" true (Float.abs (bwd -. 10.0) < 1.0)
+
+let test_fptas_unconverged_still_valid () =
+  (* With a one-phase budget the result must be flagged unconverged but
+     still bracket the optimum. *)
+  let st = Random.State.make [| 9 |] in
+  let g = Dcn_topology.Rrg.jellyfish st ~n:12 ~r:4 in
+  let cs = [| Commodity.make ~src:0 ~dst:6 ~demand:1.0 |] in
+  let r =
+    Mcmf_fptas.solve
+      ~params:{ Mcmf_fptas.eps = 0.1; gap = 0.001; max_phases = 1 }
+      g cs
+  in
+  Alcotest.(check bool) "not converged" false r.Mcmf_fptas.converged;
+  let exact = (Dcn_flow.Mcmf_exact.solve g cs).Dcn_flow.Mcmf_exact.lambda in
+  Alcotest.(check bool) "interval still brackets" true
+    (r.Mcmf_fptas.lambda_lower <= exact +. 1e-6
+    && exact <= r.Mcmf_fptas.lambda_upper +. 1e-6)
+
+(* ---- bounds ---- *)
+
+let test_dstar_ring_case () =
+  (* r = 2: levels hold 2 nodes each; for n = 7, distances 1,1,2,2,3,3:
+     d* = 12/6 = 2. *)
+  Alcotest.(check (float 1e-9)) "r=2" 2.0 (Dcn_bounds.Aspl_bound.d_star ~n:7 ~r:2)
+
+let test_cut_threshold_scales () =
+  let t1 = Dcn_bounds.Cut_bound.cut_threshold ~t_star:0.5 ~n1:10 ~n2:10 in
+  let t2 = Dcn_bounds.Cut_bound.cut_threshold ~t_star:1.0 ~n1:10 ~n2:10 in
+  Alcotest.(check (float 1e-9)) "linear in T*" (2.0 *. t1) t2
+
+let suite =
+  ( "edge-cases",
+    [
+      Alcotest.test_case "empty graph" `Quick test_empty_graph;
+      Alcotest.test_case "single node" `Quick test_single_node_graph;
+      Alcotest.test_case "parallel links flow" `Quick test_two_node_multilink;
+      Alcotest.test_case "simplex no rows" `Quick test_simplex_empty_rows;
+      Alcotest.test_case "simplex zero objective" `Quick test_simplex_zero_objective;
+      Alcotest.test_case "simplex infeasible equality" `Quick
+        test_simplex_equality_infeasible_sign;
+      Alcotest.test_case "two-server permutation" `Quick test_traffic_two_servers;
+      Alcotest.test_case "single-switch permutation" `Quick
+        test_traffic_single_switch_permutation;
+      Alcotest.test_case "chunky skips empty switches" `Quick
+        test_chunky_zero_servers_switches;
+      Alcotest.test_case "vl2 minimum size" `Quick test_vl2_minimum;
+      Alcotest.test_case "vl2 undersubscribed" `Quick test_vl2_undersubscribed;
+      Alcotest.test_case "vl2 oversubscription rejected" `Quick
+        test_vl2_rejects_oversubscription;
+      Alcotest.test_case "rewire link speed" `Quick test_rewire_custom_link_speed;
+      Alcotest.test_case "fat tree k=2" `Quick test_fat_tree_k2;
+      Alcotest.test_case "fptas one link" `Quick test_fptas_tiny_graph;
+      Alcotest.test_case "fptas demand scaling" `Quick test_fptas_huge_demand_scale;
+      Alcotest.test_case "fptas asymmetric arcs" `Quick
+        test_fptas_asymmetric_capacities;
+      Alcotest.test_case "fptas unconverged validity" `Quick
+        test_fptas_unconverged_still_valid;
+      Alcotest.test_case "d* ring" `Quick test_dstar_ring_case;
+      Alcotest.test_case "threshold linear" `Quick test_cut_threshold_scales;
+    ] )

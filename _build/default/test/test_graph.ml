@@ -1,0 +1,128 @@
+(* Tests for the CSR multigraph: construction, accessors, invariants. *)
+
+open Dcn_graph
+
+let triangle () = Graph.of_edges 3 [ (0, 1, 1.0); (1, 2, 1.0); (2, 0, 1.0) ]
+
+let test_counts () =
+  let g = triangle () in
+  Alcotest.(check int) "n" 3 (Graph.n g);
+  Alcotest.(check int) "arcs" 6 (Graph.num_arcs g);
+  Alcotest.(check int) "edges" 3 (Graph.num_edges g);
+  Alcotest.(check (float 1e-9)) "capacity both directions" 6.0
+    (Graph.total_capacity g)
+
+let test_reverse_arcs () =
+  let g = triangle () in
+  Graph.iter_arcs g (fun a ->
+      let r = Graph.arc_rev g a in
+      Alcotest.(check int) "rev of rev" a (Graph.arc_rev g r);
+      Alcotest.(check int) "rev src" (Graph.arc_dst g a) (Graph.arc_src g r);
+      Alcotest.(check int) "rev dst" (Graph.arc_src g a) (Graph.arc_dst g r))
+
+let test_degrees () =
+  let g = triangle () in
+  for u = 0 to 2 do
+    Alcotest.(check int) "degree" 2 (Graph.degree g u)
+  done;
+  Alcotest.(check (option int)) "regular" (Some 2) (Graph.is_regular g)
+
+let test_self_loop_rejected () =
+  let b = Graph.builder 3 in
+  Alcotest.check_raises "self loop" (Invalid_argument "Graph: self-loop rejected")
+    (fun () -> Graph.add_edge b 1 1)
+
+let test_out_of_range () =
+  let b = Graph.builder 3 in
+  Alcotest.check_raises "endpoint range"
+    (Invalid_argument "Graph: endpoint out of range") (fun () ->
+      Graph.add_edge b 0 3)
+
+let test_directed_arc () =
+  let b = Graph.builder 2 in
+  Graph.add_arc b ~cap:5.0 0 1;
+  let g = Graph.freeze b in
+  (* The reverse stub exists with zero capacity. *)
+  Alcotest.(check int) "arcs" 2 (Graph.num_arcs g);
+  Alcotest.(check int) "degree counts positive caps" 1 (Graph.degree g 0);
+  Alcotest.(check int) "no positive out-arc at 1" 0 (Graph.degree g 1);
+  Alcotest.(check (float 1e-9)) "capacity" 5.0 (Graph.total_capacity g)
+
+let test_multigraph () =
+  let g = Graph.of_edges 2 [ (0, 1, 1.0); (0, 1, 1.0) ] in
+  Alcotest.(check bool) "multi-edge detected" true (Graph.has_multi_edge g);
+  Alcotest.(check int) "parallel degree" 2 (Graph.degree g 0);
+  let simple = triangle () in
+  Alcotest.(check bool) "triangle simple" false (Graph.has_multi_edge simple)
+
+let test_connectivity () =
+  Alcotest.(check bool) "triangle connected" true (Graph.is_connected (triangle ()));
+  let g = Graph.of_edges 4 [ (0, 1, 1.0); (2, 3, 1.0) ] in
+  Alcotest.(check bool) "two components" false (Graph.is_connected g);
+  (* A single directed arc still connects weakly. *)
+  let b = Graph.builder 2 in
+  Graph.add_arc b 0 1;
+  Alcotest.(check bool) "weakly connected" true (Graph.is_connected (Graph.freeze b))
+
+let test_neighbors_and_edge_list () =
+  let g = triangle () in
+  Alcotest.(check (list int)) "neighbors of 0" [ 1; 2 ]
+    (List.sort compare (Graph.neighbors g 0));
+  Alcotest.(check (list (triple int int (float 1e-9))))
+    "edge list" [ (0, 1, 1.0); (1, 2, 1.0); (2, 0, 1.0) ]
+    (List.sort compare (Graph.to_edge_list g))
+
+let test_equal_structure () =
+  let g1 = triangle () in
+  let g2 = Graph.of_edges 3 [ (2, 0, 1.0); (0, 1, 1.0); (1, 2, 1.0) ] in
+  Alcotest.(check bool) "same structure, different order" true
+    (Graph.equal_structure g1 g2);
+  let g3 = Graph.of_edges 3 [ (0, 1, 1.0); (1, 2, 1.0) ] in
+  Alcotest.(check bool) "different" false (Graph.equal_structure g1 g3)
+
+let test_dot_export () =
+  let dot = Graph.to_dot (triangle ()) in
+  Alcotest.(check bool) "has header" true
+    (String.length dot > 0 && String.sub dot 0 5 = "graph")
+
+(* Property: freezing random edge lists preserves the edge multiset. *)
+let prop_roundtrip =
+  let gen =
+    QCheck.Gen.(
+      let* n = int_range 2 15 in
+      let* edges =
+        list_size (int_range 0 40)
+          (let* u = int_range 0 (n - 1) in
+           let* v = int_range 0 (n - 1) in
+           return (u, v))
+      in
+      return (n, List.filter (fun (u, v) -> u <> v) edges))
+  in
+  QCheck.Test.make ~name:"edge multiset round-trips through CSR" ~count:200
+    (QCheck.make gen)
+    (fun (n, edges) ->
+      let g = Graph.of_edges n (List.map (fun (u, v) -> (u, v, 1.0)) edges) in
+      let canon (u, v) = (min u v, max u v) in
+      let expect = List.sort compare (List.map canon edges) in
+      let got =
+        List.sort compare
+          (List.map (fun (u, v, _) -> canon (u, v)) (Graph.to_edge_list g))
+      in
+      expect = got && Graph.num_arcs g = 2 * List.length edges)
+
+let suite =
+  ( "graph",
+    [
+      Alcotest.test_case "counts" `Quick test_counts;
+      Alcotest.test_case "reverse arcs" `Quick test_reverse_arcs;
+      Alcotest.test_case "degrees / regularity" `Quick test_degrees;
+      Alcotest.test_case "self-loop rejected" `Quick test_self_loop_rejected;
+      Alcotest.test_case "endpoint range checked" `Quick test_out_of_range;
+      Alcotest.test_case "directed arc with stub" `Quick test_directed_arc;
+      Alcotest.test_case "multigraph support" `Quick test_multigraph;
+      Alcotest.test_case "connectivity" `Quick test_connectivity;
+      Alcotest.test_case "neighbors / edge list" `Quick test_neighbors_and_edge_list;
+      Alcotest.test_case "structural equality" `Quick test_equal_structure;
+      Alcotest.test_case "dot export" `Quick test_dot_export;
+      QCheck_alcotest.to_alcotest prop_roundtrip;
+    ] )

@@ -1,0 +1,268 @@
+(* End-to-end integration tests exercising the public Core facade the way
+   the paper's experiments do. *)
+
+let quick_params =
+  { Core.Mcmf_fptas.eps = 0.1; gap = 0.08; max_phases = 100_000 }
+
+let tiny_scale = { Core.Scale.quick with Core.Scale.runs = 1 }
+
+let st () = Random.State.make [| 4242 |]
+
+let test_rrg_near_bound_pipeline () =
+  (* The paper's headline: RRG throughput lands within tens of percent of
+     the Theorem-1 bound (within a few percent at scale; looser here at
+     tiny scale and coarse solver settings). *)
+  let stt = st () in
+  let n = 30 and r = 8 in
+  let topo = Core.Rrg.topology stt ~n ~k:(r + 5) ~r in
+  let tm = Core.Traffic.permutation stt ~servers:topo.Core.Topology.servers in
+  let cs = Core.Traffic.to_commodities tm in
+  let result = Core.Mcmf_fptas.solve ~params:quick_params topo.Core.Topology.graph cs in
+  let flows = Core.Traffic.num_servers ~servers:topo.Core.Topology.servers in
+  let bound = Core.Throughput_bound.upper_bound ~n ~r ~flows in
+  let ratio = result.Core.Mcmf_fptas.lambda_lower /. bound in
+  Alcotest.(check bool) "below bound" true (ratio <= 1.0 +. 1e-9);
+  Alcotest.(check bool) "reasonably close to bound" true (ratio >= 0.5)
+
+let test_proportional_servers_beat_skewed () =
+  (* §5.1: the port-proportional server split beats a strongly skewed one.
+     Averaged over a few samples to make the comparison robust. *)
+  let lambda_with servers_large servers_small salt =
+    let values =
+      Array.init 3 (fun i ->
+          let stt = Random.State.make [| salt; i |] in
+          let topo =
+            Core.Hetero.two_class stt
+              ~large:{ Core.Hetero.count = 10; ports = 12; servers_each = servers_large }
+              ~small:{ Core.Hetero.count = 20; ports = 6; servers_each = servers_small }
+          in
+          let tm = Core.Traffic.permutation stt ~servers:topo.Core.Topology.servers in
+          Core.Mcmf_fptas.lambda ~params:quick_params topo.Core.Topology.graph
+            (Core.Traffic.to_commodities tm))
+    in
+    Core.Stats.mean values
+  in
+  (* 120 ports at large, 120 at small: proportional = 80 servers split as
+     (6, 1); skewed: everything on small switches (0, 4). *)
+  let proportional = lambda_with 6 1 1 in
+  let skewed = lambda_with 0 4 2 in
+  Alcotest.(check bool) "proportional wins" true (proportional > skewed)
+
+let test_cross_cluster_plateau_and_cliff () =
+  (* §5/§6: throughput at cross-ratio 1.0 is much higher than at 0.1, but
+     close to the value at 1.5 (the plateau). *)
+  let lambda_at x =
+    let stt = Random.State.make [| 99; int_of_float (x *. 10.0) |] in
+    let topo =
+      Core.Hetero.two_class ~cross_fraction:x stt
+        ~large:{ Core.Hetero.count = 10; ports = 12; servers_each = 4 }
+        ~small:{ Core.Hetero.count = 10; ports = 12; servers_each = 4 }
+    in
+    let tm = Core.Traffic.permutation stt ~servers:topo.Core.Topology.servers in
+    Core.Mcmf_fptas.lambda ~params:quick_params topo.Core.Topology.graph
+      (Core.Traffic.to_commodities tm)
+  in
+  let low = lambda_at 0.1 and mid = lambda_at 1.0 and high = lambda_at 1.5 in
+  Alcotest.(check bool) "cliff at sparse cut" true (low < 0.7 *. mid);
+  Alcotest.(check bool) "plateau" true (Float.abs (high -. mid) /. mid < 0.25)
+
+let test_decomposition_tracks_utilization () =
+  (* §6.1: at the sparse-cut cliff, utilization (not path length) explains
+     the throughput drop. *)
+  let metrics_at x =
+    let stt = Random.State.make [| 123; int_of_float (x *. 10.0) |] in
+    let topo =
+      Core.Hetero.two_class ~cross_fraction:x stt
+        ~large:{ Core.Hetero.count = 10; ports = 12; servers_each = 4 }
+        ~small:{ Core.Hetero.count = 10; ports = 12; servers_each = 4 }
+    in
+    let tm = Core.Traffic.permutation stt ~servers:topo.Core.Topology.servers in
+    Core.Throughput.compute ~solver:(Core.Throughput.Fptas quick_params)
+      topo.Core.Topology.graph
+      (Core.Traffic.to_commodities tm)
+  in
+  let sparse = metrics_at 0.15 and balanced = metrics_at 1.0 in
+  let u_drop = sparse.Core.Throughput.utilization /. balanced.Core.Throughput.utilization in
+  (* The inverse-path-length factor of the decomposition also falls when
+     the cut forces detours, but utilization must fall more — that is the
+     §6.1 claim. *)
+  let inv_d_drop =
+    balanced.Core.Throughput.mean_shortest_path
+    /. sparse.Core.Throughput.mean_shortest_path
+  in
+  Alcotest.(check bool) "utilization collapses" true (u_drop < 0.8);
+  Alcotest.(check bool) "utilization dominates path length" true
+    (u_drop < inv_d_drop)
+
+let test_class_utilization_locates_bottleneck () =
+  (* §6.1: with few cross links, the cross-cluster class shows the highest
+     utilization. *)
+  let stt = st () in
+  let topo =
+    Core.Hetero.two_class ~cross_fraction:0.2 stt
+      ~large:{ Core.Hetero.count = 10; ports = 12; servers_each = 4 }
+      ~small:{ Core.Hetero.count = 10; ports = 12; servers_each = 4 }
+  in
+  let tm = Core.Traffic.permutation stt ~servers:topo.Core.Topology.servers in
+  let t =
+    Core.Throughput.compute ~solver:(Core.Throughput.Fptas quick_params)
+      topo.Core.Topology.graph
+      (Core.Traffic.to_commodities tm)
+  in
+  let classes =
+    Core.Throughput.class_utilization topo.Core.Topology.graph
+      ~arc_flow:t.Core.Throughput.arc_flow ~cluster:topo.Core.Topology.cluster
+  in
+  let find key = List.assoc key classes in
+  Alcotest.(check bool) "cross links hottest" true
+    (find (0, 1) >= find (0, 0) && find (0, 1) >= find (1, 1))
+
+let test_scale_determinism () =
+  (* Same scale + salt ⇒ identical measurements. *)
+  let f st = Random.State.float st 1.0 in
+  let a = Core.Scale.averaged tiny_scale ~salt:7 f in
+  let b = Core.Scale.averaged tiny_scale ~salt:7 f in
+  Alcotest.(check (pair (float 0.0) (float 0.0))) "deterministic" a b;
+  let c = Core.Scale.averaged tiny_scale ~salt:8 f in
+  Alcotest.(check bool) "salt changes stream" true (fst a <> fst c)
+
+let test_vl2_study_tor_search () =
+  (* The binary search finds a capacity at least VL2's design point for a
+     small instance. *)
+  let tors =
+    Core.Vl2_study.max_tors_at_full_throughput tiny_scale ~salt:1
+      ~traffic:`Permutation ~da:4 ~di:4
+  in
+  Alcotest.(check bool) "at least VL2 capacity" true
+    (tors >= Core.Vl2.num_tors ~da:4 ~di:4)
+
+let test_packet_vs_flow_agreement () =
+  (* Fig 13's claim at miniature scale: packet-level goodput within ~25%
+     of the fluid value (the paper reports a few percent at full scale with
+     a real MPTCP; our compact transport is close but not identical). *)
+  let stt = st () in
+  let topo = Core.Rewire.create stt ~servers_per_tor:4 ~link_speed:2.0 ~tors:12 ~da:6 ~di:4 () in
+  let flow_lambda, packet_goodput =
+    Core.Packet_experiments.compare_once tiny_scale ~salt:5 ~topo ~subflows:4
+  in
+  Alcotest.(check bool) "both positive" true
+    (flow_lambda > 0.0 && packet_goodput > 0.0);
+  Alcotest.(check bool) "within 35 percent" true
+    (Float.abs (flow_lambda -. packet_goodput) /. flow_lambda < 0.35)
+
+let test_fig_tables_well_formed () =
+  (* Smoke: a fast figure driver produces a well-formed, non-empty table. *)
+  let tbl = Core.Experiments.fig1b tiny_scale in
+  let csv = Core.Table.to_csv tbl in
+  Alcotest.(check bool) "has rows" true (String.length csv > 40);
+  Alcotest.(check bool) "has header" true
+    (String.length csv >= 6 && String.sub csv 0 6 = "degree")
+
+let test_aggregation_invariance () =
+  (* The central modeling decision (DESIGN.md): aggregating server-level
+     flows to switch-level commodities preserves the concurrent-flow value.
+     Model the same tiny network both ways and compare exactly. *)
+  (* Aggregated: switches A=0, B=1 joined by a unit link; two servers on
+     each; permutation pairs server i of A with server i of B, both ways. *)
+  let g_agg = Core.Graph.of_edges 2 [ (0, 1, 1.0) ] in
+  let cs_agg =
+    [|
+      Core.Commodity.make ~src:0 ~dst:1 ~demand:2.0;
+      Core.Commodity.make ~src:1 ~dst:0 ~demand:2.0;
+    |]
+  in
+  let agg = (Core.Mcmf_exact.solve g_agg cs_agg).Core.Mcmf_exact.lambda in
+  (* Explicit: servers are nodes 2..5 with unit NIC links; same pairing as
+     individual unit commodities. *)
+  let b = Core.Graph.builder 6 in
+  Core.Graph.add_edge b 0 1;
+  List.iter (fun s -> Core.Graph.add_edge b 0 s) [ 2; 3 ];
+  List.iter (fun s -> Core.Graph.add_edge b 1 s) [ 4; 5 ];
+  let g_exp = Core.Graph.freeze b in
+  let cs_exp =
+    [|
+      Core.Commodity.make ~src:2 ~dst:4 ~demand:1.0;
+      Core.Commodity.make ~src:3 ~dst:5 ~demand:1.0;
+      Core.Commodity.make ~src:4 ~dst:2 ~demand:1.0;
+      Core.Commodity.make ~src:5 ~dst:3 ~demand:1.0;
+    |]
+  in
+  let explicit = (Core.Mcmf_exact.solve g_exp cs_exp).Core.Mcmf_exact.lambda in
+  (* λ is concurrency per unit of demand: an aggregated commodity of
+     demand 2 ships 2λ, i.e. λ per underlying server flow — so the two
+     models' λ values are directly equal. *)
+  Alcotest.(check (float 1e-6)) "same per-flow value" explicit agg
+
+let test_exact_solver_end_to_end () =
+  (* The Exact solver through the public Throughput API. *)
+  let st = Random.State.make [| 51 |] in
+  let topo = Core.Rrg.topology st ~n:8 ~k:5 ~r:3 in
+  let tm = Core.Traffic.permutation st ~servers:topo.Core.Topology.servers in
+  let cs = Core.Traffic.to_commodities tm in
+  let exact =
+    Core.Throughput.compute ~solver:Core.Throughput.Exact
+      topo.Core.Topology.graph cs
+  in
+  let lo, hi = exact.Core.Throughput.lambda_bounds in
+  Alcotest.(check (float 1e-9)) "exact has zero-width bounds" lo hi;
+  let fptas =
+    Core.Throughput.compute
+      ~solver:(Core.Throughput.Fptas
+                 { Core.Mcmf_fptas.eps = 0.05; gap = 0.03; max_phases = 100000 })
+      topo.Core.Topology.graph cs
+  in
+  let flo, fhi = fptas.Core.Throughput.lambda_bounds in
+  Alcotest.(check bool) "fptas brackets exact" true
+    (flo <= exact.Core.Throughput.lambda +. 1e-6
+    && exact.Core.Throughput.lambda <= fhi +. 1e-6)
+
+let test_flows_of_permutation_cover_demand () =
+  (* The packet-sim workload builder creates exactly one flow per unit of
+     aggregated demand, each with at least one valid path. *)
+  let stt = Random.State.make [| 61 |] in
+  let topo = Core.Rrg.topology stt ~n:12 ~k:6 ~r:4 in
+  let g = topo.Core.Topology.graph in
+  let tm = Core.Traffic.permutation stt ~servers:topo.Core.Topology.servers in
+  let flows = Core.Packet_experiments.flows_of_permutation g ~tm ~subflows:4 in
+  let demand = int_of_float (Core.Traffic.total_demand tm) in
+  Alcotest.(check int) "one flow per demand unit" demand (Array.length flows);
+  Array.iter
+    (fun f ->
+      Alcotest.(check bool) "has paths" true (f.Core.Packet_sim.paths <> []);
+      List.iter
+        (fun p ->
+          Alcotest.(check bool) "path nonempty" true (p <> []))
+        f.Core.Packet_sim.paths)
+    flows
+
+let test_vl2_supports_at_design_size () =
+  (* VL2 at its design size must pass the full-throughput predicate. *)
+  let topo = Core.Vl2.create ~da:4 ~di:4 () in
+  Alcotest.(check bool) "supports" true
+    (Core.Vl2_study.supports tiny_scale ~salt:3 ~traffic:`Permutation topo)
+
+let suite =
+  ( "integration",
+    [
+      Alcotest.test_case "rrg near bound" `Slow test_rrg_near_bound_pipeline;
+      Alcotest.test_case "proportional server split wins" `Slow
+        test_proportional_servers_beat_skewed;
+      Alcotest.test_case "plateau and cliff" `Slow test_cross_cluster_plateau_and_cliff;
+      Alcotest.test_case "utilization explains drop" `Slow
+        test_decomposition_tracks_utilization;
+      Alcotest.test_case "bottleneck located at cut" `Slow
+        test_class_utilization_locates_bottleneck;
+      Alcotest.test_case "scale determinism" `Quick test_scale_determinism;
+      Alcotest.test_case "vl2 tor search" `Slow test_vl2_study_tor_search;
+      Alcotest.test_case "packet vs flow" `Slow test_packet_vs_flow_agreement;
+      Alcotest.test_case "figure tables well-formed" `Quick
+        test_fig_tables_well_formed;
+      Alcotest.test_case "aggregation invariance" `Quick
+        test_aggregation_invariance;
+      Alcotest.test_case "exact solver end-to-end" `Slow
+        test_exact_solver_end_to_end;
+      Alcotest.test_case "packet workload covers demand" `Quick
+        test_flows_of_permutation_cover_demand;
+      Alcotest.test_case "vl2 passes its own predicate" `Slow
+        test_vl2_supports_at_design_size;
+    ] )

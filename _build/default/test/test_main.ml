@@ -1,0 +1,27 @@
+(* Aggregated test runner: one Alcotest suite per module under test. *)
+
+let () =
+  Alcotest.run "dcn-topology-design"
+    [
+      Test_heap.suite;
+      Test_util.suite;
+      Test_graph.suite;
+      Test_paths.suite;
+      Test_simplex.suite;
+      Test_flow.suite;
+      Test_traffic.suite;
+      Test_wiring.suite;
+      Test_topologies.suite;
+      Test_bounds.suite;
+      Test_routing.suite;
+      Test_packetsim.suite;
+      Test_cuts.suite;
+      Test_extensions.suite;
+      Test_structured_topologies.suite;
+      Test_io.suite;
+      Test_vlb.suite;
+      Test_edge_cases.suite;
+      Test_resilience.suite;
+      Test_properties.suite;
+      Test_integration.suite;
+    ]

@@ -1,0 +1,229 @@
+(* Tests for the event queue and the packet-level simulator. *)
+
+open Dcn_graph
+module Event_queue = Dcn_packetsim.Event_queue
+module Packet_sim = Dcn_packetsim.Packet_sim
+module Ksp = Dcn_routing.Ksp
+
+(* ---- Event queue ---- *)
+
+let test_eq_ordering () =
+  let q = Event_queue.create () in
+  Event_queue.add q 3.0 "c";
+  Event_queue.add q 1.0 "a";
+  Event_queue.add q 2.0 "b";
+  let pop () = match Event_queue.pop q with Some (_, v) -> v | None -> "!" in
+  (* Bind sequentially: list syntax does not fix evaluation order. *)
+  let x1 = pop () in
+  let x2 = pop () in
+  let x3 = pop () in
+  Alcotest.(check (list string)) "time order" [ "a"; "b"; "c" ] [ x1; x2; x3 ]
+
+let test_eq_fifo_ties () =
+  let q = Event_queue.create () in
+  Event_queue.add q 1.0 "first";
+  Event_queue.add q 1.0 "second";
+  Event_queue.add q 1.0 "third";
+  let pop () = match Event_queue.pop q with Some (_, v) -> v | None -> "!" in
+  let x1 = pop () in
+  let x2 = pop () in
+  let x3 = pop () in
+  Alcotest.(check (list string)) "insertion order on ties"
+    [ "first"; "second"; "third" ]
+    [ x1; x2; x3 ]
+
+let test_eq_empty_and_size () =
+  let q = Event_queue.create () in
+  Alcotest.(check bool) "empty" true (Event_queue.is_empty q);
+  Event_queue.add q 0.5 0;
+  Alcotest.(check int) "size" 1 (Event_queue.size q);
+  ignore (Event_queue.pop q);
+  Alcotest.(check bool) "drained" true (Event_queue.is_empty q);
+  Alcotest.(check bool) "pop empty" true (Event_queue.pop q = None)
+
+let test_eq_nan_rejected () =
+  let q = Event_queue.create () in
+  Alcotest.check_raises "nan" (Invalid_argument "Event_queue.add: NaN time")
+    (fun () -> Event_queue.add q Float.nan 0)
+
+let prop_eq_sorted =
+  QCheck.Test.make ~name:"event queue pops sorted" ~count:100
+    QCheck.(list (float_bound_inclusive 100.0))
+    (fun times ->
+      let q = Event_queue.create () in
+      List.iteri (fun i t -> Event_queue.add q t i) times;
+      let rec drain acc =
+        match Event_queue.pop q with
+        | None -> List.rev acc
+        | Some (t, _) -> drain (t :: acc)
+      in
+      drain [] = List.sort compare times)
+
+(* ---- Packet simulator ---- *)
+
+let line_graph () = Graph.of_edges 3 [ (0, 1, 1.0); (1, 2, 1.0) ]
+
+let path_of g ~src ~dst =
+  match Ksp.shortest_path g ~src ~dst with
+  | Some p -> p
+  | None -> Alcotest.fail "no path"
+
+let quick_config =
+  {
+    Packet_sim.default_config with
+    Packet_sim.duration = 600.0;
+    warmup = 200.0;
+  }
+
+let test_single_flow_saturates_nic () =
+  (* One flow on an empty 2-hop path: goodput should approach the pacing
+     rate (1 unit). *)
+  let g = line_graph () in
+  let flows = [| { Packet_sim.src = 0; dst = 2; paths = [ path_of g ~src:0 ~dst:2 ] } |] in
+  let r = Packet_sim.run ~config:quick_config g flows in
+  Alcotest.(check bool) "goodput near 1" true
+    (r.Packet_sim.mean_goodput > 0.85 && r.Packet_sim.mean_goodput <= 1.05)
+
+let test_two_flows_share_link () =
+  (* Two flows over the same unit link split it roughly evenly. *)
+  let g = line_graph () in
+  let p = path_of g ~src:0 ~dst:2 in
+  let flows =
+    [|
+      { Packet_sim.src = 0; dst = 2; paths = [ p ] };
+      { Packet_sim.src = 0; dst = 2; paths = [ p ] };
+    |]
+  in
+  let r = Packet_sim.run ~config:quick_config g flows in
+  let g1 = r.Packet_sim.flows.(0).Packet_sim.goodput in
+  let g2 = r.Packet_sim.flows.(1).Packet_sim.goodput in
+  Alcotest.(check bool) "sum below capacity" true (g1 +. g2 <= 1.05);
+  Alcotest.(check bool) "sum near capacity" true (g1 +. g2 >= 0.7);
+  Alcotest.(check bool) "rough fairness" true
+    (Float.min g1 g2 /. Float.max g1 g2 > 0.4)
+
+let test_multipath_beats_single_path () =
+  (* A diamond offers two disjoint paths; two subflows should outperform
+     one when the source is not pacing-limited. *)
+  let g =
+    Graph.of_edges 4 [ (0, 1, 0.5); (0, 2, 0.5); (1, 3, 0.5); (2, 3, 0.5) ]
+  in
+  let paths = Ksp.k_shortest g ~src:0 ~dst:3 ~k:2 in
+  let config = { quick_config with Packet_sim.source_rate = 2.0 } in
+  let single =
+    Packet_sim.run ~config g
+      [| { Packet_sim.src = 0; dst = 3; paths = [ List.hd paths ] } |]
+  in
+  let multi =
+    Packet_sim.run ~config g [| { Packet_sim.src = 0; dst = 3; paths } |]
+  in
+  Alcotest.(check bool) "multipath wins" true
+    (multi.Packet_sim.mean_goodput > 1.2 *. single.Packet_sim.mean_goodput)
+
+let test_losses_on_oversubscription () =
+  (* Ten flows into one unit link: drops must occur, goodput sum ≤ 1. *)
+  let g = line_graph () in
+  let p = path_of g ~src:0 ~dst:2 in
+  let flows =
+    Array.init 10 (fun _ -> { Packet_sim.src = 0; dst = 2; paths = [ p ] })
+  in
+  let r = Packet_sim.run ~config:quick_config g flows in
+  Alcotest.(check bool) "drops happened" true (r.Packet_sim.total_dropped > 0);
+  let sum =
+    Array.fold_left
+      (fun acc f -> acc +. f.Packet_sim.goodput)
+      0.0 r.Packet_sim.flows
+  in
+  Alcotest.(check bool) "aggregate within capacity" true (sum <= 1.05)
+
+let test_capacity_respected_per_link () =
+  (* Goodput through a 2.0-capacity link with fast NIC tops out near 2. *)
+  let g = Graph.of_edges 2 [ (0, 1, 2.0) ] in
+  let p = path_of g ~src:0 ~dst:1 in
+  let config = { quick_config with Packet_sim.source_rate = 10.0 } in
+  let r =
+    Packet_sim.run ~config g [| { Packet_sim.src = 0; dst = 1; paths = [ p ] } |]
+  in
+  Alcotest.(check bool) "within link rate" true
+    (r.Packet_sim.mean_goodput <= 2.1);
+  Alcotest.(check bool) "uses most of link" true (r.Packet_sim.mean_goodput >= 1.2)
+
+let test_validation () =
+  let g = line_graph () in
+  Alcotest.check_raises "no flows" (Invalid_argument "Packet_sim: no flows")
+    (fun () -> ignore (Packet_sim.run g [||]));
+  Alcotest.check_raises "no paths"
+    (Invalid_argument "Packet_sim: flow without paths") (fun () ->
+      ignore (Packet_sim.run g [| { Packet_sim.src = 0; dst = 2; paths = [] } |]));
+  (* A path that ends early is rejected. *)
+  let bad = [ List.hd (path_of g ~src:0 ~dst:2) ] in
+  Alcotest.check_raises "wrong endpoint"
+    (Invalid_argument "Packet_sim: path misses dst") (fun () ->
+      ignore (Packet_sim.run g [| { Packet_sim.src = 0; dst = 2; paths = [ bad ] } |]))
+
+let test_determinism () =
+  let g = line_graph () in
+  let p = path_of g ~src:0 ~dst:2 in
+  let flows = [| { Packet_sim.src = 0; dst = 2; paths = [ p ] } |] in
+  let r1 = Packet_sim.run ~config:quick_config g flows in
+  let r2 = Packet_sim.run ~config:quick_config g flows in
+  Alcotest.(check int) "identical runs" r1.Packet_sim.total_delivered
+    r2.Packet_sim.total_delivered
+
+let test_dctcp_fewer_drops_than_reno () =
+  (* Under identical heavy load, ECN-driven control should keep queues
+     below the drop point far more often than loss-driven control. *)
+  let g = line_graph () in
+  let p = path_of g ~src:0 ~dst:2 in
+  let flows =
+    Array.init 6 (fun _ -> { Packet_sim.src = 0; dst = 2; paths = [ p ] })
+  in
+  let reno = Packet_sim.run ~config:quick_config g flows in
+  let dctcp_cfg =
+    { quick_config with
+      Packet_sim.transport = Packet_sim.Dctcp { mark_threshold = 6; gain = 0.0625 } }
+  in
+  let dctcp = Packet_sim.run ~config:dctcp_cfg g flows in
+  Alcotest.(check bool) "dctcp drops less" true
+    (dctcp.Packet_sim.total_dropped < reno.Packet_sim.total_dropped);
+  (* And still delivers comparable goodput. *)
+  let sum r =
+    Array.fold_left (fun a f -> a +. f.Packet_sim.goodput) 0.0 r.Packet_sim.flows
+  in
+  Alcotest.(check bool) "goodput comparable" true
+    (sum dctcp > 0.6 *. sum reno)
+
+let test_dctcp_single_flow_full_rate () =
+  let g = line_graph () in
+  let flows =
+    [| { Packet_sim.src = 0; dst = 2; paths = [ path_of g ~src:0 ~dst:2 ] } |]
+  in
+  let r = Packet_sim.run ~config:{ quick_config with
+      Packet_sim.transport = Packet_sim.Dctcp { mark_threshold = 6; gain = 0.0625 } } g flows in
+  Alcotest.(check bool) "near line rate" true
+    (r.Packet_sim.mean_goodput > 0.8)
+
+let suite =
+  ( "packetsim",
+    [
+      Alcotest.test_case "event queue ordering" `Quick test_eq_ordering;
+      Alcotest.test_case "event queue tie fifo" `Quick test_eq_fifo_ties;
+      Alcotest.test_case "event queue empty/size" `Quick test_eq_empty_and_size;
+      Alcotest.test_case "event queue NaN" `Quick test_eq_nan_rejected;
+      QCheck_alcotest.to_alcotest prop_eq_sorted;
+      Alcotest.test_case "single flow saturates NIC" `Quick
+        test_single_flow_saturates_nic;
+      Alcotest.test_case "two flows share a link" `Quick test_two_flows_share_link;
+      Alcotest.test_case "multipath beats single path" `Quick
+        test_multipath_beats_single_path;
+      Alcotest.test_case "oversubscription drops" `Quick
+        test_losses_on_oversubscription;
+      Alcotest.test_case "link capacity respected" `Quick
+        test_capacity_respected_per_link;
+      Alcotest.test_case "input validation" `Quick test_validation;
+      Alcotest.test_case "deterministic" `Quick test_determinism;
+      Alcotest.test_case "dctcp drops less than reno" `Quick
+        test_dctcp_fewer_drops_than_reno;
+      Alcotest.test_case "dctcp full rate alone" `Quick
+        test_dctcp_single_flow_full_rate;
+    ] )

@@ -1,0 +1,171 @@
+(* Deeper cross-module property tests: dualities and invariances that must
+   hold for any input, checked on randomized instances. *)
+
+open Dcn_graph
+module Maxflow = Dcn_flow.Maxflow
+module Mcmf_fptas = Dcn_flow.Mcmf_fptas
+module Commodity = Dcn_flow.Commodity
+module Rrg = Dcn_topology.Rrg
+module Hetero = Dcn_topology.Hetero
+module Ksp = Dcn_routing.Ksp
+module Aspl_bound = Dcn_bounds.Aspl_bound
+
+let random_rrg seed =
+  let st = Random.State.make [| seed |] in
+  let n = 8 + Random.State.int st 16 in
+  let r = 3 + Random.State.int st 3 in
+  let n = if n * r mod 2 = 1 then n + 1 else n in
+  (Rrg.jellyfish st ~n ~r, st)
+
+let endpoints st g =
+  let n = Graph.n g in
+  let src = Random.State.int st n in
+  let dst = (src + 1 + Random.State.int st (n - 1)) mod n in
+  (src, dst)
+
+(* Max-flow / min-cut duality: the flow value equals the capacity of the
+   certificate cut, for every random instance. *)
+let prop_maxflow_mincut =
+  QCheck.Test.make ~name:"max-flow = capacity of certificate cut" ~count:50
+    QCheck.(int_range 1 10_000)
+    (fun seed ->
+      let g, st = random_rrg seed in
+      let src, dst = endpoints st g in
+      let r = Maxflow.max_flow g ~src ~dst in
+      let cut = Cuts.cut_capacity g ~side:r.Maxflow.cut_side /. 2.0 in
+      Float.abs (cut -. r.Maxflow.value) < 1e-6)
+
+(* On an undirected graph, max flow is symmetric in its endpoints. *)
+let prop_maxflow_symmetric =
+  QCheck.Test.make ~name:"max-flow symmetric on undirected graphs" ~count:30
+    QCheck.(int_range 1 10_000)
+    (fun seed ->
+      let g, st = random_rrg seed in
+      let src, dst = endpoints st g in
+      let fwd = Maxflow.min_cut_value g ~src ~dst in
+      let bwd = Maxflow.min_cut_value g ~src:dst ~dst:src in
+      Float.abs (fwd -. bwd) < 1e-6)
+
+(* Concurrent flow scales linearly with uniform capacity scaling. *)
+let prop_fptas_capacity_scaling =
+  QCheck.Test.make ~name:"lambda scales with capacities" ~count:15
+    QCheck.(int_range 1 10_000)
+    (fun seed ->
+      let g, st = random_rrg seed in
+      let src, dst = endpoints st g in
+      let cs = [| Commodity.make ~src ~dst ~demand:1.0 |] in
+      let doubled =
+        Graph.of_edges (Graph.n g)
+          (List.map (fun (u, v, c) -> (u, v, 2.0 *. c)) (Graph.to_edge_list g))
+      in
+      let params = { Mcmf_fptas.eps = 0.05; gap = 0.04; max_phases = 100_000 } in
+      let l1 = Mcmf_fptas.solve ~params g cs in
+      let l2 = Mcmf_fptas.solve ~params doubled cs in
+      (* Certified intervals of λ and 2λ must overlap after scaling. *)
+      2.0 *. l1.Mcmf_fptas.lambda_lower <= l2.Mcmf_fptas.lambda_upper +. 1e-6
+      && l2.Mcmf_fptas.lambda_lower <= (2.0 *. l1.Mcmf_fptas.lambda_upper) +. 1e-6)
+
+(* Adding a link can only help (throughput is monotone in capacity). *)
+let prop_fptas_monotone_in_links =
+  QCheck.Test.make ~name:"adding a link never hurts lambda" ~count:15
+    QCheck.(int_range 1 10_000)
+    (fun seed ->
+      let g, st = random_rrg seed in
+      let src, dst = endpoints st g in
+      let cs = [| Commodity.make ~src ~dst ~demand:1.0 |] in
+      (* Add one extra link between two random distinct nodes. *)
+      let a = Random.State.int st (Graph.n g) in
+      let b = (a + 1 + Random.State.int st (Graph.n g - 1)) mod Graph.n g in
+      let augmented =
+        Graph.of_edges (Graph.n g) ((a, b, 1.0) :: Graph.to_edge_list g)
+      in
+      let params = { Mcmf_fptas.eps = 0.05; gap = 0.04; max_phases = 100_000 } in
+      let before = Mcmf_fptas.solve ~params g cs in
+      let after = Mcmf_fptas.solve ~params augmented cs in
+      after.Mcmf_fptas.lambda_upper >= before.Mcmf_fptas.lambda_lower -. 1e-6)
+
+(* Yen's first path is a shortest path. *)
+let prop_ksp_first_is_shortest =
+  QCheck.Test.make ~name:"k-shortest head = shortest path" ~count:40
+    QCheck.(int_range 1 10_000)
+    (fun seed ->
+      let g, st = random_rrg seed in
+      let src, dst = endpoints st g in
+      match (Ksp.k_shortest g ~src ~dst ~k:3, Ksp.shortest_path g ~src ~dst) with
+      | p :: _, Some q -> List.length p = List.length q
+      | [], None -> true
+      | _ -> false)
+
+(* The Cerf bound at an exact Moore size equals the full-tree average. *)
+let prop_dstar_at_moore_sizes =
+  QCheck.Test.make ~name:"d* equals tree average at Moore sizes" ~count:30
+    QCheck.(pair (int_range 3 8) (int_range 1 3))
+    (fun (r, diameter) ->
+      let n = Aspl_bound.moore_bound_nodes ~r ~diameter in
+      (* Average distance over a full tree: sum_j j * r(r-1)^(j-1) / (n-1). *)
+      let total = ref 0.0 and cap = ref (float_of_int r) in
+      for j = 1 to diameter do
+        total := !total +. (float_of_int j *. !cap);
+        cap := !cap *. float_of_int (r - 1)
+      done;
+      Float.abs (Aspl_bound.d_star ~n ~r -. (!total /. float_of_int (n - 1)))
+      < 1e-9)
+
+(* Expected cross links: symmetric in the two classes and bounded by the
+   smaller side's stub count. *)
+let prop_expected_cross_links =
+  QCheck.Test.make ~name:"expected cross links symmetric and bounded" ~count:100
+    QCheck.(quad (int_range 2 20) (int_range 4 16) (int_range 2 20) (int_range 4 16))
+    (fun (nl, kl, ns, ks) ->
+      let large = { Hetero.count = nl; ports = kl; servers_each = 1 } in
+      let small = { Hetero.count = ns; ports = ks; servers_each = 1 } in
+      let e1 = Hetero.expected_cross_links ~large ~small in
+      let e2 = Hetero.expected_cross_links ~large:small ~small:large in
+      let l = float_of_int (nl * (kl - 1)) and s = float_of_int (ns * (ks - 1)) in
+      Float.abs (e1 -. e2) < 1e-9 && e1 <= Float.min l s +. 1e-9 && e1 > 0.0)
+
+(* BFS distances obey the triangle inequality through any intermediate. *)
+let prop_bfs_triangle =
+  QCheck.Test.make ~name:"BFS triangle inequality" ~count:30
+    QCheck.(int_range 1 10_000)
+    (fun seed ->
+      let g, st = random_rrg seed in
+      let n = Graph.n g in
+      let a = Random.State.int st n in
+      let da = Bfs.distances g a in
+      let ok = ref true in
+      for b = 0 to n - 1 do
+        let db = Bfs.distances g b in
+        for c = 0 to n - 1 do
+          if da.(c) > da.(b) + db.(c) then ok := false
+        done
+      done;
+      !ok)
+
+(* Server placement: proportional placement sums and clamps correctly for
+   arbitrary pools. *)
+let prop_place_servers =
+  QCheck.Test.make ~name:"power placement sums and respects ports" ~count:100
+    QCheck.(pair (list_of_size (Gen.int_range 2 12) (int_range 3 32))
+              (pair (int_bound 40) (float_bound_inclusive 2.0)))
+    (fun (ports_list, (total, beta)) ->
+      let ports = Array.of_list ports_list in
+      let room = Array.fold_left (fun a k -> a + k - 1) 0 ports in
+      QCheck.assume (total <= room);
+      let placed = Hetero.place_servers_power ~total ~ports ~beta in
+      Array.fold_left ( + ) 0 placed = total
+      && Array.for_all2 (fun p k -> p >= 0 && p <= k - 1) placed ports)
+
+let suite =
+  ( "properties",
+    [
+      QCheck_alcotest.to_alcotest prop_maxflow_mincut;
+      QCheck_alcotest.to_alcotest prop_maxflow_symmetric;
+      QCheck_alcotest.to_alcotest prop_fptas_capacity_scaling;
+      QCheck_alcotest.to_alcotest prop_fptas_monotone_in_links;
+      QCheck_alcotest.to_alcotest prop_ksp_first_is_shortest;
+      QCheck_alcotest.to_alcotest prop_dstar_at_moore_sizes;
+      QCheck_alcotest.to_alcotest prop_expected_cross_links;
+      QCheck_alcotest.to_alcotest prop_bfs_triangle;
+      QCheck_alcotest.to_alcotest prop_place_servers;
+    ] )

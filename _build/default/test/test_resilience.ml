@@ -1,0 +1,140 @@
+(* Tests for link-failure degradation and multi-class construction. *)
+
+open Dcn_graph
+module Resilience = Dcn_topology.Resilience
+module Hetero = Dcn_topology.Hetero
+module Topology = Dcn_topology.Topology
+module Rrg = Dcn_topology.Rrg
+
+let st () = Random.State.make [| 727 |]
+
+let test_fail_links_count () =
+  let g = Rrg.jellyfish (st ()) ~n:20 ~r:6 in
+  let before = Graph.num_edges g in
+  let survivor = Resilience.fail_links (st ()) g ~fraction:0.25 in
+  Alcotest.(check int) "quarter removed"
+    (before - (before / 4))
+    (Graph.num_edges survivor);
+  Alcotest.(check int) "nodes unchanged" (Graph.n g) (Graph.n survivor)
+
+let test_fail_links_zero () =
+  let g = Rrg.jellyfish (st ()) ~n:12 ~r:4 in
+  let survivor = Resilience.fail_links (st ()) g ~fraction:0.0 in
+  Alcotest.(check bool) "identical" true (Graph.equal_structure g survivor)
+
+let test_fail_links_subset () =
+  (* Every surviving link existed before. *)
+  let g = Rrg.jellyfish (st ()) ~n:16 ~r:4 in
+  let survivor = Resilience.fail_links (st ()) g ~fraction:0.3 in
+  let before = List.map (fun (u, v, _) -> (u, v)) (Graph.to_edge_list g) in
+  List.iter
+    (fun (u, v, _) ->
+      if not (List.mem (u, v) before) then Alcotest.fail "new link appeared")
+    (Graph.to_edge_list survivor)
+
+let test_fail_links_range_check () =
+  let g = Rrg.jellyfish (st ()) ~n:12 ~r:4 in
+  Alcotest.check_raises "fraction 1"
+    (Invalid_argument "Resilience.fail_links: fraction outside [0, 1)")
+    (fun () -> ignore (Resilience.fail_links (st ()) g ~fraction:1.0))
+
+let test_fail_links_connected () =
+  let g = Rrg.jellyfish (st ()) ~n:30 ~r:6 in
+  let survivor = Resilience.fail_links_connected (st ()) g ~fraction:0.15 in
+  Alcotest.(check bool) "connected survivor" true (Graph.is_connected survivor)
+
+let test_degrade_preserves_metadata () =
+  let topo = Rrg.topology (st ()) ~n:16 ~k:7 ~r:4 in
+  let g = Resilience.fail_links_connected (st ()) topo.Topology.graph ~fraction:0.1 in
+  let degraded = Resilience.degrade topo ~graph:g in
+  Alcotest.(check (array int)) "servers kept" topo.Topology.servers
+    degraded.Topology.servers;
+  Alcotest.(check bool) "name annotated" true
+    (String.length degraded.Topology.name > String.length topo.Topology.name)
+
+(* ---- multi_class ---- *)
+
+let three_classes =
+  [
+    { Hetero.count = 4; ports = 12; servers_each = 4 };
+    { Hetero.count = 6; ports = 8; servers_each = 2 };
+    { Hetero.count = 8; ports = 6; servers_each = 1 };
+  ]
+
+let test_multi_class_explicit_servers () =
+  let topo = Hetero.multi_class (st ()) three_classes in
+  Alcotest.(check int) "switches" 18 (Topology.num_switches topo);
+  Alcotest.(check int) "servers" ((4 * 4) + (6 * 2) + 8) (Topology.num_servers topo);
+  Alcotest.(check bool) "connected" true
+    (Graph.is_connected topo.Topology.graph);
+  (* Cluster labels follow class order. *)
+  Alcotest.(check int) "first class" 0 topo.Topology.cluster.(0);
+  Alcotest.(check int) "second class" 1 topo.Topology.cluster.(4);
+  Alcotest.(check int) "third class" 2 topo.Topology.cluster.(10);
+  (* Port budgets respected. *)
+  let ports =
+    Array.concat
+      (List.map (fun c -> Array.make c.Hetero.count c.Hetero.ports) three_classes)
+  in
+  Topology.validate_ports topo ~max_ports:ports
+
+let test_multi_class_proportional_placement () =
+  let topo =
+    Hetero.multi_class ~beta:1.0 ~total_servers:60 (st ()) three_classes
+  in
+  Alcotest.(check int) "total placed" 60 (Topology.num_servers topo);
+  (* Proportionality: a 12-port switch should carry ~2x a 6-port one. *)
+  let big = topo.Topology.servers.(0) and small = topo.Topology.servers.(17) in
+  Alcotest.(check bool) "roughly proportional" true
+    (big >= 2 * small - 1 && big <= (2 * small) + 2)
+
+let test_multi_class_beta_zero_uniform () =
+  let topo =
+    Hetero.multi_class ~beta:0.0 ~total_servers:36 (st ()) three_classes
+  in
+  Array.iter
+    (fun s -> Alcotest.(check int) "uniform" 2 s)
+    topo.Topology.servers
+
+let test_multi_class_validation () =
+  Alcotest.check_raises "no classes"
+    (Invalid_argument "Hetero.multi_class: no classes") (fun () ->
+      ignore (Hetero.multi_class (st ()) []));
+  Alcotest.check_raises "overfull"
+    (Invalid_argument "Hetero.multi_class: servers exhaust a switch's ports")
+    (fun () ->
+      ignore
+        (Hetero.multi_class (st ())
+           [ { Hetero.count = 4; ports = 4; servers_each = 4 } ]))
+
+let test_multi_class_two_equals_two_class_shape () =
+  (* With two classes and unbiased wiring, multi_class and two_class give
+     structurally similar networks: same degrees per class. *)
+  let large = { Hetero.count = 5; ports = 10; servers_each = 4 } in
+  let small = { Hetero.count = 5; ports = 6; servers_each = 2 } in
+  let m = Hetero.multi_class (st ()) [ large; small ] in
+  let g = m.Topology.graph in
+  for u = 0 to 4 do
+    Alcotest.(check int) "large degree" 6 (Graph.degree g u)
+  done;
+  for u = 5 to 9 do
+    Alcotest.(check int) "small degree" 4 (Graph.degree g u)
+  done
+
+let suite =
+  ( "resilience-multiclass",
+    [
+      Alcotest.test_case "failure count" `Quick test_fail_links_count;
+      Alcotest.test_case "zero fraction" `Quick test_fail_links_zero;
+      Alcotest.test_case "links are a subset" `Quick test_fail_links_subset;
+      Alcotest.test_case "fraction validated" `Quick test_fail_links_range_check;
+      Alcotest.test_case "connected variant" `Quick test_fail_links_connected;
+      Alcotest.test_case "degrade metadata" `Quick test_degrade_preserves_metadata;
+      Alcotest.test_case "multi-class explicit" `Quick test_multi_class_explicit_servers;
+      Alcotest.test_case "multi-class proportional" `Quick
+        test_multi_class_proportional_placement;
+      Alcotest.test_case "multi-class beta 0" `Quick test_multi_class_beta_zero_uniform;
+      Alcotest.test_case "multi-class validation" `Quick test_multi_class_validation;
+      Alcotest.test_case "multi-class degrees" `Quick
+        test_multi_class_two_equals_two_class_shape;
+    ] )

@@ -1,0 +1,197 @@
+(* Tests for the two-phase simplex LP solver. *)
+
+open Dcn_lp
+
+let solve p =
+  match Simplex.solve p with
+  | Simplex.Optimal s -> s
+  | Simplex.Infeasible -> Alcotest.fail "unexpectedly infeasible"
+  | Simplex.Unbounded -> Alcotest.fail "unexpectedly unbounded"
+
+let test_basic_le () =
+  (* max 3x + 2y s.t. x + y <= 4, x + 3y <= 6 → x=4, y=0, obj 12. *)
+  let p =
+    {
+      Simplex.objective = [| 3.0; 2.0 |];
+      rows =
+        [
+          ([| 1.0; 1.0 |], Simplex.Le, 4.0);
+          ([| 1.0; 3.0 |], Simplex.Le, 6.0);
+        ];
+    }
+  in
+  let s = solve p in
+  Alcotest.(check (float 1e-6)) "objective" 12.0 s.Simplex.objective_value;
+  Alcotest.(check bool) "feasible" true (Simplex.check_feasible p s.Simplex.variables)
+
+let test_interior_optimum () =
+  (* max x + y s.t. 2x + y <= 4, x + 2y <= 4 → x=y=4/3, obj 8/3. *)
+  let p =
+    {
+      Simplex.objective = [| 1.0; 1.0 |];
+      rows =
+        [
+          ([| 2.0; 1.0 |], Simplex.Le, 4.0);
+          ([| 1.0; 2.0 |], Simplex.Le, 4.0);
+        ];
+    }
+  in
+  let s = solve p in
+  Alcotest.(check (float 1e-6)) "objective" (8.0 /. 3.0) s.Simplex.objective_value
+
+let test_equality_constraint () =
+  (* max x s.t. x + y = 3, x <= 2 → x=2, y=1. *)
+  let p =
+    {
+      Simplex.objective = [| 1.0; 0.0 |];
+      rows =
+        [
+          ([| 1.0; 1.0 |], Simplex.Eq, 3.0);
+          ([| 1.0; 0.0 |], Simplex.Le, 2.0);
+        ];
+    }
+  in
+  let s = solve p in
+  Alcotest.(check (float 1e-6)) "x" 2.0 s.Simplex.variables.(0);
+  Alcotest.(check (float 1e-6)) "y" 1.0 s.Simplex.variables.(1)
+
+let test_ge_constraint () =
+  (* min x + y ≡ max -(x+y) s.t. x + 2y >= 4, 3x + y >= 6 → x=1.6, y=1.2. *)
+  let p =
+    {
+      Simplex.objective = [| -1.0; -1.0 |];
+      rows =
+        [
+          ([| 1.0; 2.0 |], Simplex.Ge, 4.0);
+          ([| 3.0; 1.0 |], Simplex.Ge, 6.0);
+        ];
+    }
+  in
+  let s = solve p in
+  Alcotest.(check (float 1e-6)) "objective" (-2.8) s.Simplex.objective_value
+
+let test_infeasible () =
+  let p =
+    {
+      Simplex.objective = [| 1.0 |];
+      rows =
+        [ ([| 1.0 |], Simplex.Le, 1.0); ([| 1.0 |], Simplex.Ge, 2.0) ];
+    }
+  in
+  match Simplex.solve p with
+  | Simplex.Infeasible -> ()
+  | _ -> Alcotest.fail "expected infeasible"
+
+let test_unbounded () =
+  let p = { Simplex.objective = [| 1.0 |]; rows = [ ([| -1.0 |], Simplex.Le, 1.0) ] } in
+  match Simplex.solve p with
+  | Simplex.Unbounded -> ()
+  | _ -> Alcotest.fail "expected unbounded"
+
+let test_negative_rhs_normalization () =
+  (* x >= 1 written as -x <= -1; max -x → x = 1. *)
+  let p =
+    { Simplex.objective = [| -1.0 |]; rows = [ ([| -1.0 |], Simplex.Le, -1.0) ] }
+  in
+  let s = solve p in
+  Alcotest.(check (float 1e-6)) "x" 1.0 s.Simplex.variables.(0)
+
+let test_degenerate () =
+  (* Classic degenerate vertex; Bland fallback must terminate. *)
+  let p =
+    {
+      Simplex.objective = [| 10.0; -57.0; -9.0; -24.0 |];
+      rows =
+        [
+          ([| 0.5; -5.5; -2.5; 9.0 |], Simplex.Le, 0.0);
+          ([| 0.5; -1.5; -0.5; 1.0 |], Simplex.Le, 0.0);
+          ([| 1.0; 0.0; 0.0; 0.0 |], Simplex.Le, 1.0);
+        ];
+    }
+  in
+  let s = solve p in
+  Alcotest.(check (float 1e-6)) "objective" 1.0 s.Simplex.objective_value
+
+let test_redundant_equalities () =
+  (* Duplicate equality rows leave a degenerate artificial in the basis. *)
+  let p =
+    {
+      Simplex.objective = [| 1.0; 1.0 |];
+      rows =
+        [
+          ([| 1.0; 1.0 |], Simplex.Eq, 2.0);
+          ([| 2.0; 2.0 |], Simplex.Eq, 4.0);
+          ([| 1.0; 0.0 |], Simplex.Le, 1.5);
+        ];
+    }
+  in
+  let s = solve p in
+  Alcotest.(check (float 1e-6)) "objective" 2.0 s.Simplex.objective_value
+
+let test_nan_rejected () =
+  let p = { Simplex.objective = [| Float.nan |]; rows = [] } in
+  Alcotest.check_raises "nan" (Invalid_argument "Simplex: NaN in objective")
+    (fun () -> ignore (Simplex.solve p))
+
+(* Property: on random bounded LPs, the solution is feasible and no corner
+   of a sampled feasible set beats it. We validate against brute-force
+   enumeration of basic solutions for 2-variable problems. *)
+let prop_two_var_optimality =
+  let gen =
+    QCheck.Gen.(
+      let coeff = float_range (-5.0) 5.0 in
+      let* c1 = coeff and* c2 = coeff in
+      let* rows =
+        list_size (int_range 1 4)
+          (let* a = coeff and* b = coeff and* r = float_range 0.5 8.0 in
+           return (a, b, r))
+      in
+      return ((c1, c2), rows))
+  in
+  QCheck.Test.make ~name:"2-var LP: simplex beats grid sampling" ~count:200
+    (QCheck.make gen)
+    (fun ((c1, c2), rows) ->
+      let p =
+        {
+          Simplex.objective = [| c1; c2 |];
+          rows = List.map (fun (a, b, r) -> ([| a; b |], Simplex.Le, r)) rows;
+        }
+      in
+      match Simplex.solve p with
+      | Simplex.Infeasible -> false (* origin is feasible: rhs > 0 *)
+      | Simplex.Unbounded -> true
+      | Simplex.Optimal s ->
+          if not (Simplex.check_feasible p s.Simplex.variables) then false
+          else begin
+            (* Grid-sample feasible points; none may beat the optimum. *)
+            let beaten = ref false in
+            for i = 0 to 20 do
+              for j = 0 to 20 do
+                let x = float_of_int i *. 0.5 and y = float_of_int j *. 0.5 in
+                let feasible =
+                  List.for_all (fun (a, b, r) -> (a *. x) +. (b *. y) <= r +. 1e-9) rows
+                in
+                let value = (c1 *. x) +. (c2 *. y) in
+                if feasible && value > s.Simplex.objective_value +. 1e-5 then
+                  beaten := true
+              done
+            done;
+            not !beaten
+          end)
+
+let suite =
+  ( "simplex",
+    [
+      Alcotest.test_case "basic <= problem" `Quick test_basic_le;
+      Alcotest.test_case "interior optimum" `Quick test_interior_optimum;
+      Alcotest.test_case "equality constraint" `Quick test_equality_constraint;
+      Alcotest.test_case ">= constraints (phase 1)" `Quick test_ge_constraint;
+      Alcotest.test_case "infeasible detected" `Quick test_infeasible;
+      Alcotest.test_case "unbounded detected" `Quick test_unbounded;
+      Alcotest.test_case "negative rhs normalized" `Quick
+        test_negative_rhs_normalization;
+      Alcotest.test_case "degenerate pivoting terminates" `Quick test_degenerate;
+      Alcotest.test_case "redundant equalities" `Quick test_redundant_equalities;
+      Alcotest.test_case "NaN rejected" `Quick test_nan_rejected;
+      QCheck_alcotest.to_alcotest prop_two_var_optimality;
+    ] )

@@ -1,0 +1,205 @@
+(* Tests for BCube, DCell, Dragonfly and the spectral-gap estimator. *)
+
+open Dcn_graph
+module Topology = Dcn_topology.Topology
+module Bcube = Dcn_topology.Bcube
+module Dcell = Dcn_topology.Dcell
+module Dragonfly = Dcn_topology.Dragonfly
+module Rrg = Dcn_topology.Rrg
+
+(* ---- BCube ---- *)
+
+let test_bcube_counts () =
+  Alcotest.(check int) "servers n=4 k=1" 16 (Bcube.num_servers ~n:4 ~k:1);
+  Alcotest.(check int) "switches n=4 k=1" 8 (Bcube.num_switches ~n:4 ~k:1);
+  let topo = Bcube.create ~n:4 ~k:1 in
+  Alcotest.(check int) "nodes" 24 (Topology.num_switches topo);
+  Alcotest.(check int) "traffic servers" 16 (Topology.num_servers topo)
+
+let test_bcube_degrees () =
+  let topo = Bcube.create ~n:4 ~k:1 in
+  let g = topo.Topology.graph in
+  Alcotest.(check bool) "connected" true (Graph.is_connected g);
+  (* Server nodes have k+1 = 2 links; switch nodes have n = 4. *)
+  for v = 0 to 15 do
+    Alcotest.(check int) "server degree" 2 (Graph.degree g v)
+  done;
+  for v = 16 to 23 do
+    Alcotest.(check int) "switch degree" 4 (Graph.degree g v)
+  done
+
+let test_bcube_level0_is_star () =
+  (* BCube(n, 0) is n servers on one switch. *)
+  let topo = Bcube.create ~n:5 ~k:0 in
+  let g = topo.Topology.graph in
+  Alcotest.(check int) "nodes" 6 (Graph.n g);
+  Alcotest.(check int) "switch degree" 5 (Graph.degree g 5);
+  Alcotest.(check int) "diameter" 2 (Dcn_graph.Graph_metrics.diameter g)
+
+let test_bcube_diameter () =
+  (* Server-to-server diameter of BCube(n,k) is 2(k+1) hops in our
+     bipartite server/switch representation. *)
+  let topo = Bcube.create ~n:3 ~k:2 in
+  let g = topo.Topology.graph in
+  Alcotest.(check bool) "connected" true (Graph.is_connected g);
+  let d = Dcn_graph.Graph_metrics.diameter g in
+  Alcotest.(check bool) "diameter <= 2(k+1)+1" true (d <= 7)
+
+(* ---- DCell ---- *)
+
+let test_dcell_counts () =
+  Alcotest.(check int) "t_0" 4 (Dcell.num_servers ~n:4 ~l:0);
+  Alcotest.(check int) "t_1" 20 (Dcell.num_servers ~n:4 ~l:1);
+  Alcotest.(check int) "t_2" 420 (Dcell.num_servers ~n:4 ~l:2)
+
+let test_dcell_structure () =
+  let topo = Dcell.create ~n:4 ~l:1 in
+  let g = topo.Topology.graph in
+  (* 20 servers + 5 mini-switches. *)
+  Alcotest.(check int) "nodes" 25 (Graph.n g);
+  Alcotest.(check bool) "connected" true (Graph.is_connected g);
+  Alcotest.(check bool) "simple" false (Graph.has_multi_edge g);
+  (* Every server has 1 switch link + l = 1 server link. *)
+  for s = 0 to 19 do
+    Alcotest.(check int) "server degree" 2 (Graph.degree g s)
+  done;
+  for sw = 20 to 24 do
+    Alcotest.(check int) "switch degree" 4 (Graph.degree g sw)
+  done
+
+let test_dcell_level2 () =
+  let topo = Dcell.create ~n:2 ~l:2 in
+  let g = topo.Topology.graph in
+  (* t_2 for n=2: t_0=2, t_1=6, t_2=42 servers + 21 switches. *)
+  Alcotest.(check int) "nodes" 63 (Graph.n g);
+  Alcotest.(check bool) "connected" true (Graph.is_connected g);
+  for s = 0 to 41 do
+    Alcotest.(check int) "server degree l=2" 3 (Graph.degree g s)
+  done
+
+(* ---- Dragonfly ---- *)
+
+let test_dragonfly_structure () =
+  let a = 4 and h = 2 in
+  let topo = Dragonfly.create ~a ~h () in
+  let g = topo.Topology.graph in
+  let groups = Dragonfly.num_groups ~a ~h in
+  Alcotest.(check int) "groups" 9 groups;
+  Alcotest.(check int) "routers" (9 * 4) (Graph.n g);
+  Alcotest.(check bool) "connected" true (Graph.is_connected g);
+  (* Each router: a-1 local + h global links. *)
+  for v = 0 to Graph.n g - 1 do
+    Alcotest.(check int) "router degree" (a - 1 + h) (Graph.degree g v)
+  done
+
+let test_dragonfly_one_global_link_per_group_pair () =
+  let a = 3 and h = 2 in
+  let topo = Dragonfly.create ~a ~h () in
+  let g = topo.Topology.graph in
+  let groups = Dragonfly.num_groups ~a ~h in
+  let counts = Hashtbl.create 64 in
+  List.iter
+    (fun (u, v, _) ->
+      let gu = u / a and gv = v / a in
+      if gu <> gv then begin
+        let key = (min gu gv, max gu gv) in
+        Hashtbl.replace counts key
+          (1 + try Hashtbl.find counts key with Not_found -> 0)
+      end)
+    (Graph.to_edge_list g);
+  Alcotest.(check int) "all pairs linked" (groups * (groups - 1) / 2)
+    (Hashtbl.length counts);
+  Hashtbl.iter
+    (fun _ c -> Alcotest.(check int) "exactly one link" 1 c)
+    counts
+
+let test_dragonfly_diameter () =
+  (* Canonical dragonfly has diameter 3 (local, global, local). *)
+  let topo = Dragonfly.create ~a:4 ~h:2 () in
+  Alcotest.(check bool) "diameter <= 3" true
+    (Dcn_graph.Graph_metrics.diameter topo.Topology.graph <= 3)
+
+(* ---- Spectral ---- *)
+
+let complete_graph n =
+  let edges = ref [] in
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      edges := (u, v, 1.0) :: !edges
+    done
+  done;
+  Graph.of_edges n !edges
+
+let test_spectral_complete () =
+  (* K_n: eigenvalues are n-1 and -1, so |λ₂| = 1. *)
+  Alcotest.(check (float 1e-3)) "K6 second eigenvalue" 1.0
+    (Spectral.second_eigenvalue (complete_graph 6))
+
+let test_spectral_cycle () =
+  (* C_5: |λ₂| = 2cos(π/5) = golden ratio ≈ 1.618. *)
+  let c5 =
+    Graph.of_edges 5 [ (0, 1, 1.0); (1, 2, 1.0); (2, 3, 1.0); (3, 4, 1.0); (4, 0, 1.0) ]
+  in
+  Alcotest.(check (float 1e-3)) "C5" 1.618034 (Spectral.second_eigenvalue c5)
+
+let test_spectral_petersen () =
+  (* The Petersen graph: 3-regular with spectrum {3, 1^5, (-2)^4}. *)
+  let outer = List.init 5 (fun i -> (i, (i + 1) mod 5, 1.0)) in
+  let inner = List.init 5 (fun i -> (5 + i, 5 + ((i + 2) mod 5), 1.0)) in
+  let spokes = List.init 5 (fun i -> (i, 5 + i, 1.0)) in
+  let petersen = Graph.of_edges 10 (outer @ inner @ spokes) in
+  Alcotest.(check (float 1e-3)) "Petersen |λ₂|" 2.0
+    (Spectral.second_eigenvalue petersen)
+
+let test_spectral_rrg_is_good_expander () =
+  (* Friedman: random d-regular graphs are nearly Ramanujan. *)
+  let st = Random.State.make [| 31415 |] in
+  let g = Rrg.jellyfish st ~n:100 ~r:4 in
+  let quality = Spectral.expansion_quality g in
+  Alcotest.(check bool) "near Ramanujan" true (quality > 0.85);
+  (* A big ring is a terrible expander. *)
+  let ring =
+    Graph.of_edges 100 (List.init 100 (fun i -> (i, (i + 1) mod 100, 1.0)))
+  in
+  Alcotest.(check bool) "ring gap tiny" true (Spectral.spectral_gap ring < 0.05)
+
+let test_spectral_requires_regular () =
+  let g = Graph.of_edges 3 [ (0, 1, 1.0); (1, 2, 1.0) ] in
+  Alcotest.check_raises "irregular"
+    (Invalid_argument "Spectral: graph must be regular") (fun () ->
+      ignore (Spectral.second_eigenvalue g))
+
+let prop_spectral_gap_nonnegative =
+  QCheck.Test.make ~name:"spectral gap in [0, d]" ~count:25
+    QCheck.(pair (int_range 8 40) (int_range 3 5))
+    (fun (n, r) ->
+      let n = if n * r mod 2 = 1 then n + 1 else n in
+      QCheck.assume (r < n);
+      let st = Random.State.make [| n; r; 3 |] in
+      let g = Rrg.jellyfish st ~n ~r in
+      let gap = Spectral.spectral_gap g in
+      gap >= -1e-6 && gap <= float_of_int r +. 1e-6)
+
+let suite =
+  ( "structured-topologies",
+    [
+      Alcotest.test_case "bcube counts" `Quick test_bcube_counts;
+      Alcotest.test_case "bcube degrees" `Quick test_bcube_degrees;
+      Alcotest.test_case "bcube level 0" `Quick test_bcube_level0_is_star;
+      Alcotest.test_case "bcube diameter" `Quick test_bcube_diameter;
+      Alcotest.test_case "dcell counts" `Quick test_dcell_counts;
+      Alcotest.test_case "dcell structure" `Quick test_dcell_structure;
+      Alcotest.test_case "dcell level 2" `Quick test_dcell_level2;
+      Alcotest.test_case "dragonfly structure" `Quick test_dragonfly_structure;
+      Alcotest.test_case "dragonfly global links" `Quick
+        test_dragonfly_one_global_link_per_group_pair;
+      Alcotest.test_case "dragonfly diameter" `Quick test_dragonfly_diameter;
+      Alcotest.test_case "spectral: complete graph" `Quick test_spectral_complete;
+      Alcotest.test_case "spectral: cycle" `Quick test_spectral_cycle;
+      Alcotest.test_case "spectral: Petersen" `Quick test_spectral_petersen;
+      Alcotest.test_case "spectral: RRG expander" `Quick
+        test_spectral_rrg_is_good_expander;
+      Alcotest.test_case "spectral: regular required" `Quick
+        test_spectral_requires_regular;
+      QCheck_alcotest.to_alcotest prop_spectral_gap_nonnegative;
+    ] )

@@ -1,0 +1,363 @@
+(* Tests for every topology generator. *)
+
+open Dcn_graph
+module Topology = Dcn_topology.Topology
+module Rrg = Dcn_topology.Rrg
+module Hetero = Dcn_topology.Hetero
+module Vl2 = Dcn_topology.Vl2
+module Rewire = Dcn_topology.Rewire
+module Fat_tree = Dcn_topology.Fat_tree
+module Hypercube = Dcn_topology.Hypercube
+module Torus = Dcn_topology.Torus
+
+let st () = Random.State.make [| 2024 |]
+
+(* ---- Topology record ---- *)
+
+let test_topology_validation () =
+  let g = Graph.of_edges 2 [ (0, 1, 1.0) ] in
+  Alcotest.check_raises "length mismatch"
+    (Invalid_argument "Topology.make: servers array length mismatch") (fun () ->
+      ignore (Topology.make ~name:"x" ~graph:g ~servers:[| 1 |] ()));
+  let topo = Topology.make ~name:"x" ~graph:g ~servers:[| 2; 3 |] () in
+  Alcotest.(check int) "servers" 5 (Topology.num_servers topo);
+  Alcotest.(check int) "switches" 2 (Topology.num_switches topo);
+  Alcotest.(check int) "ports = servers + 2 link endpoints" 7
+    (Topology.total_ports topo);
+  Topology.validate_ports topo ~max_ports:[| 3; 4 |];
+  Alcotest.check_raises "port budget"
+    (Invalid_argument "Topology.validate_ports: switch 1 uses 4 of 3 ports")
+    (fun () -> Topology.validate_ports topo ~max_ports:[| 3; 3 |])
+
+(* ---- RRG ---- *)
+
+let check_rrg name g ~n ~r ~expect_simple =
+  Alcotest.(check int) (name ^ " size") n (Graph.n g);
+  Alcotest.(check (option int)) (name ^ " regular") (Some r) (Graph.is_regular g);
+  Alcotest.(check bool) (name ^ " connected") true (Graph.is_connected g);
+  if expect_simple then
+    Alcotest.(check bool) (name ^ " simple") false (Graph.has_multi_edge g)
+
+let test_rrg_jellyfish () =
+  List.iter
+    (fun (n, r) ->
+      let g = Rrg.jellyfish (st ()) ~n ~r in
+      check_rrg "jellyfish" g ~n ~r ~expect_simple:true)
+    [ (10, 3); (20, 4); (40, 10); (15, 8) ]
+
+let test_rrg_pairing () =
+  List.iter
+    (fun (n, r) ->
+      let g = Rrg.pairing (st ()) ~n ~r in
+      Alcotest.(check (option int)) "regular" (Some r) (Graph.is_regular g);
+      Alcotest.(check bool) "connected" true (Graph.is_connected g))
+    [ (10, 3); (30, 6) ]
+
+let test_rrg_args () =
+  Alcotest.check_raises "odd n*r" (Invalid_argument "Rrg: n*r must be even")
+    (fun () -> ignore (Rrg.jellyfish (st ()) ~n:5 ~r:3));
+  Alcotest.check_raises "r >= n"
+    (Invalid_argument "Rrg: degree must be below the switch count") (fun () ->
+      ignore (Rrg.jellyfish (st ()) ~n:4 ~r:4))
+
+let test_rrg_topology_servers () =
+  let topo = Rrg.topology (st ()) ~n:10 ~k:8 ~r:5 in
+  Alcotest.(check int) "servers per switch" 3 topo.Topology.servers.(0);
+  Alcotest.(check int) "total servers" 30 (Topology.num_servers topo);
+  Topology.validate_ports topo ~max_ports:(Array.make 10 8)
+
+let test_rrg_dense () =
+  (* Density near-complete: r = n - 2. *)
+  let g = Rrg.jellyfish (st ()) ~n:12 ~r:10 in
+  check_rrg "dense" g ~n:12 ~r:10 ~expect_simple:true
+
+(* ---- Hetero ---- *)
+
+let large = { Hetero.count = 6; ports = 10; servers_each = 4 }
+let small = { Hetero.count = 8; ports = 5; servers_each = 2 }
+
+let test_hetero_two_class_structure () =
+  let topo = Hetero.two_class (st ()) ~large ~small in
+  let g = topo.Topology.graph in
+  Alcotest.(check int) "switches" 14 (Graph.n g);
+  Alcotest.(check bool) "connected" true (Graph.is_connected g);
+  (* Degrees: large switches have 6 network ports, small have 3. *)
+  for u = 0 to 5 do
+    Alcotest.(check int) "large degree" 6 (Graph.degree g u)
+  done;
+  for u = 6 to 13 do
+    Alcotest.(check int) "small degree" 3 (Graph.degree g u)
+  done;
+  Alcotest.(check int) "servers" ((6 * 4) + (8 * 2)) (Topology.num_servers topo);
+  Alcotest.(check (array int)) "clusters"
+    (Array.init 14 (fun i -> if i < 6 then 0 else 1))
+    topo.Topology.cluster
+
+let test_hetero_cross_fraction_monotone () =
+  (* More cross_fraction → more cross-cluster capacity. *)
+  let cross_at x =
+    let topo = Hetero.two_class ~cross_fraction:x (st ()) ~large ~small in
+    Topology.cross_cluster_capacity topo
+  in
+  let low = cross_at 0.3 and mid = cross_at 1.0 and high = cross_at 1.6 in
+  Alcotest.(check bool) "low < mid" true (low < mid);
+  Alcotest.(check bool) "mid < high" true (mid < high)
+
+let test_hetero_cross_count_matches_request () =
+  let expected = Hetero.expected_cross_links ~large ~small in
+  let topo = Hetero.two_class ~cross_fraction:1.0 (st ()) ~large ~small in
+  (* Cross capacity counts both directions of each unit link. *)
+  let links = Topology.cross_cluster_capacity topo /. 2.0 in
+  Alcotest.(check bool) "within rounding+parity of expectation" true
+    (Float.abs (links -. expected) <= 1.5)
+
+let test_hetero_server_overflow_rejected () =
+  Alcotest.check_raises "no net ports"
+    (Invalid_argument "Hetero: class keeps no network ports after servers")
+    (fun () ->
+      ignore
+        (Hetero.two_class (st ())
+           ~large:{ Hetero.count = 2; ports = 4; servers_each = 4 }
+           ~small))
+
+let test_hetero_highspeed () =
+  let topo =
+    Hetero.with_highspeed (st ()) ~large ~small ~h_links:2 ~h_speed:10.0
+  in
+  let g = topo.Topology.graph in
+  (* High-speed links exist only between large switches (cluster 0). *)
+  let hs_caps = ref [] in
+  Graph.iter_arcs g (fun a ->
+      if Graph.arc_cap g a = 10.0 then
+        hs_caps := (Graph.arc_src g a, Graph.arc_dst g a) :: !hs_caps);
+  (* 6 large switches x 2 high-speed ports = 6 links = 12 arcs. *)
+  Alcotest.(check int) "h-arc count (both dirs)" 12 (List.length !hs_caps);
+  List.iter
+    (fun (u, v) ->
+      if u >= 6 || v >= 6 then Alcotest.fail "high-speed link off-cluster")
+    !hs_caps
+
+let test_place_servers_power () =
+  let ports = [| 10; 10; 20 |] in
+  let placed = Hetero.place_servers_power ~total:8 ~ports ~beta:1.0 in
+  Alcotest.(check int) "sums to total" 8 (Array.fold_left ( + ) 0 placed);
+  Alcotest.(check int) "proportional" 4 placed.(2);
+  (* β = 0: uniform regardless of ports. *)
+  let uniform = Hetero.place_servers_power ~total:9 ~ports ~beta:0.0 in
+  Alcotest.(check (array int)) "uniform" [| 3; 3; 3 |] uniform;
+  (* Clamping: every switch keeps >= 1 network port. *)
+  let clamped = Hetero.place_servers_power ~total:30 ~ports ~beta:3.0 in
+  Array.iteri
+    (fun i p -> Alcotest.(check bool) "port left" true (p <= ports.(i) - 1))
+    clamped;
+  Alcotest.(check int) "total preserved" 30 (Array.fold_left ( + ) 0 clamped)
+
+let test_power_law_ports () =
+  let ports = Hetero.power_law_ports (st ()) ~n:60 ~avg:8.0 () in
+  Alcotest.(check int) "count" 60 (Array.length ports);
+  let mean =
+    float_of_int (Array.fold_left ( + ) 0 ports) /. 60.0
+  in
+  Alcotest.(check bool) "mean near target" true (Float.abs (mean -. 8.0) <= 1.0);
+  Array.iter
+    (fun k -> if k < 4 || k > 48 then Alcotest.fail "port bound violated")
+    ports
+
+(* ---- VL2 ---- *)
+
+let test_vl2_structure () =
+  let da = 8 and di = 6 in
+  let topo = Vl2.create ~da ~di () in
+  let g = topo.Topology.graph in
+  let tors = Vl2.num_tors ~da ~di in
+  Alcotest.(check int) "tors" 12 tors;
+  Alcotest.(check int) "switches" (tors + di + (da / 2)) (Graph.n g);
+  Alcotest.(check bool) "connected" true (Graph.is_connected g);
+  (* Each ToR: 2 uplinks; each core: di links; each agg: da links. *)
+  for t = 0 to tors - 1 do
+    Alcotest.(check int) "tor degree" 2 (Graph.degree g t);
+    Alcotest.(check int) "tor servers" 20 topo.Topology.servers.(t)
+  done;
+  for a = tors to tors + di - 1 do
+    Alcotest.(check int) "agg degree" da (Graph.degree g a)
+  done;
+  for c = tors + di to Graph.n g - 1 do
+    Alcotest.(check int) "core degree" di (Graph.degree g c)
+  done
+
+let test_vl2_tor_uplinks_distinct () =
+  let topo = Vl2.create ~da:8 ~di:6 () in
+  let g = topo.Topology.graph in
+  for t = 0 to Vl2.num_tors ~da:8 ~di:6 - 1 do
+    match Graph.neighbors g t with
+    | [ a; b ] -> if a = b then Alcotest.fail "uplinks to same agg"
+    | _ -> Alcotest.fail "tor degree not 2"
+  done
+
+let test_vl2_link_speed () =
+  let topo = Vl2.create ~link_speed:10.0 ~da:4 ~di:4 () in
+  Graph.iter_arcs topo.Topology.graph (fun a ->
+      let c = Graph.arc_cap topo.Topology.graph a in
+      if c <> 10.0 then Alcotest.fail "non-10G link")
+
+let test_vl2_supports_full_throughput () =
+  (* By construction VL2 is non-blocking at its design size: permutation
+     throughput = 1. Verified with the FPTAS on a small instance. *)
+  let topo = Vl2.create ~da:4 ~di:4 () in
+  let stt = st () in
+  let tm = Dcn_traffic.Traffic.permutation stt ~servers:topo.Topology.servers in
+  let lambda =
+    Dcn_flow.Mcmf_fptas.lambda
+      ~params:{ Dcn_flow.Mcmf_fptas.eps = 0.05; gap = 0.03; max_phases = 100000 }
+      topo.Topology.graph
+      (Dcn_traffic.Traffic.to_commodities tm)
+  in
+  Alcotest.(check bool) "lambda >= 1" true (lambda >= 0.97)
+
+(* ---- Rewired VL2 ---- *)
+
+let test_rewire_structure () =
+  let da = 8 and di = 6 in
+  let tors = 14 in
+  let topo = Rewire.create (st ()) ~tors ~da ~di () in
+  let g = topo.Topology.graph in
+  Alcotest.(check bool) "connected" true (Graph.is_connected g);
+  Alcotest.(check int) "switches" (tors + di + (da / 2)) (Graph.n g);
+  (* ToRs still have exactly two uplinks to distinct switches. *)
+  for t = 0 to tors - 1 do
+    match Graph.neighbors g t with
+    | [ a; b ] -> if a = b then Alcotest.fail "rewired uplinks collide"
+    | _ -> Alcotest.fail "tor degree not 2"
+  done;
+  (* Equipment check: agg/core switches never exceed their port budget. *)
+  let ports =
+    Array.init (Graph.n g) (fun v ->
+        if v < tors then 2 + topo.Topology.servers.(v)
+        else if v < tors + di then da
+        else di)
+  in
+  let budget =
+    Array.mapi (fun v p -> p + topo.Topology.servers.(v) * 0) ports
+  in
+  Array.iteri
+    (fun v b ->
+      if v >= tors && Graph.degree g v > b then
+        Alcotest.fail "switch port budget exceeded")
+    budget
+
+let test_rewire_max_tors () =
+  let da = 8 and di = 6 in
+  (* Ports: 6 aggs x 8 + 4 cores x 6 = 72; minus one free port each = 62;
+     each ToR takes 2. *)
+  Alcotest.(check int) "max tors" 31 (Rewire.max_tors ~da ~di)
+
+let test_rewire_beats_vl2 () =
+  (* The §7 headline: with equal equipment and the same number of ToRs, the
+     rewired network's permutation throughput is at least VL2's. *)
+  let da = 8 and di = 8 in
+  let tors = Vl2.num_tors ~da ~di in
+  let stt = st () in
+  let params = { Dcn_flow.Mcmf_fptas.eps = 0.1; gap = 0.08; max_phases = 100000 } in
+  let lambda_of topo =
+    let tm = Dcn_traffic.Traffic.permutation stt ~servers:topo.Topology.servers in
+    Dcn_flow.Mcmf_fptas.lambda ~params topo.Topology.graph
+      (Dcn_traffic.Traffic.to_commodities tm)
+  in
+  let vl2 = lambda_of (Vl2.create ~da ~di ()) in
+  let oversized = int_of_float (1.2 *. float_of_int tors) in
+  let rew = lambda_of (Rewire.create stt ~tors:oversized ~da ~di ()) in
+  (* VL2 at design size saturates at 1; rewired carries 20% more ToRs and
+     should still be within ~20% of full throughput. *)
+  Alcotest.(check bool) "vl2 full" true (vl2 >= 0.95);
+  Alcotest.(check bool) "rewired oversized still strong" true (rew >= 0.8)
+
+(* ---- Fat tree / hypercube / torus ---- *)
+
+let test_fat_tree_structure () =
+  let topo = Fat_tree.create ~k:4 () in
+  let g = topo.Topology.graph in
+  Alcotest.(check int) "switches" 20 (Graph.n g);
+  Alcotest.(check int) "servers" 16 (Topology.num_servers topo);
+  Alcotest.(check bool) "connected" true (Graph.is_connected g);
+  (* Every switch uses at most k ports (edge switches use k/2 net + k/2
+     servers). *)
+  for v = 0 to Graph.n g - 1 do
+    if Graph.degree g v + topo.Topology.servers.(v) > 4 then
+      Alcotest.fail "port budget"
+  done;
+  Alcotest.(check int) "k=4 fat tree server count" 16 (Fat_tree.num_servers ~k:4)
+
+let test_fat_tree_full_throughput () =
+  (* A fat tree is rearrangeably non-blocking: permutation λ = 1. *)
+  let topo = Fat_tree.create ~k:4 () in
+  let stt = st () in
+  let tm = Dcn_traffic.Traffic.permutation stt ~servers:topo.Topology.servers in
+  let lambda =
+    Dcn_flow.Mcmf_fptas.lambda
+      ~params:{ Dcn_flow.Mcmf_fptas.eps = 0.05; gap = 0.03; max_phases = 100000 }
+      topo.Topology.graph
+      (Dcn_traffic.Traffic.to_commodities tm)
+  in
+  Alcotest.(check bool) "lambda ~ 1" true (lambda >= 0.97)
+
+let test_hypercube () =
+  let g = Hypercube.graph ~dim:4 in
+  Alcotest.(check int) "16 nodes" 16 (Graph.n g);
+  Alcotest.(check (option int)) "4-regular" (Some 4) (Graph.is_regular g);
+  Alcotest.(check bool) "connected" true (Graph.is_connected g);
+  Alcotest.(check int) "diameter = dim" 4 (Dcn_graph.Graph_metrics.diameter g)
+
+let test_torus () =
+  let g = Torus.graph ~dims:[ 3; 4 ] in
+  Alcotest.(check int) "12 nodes" 12 (Graph.n g);
+  Alcotest.(check (option int)) "4-regular" (Some 4) (Graph.is_regular g);
+  Alcotest.(check bool) "connected" true (Graph.is_connected g);
+  (* 2-extent dimension contributes a single link, not a doubled one. *)
+  let g2 = Torus.graph ~dims:[ 2; 2 ] in
+  Alcotest.(check bool) "no doubled links" false (Graph.has_multi_edge g2);
+  Alcotest.(check (option int)) "2-regular" (Some 2) (Graph.is_regular g2)
+
+let prop_rrg_always_regular_connected =
+  QCheck.Test.make ~name:"jellyfish RRGs regular+connected+simple" ~count:40
+    QCheck.(pair (int_range 6 40) (int_range 3 6))
+    (fun (n, r) ->
+      let n = if n * r mod 2 = 1 then n + 1 else n in
+      QCheck.assume (r < n);
+      let g = Rrg.jellyfish (Random.State.make [| n; r; 7 |]) ~n ~r in
+      Graph.is_regular g = Some r
+      && Graph.is_connected g
+      && not (Graph.has_multi_edge g))
+
+let suite =
+  ( "topologies",
+    [
+      Alcotest.test_case "topology record validation" `Quick test_topology_validation;
+      Alcotest.test_case "rrg jellyfish" `Quick test_rrg_jellyfish;
+      Alcotest.test_case "rrg pairing" `Quick test_rrg_pairing;
+      Alcotest.test_case "rrg argument checks" `Quick test_rrg_args;
+      Alcotest.test_case "rrg topology servers" `Quick test_rrg_topology_servers;
+      Alcotest.test_case "rrg near-complete density" `Quick test_rrg_dense;
+      Alcotest.test_case "hetero structure" `Quick test_hetero_two_class_structure;
+      Alcotest.test_case "hetero cross monotone" `Quick
+        test_hetero_cross_fraction_monotone;
+      Alcotest.test_case "hetero cross matches request" `Quick
+        test_hetero_cross_count_matches_request;
+      Alcotest.test_case "hetero overflow rejected" `Quick
+        test_hetero_server_overflow_rejected;
+      Alcotest.test_case "hetero high-speed overlay" `Quick test_hetero_highspeed;
+      Alcotest.test_case "power placement" `Quick test_place_servers_power;
+      Alcotest.test_case "power-law ports" `Quick test_power_law_ports;
+      Alcotest.test_case "vl2 structure" `Quick test_vl2_structure;
+      Alcotest.test_case "vl2 distinct uplinks" `Quick test_vl2_tor_uplinks_distinct;
+      Alcotest.test_case "vl2 link speeds" `Quick test_vl2_link_speed;
+      Alcotest.test_case "vl2 full throughput" `Slow test_vl2_supports_full_throughput;
+      Alcotest.test_case "rewire structure" `Quick test_rewire_structure;
+      Alcotest.test_case "rewire max tors" `Quick test_rewire_max_tors;
+      Alcotest.test_case "rewire beats vl2" `Slow test_rewire_beats_vl2;
+      Alcotest.test_case "fat tree structure" `Quick test_fat_tree_structure;
+      Alcotest.test_case "fat tree full throughput" `Slow
+        test_fat_tree_full_throughput;
+      Alcotest.test_case "hypercube" `Quick test_hypercube;
+      Alcotest.test_case "torus" `Quick test_torus;
+      QCheck_alcotest.to_alcotest prop_rrg_always_regular_connected;
+    ] )

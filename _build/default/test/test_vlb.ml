@@ -1,0 +1,110 @@
+(* Tests for Valiant load balancing path construction. *)
+
+open Dcn_graph
+module Vlb = Dcn_flow.Vlb
+module Mcmf_paths = Dcn_flow.Mcmf_paths
+module Mcmf_fptas = Dcn_flow.Mcmf_fptas
+module Commodity = Dcn_flow.Commodity
+module Rrg = Dcn_topology.Rrg
+
+let st () = Random.State.make [| 616 |]
+
+let tight = { Mcmf_fptas.eps = 0.05; gap = 0.04; max_phases = 100_000 }
+
+let path_valid g ~src ~dst arcs =
+  let rec check at = function
+    | [] -> at = dst
+    | a :: rest -> Graph.arc_src g a = at && check (Graph.arc_dst g a) rest
+  in
+  check src arcs
+
+let test_vlb_paths_valid () =
+  let stt = st () in
+  let g = Rrg.jellyfish stt ~n:20 ~r:4 in
+  let paths = Vlb.paths stt g ~src:0 ~dst:11 ~intermediates:6 in
+  Alcotest.(check bool) "several paths" true (List.length paths >= 2);
+  List.iter
+    (fun p ->
+      Alcotest.(check bool) "valid" true (path_valid g ~src:0 ~dst:11 p);
+      (* Simple: no repeated nodes. *)
+      let nodes = 0 :: List.map (fun a -> Graph.arc_dst g a) p in
+      Alcotest.(check int) "simple" (List.length nodes)
+        (List.length (List.sort_uniq compare nodes)))
+    paths
+
+let test_vlb_includes_direct () =
+  let stt = st () in
+  let g = Rrg.jellyfish stt ~n:16 ~r:4 in
+  let direct =
+    match Dcn_routing.Ksp.shortest_path g ~src:2 ~dst:9 with
+    | Some p -> p
+    | None -> Alcotest.fail "connected graph"
+  in
+  let paths = Vlb.paths stt g ~src:2 ~dst:9 ~intermediates:4 in
+  Alcotest.(check bool) "direct path present" true (List.mem direct paths)
+
+let test_vlb_zero_intermediates () =
+  let stt = st () in
+  let g = Rrg.jellyfish stt ~n:12 ~r:4 in
+  let paths = Vlb.paths stt g ~src:0 ~dst:5 ~intermediates:0 in
+  Alcotest.(check int) "only the direct path" 1 (List.length paths)
+
+let test_vlb_args () =
+  let stt = st () in
+  let g = Rrg.jellyfish stt ~n:12 ~r:4 in
+  Alcotest.check_raises "src=dst" (Invalid_argument "Vlb.paths: src = dst")
+    (fun () -> ignore (Vlb.paths stt g ~src:1 ~dst:1 ~intermediates:2))
+
+let test_vlb_throughput_between_single_and_optimal () =
+  let stt = st () in
+  let topo = Rrg.topology stt ~n:24 ~k:8 ~r:5 in
+  let g = topo.Dcn_topology.Topology.graph in
+  let tm =
+    Dcn_traffic.Traffic.permutation stt
+      ~servers:topo.Dcn_topology.Topology.servers
+  in
+  let cs = Dcn_traffic.Traffic.to_commodities tm in
+  let optimal = (Mcmf_fptas.solve ~params:tight g cs).Mcmf_fptas.lambda_upper in
+  let single =
+    (Mcmf_paths.solve ~params:tight g (Mcmf_paths.of_k_shortest g ~k:1 cs))
+      .Mcmf_paths.lambda_lower
+  in
+  let vlb =
+    Mcmf_paths.solve ~params:tight g (Vlb.restrict stt g ~intermediates:8 cs)
+  in
+  Alcotest.(check bool) "vlb <= optimal" true
+    (vlb.Mcmf_paths.lambda_lower <= optimal +. 1e-6);
+  Alcotest.(check bool) "vlb >= single-path" true
+    (vlb.Mcmf_paths.lambda_upper >= single -. 1e-6)
+
+let test_vlb_restrict_covers_all_commodities () =
+  let stt = st () in
+  let g = Rrg.jellyfish stt ~n:16 ~r:4 in
+  let cs =
+    [|
+      Commodity.make ~src:0 ~dst:8 ~demand:1.0;
+      Commodity.make ~src:3 ~dst:12 ~demand:2.0;
+    |]
+  in
+  let restricted = Vlb.restrict stt g ~intermediates:4 cs in
+  Alcotest.(check int) "same count" 2 (Array.length restricted);
+  Array.iteri
+    (fun i rc ->
+      Alcotest.(check int) "src" cs.(i).Commodity.src rc.Mcmf_paths.src;
+      Alcotest.(check (float 1e-9)) "demand" cs.(i).Commodity.demand
+        rc.Mcmf_paths.demand;
+      Alcotest.(check bool) "has paths" true (rc.Mcmf_paths.paths <> []))
+    restricted
+
+let suite =
+  ( "vlb",
+    [
+      Alcotest.test_case "paths valid and simple" `Quick test_vlb_paths_valid;
+      Alcotest.test_case "direct path included" `Quick test_vlb_includes_direct;
+      Alcotest.test_case "zero intermediates" `Quick test_vlb_zero_intermediates;
+      Alcotest.test_case "argument checks" `Quick test_vlb_args;
+      Alcotest.test_case "throughput sandwich" `Slow
+        test_vlb_throughput_between_single_and_optimal;
+      Alcotest.test_case "restrict covers commodities" `Quick
+        test_vlb_restrict_covers_all_commodities;
+    ] )

@@ -1,0 +1,111 @@
+(* Tests for random stub wiring (configuration model + repair). *)
+
+module Wiring = Dcn_topology.Wiring
+
+let st () = Random.State.make [| 999 |]
+
+let degree_of edges n =
+  let deg = Array.make n 0 in
+  List.iter
+    (fun (u, v) ->
+      deg.(u) <- deg.(u) + 1;
+      deg.(v) <- deg.(v) + 1)
+    edges;
+  deg
+
+let test_matching_preserves_degrees () =
+  let stubs = [| 0; 0; 0; 1; 1; 2; 2; 3 |] in
+  let edges = Wiring.random_matching (st ()) stubs in
+  Alcotest.(check int) "edge count" 4 (List.length edges);
+  Alcotest.(check (array int)) "degrees" [| 3; 2; 2; 1 |] (degree_of edges 4)
+
+let test_matching_no_self_loops () =
+  let stubs = Array.concat [ Array.make 6 0; Array.make 6 1; Array.make 6 2 ] in
+  for seed = 0 to 19 do
+    let edges = Wiring.random_matching (Random.State.make [| seed |]) stubs in
+    List.iter (fun (u, v) -> if u = v then Alcotest.fail "self loop") edges
+  done
+
+let test_matching_odd_rejected () =
+  Alcotest.check_raises "odd stubs"
+    (Invalid_argument "Wiring.random_matching: odd stub count") (fun () ->
+      ignore (Wiring.random_matching (st ()) [| 0; 1; 2 |]))
+
+let test_matching_impossible_self_loops () =
+  (* All stubs on one node: self-loops are unavoidable. *)
+  (match Wiring.random_matching (st ()) [| 0; 0; 0; 0 |] with
+  | _ -> Alcotest.fail "expected failure"
+  | exception Failure _ -> ())
+
+let test_matching_avoids_multi_edges_when_possible () =
+  (* 4 nodes with 3 stubs each can form a simple 3-regular graph (K4). *)
+  let stubs = Array.init 12 (fun i -> i / 3) in
+  let all_simple = ref true in
+  for seed = 0 to 19 do
+    let edges = Wiring.random_matching (Random.State.make [| 100 + seed |]) stubs in
+    let canon = List.map (fun (u, v) -> (min u v, max u v)) edges in
+    if List.length (List.sort_uniq compare canon) <> List.length canon then
+      all_simple := false
+  done;
+  Alcotest.(check bool) "always simple" true !all_simple
+
+let test_matching_hub_keeps_parallels () =
+  (* A hub with more stubs than distinct peers must keep parallel links but
+     never self-loops. *)
+  let stubs = Array.concat [ Array.make 6 0; Array.make 3 1; Array.make 3 2 ] in
+  let edges = Wiring.random_matching (st ()) stubs in
+  List.iter (fun (u, v) -> if u = v then Alcotest.fail "self loop") edges;
+  Alcotest.(check int) "edges" 6 (List.length edges)
+
+let test_bipartite_matching () =
+  let left = [| 0; 0; 1 |] and right = [| 2; 3; 3 |] in
+  let edges = Wiring.random_bipartite_matching (st ()) left right in
+  Alcotest.(check int) "count" 3 (List.length edges);
+  List.iter
+    (fun (u, v) ->
+      if not (List.mem u [ 0; 1 ]) then Alcotest.fail "left side wrong";
+      if not (List.mem v [ 2; 3 ]) then Alcotest.fail "right side wrong")
+    edges
+
+let test_bipartite_size_mismatch () =
+  Alcotest.check_raises "size mismatch"
+    (Invalid_argument "Wiring.random_bipartite_matching: side size mismatch")
+    (fun () ->
+      ignore (Wiring.random_bipartite_matching (st ()) [| 0 |] [| 1; 2 |]))
+
+let prop_degrees_preserved =
+  QCheck.Test.make ~name:"matching preserves stub degrees" ~count:100
+    QCheck.(pair small_int (list_of_size (Gen.int_range 2 8) (int_range 1 4)))
+    (fun (seed, degs) ->
+      (* Ensure no node holds more than half the stubs, and even total. *)
+      let degs = Array.of_list degs in
+      let total = Array.fold_left ( + ) 0 degs in
+      let degs = if total mod 2 = 1 then (degs.(0) <- degs.(0) + 1; degs) else degs in
+      let total = Array.fold_left ( + ) 0 degs in
+      let max_deg = Array.fold_left max 0 degs in
+      QCheck.assume (2 * max_deg <= total);
+      let stubs =
+        Array.concat
+          (Array.to_list (Array.mapi (fun i d -> Array.make d i) degs))
+      in
+      let edges = Wiring.random_matching (Random.State.make [| seed |]) stubs in
+      degree_of edges (Array.length degs) = degs
+      && List.for_all (fun (u, v) -> u <> v) edges)
+
+let suite =
+  ( "wiring",
+    [
+      Alcotest.test_case "degrees preserved" `Quick test_matching_preserves_degrees;
+      Alcotest.test_case "no self loops" `Quick test_matching_no_self_loops;
+      Alcotest.test_case "odd stub count rejected" `Quick test_matching_odd_rejected;
+      Alcotest.test_case "impossible self-loop case fails" `Quick
+        test_matching_impossible_self_loops;
+      Alcotest.test_case "simple graph when possible" `Quick
+        test_matching_avoids_multi_edges_when_possible;
+      Alcotest.test_case "hub keeps parallels, no loops" `Quick
+        test_matching_hub_keeps_parallels;
+      Alcotest.test_case "bipartite matching" `Quick test_bipartite_matching;
+      Alcotest.test_case "bipartite size mismatch" `Quick
+        test_bipartite_size_mismatch;
+      QCheck_alcotest.to_alcotest prop_degrees_preserved;
+    ] )
