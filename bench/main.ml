@@ -7,7 +7,14 @@
      dune exec bench/main.exe -- fig6a fig12a # a subset of targets
      dune exec bench/main.exe -- micro        # kernel microbenchmarks only
      dune exec bench/main.exe -- --csv-dir D  # also write one CSV per target
-     dune exec bench/main.exe -- --jobs 8     # figures in parallel domains
+     dune exec bench/main.exe -- --jobs 8     # size of the domain pool
+     dune exec bench/main.exe -- --bench-json out.json  # machine-readable timings
+
+   [--jobs j] sets the total parallelism (defaults to the machine's
+   recommended domain count): the shared domain pool gets [j - 1] workers
+   and both the figure level and the per-point run level dispatch onto it.
+   Results are bit-identical for every [j] — all randomness is derived
+   from per-(salt, run) seeds, never from scheduling.
 
    Every figure prints the same series the paper plots; EXPERIMENTS.md
    records the expected shapes and the paper-vs-measured comparison. *)
@@ -95,9 +102,9 @@ let compute_figure scale (name, description, f) =
   Format.fprintf ppf "%a@." Core.Table.pp table;
   Format.fprintf ppf "(%s completed in %.1fs)@.@." name dt;
   Format.pp_print_flush ppf ();
-  (name, table, Buffer.contents buf)
+  (name, table, Buffer.contents buf, dt)
 
-let emit_figure ~csv_dir (name, table, rendered) =
+let emit_figure ~csv_dir (name, table, rendered, _dt) =
   print_string rendered;
   flush stdout;
   match csv_dir with
@@ -111,6 +118,8 @@ let emit_figure ~csv_dir (name, table, rendered) =
 (* ------------------------------------------------------------------ *)
 (* Bechamel microbenchmarks of the kernels                             *)
 
+(* Returns [(name, Some time_per_run_ns)] per kernel (None if the OLS fit
+   failed), so the caller can both print the table and serialize them. *)
 let microbenchmarks () =
   let open Bechamel in
   let st = Random.State.make [| 42 |] in
@@ -135,6 +144,13 @@ let microbenchmarks () =
         (Staged.stage (fun () ->
              ignore
                (Core.Mcmf_fptas.solve ~params:quick topo40.Core.Topology.graph cs)));
+      (* Same solve with the dual bound sampled every 8 phases instead of
+         every phase: identical certificate quality, fewer sweeps. *)
+      Test.make ~name:"mcmf-fptas-n40-perm-lazy-dual"
+        (Staged.stage (fun () ->
+             ignore
+               (Core.Mcmf_fptas.solve ~params:quick ~dual_check_every:8
+                  topo40.Core.Topology.graph cs)));
       Test.make ~name:"maxflow-dinic-n200"
         (Staged.stage (fun () ->
              ignore (Core.Maxflow.max_flow g200 ~src:0 ~dst:100)));
@@ -146,6 +162,7 @@ let microbenchmarks () =
     Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
   in
   let table = Core.Table.create ~header:[ "kernel"; "time_per_run_ns" ] in
+  let measurements = ref [] in
   List.iter
     (fun test ->
       let results = Benchmark.all cfg [ instance ] test in
@@ -154,54 +171,192 @@ let microbenchmarks () =
         (fun name ols_result ->
           let estimate =
             match Analyze.OLS.estimates ols_result with
-            | Some [ e ] -> Printf.sprintf "%.0f" e
-            | _ -> "n/a"
+            | Some [ e ] -> Some e
+            | _ -> None
           in
-          Core.Table.add_row table [ name; estimate ])
+          measurements := (name, estimate) :: !measurements;
+          let cell =
+            match estimate with
+            | Some e -> Printf.sprintf "%.0f" e
+            | None -> "n/a"
+          in
+          Core.Table.add_row table [ name; cell ])
         analyzed)
     tests;
-  Core.Table.print ~title:"Kernel microbenchmarks (Bechamel)" table
+  Core.Table.print ~title:"Kernel microbenchmarks (Bechamel)" table;
+  List.rev !measurements
 
 (* ------------------------------------------------------------------ *)
+(* Timing report (--bench-json)                                        *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let json_float x =
+  (* JSON has no NaN/Infinity literals. *)
+  if Float.is_finite x then Printf.sprintf "%.6g" x else "null"
+
+let write_bench_json path ~mode ~jobs ~figure_times ~micro ~total_seconds =
+  let entry name value_field value =
+    Printf.sprintf "    {\"name\": \"%s\", \"%s\": %s}" (json_escape name)
+      value_field value
+  in
+  let figure_entries =
+    List.map (fun (name, dt) -> entry name "seconds" (json_float dt)) figure_times
+  in
+  let micro_entries =
+    List.map
+      (fun (name, est) ->
+        entry name "time_per_run_ns"
+          (match est with Some e -> json_float e | None -> "null"))
+      micro
+  in
+  let oc = open_out path in
+  Printf.fprintf oc "{\n";
+  Printf.fprintf oc "  \"mode\": \"%s\",\n" (json_escape mode);
+  Printf.fprintf oc "  \"jobs\": %d,\n" jobs;
+  Printf.fprintf oc "  \"figures\": [\n%s\n  ],\n"
+    (String.concat ",\n" figure_entries);
+  Printf.fprintf oc "  \"micro\": [\n%s\n  ],\n"
+    (String.concat ",\n" micro_entries);
+  Printf.fprintf oc "  \"total_seconds\": %s\n" (json_float total_seconds);
+  Printf.fprintf oc "}\n";
+  close_out oc
+
+(* ------------------------------------------------------------------ *)
+(* CLI                                                                 *)
+
+let usage () =
+  prerr_endline
+    "usage: bench [--full] [--jobs N] [--csv-dir DIR] [--bench-json FILE] \
+     [TARGET ...]";
+  prerr_endline "targets: figure names (fig1a, ..., ablation_*) and 'micro';";
+  prerr_endline "         none selects everything"
+
+let die fmt =
+  Printf.ksprintf
+    (fun msg ->
+      prerr_endline ("bench: " ^ msg);
+      usage ();
+      exit 2)
+    fmt
+
+(* [Sys.mkdir] is not recursive; create each missing ancestor in turn so
+   `--csv-dir results/quick/csv` works out of the box. *)
+let rec mkdir_p dir =
+  if not (Sys.file_exists dir) then begin
+    let parent = Filename.dirname dir in
+    if parent <> dir then mkdir_p parent;
+    (* A concurrent creator is fine; only fail if the path still isn't a
+       directory afterwards. *)
+    (try Sys.mkdir dir 0o755 with Sys_error _ -> ());
+    if not (try Sys.is_directory dir with Sys_error _ -> false) then
+      die "cannot create directory %s" dir
+  end
+  else if not (Sys.is_directory dir) then
+    die "%s exists and is not a directory" dir
+
+type options = {
+  full : bool;
+  jobs : int;
+  csv_dir : string option;
+  bench_json : string option;
+  targets : string list;
+}
+
+let parse_args argv =
+  let default_jobs = Domain.recommended_domain_count () in
+  let rec go acc = function
+    | [] -> { acc with targets = List.rev acc.targets }
+    | "--full" :: rest -> go { acc with full = true } rest
+    | "--jobs" :: value :: rest -> (
+        match int_of_string_opt value with
+        | Some j when j >= 1 -> go { acc with jobs = j } rest
+        | Some _ -> die "--jobs must be at least 1 (got %s)" value
+        | None -> die "--jobs expects an integer, got '%s'" value)
+    | [ "--jobs" ] -> die "--jobs expects a value"
+    | "--csv-dir" :: dir :: rest -> go { acc with csv_dir = Some dir } rest
+    | [ "--csv-dir" ] -> die "--csv-dir expects a directory"
+    | "--bench-json" :: path :: rest ->
+        go { acc with bench_json = Some path } rest
+    | [ "--bench-json" ] -> die "--bench-json expects a file path"
+    | ("--help" | "-h") :: _ ->
+        usage ();
+        exit 0
+    | arg :: _ when String.length arg > 0 && arg.[0] = '-' ->
+        die "unknown option %s" arg
+    | target :: rest -> go { acc with targets = target :: acc.targets } rest
+  in
+  go
+    { full = false; jobs = default_jobs; csv_dir = None; bench_json = None;
+      targets = [] }
+    (List.tl (Array.to_list argv))
 
 let () =
-  let args = Array.to_list Sys.argv |> List.tl in
-  let full = List.mem "--full" args in
-  let rec extract_csv_dir acc = function
-    | "--csv-dir" :: dir :: rest -> (Some dir, List.rev_append acc rest)
-    | x :: rest -> extract_csv_dir (x :: acc) rest
-    | [] -> (None, List.rev acc)
-  in
-  let csv_dir, args = extract_csv_dir [] args in
-  (match csv_dir with
-  | Some dir when not (Sys.file_exists dir) -> Sys.mkdir dir 0o755
-  | _ -> ());
-  let rec extract_jobs acc = function
-    | "--jobs" :: j :: rest -> (int_of_string j, List.rev_append acc rest)
-    | x :: rest -> extract_jobs (x :: acc) rest
-    | [] -> (1, List.rev acc)
-  in
-  let jobs, args = extract_jobs [] args in
-  let names = List.filter (fun a -> a <> "--full") args in
-  let scale = if full then Core.Scale.full else Core.Scale.quick in
-  Format.printf "mode: %s (runs=%d, eps=%.2f, gap=%.2f)@.@."
-    (if full then "full (paper-scale)" else "quick")
+  let opts = parse_args Sys.argv in
+  (match opts.csv_dir with Some dir -> mkdir_p dir | None -> ());
+  (* Create the report's parent directory up front: failing after the
+     figures have been computed would throw the work away. *)
+  (match opts.bench_json with
+  | Some path ->
+      let parent = Filename.dirname path in
+      if parent <> "" then mkdir_p parent
+  | None -> ());
+  (* One shared pool for everything: figure-level and run-level batches
+     both dispatch onto [jobs - 1] workers plus the submitting thread. *)
+  Core.Pool.set_workers (opts.jobs - 1);
+  let scale = if opts.full then Core.Scale.full else Core.Scale.quick in
+  Format.printf "mode: %s (runs=%d, eps=%.2f, gap=%.2f, jobs=%d)@.@."
+    (if opts.full then "full (paper-scale)" else "quick")
     scale.Core.Scale.runs scale.Core.Scale.params.Core.Mcmf_fptas.eps
-    scale.Core.Scale.params.Core.Mcmf_fptas.gap;
+    scale.Core.Scale.params.Core.Mcmf_fptas.gap opts.jobs;
+  let names = opts.targets in
   let wants name = names = [] || List.mem name names in
   let known = List.map (fun (n, _, _) -> n) figures @ [ "micro" ] in
   List.iter
     (fun n ->
-      if not (List.mem n known) then begin
-        Format.eprintf "unknown target %s; known: %s@." n
-          (String.concat " " known);
-        exit 1
-      end)
+      if not (List.mem n known) then
+        die "unknown target %s; known: %s" n (String.concat " " known))
     names;
+  let t0 = Unix.gettimeofday () in
   let selected = List.filter (fun (n, _, _) -> wants n) figures in
-  if jobs <= 1 then
-    List.iter (fun fig -> emit_figure ~csv_dir (compute_figure scale fig)) selected
-  else
-    Core.Parallel.map ~domains:jobs (compute_figure scale) selected
-    |> List.iter (emit_figure ~csv_dir);
-  if wants "micro" then microbenchmarks ()
+  let computed =
+    if Core.Pool.enabled () then begin
+      (* Parallel: collect in order, then emit (rendered strings keep the
+         output un-interleaved). *)
+      let cs = Core.Parallel.map (compute_figure scale) selected in
+      List.iter (emit_figure ~csv_dir:opts.csv_dir) cs;
+      cs
+    end
+    else
+      (* Serial: stream each figure as soon as it finishes. *)
+      List.map
+        (fun fig ->
+          let r = compute_figure scale fig in
+          emit_figure ~csv_dir:opts.csv_dir r;
+          r)
+        selected
+  in
+  let micro = if wants "micro" then microbenchmarks () else [] in
+  match opts.bench_json with
+  | None -> ()
+  | Some path ->
+      let figure_times =
+        List.map (fun (name, _, _, dt) -> (name, dt)) computed
+      in
+      write_bench_json path
+        ~mode:(if opts.full then "full" else "quick")
+        ~jobs:opts.jobs ~figure_times ~micro
+        ~total_seconds:(Unix.gettimeofday () -. t0)

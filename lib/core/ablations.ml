@@ -1,4 +1,5 @@
 module Table = Dcn_util.Table
+module Parallel = Dcn_util.Parallel
 module Graph = Dcn_graph.Graph
 module Cuts = Dcn_graph.Cuts
 module Topology = Dcn_topology.Topology
@@ -34,21 +35,22 @@ let bisection_vs_throughput scale =
     (lambda, bisection)
   in
   let rows =
-    List.map
+    Parallel.map
       (fun x ->
-        let lambdas = ref [] and bisections = ref [] in
-        for i = 0 to scale.Scale.runs - 1 do
-          let st =
-            Random.State.make
-              [| scale.Scale.seed; 14000 + int_of_float (x *. 100.0); i |]
-          in
-          let l, b = measure x st in
-          lambdas := l :: !lambdas;
-          bisections := b :: !bisections
-        done;
+        let samples =
+          Scale.samples scale ~salt:(14000 + int_of_float (x *. 100.0))
+            (measure x)
+        in
+        (* The historical implementation accumulated runs by consing, so the
+           means summed in reverse run order; reverse the sample arrays to
+           keep the float results bit-identical. *)
+        let rev a =
+          let n = Array.length a in
+          Array.init n (fun i -> a.(n - 1 - i))
+        in
         ( x,
-          Dcn_util.Stats.mean (Array.of_list !lambdas),
-          Dcn_util.Stats.mean (Array.of_list !bisections) ))
+          Dcn_util.Stats.mean (rev (Array.map fst samples)),
+          Dcn_util.Stats.mean (rev (Array.map snd samples)) ))
       grid
   in
   (* Normalize both series at the unbiased (x = 1) point. *)
@@ -349,7 +351,9 @@ let spectral_vs_throughput scale =
   let small = { Hetero.count = 10; ports = 10; servers_each = 4 } in
   let grid = if scale.Scale.dense then [ 0.1; 0.2; 0.4; 0.6; 0.8; 1.0; 1.4 ]
              else [ 0.1; 0.4; 1.0; 1.4 ] in
-  List.iter
+  (* Each point's RNG stream derives from its own x-based salt, so the
+     sweep parallelizes without perturbing any sample. *)
+  Parallel.map
     (fun x ->
       let st = Random.State.make [| scale.Scale.seed; 15200 + int_of_float (x *. 10.0) |] in
       let topo = Hetero.two_class ~cross_fraction:x st ~large ~small in
@@ -360,8 +364,9 @@ let spectral_vs_throughput scale =
         | None -> Float.nan
       in
       let lambda = permutation_lambda scale st topo in
-      Table.add_floats t [ x; quality; lambda ])
-    grid;
+      [ x; quality; lambda ])
+    grid
+  |> List.iter (Table.add_floats t);
   t
 
 let traffic_proportionality scale =
@@ -528,7 +533,7 @@ let multi_class_placement scale =
     else [ 0.0; 0.5; 1.0; 1.5 ]
   in
   let rows =
-    List.map
+    Parallel.map
       (fun beta ->
         let mean, _ =
           Scale.averaged scale ~salt:(15700 + int_of_float (beta *. 100.0))

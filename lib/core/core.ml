@@ -58,6 +58,7 @@ module Stats = Dcn_util.Stats
 module Table = Dcn_util.Table
 module Sampling = Dcn_util.Sampling
 module Parallel = Dcn_util.Parallel
+module Pool = Dcn_util.Pool
 
 (* Experiment drivers (sibling modules of this library). *)
 module Scale = Scale

@@ -1,4 +1,5 @@
 module Table = Dcn_util.Table
+module Parallel = Dcn_util.Parallel
 module Topology = Dcn_topology.Topology
 module Rrg = Dcn_topology.Rrg
 module Traffic = Dcn_traffic.Traffic
@@ -60,23 +61,28 @@ let fig1a scale =
       ~header:
         [ "degree"; "a2a_ratio"; "perm10_ratio"; "perm5_ratio"; "perm5_std" ]
   in
-  List.iter
+  (* Grid points are independent (each derives its RNGs from its salt
+     alone), so they run concurrently on the shared pool; rows are appended
+     in grid order, keeping the table identical to a serial run. *)
+  Parallel.map
     (fun r ->
       let a2a, _ = rrg_throughput_ratio scale ~salt:(100 + r) ~n ~r ~traffic:(`All_to_all 5) in
       let p10, _ = rrg_throughput_ratio scale ~salt:(200 + r) ~n ~r ~traffic:(`Permutation 10) in
       let p5, p5_std = rrg_throughput_ratio scale ~salt:(300 + r) ~n ~r ~traffic:(`Permutation 5) in
-      Table.add_floats t [ float_of_int r; a2a; p10; p5; p5_std ])
-    (degree_grid scale);
+      [ float_of_int r; a2a; p10; p5; p5_std ])
+    (degree_grid scale)
+  |> List.iter (Table.add_floats t);
   t
 
 let fig1b scale =
   let n = 40 in
   let t = Table.create ~header:[ "degree"; "observed_aspl"; "aspl_lower_bound" ] in
-  List.iter
+  Parallel.map
     (fun r ->
       let aspl, _ = rrg_aspl scale ~salt:(400 + r) ~n ~r in
-      Table.add_floats t [ float_of_int r; aspl; Aspl_bound.d_star ~n ~r ])
-    (degree_grid scale);
+      [ float_of_int r; aspl; Aspl_bound.d_star ~n ~r ])
+    (degree_grid scale)
+  |> List.iter (Table.add_floats t);
   t
 
 let fig2a scale =
@@ -85,7 +91,7 @@ let fig2a scale =
     Table.create
       ~header:[ "size"; "a2a_ratio"; "perm10_ratio"; "perm5_ratio"; "perm5_std" ]
   in
-  List.iter
+  Parallel.map
     (fun n ->
       let a2a =
         if n <= all_to_all_size_limit then begin
@@ -96,18 +102,20 @@ let fig2a scale =
       in
       let p10, _ = rrg_throughput_ratio scale ~salt:(600 + n) ~n ~r ~traffic:(`Permutation 10) in
       let p5, p5_std = rrg_throughput_ratio scale ~salt:(700 + n) ~n ~r ~traffic:(`Permutation 5) in
-      Table.add_floats t [ float_of_int n; a2a; p10; p5; p5_std ])
-    (size_grid scale);
+      [ float_of_int n; a2a; p10; p5; p5_std ])
+    (size_grid scale)
+  |> List.iter (Table.add_floats t);
   t
 
 let fig2b scale =
   let r = 10 in
   let t = Table.create ~header:[ "size"; "observed_aspl"; "aspl_lower_bound" ] in
-  List.iter
+  Parallel.map
     (fun n ->
       let aspl, _ = rrg_aspl scale ~salt:(800 + n) ~n ~r in
-      Table.add_floats t [ float_of_int n; aspl; Aspl_bound.d_star ~n ~r ])
-    (size_grid scale);
+      [ float_of_int n; aspl; Aspl_bound.d_star ~n ~r ])
+    (size_grid scale)
+  |> List.iter (Table.add_floats t);
   t
 
 let fig3 scale =
@@ -129,10 +137,11 @@ let fig3 scale =
   let t =
     Table.create ~header:[ "size"; "observed_aspl"; "aspl_lower_bound"; "ratio" ]
   in
-  List.iter
+  Parallel.map
     (fun n ->
       let aspl, _ = rrg_aspl scale ~salt:(900 + n) ~n ~r in
       let bound = Aspl_bound.d_star ~n ~r in
-      Table.add_floats t [ float_of_int n; aspl; bound; aspl /. bound ])
-    sizes;
+      [ float_of_int n; aspl; bound; aspl /. bound ])
+    sizes
+  |> List.iter (Table.add_floats t);
   t

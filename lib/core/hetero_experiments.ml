@@ -1,4 +1,6 @@
 module Table = Dcn_util.Table
+module Parallel = Dcn_util.Parallel
+module Stats = Dcn_util.Stats
 module Topology = Dcn_topology.Topology
 module Hetero = Dcn_topology.Hetero
 module Traffic = Dcn_traffic.Traffic
@@ -64,11 +66,13 @@ let build ?cross_fraction ?highspeed f ~split st =
       Hetero.with_highspeed ?cross_fraction st ~large ~small ~h_links ~h_speed
 
 (* Mean throughput (and full metrics of the last run) for a configuration
-   under random permutation traffic. *)
+   under random permutation traffic. Collecting every run's (topo, metrics)
+   and indexing the final slot — rather than mutating a [last] ref from the
+   measurement closure — keeps the result well-defined when the runs
+   execute concurrently on the pool. *)
 let measure scale ~salt ?cross_fraction ?highspeed f ~split =
-  let last = ref None in
-  let mean, std =
-    Scale.averaged scale ~salt (fun st ->
+  let results =
+    Scale.samples scale ~salt (fun st ->
         let topo = build ?cross_fraction ?highspeed f ~split st in
         let tm = Traffic.permutation st ~servers:topo.Topology.servers in
         let cs = Traffic.to_commodities tm in
@@ -77,12 +81,11 @@ let measure scale ~salt ?cross_fraction ?highspeed f ~split =
             ~solver:(Throughput.Fptas scale.Scale.params)
             topo.Topology.graph cs
         in
-        last := Some (topo, t);
-        t.Throughput.lambda)
+        (topo, t))
   in
-  match !last with
-  | None -> assert false
-  | Some (topo, t) -> (mean, std, topo, t)
+  let lambdas = Array.map (fun (_, t) -> t.Throughput.lambda) results in
+  let topo, t = results.(Array.length results - 1) in
+  (Stats.mean lambdas, Stats.stdev lambdas, topo, t)
 
 let lambda_of scale ~salt ?cross_fraction ?highspeed f ~split =
   let mean, _, _, _ = measure scale ~salt ?cross_fraction ?highspeed f ~split in
@@ -131,7 +134,7 @@ let server_distribution_table scale ~salt_base ~label families =
       (fun fi (_, f) ->
         let expected = expected_servers_per_large f in
         let rows =
-          List.map
+          Parallel.map
             (fun (sl, ss) ->
               let x = float_of_int sl /. expected in
               let y =
@@ -197,7 +200,7 @@ let fig5 scale =
   let t = Table.create ~header:[ "beta"; "avg6"; "avg8"; "avg10" ] in
   let curve salt avg =
     let rows =
-      List.map
+      Parallel.map
         (fun beta ->
           let y, _ =
             Scale.averaged scale ~salt:(salt + int_of_float (beta *. 10.0))
@@ -240,7 +243,7 @@ let cross_sweep_table scale ~salt_base families =
     List.mapi
       (fun fi (_, f) ->
         let split = proportional_split f in
-        List.map
+        Parallel.map
           (fun x ->
             let salt = salt_base + (100 * fi) + int_of_float (x *. 20.0) in
             (x, lambda_of scale ~salt ~cross_fraction:x f ~split))
@@ -290,7 +293,7 @@ let joint_sweep_table scale ~salt_base f splits =
   in
   let t = Table.create ~header in
   let grid = cross_grid scale in
-  List.iter
+  Parallel.map
     (fun x ->
       let cells =
         List.mapi
@@ -300,8 +303,9 @@ let joint_sweep_table scale ~salt_base f splits =
               (lambda_of scale ~salt ~cross_fraction:x f ~split))
           splits
       in
-      Table.add_row t (Printf.sprintf "%.2f" x :: cells))
-    grid;
+      Printf.sprintf "%.2f" x :: cells)
+    grid
+  |> List.iter (Table.add_row t);
   t
 
 let fig7a scale =
@@ -328,7 +332,7 @@ let fig8a scale =
     :: List.map (fun (sl, ss) -> Printf.sprintf "%dH_%dL" sl ss) splits
   in
   let t = Table.create ~header in
-  List.iter
+  Parallel.map
     (fun x ->
       let cells =
         List.mapi
@@ -338,8 +342,9 @@ let fig8a scale =
               (lambda_of scale ~salt ~cross_fraction:x ~highspeed:hs f ~split))
           splits
       in
-      Table.add_row t (Printf.sprintf "%.2f" x :: cells))
-    (cross_grid scale);
+      Printf.sprintf "%.2f" x :: cells)
+    (cross_grid scale)
+  |> List.iter (Table.add_row t);
   t
 
 let fig8_speed_or_count_table scale ~salt_base variants =
@@ -347,7 +352,7 @@ let fig8_speed_or_count_table scale ~salt_base variants =
   let split = (34, 9) in
   let header = "cross_ratio" :: List.map fst variants in
   let t = Table.create ~header in
-  List.iter
+  Parallel.map
     (fun x ->
       let cells =
         List.mapi
@@ -357,8 +362,9 @@ let fig8_speed_or_count_table scale ~salt_base variants =
               (lambda_of scale ~salt ~cross_fraction:x ~highspeed:hs f ~split))
           variants
       in
-      Table.add_row t (Printf.sprintf "%.2f" x :: cells))
-    (cross_grid scale);
+      Printf.sprintf "%.2f" x :: cells)
+    (cross_grid scale)
+  |> List.iter (Table.add_row t);
   t
 
 let fig8b scale =
@@ -416,7 +422,7 @@ let fig9a scale =
   let f = { nl = 20; kl = 30; ns = 30; ks = 20; total_servers = 480 } in
   let expected = expected_servers_per_large f in
   let points =
-    List.map
+    Parallel.map
       (fun split ->
         let sl, _ = split in
         let _, _, _, t = measure scale ~salt:(9100 + sl) f ~split in
@@ -429,7 +435,7 @@ let fig9b scale =
   let f = { nl = 20; kl = 30; ns = 30; ks = 20; total_servers = 500 } in
   let split = proportional_split f in
   let points =
-    List.map
+    Parallel.map
       (fun x ->
         let salt = 9200 + int_of_float (x *. 20.0) in
         let _, _, _, t = measure scale ~salt ~cross_fraction:x f ~split in
@@ -443,7 +449,7 @@ let fig9c scale =
   let split = (34, 9) in
   let hs = { h_links = 3; h_speed = 4.0 } in
   let points =
-    List.map
+    Parallel.map
       (fun x ->
         let salt = 9300 + int_of_float (x *. 20.0) in
         let _, _, _, t = measure scale ~salt ~cross_fraction:x ~highspeed:hs f ~split in
@@ -457,7 +463,7 @@ let fig9c scale =
 
 let bound_vs_observed scale ~salt_base ?highspeed f =
   let split = proportional_split f in
-  List.map
+  Parallel.map
     (fun x ->
       let salt = salt_base + int_of_float (x *. 20.0) in
       let _, _, topo, t = measure scale ~salt ~cross_fraction:x ?highspeed f ~split in
@@ -551,7 +557,7 @@ let fig11 scale =
               let split = proportional_split f in
               let grid = cross_grid scale in
               let rows =
-                List.map
+                Parallel.map
                   (fun x ->
                     let salt = 11000 + (100 * !config_id) + int_of_float (x *. 20.0) in
                     let _, _, topo, tm = measure scale ~salt ~cross_fraction:x f ~split in

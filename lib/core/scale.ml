@@ -23,9 +23,14 @@ let full =
 
 let rng t salt = Random.State.make [| t.seed; salt |]
 
+(* Each run gets its own generator derived from (seed, salt, index), so the
+   samples are the same values in the same slots regardless of how many
+   domains execute them — parallel results are bit-identical to serial. *)
+let samples t ~salt f =
+  Dcn_util.Parallel.map_array
+    (fun i -> f (Random.State.make [| t.seed; salt; i |]))
+    (Array.init t.runs (fun i -> i))
+
 let averaged t ~salt f =
-  let values =
-    Array.init t.runs (fun i ->
-        f (Random.State.make [| t.seed; salt; i |]))
-  in
+  let values = samples t ~salt f in
   (Dcn_util.Stats.mean values, Dcn_util.Stats.stdev values)

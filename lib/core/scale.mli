@@ -22,6 +22,12 @@ val rng : t -> int -> Random.State.t
 (** [rng scale salt] is a deterministic generator for one experiment
     stream; different salts give independent streams. *)
 
+val samples : t -> salt:int -> (Random.State.t -> 'a) -> 'a array
+(** Run the measurement once per configured run; slot [i] used a generator
+    derived from [(seed, salt, i)]. Runs execute on the shared domain pool
+    when it is enabled (see {!Dcn_util.Pool}); because each slot's RNG is
+    derived independently, the result array is bit-identical to a serial
+    evaluation. *)
+
 val averaged : t -> salt:int -> (Random.State.t -> float) -> float * float
-(** Run the measurement once per configured run with per-run RNGs; returns
-    (mean, stdev). *)
+(** [samples] reduced to (mean, stdev). *)

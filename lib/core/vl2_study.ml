@@ -1,4 +1,6 @@
 module Table = Dcn_util.Table
+module Parallel = Dcn_util.Parallel
+module Pool = Dcn_util.Pool
 module Topology = Dcn_topology.Topology
 module Vl2 = Dcn_topology.Vl2
 module Rewire = Dcn_topology.Rewire
@@ -37,14 +39,25 @@ let lambda_for scale st ~traffic (topo : Topology.t) =
 
 let supports scale ~salt ~traffic topo =
   let threshold = full_threshold scale in
-  let ok = ref true in
-  for i = 0 to scale.Scale.runs - 1 do
-    if !ok then begin
-      let st = Random.State.make [| scale.Scale.seed; salt; i |] in
-      if lambda_for scale st ~traffic topo < threshold then ok := false
-    end
-  done;
-  !ok
+  (* [passes i] mirrors the historical test exactly (note the negated [<],
+     which also keeps NaN lambdas counting as a pass). *)
+  let passes i =
+    let st = Random.State.make [| scale.Scale.seed; salt; i |] in
+    not (lambda_for scale st ~traffic topo < threshold)
+  in
+  if Pool.enabled () then
+    (* Evaluate every run concurrently and conjoin. Same boolean as the
+       serial short-circuit below — each run's RNG derives only from
+       (seed, salt, i) — at the cost of not stopping on the first miss. *)
+    Array.for_all Fun.id
+      (Parallel.map_array passes (Array.init scale.Scale.runs Fun.id))
+  else begin
+    let ok = ref true in
+    for i = 0 to scale.Scale.runs - 1 do
+      if !ok && not (passes i) then ok := false
+    done;
+    !ok
+  end
 
 let rewired scale ~salt ~tors ~da ~di =
   let st = Random.State.make [| scale.Scale.seed; salt; 77 |] in
@@ -85,26 +98,28 @@ let fig12a scale =
   let t =
     Table.create ~header:[ "da"; "di"; "vl2_tors"; "rewired_tors"; "ratio" ]
   in
-  List.iter
-    (fun di ->
-      List.iter
-        (fun da ->
-          let vl2_tors = Vl2.num_tors ~da ~di in
-          let salt = 12100 + (1000 * di) + da in
-          let rewired_tors =
-            max_tors_at_full_throughput scale ~salt ~traffic:`Permutation ~da ~di
-          in
-          Table.add_row t
-            [
-              string_of_int da;
-              string_of_int di;
-              string_of_int vl2_tors;
-              string_of_int rewired_tors;
-              Printf.sprintf "%.3f"
-                (float_of_int rewired_tors /. float_of_int vl2_tors);
-            ])
-        (da_grid scale))
-    (di_grid scale);
+  let points =
+    List.concat_map
+      (fun di -> List.map (fun da -> (di, da)) (da_grid scale))
+      (di_grid scale)
+  in
+  Parallel.map
+    (fun (di, da) ->
+      let vl2_tors = Vl2.num_tors ~da ~di in
+      let salt = 12100 + (1000 * di) + da in
+      let rewired_tors =
+        max_tors_at_full_throughput scale ~salt ~traffic:`Permutation ~da ~di
+      in
+      [
+        string_of_int da;
+        string_of_int di;
+        string_of_int vl2_tors;
+        string_of_int rewired_tors;
+        Printf.sprintf "%.3f"
+          (float_of_int rewired_tors /. float_of_int vl2_tors);
+      ])
+    points
+  |> List.iter (Table.add_row t);
   t
 
 let fig12b scale =
@@ -116,13 +131,14 @@ let fig12b scale =
         ("da"
         :: List.map (fun f -> Printf.sprintf "chunky_%.0f%%" (f *. 100.0)) fractions)
   in
-  List.iter
+  Parallel.map
     (fun da ->
       let salt = 12200 + da in
       let tors =
         max_tors_at_full_throughput scale ~salt ~traffic:`Permutation ~da ~di
       in
-      if tors > 0 then begin
+      if tors = 0 then None
+      else begin
         let topo = rewired scale ~salt ~tors ~da ~di in
         let cells =
           List.map
@@ -134,9 +150,10 @@ let fig12b scale =
               Printf.sprintf "%.4f" (Float.min 1.0 mean))
             fractions
         in
-        Table.add_row t (string_of_int da :: cells)
+        Some (string_of_int da :: cells)
       end)
-    (da_grid scale);
+    (da_grid scale)
+  |> List.iter (function Some row -> Table.add_row t row | None -> ());
   t
 
 let fig12c scale =
@@ -149,7 +166,7 @@ let fig12c scale =
     ]
   in
   let t = Table.create ~header:("da" :: List.map fst kinds) in
-  List.iter
+  Parallel.map
     (fun da ->
       let vl2_tors = Vl2.num_tors ~da ~di in
       let cells =
@@ -160,6 +177,7 @@ let fig12c scale =
             Printf.sprintf "%.3f" (float_of_int tors /. float_of_int vl2_tors))
           kinds
       in
-      Table.add_row t (string_of_int da :: cells))
-    (da_grid scale);
+      string_of_int da :: cells)
+    (da_grid scale)
+  |> List.iter (Table.add_row t);
   t

@@ -1,37 +1,96 @@
 type tree = { dist : float array; parent_arc : int array }
 
-let shortest_tree_into g ~lengths ~src tree =
+(* Reusable per-solver state: the heap and the target marks survive across
+   calls so the FPTAS hot loop allocates nothing per shortest-path tree. *)
+type scratch = { heap : Dcn_util.Heap.t; is_target : bool array }
+
+let make_scratch n =
+  { heap = Dcn_util.Heap.create n; is_target = Array.make n false }
+
+(* Core loop shared by the full and the target-limited variants.
+
+   With [is_target = Some marks], stop as soon as [remaining] marked nodes
+   have been finalized: at that point their [dist] and the [parent_arc]
+   chains above them are final (ancestors on a shortest path have strictly
+   smaller distance — lengths are positive — so they were finalized
+   earlier, and a finalized node's entries can never change again), which
+   is exactly what the callers read. Entries of non-finalized nodes may be
+   left tentative. The operation sequence up to the stopping point is
+   identical to the full run, so finalized distances are bit-for-bit the
+   same as the full sweep's. *)
+let core (c : Graph.csr) ~lengths ~src tree heap is_target remaining =
   let dist = tree.dist and parent_arc = tree.parent_arc in
   Array.fill dist 0 (Array.length dist) infinity;
   Array.fill parent_arc 0 (Array.length parent_arc) (-1);
   dist.(src) <- 0.0;
-  let heap = Dcn_util.Heap.create (Graph.n g) in
+  let arc_dst = c.Graph.csr_arc_dst
+  and arc_cap = c.Graph.csr_arc_cap
+  and adj_off = c.Graph.csr_adj_off
+  and adj_arc = c.Graph.csr_adj_arc in
+  Dcn_util.Heap.clear heap;
   Dcn_util.Heap.push heap 0.0 src;
-  let rec drain () =
-    match Dcn_util.Heap.pop_min heap with
-    | None -> ()
-    | Some (d, u) ->
-        (* Lazy deletion: skip stale entries. *)
-        if d <= dist.(u) then begin
-          let relax a =
-            if Graph.arc_cap g a > 0.0 then begin
-              let w = lengths.(a) in
-              if w < 0.0 then
-                invalid_arg "Dijkstra: negative arc length";
-              let v = Graph.arc_dst g a in
-              let nd = d +. w in
-              if nd < dist.(v) then begin
-                dist.(v) <- nd;
-                parent_arc.(v) <- a;
-                Dcn_util.Heap.push heap nd v
-              end
+  let remaining = ref remaining in
+  let continue_ = ref true in
+  while !continue_ && not (Dcn_util.Heap.is_empty heap) do
+    let d = Dcn_util.Heap.min_key heap in
+    let u = Dcn_util.Heap.min_payload heap in
+    Dcn_util.Heap.remove_min heap;
+    (* Lazy deletion: skip stale entries. *)
+    if d <= Array.unsafe_get dist u then begin
+      (match is_target with
+      | Some marks when Array.unsafe_get marks u ->
+          Array.unsafe_set marks u false;
+          decr remaining;
+          if !remaining = 0 then continue_ := false
+      | _ -> ());
+      if !continue_ then begin
+        let stop = Array.unsafe_get adj_off (u + 1) in
+        for idx = Array.unsafe_get adj_off u to stop - 1 do
+          let a = Array.unsafe_get adj_arc idx in
+          if Array.unsafe_get arc_cap a > 0.0 then begin
+            let w = Array.unsafe_get lengths a in
+            if w < 0.0 then invalid_arg "Dijkstra: negative arc length";
+            let v = Array.unsafe_get arc_dst a in
+            let nd = d +. w in
+            if nd < Array.unsafe_get dist v then begin
+              Array.unsafe_set dist v nd;
+              Array.unsafe_set parent_arc v a;
+              Dcn_util.Heap.push heap nd v
             end
-          in
-          Graph.iter_out g u relax
-        end;
-        drain ()
-  in
-  drain ()
+          end
+        done
+      end
+    end
+  done
+
+let shortest_tree_into g ~lengths ~src tree =
+  let heap = Dcn_util.Heap.create (Graph.n g) in
+  core (Graph.csr g) ~lengths ~src tree heap None (-1)
+
+(* Target-limited variant for the FPTAS: stops once every destination in
+   [targets] has been finalized (or the reachable set is exhausted —
+   unreached targets keep [dist = infinity], as in the full sweep).
+   [targets] may contain duplicates; marks are counted once. *)
+let shortest_tree_targets scratch (c : Graph.csr) ~lengths ~src ~targets tree =
+  let marks = scratch.is_target in
+  let count = ref 0 in
+  List.iter
+    (fun v ->
+      if not marks.(v) then begin
+        marks.(v) <- true;
+        incr count
+      end)
+    targets;
+  if !count = 0 then begin
+    (* No targets: nothing to compute beyond resetting the tree. *)
+    Array.fill tree.dist 0 (Array.length tree.dist) infinity;
+    Array.fill tree.parent_arc 0 (Array.length tree.parent_arc) (-1);
+    tree.dist.(src) <- 0.0
+  end
+  else core c ~lengths ~src tree scratch.heap (Some marks) !count;
+  (* The core consumes marks as targets finalize; clear any leftover from
+     unreachable targets so the scratch is clean for the next call. *)
+  List.iter (fun v -> marks.(v) <- false) targets
 
 let shortest_tree g ~lengths ~src =
   let tree =

@@ -16,6 +16,30 @@ val shortest_tree : Graph.t -> lengths:float array -> src:int -> tree
 val shortest_tree_into : Graph.t -> lengths:float array -> src:int -> tree -> unit
 (** Allocation-free variant reusing a previously returned tree's arrays. *)
 
+(** {1 Hot-path variant}
+
+    The FPTAS runs thousands of sweeps per solve; the scratch keeps the
+    heap (and target marks) alive across calls so a sweep allocates
+    nothing, and the target list lets it stop as soon as every destination
+    it will actually read has been finalized. *)
+
+type scratch
+(** Reusable per-solver state (heap + target marks). Not thread-safe: use
+    one scratch per concurrent solver. *)
+
+val make_scratch : int -> scratch
+(** [make_scratch n] for graphs with [n] nodes. *)
+
+val shortest_tree_targets :
+  scratch -> Graph.csr -> lengths:float array -> src:int ->
+  targets:int list -> tree -> unit
+(** Like {!shortest_tree_into}, but stops once every node in [targets] has
+    been finalized. For nodes in [targets] (and their tree ancestors) the
+    resulting [dist] and [parent_arc] entries are bit-identical to the full
+    sweep's; entries of other nodes may be left tentative and must not be
+    read. Unreachable targets keep [dist = infinity]. Duplicate targets
+    are permitted. *)
+
 val path_arcs : Graph.t -> tree -> int -> int list
 (** Arcs of the tree path from the source to the node, source-side first.
     Empty for the source itself; raises [Not_found] if unreachable. *)

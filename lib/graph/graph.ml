@@ -94,6 +94,27 @@ let arc_dst g a = g.arc_dst.(a)
 let arc_cap g a = g.arc_cap.(a)
 let arc_rev g a = g.arc_rev.(a)
 
+type csr = {
+  csr_n : int;
+  csr_arc_src : int array;
+  csr_arc_dst : int array;
+  csr_arc_cap : float array;
+  csr_adj_off : int array;
+  csr_adj_arc : int array;
+}
+
+(* The arrays are shared with the graph, not copied: a [csr] view costs one
+   small record allocation. Callers must treat them as read-only. *)
+let csr g =
+  {
+    csr_n = g.n;
+    csr_arc_src = g.arc_src;
+    csr_arc_dst = g.arc_dst;
+    csr_arc_cap = g.arc_cap;
+    csr_adj_off = g.adj_off;
+    csr_adj_arc = g.adj_arc;
+  }
+
 let out_degree g u = g.adj_off.(u + 1) - g.adj_off.(u)
 
 let iter_out g u f =

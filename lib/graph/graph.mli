@@ -60,6 +60,22 @@ val degree : t -> int -> int
 val iter_out : t -> int -> (int -> unit) -> unit
 (** [iter_out g u f] applies [f] to each outgoing arc id of [u]. *)
 
+(** Zero-copy view of the underlying compressed-sparse-row arrays, for
+    solver inner loops where per-arc accessor calls and bounds checks are
+    measurable. The arrays are shared with the graph and must be treated
+    as read-only; arc ids and the [adj_off]/[adj_arc] layout are exactly
+    those documented above. *)
+type csr = private {
+  csr_n : int;
+  csr_arc_src : int array;
+  csr_arc_dst : int array;
+  csr_arc_cap : float array;
+  csr_adj_off : int array;  (** length [n + 1]. *)
+  csr_adj_arc : int array;  (** arc ids grouped by source node. *)
+}
+
+val csr : t -> csr
+
 val fold_out : t -> int -> ('a -> int -> 'a) -> 'a -> 'a
 
 val iter_arcs : t -> (int -> unit) -> unit

@@ -21,54 +21,76 @@ let grow h =
   h.keys <- keys;
   h.payloads <- payloads
 
-let swap h i j =
-  let ki = h.keys.(i) and pi = h.payloads.(i) in
-  h.keys.(i) <- h.keys.(j);
-  h.payloads.(i) <- h.payloads.(j);
-  h.keys.(j) <- ki;
-  h.payloads.(j) <- pi
+(* Hole-based sifting: carry the moving entry in registers and shift the
+   others over it, writing it once at its final slot. Same comparisons and
+   final layout as the classic swap-based version, about half the array
+   traffic. Bounds checks are elided — indices are maintained in range by
+   construction. *)
 
-let rec sift_up h i =
-  if i > 0 then begin
-    let parent = (i - 1) / 2 in
-    if h.keys.(i) < h.keys.(parent) then begin
-      swap h i parent;
-      sift_up h parent
+let sift_up h i key payload =
+  let keys = h.keys and payloads = h.payloads in
+  let i = ref i in
+  let continue_ = ref true in
+  while !continue_ && !i > 0 do
+    let parent = (!i - 1) / 2 in
+    if key < Array.unsafe_get keys parent then begin
+      Array.unsafe_set keys !i (Array.unsafe_get keys parent);
+      Array.unsafe_set payloads !i (Array.unsafe_get payloads parent);
+      i := parent
     end
-  end
+    else continue_ := false
+  done;
+  Array.unsafe_set keys !i key;
+  Array.unsafe_set payloads !i payload
 
-let rec sift_down h i =
-  let left = (2 * i) + 1 in
-  let right = left + 1 in
-  let smallest =
-    if left < h.size && h.keys.(left) < h.keys.(i) then left else i
-  in
-  let smallest =
-    if right < h.size && h.keys.(right) < h.keys.(smallest) then right
-    else smallest
-  in
-  if smallest <> i then begin
-    swap h i smallest;
-    sift_down h smallest
-  end
+let sift_down h i key payload =
+  let keys = h.keys and payloads = h.payloads in
+  let size = h.size in
+  let i = ref i in
+  let continue_ = ref true in
+  while !continue_ do
+    let left = (2 * !i) + 1 in
+    let right = left + 1 in
+    let smallest =
+      if left < size && Array.unsafe_get keys left < key then left else !i
+    in
+    let smallest =
+      if
+        right < size
+        && Array.unsafe_get keys right
+           < (if smallest = !i then key else Array.unsafe_get keys smallest)
+      then right
+      else smallest
+    in
+    if smallest = !i then continue_ := false
+    else begin
+      Array.unsafe_set keys !i (Array.unsafe_get keys smallest);
+      Array.unsafe_set payloads !i (Array.unsafe_get payloads smallest);
+      i := smallest
+    end
+  done;
+  Array.unsafe_set keys !i key;
+  Array.unsafe_set payloads !i payload
 
 let push h key payload =
   if h.size = Array.length h.keys then grow h;
-  h.keys.(h.size) <- key;
-  h.payloads.(h.size) <- payload;
   h.size <- h.size + 1;
-  sift_up h (h.size - 1)
+  sift_up h (h.size - 1) key payload
+
+let min_key h = Array.unsafe_get h.keys 0
+let min_payload h = Array.unsafe_get h.payloads 0
+
+let remove_min h =
+  let size = h.size - 1 in
+  h.size <- size;
+  if size > 0 then
+    sift_down h 0 (Array.unsafe_get h.keys size) (Array.unsafe_get h.payloads size)
 
 let pop_min h =
   if h.size = 0 then None
   else begin
-    let key = h.keys.(0) and payload = h.payloads.(0) in
-    h.size <- h.size - 1;
-    if h.size > 0 then begin
-      h.keys.(0) <- h.keys.(h.size);
-      h.payloads.(0) <- h.payloads.(h.size);
-      sift_down h 0
-    end;
+    let key = min_key h and payload = min_payload h in
+    remove_min h;
     Some (key, payload)
   end
 

@@ -21,5 +21,20 @@ val push : t -> float -> int -> unit
 val pop_min : t -> (float * int) option
 (** Remove and return the entry with the smallest key, or [None] if empty. *)
 
+(** {2 Allocation-free access}
+
+    [pop_min] boxes a float and a tuple per call; hot loops (Dijkstra under
+    the FPTAS) use the three calls below instead. All three are undefined
+    on an empty heap — guard with {!is_empty}. *)
+
+val min_key : t -> float
+(** Smallest key currently stored. *)
+
+val min_payload : t -> int
+(** Payload paired with {!min_key}. *)
+
+val remove_min : t -> unit
+(** Drop the minimum entry. *)
+
 val clear : t -> unit
 (** Remove all entries, keeping the backing storage. *)

@@ -1,41 +1,40 @@
-type 'b outcome = Pending | Done of 'b | Failed of exn
+type 'b outcome = Pending | Done of 'b | Failed of exn * Printexc.raw_backtrace
+
+(* Grow the shared pool so this call can reach [d]-way concurrency (the
+   caller participates, hence [d - 1] workers). Never shrinks: concurrent
+   batches from other callers may rely on the current size. *)
+let ensure_domains d = if d - 1 > Pool.workers () then Pool.set_workers (d - 1)
+
+let run_tasks f tasks =
+  let n = Array.length tasks in
+  let results = Array.make n Pending in
+  Pool.run ~total:n (fun i ->
+      results.(i) <-
+        (match f tasks.(i) with
+        | v -> Done v
+        | exception e -> Failed (e, Printexc.get_raw_backtrace ())));
+  Array.map
+    (function
+      | Done v -> v
+      | Failed (e, bt) -> Printexc.raise_with_backtrace e bt
+      | Pending -> assert false)
+    results
+
+let map_array ?domains f tasks =
+  let n = Array.length tasks in
+  let serial () = Array.map f tasks in
+  match domains with
+  | Some d when d <= 1 -> serial ()
+  | _ when n <= 1 -> serial ()
+  | Some d ->
+      ensure_domains d;
+      run_tasks f tasks
+  | None -> if Pool.enabled () then run_tasks f tasks else serial ()
 
 let map ?domains f xs =
-  let tasks = Array.of_list xs in
-  let n = Array.length tasks in
-  let workers =
-    let d =
-      match domains with
-      | Some d -> d
-      | None -> Domain.recommended_domain_count ()
-    in
-    min (max 1 d) n
-  in
-  if workers <= 1 || n <= 1 then List.map f xs
-  else begin
-    let results = Array.make n Pending in
-    let next = Atomic.make 0 in
-    let worker () =
-      let rec loop () =
-        let i = Atomic.fetch_and_add next 1 in
-        if i < n then begin
-          (results.(i) <-
-            (match f tasks.(i) with
-            | v -> Done v
-            | exception e -> Failed e));
-          loop ()
-        end
-      in
-      loop ()
-    in
-    let spawned = List.init (workers - 1) (fun _ -> Domain.spawn worker) in
-    worker ();
-    List.iter Domain.join spawned;
-    Array.to_list
-      (Array.map
-         (function
-           | Done v -> v
-           | Failed e -> raise e
-           | Pending -> assert false)
-         results)
-  end
+  match xs with
+  | [] -> []
+  | xs ->
+      let serial = match domains with Some d -> d <= 1 | None -> not (Pool.enabled ()) in
+      if serial then List.map f xs
+      else Array.to_list (map_array ?domains f (Array.of_list xs))

@@ -1,13 +1,21 @@
-(** Simple OCaml 5 domain pool for embarrassingly parallel experiment
-    batches.
+(** Ordered parallel map over the shared domain {!Pool}.
 
-    Tasks must be independent and must not share mutable state (every
-    experiment in this repository derives its own [Random.State.t] from a
-    seed, so whole figures qualify). Results keep input order. *)
+    Tasks must be independent and must not share unsynchronized mutable
+    state (every experiment in this repository derives its own
+    [Random.State.t] from a seed, so figures, grid points and per-seed
+    repetitions all qualify). Results keep input order, so output is
+    bit-identical to the serial map regardless of worker count. *)
 
 val map : ?domains:int -> ('a -> 'b) -> 'a list -> 'b list
-(** [map ~domains f xs] evaluates [f] on every element using up to
-    [domains] worker domains (default: [Domain.recommended_domain_count],
-    capped at the task count). With [domains <= 1], plain [List.map] — no
-    domains spawned. Exceptions raised by [f] are re-raised after all
-    workers finish. *)
+(** [map f xs] evaluates [f] on every element on the shared pool (caller
+    included) and returns results in input order. With [~domains:d], [d <= 1]
+    forces a plain serial [List.map]; [d > 1] grows the pool to at least
+    [d - 1] workers first. Without [domains] the pool is used as currently
+    configured (serial when {!Pool.enabled} is false). If any [f] raises,
+    the exception of the smallest input index is re-raised after the batch
+    finishes — the same exception a serial map would surface, though later
+    elements have also been evaluated by then. *)
+
+val map_array : ?domains:int -> ('a -> 'b) -> 'a array -> 'b array
+(** Array variant of {!map}, used on the experiment hot path (per-seed
+    repetitions) to avoid list round-trips. Same semantics. *)

@@ -1,0 +1,167 @@
+(* Shared fixed-size domain pool.
+
+   One process-wide pool of worker domains executes batches of independent
+   tasks. Submitters always participate in their own batch, so parallelism
+   composes: a figure-level task that submits a run-level batch drains that
+   batch itself even when every worker is busy, which makes nested [run]
+   calls deadlock-free by construction (waiting only ever happens on tasks
+   that some thread is actively executing).
+
+   Claiming is lock-free (an [Atomic] cursor per batch); the mutex only
+   guards the batch queue, worker lifecycle and condition variables. Tasks
+   are expected to be coarse (milliseconds or more), so the per-completion
+   broadcast is negligible. *)
+
+type batch = {
+  total : int;
+  run : int -> unit;  (* must not raise; [submit] wraps the user task *)
+  next : int Atomic.t;  (* next unclaimed task index *)
+  completed : int Atomic.t;
+}
+
+let mutex = Mutex.create ()
+
+(* Signaled when work arrives or the worker target shrinks. *)
+let work_available = Condition.create ()
+
+(* Signaled on every task completion by a worker; batch owners wait here. *)
+let task_done = Condition.create ()
+
+(* Newest-first: workers prefer inner (nested) batches, whose completion
+   unblocks the outer tasks that submitted them. *)
+let batches : batch list ref = ref []
+
+let default_workers = max 0 (Domain.recommended_domain_count () - 1)
+let target = ref default_workers
+let live = ref 0
+let handles : unit Domain.t list ref = ref []
+
+let set_workers n =
+  if n < 0 then invalid_arg "Pool.set_workers: negative worker count";
+  Mutex.lock mutex;
+  target := n;
+  if !live > n then Condition.broadcast work_available;
+  Mutex.unlock mutex
+
+let workers () = !target
+let enabled () = !target > 0
+
+let prune_exhausted () =
+  batches := List.filter (fun b -> Atomic.get b.next < b.total) !batches
+
+(* Must hold [mutex]. Claim one task from the newest batch that still has
+   unclaimed work. *)
+let try_claim () =
+  prune_exhausted ();
+  let rec scan = function
+    | [] -> None
+    | b :: rest ->
+        let i = Atomic.fetch_and_add b.next 1 in
+        if i < b.total then Some (b, i) else scan rest
+  in
+  scan !batches
+
+let complete b =
+  ignore (Atomic.fetch_and_add b.completed 1);
+  Mutex.lock mutex;
+  Condition.broadcast task_done;
+  Mutex.unlock mutex
+
+let rec worker_loop () =
+  Mutex.lock mutex;
+  let rec decide () =
+    if !live > !target then begin
+      live := !live - 1;
+      Mutex.unlock mutex
+    end
+    else
+      match try_claim () with
+      | Some (b, i) ->
+          Mutex.unlock mutex;
+          b.run i;
+          complete b;
+          worker_loop ()
+      | None ->
+          Condition.wait work_available mutex;
+          decide ()
+  in
+  decide ()
+
+(* Must hold [mutex]. *)
+let ensure_workers () =
+  while !live < !target do
+    live := !live + 1;
+    handles := Domain.spawn worker_loop :: !handles
+  done
+
+(* Join all workers at exit so the runtime never shuts down under a live
+   domain blocked in [Condition.wait]. *)
+let () =
+  at_exit (fun () ->
+      Mutex.lock mutex;
+      target := 0;
+      Condition.broadcast work_available;
+      Mutex.unlock mutex;
+      List.iter Domain.join !handles;
+      handles := [])
+
+let run ~total f =
+  if total < 0 then invalid_arg "Pool.run: negative task count";
+  if total > 0 then begin
+    if (not (enabled ())) || total = 1 then
+      for i = 0 to total - 1 do
+        f i
+      done
+    else begin
+      (* Deterministic exception propagation: remember the failure with the
+         smallest task index, matching what a serial loop would raise
+         first. *)
+      let first_exn : (int * exn * Printexc.raw_backtrace) option ref =
+        ref None
+      in
+      let record i e bt =
+        Mutex.lock mutex;
+        (match !first_exn with
+        | Some (j, _, _) when j <= i -> ()
+        | _ -> first_exn := Some (i, e, bt));
+        Mutex.unlock mutex
+      in
+      let run_one i =
+        try f i
+        with e -> record i e (Printexc.get_raw_backtrace ())
+      in
+      let b =
+        {
+          total;
+          run = run_one;
+          next = Atomic.make 0;
+          completed = Atomic.make 0;
+        }
+      in
+      Mutex.lock mutex;
+      batches := b :: !batches;
+      ensure_workers ();
+      Condition.broadcast work_available;
+      Mutex.unlock mutex;
+      (* Participate: the submitter claims from its own batch only, so it
+         is never diverted to long-running foreign work. *)
+      let rec drain () =
+        let i = Atomic.fetch_and_add b.next 1 in
+        if i < b.total then begin
+          run_one i;
+          ignore (Atomic.fetch_and_add b.completed 1);
+          drain ()
+        end
+      in
+      drain ();
+      Mutex.lock mutex;
+      while Atomic.get b.completed < total do
+        Condition.wait task_done mutex
+      done;
+      prune_exhausted ();
+      Mutex.unlock mutex;
+      match !first_exn with
+      | Some (_, e, bt) -> Printexc.raise_with_backtrace e bt
+      | None -> ()
+    end
+  end

@@ -1,0 +1,39 @@
+(** Process-wide fixed-size domain pool with a shared work queue.
+
+    All parallel constructs in the repository ({!Parallel.map},
+    {!Parallel.map_array}, and through them the run-level parallelism of
+    the experiment layer) dispatch onto this single pool, so nested
+    parallelism composes instead of oversubscribing the machine with
+    per-call [Domain.spawn].
+
+    Total concurrency is [workers () + 1]: the pool's worker domains plus
+    the submitting thread, which always executes tasks of its own batch.
+    Because submitters drain their own batches, nested {!run} calls cannot
+    deadlock — a batch whose tasks have all been claimed is being executed
+    by threads that are guaranteed to make progress.
+
+    Determinism: the pool only schedules; tasks receive their index and
+    must derive any randomness from it (as every experiment in this
+    repository does via seeded [Random.State]). Results are therefore
+    independent of the worker count. *)
+
+val set_workers : int -> unit
+(** [set_workers n] sets the number of worker domains to [n] ([n >= 0]).
+    [0] disables the pool: {!run} degrades to a serial loop. Workers are
+    spawned lazily on the next {!run} that needs them; shrinking takes
+    effect as soon as the excess workers finish their current task. The
+    default is [Domain.recommended_domain_count () - 1]. *)
+
+val workers : unit -> int
+(** Current worker-domain target. *)
+
+val enabled : unit -> bool
+(** [workers () > 0]. *)
+
+val run : total:int -> (int -> unit) -> unit
+(** [run ~total f] executes [f 0 .. f (total-1)], each exactly once, using
+    the pool's workers plus the calling thread; returns when all are done.
+    Tasks must be independent and must not share unsynchronized mutable
+    state. If several tasks raise, the exception of the smallest task index
+    is re-raised after the batch completes (matching what a serial loop
+    would surface first); unlike a serial loop, later tasks still run. *)

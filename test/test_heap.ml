@@ -60,6 +60,20 @@ let test_growth () =
   | Some (_, 0) -> ()
   | _ -> Alcotest.fail "min should be 0")
 
+let test_unboxed_api () =
+  (* min_key/min_payload/remove_min must agree with pop_min. *)
+  let h = Heap.create 2 in
+  List.iter (fun (k, v) -> Heap.push h k v)
+    [ (5.0, 5); (1.0, 1); (4.0, 4); (2.0, 2); (3.0, 3) ];
+  let order = ref [] in
+  while not (Heap.is_empty h) do
+    Alcotest.(check (float 0.0)) "key pairs with payload"
+      (float_of_int (Heap.min_payload h)) (Heap.min_key h);
+    order := Heap.min_payload h :: !order;
+    Heap.remove_min h
+  done;
+  Alcotest.(check (list int)) "sorted drain" [ 1; 2; 3; 4; 5 ] (List.rev !order)
+
 let prop_heapsort =
   QCheck.Test.make ~name:"heap pops in sorted order" ~count:200
     QCheck.(list (float_bound_inclusive 1000.0))
@@ -83,5 +97,6 @@ let suite =
       Alcotest.test_case "duplicate keys" `Quick test_duplicate_keys;
       Alcotest.test_case "clear" `Quick test_clear;
       Alcotest.test_case "growth" `Quick test_growth;
+      Alcotest.test_case "unboxed access" `Quick test_unboxed_api;
       QCheck_alcotest.to_alcotest prop_heapsort;
     ] )

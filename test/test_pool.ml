@@ -1,0 +1,142 @@
+(* Tests for the shared domain pool and the pool-backed experiment layer:
+   results must be bit-identical whether work runs serially or on worker
+   domains, and exceptions must surface deterministically. *)
+
+module Pool = Dcn_util.Pool
+module Parallel = Dcn_util.Parallel
+
+(* Run [f] with the pool at [n] workers, restoring the previous target
+   afterwards so tests compose in any order. *)
+let with_workers n f =
+  let old = Pool.workers () in
+  Pool.set_workers n;
+  Fun.protect ~finally:(fun () -> Pool.set_workers old) f
+
+let test_pool_map_matches_serial () =
+  let xs = List.init 100 Fun.id in
+  let f x = (x * x) - (3 * x) + 1 in
+  let serial = List.map f xs in
+  with_workers 3 (fun () ->
+      Alcotest.(check bool) "enabled" true (Pool.enabled ());
+      Alcotest.(check (list int)) "map via pool" serial (Parallel.map f xs));
+  with_workers 0 (fun () ->
+      Alcotest.(check bool) "disabled" false (Pool.enabled ());
+      Alcotest.(check (list int)) "map serial fallback" serial
+        (Parallel.map f xs))
+
+let test_pool_map_array_matches_serial () =
+  let arr = Array.init 64 Fun.id in
+  let f i = Printf.sprintf "task-%d" (i * 7) in
+  let serial = Array.map f arr in
+  with_workers 3 (fun () ->
+      Alcotest.(check (array string)) "map_array via pool" serial
+        (Parallel.map_array f arr));
+  with_workers 0 (fun () ->
+      Alcotest.(check (array string)) "map_array serial" serial
+        (Parallel.map_array f arr))
+
+let test_pool_exception_lowest_index () =
+  (* Several tasks fail; the surfaced exception must be the one a serial
+     loop would raise first, independent of scheduling. *)
+  with_workers 3 (fun () ->
+      match
+        Parallel.map_array
+          (fun i -> if i mod 5 = 2 then failwith (string_of_int i) else i)
+          (Array.init 32 Fun.id)
+      with
+      | _ -> Alcotest.fail "expected exception"
+      | exception Failure msg ->
+          Alcotest.(check string) "lowest failing index" "2" msg)
+
+let test_pool_nested_batches () =
+  (* An outer batch whose tasks submit inner batches: submitters drain
+     their own batches, so this completes on any worker count. *)
+  let expected =
+    List.init 6 (fun i -> List.init 5 (fun j -> (10 * i) + j))
+  in
+  with_workers 2 (fun () ->
+      let result =
+        Parallel.map
+          (fun i -> Parallel.map (fun j -> (10 * i) + j) (List.init 5 Fun.id))
+          (List.init 6 Fun.id)
+      in
+      Alcotest.(check (list (list int))) "nested map" expected result)
+
+let test_pool_run_basic () =
+  with_workers 2 (fun () ->
+      let hits = Array.make 40 0 in
+      Pool.run ~total:40 (fun i -> hits.(i) <- hits.(i) + 1);
+      Alcotest.(check (array int)) "each task exactly once"
+        (Array.make 40 1) hits)
+
+let test_pool_worker_resize () =
+  let xs = List.init 30 Fun.id in
+  let serial = List.map succ xs in
+  with_workers 1 (fun () ->
+      Alcotest.(check (list int)) "1 worker" serial (Parallel.map succ xs);
+      Pool.set_workers 3;
+      Alcotest.(check (list int)) "grown to 3" serial (Parallel.map succ xs);
+      Pool.set_workers 1;
+      Alcotest.(check (list int)) "shrunk back" serial (Parallel.map succ xs))
+
+(* ---- run-level determinism of the experiment layer ---- *)
+
+let tiny_scale =
+  { Core.Scale.quick with Core.Scale.runs = 2 }
+
+let test_scale_samples_deterministic () =
+  let measure st = Random.State.float st 1.0 in
+  let serial =
+    with_workers 0 (fun () -> Core.Scale.samples tiny_scale ~salt:4242 measure)
+  in
+  let pooled =
+    with_workers 3 (fun () -> Core.Scale.samples tiny_scale ~salt:4242 measure)
+  in
+  (* Bit-identical: every run derives its RNG from (seed, salt, i) alone. *)
+  Alcotest.(check (array (float 0.0))) "samples identical" serial pooled
+
+(* A figure driver end-to-end: the rendered table (CSV) must be
+   bit-identical between a serial run and a pool-backed run. fig1b is the
+   cheapest figure exercising the grid-level + run-level parallel path. *)
+let test_figure_table_parallel_matches_serial () =
+  let table_csv () = Core.Table.to_csv (Core.Experiments.fig1b tiny_scale) in
+  let serial = with_workers 0 table_csv in
+  let pooled = with_workers 3 table_csv in
+  Alcotest.(check string) "fig1b bit-identical" serial pooled
+
+let test_vl2_supports_parallel_matches_serial () =
+  (* The [supports] predicate short-circuits serially but evaluates all
+     runs under the pool; the boolean must agree. Probe a tiny rewired
+     instance both ways. *)
+  let topo =
+    let st = Random.State.make [| tiny_scale.Core.Scale.seed; 9999; 77 |] in
+    Core.Rewire.create st ~tors:4 ~da:6 ~di:16 ()
+  in
+  let serial =
+    with_workers 0 (fun () ->
+        Core.Vl2_study.supports tiny_scale ~salt:9999 ~traffic:`Permutation topo)
+  in
+  let pooled =
+    with_workers 3 (fun () ->
+        Core.Vl2_study.supports tiny_scale ~salt:9999 ~traffic:`Permutation topo)
+  in
+  Alcotest.(check bool) "supports agrees" serial pooled
+
+let suite =
+  ( "pool",
+    [
+      Alcotest.test_case "map matches serial" `Quick test_pool_map_matches_serial;
+      Alcotest.test_case "map_array matches serial" `Quick
+        test_pool_map_array_matches_serial;
+      Alcotest.test_case "exception of lowest index" `Quick
+        test_pool_exception_lowest_index;
+      Alcotest.test_case "nested batches" `Quick test_pool_nested_batches;
+      Alcotest.test_case "run covers all tasks" `Quick test_pool_run_basic;
+      Alcotest.test_case "worker resize" `Quick test_pool_worker_resize;
+      Alcotest.test_case "scale samples deterministic" `Quick
+        test_scale_samples_deterministic;
+      Alcotest.test_case "figure table parallel = serial" `Quick
+        test_figure_table_parallel_matches_serial;
+      Alcotest.test_case "vl2 supports parallel = serial" `Quick
+        test_vl2_supports_parallel_matches_serial;
+    ] )
