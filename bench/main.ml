@@ -6,15 +6,29 @@
      dune exec bench/main.exe -- --full       # paper-scale grids/runs
      dune exec bench/main.exe -- fig6a fig12a # a subset of targets
      dune exec bench/main.exe -- micro        # kernel microbenchmarks only
+     dune exec bench/main.exe -- --list       # enumerate targets and exit
      dune exec bench/main.exe -- --csv-dir D  # also write one CSV per target
      dune exec bench/main.exe -- --jobs 8     # size of the domain pool
      dune exec bench/main.exe -- --bench-json out.json  # machine-readable timings
+     dune exec bench/main.exe -- --cache-dir D           # persistent result store
+     dune exec bench/main.exe -- --cache-dir D --resume  # replay finished targets
+     dune exec bench/main.exe -- --no-cache              # force full recompute
 
    [--jobs j] sets the total parallelism (defaults to the machine's
    recommended domain count): the shared domain pool gets [j - 1] workers
    and both the figure level and the per-point run level dispatch onto it.
    Results are bit-identical for every [j] — all randomness is derived
    from per-(salt, run) seeds, never from scheduling.
+
+   [--cache-dir] installs a content-addressed result store: every solver
+   invocation is keyed by the digest of its canonical request (graph,
+   demands, parameters, solver version) and replayed from disk when seen
+   before — cached runs render byte-identical tables at any [--jobs].
+   Completed targets are also recorded in a run manifest inside the cache
+   directory; [--resume] replays those wholesale, so an interrupted suite
+   pays only for its unfinished targets (and, within those, only for data
+   points whose solves are not cached yet). [--no-cache] ignores the
+   store and the manifest for this invocation.
 
    Every figure prints the same series the paper plots; EXPERIMENTS.md
    records the expected shapes and the paper-vs-measured comparison. *)
@@ -89,31 +103,95 @@ let figures : (string * string * (Core.Scale.t -> Core.Table.t)) list =
      Core.Ablations.multi_class_placement);
   ]
 
+(* One finished target, whether freshly computed or replayed from a run
+   manifest. [table_text]/[csv_text] are the rendering a fresh computation
+   would produce (the manifest stores exactly these artifacts, so resumed
+   targets are indistinguishable downstream). *)
+type figure_result = {
+  fr_name : string;
+  fr_rendered : string;  (** Full console block: title, table, timing. *)
+  fr_table_text : string;
+  fr_csv_text : string;
+  fr_dt : float;
+  fr_resumed : bool;
+}
+
+let render_table table =
+  let buf = Buffer.create 1024 in
+  let ppf = Format.formatter_of_buffer buf in
+  Format.fprintf ppf "%a@." Core.Table.pp table;
+  Format.pp_print_flush ppf ();
+  Buffer.contents buf
+
+let render_block ~name ~description ~table_text ~timing_line =
+  let title = Printf.sprintf "%s — %s" name description in
+  Printf.sprintf "%s\n%s\n%s%s\n\n" title
+    (String.make (String.length title) '=')
+    table_text timing_line
+
 (* Compute a figure and render it to a string so parallel workers don't
    interleave output. *)
 let compute_figure scale (name, description, f) =
   let t0 = Unix.gettimeofday () in
   let table = f scale in
   let dt = Unix.gettimeofday () -. t0 in
-  let buf = Buffer.create 1024 in
-  let ppf = Format.formatter_of_buffer buf in
-  let title = Printf.sprintf "%s — %s" name description in
-  Format.fprintf ppf "%s@.%s@." title (String.make (String.length title) '=');
-  Format.fprintf ppf "%a@." Core.Table.pp table;
-  Format.fprintf ppf "(%s completed in %.1fs)@.@." name dt;
-  Format.pp_print_flush ppf ();
-  (name, table, Buffer.contents buf, dt)
+  let table_text = render_table table in
+  {
+    fr_name = name;
+    fr_rendered =
+      render_block ~name ~description ~table_text
+        ~timing_line:(Printf.sprintf "(%s completed in %.1fs)" name dt);
+    fr_table_text = table_text;
+    fr_csv_text = Core.Table.to_csv table;
+    fr_dt = dt;
+    fr_resumed = false;
+  }
 
-let emit_figure ~csv_dir (name, table, rendered, _dt) =
-  print_string rendered;
+(* Replay a target recorded in the run manifest: both artifacts must be
+   present, else the caller recomputes (a half-written run dir degrades to
+   a plain cached run, never to wrong output). *)
+let resume_figure ~run_dir ~seconds (name, description, _f) =
+  match
+    ( Core.Manifest.read_artifact ~dir:run_dir ~name:(name ^ ".table"),
+      Core.Manifest.read_artifact ~dir:run_dir ~name:(name ^ ".csv") )
+  with
+  | Some table_text, Some csv_text ->
+      Some
+        {
+          fr_name = name;
+          fr_rendered =
+            render_block ~name ~description ~table_text
+              ~timing_line:
+                (Printf.sprintf "(%s resumed from manifest; originally %.1fs)"
+                   name seconds);
+          fr_table_text = table_text;
+          fr_csv_text = csv_text;
+          fr_dt = seconds;
+          fr_resumed = true;
+        }
+  | _ -> None
+
+let emit_figure ~csv_dir ~run_dir r =
+  print_string r.fr_rendered;
   flush stdout;
-  match csv_dir with
+  (match csv_dir with
   | None -> ()
   | Some dir ->
-      let path = Filename.concat dir (name ^ ".csv") in
+      let path = Filename.concat dir (r.fr_name ^ ".csv") in
       let oc = open_out path in
-      output_string oc (Core.Table.to_csv table);
-      close_out oc
+      output_string oc r.fr_csv_text;
+      close_out oc);
+  (* Record completions as they stream out (even without --resume), so any
+     later invocation can pick up where this one was killed. *)
+  match run_dir with
+  | Some dir when not r.fr_resumed ->
+      Core.Manifest.write_artifact ~dir ~name:(r.fr_name ^ ".table")
+        r.fr_table_text;
+      Core.Manifest.write_artifact ~dir ~name:(r.fr_name ^ ".csv")
+        r.fr_csv_text;
+      Core.Manifest.mark_done ~dir
+        { Core.Manifest.target = r.fr_name; seconds = r.fr_dt }
+  | _ -> ()
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel microbenchmarks of the kernels                             *)
@@ -208,20 +286,38 @@ let json_float x =
   (* JSON has no NaN/Infinity literals. *)
   if Float.is_finite x then Printf.sprintf "%.6g" x else "null"
 
-let write_bench_json path ~mode ~jobs ~figure_times ~micro ~total_seconds =
-  let entry name value_field value =
-    Printf.sprintf "    {\"name\": \"%s\", \"%s\": %s}" (json_escape name)
-      value_field value
-  in
+let write_bench_json path ~mode ~jobs ~figures ~micro ~total_seconds =
   let figure_entries =
-    List.map (fun (name, dt) -> entry name "seconds" (json_float dt)) figure_times
+    List.map
+      (fun r ->
+        Printf.sprintf
+          "    {\"name\": \"%s\", \"seconds\": %s, \"resumed\": %b}"
+          (json_escape r.fr_name) (json_float r.fr_dt) r.fr_resumed)
+      figures
   in
   let micro_entries =
     List.map
       (fun (name, est) ->
-        entry name "time_per_run_ns"
+        Printf.sprintf "    {\"name\": \"%s\", \"time_per_run_ns\": %s}"
+          (json_escape name)
           (match est with Some e -> json_float e | None -> "null"))
       micro
+  in
+  (* The result store's counters: the cache smoke test in CI asserts a
+     warm run reports hits > 0 and misses = 0 here. *)
+  let cache_json =
+    match Core.Store.shared () with
+    | None -> "  \"cache\": {\"enabled\": false},\n"
+    | Some store ->
+        let c = Core.Store.counters store in
+        let total = c.Core.Store.hits + c.Core.Store.misses in
+        Printf.sprintf
+          "  \"cache\": {\"enabled\": true, \"hits\": %d, \"misses\": %d, \
+           \"bytes_read\": %d, \"bytes_written\": %d, \"hit_rate\": %s},\n"
+          c.Core.Store.hits c.Core.Store.misses c.Core.Store.bytes_read
+          c.Core.Store.bytes_written
+          (if total = 0 then "null"
+           else json_float (float_of_int c.Core.Store.hits /. float_of_int total))
   in
   let oc = open_out path in
   Printf.fprintf oc "{\n";
@@ -231,6 +327,7 @@ let write_bench_json path ~mode ~jobs ~figure_times ~micro ~total_seconds =
     (String.concat ",\n" figure_entries);
   Printf.fprintf oc "  \"micro\": [\n%s\n  ],\n"
     (String.concat ",\n" micro_entries);
+  output_string oc cache_json;
   Printf.fprintf oc "  \"total_seconds\": %s\n" (json_float total_seconds);
   Printf.fprintf oc "}\n";
   close_out oc
@@ -241,9 +338,9 @@ let write_bench_json path ~mode ~jobs ~figure_times ~micro ~total_seconds =
 let usage () =
   prerr_endline
     "usage: bench [--full] [--jobs N] [--csv-dir DIR] [--bench-json FILE] \
-     [TARGET ...]";
+     [--cache-dir DIR] [--resume] [--no-cache] [--list] [TARGET ...]";
   prerr_endline "targets: figure names (fig1a, ..., ablation_*) and 'micro';";
-  prerr_endline "         none selects everything"
+  prerr_endline "         none selects everything (--list prints them all)"
 
 let die fmt =
   Printf.ksprintf
@@ -273,6 +370,10 @@ type options = {
   jobs : int;
   csv_dir : string option;
   bench_json : string option;
+  cache_dir : string option;
+  resume : bool;
+  no_cache : bool;
+  list : bool;
   targets : string list;
 }
 
@@ -292,6 +393,11 @@ let parse_args argv =
     | "--bench-json" :: path :: rest ->
         go { acc with bench_json = Some path } rest
     | [ "--bench-json" ] -> die "--bench-json expects a file path"
+    | "--cache-dir" :: dir :: rest -> go { acc with cache_dir = Some dir } rest
+    | [ "--cache-dir" ] -> die "--cache-dir expects a directory"
+    | "--resume" :: rest -> go { acc with resume = true } rest
+    | "--no-cache" :: rest -> go { acc with no_cache = true } rest
+    | "--list" :: rest -> go { acc with list = true } rest
     | ("--help" | "-h") :: _ ->
         usage ();
         exit 0
@@ -301,11 +407,22 @@ let parse_args argv =
   in
   go
     { full = false; jobs = default_jobs; csv_dir = None; bench_json = None;
+      cache_dir = None; resume = false; no_cache = false; list = false;
       targets = [] }
     (List.tl (Array.to_list argv))
 
 let () =
   let opts = parse_args Sys.argv in
+  if opts.list then begin
+    List.iter
+      (fun (name, description, _) -> Printf.printf "%-22s %s\n" name description)
+      figures;
+    Printf.printf "%-22s %s\n" "micro"
+      "Bechamel microbenchmarks of the computational kernels";
+    exit 0
+  end;
+  if opts.resume && (opts.cache_dir = None || opts.no_cache) then
+    die "--resume needs --cache-dir (and is incompatible with --no-cache)";
   (match opts.csv_dir with Some dir -> mkdir_p dir | None -> ());
   (* Create the report's parent directory up front: failing after the
      figures have been computed would throw the work away. *)
@@ -314,14 +431,25 @@ let () =
       let parent = Filename.dirname path in
       if parent <> "" then mkdir_p parent
   | None -> ());
+  (* Install the shared result store before any pool work exists; the
+     cached solvers consult it from every worker domain. *)
+  (match opts.cache_dir with
+  | Some dir when not opts.no_cache -> (
+      match Core.Store.open_store dir with
+      | store -> Core.Store.set_shared (Some store)
+      | exception Failure msg -> die "%s" msg)
+  | _ -> ());
   (* One shared pool for everything: figure-level and run-level batches
      both dispatch onto [jobs - 1] workers plus the submitting thread. *)
   Core.Pool.set_workers (opts.jobs - 1);
   let scale = if opts.full then Core.Scale.full else Core.Scale.quick in
-  Format.printf "mode: %s (runs=%d, eps=%.2f, gap=%.2f, jobs=%d)@.@."
+  Format.printf "mode: %s (runs=%d, eps=%.2f, gap=%.2f, jobs=%d%s)@.@."
     (if opts.full then "full (paper-scale)" else "quick")
     scale.Core.Scale.runs scale.Core.Scale.params.Core.Mcmf_fptas.eps
-    scale.Core.Scale.params.Core.Mcmf_fptas.gap opts.jobs;
+    scale.Core.Scale.params.Core.Mcmf_fptas.gap opts.jobs
+    (match Core.Store.shared () with
+    | Some store -> Printf.sprintf ", cache=%s" (Core.Store.root store)
+    | None -> "");
   let names = opts.targets in
   let wants name = names = [] || List.mem name names in
   let known = List.map (fun (n, _, _) -> n) figures @ [ "micro" ] in
@@ -332,31 +460,71 @@ let () =
     names;
   let t0 = Unix.gettimeofday () in
   let selected = List.filter (fun (n, _, _) -> wants n) figures in
+  (* The run manifest lives inside the cache directory, keyed by the scale
+     fingerprint + solver version; it is written whenever a store is
+     installed so any later --resume can pick up this invocation. *)
+  let run_dir =
+    Option.map
+      (fun store ->
+        Core.Manifest.dir ~store
+          ~fingerprint:(Core.Scale.fingerprint scale))
+      (Core.Store.shared ())
+  in
+  let completed_seconds =
+    match run_dir with
+    | Some dir when opts.resume ->
+        let tbl = Hashtbl.create 64 in
+        List.iter
+          (fun e -> Hashtbl.replace tbl e.Core.Manifest.target e.Core.Manifest.seconds)
+          (Core.Manifest.load ~dir);
+        tbl
+    | _ -> Hashtbl.create 0
+  in
+  let resumed, to_compute =
+    List.partition_map
+      (fun ((name, _, _) as fig) ->
+        match
+          Option.bind (Hashtbl.find_opt completed_seconds name) (fun seconds ->
+              Option.bind run_dir (fun run_dir ->
+                  resume_figure ~run_dir ~seconds fig))
+        with
+        | Some r -> Left r
+        | None -> Right fig)
+      selected
+  in
+  let emit = emit_figure ~csv_dir:opts.csv_dir ~run_dir in
   let computed =
     if Core.Pool.enabled () then begin
       (* Parallel: collect in order, then emit (rendered strings keep the
          output un-interleaved). *)
-      let cs = Core.Parallel.map (compute_figure scale) selected in
-      List.iter (emit_figure ~csv_dir:opts.csv_dir) cs;
-      cs
+      let cs = Core.Parallel.map (compute_figure scale) to_compute in
+      List.iter emit (resumed @ cs);
+      resumed @ cs
     end
-    else
+    else begin
       (* Serial: stream each figure as soon as it finishes. *)
-      List.map
-        (fun fig ->
-          let r = compute_figure scale fig in
-          emit_figure ~csv_dir:opts.csv_dir r;
-          r)
-        selected
+      List.iter emit resumed;
+      resumed
+      @ List.map
+          (fun fig ->
+            let r = compute_figure scale fig in
+            emit r;
+            r)
+          to_compute
+    end
   in
   let micro = if wants "micro" then microbenchmarks () else [] in
+  (match Core.Store.shared () with
+  | Some store ->
+      let c = Core.Store.counters store in
+      Format.printf "cache: %d hits, %d misses (%d B read, %d B written)@."
+        c.Core.Store.hits c.Core.Store.misses c.Core.Store.bytes_read
+        c.Core.Store.bytes_written
+  | None -> ());
   match opts.bench_json with
   | None -> ()
   | Some path ->
-      let figure_times =
-        List.map (fun (name, _, _, dt) -> (name, dt)) computed
-      in
       write_bench_json path
         ~mode:(if opts.full then "full" else "quick")
-        ~jobs:opts.jobs ~figure_times ~micro
+        ~jobs:opts.jobs ~figures:computed ~micro
         ~total_seconds:(Unix.gettimeofday () -. t0)

@@ -12,15 +12,67 @@ let seed_arg =
   let doc = "Random seed (experiments are deterministic given the seed)." in
   Arg.(value & opt int 1 & info [ "seed" ] ~doc)
 
+(* The FPTAS requires eps and gap strictly inside (0, 1); reject anything
+   else at parse time with a message naming the constraint, instead of
+   surfacing Invalid_argument from solver internals mid-run. *)
+let unit_open_conv what =
+  let parse s =
+    match float_of_string_opt s with
+    | None -> Error (`Msg (Printf.sprintf "%s expects a number, got '%s'" what s))
+    | Some x when x > 0.0 && x < 1.0 -> Ok x
+    | Some x ->
+        Error
+          (`Msg
+            (Printf.sprintf
+               "%s must be strictly between 0 and 1 (exclusive), got %g" what x))
+  in
+  Arg.conv (parse, fun ppf x -> Format.fprintf ppf "%g" x)
+
 let eps_arg =
-  let doc = "FPTAS length step; smaller is slower and more accurate." in
-  Arg.(value & opt float 0.05 & info [ "eps" ] ~doc)
+  let doc =
+    "FPTAS length step, strictly between 0 and 1; smaller is slower and \
+     more accurate."
+  in
+  Arg.(value & opt (unit_open_conv "--eps") 0.05 & info [ "eps" ] ~doc)
 
 let gap_arg =
-  let doc = "Certified relative gap at which the solver stops." in
-  Arg.(value & opt float 0.05 & info [ "gap" ] ~doc)
+  let doc =
+    "Certified relative gap at which the solver stops, strictly between 0 \
+     and 1."
+  in
+  Arg.(value & opt (unit_open_conv "--gap") 0.05 & info [ "gap" ] ~doc)
 
 let params_of eps gap = { Core.Mcmf_fptas.eps; gap; max_phases = 100_000 }
+
+(* ---- result-store options (shared by the solver-backed commands) ---- *)
+
+let cache_dir_arg =
+  let doc =
+    "Directory of the content-addressed result store. Solves whose \
+     canonical request (topology, demands, parameters, solver version) \
+     was measured before are replayed from disk, bit-identically."
+  in
+  Arg.(value & opt (some string) None & info [ "cache-dir" ] ~doc ~docv:"DIR")
+
+let no_cache_arg =
+  let doc = "Ignore the result store for this invocation." in
+  Arg.(value & flag & info [ "no-cache" ] ~doc)
+
+(* Install the shared store; returns true when caching is active. *)
+let setup_store cache_dir no_cache =
+  match cache_dir with
+  | Some dir when not no_cache ->
+      Core.Store.set_shared (Some (Core.Store.open_store dir));
+      true
+  | _ -> false
+
+let report_cache_stats () =
+  match Core.Store.shared () with
+  | None -> ()
+  | Some store ->
+      let c = Core.Store.counters store in
+      Format.printf "cache           : %d hits, %d misses@." c.Core.Store.hits
+        c.Core.Store.misses
 
 type topo_spec =
   | Rrg of int * int * int (* n, k, r *)
@@ -162,13 +214,14 @@ let make_traffic kind st servers =
 (* ---- throughput command ---- *)
 
 let throughput_cmd =
-  let run spec traffic seed eps gap =
+  let run spec traffic seed eps gap cache_dir no_cache =
+    ignore (setup_store cache_dir no_cache);
     let topo = build_topology spec seed in
     let st = Random.State.make [| seed; 1 |] in
     let tm = make_traffic traffic st topo.Core.Topology.servers in
     let cs = Core.Traffic.to_commodities tm in
     let t =
-      Core.Throughput.compute
+      Core.Solve_cache.throughput
         ~solver:(Core.Throughput.Fptas (params_of eps gap))
         topo.Core.Topology.graph cs
     in
@@ -182,12 +235,14 @@ let throughput_cmd =
     Format.printf "mean path length: %.4f hops (stretch %.4f)@."
       t.Core.Throughput.mean_shortest_path t.Core.Throughput.stretch;
     Format.printf "Theorem-1 bound : %.4f@."
-      (Core.Throughput_bound.upper_bound_capacity topo.Core.Topology.graph cs)
+      (Core.Throughput_bound.upper_bound_capacity topo.Core.Topology.graph cs);
+    report_cache_stats ()
   in
   let doc = "Measure max-concurrent-flow throughput of a topology." in
   Cmd.v
     (Cmd.info "throughput" ~doc)
-    Term.(const run $ topo_arg $ traffic_arg $ seed_arg $ eps_arg $ gap_arg)
+    Term.(const run $ topo_arg $ traffic_arg $ seed_arg $ eps_arg $ gap_arg
+          $ cache_dir_arg $ no_cache_arg)
 
 (* ---- aspl command ---- *)
 
@@ -236,14 +291,15 @@ let compare_cmd =
     Arg.(required & pos 1 (some topo_conv) None & info [] ~docv:"TOPOLOGY2"
            ~doc:"Second topology to compare against.")
   in
-  let run spec1 spec2 traffic seed eps gap =
+  let run spec1 spec2 traffic seed eps gap cache_dir no_cache =
+    ignore (setup_store cache_dir no_cache);
     let measure spec =
       let topo = build_topology spec seed in
       let st = Random.State.make [| seed; 1 |] in
       let tm = make_traffic traffic st topo.Core.Topology.servers in
       let cs = Core.Traffic.to_commodities tm in
       let t =
-        Core.Throughput.compute
+        Core.Solve_cache.throughput
           ~solver:(Core.Throughput.Fptas (params_of eps gap))
           topo.Core.Topology.graph cs
       in
@@ -271,19 +327,20 @@ let compare_cmd =
   let doc = "Compare two topologies under the same traffic model." in
   Cmd.v (Cmd.info "compare" ~doc)
     Term.(const run $ topo_arg $ topo2_arg $ traffic_arg $ seed_arg $ eps_arg
-          $ gap_arg)
+          $ gap_arg $ cache_dir_arg $ no_cache_arg)
 
 (* ---- routing command ---- *)
 
 let routing_cmd =
-  let run spec seed eps gap =
+  let run spec seed eps gap cache_dir no_cache =
+    ignore (setup_store cache_dir no_cache);
     let topo = build_topology spec seed in
     let g = topo.Core.Topology.graph in
     let st = Random.State.make [| seed; 1 |] in
     let tm = Core.Traffic.permutation st ~servers:topo.Core.Topology.servers in
     let cs = Core.Traffic.to_commodities tm in
     let params = params_of eps gap in
-    let optimal = Core.Mcmf_fptas.lambda ~params g cs in
+    let optimal = Core.Solve_cache.fptas_lambda ~params g cs in
     let table = Core.Table.create ~header:[ "routing"; "lambda"; "fraction" ] in
     let add name lambda =
       Core.Table.add_row table
@@ -303,7 +360,8 @@ let routing_cmd =
   in
   let doc = "Compare routing models (optimal, k-shortest, ECMP, VLB) on a topology." in
   Cmd.v (Cmd.info "routing" ~doc)
-    Term.(const run $ topo_arg $ seed_arg $ eps_arg $ gap_arg)
+    Term.(const run $ topo_arg $ seed_arg $ eps_arg $ gap_arg $ cache_dir_arg
+          $ no_cache_arg)
 
 (* ---- failures command ---- *)
 
@@ -312,14 +370,15 @@ let failures_cmd =
     let doc = "Comma-separated failed-link fractions (default 0,0.05,0.1,0.2)." in
     Arg.(value & opt (list float) [ 0.0; 0.05; 0.1; 0.2 ] & info [ "fractions" ] ~doc)
   in
-  let run spec seed eps gap fractions =
+  let run spec seed eps gap fractions cache_dir no_cache =
+    ignore (setup_store cache_dir no_cache);
     let topo = build_topology spec seed in
     let st = Random.State.make [| seed; 2 |] in
     let params = params_of eps gap in
     let lambda_of g =
       let tm_st = Random.State.make [| seed; 3 |] in
       let tm = Core.Traffic.permutation tm_st ~servers:topo.Core.Topology.servers in
-      Core.Mcmf_fptas.lambda ~params g (Core.Traffic.to_commodities tm)
+      Core.Solve_cache.fptas_lambda ~params g (Core.Traffic.to_commodities tm)
     in
     let base = lambda_of topo.Core.Topology.graph in
     let table =
@@ -340,7 +399,8 @@ let failures_cmd =
   in
   let doc = "Throughput under uniform random link failures." in
   Cmd.v (Cmd.info "failures" ~doc)
-    Term.(const run $ topo_arg $ seed_arg $ eps_arg $ gap_arg $ fractions_arg)
+    Term.(const run $ topo_arg $ seed_arg $ eps_arg $ gap_arg $ fractions_arg
+          $ cache_dir_arg $ no_cache_arg)
 
 (* ---- save command ---- *)
 
@@ -421,14 +481,75 @@ let figure_cmd =
   let csv_arg =
     Arg.(value & flag & info [ "csv" ] ~doc:"Emit CSV instead of an aligned table.")
   in
-  let run (name, f) full csv =
+  let resume_arg =
+    let doc =
+      "Replay the figure from the run manifest in the cache directory when \
+       a previous invocation (of topobench or of bench/main.exe at the \
+       same scale) already completed it; otherwise compute it, reusing \
+       cached solves, and record it for the next resume. Requires \
+       $(b,--cache-dir)."
+    in
+    Arg.(value & flag & info [ "resume" ] ~doc)
+  in
+  (* The manifest directory is shared with bench/main.exe: it is keyed by
+     the scale fingerprint + solver version alone, so either tool can
+     resume a figure the other finished. *)
+  let run (name, f) full csv resume cache_dir no_cache =
+    let caching = setup_store cache_dir no_cache in
+    if resume && not caching then begin
+      prerr_endline "topobench: --resume needs --cache-dir (without --no-cache)";
+      exit 2
+    end;
     let scale = if full then Core.Scale.full else Core.Scale.quick in
-    let table = f scale in
-    if csv then print_string (Core.Table.to_csv table)
-    else Core.Table.print ~title:name table
+    let run_dir =
+      Option.map
+        (fun store ->
+          Core.Manifest.dir ~store ~fingerprint:(Core.Scale.fingerprint scale))
+        (Core.Store.shared ())
+    in
+    let recorded kind =
+      Option.bind run_dir (fun dir ->
+          if
+            resume
+            && List.exists
+                 (fun e -> e.Core.Manifest.target = name)
+                 (Core.Manifest.load ~dir)
+          then Core.Manifest.read_artifact ~dir ~name:(name ^ kind)
+          else None)
+    in
+    match (csv, recorded (if csv then ".csv" else ".table")) with
+    | _, Some text ->
+        (* Same shape as [Core.Table.print ~title]. *)
+        if csv then print_string text
+        else begin
+          print_endline name;
+          print_endline (String.make (String.length name) '=');
+          print_string text
+        end
+    | _, None ->
+        let t0 = Unix.gettimeofday () in
+        let table = f scale in
+        let seconds = Unix.gettimeofday () -. t0 in
+        (match run_dir with
+        | Some dir ->
+            let buf = Buffer.create 1024 in
+            let ppf = Format.formatter_of_buffer buf in
+            Format.fprintf ppf "%a@." Core.Table.pp table;
+            Format.pp_print_flush ppf ();
+            Core.Manifest.write_artifact ~dir ~name:(name ^ ".table")
+              (Buffer.contents buf);
+            Core.Manifest.write_artifact ~dir ~name:(name ^ ".csv")
+              (Core.Table.to_csv table);
+            Core.Manifest.mark_done ~dir
+              { Core.Manifest.target = name; seconds }
+        | None -> ());
+        if csv then print_string (Core.Table.to_csv table)
+        else Core.Table.print ~title:name table
   in
   let doc = "Regenerate one of the paper's figures." in
-  Cmd.v (Cmd.info "figure" ~doc) Term.(const run $ name_arg $ full_arg $ csv_arg)
+  Cmd.v (Cmd.info "figure" ~doc)
+    Term.(const run $ name_arg $ full_arg $ csv_arg $ resume_arg
+          $ cache_dir_arg $ no_cache_arg)
 
 (* ---- main ---- *)
 

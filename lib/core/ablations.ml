@@ -12,11 +12,12 @@ module Traffic = Dcn_traffic.Traffic
 module Commodity = Dcn_flow.Commodity
 module Mcmf_exact = Dcn_flow.Mcmf_exact
 module Mcmf_fptas = Dcn_flow.Mcmf_fptas
+module Solve_cache = Dcn_store.Solve_cache
 module Graph_metrics = Dcn_graph.Graph_metrics
 
 let permutation_lambda scale st (topo : Topology.t) =
   let tm = Traffic.permutation st ~servers:topo.Topology.servers in
-  Mcmf_fptas.lambda ~params:scale.Scale.params topo.Topology.graph
+  Solve_cache.fptas_lambda ~params:scale.Scale.params topo.Topology.graph
     (Traffic.to_commodities tm)
 
 let bisection_vs_throughput scale =
@@ -88,7 +89,7 @@ let fptas_accuracy scale =
   List.iter
     (fun eps ->
       let params = { Mcmf_fptas.eps; gap = eps; max_phases = 1_000_000 } in
-      let r = Mcmf_fptas.solve ~params g commodities in
+      let r = Solve_cache.fptas ~params g commodities in
       Table.add_floats t
         [
           eps;
@@ -184,7 +185,7 @@ let routing_restriction scale =
   let tm = Traffic.permutation st ~servers:topo.Topology.servers in
   let cs = Traffic.to_commodities tm in
   let params = scale.Scale.params in
-  let optimal = Mcmf_fptas.lambda ~params g cs in
+  let optimal = Solve_cache.fptas_lambda ~params g cs in
   let add name lambda =
     Table.add_row t
       [ name; Printf.sprintf "%.4f" lambda;
@@ -212,7 +213,7 @@ let incremental_expansion scale =
     let n = Dcn_graph.Graph.n g in
     let servers = Array.make n servers_per in
     let tm = Traffic.permutation st ~servers in
-    Mcmf_fptas.lambda ~params g (Traffic.to_commodities tm)
+    Solve_cache.fptas_lambda ~params g (Traffic.to_commodities tm)
   in
   let st = Random.State.make [| scale.Scale.seed; 14700 |] in
   let base = Rrg.jellyfish st ~n:20 ~r in
@@ -283,7 +284,7 @@ let cabling scale =
   let params = scale.Scale.params in
   let lambda_of g =
     let tm = Traffic.permutation st ~servers:topo.Topology.servers in
-    Mcmf_fptas.lambda ~params g (Traffic.to_commodities tm)
+    Solve_cache.fptas_lambda ~params g (Traffic.to_commodities tm)
   in
   let before = Dcn_topology.Cabling.cable_length g placement in
   Table.add_row t
@@ -383,7 +384,7 @@ let traffic_proportionality scale =
   let params = scale.Scale.params in
   let rate tm =
     let lambda =
-      Mcmf_fptas.lambda ~params topo.Topology.graph (Traffic.to_commodities tm)
+      Solve_cache.fptas_lambda ~params topo.Topology.graph (Traffic.to_commodities tm)
     in
     lambda *. float_of_int tm.Traffic.flows_per_server
   in
@@ -416,7 +417,7 @@ let vlb_routing scale =
     let tm = Traffic.permutation st ~servers:topo.Topology.servers in
     let cs = Traffic.to_commodities tm in
     let g = topo.Topology.graph in
-    let optimal = Mcmf_fptas.lambda ~params g cs in
+    let optimal = Solve_cache.fptas_lambda ~params g cs in
     let vlb =
       Dcn_flow.Mcmf_paths.lambda ~params g
         (Dcn_flow.Vlb.restrict st g ~intermediates:8 cs)
@@ -448,7 +449,7 @@ let transport_comparison scale =
   let g = topo.Topology.graph in
   let tm = Traffic.permutation st ~servers:topo.Topology.servers in
   let fluid =
-    Mcmf_fptas.lambda ~params:scale.Scale.params g (Traffic.to_commodities tm)
+    Solve_cache.fptas_lambda ~params:scale.Scale.params g (Traffic.to_commodities tm)
   in
   let flows =
     Packet_experiments.flows_of_permutation g ~tm ~subflows:8
@@ -491,7 +492,7 @@ let failure_resilience scale =
   let lambda_of (topo : Topology.t) g =
     let tm_st = Random.State.make [| scale.Scale.seed; 15601 |] in
     let tm = Traffic.permutation tm_st ~servers:topo.Topology.servers in
-    Mcmf_fptas.lambda ~params g (Traffic.to_commodities tm)
+    Solve_cache.fptas_lambda ~params g (Traffic.to_commodities tm)
   in
   let base_rrg = lambda_of rrg rrg.Topology.graph in
   let base_ft = lambda_of ft ft.Topology.graph in
@@ -540,7 +541,7 @@ let multi_class_placement scale =
             (fun st ->
               let topo = Hetero.multi_class ~beta ~total_servers st classes in
               let tm = Traffic.permutation st ~servers:topo.Topology.servers in
-              Mcmf_fptas.lambda ~params topo.Topology.graph
+              Solve_cache.fptas_lambda ~params topo.Topology.graph
                 (Traffic.to_commodities tm))
         in
         (beta, mean))

@@ -54,6 +54,10 @@ module Ecmp = Dcn_routing.Ecmp
 module Topology_io = Dcn_io.Topology_io
 module Traffic_io = Dcn_io.Traffic_io
 module Packet_sim = Dcn_packetsim.Packet_sim
+module Store = Dcn_store.Store
+module Digest_key = Dcn_store.Digest_key
+module Solve_cache = Dcn_store.Solve_cache
+module Manifest = Dcn_store.Manifest
 module Stats = Dcn_util.Stats
 module Table = Dcn_util.Table
 module Sampling = Dcn_util.Sampling

@@ -4,6 +4,7 @@ module Topology = Dcn_topology.Topology
 module Rrg = Dcn_topology.Rrg
 module Traffic = Dcn_traffic.Traffic
 module Mcmf_fptas = Dcn_flow.Mcmf_fptas
+module Solve_cache = Dcn_store.Solve_cache
 module Graph_metrics = Dcn_graph.Graph_metrics
 module Aspl_bound = Dcn_bounds.Aspl_bound
 module Throughput_bound = Dcn_bounds.Throughput_bound
@@ -21,7 +22,9 @@ let rrg_throughput_ratio scale ~salt ~n ~r ~traffic =
       | `All_to_all _ -> Traffic.all_to_all ~servers
     in
     let cs = Traffic.to_commodities tm in
-    let result = Mcmf_fptas.solve ~params:scale.Scale.params topo.Topology.graph cs in
+    let result =
+      Solve_cache.fptas ~params:scale.Scale.params topo.Topology.graph cs
+    in
     let lambda =
       (result.Mcmf_fptas.lambda_lower +. result.Mcmf_fptas.lambda_upper) /. 2.0
     in

@@ -6,6 +6,7 @@ module Hetero = Dcn_topology.Hetero
 module Traffic = Dcn_traffic.Traffic
 module Mcmf_fptas = Dcn_flow.Mcmf_fptas
 module Throughput = Dcn_flow.Throughput
+module Solve_cache = Dcn_store.Solve_cache
 module Cut_bound = Dcn_bounds.Cut_bound
 
 (* ------------------------------------------------------------------ *)
@@ -77,7 +78,7 @@ let measure scale ~salt ?cross_fraction ?highspeed f ~split =
         let tm = Traffic.permutation st ~servers:topo.Topology.servers in
         let cs = Traffic.to_commodities tm in
         let t =
-          Throughput.compute
+          Solve_cache.throughput
             ~solver:(Throughput.Fptas scale.Scale.params)
             topo.Topology.graph cs
         in
@@ -216,8 +217,8 @@ let fig5 scale =
                     ~name:"power-law"
                 in
                 let tm = Traffic.permutation st ~servers:topo.Topology.servers in
-                Mcmf_fptas.lambda ~params:scale.Scale.params topo.Topology.graph
-                  (Traffic.to_commodities tm))
+                Solve_cache.fptas_lambda ~params:scale.Scale.params
+                  topo.Topology.graph (Traffic.to_commodities tm))
         in
           (beta, y))
         betas

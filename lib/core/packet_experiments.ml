@@ -4,6 +4,7 @@ module Rewire = Dcn_topology.Rewire
 module Vl2 = Dcn_topology.Vl2
 module Traffic = Dcn_traffic.Traffic
 module Mcmf_fptas = Dcn_flow.Mcmf_fptas
+module Solve_cache = Dcn_store.Solve_cache
 module Ksp = Dcn_routing.Ksp
 module Packet_sim = Dcn_packetsim.Packet_sim
 
@@ -34,7 +35,7 @@ let compare_once scale ~salt ~topo ~subflows =
   let g = topo.Topology.graph in
   let tm = Traffic.permutation st ~servers:topo.Topology.servers in
   let flow_lambda =
-    Mcmf_fptas.lambda ~params:scale.Scale.params g (Traffic.to_commodities tm)
+    Solve_cache.fptas_lambda ~params:scale.Scale.params g (Traffic.to_commodities tm)
   in
   let flows = flows_of_permutation g ~tm ~subflows in
   let config =

@@ -23,6 +23,17 @@ let full =
 
 let rng t salt = Random.State.make [| t.seed; salt |]
 
+(* Canonical text of everything that determines a run's numbers. Combined
+   with the solver version by Dcn_store.Digest_key.of_run, it names the
+   run-manifest directory: two invocations resume each other iff their
+   fingerprints agree. *)
+let fingerprint t =
+  Printf.sprintf "runs %d\neps %s\ngap %s\nmax_phases %d\ndense %b\nseed %d\n"
+    t.runs
+    (Dcn_util.Float_text.to_string t.params.Dcn_flow.Mcmf_fptas.eps)
+    (Dcn_util.Float_text.to_string t.params.Dcn_flow.Mcmf_fptas.gap)
+    t.params.Dcn_flow.Mcmf_fptas.max_phases t.dense t.seed
+
 (* Each run gets its own generator derived from (seed, salt, index), so the
    samples are the same values in the same slots regardless of how many
    domains execute them — parallel results are bit-identical to serial. *)

@@ -18,6 +18,12 @@ val quick : t
 val full : t
 (** 20 runs, ~3% certified gap, paper-density grids. *)
 
+val fingerprint : t -> string
+(** Canonical text of every field. Together with the solver version this
+    identifies a resumable run: {!Dcn_store.Manifest} keys its directory
+    on it, so a [--resume] only replays results produced under the same
+    runs/accuracy/grid/seed configuration. *)
+
 val rng : t -> int -> Random.State.t
 (** [rng scale salt] is a deterministic generator for one experiment
     stream; different salts give independent streams. *)

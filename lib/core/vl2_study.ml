@@ -6,6 +6,7 @@ module Vl2 = Dcn_topology.Vl2
 module Rewire = Dcn_topology.Rewire
 module Traffic = Dcn_traffic.Traffic
 module Mcmf_fptas = Dcn_flow.Mcmf_fptas
+module Solve_cache = Dcn_store.Solve_cache
 
 type traffic_kind = [ `Permutation | `All_to_all | `Chunky of float ]
 
@@ -25,7 +26,7 @@ let lambda_for scale st ~traffic (topo : Topology.t) =
     infinity
   else begin
   let lambda =
-    Mcmf_fptas.lambda ~params:scale.Scale.params topo.Topology.graph
+    Solve_cache.fptas_lambda ~params:scale.Scale.params topo.Topology.graph
       (Traffic.to_commodities tm)
   in
   (* "Full throughput" means each server-level flow reaches the server

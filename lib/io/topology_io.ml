@@ -1,6 +1,12 @@
 module Topology = Dcn_topology.Topology
 module Graph = Dcn_graph.Graph
 
+(* Canonical form: [Graph.to_edge_list] returns the undirected links
+   sorted by (src, dst, capacity), servers/cluster lines are emitted in
+   switch order, and capacities use the exact shortest decimal rendering —
+   so equal topologies (same node count, same link multiset, same
+   placement) serialize to identical text regardless of construction
+   order. The result store digests this text; keep it deterministic. *)
 let to_string (topo : Topology.t) =
   let buf = Buffer.create 1024 in
   let addf fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
@@ -13,7 +19,8 @@ let to_string (topo : Topology.t) =
     (fun i c -> if c <> 0 then addf "cluster %d %d\n" i c)
     topo.Topology.cluster;
   List.iter
-    (fun (u, v, cap) -> addf "link %d %d %g\n" u v cap)
+    (fun (u, v, cap) ->
+      addf "link %d %d %s\n" u v (Dcn_util.Float_text.to_string cap))
     (Graph.to_edge_list topo.Topology.graph);
   Buffer.contents buf
 

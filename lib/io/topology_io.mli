@@ -21,6 +21,12 @@
     {!Dcn_graph.Graph}. *)
 
 val to_string : Dcn_topology.Topology.t -> string
+(** Canonical: links are emitted sorted by (src, dst, capacity), server
+    and cluster lines in ascending switch order, and capacities in the
+    exact round-tripping decimal form of {!Dcn_util.Float_text} — equal
+    topologies serialize to byte-identical text however they were built.
+    The result store ({!Dcn_store.Digest_key}) relies on this guarantee
+    for stable request digests; do not reorder the output. *)
 
 val of_string : string -> Dcn_topology.Topology.t
 (** Raises [Failure] with a line-numbered message on malformed input. *)

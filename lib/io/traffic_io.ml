@@ -1,13 +1,17 @@
 module Traffic = Dcn_traffic.Traffic
 
+(* Canonical form: demands sorted by (src, dst, demand) and rendered with
+   the exact shortest decimal form, mirroring Topology_io — equal matrices
+   serialize identically, which the result store's digests require. *)
 let to_string (tm : Traffic.t) =
   let buf = Buffer.create 512 in
   let addf fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
   addf "name %s\n" tm.Traffic.name;
   addf "flows_per_server %d\n" tm.Traffic.flows_per_server;
   List.iter
-    (fun (u, v, d) -> addf "demand %d %d %g\n" u v d)
-    tm.Traffic.demands;
+    (fun (u, v, d) ->
+      addf "demand %d %d %s\n" u v (Dcn_util.Float_text.to_string d))
+    (List.sort compare tm.Traffic.demands);
   Buffer.contents buf
 
 let of_string text =

@@ -10,6 +10,10 @@
     v} *)
 
 val to_string : Dcn_traffic.Traffic.t -> string
+(** Canonical: demand lines are sorted by (src, dst, demand) and values
+    use the exact round-tripping decimal form of {!Dcn_util.Float_text},
+    so equal matrices serialize to byte-identical text. Stable digests in
+    {!Dcn_store.Digest_key} depend on this; do not reorder the output. *)
 
 val of_string : string -> Dcn_traffic.Traffic.t
 (** Raises [Failure] with a line-numbered message on malformed input. *)

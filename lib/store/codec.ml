@@ -1,0 +1,137 @@
+module Mcmf_fptas = Dcn_flow.Mcmf_fptas
+module Throughput = Dcn_flow.Throughput
+module Float_text = Dcn_util.Float_text
+
+(* Line-oriented "key value..." records, one per field, with the arc-flow
+   array written one value per line after a declared count. *)
+
+let add_float buf key x =
+  Buffer.add_string buf
+    (Printf.sprintf "%s %s\n" key (Float_text.to_string x))
+
+let add_int buf key x = Buffer.add_string buf (Printf.sprintf "%s %d\n" key x)
+
+let add_floats buf key xs =
+  Buffer.add_string buf (Printf.sprintf "%s %d\n" key (Array.length xs));
+  Array.iter
+    (fun x -> Buffer.add_string buf (Float_text.to_string x ^ "\n"))
+    xs
+
+(* A tiny sequential reader over the payload's lines; every accessor
+   returns [None] on any mismatch, and [let*] threads the failure. *)
+type cursor = { lines : string array; mutable pos : int }
+
+let ( let* ) = Option.bind
+
+let cursor text =
+  { lines = Array.of_list (String.split_on_char '\n' text); pos = 0 }
+
+let next_line c =
+  if c.pos >= Array.length c.lines then None
+  else begin
+    let line = c.lines.(c.pos) in
+    c.pos <- c.pos + 1;
+    Some line
+  end
+
+let field c key =
+  let* line = next_line c in
+  let prefix = key ^ " " in
+  let plen = String.length prefix in
+  if String.length line >= plen && String.sub line 0 plen = prefix then
+    Some (String.sub line plen (String.length line - plen))
+  else None
+
+let float_field c key =
+  let* v = field c key in
+  Float_text.of_string_opt v
+
+let int_field c key =
+  let* v = field c key in
+  int_of_string_opt v
+
+let floats_field c key =
+  let* n = int_field c key in
+  if n < 0 || c.pos + n > Array.length c.lines then None
+  else begin
+    let out = Array.make n 0.0 in
+    let ok = ref true in
+    for i = 0 to n - 1 do
+      match Float_text.of_string_opt c.lines.(c.pos + i) with
+      | Some x -> out.(i) <- x
+      | None -> ok := false
+    done;
+    c.pos <- c.pos + n;
+    if !ok then Some out else None
+  end
+
+(* ---- FPTAS results ---- *)
+
+let fptas_magic = "fptas-result 1"
+
+let fptas_result_to_string (r : Mcmf_fptas.result) =
+  let buf = Buffer.create (64 + (16 * Array.length r.Mcmf_fptas.arc_flow)) in
+  Buffer.add_string buf (fptas_magic ^ "\n");
+  add_float buf "lambda_lower" r.Mcmf_fptas.lambda_lower;
+  add_float buf "lambda_upper" r.Mcmf_fptas.lambda_upper;
+  add_int buf "phases" r.Mcmf_fptas.phases;
+  add_int buf "converged" (if r.Mcmf_fptas.converged then 1 else 0);
+  add_floats buf "arc_flow" r.Mcmf_fptas.arc_flow;
+  Buffer.contents buf
+
+let fptas_result_of_string text =
+  let c = cursor text in
+  let* m = next_line c in
+  if m <> fptas_magic then None
+  else
+    let* lambda_lower = float_field c "lambda_lower" in
+    let* lambda_upper = float_field c "lambda_upper" in
+    let* phases = int_field c "phases" in
+    let* converged = int_field c "converged" in
+    let* arc_flow = floats_field c "arc_flow" in
+    Some
+      {
+        Mcmf_fptas.lambda_lower;
+        lambda_upper;
+        phases;
+        converged = converged <> 0;
+        arc_flow;
+      }
+
+(* ---- Throughput metrics ---- *)
+
+let throughput_magic = "throughput 1"
+
+let throughput_to_string (t : Throughput.t) =
+  let buf = Buffer.create (96 + (16 * Array.length t.Throughput.arc_flow)) in
+  Buffer.add_string buf (throughput_magic ^ "\n");
+  add_float buf "lambda" t.Throughput.lambda;
+  add_float buf "lambda_lower" (fst t.Throughput.lambda_bounds);
+  add_float buf "lambda_upper" (snd t.Throughput.lambda_bounds);
+  add_float buf "utilization" t.Throughput.utilization;
+  add_float buf "mean_shortest_path" t.Throughput.mean_shortest_path;
+  add_float buf "stretch" t.Throughput.stretch;
+  add_floats buf "arc_flow" t.Throughput.arc_flow;
+  Buffer.contents buf
+
+let throughput_of_string text =
+  let c = cursor text in
+  let* m = next_line c in
+  if m <> throughput_magic then None
+  else
+    let* lambda = float_field c "lambda" in
+    let* lo = float_field c "lambda_lower" in
+    let* hi = float_field c "lambda_upper" in
+    let* utilization = float_field c "utilization" in
+    let* mean_shortest_path = float_field c "mean_shortest_path" in
+    let* stretch = float_field c "stretch" in
+    let* arc_flow = floats_field c "arc_flow" in
+    Some
+      {
+        Throughput.lambda;
+        lambda_bounds = (lo, hi);
+        utilization;
+        mean_shortest_path;
+        stretch;
+        arc_flow;
+      }

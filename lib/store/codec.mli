@@ -1,0 +1,15 @@
+(** Exact text serialization of solver results.
+
+    Payload bodies for {!Store} entries. Floats use the round-tripping
+    decimal form of {!Dcn_util.Float_text}, so a decoded result is
+    bit-identical to the encoded one — the property that lets cached
+    figures render byte-for-byte the same tables as fresh runs.
+
+    Decoders are total: any malformed, truncated, or version-mismatched
+    payload yields [None], which {!Solve_cache} treats as a miss. *)
+
+val fptas_result_to_string : Dcn_flow.Mcmf_fptas.result -> string
+val fptas_result_of_string : string -> Dcn_flow.Mcmf_fptas.result option
+
+val throughput_to_string : Dcn_flow.Throughput.t -> string
+val throughput_of_string : string -> Dcn_flow.Throughput.t option

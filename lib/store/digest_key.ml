@@ -1,0 +1,54 @@
+module Graph = Dcn_graph.Graph
+module Commodity = Dcn_flow.Commodity
+module Float_text = Dcn_util.Float_text
+
+type t = string
+
+let hex_length = 32 (* MD5 *)
+
+(* Bump on any change to Mcmf_fptas (or the metrics derived from its
+   output) that can alter the bits of a cached result. "fptas-2" is the
+   PR 1 solver: scratch-reusing Dijkstra, target-limited early exit,
+   optional lazy dual checks. *)
+let solver_version = "fptas-2"
+
+let of_text text = Digest.to_hex (Digest.string text)
+
+let graph_text g =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf (Printf.sprintf "nodes %d\n" (Graph.n g));
+  List.iter
+    (fun (u, v, cap) ->
+      Buffer.add_string buf
+        (Printf.sprintf "link %d %d %s\n" u v (Float_text.to_string cap)))
+    (Graph.to_edge_list g);
+  Buffer.contents buf
+
+let commodities_text cs =
+  let buf = Buffer.create 1024 in
+  Array.iter
+    (fun (c : Commodity.t) ->
+      Buffer.add_string buf
+        (Printf.sprintf "demand %d %d %s\n" c.Commodity.src c.Commodity.dst
+           (Float_text.to_string c.Commodity.demand)))
+    cs;
+  Buffer.contents buf
+
+let params_text ~params ~dual_check_every =
+  Printf.sprintf "eps %s\ngap %s\nmax_phases %d\ndual_check_every %d\n"
+    (Float_text.to_string params.Dcn_flow.Mcmf_fptas.eps)
+    (Float_text.to_string params.Dcn_flow.Mcmf_fptas.gap)
+    params.Dcn_flow.Mcmf_fptas.max_phases dual_check_every
+
+let of_solve ~kind ~params ~dual_check_every g cs =
+  let buf = Buffer.create 8192 in
+  Buffer.add_string buf (Printf.sprintf "kind %s\n" kind);
+  Buffer.add_string buf (Printf.sprintf "solver %s\n" solver_version);
+  Buffer.add_string buf (params_text ~params ~dual_check_every);
+  Buffer.add_string buf (graph_text g);
+  Buffer.add_string buf (commodities_text cs);
+  of_text (Buffer.contents buf)
+
+let of_run ~kind ~fingerprint =
+  of_text
+    (Printf.sprintf "kind %s\nsolver %s\n%s" kind solver_version fingerprint)

@@ -1,0 +1,55 @@
+(** Content addresses for solve requests.
+
+    A cache entry's key is the hex digest of a {e canonical request text}:
+    the canonical serialization of the inputs (the byte-identical forms
+    guaranteed by {!Dcn_io.Topology_io.to_string} and
+    {!Dcn_io.Traffic_io.to_string}), the solver parameters, and
+    {!solver_version}. Content addressing makes the cache safe by
+    construction — two requests share an entry iff their canonical texts
+    are equal, so topology generators, RNG seeding, and scheduling order
+    are all irrelevant — and the version tag invalidates every entry
+    whenever the solver's numerical behavior changes. *)
+
+type t = string
+(** Lowercase hex digest; fixed width ({!hex_length}). *)
+
+val hex_length : int
+
+val solver_version : string
+(** Version tag mixed into every key. Bump whenever {!Dcn_flow.Mcmf_fptas}
+    (or anything else that determines the bits of a cached result) changes
+    behavior: old entries then become unreachable rather than stale. *)
+
+val of_text : string -> t
+(** Digest of an arbitrary canonical request text (already including any
+    version salt the caller wants). Building block for the typed keys. *)
+
+val graph_text : Dcn_graph.Graph.t -> string
+(** Canonical "link u v cap" lines — the link section a topology with this
+    graph would serialize to, sorted as {!Dcn_io.Topology_io.to_string}
+    sorts it, preceded by the node count. *)
+
+val commodities_text : Dcn_flow.Commodity.t array -> string
+(** Canonical "demand src dst d" lines in array order (commodity arrays
+    are already deterministic: {!Dcn_traffic.Traffic.to_commodities} is a
+    pure function of the matrix). *)
+
+val params_text :
+  params:Dcn_flow.Mcmf_fptas.params -> dual_check_every:int -> string
+(** Canonical rendering of FPTAS parameters; every field participates. *)
+
+val of_solve :
+  kind:string ->
+  params:Dcn_flow.Mcmf_fptas.params ->
+  dual_check_every:int ->
+  Dcn_graph.Graph.t ->
+  Dcn_flow.Commodity.t array ->
+  t
+(** Key of one solver invocation. [kind] names the cached computation
+    ("fptas", "throughput-fptas", ...) so different result payloads never
+    collide even on identical inputs. Includes {!solver_version}. *)
+
+val of_run :
+  kind:string -> fingerprint:string -> t
+(** Key of a whole experiment run (used to place run manifests): digest of
+    [kind], the caller's scale fingerprint, and {!solver_version}. *)

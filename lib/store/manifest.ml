@@ -1,0 +1,90 @@
+type entry = { target : string; seconds : float }
+
+let manifest_file dir = Filename.concat dir "manifest"
+
+let rec mkdir_p dir =
+  if not (Sys.file_exists dir) then begin
+    let parent = Filename.dirname dir in
+    if parent <> dir then mkdir_p parent;
+    (try Sys.mkdir dir 0o755 with Sys_error _ -> ());
+    if not (try Sys.is_directory dir with Sys_error _ -> false) then
+      failwith (Printf.sprintf "manifest: cannot create directory %s" dir)
+  end
+
+let dir ~store ~fingerprint =
+  let d =
+    Filename.concat (Store.root store)
+      (Filename.concat "runs"
+         (Digest_key.of_run ~kind:"run-manifest" ~fingerprint))
+  in
+  mkdir_p d;
+  d
+
+let parse_line line =
+  match String.split_on_char ' ' (String.trim line) with
+  | [ "done"; seconds; target ] when target <> "" ->
+      Option.map
+        (fun seconds -> { target; seconds })
+        (float_of_string_opt seconds)
+  | _ -> None
+
+let load ~dir =
+  match In_channel.open_text (manifest_file dir) with
+  | exception Sys_error _ -> []
+  | ic ->
+      Fun.protect
+        ~finally:(fun () -> In_channel.close ic)
+        (fun () ->
+          let entries =
+            In_channel.input_lines ic |> List.filter_map parse_line
+          in
+          (* Later lines win: a resumed run may legitimately re-record a
+             target (e.g. after a cache wipe changed nothing visible). *)
+          let seen = Hashtbl.create 16 in
+          List.rev entries
+          |> List.filter (fun e ->
+                 if Hashtbl.mem seen e.target then false
+                 else begin
+                   Hashtbl.add seen e.target ();
+                   true
+                 end)
+          |> List.rev)
+
+let mark_done ~dir entry =
+  try
+    let fd =
+      Unix.openfile (manifest_file dir)
+        [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_APPEND ]
+        0o644
+    in
+    Fun.protect
+      ~finally:(fun () -> Unix.close fd)
+      (fun () ->
+        let line =
+          Printf.sprintf "done %s %s\n"
+            (Dcn_util.Float_text.to_string entry.seconds)
+            entry.target
+        in
+        (* One write call: appends of a short line are effectively atomic,
+           and a crash mid-write leaves a torn line that [load] skips. *)
+        ignore (Unix.write_substring fd line 0 (String.length line)))
+  with Unix.Unix_error _ | Sys_error _ -> ()
+
+let write_artifact ~dir ~name payload =
+  let final = Filename.concat dir name in
+  let staged = Printf.sprintf "%s.tmp.%d" final (Unix.getpid ()) in
+  try
+    let oc = Out_channel.open_bin staged in
+    Fun.protect
+      ~finally:(fun () -> Out_channel.close oc)
+      (fun () -> Out_channel.output_string oc payload);
+    Sys.rename staged final
+  with Sys_error _ -> (try Sys.remove staged with Sys_error _ -> ())
+
+let read_artifact ~dir ~name =
+  match In_channel.open_bin (Filename.concat dir name) with
+  | exception Sys_error _ -> None
+  | ic ->
+      Fun.protect
+        ~finally:(fun () -> In_channel.close ic)
+        (fun () -> Some (In_channel.input_all ic))

@@ -1,0 +1,41 @@
+(** Run manifests: resumable experiment suites.
+
+    A {e run} is one configuration of the figure pipeline (scale preset +
+    solver version). Its manifest directory, placed inside the result
+    store's root under [runs/<digest>/], records each completed target as
+    soon as it finishes:
+
+    - a ["done <seconds> <target>"] line appended to the [manifest] file
+      (single [O_APPEND] write, so a crash mid-suite loses at most the
+      in-flight line, and a torn line is skipped on load);
+    - the target's rendered table and CSV as artifact files, written with
+      the same atomic tmp+rename discipline as store objects.
+
+    Re-running with [--resume] replays completed targets from their
+    artifacts and computes only the rest; within a partially-finished
+    target the solve-level cache supplies the finished data points, so
+    interruption costs one target's cheap scaffolding at most. *)
+
+type entry = {
+  target : string;  (** Figure/ablation name; no whitespace. *)
+  seconds : float;  (** Wall time of the original computation. *)
+}
+
+val dir : store:Store.t -> fingerprint:string -> string
+(** Manifest directory of the run identified by the caller's fingerprint
+    (e.g. {!Core.Scale.fingerprint}); created on first use. The solver
+    version participates in the digest, so incompatible runs never share
+    a directory. *)
+
+val load : dir:string -> entry list
+(** Completed entries, oldest first; absent manifest is an empty run.
+    Malformed lines are skipped. When a target appears twice, the later
+    entry wins. *)
+
+val mark_done : dir:string -> entry -> unit
+(** Append one completion record and flush it to the OS. *)
+
+val write_artifact : dir:string -> name:string -> string -> unit
+(** Atomically write [dir/name]. *)
+
+val read_artifact : dir:string -> name:string -> string option

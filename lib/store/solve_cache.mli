@@ -1,0 +1,44 @@
+(** Drop-in cached variants of the flow solvers.
+
+    Each function behaves exactly like its {!Dcn_flow} counterpart when no
+    store is installed ({!Store.set_shared}); with a store, results are
+    looked up by the content address of the request ({!Digest_key}) and
+    computed-and-published on a miss. Because the key covers the full
+    canonical request (graph, commodities, parameters, solver version)
+    and the codec round-trips floats exactly, a hit returns a result
+    bit-identical to recomputation — the determinism guarantee of the
+    parallel engine extends across process restarts.
+
+    Safe to call from pool workers: lookups and publishes are atomic and
+    the shared handle's counters are {!Atomic}. *)
+
+val fptas :
+  ?params:Dcn_flow.Mcmf_fptas.params ->
+  ?dual_check_every:int ->
+  Dcn_graph.Graph.t ->
+  Dcn_flow.Commodity.t array ->
+  Dcn_flow.Mcmf_fptas.result
+(** Cached {!Dcn_flow.Mcmf_fptas.solve} (same defaults, same exceptions
+    for invalid inputs — validation runs before the cache is consulted on
+    a hit only if the entry decodes; invalid requests never get cached
+    because the solver raises before {!Store.add}). *)
+
+val fptas_lambda :
+  ?params:Dcn_flow.Mcmf_fptas.params ->
+  ?dual_check_every:int ->
+  Dcn_graph.Graph.t ->
+  Dcn_flow.Commodity.t array ->
+  float
+(** Cached {!Dcn_flow.Mcmf_fptas.lambda} (midpoint of the certified
+    interval), sharing cache entries with {!fptas}. *)
+
+val throughput :
+  ?solver:Dcn_flow.Throughput.solver ->
+  Dcn_graph.Graph.t ->
+  Dcn_flow.Commodity.t array ->
+  Dcn_flow.Throughput.t
+(** Cached {!Dcn_flow.Throughput.compute}: the full metrics record
+    (λ, bounds, utilization, ⟨D⟩, stretch, arc flows) is stored, so a hit
+    also skips the shortest-path sweeps, not just the solve. Exact-solver
+    requests are cached under a distinct kind and never collide with
+    FPTAS entries. *)

@@ -116,6 +116,102 @@ let test_traffic_file_roundtrip () =
       Alcotest.(check bool) "demands preserved" true
         (tm.Traffic.demands = restored.Traffic.demands))
 
+(* Every topology family must serialize losslessly, and the serialization
+   must be canonical: parsing and re-serializing reproduces the exact
+   bytes, which is what the result store's content addressing relies on. *)
+let family_topologies () =
+  let st = st () in
+  [
+    ("rrg", Dcn_topology.Rrg.topology st ~n:16 ~k:8 ~r:5);
+    ("fat-tree", Dcn_topology.Fat_tree.create ~k:4 ());
+    ("vl2", Dcn_topology.Vl2.create ~da:4 ~di:4 ());
+    ("bcube", Dcn_topology.Bcube.create ~n:3 ~k:1);
+    ("dcell", Dcn_topology.Dcell.create ~n:3 ~l:1);
+    ("dragonfly", Dcn_topology.Dragonfly.create ~a:3 ~h:2 ());
+    ("hypercube", Dcn_topology.Hypercube.topology ~dim:4 ~servers_per_switch:2);
+    ( "torus",
+      Dcn_topology.Torus.topology ~dims:[ 3; 3; 2 ] ~servers_per_switch:1 );
+    ( "hetero",
+      Dcn_topology.Hetero.two_class st
+        ~large:{ Dcn_topology.Hetero.count = 3; ports = 8; servers_each = 2 }
+        ~small:{ Dcn_topology.Hetero.count = 6; ports = 4; servers_each = 1 } );
+  ]
+
+let capacities topo =
+  List.map (fun (_, _, c) -> c) (Graph.to_edge_list topo.Topology.graph)
+
+let test_all_families_roundtrip () =
+  List.iter
+    (fun (family, topo) ->
+      let text = Topology_io.to_string topo in
+      let restored = Topology_io.of_string text in
+      Alcotest.(check bool)
+        (family ^ ": graph structure") true
+        (Graph.equal_structure topo.Topology.graph restored.Topology.graph);
+      Alcotest.(check bool)
+        (family ^ ": capacities exact") true
+        (capacities topo = capacities restored);
+      Alcotest.(check (array int)) (family ^ ": servers") topo.Topology.servers
+        restored.Topology.servers;
+      Alcotest.(check (array int)) (family ^ ": clusters") topo.Topology.cluster
+        restored.Topology.cluster;
+      Alcotest.(check string) (family ^ ": name") topo.Topology.name
+        restored.Topology.name;
+      Alcotest.(check string)
+        (family ^ ": canonical (parse . print idempotent)")
+        text
+        (Topology_io.to_string restored))
+    (family_topologies ())
+
+let test_traffic_generators_roundtrip () =
+  let st = st () in
+  let servers = [| 2; 3; 0; 1; 2; 2 |] in
+  let matrices =
+    [
+      ("permutation", Traffic.permutation st ~servers);
+      ("all-to-all", Traffic.all_to_all ~servers);
+      ("chunky", Traffic.chunky st ~servers ~fraction:0.4);
+    ]
+  in
+  List.iter
+    (fun (gen, tm) ->
+      let text = Traffic_io.to_string tm in
+      let restored = Traffic_io.of_string text in
+      Alcotest.(check bool)
+        (gen ^ ": demands exact") true
+        (List.sort compare tm.Traffic.demands
+        = List.sort compare restored.Traffic.demands);
+      Alcotest.(check int)
+        (gen ^ ": flows per server")
+        tm.Traffic.flows_per_server restored.Traffic.flows_per_server;
+      Alcotest.(check string)
+        (gen ^ ": canonical (parse . print idempotent)")
+        text
+        (Traffic_io.to_string restored))
+    matrices
+
+(* Awkward capacities (non-representable decimals, tiny and huge values)
+   must survive the text format bit-for-bit. *)
+let prop_capacity_exact =
+  QCheck.Test.make ~name:"capacity text roundtrip exact" ~count:200
+    QCheck.(pair pos_float (int_range 0 1000))
+    (fun (cap, salt) ->
+      QCheck.assume (Float.is_finite cap && cap > 0.0);
+      let cap = cap +. (float_of_int salt *. 1e-7) in
+      QCheck.assume (Float.is_finite cap && cap > 0.0);
+      let topo =
+        {
+          Topology.name = "cap-test";
+          graph = Graph.of_edges 2 [ (0, 1, cap) ];
+          servers = [| 1; 1 |];
+          cluster = [| 0; 0 |];
+        }
+      in
+      let restored = Topology_io.of_string (Topology_io.to_string topo) in
+      match Graph.to_edge_list restored.Topology.graph with
+      | [ (0, 1, c) ] -> Int64.bits_of_float c = Int64.bits_of_float cap
+      | _ -> false)
+
 let suite =
   ( "io",
     [
@@ -129,4 +225,9 @@ let suite =
       Alcotest.test_case "traffic parse errors" `Quick test_traffic_parse_errors;
       Alcotest.test_case "traffic file roundtrip" `Quick test_traffic_file_roundtrip;
       QCheck_alcotest.to_alcotest prop_topology_roundtrip;
+      Alcotest.test_case "all families roundtrip + canonical" `Quick
+        test_all_families_roundtrip;
+      Alcotest.test_case "traffic generators roundtrip + canonical" `Quick
+        test_traffic_generators_roundtrip;
+      QCheck_alcotest.to_alcotest prop_capacity_exact;
     ] )

@@ -20,6 +20,7 @@ let () =
       Test_extensions.suite;
       Test_structured_topologies.suite;
       Test_io.suite;
+      Test_store.suite;
       Test_vlb.suite;
       Test_edge_cases.suite;
       Test_resilience.suite;
