@@ -13,6 +13,9 @@
      dune exec bench/main.exe -- --cache-dir D           # persistent result store
      dune exec bench/main.exe -- --cache-dir D --resume  # replay finished targets
      dune exec bench/main.exe -- --no-cache              # force full recompute
+     dune exec bench/main.exe -- --metrics m.json        # solver-internal counters
+     dune exec bench/main.exe -- --trace t.json          # Perfetto-loadable spans
+     dune exec bench/main.exe -- --progress              # per-sample lines on stderr
 
    [--jobs j] sets the total parallelism (defaults to the machine's
    recommended domain count): the shared domain pool gets [j - 1] workers
@@ -30,8 +33,23 @@
    points whose solves are not cached yet). [--no-cache] ignores the
    store and the manifest for this invocation.
 
+   [--metrics FILE] snapshots the process-wide metrics registry (FPTAS
+   phases and Dijkstra work, simplex pivots, pool queue-wait/run-time
+   histograms and per-domain busy time, store hit/miss latencies) to FILE
+   as JSON; the same snapshot is embedded in [--bench-json] so recorded
+   trajectories carry solver-internal counters, not just seconds.
+   [--trace FILE] writes a Chrome trace-event file (open in Perfetto or
+   chrome://tracing) with one track per domain. Instrumentation is
+   observational only: results are bit-identical with it on or off, at any
+   [--jobs]. All timing uses the monotonic clock (Dcn_obs.Clock), immune
+   to wall-clock steps. See docs/observability.md.
+
    Every figure prints the same series the paper plots; EXPERIMENTS.md
    records the expected shapes and the paper-vs-measured comparison. *)
+
+module Metrics = Dcn_obs.Metrics
+module Trace = Dcn_obs.Trace
+module Clock = Dcn_obs.Clock
 
 let figures : (string * string * (Core.Scale.t -> Core.Table.t)) list =
   [
@@ -114,6 +132,11 @@ type figure_result = {
   fr_csv_text : string;
   fr_dt : float;
   fr_resumed : bool;
+  fr_metrics : Metrics.snapshot option;
+      (** Rollup of what this figure's computation did (solves, phases,
+          pivots, cache traffic). Only attributable when figures run
+          serially — with the pool enabled, concurrent figures interleave
+          in the global registry, so this stays [None]. *)
 }
 
 let render_table table =
@@ -130,11 +153,23 @@ let render_block ~name ~description ~table_text ~timing_line =
     table_text timing_line
 
 (* Compute a figure and render it to a string so parallel workers don't
-   interleave output. *)
+   interleave output. The figure name labels the observability layer: a
+   span per figure, and (via Scale.with_figure) every sample span and
+   progress line underneath it. *)
 let compute_figure scale (name, description, f) =
-  let t0 = Unix.gettimeofday () in
-  let table = f scale in
-  let dt = Unix.gettimeofday () -. t0 in
+  let rollup = Metrics.enabled () && not (Core.Pool.enabled ()) in
+  let before = if rollup then Some (Metrics.snapshot ()) else None in
+  let t0 = Clock.now_ns () in
+  let table =
+    Core.Scale.with_figure name (fun () ->
+        Trace.with_span ~cat:"figure" name (fun () -> f scale))
+  in
+  let dt = Clock.elapsed_s t0 in
+  let fr_metrics =
+    Option.map
+      (fun before -> Metrics.diff ~before ~after:(Metrics.snapshot ()))
+      before
+  in
   let table_text = render_table table in
   {
     fr_name = name;
@@ -145,6 +180,7 @@ let compute_figure scale (name, description, f) =
     fr_csv_text = Core.Table.to_csv table;
     fr_dt = dt;
     fr_resumed = false;
+    fr_metrics;
   }
 
 (* Replay a target recorded in the run manifest: both artifacts must be
@@ -168,6 +204,7 @@ let resume_figure ~run_dir ~seconds (name, description, _f) =
           fr_csv_text = csv_text;
           fr_dt = seconds;
           fr_resumed = true;
+          fr_metrics = None;
         }
   | _ -> None
 
@@ -267,32 +304,26 @@ let microbenchmarks () =
 (* ------------------------------------------------------------------ *)
 (* Timing report (--bench-json)                                        *)
 
-let json_escape s =
-  let buf = Buffer.create (String.length s + 8) in
-  String.iter
-    (fun c ->
-      match c with
-      | '"' -> Buffer.add_string buf "\\\""
-      | '\\' -> Buffer.add_string buf "\\\\"
-      | '\n' -> Buffer.add_string buf "\\n"
-      | '\t' -> Buffer.add_string buf "\\t"
-      | c when Char.code c < 0x20 ->
-          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char buf c)
-    s;
-  Buffer.contents buf
-
-let json_float x =
-  (* JSON has no NaN/Infinity literals. *)
-  if Float.is_finite x then Printf.sprintf "%.6g" x else "null"
+(* JSON text helpers come from the observability library ([number] maps
+   non-finite floats to null — JSON has no NaN/Infinity literals). *)
+let json_escape = Dcn_obs.Json.escape
+let json_float = Dcn_obs.Json.number
 
 let write_bench_json path ~mode ~jobs ~figures ~micro ~total_seconds =
   let figure_entries =
     List.map
       (fun r ->
+        let metrics_field =
+          match r.fr_metrics with
+          | None -> ""
+          | Some snap ->
+              Printf.sprintf ", \"metrics\": %s"
+                (String.trim (Metrics.to_json snap))
+        in
         Printf.sprintf
-          "    {\"name\": \"%s\", \"seconds\": %s, \"resumed\": %b}"
-          (json_escape r.fr_name) (json_float r.fr_dt) r.fr_resumed)
+          "    {\"name\": \"%s\", \"seconds\": %s, \"resumed\": %b%s}"
+          (json_escape r.fr_name) (json_float r.fr_dt) r.fr_resumed
+          metrics_field)
       figures
   in
   let micro_entries =
@@ -319,6 +350,12 @@ let write_bench_json path ~mode ~jobs ~figures ~micro ~total_seconds =
           (if total = 0 then "null"
            else json_float (float_of_int c.Core.Store.hits /. float_of_int total))
   in
+  (* The process-wide registry snapshot: solver-internal counters for the
+     whole invocation (all figures + micro), null when recording was off. *)
+  let metrics_json =
+    if Metrics.enabled () then String.trim (Metrics.to_json (Metrics.snapshot ()))
+    else "null"
+  in
   let oc = open_out path in
   Printf.fprintf oc "{\n";
   Printf.fprintf oc "  \"mode\": \"%s\",\n" (json_escape mode);
@@ -328,6 +365,7 @@ let write_bench_json path ~mode ~jobs ~figures ~micro ~total_seconds =
   Printf.fprintf oc "  \"micro\": [\n%s\n  ],\n"
     (String.concat ",\n" micro_entries);
   output_string oc cache_json;
+  Printf.fprintf oc "  \"metrics\": %s,\n" metrics_json;
   Printf.fprintf oc "  \"total_seconds\": %s\n" (json_float total_seconds);
   Printf.fprintf oc "}\n";
   close_out oc
@@ -338,7 +376,8 @@ let write_bench_json path ~mode ~jobs ~figures ~micro ~total_seconds =
 let usage () =
   prerr_endline
     "usage: bench [--full] [--jobs N] [--csv-dir DIR] [--bench-json FILE] \
-     [--cache-dir DIR] [--resume] [--no-cache] [--list] [TARGET ...]";
+     [--cache-dir DIR] [--resume] [--no-cache] [--metrics FILE] \
+     [--trace FILE] [--progress] [--list] [TARGET ...]";
   prerr_endline "targets: figure names (fig1a, ..., ablation_*) and 'micro';";
   prerr_endline "         none selects everything (--list prints them all)"
 
@@ -373,6 +412,9 @@ type options = {
   cache_dir : string option;
   resume : bool;
   no_cache : bool;
+  metrics_file : string option;
+  trace_file : string option;
+  progress : bool;
   list : bool;
   targets : string list;
 }
@@ -397,6 +439,12 @@ let parse_args argv =
     | [ "--cache-dir" ] -> die "--cache-dir expects a directory"
     | "--resume" :: rest -> go { acc with resume = true } rest
     | "--no-cache" :: rest -> go { acc with no_cache = true } rest
+    | "--metrics" :: path :: rest ->
+        go { acc with metrics_file = Some path } rest
+    | [ "--metrics" ] -> die "--metrics expects a file path"
+    | "--trace" :: path :: rest -> go { acc with trace_file = Some path } rest
+    | [ "--trace" ] -> die "--trace expects a file path"
+    | "--progress" :: rest -> go { acc with progress = true } rest
     | "--list" :: rest -> go { acc with list = true } rest
     | ("--help" | "-h") :: _ ->
         usage ();
@@ -407,8 +455,8 @@ let parse_args argv =
   in
   go
     { full = false; jobs = default_jobs; csv_dir = None; bench_json = None;
-      cache_dir = None; resume = false; no_cache = false; list = false;
-      targets = [] }
+      cache_dir = None; resume = false; no_cache = false; metrics_file = None;
+      trace_file = None; progress = false; list = false; targets = [] }
     (List.tl (Array.to_list argv))
 
 let () =
@@ -424,13 +472,22 @@ let () =
   if opts.resume && (opts.cache_dir = None || opts.no_cache) then
     die "--resume needs --cache-dir (and is incompatible with --no-cache)";
   (match opts.csv_dir with Some dir -> mkdir_p dir | None -> ());
-  (* Create the report's parent directory up front: failing after the
+  (* Create every report's parent directory up front: failing after the
      figures have been computed would throw the work away. *)
-  (match opts.bench_json with
-  | Some path ->
-      let parent = Filename.dirname path in
-      if parent <> "" then mkdir_p parent
-  | None -> ());
+  List.iter
+    (fun path_opt ->
+      match path_opt with
+      | Some path ->
+          let parent = Filename.dirname path in
+          if parent <> "" then mkdir_p parent
+      | None -> ())
+    [ opts.bench_json; opts.metrics_file; opts.trace_file ];
+  (* Observability switches. Metrics recording also turns on for
+     --bench-json so the report can embed solver-internal counters. *)
+  if opts.metrics_file <> None || opts.bench_json <> None then
+    Metrics.set_enabled true;
+  if opts.trace_file <> None then Trace.set_enabled true;
+  if opts.progress then Dcn_obs.Progress.set_enabled true;
   (* Install the shared result store before any pool work exists; the
      cached solvers consult it from every worker domain. *)
   (match opts.cache_dir with
@@ -458,7 +515,7 @@ let () =
       if not (List.mem n known) then
         die "unknown target %s; known: %s" n (String.concat " " known))
     names;
-  let t0 = Unix.gettimeofday () in
+  let t0 = Clock.now_ns () in
   let selected = List.filter (fun (n, _, _) -> wants n) figures in
   (* The run manifest lives inside the cache directory, keyed by the scale
      fingerprint + solver version; it is written whenever a store is
@@ -521,10 +578,14 @@ let () =
         c.Core.Store.hits c.Core.Store.misses c.Core.Store.bytes_read
         c.Core.Store.bytes_written
   | None -> ());
-  match opts.bench_json with
+  (match opts.bench_json with
   | None -> ()
   | Some path ->
       write_bench_json path
         ~mode:(if opts.full then "full" else "quick")
         ~jobs:opts.jobs ~figures:computed ~micro
-        ~total_seconds:(Unix.gettimeofday () -. t0)
+        ~total_seconds:(Clock.elapsed_s t0));
+  (match opts.metrics_file with
+  | None -> ()
+  | Some path -> Metrics.write ~path (Metrics.snapshot ()));
+  match opts.trace_file with None -> () | Some path -> Trace.write path

@@ -74,6 +74,54 @@ let report_cache_stats () =
       Format.printf "cache           : %d hits, %d misses@." c.Core.Store.hits
         c.Core.Store.misses
 
+(* ---- observability options (shared by the solver-backed commands) ---- *)
+
+let metrics_arg =
+  let doc =
+    "Write a JSON snapshot of the metrics registry (FPTAS phases and \
+     Dijkstra work, simplex pivots, store hit/miss latencies, pool \
+     queue-wait histograms) to $(docv) on exit. Observational only: \
+     results are bit-identical with or without it."
+  in
+  Arg.(value & opt (some string) None & info [ "metrics" ] ~doc ~docv:"FILE")
+
+let trace_arg =
+  let doc =
+    "Write a Chrome trace-event file of solver and pool spans to $(docv) \
+     on exit; open it in Perfetto (ui.perfetto.dev) or chrome://tracing. \
+     One track per domain."
+  in
+  Arg.(value & opt (some string) None & info [ "trace" ] ~doc ~docv:"FILE")
+
+let progress_arg =
+  let doc =
+    "Print one line per experiment sample to stderr (figure label, sample \
+     index, elapsed seconds, cache traffic). Stdout — tables and CSVs — \
+     is untouched."
+  in
+  Arg.(value & flag & info [ "progress" ] ~doc)
+
+let obs_args =
+  Term.(
+    const (fun metrics trace progress -> (metrics, trace, progress))
+    $ metrics_arg $ trace_arg $ progress_arg)
+
+(* Enable the requested sinks, run the command body, and publish the files
+   afterwards — also on exceptions, so a failed run still leaves a usable
+   partial trace for diagnosis. *)
+let with_obs (metrics, trace, progress) body =
+  if metrics <> None then Core.Obs.Metrics.set_enabled true;
+  if trace <> None then Core.Obs.Trace.set_enabled true;
+  if progress then Core.Obs.Progress.set_enabled true;
+  Fun.protect body ~finally:(fun () ->
+      (match metrics with
+      | Some path ->
+          Core.Obs.Metrics.write ~path (Core.Obs.Metrics.snapshot ())
+      | None -> ());
+      match trace with
+      | Some path -> Core.Obs.Trace.write path
+      | None -> ())
+
 type topo_spec =
   | Rrg of int * int * int (* n, k, r *)
   | Vl2 of int * int (* da, di *)
@@ -214,8 +262,9 @@ let make_traffic kind st servers =
 (* ---- throughput command ---- *)
 
 let throughput_cmd =
-  let run spec traffic seed eps gap cache_dir no_cache =
+  let run spec traffic seed eps gap cache_dir no_cache obs =
     ignore (setup_store cache_dir no_cache);
+    with_obs obs @@ fun () ->
     let topo = build_topology spec seed in
     let st = Random.State.make [| seed; 1 |] in
     let tm = make_traffic traffic st topo.Core.Topology.servers in
@@ -242,7 +291,7 @@ let throughput_cmd =
   Cmd.v
     (Cmd.info "throughput" ~doc)
     Term.(const run $ topo_arg $ traffic_arg $ seed_arg $ eps_arg $ gap_arg
-          $ cache_dir_arg $ no_cache_arg)
+          $ cache_dir_arg $ no_cache_arg $ obs_args)
 
 (* ---- aspl command ---- *)
 
@@ -291,8 +340,9 @@ let compare_cmd =
     Arg.(required & pos 1 (some topo_conv) None & info [] ~docv:"TOPOLOGY2"
            ~doc:"Second topology to compare against.")
   in
-  let run spec1 spec2 traffic seed eps gap cache_dir no_cache =
+  let run spec1 spec2 traffic seed eps gap cache_dir no_cache obs =
     ignore (setup_store cache_dir no_cache);
+    with_obs obs @@ fun () ->
     let measure spec =
       let topo = build_topology spec seed in
       let st = Random.State.make [| seed; 1 |] in
@@ -327,13 +377,14 @@ let compare_cmd =
   let doc = "Compare two topologies under the same traffic model." in
   Cmd.v (Cmd.info "compare" ~doc)
     Term.(const run $ topo_arg $ topo2_arg $ traffic_arg $ seed_arg $ eps_arg
-          $ gap_arg $ cache_dir_arg $ no_cache_arg)
+          $ gap_arg $ cache_dir_arg $ no_cache_arg $ obs_args)
 
 (* ---- routing command ---- *)
 
 let routing_cmd =
-  let run spec seed eps gap cache_dir no_cache =
+  let run spec seed eps gap cache_dir no_cache obs =
     ignore (setup_store cache_dir no_cache);
+    with_obs obs @@ fun () ->
     let topo = build_topology spec seed in
     let g = topo.Core.Topology.graph in
     let st = Random.State.make [| seed; 1 |] in
@@ -361,7 +412,7 @@ let routing_cmd =
   let doc = "Compare routing models (optimal, k-shortest, ECMP, VLB) on a topology." in
   Cmd.v (Cmd.info "routing" ~doc)
     Term.(const run $ topo_arg $ seed_arg $ eps_arg $ gap_arg $ cache_dir_arg
-          $ no_cache_arg)
+          $ no_cache_arg $ obs_args)
 
 (* ---- failures command ---- *)
 
@@ -370,8 +421,9 @@ let failures_cmd =
     let doc = "Comma-separated failed-link fractions (default 0,0.05,0.1,0.2)." in
     Arg.(value & opt (list float) [ 0.0; 0.05; 0.1; 0.2 ] & info [ "fractions" ] ~doc)
   in
-  let run spec seed eps gap fractions cache_dir no_cache =
+  let run spec seed eps gap fractions cache_dir no_cache obs =
     ignore (setup_store cache_dir no_cache);
+    with_obs obs @@ fun () ->
     let topo = build_topology spec seed in
     let st = Random.State.make [| seed; 2 |] in
     let params = params_of eps gap in
@@ -400,7 +452,7 @@ let failures_cmd =
   let doc = "Throughput under uniform random link failures." in
   Cmd.v (Cmd.info "failures" ~doc)
     Term.(const run $ topo_arg $ seed_arg $ eps_arg $ gap_arg $ fractions_arg
-          $ cache_dir_arg $ no_cache_arg)
+          $ cache_dir_arg $ no_cache_arg $ obs_args)
 
 (* ---- save command ---- *)
 
@@ -494,12 +546,13 @@ let figure_cmd =
   (* The manifest directory is shared with bench/main.exe: it is keyed by
      the scale fingerprint + solver version alone, so either tool can
      resume a figure the other finished. *)
-  let run (name, f) full csv resume cache_dir no_cache =
+  let run (name, f) full csv resume cache_dir no_cache obs =
     let caching = setup_store cache_dir no_cache in
     if resume && not caching then begin
       prerr_endline "topobench: --resume needs --cache-dir (without --no-cache)";
       exit 2
     end;
+    with_obs obs @@ fun () ->
     let scale = if full then Core.Scale.full else Core.Scale.quick in
     let run_dir =
       Option.map
@@ -527,9 +580,12 @@ let figure_cmd =
           print_string text
         end
     | _, None ->
-        let t0 = Unix.gettimeofday () in
-        let table = f scale in
-        let seconds = Unix.gettimeofday () -. t0 in
+        let t0 = Core.Obs.Clock.now_ns () in
+        let table =
+          Core.Scale.with_figure name (fun () ->
+              Core.Obs.Trace.with_span ~cat:"figure" name (fun () -> f scale))
+        in
+        let seconds = Core.Obs.Clock.elapsed_s t0 in
         (match run_dir with
         | Some dir ->
             let buf = Buffer.create 1024 in
@@ -549,7 +605,7 @@ let figure_cmd =
   let doc = "Regenerate one of the paper's figures." in
   Cmd.v (Cmd.info "figure" ~doc)
     Term.(const run $ name_arg $ full_arg $ csv_arg $ resume_arg
-          $ cache_dir_arg $ no_cache_arg)
+          $ cache_dir_arg $ no_cache_arg $ obs_args)
 
 (* ---- main ---- *)
 

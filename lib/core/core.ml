@@ -58,6 +58,7 @@ module Store = Dcn_store.Store
 module Digest_key = Dcn_store.Digest_key
 module Solve_cache = Dcn_store.Solve_cache
 module Manifest = Dcn_store.Manifest
+module Obs = Dcn_obs
 module Stats = Dcn_util.Stats
 module Table = Dcn_util.Table
 module Sampling = Dcn_util.Sampling

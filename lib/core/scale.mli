@@ -28,12 +28,23 @@ val rng : t -> int -> Random.State.t
 (** [rng scale salt] is a deterministic generator for one experiment
     stream; different salts give independent streams. *)
 
+val with_figure : string -> (unit -> 'a) -> 'a
+(** Label the work done inside the callback (normally one figure) for the
+    observability layer: {!samples} tags its spans and progress lines with
+    the innermost label. Thin wrapper over {!Dcn_obs.Context.with_label}. *)
+
 val samples : t -> salt:int -> (Random.State.t -> 'a) -> 'a array
 (** Run the measurement once per configured run; slot [i] used a generator
     derived from [(seed, salt, i)]. Runs execute on the shared domain pool
     when it is enabled (see {!Dcn_util.Pool}); because each slot's RNG is
     derived independently, the result array is bit-identical to a serial
-    evaluation. *)
+    evaluation.
+
+    When the observability layer is active, each sample additionally emits
+    a trace span (category ["sample"], named by {!with_figure}'s label), a
+    [core.samples] counter tick with a [core.sample_s] latency
+    observation, and — with {!Dcn_obs.Progress} enabled — one progress
+    line to stderr. None of this affects the computed values. *)
 
 val averaged : t -> salt:int -> (Random.State.t -> float) -> float * float
 (** [samples] reduced to (mean, stdev). *)

@@ -1,4 +1,20 @@
 open Dcn_graph
+module Metrics = Dcn_obs.Metrics
+module Trace = Dcn_obs.Trace
+
+(* Solver-internal observability. Counters are flushed once per solve (or
+   bumped on events that already cost a full sweep), never inside the
+   per-arc routing loops, so disabled instrumentation costs one branch per
+   solve; Dijkstra-level work (heap pops, arcs relaxed) is accounted by
+   {!Dcn_graph.Dijkstra} itself. *)
+let m_solves = Metrics.counter "fptas.solves"
+let m_phases = Metrics.counter "fptas.phases"
+let m_dual_checks = Metrics.counter "fptas.dual_checks"
+let m_tree_rebuilds = Metrics.counter "fptas.tree_rebuilds"
+let m_eps_halvings = Metrics.counter "fptas.eps_halvings"
+let m_unconverged = Metrics.counter "fptas.unconverged"
+let m_last_gap = Metrics.gauge "fptas.last_gap"
+let m_solve_s = Metrics.histogram "fptas.solve_s"
 
 type params = { eps : float; gap : float; max_phases : int }
 
@@ -35,7 +51,14 @@ let demand_scale g commodities =
   (* After scaling demands by [bound], the Theorem-1 bound on λ* becomes 1. *)
   Float.max 1e-30 bound
 
-let solve ?(params = default_params) ?(dual_check_every = 1) g commodities =
+(* Cheap per-solve event tallies, flushed to the registry by [solve]. *)
+type obs = {
+  mutable o_dual_checks : int;
+  mutable o_tree_rebuilds : int;
+  mutable o_eps_halvings : int;
+}
+
+let solve_impl ~params ~dual_check_every ~obs g commodities =
   validate_params params;
   if dual_check_every < 1 then
     invalid_arg "Mcmf_fptas: dual_check_every must be >= 1";
@@ -131,6 +154,7 @@ let solve ?(params = default_params) ?(dual_check_every = 1) g commodities =
         let current_len, bottleneck = path_length_and_bottleneck k in
         if current_len > (1.0 +. !eps) *. tree.Dijkstra.dist.(dst) then begin
           (* Tree is stale for this destination: rebuild and retry. *)
+          obs.o_tree_rebuilds <- obs.o_tree_rebuilds + 1;
           build_tree ~src:s ~targets;
           route_commodity dst rem
         end
@@ -201,6 +225,9 @@ let solve ?(params = default_params) ?(dual_check_every = 1) g commodities =
   let stall_window = 30 in
   let min_eps = 0.0125 in
   let rec phase_loop phases best_dual last_ratio stalled =
+    (* One span per phase: the trace's phase-span count equals the
+       returned [phases] field (cross-checked by the test suite). *)
+    let sp_phase = Trace.begin_span ~cat:"fptas" "phase" in
     Array.iteri
       (fun gi (s, dests) -> route_source s dests group_targets.(gi))
       groups;
@@ -222,9 +249,20 @@ let solve ?(params = default_params) ?(dual_check_every = 1) g commodities =
         || phases >= params.max_phases
         || best_dual /. lambda_lo <= (1.0 +. params.gap) *. 1.25
       in
-      if need_check then Float.min best_dual (dual_bound ()) else best_dual
+      if need_check then begin
+        obs.o_dual_checks <- obs.o_dual_checks + 1;
+        let bound = Float.min best_dual (dual_bound ()) in
+        Trace.instant ~cat:"fptas" "dual_check"
+          ~args:
+            [ ("phase", Trace.Int phases);
+              ("ratio", Trace.Float (bound /. lambda_lo)) ];
+        bound
+      end
+      else best_dual
     in
     let ratio = best_dual /. lambda_lo in
+    Trace.end_span sp_phase
+      ~args:[ ("phase", Trace.Int phases); ("ratio", Trace.Float ratio) ];
     if ratio <= 1.0 +. params.gap then
       finish phases lambda_lo best_dual mu ~converged:true
     else if phases >= params.max_phases then
@@ -238,6 +276,7 @@ let solve ?(params = default_params) ?(dual_check_every = 1) g commodities =
       let stalled = if ratio > last_ratio -. progress_step then stalled + 1 else 0 in
       let last_ratio = Float.min last_ratio ratio in
       if stalled >= stall_window && !eps > min_eps then begin
+        obs.o_eps_halvings <- obs.o_eps_halvings + 1;
         eps := Float.max min_eps (!eps /. 2.0);
         phase_loop phases best_dual last_ratio 0
       end
@@ -245,6 +284,34 @@ let solve ?(params = default_params) ?(dual_check_every = 1) g commodities =
     end
   in
   phase_loop 0 infinity infinity 0
+
+let solve ?(params = default_params) ?(dual_check_every = 1) g commodities =
+  let sp = Trace.begin_span ~cat:"solver" "fptas.solve" in
+  let t0 = Dcn_obs.Clock.now_ns () in
+  let obs = { o_dual_checks = 0; o_tree_rebuilds = 0; o_eps_halvings = 0 } in
+  match solve_impl ~params ~dual_check_every ~obs g commodities with
+  | r ->
+      let gap = (r.lambda_upper /. r.lambda_lower) -. 1.0 in
+      if Metrics.enabled () then begin
+        Metrics.incr m_solves;
+        Metrics.add m_phases r.phases;
+        Metrics.add m_dual_checks obs.o_dual_checks;
+        Metrics.add m_tree_rebuilds obs.o_tree_rebuilds;
+        Metrics.add m_eps_halvings obs.o_eps_halvings;
+        if not r.converged then Metrics.incr m_unconverged;
+        Metrics.set m_last_gap gap;
+        Metrics.observe m_solve_s (Dcn_obs.Clock.elapsed_s t0)
+      end;
+      Trace.end_span sp
+        ~args:
+          [ ("phases", Trace.Int r.phases);
+            ("gap", Trace.Float gap);
+            ("converged", Trace.Bool r.converged) ];
+      r
+  | exception e ->
+      let bt = Printexc.get_raw_backtrace () in
+      Trace.end_span sp;
+      Printexc.raise_with_backtrace e bt
 
 let lambda ?params ?dual_check_every g commodities =
   let r = solve ?params ?dual_check_every g commodities in

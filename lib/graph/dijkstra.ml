@@ -1,11 +1,44 @@
 type tree = { dist : float array; parent_arc : int array }
 
+(* Sweep statistics, accumulated unconditionally (each update rides on an
+   operation that is already tens of nanoseconds — a heap sift or a tree
+   write — so the disabled-instrumentation cost is noise) and flushed to
+   the global registry once per sweep, only when metrics are enabled.
+   [scanned] is bumped by the out-degree at node expansion rather than per
+   arc, keeping the inner relaxation loop untouched. *)
+type sweep_stats = {
+  mutable pops : int;
+  mutable scanned : int;
+  mutable relaxed : int;
+}
+
+let m_runs = Dcn_obs.Metrics.counter "dijkstra.runs"
+let m_pops = Dcn_obs.Metrics.counter "dijkstra.heap_pops"
+let m_scanned = Dcn_obs.Metrics.counter "dijkstra.arcs_scanned"
+let m_relaxed = Dcn_obs.Metrics.counter "dijkstra.arcs_relaxed"
+
+let flush_stats st =
+  if Dcn_obs.Metrics.enabled () then begin
+    Dcn_obs.Metrics.incr m_runs;
+    Dcn_obs.Metrics.add m_pops st.pops;
+    Dcn_obs.Metrics.add m_scanned st.scanned;
+    Dcn_obs.Metrics.add m_relaxed st.relaxed
+  end
+
 (* Reusable per-solver state: the heap and the target marks survive across
    calls so the FPTAS hot loop allocates nothing per shortest-path tree. *)
-type scratch = { heap : Dcn_util.Heap.t; is_target : bool array }
+type scratch = {
+  heap : Dcn_util.Heap.t;
+  is_target : bool array;
+  stats : sweep_stats;
+}
 
 let make_scratch n =
-  { heap = Dcn_util.Heap.create n; is_target = Array.make n false }
+  {
+    heap = Dcn_util.Heap.create n;
+    is_target = Array.make n false;
+    stats = { pops = 0; scanned = 0; relaxed = 0 };
+  }
 
 (* Core loop shared by the full and the target-limited variants.
 
@@ -18,7 +51,10 @@ let make_scratch n =
    left tentative. The operation sequence up to the stopping point is
    identical to the full run, so finalized distances are bit-for-bit the
    same as the full sweep's. *)
-let core (c : Graph.csr) ~lengths ~src tree heap is_target remaining =
+let core (c : Graph.csr) ~lengths ~src tree heap is_target remaining st =
+  st.pops <- 0;
+  st.scanned <- 0;
+  st.relaxed <- 0;
   let dist = tree.dist and parent_arc = tree.parent_arc in
   Array.fill dist 0 (Array.length dist) infinity;
   Array.fill parent_arc 0 (Array.length parent_arc) (-1);
@@ -35,6 +71,7 @@ let core (c : Graph.csr) ~lengths ~src tree heap is_target remaining =
     let d = Dcn_util.Heap.min_key heap in
     let u = Dcn_util.Heap.min_payload heap in
     Dcn_util.Heap.remove_min heap;
+    st.pops <- st.pops + 1;
     (* Lazy deletion: skip stale entries. *)
     if d <= Array.unsafe_get dist u then begin
       (match is_target with
@@ -44,8 +81,10 @@ let core (c : Graph.csr) ~lengths ~src tree heap is_target remaining =
           if !remaining = 0 then continue_ := false
       | _ -> ());
       if !continue_ then begin
+        let start = Array.unsafe_get adj_off u in
         let stop = Array.unsafe_get adj_off (u + 1) in
-        for idx = Array.unsafe_get adj_off u to stop - 1 do
+        st.scanned <- st.scanned + (stop - start);
+        for idx = start to stop - 1 do
           let a = Array.unsafe_get adj_arc idx in
           if Array.unsafe_get arc_cap a > 0.0 then begin
             let w = Array.unsafe_get lengths a in
@@ -53,6 +92,7 @@ let core (c : Graph.csr) ~lengths ~src tree heap is_target remaining =
             let v = Array.unsafe_get arc_dst a in
             let nd = d +. w in
             if nd < Array.unsafe_get dist v then begin
+              st.relaxed <- st.relaxed + 1;
               Array.unsafe_set dist v nd;
               Array.unsafe_set parent_arc v a;
               Dcn_util.Heap.push heap nd v
@@ -65,7 +105,9 @@ let core (c : Graph.csr) ~lengths ~src tree heap is_target remaining =
 
 let shortest_tree_into g ~lengths ~src tree =
   let heap = Dcn_util.Heap.create (Graph.n g) in
-  core (Graph.csr g) ~lengths ~src tree heap None (-1)
+  let st = { pops = 0; scanned = 0; relaxed = 0 } in
+  core (Graph.csr g) ~lengths ~src tree heap None (-1) st;
+  flush_stats st
 
 (* Target-limited variant for the FPTAS: stops once every destination in
    [targets] has been finalized (or the reachable set is exhausted —
@@ -87,7 +129,10 @@ let shortest_tree_targets scratch (c : Graph.csr) ~lengths ~src ~targets tree =
     Array.fill tree.parent_arc 0 (Array.length tree.parent_arc) (-1);
     tree.dist.(src) <- 0.0
   end
-  else core c ~lengths ~src tree scratch.heap (Some marks) !count;
+  else begin
+    core c ~lengths ~src tree scratch.heap (Some marks) !count scratch.stats;
+    flush_stats scratch.stats
+  end;
   (* The core consumes marks as targets finalize; clear any leftover from
      unreachable targets so the scratch is clean for the next call. *)
   List.iter (fun v -> marks.(v) <- false) targets

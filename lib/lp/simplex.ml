@@ -1,3 +1,22 @@
+module Metrics = Dcn_obs.Metrics
+module Trace = Dcn_obs.Trace
+
+(* Pivot-level observability, tallied locally during a solve and flushed
+   to the registry once at the end. (A dense tableau has no basis
+   refactorization step — the whole tableau is updated on every pivot —
+   so unlike a revised simplex there is no refactorization counter.) *)
+let m_solves = Metrics.counter "simplex.solves"
+let m_pivots = Metrics.counter "simplex.pivots"
+let m_degenerate = Metrics.counter "simplex.degenerate_pivots"
+let m_bland = Metrics.counter "simplex.bland_pivots"
+let m_solve_s = Metrics.histogram "simplex.solve_s"
+
+type pivot_stats = {
+  mutable pivots : int;
+  mutable degenerate : int;  (* leaving ratio ~ 0: objective cannot move *)
+  mutable bland : int;  (* pivots taken under Bland's anti-cycling rule *)
+}
+
 type relation = Le | Eq | Ge
 
 type problem = {
@@ -60,7 +79,7 @@ let pivot t ~row ~col =
 (* One simplex run on the current objective row. Returns `Optimal or
    `Unbounded. Uses Dantzig pricing, falling back to Bland's rule (which
    cannot cycle) after [bland_after] iterations. *)
-let run t ~max_iterations =
+let run t ~max_iterations ~stats =
   let bland_after = max 200 (10 * (t.m + t.ncols)) in
   let choose_entering ~bland =
     if bland then begin
@@ -113,19 +132,18 @@ let run t ~max_iterations =
         match choose_leaving col ~bland with
         | None -> `Unbounded
         | Some row ->
+            stats.pivots <- stats.pivots + 1;
+            if bland then stats.bland <- stats.bland + 1;
+            if t.a.(row).(t.ncols) /. t.a.(row).(col) <= eps then
+              stats.degenerate <- stats.degenerate + 1;
             pivot t ~row ~col;
             loop (iter + 1))
   in
   loop 0
 
-let solve ?max_iterations p =
+let solve_impl ~max_iterations ~stats p =
   let n = validate p in
   let m = List.length p.rows in
-  let max_iterations =
-    match max_iterations with
-    | Some k -> k
-    | None -> max 10_000 (200 * (m + n) * 4)
-  in
   (* Normalize to non-negative right-hand sides. *)
   let rows =
     List.map
@@ -192,7 +210,7 @@ let solve ?max_iterations p =
           t.obj.(j) <- t.obj.(j) -. t.a.(i).(j)
         done
     done;
-    match run t ~max_iterations with
+    match run t ~max_iterations ~stats with
     | `Unbounded -> failwith "Simplex: phase 1 unbounded (bug)"
     | `Optimal -> ()
   end;
@@ -206,6 +224,8 @@ let solve ?max_iterations p =
         let j = ref 0 in
         while (not !found) && !j < ncols do
           if (not is_artificial.(!j)) && Float.abs t.a.(i).(!j) > 1e-7 then begin
+            stats.pivots <- stats.pivots + 1;
+            stats.degenerate <- stats.degenerate + 1;
             pivot t ~row:i ~col:!j;
             found := true
           end;
@@ -230,7 +250,7 @@ let solve ?max_iterations p =
           t.obj.(j) <- t.obj.(j) -. (coeff *. t.a.(i).(j))
         done
     done;
-    match run t ~max_iterations with
+    match run t ~max_iterations ~stats with
     | `Unbounded -> Unbounded
     | `Optimal ->
         let x = Array.make n 0.0 in
@@ -239,6 +259,42 @@ let solve ?max_iterations p =
         done;
         Optimal { objective_value = t.obj.(ncols); variables = x }
   end
+
+let solve ?max_iterations p =
+  let sp = Trace.begin_span ~cat:"solver" "simplex.solve" in
+  let t0 = Dcn_obs.Clock.now_ns () in
+  let stats = { pivots = 0; degenerate = 0; bland = 0 } in
+  let max_iterations =
+    match max_iterations with
+    | Some k -> k
+    | None ->
+        let m = List.length p.rows and n = Array.length p.objective in
+        max 10_000 (200 * (m + n) * 4)
+  in
+  match solve_impl ~max_iterations ~stats p with
+  | outcome ->
+      if Metrics.enabled () then begin
+        Metrics.incr m_solves;
+        Metrics.add m_pivots stats.pivots;
+        Metrics.add m_degenerate stats.degenerate;
+        Metrics.add m_bland stats.bland;
+        Metrics.observe m_solve_s (Dcn_obs.Clock.elapsed_s t0)
+      end;
+      Trace.end_span sp
+        ~args:
+          [ ("pivots", Trace.Int stats.pivots);
+            ("degenerate", Trace.Int stats.degenerate);
+            ("outcome",
+             Trace.String
+               (match outcome with
+               | Optimal _ -> "optimal"
+               | Infeasible -> "infeasible"
+               | Unbounded -> "unbounded")) ];
+      outcome
+  | exception e ->
+      let bt = Printexc.get_raw_backtrace () in
+      Trace.end_span sp;
+      Printexc.raise_with_backtrace e bt
 
 let check_feasible ?(tol = 1e-6) p x =
   let dot coeffs =

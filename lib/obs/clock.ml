@@ -1,0 +1,8 @@
+external now_ns : unit -> (int64[@unboxed])
+  = "dcn_obs_now_ns_byte" "dcn_obs_now_ns_unboxed"
+[@@noalloc]
+
+let seconds_between t0 t1 =
+  Float.max 0.0 (Int64.to_float (Int64.sub t1 t0) /. 1e9)
+
+let elapsed_s t0 = seconds_between t0 (now_ns ())

@@ -1,0 +1,18 @@
+(** Monotonic process clock.
+
+    Backed by [clock_gettime(CLOCK_MONOTONIC)], which is immune to wall
+    clock steps (NTP slews, manual adjustment): durations computed from it
+    are always non-negative. All timing in the repository — bench figure
+    timings, span durations, latency histograms — goes through this module
+    rather than [Unix.gettimeofday]. *)
+
+val now_ns : unit -> int64
+(** Nanoseconds on the monotonic clock. Only differences are meaningful;
+    the epoch is unspecified (boot time on Linux). Allocation-free. *)
+
+val seconds_between : int64 -> int64 -> float
+(** [seconds_between t0 t1] is [(t1 - t0)] in seconds, clamped to [0.]
+    (the clamp is defensive; the monotonic clock cannot run backwards). *)
+
+val elapsed_s : int64 -> float
+(** [elapsed_s t0] is [seconds_between t0 (now_ns ())]. *)

@@ -1,0 +1,18 @@
+let key : string list Domain.DLS.key = Domain.DLS.new_key (fun () -> [])
+
+let with_label label f =
+  let saved = Domain.DLS.get key in
+  Domain.DLS.set key (label :: saved);
+  Fun.protect ~finally:(fun () -> Domain.DLS.set key saved) f
+
+let get () =
+  match Domain.DLS.get key with [] -> None | label :: _ -> Some label
+
+type saved = string list
+
+let capture () = Domain.DLS.get key
+
+let with_captured saved f =
+  let prev = Domain.DLS.get key in
+  Domain.DLS.set key saved;
+  Fun.protect ~finally:(fun () -> Domain.DLS.set key prev) f

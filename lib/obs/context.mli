@@ -1,0 +1,28 @@
+(** Domain-local label stack naming the work currently executing.
+
+    Experiment drivers set the current figure name around their
+    computation; lower layers (per-sample spans, progress lines) read it
+    to label what they emit without threading a name through every call.
+
+    The stack is domain-local: labels set inside one pool task never leak
+    into tasks running on other domains. Code that fans work out to the
+    pool should capture {!get} {e before} submitting and bake the label
+    into the task closures (as {!Core.Scale.samples} does), because the
+    executing domain's own stack is unrelated to the submitter's. *)
+
+val with_label : string -> (unit -> 'a) -> 'a
+(** Push the label for the duration of the callback (exception-safe). *)
+
+val get : unit -> string option
+(** Innermost label on the calling domain, if any. *)
+
+type saved
+(** A captured label stack, ready to transplant onto another domain. *)
+
+val capture : unit -> saved
+(** The calling domain's current stack. Cheap (one domain-local read). *)
+
+val with_captured : saved -> (unit -> 'a) -> 'a
+(** Install a captured stack for the duration of the callback, restoring
+    the domain's own stack afterwards (exception-safe). The pool wraps
+    every task in this, so labels follow work across domains. *)

@@ -1,0 +1,48 @@
+let escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let quote s = "\"" ^ escape s ^ "\""
+let number x = if Float.is_finite x then Printf.sprintf "%.6g" x else "null"
+
+let rec mkdir_p dir =
+  if not (Sys.file_exists dir) then begin
+    let parent = Filename.dirname dir in
+    if parent <> dir then mkdir_p parent;
+    (* A concurrent creator is fine; only fail if the path still isn't a
+       directory afterwards. *)
+    (try Sys.mkdir dir 0o755 with Sys_error _ -> ());
+    if not (try Sys.is_directory dir with Sys_error _ -> false) then
+      raise (Sys_error (Printf.sprintf "cannot create directory %s" dir))
+  end
+
+let staged_seq = Atomic.make 0
+
+let atomic_write ~path contents =
+  let parent = Filename.dirname path in
+  if parent <> "" then mkdir_p parent;
+  let staged =
+    Printf.sprintf "%s.tmp.%d.%d" path (Unix.getpid ())
+      (Atomic.fetch_and_add staged_seq 1)
+  in
+  let oc = Out_channel.open_bin staged in
+  (try
+     Fun.protect
+       ~finally:(fun () -> Out_channel.close oc)
+       (fun () -> Out_channel.output_string oc contents)
+   with e ->
+     (try Sys.remove staged with Sys_error _ -> ());
+     raise e);
+  Sys.rename staged path

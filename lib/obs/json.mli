@@ -1,0 +1,24 @@
+(** Minimal JSON rendering helpers plus atomic file output.
+
+    The repository has no JSON library dependency; every JSON producer
+    (metrics snapshots, trace files, [--bench-json]) shares these
+    primitives so escaping and float rendering stay consistent. *)
+
+val escape : string -> string
+(** Body of a JSON string literal: escapes quotes, backslashes and control
+    characters. The caller supplies the surrounding quotes. *)
+
+val quote : string -> string
+(** [quote s] is [escape s] wrapped in double quotes. *)
+
+val number : float -> string
+(** A JSON-safe rendering of a float: ["%.6g"] for finite values, ["null"]
+    for NaN and infinities (JSON has no literals for them). *)
+
+val atomic_write : path:string -> string -> unit
+(** Write [contents] to [path] via a staged temporary file in the same
+    directory followed by [Sys.rename] — the same publish discipline as
+    the result store, so a crash mid-write never leaves a truncated file
+    and concurrent writers of the same path never interleave. Parent
+    directories are created as needed. Raises [Sys_error] on unwritable
+    destinations. *)

@@ -1,0 +1,241 @@
+let on = Atomic.make false
+let set_enabled b = Atomic.set on b
+let enabled () = Atomic.get on
+
+type counter = { c_name : string; c : int Atomic.t }
+
+(* Gauges and histogram sums store float bits in an int64 Atomic so updates
+   can use compare-and-set without boxing a mutex around every metric. *)
+type gauge = { g_name : string; g : int64 Atomic.t }
+
+type histogram = {
+  h_name : string;
+  bounds : float array;
+  counts : int Atomic.t array;  (* length = Array.length bounds + 1 *)
+  sum : int64 Atomic.t;  (* float bits *)
+}
+
+type metric = C of counter | G of gauge | H of histogram
+
+let registry : (string, metric) Hashtbl.t = Hashtbl.create 64
+let reg_mutex = Mutex.create ()
+
+let register name make =
+  Mutex.lock reg_mutex;
+  let m =
+    match Hashtbl.find_opt registry name with
+    | Some m -> m
+    | None ->
+        let m = make () in
+        Hashtbl.add registry name m;
+        m
+  in
+  Mutex.unlock reg_mutex;
+  m
+
+let kind_error name want =
+  invalid_arg
+    (Printf.sprintf "Metrics: %s is already registered and is not a %s" name
+       want)
+
+let counter name =
+  match register name (fun () -> C { c_name = name; c = Atomic.make 0 }) with
+  | C c -> c
+  | _ -> kind_error name "counter"
+
+let gauge name =
+  match
+    register name (fun () ->
+        G { g_name = name; g = Atomic.make (Int64.bits_of_float 0.0) })
+  with
+  | G g -> g
+  | _ -> kind_error name "gauge"
+
+(* Exponential latency grid, 1µs .. 30s, for durations in seconds. *)
+let default_bounds =
+  [| 1e-6; 1e-5; 1e-4; 3e-4; 1e-3; 3e-3; 1e-2; 3e-2; 0.1; 0.3; 1.0; 3.0;
+     10.0; 30.0 |]
+
+let histogram ?(bounds = default_bounds) name =
+  if Array.length bounds = 0 then invalid_arg "Metrics.histogram: no bounds";
+  Array.iteri
+    (fun i b ->
+      if i > 0 && not (bounds.(i - 1) < b) then
+        invalid_arg "Metrics.histogram: bounds must be strictly increasing")
+    bounds;
+  match
+    register name (fun () ->
+        H
+          {
+            h_name = name;
+            bounds = Array.copy bounds;
+            counts = Array.init (Array.length bounds + 1) (fun _ -> Atomic.make 0);
+            sum = Atomic.make (Int64.bits_of_float 0.0);
+          })
+  with
+  | H h -> h
+  | _ -> kind_error name "histogram"
+
+let add c n = if Atomic.get on then ignore (Atomic.fetch_and_add c.c n)
+let incr c = add c 1
+let set g v = if Atomic.get on then Atomic.set g.g (Int64.bits_of_float v)
+
+let rec atomic_add_float cell x =
+  let old = Atomic.get cell in
+  let updated = Int64.bits_of_float (Int64.float_of_bits old +. x) in
+  if not (Atomic.compare_and_set cell old updated) then atomic_add_float cell x
+
+(* First bucket whose upper bound exceeds [v]; the trailing bucket catches
+   everything >= the last bound. Linear scan: bucket arrays are short. *)
+let bucket_index bounds v =
+  let k = Array.length bounds in
+  let rec go i = if i >= k || v < bounds.(i) then i else go (i + 1) in
+  go 0
+
+let observe h v =
+  if Atomic.get on then begin
+    Atomic.incr h.counts.(bucket_index h.bounds v);
+    atomic_add_float h.sum v
+  end
+
+type value =
+  | Counter_v of int
+  | Gauge_v of float
+  | Histogram_v of { bounds : float array; counts : int array; sum : float }
+
+type snapshot = (string * value) list
+
+let snapshot () =
+  Mutex.lock reg_mutex;
+  let entries =
+    Hashtbl.fold
+      (fun name m acc ->
+        let v =
+          match m with
+          | C c -> Counter_v (Atomic.get c.c)
+          | G g -> Gauge_v (Int64.float_of_bits (Atomic.get g.g))
+          | H h ->
+              Histogram_v
+                {
+                  bounds = Array.copy h.bounds;
+                  counts = Array.map Atomic.get h.counts;
+                  sum = Int64.float_of_bits (Atomic.get h.sum);
+                }
+        in
+        (name, v) :: acc)
+      registry []
+  in
+  Mutex.unlock reg_mutex;
+  List.sort (fun (a, _) (b, _) -> String.compare a b) entries
+
+let find snap name = List.assoc_opt name snap
+
+let counter_value snap name =
+  match find snap name with Some (Counter_v n) -> n | _ -> 0
+
+let diff ~before ~after =
+  List.filter_map
+    (fun (name, v) ->
+      match (v, find before name) with
+      | Counter_v a, Some (Counter_v b) ->
+          if a = b then None else Some (name, Counter_v (a - b))
+      | Gauge_v a, Some (Gauge_v b) ->
+          if a = b then None else Some (name, Gauge_v a)
+      | Histogram_v h, Some (Histogram_v hb)
+        when Array.length h.counts = Array.length hb.counts ->
+          let counts = Array.mapi (fun i c -> c - hb.counts.(i)) h.counts in
+          if Array.for_all (fun c -> c = 0) counts then None
+          else
+            Some
+              ( name,
+                Histogram_v
+                  { bounds = h.bounds; counts; sum = h.sum -. hb.sum } )
+      | Counter_v 0, None -> None
+      | Histogram_v h, None when Array.for_all (fun c -> c = 0) h.counts ->
+          None
+      | v, _ -> Some (name, v))
+    after
+
+let merge a b =
+  let names =
+    List.sort_uniq String.compare (List.map fst a @ List.map fst b)
+  in
+  List.filter_map
+    (fun name ->
+      match (find a name, find b name) with
+      | Some v, None | None, Some v -> Some (name, v)
+      | Some (Counter_v x), Some (Counter_v y) -> Some (name, Counter_v (x + y))
+      | Some (Gauge_v _), Some (Gauge_v y) -> Some (name, Gauge_v y)
+      | Some (Histogram_v x), Some (Histogram_v y)
+        when Array.length x.counts = Array.length y.counts ->
+          Some
+            ( name,
+              Histogram_v
+                {
+                  bounds = y.bounds;
+                  counts = Array.mapi (fun i c -> c + y.counts.(i)) x.counts;
+                  sum = x.sum +. y.sum;
+                } )
+      | _, Some v -> Some (name, v)
+      | None, None -> None)
+    names
+
+let to_json snap =
+  let buf = Buffer.create 1024 in
+  let section kind render =
+    let entries =
+      List.filter_map
+        (fun (name, v) -> Option.map (fun s -> (name, s)) (render v))
+        snap
+    in
+    Buffer.add_string buf (Printf.sprintf "  %s: {" (Json.quote kind));
+    List.iteri
+      (fun i (name, s) ->
+        if i > 0 then Buffer.add_char buf ',';
+        Buffer.add_string buf (Printf.sprintf "\n    %s: %s" (Json.quote name) s))
+      entries;
+    if entries <> [] then Buffer.add_string buf "\n  ";
+    Buffer.add_char buf '}'
+  in
+  Buffer.add_string buf "{\n";
+  section "counters" (function
+    | Counter_v n -> Some (string_of_int n)
+    | _ -> None);
+  Buffer.add_string buf ",\n";
+  section "gauges" (function Gauge_v v -> Some (Json.number v) | _ -> None);
+  Buffer.add_string buf ",\n";
+  section "histograms" (function
+    | Histogram_v { bounds; counts; sum } ->
+        let arr render xs =
+          "[" ^ String.concat "," (List.map render (Array.to_list xs)) ^ "]"
+        in
+        let count = Array.fold_left ( + ) 0 counts in
+        Some
+          (Printf.sprintf
+             "{\"bounds\": %s, \"counts\": %s, \"sum\": %s, \"count\": %d}"
+             (arr Json.number bounds)
+             (arr string_of_int counts)
+             (Json.number sum) count)
+    | _ -> None);
+  Buffer.add_string buf "\n}\n";
+  Buffer.contents buf
+
+let write ~path snap = Json.atomic_write ~path (to_json snap)
+
+let reset () =
+  Mutex.lock reg_mutex;
+  Hashtbl.iter
+    (fun _ m ->
+      match m with
+      | C c -> Atomic.set c.c 0
+      | G g -> Atomic.set g.g (Int64.bits_of_float 0.0)
+      | H h ->
+          Array.iter (fun c -> Atomic.set c 0) h.counts;
+          Atomic.set h.sum (Int64.bits_of_float 0.0))
+    registry;
+  Mutex.unlock reg_mutex
+
+(* Silence unused-field warnings: names are carried for debuggability. *)
+let _ = fun (c : counter) -> c.c_name
+let _ = fun (g : gauge) -> g.g_name
+let _ = fun (h : histogram) -> h.h_name

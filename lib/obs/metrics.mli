@@ -1,0 +1,99 @@
+(** Process-wide metrics registry: named counters, gauges and fixed-bucket
+    histograms.
+
+    Every metric is [Atomic]-backed, so instrumented code may run on any
+    domain of the shared pool; concurrent increments are never lost. The
+    registry itself is keyed by name and idempotent: calling {!counter}
+    twice with one name returns the same counter, so instrumentation
+    points can be declared at module-load time anywhere in the tree.
+
+    {2 Cost model}
+
+    Recording is guarded by a single process-wide flag. When disabled
+    (the default), {!incr}, {!add}, {!set} and {!observe} cost one atomic
+    load and one branch — nothing is written, so hot paths pay no
+    contention. Hot loops should still batch: accumulate into locals and
+    flush once per solve/sweep (as {!Dcn_graph.Dijkstra} and the FPTAS
+    do), keeping even the enabled path off the per-iteration budget.
+
+    Instrumentation is observational only: no metric feeds back into any
+    computation, so results are bit-identical with recording on or off. *)
+
+val set_enabled : bool -> unit
+(** Turn recording on or off (default off). *)
+
+val enabled : unit -> bool
+
+(** {1 Instruments} *)
+
+type counter
+(** Monotone integer count (events, items processed, nanoseconds). *)
+
+type gauge
+(** A float "last value wins" cell. *)
+
+type histogram
+(** Fixed-bucket distribution with a running sum. Bucket semantics: for
+    bounds [b_0 < b_1 < ... < b_{k-1}], bucket [0] counts values in
+    [(-inf, b_0)], bucket [i] (for [1 <= i <= k-1]) counts values in
+    [[b_{i-1}, b_i)] — lower bound inclusive, upper bound exclusive —
+    and the overflow bucket [k] counts values in [[b_{k-1}, +inf)]. *)
+
+val counter : string -> counter
+(** Find or create the counter with this name. Raises [Invalid_argument]
+    if the name is already registered as a different metric kind. *)
+
+val gauge : string -> gauge
+
+val histogram : ?bounds:float array -> string -> histogram
+(** [bounds] must be strictly increasing and non-empty; the default is an
+    exponential grid of latency buckets from 1µs to 30s (suitable for
+    durations in seconds). If the name is already registered, the existing
+    histogram is returned and [bounds] is ignored. *)
+
+val incr : counter -> unit
+val add : counter -> int -> unit
+val set : gauge -> float -> unit
+val observe : histogram -> float -> unit
+
+(** {1 Snapshots} *)
+
+type value =
+  | Counter_v of int
+  | Gauge_v of float
+  | Histogram_v of { bounds : float array; counts : int array; sum : float }
+
+type snapshot = (string * value) list
+(** Sorted by metric name. *)
+
+val snapshot : unit -> snapshot
+(** Current value of every registered metric (including zero ones). *)
+
+val diff : before:snapshot -> after:snapshot -> snapshot
+(** Per-metric delta [after - before]: counters subtract, histogram counts
+    and sums subtract, gauges keep their [after] value. Entries with a
+    zero delta (and gauges whose value did not change) are dropped, so a
+    diff is a compact rollup of what one region of the program did. *)
+
+val merge : snapshot -> snapshot -> snapshot
+(** Union of two snapshots: counters and histograms add (histograms must
+    share bounds — the second operand wins otherwise), gauges take the
+    second operand. [merge before (diff ~before ~after) = after] up to
+    dropped all-zero entries. *)
+
+val find : snapshot -> string -> value option
+
+val counter_value : snapshot -> string -> int
+(** The counter's value in the snapshot, [0] if absent. *)
+
+val to_json : snapshot -> string
+(** Render as [{"counters": {...}, "gauges": {...}, "histograms": {...}}];
+    histogram entries carry [bounds], [counts], [sum] and [count]. Names
+    are sorted, so equal snapshots render byte-identically. *)
+
+val write : path:string -> snapshot -> unit
+(** [to_json] through {!Json.atomic_write}. *)
+
+val reset : unit -> unit
+(** Zero every registered metric (counters, gauges, histogram counts and
+    sums). Intended for tests. *)

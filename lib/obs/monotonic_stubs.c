@@ -1,0 +1,25 @@
+/* Monotonic clock for the observability layer.
+ *
+ * CLOCK_MONOTONIC never steps backwards (unlike gettimeofday under NTP
+ * adjustment), so span durations and --bench-json timings are always
+ * non-negative. The native entry point returns an unboxed int64 and is
+ * declared [@@noalloc] on the OCaml side: a call is a plain C function
+ * call with no allocation, cheap enough for hot paths. */
+
+#include <caml/mlvalues.h>
+#include <caml/alloc.h>
+#include <stdint.h>
+#include <time.h>
+
+int64_t dcn_obs_now_ns_unboxed(value unit)
+{
+  (void)unit;
+  struct timespec ts;
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return (int64_t)ts.tv_sec * 1000000000LL + (int64_t)ts.tv_nsec;
+}
+
+CAMLprim value dcn_obs_now_ns_byte(value unit)
+{
+  return caml_copy_int64(dcn_obs_now_ns_unboxed(unit));
+}

@@ -1,0 +1,17 @@
+let on = Atomic.make false
+let set_enabled b = Atomic.set on b
+let enabled () = Atomic.get on
+let lock = Mutex.create ()
+
+let line s =
+  if Atomic.get on then begin
+    Mutex.lock lock;
+    Printf.eprintf "progress: %s\n%!" s;
+    Mutex.unlock lock
+  end
+
+let sample ~label ~index ~total ~seconds ~note =
+  if Atomic.get on then
+    line
+      (Printf.sprintf "[%s] run %d/%d in %.2fs%s" label index total seconds
+         (if note = "" then "" else " " ^ note))

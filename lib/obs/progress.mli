@@ -1,0 +1,25 @@
+(** Per-sample progress reporting to stderr.
+
+    Long [--full] runs are otherwise silent for minutes at a time; with
+    progress enabled, each completed sample prints one line so the user
+    can see which figure is running, how far along it is, and whether the
+    result store is absorbing the work. Lines go to stderr only — stdout
+    CSV and table output is never touched — and are off by default.
+
+    Under the domain pool, lines from concurrent samples interleave in
+    completion order (a mutex keeps each line atomic); ordering is
+    cosmetic and carries no determinism guarantee. *)
+
+val set_enabled : bool -> unit
+(** Turn progress lines on or off (default off). *)
+
+val enabled : unit -> bool
+
+val sample :
+  label:string -> index:int -> total:int -> seconds:float -> note:string ->
+  unit
+(** Print ["progress: [label] run index/total in 1.23s note"] to stderr
+    and flush. No-op when disabled. *)
+
+val line : string -> unit
+(** Print one raw progress line (same prefix, mutex, flush). *)

@@ -1,0 +1,157 @@
+let on = Atomic.make false
+let set_enabled b = Atomic.set on b
+let enabled () = Atomic.get on
+
+(* One sink per domain. The sink's mutex is only contended by [write] and
+   [reset] (events are appended by the owning domain alone), so an append
+   is an uncontended lock + Buffer push. Events are stored pre-rendered,
+   each followed by ",\n"; [write] trims the final separator. *)
+type sink = { tid : int; buf : Buffer.t; lock : Mutex.t }
+
+let sinks : sink list ref = ref []
+let sinks_mutex = Mutex.create ()
+let next_tid = Atomic.make 0
+
+let sink_key =
+  Domain.DLS.new_key (fun () ->
+      let s =
+        {
+          tid = Atomic.fetch_and_add next_tid 1;
+          buf = Buffer.create 4096;
+          lock = Mutex.create ();
+        }
+      in
+      Mutex.lock sinks_mutex;
+      sinks := s :: !sinks;
+      Mutex.unlock sinks_mutex;
+      s)
+
+let domain_tid () = (Domain.DLS.get sink_key).tid
+
+(* Timestamps are microseconds relative to the first use of the tracer, so
+   traces start near t=0 regardless of clock epoch. *)
+let epoch = Clock.now_ns ()
+let pid = Unix.getpid ()
+let ts_us t = Int64.to_float (Int64.sub t epoch) /. 1e3
+
+type arg = Int of int | Float of float | String of string | Bool of bool
+
+let render_args buf = function
+  | [] -> ()
+  | args ->
+      Buffer.add_string buf ",\"args\":{";
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_char buf ',';
+          Buffer.add_string buf (Json.quote k);
+          Buffer.add_char buf ':';
+          Buffer.add_string buf
+            (match v with
+            | Int n -> string_of_int n
+            | Float x -> Json.number x
+            | String s -> Json.quote s
+            | Bool b -> string_of_bool b))
+        args;
+      Buffer.add_char buf '}'
+
+let emit render =
+  let s = Domain.DLS.get sink_key in
+  Mutex.lock s.lock;
+  render s.buf s.tid;
+  Buffer.add_string s.buf ",\n";
+  Mutex.unlock s.lock
+
+type span = { sp_name : string; sp_cat : string; sp_t0 : int64 }
+
+let dropped = { sp_name = ""; sp_cat = ""; sp_t0 = Int64.min_int }
+
+let begin_span ~cat name =
+  if not (Atomic.get on) then dropped
+  else { sp_name = name; sp_cat = cat; sp_t0 = Clock.now_ns () }
+
+let end_span ?(args = []) sp =
+  if sp.sp_t0 <> Int64.min_int && Atomic.get on then begin
+    let t1 = Clock.now_ns () in
+    let dur_us =
+      Float.max 0.0 (Int64.to_float (Int64.sub t1 sp.sp_t0) /. 1e3)
+    in
+    emit (fun buf tid ->
+        Buffer.add_string buf
+          (Printf.sprintf
+             "{\"name\":%s,\"cat\":%s,\"ph\":\"X\",\"ts\":%.3f,\"dur\":%.3f,\"pid\":%d,\"tid\":%d"
+             (Json.quote sp.sp_name) (Json.quote sp.sp_cat) (ts_us sp.sp_t0)
+             dur_us pid tid);
+        render_args buf args;
+        Buffer.add_char buf '}')
+  end
+
+let with_span ~cat ?args name f =
+  let sp = begin_span ~cat name in
+  match f () with
+  | v ->
+      end_span ?args sp;
+      v
+  | exception e ->
+      let bt = Printexc.get_raw_backtrace () in
+      end_span sp;
+      Printexc.raise_with_backtrace e bt
+
+let instant ~cat ?(args = []) name =
+  if Atomic.get on then
+    emit (fun buf tid ->
+        Buffer.add_string buf
+          (Printf.sprintf
+             "{\"name\":%s,\"cat\":%s,\"ph\":\"i\",\"s\":\"t\",\"ts\":%.3f,\"pid\":%d,\"tid\":%d"
+             (Json.quote name) (Json.quote cat)
+             (ts_us (Clock.now_ns ()))
+             pid tid);
+        render_args buf args;
+        Buffer.add_char buf '}')
+
+let write path =
+  Mutex.lock sinks_mutex;
+  let all = List.sort (fun a b -> compare a.tid b.tid) !sinks in
+  Mutex.unlock sinks_mutex;
+  let buf = Buffer.create 65536 in
+  Buffer.add_string buf "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
+  Buffer.add_string buf
+    (Printf.sprintf
+       "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":%d,\"tid\":0,\"args\":{\"name\":\"dcn\"}},\n"
+       pid);
+  List.iter
+    (fun s ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":%d,\"tid\":%d,\"args\":{\"name\":\"domain-%d\"}},\n"
+           pid s.tid s.tid);
+      Buffer.add_string buf
+        (Printf.sprintf
+           "{\"name\":\"thread_sort_index\",\"ph\":\"M\",\"pid\":%d,\"tid\":%d,\"args\":{\"sort_index\":%d}},\n"
+           pid s.tid s.tid))
+    all;
+  List.iter
+    (fun s ->
+      Mutex.lock s.lock;
+      Buffer.add_string buf (Buffer.contents s.buf);
+      Mutex.unlock s.lock)
+    all;
+  (* Trim the trailing ",\n" separator left by the last event. *)
+  let contents = Buffer.contents buf in
+  let contents =
+    let n = String.length contents in
+    if n >= 2 && String.sub contents (n - 2) 2 = ",\n" then
+      String.sub contents 0 (n - 2)
+    else contents
+  in
+  Json.atomic_write ~path (contents ^ "\n]}\n")
+
+let reset () =
+  Mutex.lock sinks_mutex;
+  let all = !sinks in
+  Mutex.unlock sinks_mutex;
+  List.iter
+    (fun s ->
+      Mutex.lock s.lock;
+      Buffer.clear s.buf;
+      Mutex.unlock s.lock)
+    all

@@ -1,0 +1,61 @@
+(** Span tracer emitting Chrome trace-event JSON.
+
+    The output of {!write} loads directly in [chrome://tracing] and
+    {{:https://ui.perfetto.dev}Perfetto}: one track (tid) per domain that
+    emitted events, complete ("X") events for spans, instant ("i") events
+    for point occurrences such as cache hits and dual-bound checks.
+
+    Events are buffered per domain (domain-local sinks, one short mutex
+    hold per event), so tracing adds no cross-domain contention to the
+    pool's hot path; {!write} gathers every sink and publishes the file
+    with the same atomic tmp+rename discipline as the result store.
+
+    Tracing is observational only: spans never feed back into the traced
+    computation, so results are bit-identical with tracing on or off, at
+    any worker count. When disabled (the default), {!begin_span} and
+    {!instant} cost one atomic load and one branch. *)
+
+val set_enabled : bool -> unit
+(** Turn event capture on or off (default off). *)
+
+val enabled : unit -> bool
+
+val domain_tid : unit -> int
+(** Stable per-domain track id (dense, assigned on first use; the first
+    domain to emit — normally the main domain — gets [0]). Usable even
+    when tracing is disabled, e.g. to label per-domain metrics. *)
+
+(** {1 Events} *)
+
+type arg = Int of int | Float of float | String of string | Bool of bool
+(** Values for the ["args"] payload shown in the trace viewer. *)
+
+type span
+(** An open span: name, category and start timestamp. Begin and end must
+    happen on the same domain (true of every use in this repository —
+    spans delimit work that a single task executes). *)
+
+val begin_span : cat:string -> string -> span
+
+val end_span : ?args:(string * arg) list -> span -> unit
+(** Emits the complete event; [args] typically carries results computed
+    during the span (phase counts, achieved gap). A span begun while
+    tracing was disabled is dropped silently. *)
+
+val with_span : cat:string -> ?args:(string * arg) list -> string -> (unit -> 'a) -> 'a
+(** [with_span ~cat name f] wraps [f ()] in a span; exceptions propagate
+    unchanged (the span is still closed). *)
+
+val instant : cat:string -> ?args:(string * arg) list -> string -> unit
+(** Thread-scoped instant event. *)
+
+(** {1 Output} *)
+
+val write : string -> unit
+(** Write every buffered event to the given path as a Chrome trace JSON
+    object ([{"traceEvents": [...]}]) with thread-name metadata naming
+    each domain's track. Buffers are not cleared: a later [write] after
+    more work supersedes the file with a longer trace. *)
+
+val reset : unit -> unit
+(** Drop all buffered events (sinks and track ids survive). *)

@@ -1,5 +1,19 @@
 module Mcmf_fptas = Dcn_flow.Mcmf_fptas
 module Throughput = Dcn_flow.Throughput
+module Metrics = Dcn_obs.Metrics
+module Trace = Dcn_obs.Trace
+module Clock = Dcn_obs.Clock
+
+(* Cache observability: the hit/miss split with separate latency
+   histograms. Hit latency covers lookup + decode (the full cost of being
+   answered from disk); miss latency covers only the failed lookup — the
+   recompute it triggers is accounted by the solver's own span — and
+   publish cost is tracked separately. *)
+let m_hits = Metrics.counter "store.hits"
+let m_misses = Metrics.counter "store.misses"
+let m_hit_s = Metrics.histogram "store.hit_s"
+let m_miss_s = Metrics.histogram "store.miss_s"
+let m_write_s = Metrics.histogram "store.write_s"
 
 (* Generic lookup/compute/publish. A present-but-undecodable payload is a
    miss (and was already deleted by [Store.find]'s corruption handling at
@@ -9,11 +23,26 @@ let cached ~key ~encode ~decode compute =
   match Store.shared () with
   | None -> compute ()
   | Some store -> (
+      let t0 = Clock.now_ns () in
       match Option.bind (Store.find store key) decode with
-      | Some value -> value
+      | Some value ->
+          if Metrics.enabled () then begin
+            Metrics.incr m_hits;
+            Metrics.observe m_hit_s (Clock.elapsed_s t0)
+          end;
+          Trace.instant ~cat:"store" "cache_hit";
+          value
       | None ->
+          if Metrics.enabled () then begin
+            Metrics.incr m_misses;
+            Metrics.observe m_miss_s (Clock.elapsed_s t0)
+          end;
+          Trace.instant ~cat:"store" "cache_miss";
           let value = compute () in
+          let tw = Clock.now_ns () in
           Store.add store key (encode value);
+          if Metrics.enabled () then
+            Metrics.observe m_write_s (Clock.elapsed_s tw);
           value)
 
 let fptas ?(params = Mcmf_fptas.default_params) ?(dual_check_every = 1) g cs =

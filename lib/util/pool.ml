@@ -12,6 +12,23 @@
    are expected to be coarse (milliseconds or more), so the per-completion
    broadcast is negligible. *)
 
+module Metrics = Dcn_obs.Metrics
+module Trace = Dcn_obs.Trace
+
+(* Scheduling observability. Queue wait is measured from batch submission
+   to task start (the submitter's own drain included — its tasks waited
+   behind the ones already running); busy time is credited to the
+   executing domain so per-domain busy fractions can be read off the
+   metrics file. All of it is skipped behind one branch when both metrics
+   and tracing are disabled. *)
+let m_tasks = Metrics.counter "pool.tasks"
+let m_batches = Metrics.counter "pool.batches"
+let m_queue_wait_s = Metrics.histogram "pool.queue_wait_s"
+let m_task_run_s = Metrics.histogram "pool.task_run_s"
+
+let busy_counter () =
+  Metrics.counter (Printf.sprintf "pool.domain%d.busy_ns" (Trace.domain_tid ()))
+
 type batch = {
   total : int;
   run : int -> unit;  (* must not raise; [submit] wraps the user task *)
@@ -126,10 +143,39 @@ let run ~total f =
         | _ -> first_exn := Some (i, e, bt));
         Mutex.unlock mutex
       in
-      let run_one i =
-        try f i
-        with e -> record i e (Printexc.get_raw_backtrace ())
+      let submit_ns =
+        if Metrics.enabled () || Trace.enabled () then Dcn_obs.Clock.now_ns ()
+        else 0L
       in
+      (* The submitter's context labels (e.g. the current figure name)
+         follow its tasks onto whichever domain executes them. *)
+      let ctx = Dcn_obs.Context.capture () in
+      let task i =
+        Dcn_obs.Context.with_captured ctx (fun () ->
+            try f i with e -> record i e (Printexc.get_raw_backtrace ()))
+      in
+      let run_one i =
+        if not (Metrics.enabled () || Trace.enabled ()) then task i
+        else begin
+          let t0 = Dcn_obs.Clock.now_ns () in
+          if Metrics.enabled () then begin
+            Metrics.incr m_tasks;
+            Metrics.observe m_queue_wait_s
+              (Dcn_obs.Clock.seconds_between submit_ns t0)
+          end;
+          let sp = Trace.begin_span ~cat:"pool" "task" in
+          task i;
+          Trace.end_span sp ~args:[ ("index", Trace.Int i) ];
+          if Metrics.enabled () then begin
+            let t1 = Dcn_obs.Clock.now_ns () in
+            Metrics.observe m_task_run_s
+              (Dcn_obs.Clock.seconds_between t0 t1);
+            Metrics.add (busy_counter ())
+              (Int64.to_int (Int64.sub t1 t0))
+          end
+        end
+      in
+      Metrics.incr m_batches;
       let b =
         {
           total;

@@ -5,6 +5,7 @@ let () =
     [
       Test_heap.suite;
       Test_util.suite;
+      Test_obs.suite;
       Test_pool.suite;
       Test_graph.suite;
       Test_paths.suite;

@@ -1,0 +1,564 @@
+(* Tests for the observability layer: metrics registry semantics (atomic
+   counting under the pool, histogram bucket boundaries, snapshot
+   algebra), the monotonic clock, and the trace emitter — including the
+   cross-check that the FPTAS's phase count equals its phase-span count,
+   and that instrumentation never changes solver results. *)
+
+module Metrics = Dcn_obs.Metrics
+module Trace = Dcn_obs.Trace
+module Clock = Dcn_obs.Clock
+module Json = Dcn_obs.Json
+module Pool = Dcn_util.Pool
+
+(* ---- a minimal JSON parser ----------------------------------------
+
+   The repository deliberately has no JSON library; this recursive-descent
+   parser is just enough to validate what the observability layer emits
+   (objects, arrays, strings with the emitter's escapes, numbers, bools,
+   null). Failing to parse is a test failure by exception. *)
+
+type json =
+  | J_null
+  | J_bool of bool
+  | J_num of float
+  | J_str of string
+  | J_arr of json list
+  | J_obj of (string * json) list
+
+exception Bad_json of string
+
+let parse_json (s : string) : json =
+  let n = String.length s in
+  let pos = ref 0 in
+  let fail msg = raise (Bad_json (Printf.sprintf "%s at offset %d" msg !pos)) in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let skip_ws () =
+    while
+      !pos < n
+      && (match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false)
+    do
+      incr pos
+    done
+  in
+  let expect c =
+    if !pos < n && s.[!pos] = c then incr pos
+    else fail (Printf.sprintf "expected '%c'" c)
+  in
+  let lit word v =
+    let k = String.length word in
+    if !pos + k <= n && String.sub s !pos k = word then begin
+      pos := !pos + k;
+      v
+    end
+    else fail word
+  in
+  let parse_string () =
+    expect '"';
+    let buf = Buffer.create 16 in
+    let rec go () =
+      if !pos >= n then fail "unterminated string";
+      match s.[!pos] with
+      | '"' ->
+          incr pos;
+          Buffer.contents buf
+      | '\\' ->
+          incr pos;
+          if !pos >= n then fail "dangling escape";
+          (match s.[!pos] with
+          | '"' -> Buffer.add_char buf '"'
+          | '\\' -> Buffer.add_char buf '\\'
+          | '/' -> Buffer.add_char buf '/'
+          | 'n' -> Buffer.add_char buf '\n'
+          | 't' -> Buffer.add_char buf '\t'
+          | 'r' -> Buffer.add_char buf '\r'
+          | 'b' -> Buffer.add_char buf '\b'
+          | 'f' -> Buffer.add_char buf '\012'
+          | 'u' ->
+              (* The emitter only \u-escapes control bytes. *)
+              if !pos + 4 >= n then fail "short \\u escape";
+              let code = int_of_string ("0x" ^ String.sub s (!pos + 1) 4) in
+              if code > 0xff then fail "unexpected non-latin \\u escape";
+              Buffer.add_char buf (Char.chr code);
+              pos := !pos + 4
+          | c -> fail (Printf.sprintf "unknown escape '%c'" c));
+          incr pos;
+          go ()
+      | c ->
+          Buffer.add_char buf c;
+          incr pos;
+          go ()
+    in
+    go ()
+  in
+  let parse_number () =
+    let start = !pos in
+    while
+      !pos < n
+      &&
+      match s.[!pos] with
+      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+      | _ -> false
+    do
+      incr pos
+    done;
+    match float_of_string_opt (String.sub s start (!pos - start)) with
+    | Some f -> J_num f
+    | None -> fail "malformed number"
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | Some '{' -> parse_obj ()
+    | Some '[' -> parse_arr ()
+    | Some '"' -> J_str (parse_string ())
+    | Some 't' -> lit "true" (J_bool true)
+    | Some 'f' -> lit "false" (J_bool false)
+    | Some 'n' -> lit "null" J_null
+    | Some ('-' | '0' .. '9') -> parse_number ()
+    | _ -> fail "expected a value"
+  and parse_arr () =
+    expect '[';
+    skip_ws ();
+    if peek () = Some ']' then begin
+      incr pos;
+      J_arr []
+    end
+    else begin
+      let items = ref [] in
+      let rec go () =
+        items := parse_value () :: !items;
+        skip_ws ();
+        match peek () with
+        | Some ',' ->
+            incr pos;
+            go ()
+        | Some ']' -> incr pos
+        | _ -> fail "expected ',' or ']'"
+      in
+      go ();
+      J_arr (List.rev !items)
+    end
+  and parse_obj () =
+    expect '{';
+    skip_ws ();
+    if peek () = Some '}' then begin
+      incr pos;
+      J_obj []
+    end
+    else begin
+      let fields = ref [] in
+      let rec go () =
+        skip_ws ();
+        let k = parse_string () in
+        skip_ws ();
+        expect ':';
+        let v = parse_value () in
+        fields := (k, v) :: !fields;
+        skip_ws ();
+        match peek () with
+        | Some ',' ->
+            incr pos;
+            go ()
+        | Some '}' -> incr pos
+        | _ -> fail "expected ',' or '}'"
+      in
+      go ();
+      J_obj (List.rev !fields)
+    end
+  in
+  let v = parse_value () in
+  skip_ws ();
+  if !pos <> n then fail "trailing content";
+  v
+
+let member k = function J_obj kvs -> List.assoc_opt k kvs | _ -> None
+
+let member_exn k j =
+  match member k j with
+  | Some v -> v
+  | None -> Alcotest.fail (Printf.sprintf "missing key %S" k)
+
+let num_exn = function
+  | J_num f -> f
+  | _ -> Alcotest.fail "expected a JSON number"
+
+let str_opt = function J_str s -> Some s | _ -> None
+
+(* ---- fixtures ------------------------------------------------------ *)
+
+(* Observability state is process-global; every test that flips a switch
+   restores it (and zeroes what it recorded) so tests compose in any
+   order and leave nothing behind for other suites. *)
+let with_metrics f =
+  Metrics.set_enabled true;
+  Fun.protect f ~finally:(fun () ->
+      Metrics.set_enabled false;
+      Metrics.reset ())
+
+let with_trace f =
+  Trace.set_enabled true;
+  Trace.reset ();
+  Fun.protect f ~finally:(fun () ->
+      Trace.set_enabled false;
+      Trace.reset ())
+
+let with_workers n f =
+  let old = Pool.workers () in
+  Pool.set_workers n;
+  Fun.protect ~finally:(fun () -> Pool.set_workers old) f
+
+let read_file path =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let s = really_input_string ic len in
+  close_in ic;
+  s
+
+let temp_path suffix =
+  let path = Filename.temp_file "dcn_obs_test" suffix in
+  Sys.remove path;
+  path
+
+(* ---- clock --------------------------------------------------------- *)
+
+let test_clock_monotone () =
+  let t0 = Clock.now_ns () in
+  (* A little real work so the clock has a chance to advance. *)
+  let acc = ref 0 in
+  for i = 1 to 100_000 do
+    acc := !acc + i
+  done;
+  ignore !acc;
+  let t1 = Clock.now_ns () in
+  Alcotest.(check bool) "time advances" true (Int64.compare t1 t0 >= 0);
+  Alcotest.(check bool)
+    "elapsed non-negative" true
+    (Clock.seconds_between t0 t1 >= 0.0);
+  (* The defensive clamp: a reversed pair reads as zero, never negative. *)
+  Alcotest.(check (float 0.0)) "reversed pair clamps" 0.0
+    (Clock.seconds_between t1 t0)
+
+(* ---- metrics registry ---------------------------------------------- *)
+
+let test_counter_concurrent_sum () =
+  with_metrics (fun () ->
+      let c = Metrics.counter "test.concurrent" in
+      let tasks = 1000 in
+      with_workers 3 (fun () ->
+          Pool.run ~total:tasks (fun i ->
+              Metrics.incr c;
+              if i mod 2 = 0 then Metrics.add c 2));
+      (* 1000 incr + 500 add-2: no increment may be lost to a race. *)
+      Alcotest.(check int) "exact sum" (tasks + (tasks / 2 * 2))
+        (Metrics.counter_value (Metrics.snapshot ()) "test.concurrent"))
+
+let test_disabled_records_nothing () =
+  Metrics.set_enabled false;
+  let c = Metrics.counter "test.disabled" in
+  Metrics.incr c;
+  Metrics.add c 41;
+  with_metrics (fun () ->
+      Alcotest.(check int) "nothing recorded while off" 0
+        (Metrics.counter_value (Metrics.snapshot ()) "test.disabled"))
+
+let test_histogram_boundaries () =
+  with_metrics (fun () ->
+      let h = Metrics.histogram ~bounds:[| 1.0; 2.0; 4.0 |] "test.hist" in
+      (* Documented semantics: bucket 0 = (-inf, 1); bucket i = [b_{i-1},
+         b_i) — lower inclusive, upper exclusive; overflow = [4, +inf). *)
+      List.iter (Metrics.observe h) [ 0.5; 1.0; 1.5; 2.0; 3.999; 4.0; 100.0 ];
+      match Metrics.find (Metrics.snapshot ()) "test.hist" with
+      | Some (Metrics.Histogram_v { bounds; counts; sum }) ->
+          Alcotest.(check (array (float 0.0))) "bounds preserved"
+            [| 1.0; 2.0; 4.0 |] bounds;
+          Alcotest.(check (array int)) "boundary values land lower-inclusive"
+            [| 1; 2; 2; 2 |] counts;
+          Alcotest.(check (float 1e-9)) "sum" 112.999 sum
+      | _ -> Alcotest.fail "histogram missing from snapshot")
+
+let test_kind_mismatch_rejected () =
+  ignore (Metrics.counter "test.kind");
+  Alcotest.check_raises "same name, different kind"
+    (Invalid_argument
+       "Metrics: test.kind is already registered and is not a gauge")
+    (fun () -> ignore (Metrics.gauge "test.kind"))
+
+let test_snapshot_diff_merge_roundtrip () =
+  with_metrics (fun () ->
+      (* Register everything first so both snapshots carry the same names
+         (merge is then an exact inverse of diff, not just up to dropped
+         zero entries). *)
+      let c = Metrics.counter "test.rt.counter" in
+      let g = Metrics.gauge "test.rt.gauge" in
+      let h = Metrics.histogram ~bounds:[| 0.1; 1.0 |] "test.rt.hist" in
+      Metrics.add c 5;
+      Metrics.set g 2.5;
+      Metrics.observe h 0.05;
+      let before = Metrics.snapshot () in
+      Metrics.add c 37;
+      Metrics.set g 7.25;
+      Metrics.observe h 0.5;
+      Metrics.observe h 3.0;
+      let after = Metrics.snapshot () in
+      let d = Metrics.diff ~before ~after in
+      Alcotest.(check int) "diff subtracts counters" 37
+        (Metrics.counter_value d "test.rt.counter");
+      (* Unchanged metrics elsewhere in the registry must not appear. *)
+      List.iter
+        (fun (name, _) ->
+          Alcotest.(check bool)
+            (Printf.sprintf "%s belongs to the region" name)
+            true
+            (String.length name >= 8 && String.sub name 0 8 = "test.rt."))
+        d;
+      Alcotest.(check string) "merge before (diff before after) = after"
+        (Metrics.to_json after)
+        (Metrics.to_json (Metrics.merge before d)))
+
+let test_metrics_json_parses () =
+  with_metrics (fun () ->
+      Metrics.add (Metrics.counter "test.json.counter") 3;
+      Metrics.set (Metrics.gauge "test.json.gauge") 1.5;
+      Metrics.observe (Metrics.histogram "test.json.hist") 0.002;
+      let j = parse_json (Metrics.to_json (Metrics.snapshot ())) in
+      let counters = member_exn "counters" j in
+      Alcotest.(check (float 0.0)) "counter value" 3.0
+        (num_exn (member_exn "test.json.counter" counters));
+      ignore (member_exn "test.json.gauge" (member_exn "gauges" j));
+      let h = member_exn "test.json.hist" (member_exn "histograms" j) in
+      let counts =
+        match member_exn "counts" h with
+        | J_arr xs -> List.map num_exn xs
+        | _ -> Alcotest.fail "counts not an array"
+      in
+      let bounds =
+        match member_exn "bounds" h with
+        | J_arr xs -> xs
+        | _ -> Alcotest.fail "bounds not an array"
+      in
+      Alcotest.(check int) "one more count than bound (overflow bucket)"
+        (List.length bounds + 1)
+        (List.length counts);
+      Alcotest.(check (float 0.0)) "count = sum of buckets"
+        (List.fold_left ( +. ) 0.0 counts)
+        (num_exn (member_exn "count" h)))
+
+(* ---- json helpers -------------------------------------------------- *)
+
+let test_escape_roundtrip () =
+  let nasty = "a\"b\\c\nd\te\r\001end" in
+  match parse_json (Json.quote nasty) with
+  | J_str s -> Alcotest.(check string) "escape round-trips" nasty s
+  | _ -> Alcotest.fail "quoted string did not parse as a string"
+
+let test_atomic_write_creates_parents () =
+  let dir = temp_path ".d" in
+  let path = Filename.concat (Filename.concat dir "a") "b.json" in
+  Json.atomic_write ~path "{}";
+  Alcotest.(check string) "content readable back" "{}" (read_file path);
+  Sys.remove path;
+  Sys.rmdir (Filename.concat dir "a");
+  Sys.rmdir dir
+
+(* ---- trace emitter ------------------------------------------------- *)
+
+let trace_events path =
+  match member_exn "traceEvents" (parse_json (read_file path)) with
+  | J_arr events -> events
+  | _ -> Alcotest.fail "traceEvents is not an array"
+
+let test_trace_file_well_formed () =
+  with_trace (fun () ->
+      Trace.with_span ~cat:"test" "outer" (fun () ->
+          Trace.instant ~cat:"test" "tick"
+            ~args:[ ("k", Trace.String "v\"quoted\"") ];
+          Trace.with_span ~cat:"test" "inner"
+            ~args:[ ("n", Trace.Int 3); ("x", Trace.Float 0.5) ]
+            (fun () -> ()));
+      (* Spans emitted from pool workers land on their own tracks. *)
+      with_workers 2 (fun () ->
+          Pool.run ~total:8 (fun i ->
+              Trace.with_span ~cat:"test" "task"
+                ~args:[ ("i", Trace.Int i) ]
+                (fun () -> ())));
+      let path = temp_path ".json" in
+      Trace.write path;
+      let events = trace_events path in
+      Sys.remove path;
+      Alcotest.(check bool) "events present" true (List.length events > 0);
+      let phases =
+        List.filter_map (fun e -> Option.bind (member "ph" e) str_opt) events
+      in
+      List.iter
+        (fun ph ->
+          Alcotest.(check bool)
+            (Printf.sprintf "known event type %S" ph)
+            true
+            (List.mem ph [ "X"; "i"; "M" ]))
+        phases;
+      List.iter
+        (fun e ->
+          match Option.bind (member "ph" e) str_opt with
+          | Some "X" ->
+              Alcotest.(check bool) "span duration non-negative" true
+                (num_exn (member_exn "dur" e) >= 0.0);
+              Alcotest.(check bool) "span timestamp non-negative" true
+                (num_exn (member_exn "ts" e) >= 0.0)
+          | _ -> ())
+        events;
+      (* Each emitting domain gets a named track. *)
+      let thread_names =
+        List.filter
+          (fun e ->
+            Option.bind (member "name" e) str_opt = Some "thread_name")
+          events
+      in
+      Alcotest.(check bool) "thread_name metadata present" true
+        (List.length thread_names >= 1);
+      let tids =
+        List.sort_uniq compare
+          (List.filter_map
+             (fun e -> Option.map num_exn (member "tid" e))
+             events)
+      in
+      let named_tids =
+        List.sort_uniq compare
+          (List.map (fun e -> num_exn (member_exn "tid" e)) thread_names)
+      in
+      Alcotest.(check (list (float 0.0))) "every track is named" tids
+        named_tids)
+
+let test_trace_disabled_emits_nothing () =
+  Trace.reset ();
+  Trace.set_enabled false;
+  Trace.with_span ~cat:"test" "invisible" (fun () -> Trace.instant ~cat:"test" "nope");
+  let path = temp_path ".json" in
+  Trace.write path;
+  let events = trace_events path in
+  Sys.remove path;
+  let non_meta =
+    List.filter
+      (fun e -> Option.bind (member "ph" e) str_opt <> Some "M")
+      events
+  in
+  Alcotest.(check int) "no events captured while off" 0 (List.length non_meta)
+
+(* ---- solver cross-checks ------------------------------------------- *)
+
+let fptas_instance () =
+  let st = Random.State.make [| 7 |] in
+  let topo = Core.Rrg.topology st ~n:40 ~k:15 ~r:10 in
+  let tm = Core.Traffic.permutation st ~servers:topo.Core.Topology.servers in
+  (topo.Core.Topology.graph, Core.Traffic.to_commodities tm)
+
+let test_fptas_gap_and_phase_spans () =
+  let g, cs = fptas_instance () in
+  let params = Core.Scale.quick.Core.Scale.params in
+  let r =
+    with_trace (fun () ->
+        let r = Core.Mcmf_fptas.solve ~params g cs in
+        let path = temp_path ".json" in
+        Trace.write path;
+        let events = trace_events path in
+        Sys.remove path;
+        let phase_spans =
+          List.filter
+            (fun e ->
+              Option.bind (member "ph" e) str_opt = Some "X"
+              && Option.bind (member "cat" e) str_opt = Some "fptas"
+              && Option.bind (member "name" e) str_opt = Some "phase")
+            events
+        in
+        (* Every executed phase produces exactly one span — the trace can
+           be trusted as a faithful phase count. *)
+        Alcotest.(check int) "phase spans = phases"
+          r.Core.Mcmf_fptas.phases (List.length phase_spans);
+        let solve_spans =
+          List.filter
+            (fun e ->
+              Option.bind (member "name" e) str_opt = Some "fptas.solve")
+            events
+        in
+        Alcotest.(check int) "one solve span" 1 (List.length solve_spans);
+        r)
+  in
+  Alcotest.(check bool) "converged within budget" true
+    r.Core.Mcmf_fptas.converged;
+  let gap =
+    (r.Core.Mcmf_fptas.lambda_upper /. r.Core.Mcmf_fptas.lambda_lower) -. 1.0
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "achieved gap %.4f within requested %.4f" gap
+       params.Core.Mcmf_fptas.gap)
+    true
+    (gap <= params.Core.Mcmf_fptas.gap +. 1e-9);
+  Alcotest.(check bool) "at least one phase ran" true
+    (r.Core.Mcmf_fptas.phases > 0)
+
+let test_instrumentation_is_inert () =
+  (* The acceptance bar for the whole layer: identical solver results, to
+     the last bit, with every sink on or off. *)
+  let g, cs = fptas_instance () in
+  let params = Core.Scale.quick.Core.Scale.params in
+  let bare = Core.Mcmf_fptas.solve ~params g cs in
+  let observed =
+    with_metrics (fun () ->
+        with_trace (fun () -> Core.Mcmf_fptas.solve ~params g cs))
+  in
+  Alcotest.(check bool) "identical lambda_lower bits" true
+    (Int64.equal
+       (Int64.bits_of_float bare.Core.Mcmf_fptas.lambda_lower)
+       (Int64.bits_of_float observed.Core.Mcmf_fptas.lambda_lower));
+  Alcotest.(check bool) "identical lambda_upper bits" true
+    (Int64.equal
+       (Int64.bits_of_float bare.Core.Mcmf_fptas.lambda_upper)
+       (Int64.bits_of_float observed.Core.Mcmf_fptas.lambda_upper));
+  Alcotest.(check int) "identical phase count" bare.Core.Mcmf_fptas.phases
+    observed.Core.Mcmf_fptas.phases
+
+let test_solver_metrics_recorded () =
+  let g, cs = fptas_instance () in
+  let params = Core.Scale.quick.Core.Scale.params in
+  with_metrics (fun () ->
+      let r = Core.Mcmf_fptas.solve ~params g cs in
+      let snap = Metrics.snapshot () in
+      Alcotest.(check int) "fptas.solves" 1
+        (Metrics.counter_value snap "fptas.solves");
+      Alcotest.(check int) "fptas.phases matches result"
+        r.Core.Mcmf_fptas.phases
+        (Metrics.counter_value snap "fptas.phases");
+      Alcotest.(check bool) "dijkstra ran" true
+        (Metrics.counter_value snap "dijkstra.runs" > 0);
+      Alcotest.(check bool) "heap pops counted" true
+        (Metrics.counter_value snap "dijkstra.heap_pops" > 0))
+
+let suite =
+  ( "obs",
+    [
+      Alcotest.test_case "clock monotone" `Quick test_clock_monotone;
+      Alcotest.test_case "concurrent counter sums exactly" `Quick
+        test_counter_concurrent_sum;
+      Alcotest.test_case "disabled records nothing" `Quick
+        test_disabled_records_nothing;
+      Alcotest.test_case "histogram bucket boundaries" `Quick
+        test_histogram_boundaries;
+      Alcotest.test_case "kind mismatch rejected" `Quick
+        test_kind_mismatch_rejected;
+      Alcotest.test_case "snapshot diff/merge round-trip" `Quick
+        test_snapshot_diff_merge_roundtrip;
+      Alcotest.test_case "metrics JSON parses" `Quick test_metrics_json_parses;
+      Alcotest.test_case "string escaping round-trips" `Quick
+        test_escape_roundtrip;
+      Alcotest.test_case "atomic_write creates parents" `Quick
+        test_atomic_write_creates_parents;
+      Alcotest.test_case "trace file well-formed" `Quick
+        test_trace_file_well_formed;
+      Alcotest.test_case "trace disabled emits nothing" `Quick
+        test_trace_disabled_emits_nothing;
+      Alcotest.test_case "fptas gap + phase spans" `Quick
+        test_fptas_gap_and_phase_spans;
+      Alcotest.test_case "instrumentation is inert" `Quick
+        test_instrumentation_is_inert;
+      Alcotest.test_case "solver metrics recorded" `Quick
+        test_solver_metrics_recorded;
+    ] )
