@@ -420,15 +420,15 @@ type options = {
 }
 
 let parse_args argv =
-  let default_jobs = Domain.recommended_domain_count () in
+  let default_jobs = Core.Cli.default_jobs () in
   let rec go acc = function
     | [] -> { acc with targets = List.rev acc.targets }
     | "--full" :: rest -> go { acc with full = true } rest
     | "--jobs" :: value :: rest -> (
-        match int_of_string_opt value with
-        | Some j when j >= 1 -> go { acc with jobs = j } rest
-        | Some _ -> die "--jobs must be at least 1 (got %s)" value
-        | None -> die "--jobs expects an integer, got '%s'" value)
+        (* Same validation (and messages) as every other front end. *)
+        match Core.Cli.parse_jobs value with
+        | Ok j -> go { acc with jobs = j } rest
+        | Error msg -> die "%s" msg)
     | [ "--jobs" ] -> die "--jobs expects a value"
     | "--csv-dir" :: dir :: rest -> go { acc with csv_dir = Some dir } rest
     | [ "--csv-dir" ] -> die "--csv-dir expects a directory"

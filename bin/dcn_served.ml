@@ -1,0 +1,80 @@
+(* dcn_served — the topology-throughput solve daemon.
+
+   Thin cmdliner shell around Dcn_serve.Server: translate flags into a
+   Server.config, size the shared domain pool, install the result store,
+   and hand the thread to Server.serve until SIGTERM/SIGINT drains it.
+   The option vocabulary (--jobs, --cache-dir, --eps defaults, spec
+   syntax) is Core.Cli, the same as topobench and bench/main. *)
+
+open Cmdliner
+
+let host_arg =
+  let doc = "Address to bind." in
+  Arg.(value & opt string "127.0.0.1" & info [ "host" ] ~doc ~docv:"ADDR")
+
+let port_arg =
+  let doc = "TCP port; 0 picks an ephemeral port (see $(b,--port-file))." in
+  Arg.(value & opt int 8080 & info [ "port" ] ~doc ~docv:"PORT")
+
+let port_file_arg =
+  let doc =
+    "Write the bound port to $(docv) (atomically) once listening — the \
+     race-free way to use $(b,--port) $(i,0) from scripts."
+  in
+  Arg.(value & opt (some string) None & info [ "port-file" ] ~doc ~docv:"FILE")
+
+let queue_arg =
+  let doc =
+    "Admission queue: requests admitted beyond the worker count before \
+     the server answers 429 with Retry-After."
+  in
+  Arg.(value & opt int 64 & info [ "queue" ] ~doc ~docv:"N")
+
+let timeout_arg =
+  let doc =
+    "Default per-request deadline in seconds, measured from accept \
+     (requests may override with \"timeout_s\"); 0 disables."
+  in
+  Arg.(value & opt float 300.0 & info [ "timeout" ] ~doc ~docv:"SECONDS")
+
+let run host port port_file queue timeout jobs cache_dir no_cache metrics trace =
+  (* jobs handler domains; the main thread only accepts. *)
+  Core.Pool.set_workers jobs;
+  ignore (Core.Cli.setup_store cache_dir no_cache);
+  Dcn_serve.Server.serve
+    {
+      Dcn_serve.Server.default_config with
+      host;
+      port;
+      queue_capacity = max 0 queue;
+      default_timeout_s = (if timeout <= 0.0 then None else Some timeout);
+      port_file;
+      metrics_file = metrics;
+      trace_file = trace;
+    }
+
+let cmd =
+  let doc = "serve certified topology-throughput solves over HTTP" in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Exposes the repository's max-concurrent-flow solver as a small \
+         HTTP service: $(b,POST /solve) takes a JSON request (topology \
+         spec or inline topology text, traffic model, eps/gap, routing \
+         mode) and returns the certified throughput interval; \
+         $(b,GET /healthz) and $(b,GET /metrics) serve liveness and the \
+         metrics registry. Identical concurrent requests coalesce onto \
+         one solver run; optimal-routing results land in the result store \
+         when $(b,--cache-dir) is given. SIGTERM drains in-flight \
+         requests and exits 0. See docs/serving.md.";
+    ]
+  in
+  Cmd.v
+    (Cmd.info "dcn_served" ~version:"1.0.0" ~doc ~man)
+    Term.(
+      const run $ host_arg $ port_arg $ port_file_arg $ queue_arg $ timeout_arg
+      $ Core.Cli.jobs_arg $ Core.Cli.cache_dir_arg $ Core.Cli.no_cache_arg
+      $ Core.Cli.metrics_arg $ Core.Cli.trace_arg)
+
+let () = exit (Cmd.eval cmd)

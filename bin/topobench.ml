@@ -6,204 +6,23 @@
 
 open Cmdliner
 
-(* ---- shared argument parsing ---- *)
+(* ---- shared argument vocabulary (Core.Cli) ----
 
-let seed_arg =
-  let doc = "Random seed (experiments are deterministic given the seed)." in
-  Arg.(value & opt int 1 & info [ "seed" ] ~doc)
+   The parsers and terms live in Core.Cli, shared with bench/main.exe and
+   the serving daemon/client; only the aliases and the positional topology
+   argument are declared here. *)
 
-(* The FPTAS requires eps and gap strictly inside (0, 1); reject anything
-   else at parse time with a message naming the constraint, instead of
-   surfacing Invalid_argument from solver internals mid-run. *)
-let unit_open_conv what =
-  let parse s =
-    match float_of_string_opt s with
-    | None -> Error (`Msg (Printf.sprintf "%s expects a number, got '%s'" what s))
-    | Some x when x > 0.0 && x < 1.0 -> Ok x
-    | Some x ->
-        Error
-          (`Msg
-            (Printf.sprintf
-               "%s must be strictly between 0 and 1 (exclusive), got %g" what x))
-  in
-  Arg.conv (parse, fun ppf x -> Format.fprintf ppf "%g" x)
-
-let eps_arg =
-  let doc =
-    "FPTAS length step, strictly between 0 and 1; smaller is slower and \
-     more accurate."
-  in
-  Arg.(value & opt (unit_open_conv "--eps") 0.05 & info [ "eps" ] ~doc)
-
-let gap_arg =
-  let doc =
-    "Certified relative gap at which the solver stops, strictly between 0 \
-     and 1."
-  in
-  Arg.(value & opt (unit_open_conv "--gap") 0.05 & info [ "gap" ] ~doc)
-
-let params_of eps gap = { Core.Mcmf_fptas.eps; gap; max_phases = 100_000 }
-
-(* ---- result-store options (shared by the solver-backed commands) ---- *)
-
-let cache_dir_arg =
-  let doc =
-    "Directory of the content-addressed result store. Solves whose \
-     canonical request (topology, demands, parameters, solver version) \
-     was measured before are replayed from disk, bit-identically."
-  in
-  Arg.(value & opt (some string) None & info [ "cache-dir" ] ~doc ~docv:"DIR")
-
-let no_cache_arg =
-  let doc = "Ignore the result store for this invocation." in
-  Arg.(value & flag & info [ "no-cache" ] ~doc)
-
-(* Install the shared store; returns true when caching is active. *)
-let setup_store cache_dir no_cache =
-  match cache_dir with
-  | Some dir when not no_cache ->
-      Core.Store.set_shared (Some (Core.Store.open_store dir));
-      true
-  | _ -> false
-
-let report_cache_stats () =
-  match Core.Store.shared () with
-  | None -> ()
-  | Some store ->
-      let c = Core.Store.counters store in
-      Format.printf "cache           : %d hits, %d misses@." c.Core.Store.hits
-        c.Core.Store.misses
-
-(* ---- observability options (shared by the solver-backed commands) ---- *)
-
-let metrics_arg =
-  let doc =
-    "Write a JSON snapshot of the metrics registry (FPTAS phases and \
-     Dijkstra work, simplex pivots, store hit/miss latencies, pool \
-     queue-wait histograms) to $(docv) on exit. Observational only: \
-     results are bit-identical with or without it."
-  in
-  Arg.(value & opt (some string) None & info [ "metrics" ] ~doc ~docv:"FILE")
-
-let trace_arg =
-  let doc =
-    "Write a Chrome trace-event file of solver and pool spans to $(docv) \
-     on exit; open it in Perfetto (ui.perfetto.dev) or chrome://tracing. \
-     One track per domain."
-  in
-  Arg.(value & opt (some string) None & info [ "trace" ] ~doc ~docv:"FILE")
-
-let progress_arg =
-  let doc =
-    "Print one line per experiment sample to stderr (figure label, sample \
-     index, elapsed seconds, cache traffic). Stdout — tables and CSVs — \
-     is untouched."
-  in
-  Arg.(value & flag & info [ "progress" ] ~doc)
-
-let obs_args =
-  Term.(
-    const (fun metrics trace progress -> (metrics, trace, progress))
-    $ metrics_arg $ trace_arg $ progress_arg)
-
-(* Enable the requested sinks, run the command body, and publish the files
-   afterwards — also on exceptions, so a failed run still leaves a usable
-   partial trace for diagnosis. *)
-let with_obs (metrics, trace, progress) body =
-  if metrics <> None then Core.Obs.Metrics.set_enabled true;
-  if trace <> None then Core.Obs.Trace.set_enabled true;
-  if progress then Core.Obs.Progress.set_enabled true;
-  Fun.protect body ~finally:(fun () ->
-      (match metrics with
-      | Some path ->
-          Core.Obs.Metrics.write ~path (Core.Obs.Metrics.snapshot ())
-      | None -> ());
-      match trace with
-      | Some path -> Core.Obs.Trace.write path
-      | None -> ())
-
-type topo_spec =
-  | Rrg of int * int * int (* n, k, r *)
-  | Vl2 of int * int (* da, di *)
-  | Rewired of int * int * int (* da, di, tors *)
-  | Fat_tree of int
-  | Hypercube of int * int (* dim, servers per switch *)
-  | Bcube of int * int (* n, k *)
-  | Dcell of int * int (* n, l *)
-  | Dragonfly of int * int (* a, h *)
-  | From_file of string
-
-let topo_conv =
-  let parse s =
-    let fail () =
-      Error
-        (`Msg
-          (Printf.sprintf
-             "cannot parse topology %S; expected rrg:N,K,R | vl2:DA,DI | \
-              rewired:DA,DI,TORS | fat-tree:K | hypercube:DIM,SERVERS"
-             s))
-    in
-    match String.split_on_char ':' s with
-    | [ "rrg"; rest ] -> (
-        match String.split_on_char ',' rest with
-        | [ n; k; r ] -> (
-            try Ok (Rrg (int_of_string n, int_of_string k, int_of_string r))
-            with Failure _ -> fail ())
-        | _ -> fail ())
-    | [ "vl2"; rest ] -> (
-        match String.split_on_char ',' rest with
-        | [ da; di ] -> (
-            try Ok (Vl2 (int_of_string da, int_of_string di))
-            with Failure _ -> fail ())
-        | _ -> fail ())
-    | [ "rewired"; rest ] -> (
-        match String.split_on_char ',' rest with
-        | [ da; di; t ] -> (
-            try
-              Ok (Rewired (int_of_string da, int_of_string di, int_of_string t))
-            with Failure _ -> fail ())
-        | _ -> fail ())
-    | [ "fat-tree"; k ] -> (
-        try Ok (Fat_tree (int_of_string k)) with Failure _ -> fail ())
-    | [ "hypercube"; rest ] -> (
-        match String.split_on_char ',' rest with
-        | [ d; s ] -> (
-            try Ok (Hypercube (int_of_string d, int_of_string s))
-            with Failure _ -> fail ())
-        | _ -> fail ())
-    | [ "bcube"; rest ] -> (
-        match String.split_on_char ',' rest with
-        | [ n; k ] -> (
-            try Ok (Bcube (int_of_string n, int_of_string k))
-            with Failure _ -> fail ())
-        | _ -> fail ())
-    | [ "dcell"; rest ] -> (
-        match String.split_on_char ',' rest with
-        | [ n; l ] -> (
-            try Ok (Dcell (int_of_string n, int_of_string l))
-            with Failure _ -> fail ())
-        | _ -> fail ())
-    | [ "dragonfly"; rest ] -> (
-        match String.split_on_char ',' rest with
-        | [ a; h ] -> (
-            try Ok (Dragonfly (int_of_string a, int_of_string h))
-            with Failure _ -> fail ())
-        | _ -> fail ())
-    | [ "file"; path ] -> Ok (From_file path)
-    | _ -> fail ()
-  in
-  let print ppf = function
-    | Rrg (n, k, r) -> Format.fprintf ppf "rrg:%d,%d,%d" n k r
-    | Vl2 (da, di) -> Format.fprintf ppf "vl2:%d,%d" da di
-    | Rewired (da, di, t) -> Format.fprintf ppf "rewired:%d,%d,%d" da di t
-    | Fat_tree k -> Format.fprintf ppf "fat-tree:%d" k
-    | Hypercube (d, s) -> Format.fprintf ppf "hypercube:%d,%d" d s
-    | Bcube (n, k) -> Format.fprintf ppf "bcube:%d,%d" n k
-    | Dcell (n, l) -> Format.fprintf ppf "dcell:%d,%d" n l
-    | Dragonfly (a, h) -> Format.fprintf ppf "dragonfly:%d,%d" a h
-    | From_file p -> Format.fprintf ppf "file:%s" p
-  in
-  Arg.conv (parse, print)
+let seed_arg = Core.Cli.seed_arg
+let eps_arg = Core.Cli.eps_arg
+let gap_arg = Core.Cli.gap_arg
+let params_of = Core.Cli.params_of
+let cache_dir_arg = Core.Cli.cache_dir_arg
+let no_cache_arg = Core.Cli.no_cache_arg
+let setup_store = Core.Cli.setup_store
+let report_cache_stats = Core.Cli.report_cache_stats
+let obs_args = Core.Cli.obs_args
+let with_obs = Core.Cli.with_obs
+let traffic_arg = Core.Cli.traffic_arg
 
 let topo_arg =
   let doc =
@@ -212,57 +31,24 @@ let topo_arg =
      bcube:N,K, dcell:N,L, dragonfly:A,H, or file:PATH (the Topology_io \
      text format)."
   in
-  Arg.(required & pos 0 (some topo_conv) None & info [] ~docv:"TOPOLOGY" ~doc)
+  Arg.(
+    required
+    & pos 0 (some Core.Cli.topo_conv) None
+    & info [] ~docv:"TOPOLOGY" ~doc)
 
-let build_topology spec seed =
-  let st = Random.State.make [| seed |] in
-  match spec with
-  | Rrg (n, k, r) -> Core.Rrg.topology st ~n ~k ~r
-  | Vl2 (da, di) -> Core.Vl2.create ~da ~di ()
-  | Rewired (da, di, tors) -> Core.Rewire.create st ~tors ~da ~di ()
-  | Fat_tree k -> Core.Fat_tree.create ~k ()
-  | Hypercube (dim, servers_per_switch) ->
-      Core.Hypercube.topology ~dim ~servers_per_switch
-  | Bcube (n, k) -> Core.Bcube.create ~n ~k
-  | Dcell (n, l) -> Core.Dcell.create ~n ~l
-  | Dragonfly (a, h) -> Core.Dragonfly.create ~a ~h ()
-  | From_file path -> Core.Topology_io.load path
+let build_topology spec seed = Core.Cli.build_topology spec ~seed
+let make_traffic kind st servers = Core.Cli.make_traffic kind st ~servers
 
-type traffic_kind = Perm | A2a | Chunky of float
-
-let traffic_conv =
-  let parse s =
-    match s with
-    | "permutation" | "perm" -> Ok Perm
-    | "all-to-all" | "a2a" -> Ok A2a
-    | s when String.length s > 7 && String.sub s 0 7 = "chunky:" -> (
-        try
-          let f = float_of_string (String.sub s 7 (String.length s - 7)) in
-          Ok (Chunky (f /. 100.0))
-        with Failure _ -> Error (`Msg "chunky:PERCENT"))
-    | _ -> Error (`Msg "traffic must be permutation | a2a | chunky:PERCENT")
-  in
-  let print ppf = function
-    | Perm -> Format.fprintf ppf "permutation"
-    | A2a -> Format.fprintf ppf "a2a"
-    | Chunky f -> Format.fprintf ppf "chunky:%.0f" (f *. 100.0)
-  in
-  Arg.conv (parse, print)
-
-let traffic_arg =
-  let doc = "Traffic matrix: permutation (default), a2a, or chunky:PERCENT." in
-  Arg.(value & opt traffic_conv Perm & info [ "traffic" ] ~doc)
-
-let make_traffic kind st servers =
-  match kind with
-  | Perm -> Core.Traffic.permutation st ~servers
-  | A2a -> Core.Traffic.all_to_all ~servers
-  | Chunky fraction -> Core.Traffic.chunky st ~servers ~fraction
+(* --jobs on the solver-backed commands: the submitting thread works too,
+   so the pool gets jobs-1 extra domains. *)
+let jobs_arg = Core.Cli.jobs_arg
+let apply_jobs jobs = Core.Pool.set_workers (jobs - 1)
 
 (* ---- throughput command ---- *)
 
 let throughput_cmd =
-  let run spec traffic seed eps gap cache_dir no_cache obs =
+  let run spec traffic seed eps gap jobs cache_dir no_cache obs =
+    apply_jobs jobs;
     ignore (setup_store cache_dir no_cache);
     with_obs obs @@ fun () ->
     let topo = build_topology spec seed in
@@ -291,7 +77,7 @@ let throughput_cmd =
   Cmd.v
     (Cmd.info "throughput" ~doc)
     Term.(const run $ topo_arg $ traffic_arg $ seed_arg $ eps_arg $ gap_arg
-          $ cache_dir_arg $ no_cache_arg $ obs_args)
+          $ jobs_arg $ cache_dir_arg $ no_cache_arg $ obs_args)
 
 (* ---- aspl command ---- *)
 
@@ -337,10 +123,11 @@ let spectral_cmd =
 
 let compare_cmd =
   let topo2_arg =
-    Arg.(required & pos 1 (some topo_conv) None & info [] ~docv:"TOPOLOGY2"
+    Arg.(required & pos 1 (some Core.Cli.topo_conv) None & info [] ~docv:"TOPOLOGY2"
            ~doc:"Second topology to compare against.")
   in
-  let run spec1 spec2 traffic seed eps gap cache_dir no_cache obs =
+  let run spec1 spec2 traffic seed eps gap jobs cache_dir no_cache obs =
+    apply_jobs jobs;
     ignore (setup_store cache_dir no_cache);
     with_obs obs @@ fun () ->
     let measure spec =
@@ -377,12 +164,13 @@ let compare_cmd =
   let doc = "Compare two topologies under the same traffic model." in
   Cmd.v (Cmd.info "compare" ~doc)
     Term.(const run $ topo_arg $ topo2_arg $ traffic_arg $ seed_arg $ eps_arg
-          $ gap_arg $ cache_dir_arg $ no_cache_arg $ obs_args)
+          $ gap_arg $ jobs_arg $ cache_dir_arg $ no_cache_arg $ obs_args)
 
 (* ---- routing command ---- *)
 
 let routing_cmd =
-  let run spec seed eps gap cache_dir no_cache obs =
+  let run spec seed eps gap jobs cache_dir no_cache obs =
+    apply_jobs jobs;
     ignore (setup_store cache_dir no_cache);
     with_obs obs @@ fun () ->
     let topo = build_topology spec seed in
@@ -411,8 +199,8 @@ let routing_cmd =
   in
   let doc = "Compare routing models (optimal, k-shortest, ECMP, VLB) on a topology." in
   Cmd.v (Cmd.info "routing" ~doc)
-    Term.(const run $ topo_arg $ seed_arg $ eps_arg $ gap_arg $ cache_dir_arg
-          $ no_cache_arg $ obs_args)
+    Term.(const run $ topo_arg $ seed_arg $ eps_arg $ gap_arg $ jobs_arg
+          $ cache_dir_arg $ no_cache_arg $ obs_args)
 
 (* ---- failures command ---- *)
 
@@ -421,7 +209,8 @@ let failures_cmd =
     let doc = "Comma-separated failed-link fractions (default 0,0.05,0.1,0.2)." in
     Arg.(value & opt (list float) [ 0.0; 0.05; 0.1; 0.2 ] & info [ "fractions" ] ~doc)
   in
-  let run spec seed eps gap fractions cache_dir no_cache obs =
+  let run spec seed eps gap fractions jobs cache_dir no_cache obs =
+    apply_jobs jobs;
     ignore (setup_store cache_dir no_cache);
     with_obs obs @@ fun () ->
     let topo = build_topology spec seed in
@@ -452,7 +241,7 @@ let failures_cmd =
   let doc = "Throughput under uniform random link failures." in
   Cmd.v (Cmd.info "failures" ~doc)
     Term.(const run $ topo_arg $ seed_arg $ eps_arg $ gap_arg $ fractions_arg
-          $ cache_dir_arg $ no_cache_arg $ obs_args)
+          $ jobs_arg $ cache_dir_arg $ no_cache_arg $ obs_args)
 
 (* ---- save command ---- *)
 
@@ -546,7 +335,8 @@ let figure_cmd =
   (* The manifest directory is shared with bench/main.exe: it is keyed by
      the scale fingerprint + solver version alone, so either tool can
      resume a figure the other finished. *)
-  let run (name, f) full csv resume cache_dir no_cache obs =
+  let run (name, f) full csv resume jobs cache_dir no_cache obs =
+    apply_jobs jobs;
     let caching = setup_store cache_dir no_cache in
     if resume && not caching then begin
       prerr_endline "topobench: --resume needs --cache-dir (without --no-cache)";
@@ -604,8 +394,123 @@ let figure_cmd =
   in
   let doc = "Regenerate one of the paper's figures." in
   Cmd.v (Cmd.info "figure" ~doc)
-    Term.(const run $ name_arg $ full_arg $ csv_arg $ resume_arg
+    Term.(const run $ name_arg $ full_arg $ csv_arg $ resume_arg $ jobs_arg
           $ cache_dir_arg $ no_cache_arg $ obs_args)
+
+(* ---- client command ---- *)
+
+let client_cmd =
+  let host_arg =
+    Arg.(value & opt string "127.0.0.1" & info [ "host" ] ~docv:"ADDR"
+           ~doc:"Server address.")
+  in
+  let port_arg =
+    Arg.(value & opt int 8080 & info [ "port" ] ~docv:"PORT" ~doc:"Server port.")
+  in
+  let routing_conv =
+    Arg.conv
+      ( (fun s ->
+          match Dcn_serve.Request.parse_routing s with
+          | Ok r -> Ok r
+          | Error msg -> Error (`Msg msg)),
+        fun ppf r ->
+          Format.pp_print_string ppf (Dcn_serve.Request.routing_to_string r) )
+  in
+  let routing_arg =
+    Arg.(value & opt routing_conv Dcn_serve.Request.Optimal
+           & info [ "routing" ] ~docv:"MODE"
+               ~doc:"Routing model: optimal | ksp:K | ecmp[:LIMIT] | vlb:N.")
+  in
+  let timeout_arg =
+    Arg.(value & opt float 0.0 & info [ "timeout" ] ~docv:"SECONDS"
+           ~doc:"Per-request deadline sent as \"timeout_s\"; 0 omits it \
+                 (server default applies).")
+  in
+  let load_arg =
+    Arg.(value & opt int 0 & info [ "load" ] ~docv:"N"
+           ~doc:"Load-generator mode: fire $(docv) requests and report \
+                 latency percentiles; 0 sends a single request.")
+  in
+  let qps_arg =
+    Arg.(value & opt float 0.0 & info [ "qps" ] ~docv:"QPS"
+           ~doc:"Open-loop target rate for $(b,--load); 0 means closed loop.")
+  in
+  let concurrency_arg =
+    Arg.(value & opt int 16 & info [ "concurrency" ] ~docv:"N"
+           ~doc:"Client threads in $(b,--load) mode.")
+  in
+  let variants_arg =
+    Arg.(value & opt int 5 & info [ "variants" ] ~docv:"V"
+           ~doc:"Distinct request variants in $(b,--load) mode (seeds \
+                 seed..seed+V-1, round robin), so the mix exercises both \
+                 coalescing/cache hits and cold solves deterministically.")
+  in
+  let expect_2xx_arg =
+    Arg.(value & flag & info [ "expect-2xx" ]
+           ~doc:"Exit non-zero if any request fails or is rejected (CI mode).")
+  in
+  let body_for spec ~seed ~traffic ~eps ~gap ~routing ~timeout =
+    let f = Core.Float_text.to_string in
+    let q = Core.Obs.Json.quote in
+    Printf.sprintf
+      "{\"topology\": %s, \"seed\": %d, \"traffic\": %s, \"eps\": %s, \
+       \"gap\": %s, \"routing\": %s%s}"
+      (q (Core.Cli.topo_spec_to_string spec))
+      seed
+      (q (Core.Cli.traffic_to_string traffic))
+      (f eps) (f gap)
+      (q (Dcn_serve.Request.routing_to_string routing))
+      (if timeout > 0.0 then Printf.sprintf ", \"timeout_s\": %s" (f timeout)
+       else "")
+  in
+  let run spec host port traffic seed eps gap routing timeout load qps
+      concurrency variants expect_2xx =
+    let body seed = body_for spec ~seed ~traffic ~eps ~gap ~routing ~timeout in
+    if load <= 0 then begin
+      (* Single request: print the response body, exit by status class. *)
+      match
+        Dcn_serve.Http.client_request ~host ~port ~meth:"POST" ~target:"/solve"
+          ~body:(body seed) ()
+      with
+      | Error msg ->
+          prerr_endline ("topobench client: " ^ msg);
+          exit 1
+      | Ok (status, resp_body) ->
+          print_string resp_body;
+          if status < 200 || status > 299 then begin
+            Printf.eprintf "topobench client: HTTP %d\n" status;
+            exit 1
+          end
+    end
+    else begin
+      let bodies = Array.init (max 1 variants) (fun i -> body (seed + i)) in
+      let report, _rows =
+        Dcn_serve.Load_gen.run ~host ~port ~bodies ~requests:load ~concurrency
+          ~qps
+      in
+      Dcn_serve.Load_gen.print_report report;
+      let failures =
+        List.exists
+          (fun (status, _) -> status < 200 || status > 299)
+          report.Dcn_serve.Load_gen.by_status
+      in
+      if not report.Dcn_serve.Load_gen.duplicates_identical then begin
+        prerr_endline
+          "topobench client: duplicate responses were NOT byte-identical";
+        exit 1
+      end;
+      if expect_2xx && failures then begin
+        prerr_endline "topobench client: non-2xx responses under --expect-2xx";
+        exit 1
+      end
+    end
+  in
+  let doc = "Send solve requests to a running dcn_served daemon." in
+  Cmd.v (Cmd.info "client" ~doc)
+    Term.(
+      const run $ topo_arg $ host_arg $ port_arg $ traffic_arg $ seed_arg
+      $ eps_arg $ gap_arg $ routing_arg $ timeout_arg $ load_arg $ qps_arg
+      $ concurrency_arg $ variants_arg $ expect_2xx_arg)
 
 (* ---- main ---- *)
 
@@ -616,4 +521,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ throughput_cmd; aspl_cmd; spectral_cmd; compare_cmd; routing_cmd;
-            failures_cmd; save_cmd; export_cmd; figure_cmd ]))
+            failures_cmd; save_cmd; export_cmd; figure_cmd; client_cmd ]))

@@ -60,12 +60,14 @@ module Solve_cache = Dcn_store.Solve_cache
 module Manifest = Dcn_store.Manifest
 module Obs = Dcn_obs
 module Stats = Dcn_util.Stats
+module Float_text = Dcn_util.Float_text
 module Table = Dcn_util.Table
 module Sampling = Dcn_util.Sampling
 module Parallel = Dcn_util.Parallel
 module Pool = Dcn_util.Pool
 
 (* Experiment drivers (sibling modules of this library). *)
+module Cli = Cli
 module Scale = Scale
 module Experiments = Experiments
 module Hetero_experiments = Hetero_experiments

@@ -16,7 +16,34 @@ let m_unconverged = Metrics.counter "fptas.unconverged"
 let m_last_gap = Metrics.gauge "fptas.last_gap"
 let m_solve_s = Metrics.histogram "fptas.solve_s"
 
+let m_cancelled = Metrics.counter "fptas.cancelled"
+
 type params = { eps : float; gap : float; max_phases : int }
+
+(* ---- cooperative cancellation ----
+
+   A per-domain stop check, installed by [with_cancel] and consulted at
+   phase boundaries (a phase is the natural atomic unit of work: both
+   certificates are valid after any complete phase, so stopping between
+   phases never leaves a torn state). Domain-local rather than a [solve]
+   parameter so callers layered above the solver — cached wrappers,
+   [Throughput.compute], path-restricted solves — inherit the deadline
+   without every intermediate API changing. *)
+
+exception Cancelled
+
+let cancel_key : (unit -> bool) option Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> None)
+
+let with_cancel check f =
+  let old = Domain.DLS.get cancel_key in
+  Domain.DLS.set cancel_key (Some check);
+  Fun.protect ~finally:(fun () -> Domain.DLS.set cancel_key old) f
+
+let check_cancelled () =
+  match Domain.DLS.get cancel_key with
+  | Some check when check () -> raise Cancelled
+  | _ -> ()
 
 let default_params = { eps = 0.05; gap = 0.03; max_phases = 100_000 }
 let quick_params = { eps = 0.1; gap = 0.08; max_phases = 100_000 }
@@ -225,6 +252,9 @@ let solve_impl ~params ~dual_check_every ~obs g commodities =
   let stall_window = 30 in
   let min_eps = 0.0125 in
   let rec phase_loop phases best_dual last_ratio stalled =
+    (* Deadline check between phases: all flow and length state is
+       consistent here, so [Cancelled] aborts with no partial phase. *)
+    check_cancelled ();
     (* One span per phase: the trace's phase-span count equals the
        returned [phases] field (cross-checked by the test suite). *)
     let sp_phase = Trace.begin_span ~cat:"fptas" "phase" in
@@ -310,6 +340,7 @@ let solve ?(params = default_params) ?(dual_check_every = 1) g commodities =
       r
   | exception e ->
       let bt = Printexc.get_raw_backtrace () in
+      (match e with Cancelled -> Metrics.incr m_cancelled | _ -> ());
       Trace.end_span sp;
       Printexc.raise_with_backtrace e bt
 

@@ -40,6 +40,32 @@ val quick_params : params
 (** Coarser/faster: eps = 0.1, gap = 0.08 — for smoke tests and quick-mode
     benches. *)
 
+(** {1 Cooperative cancellation} *)
+
+exception Cancelled
+(** Raised (from {!solve}, between phases) when the stop check installed
+    by {!with_cancel} returns [true]. No partial phase is observable: the
+    check runs only at phase boundaries, where both certificates are
+    consistent. *)
+
+val with_cancel : (unit -> bool) -> (unit -> 'a) -> 'a
+(** [with_cancel check f] installs [check] as the cancellation predicate
+    for every solve executed by [f] {e on this domain} (the installation
+    is domain-local, so callers layered above the solver — cached
+    wrappers, {!Dcn_flow.Throughput.compute}, the path-restricted
+    {!Dcn_flow.Mcmf_paths} — inherit it without parameter plumbing).
+    [check] is consulted between FPTAS phases; when it returns [true] the
+    solve raises {!Cancelled}. Nested installations shadow; the previous
+    predicate is restored on exit, also on exceptions. Typical use: a
+    per-request deadline, [with_cancel (fun () -> Clock.now_ns () > dl)].
+
+    The check must be cheap (called once per phase) and must not raise. *)
+
+val check_cancelled : unit -> unit
+(** Raise {!Cancelled} if this domain's installed predicate fires. Exposed
+    so sibling phase-structured solvers ({!Dcn_flow.Mcmf_paths}) honor the
+    same deadline; a no-op when no predicate is installed. *)
+
 type result = {
   lambda_lower : float;  (** Concurrency of the returned feasible flow. *)
   lambda_upper : float;  (** Certified upper bound on the optimum. *)

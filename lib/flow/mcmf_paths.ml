@@ -151,6 +151,8 @@ let solve ?(params = Mcmf_fptas.default_params) g commodities =
   let stall_window = 30 in
   let min_eps = 0.0125 in
   let rec phase_loop phases best_dual last_ratio stalled =
+    (* Same phase-boundary deadline as the unrestricted solver. *)
+    Mcmf_fptas.check_cancelled ();
     for j = 0 to k - 1 do
       route_commodity j
     done;

@@ -98,10 +98,38 @@ let observe h v =
     atomic_add_float h.sum v
   end
 
+(* Quantile estimate from fixed buckets: the upper edge of the bucket in
+   which the rank-⌈q·n⌉ observation lies. Exact at bucket boundaries by
+   the bucket semantics (lower bound inclusive): a value observed at bound
+   b lands in the bucket whose upper edge is the next bound, so the
+   estimate is always an upper bound on the true quantile and coincides
+   with it when the distribution sits on the grid. *)
+let histogram_quantile ~bounds ~counts q =
+  if q < 0.0 || q > 1.0 then invalid_arg "Metrics.histogram_quantile: q out of [0,1]";
+  let n = Array.fold_left ( + ) 0 counts in
+  if n = 0 then Float.nan
+  else begin
+    let rank = max 1 (int_of_float (Float.ceil (q *. float_of_int n))) in
+    let k = Array.length bounds in
+    let rec go i cum =
+      if i >= Array.length counts then infinity
+      else
+        let cum = cum + counts.(i) in
+        if cum >= rank then (if i < k then bounds.(i) else infinity)
+        else go (i + 1) cum
+    in
+    go 0 0
+  end
+
 type value =
   | Counter_v of int
   | Gauge_v of float
   | Histogram_v of { bounds : float array; counts : int array; sum : float }
+
+let value_quantile v q =
+  match v with
+  | Histogram_v { bounds; counts; _ } -> Some (histogram_quantile ~bounds ~counts q)
+  | Counter_v _ | Gauge_v _ -> None
 
 type snapshot = (string * value) list
 
@@ -210,12 +238,16 @@ let to_json snap =
           "[" ^ String.concat "," (List.map render (Array.to_list xs)) ^ "]"
         in
         let count = Array.fold_left ( + ) 0 counts in
+        (* Bucketed percentile summaries ([Json.number] maps the empty
+           histogram's NaN and the overflow bucket's infinity to null). *)
+        let q p = Json.number (histogram_quantile ~bounds ~counts p) in
         Some
           (Printf.sprintf
-             "{\"bounds\": %s, \"counts\": %s, \"sum\": %s, \"count\": %d}"
+             "{\"bounds\": %s, \"counts\": %s, \"sum\": %s, \"count\": %d, \
+              \"p50\": %s, \"p95\": %s, \"p99\": %s}"
              (arr Json.number bounds)
              (arr string_of_int counts)
-             (Json.number sum) count)
+             (Json.number sum) count (q 0.5) (q 0.95) (q 0.99))
     | _ -> None);
   Buffer.add_string buf "\n}\n";
   Buffer.contents buf

@@ -81,6 +81,32 @@ val merge : snapshot -> snapshot -> snapshot
     second operand. [merge before (diff ~before ~after) = after] up to
     dropped all-zero entries. *)
 
+(** {1 Percentile summaries} *)
+
+val bucket_index : float array -> float -> int
+(** Index of the bucket a value falls in, under the semantics documented
+    at {!histogram}: the first [i] with [v < bounds.(i)], or
+    [Array.length bounds] for the overflow bucket. Exposed so callers
+    (e.g. the serving load generator) can fill local count arrays with
+    exactly the registry's bucketing and feed them to
+    {!histogram_quantile}. *)
+
+val histogram_quantile : bounds:float array -> counts:int array -> float -> float
+(** [histogram_quantile ~bounds ~counts q] (with [0 <= q <= 1], else
+    [Invalid_argument]) estimates the [q]-quantile of the recorded
+    distribution as the {e upper edge} of the bucket containing the
+    rank-⌈q·n⌉ observation (n = total count). Returns [nan] when the
+    histogram is empty and [infinity] when the rank falls in the overflow
+    bucket. Because lower bounds are inclusive, a distribution
+    concentrated on the bucket boundaries is summarized exactly: observing
+    [bounds.(i)] yields quantile [bounds.(i+1)]-free answers — the
+    estimate equals the smallest bound strictly greater than the true
+    quantile value. *)
+
+val value_quantile : value -> float -> float option
+(** {!histogram_quantile} applied to a snapshot entry; [None] for
+    counters and gauges. *)
+
 val find : snapshot -> string -> value option
 
 val counter_value : snapshot -> string -> int
@@ -88,8 +114,10 @@ val counter_value : snapshot -> string -> int
 
 val to_json : snapshot -> string
 (** Render as [{"counters": {...}, "gauges": {...}, "histograms": {...}}];
-    histogram entries carry [bounds], [counts], [sum] and [count]. Names
-    are sorted, so equal snapshots render byte-identically. *)
+    histogram entries carry [bounds], [counts], [sum], [count] and the
+    bucketed [p50]/[p95]/[p99] summaries ([null] when empty or in the
+    overflow bucket). Names are sorted, so equal snapshots render
+    byte-identically. *)
 
 val write : path:string -> snapshot -> unit
 (** [to_json] through {!Json.atomic_write}. *)

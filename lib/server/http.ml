@@ -1,0 +1,248 @@
+(* HTTP/1.1, the small closed-world subset the serving layer needs.
+
+   One request per connection (every response carries Connection: close):
+   solve requests are seconds-long computations, so connection reuse buys
+   nothing and closing keeps the server's state machine trivial — the
+   whole protocol is read one request, write one response, close. Bodies
+   are delimited by Content-Length only; chunked encoding is not accepted
+   (411 from the caller's side). *)
+
+type request = {
+  meth : string;
+  target : string;
+  headers : (string * string) list;  (* names lowercased *)
+  body : string;
+}
+
+type response = {
+  status : int;
+  headers : (string * string) list;
+  body : string;
+}
+
+type read_error = Closed | Bad of string | Too_large
+
+let reason = function
+  | 200 -> "OK"
+  | 400 -> "Bad Request"
+  | 404 -> "Not Found"
+  | 405 -> "Method Not Allowed"
+  | 408 -> "Request Timeout"
+  | 411 -> "Length Required"
+  | 413 -> "Content Too Large"
+  | 429 -> "Too Many Requests"
+  | 500 -> "Internal Server Error"
+  | 503 -> "Service Unavailable"
+  | 504 -> "Gateway Timeout"
+  | _ -> "Status"
+
+let response ?(headers = []) status body = { status; headers; body }
+
+(* ---- buffered reading ---- *)
+
+type reader = {
+  fd : Unix.file_descr;
+  buf : Bytes.t;
+  mutable len : int;  (* valid bytes in buf *)
+  mutable pos : int;  (* next unread byte *)
+}
+
+let make_reader fd = { fd; buf = Bytes.create 8192; len = 0; pos = 0 }
+
+let refill r =
+  if r.pos >= r.len then begin
+    let n = Unix.read r.fd r.buf 0 (Bytes.length r.buf) in
+    r.pos <- 0;
+    r.len <- n;
+    n > 0
+  end
+  else true
+
+let read_byte r = if refill r then begin
+    let c = Bytes.get r.buf r.pos in
+    r.pos <- r.pos + 1;
+    Some c
+  end
+  else None
+
+(* A header/request line, CRLF (or bare LF) stripped. Bounded so a rogue
+   client cannot grow an unbounded line buffer. *)
+let read_line r ~max =
+  let buf = Buffer.create 64 in
+  let rec go () =
+    match read_byte r with
+    | None -> if Buffer.length buf = 0 then Error Closed else Ok (Buffer.contents buf)
+    | Some '\n' ->
+        let s = Buffer.contents buf in
+        let n = String.length s in
+        Ok (if n > 0 && s.[n - 1] = '\r' then String.sub s 0 (n - 1) else s)
+    | Some c ->
+        if Buffer.length buf >= max then Error (Bad "header line too long")
+        else begin
+          Buffer.add_char buf c;
+          go ()
+        end
+  in
+  go ()
+
+let read_exact r n =
+  let out = Bytes.create n in
+  let rec go filled =
+    if filled >= n then Ok (Bytes.unsafe_to_string out)
+    else if not (refill r) then Error (Bad "connection closed mid-body")
+    else begin
+      let take = min (n - filled) (r.len - r.pos) in
+      Bytes.blit r.buf r.pos out filled take;
+      r.pos <- r.pos + take;
+      go (filled + take)
+    end
+  in
+  go 0
+
+let ( let* ) = Result.bind
+
+let parse_header line =
+  match String.index_opt line ':' with
+  | None -> Error (Bad (Printf.sprintf "malformed header %S" line))
+  | Some i ->
+      let name = String.lowercase_ascii (String.sub line 0 i) in
+      let value =
+        String.trim (String.sub line (i + 1) (String.length line - i - 1))
+      in
+      Ok (name, value)
+
+let header name (req : request) = List.assoc_opt name req.headers
+
+let read_request ~max_body fd =
+  let r = make_reader fd in
+  let* first = read_line r ~max:8192 in
+  let* meth, target =
+    match String.split_on_char ' ' first with
+    | [ meth; target; version ]
+      when version = "HTTP/1.1" || version = "HTTP/1.0" ->
+        Ok (meth, target)
+    | _ -> Error (Bad (Printf.sprintf "malformed request line %S" first))
+  in
+  let rec headers acc count =
+    if count > 100 then Error (Bad "too many headers")
+    else
+      let* line = read_line r ~max:8192 in
+      if line = "" then Ok (List.rev acc)
+      else
+        let* h = parse_header line in
+        headers (h :: acc) (count + 1)
+  in
+  let* headers = headers [] 0 in
+  let req = { meth; target; headers; body = "" } in
+  match header "content-length" req with
+  | None ->
+      if header "transfer-encoding" req <> None then
+        Error (Bad "chunked bodies are not supported")
+      else Ok req
+  | Some l -> (
+      match int_of_string_opt l with
+      | Some n when n >= 0 ->
+          if n > max_body then Error Too_large
+          else
+            let* body = read_exact r n in
+            Ok { req with body }
+      | _ -> Error (Bad (Printf.sprintf "bad Content-Length %S" l)))
+
+(* ---- writing ---- *)
+
+let write_all fd s =
+  let len = String.length s in
+  let rec go off =
+    if off < len then begin
+      let n = Unix.write_substring fd s off (len - off) in
+      go (off + n)
+    end
+  in
+  go 0
+
+let write_response fd resp =
+  let buf = Buffer.create (String.length resp.body + 256) in
+  Buffer.add_string buf
+    (Printf.sprintf "HTTP/1.1 %d %s\r\n" resp.status (reason resp.status));
+  List.iter
+    (fun (name, value) -> Buffer.add_string buf (Printf.sprintf "%s: %s\r\n" name value))
+    resp.headers;
+  Buffer.add_string buf
+    (Printf.sprintf "Content-Length: %d\r\nConnection: close\r\n\r\n"
+       (String.length resp.body));
+  Buffer.add_string buf resp.body;
+  write_all fd (Buffer.contents buf)
+
+(* ---- client side ---- *)
+
+let client_request ~host ~port ~meth ~target ?(body = "") () =
+  let addr =
+    try (Unix.gethostbyname host).Unix.h_addr_list.(0)
+    with Not_found -> Unix.inet_addr_of_string host
+  in
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      match Unix.connect fd (Unix.ADDR_INET (addr, port)) with
+      | exception Unix.Unix_error (e, _, _) ->
+          Error (Printf.sprintf "connect %s:%d: %s" host port (Unix.error_message e))
+      | () -> (
+          let content =
+            if body = "" && meth = "GET" then ""
+            else
+              Printf.sprintf "Content-Type: application/json\r\nContent-Length: %d\r\n"
+                (String.length body)
+          in
+          write_all fd
+            (Printf.sprintf "%s %s HTTP/1.1\r\nHost: %s\r\n%sConnection: close\r\n\r\n%s"
+               meth target host content body);
+          let r = make_reader fd in
+          let fail e =
+            Error
+              (match e with
+              | Closed -> "server closed the connection mid-response"
+              | Bad msg -> msg
+              | Too_large -> "response too large")
+          in
+          match read_line r ~max:8192 with
+          | Error e -> fail e
+          | Ok status_line -> (
+              let status_opt =
+                match String.split_on_char ' ' status_line with
+                | _ :: code :: _ -> int_of_string_opt code
+                | _ -> None
+              in
+              match status_opt with
+              | None -> Error (Printf.sprintf "bad status line %S" status_line)
+              | Some status -> (
+                  (* Drain headers, then read the body: by Content-Length
+                     when present, to EOF otherwise (we sent
+                     Connection: close). *)
+                  let rec headers length =
+                    match read_line r ~max:8192 with
+                    | Error e -> fail e
+                    | Ok "" -> Ok length
+                    | Ok line -> (
+                        match parse_header line with
+                        | Ok ("content-length", v) -> headers (int_of_string_opt v)
+                        | Ok _ -> headers length
+                        | Error e -> fail e)
+                  in
+                  match headers None with
+                  | Error msg -> Error msg
+                  | Ok (Some n) -> (
+                      match read_exact r n with
+                      | Ok body -> Ok (status, body)
+                      | Error _ -> Error "connection closed mid-body")
+                  | Ok None ->
+                      let buf = Buffer.create 1024 in
+                      let rec drain () =
+                        match read_byte r with
+                        | Some c ->
+                            Buffer.add_char buf c;
+                            drain ()
+                        | None -> ()
+                      in
+                      drain ();
+                      Ok (status, Buffer.contents buf)))))

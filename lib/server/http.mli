@@ -1,0 +1,57 @@
+(** HTTP/1.1, the one-request-per-connection subset the serving layer
+    speaks.
+
+    Every response carries [Connection: close]: solve requests run for
+    seconds, so connection reuse buys nothing and closing keeps the
+    protocol a pure read-one/write-one/close exchange. Bodies are
+    delimited by [Content-Length] only; chunked transfer encoding is
+    rejected. *)
+
+type request = {
+  meth : string;
+  target : string;  (** Request target as sent, e.g. ["/solve"]. *)
+  headers : (string * string) list;  (** Names lowercased. *)
+  body : string;
+}
+
+type response = {
+  status : int;
+  headers : (string * string) list;
+      (** Extra headers; [Content-Length] and [Connection] are added by
+          {!write_response}. *)
+  body : string;
+}
+
+type read_error =
+  | Closed  (** Peer closed before sending a request. *)
+  | Bad of string  (** Malformed request; respond 400. *)
+  | Too_large  (** Declared body exceeds the limit; respond 413. *)
+
+val reason : int -> string
+(** Canonical reason phrase for the status codes the server emits. *)
+
+val response : ?headers:(string * string) list -> int -> string -> response
+
+val read_request : max_body:int -> Unix.file_descr -> (request, read_error) result
+(** Blocking read of one request. The body is read fully iff a valid
+    [Content-Length] at most [max_body] is declared. *)
+
+val write_response : Unix.file_descr -> response -> unit
+(** Blocking write of the full response. Raises [Unix.Unix_error] (e.g.
+    [EPIPE]) if the peer is gone; callers ignore that — the response has
+    no one to go to. *)
+
+val header : string -> request -> string option
+(** Case-insensitive header lookup (pass the name in lowercase). *)
+
+val client_request :
+  host:string ->
+  port:int ->
+  meth:string ->
+  target:string ->
+  ?body:string ->
+  unit ->
+  (int * string, string) result
+(** One client exchange: connect, send, read (status, body), close. Used
+    by [topobench client] and the tests; errors are connection-level
+    (refused, reset, malformed response), never HTTP statuses. *)

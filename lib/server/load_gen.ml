@@ -1,0 +1,133 @@
+(* Load generator for the solve server.
+
+   Deterministic by construction: request i carries body i mod V (round
+   robin over the variant bodies), so a fixed (requests, variants) pair
+   always produces the same request mix — the CI smoke test relies on
+   this to predict the server's cache-miss count exactly. Scheduling is
+   open-loop when a target QPS is set (request i is released at
+   t0 + i/qps, independent of responses — the standard way to measure
+   latency under load without coordinated omission) and closed-loop
+   otherwise (each thread fires as fast as its responses return).
+
+   Latency percentiles are bucketed through the same fixed-grid machinery
+   as the server's own histograms (Metrics.bucket_index /
+   histogram_quantile), so a report's p99 and the /metrics p99 are
+   computed identically. *)
+
+module Metrics = Dcn_obs.Metrics
+module Clock = Dcn_obs.Clock
+
+type row = { status : int; latency_s : float; body : string }
+
+type report = {
+  total : int;
+  by_status : (int * int) list;  (* status -> count; 0 = connection error *)
+  p50 : float;
+  p95 : float;
+  p99 : float;
+  max_s : float;
+  duplicates_identical : bool;
+  elapsed_s : float;
+}
+
+(* Finer than the registry's default latency grid at the fast end:
+   warm-cache responses are sub-millisecond. *)
+let latency_bounds =
+  [| 1e-4; 3e-4; 1e-3; 3e-3; 1e-2; 3e-2; 0.1; 0.3; 1.0; 3.0; 10.0; 30.0; 60.0 |]
+
+let run ~host ~port ~bodies ~requests ~concurrency ~qps =
+  if Array.length bodies = 0 then invalid_arg "Load_gen.run: no request bodies";
+  if requests < 1 then invalid_arg "Load_gen.run: requests < 1";
+  let concurrency = max 1 (min concurrency requests) in
+  let rows = Array.make requests { status = 0; latency_s = 0.0; body = "" } in
+  let t0 = Clock.now_ns () in
+  let one i =
+    (* Open-loop release schedule. *)
+    if qps > 0.0 then begin
+      let due = float_of_int i /. qps in
+      let wait = due -. Clock.elapsed_s t0 in
+      if wait > 0.0 then Thread.delay wait
+    end;
+    let sent = Clock.now_ns () in
+    let status, body =
+      match
+        Http.client_request ~host ~port ~meth:"POST" ~target:"/solve"
+          ~body:bodies.(i mod Array.length bodies) ()
+      with
+      | Ok (status, body) -> (status, body)
+      | Error _ -> (0, "")
+    in
+    rows.(i) <- { status; latency_s = Clock.elapsed_s sent; body }
+  in
+  (* Thread t owns slots t, t+concurrency, ... — no slot is shared. *)
+  let worker t =
+    let i = ref t in
+    while !i < requests do
+      one !i;
+      i := !i + concurrency
+    done
+  in
+  let threads = List.init concurrency (fun t -> Thread.create worker t) in
+  List.iter Thread.join threads;
+  let elapsed_s = Clock.elapsed_s t0 in
+  let by_status =
+    Array.fold_left
+      (fun acc r ->
+        match List.assoc_opt r.status acc with
+        | Some n -> (r.status, n + 1) :: List.remove_assoc r.status acc
+        | None -> (r.status, 1) :: acc)
+      [] rows
+    |> List.sort compare
+  in
+  (* Same bucketing as the server's histograms, then the shared quantile
+     estimator. *)
+  let counts = Array.make (Array.length latency_bounds + 1) 0 in
+  let max_s = ref 0.0 in
+  Array.iter
+    (fun r ->
+      let b = Metrics.bucket_index latency_bounds r.latency_s in
+      counts.(b) <- counts.(b) + 1;
+      max_s := Float.max !max_s r.latency_s)
+    rows;
+  let q p = Metrics.histogram_quantile ~bounds:latency_bounds ~counts p in
+  (* Byte-identity: within a variant, every 2xx body must be the same
+     string — whether it came from the leader, a coalesced rider, or the
+     result store. *)
+  let duplicates_identical =
+    let variants = Array.length bodies in
+    let seen = Array.make variants None in
+    Array.to_seq rows
+    |> Seq.mapi (fun i r -> (i mod variants, r))
+    |> Seq.for_all (fun (v, r) ->
+           if r.status < 200 || r.status > 299 then true
+           else
+             match seen.(v) with
+             | None ->
+                 seen.(v) <- Some r.body;
+                 true
+             | Some first -> String.equal first r.body)
+  in
+  ( {
+      total = requests;
+      by_status;
+      p50 = q 0.5;
+      p95 = q 0.95;
+      p99 = q 0.99;
+      max_s = !max_s;
+      duplicates_identical;
+      elapsed_s;
+    },
+    rows )
+
+let print_report r =
+  Printf.printf "requests  : %d in %.2fs (%.1f/s)\n" r.total r.elapsed_s
+    (float_of_int r.total /. Float.max 1e-9 r.elapsed_s);
+  List.iter
+    (fun (status, n) ->
+      if status = 0 then Printf.printf "  errors  : %d (connection failed)\n" n
+      else Printf.printf "  HTTP %d: %d\n" status n)
+    r.by_status;
+  Printf.printf "latency   : p50 %.4fs  p95 %.4fs  p99 %.4fs  max %.4fs\n" r.p50
+    r.p95 r.p99 r.max_s;
+  Printf.printf "duplicates: %s\n"
+    (if r.duplicates_identical then "byte-identical" else "MISMATCH")

@@ -1,0 +1,39 @@
+(** Deterministic load generator for the solve server.
+
+    Request [i] carries body [i mod V] (round robin over the variants),
+    so the request mix is a pure function of [(requests, bodies)] — the
+    CI smoke test predicts the server's exact cache-miss count from it.
+    Open-loop when [qps > 0] (request [i] released at [t0 + i/qps],
+    avoiding coordinated omission), closed-loop when [qps = 0].
+    Percentiles use the same fixed-bucket machinery as the server's
+    histograms ({!Dcn_obs.Metrics.bucket_index},
+    {!Dcn_obs.Metrics.histogram_quantile}). *)
+
+type row = { status : int; latency_s : float; body : string }
+(** [status = 0] means the connection itself failed. *)
+
+type report = {
+  total : int;
+  by_status : (int * int) list;  (** Sorted (status, count); 0 = conn error. *)
+  p50 : float;
+  p95 : float;
+  p99 : float;
+  max_s : float;
+  duplicates_identical : bool;
+      (** Within each variant, all 2xx bodies were byte-identical. *)
+  elapsed_s : float;
+}
+
+val run :
+  host:string ->
+  port:int ->
+  bodies:string array ->
+  requests:int ->
+  concurrency:int ->
+  qps:float ->
+  report * row array
+(** Fire [requests] POSTs at [/solve] from [concurrency] threads; returns
+    the report and the per-request rows (slot [i] is request [i]). Raises
+    [Invalid_argument] on an empty [bodies] or [requests < 1]. *)
+
+val print_report : report -> unit

@@ -1,0 +1,65 @@
+(** Typed [/solve] requests and their content identity.
+
+    A request names a topology (generator spec or inline
+    {!Dcn_io.Topology_io} text), a traffic model, FPTAS parameters and a
+    routing mode. Identity for coalescing and caching is {!digest}: the
+    hash of a canonical text built from the {e resolved} inputs, so a
+    generator spec and its own serialized output digest identically, and
+    requests differing in any result-relevant field (eps, gap, routing,
+    seed, solver version) digest differently. *)
+
+type topology = Spec of Core.Cli.topo_spec | Inline of string
+
+type routing =
+  | Optimal  (** Unrestricted max concurrent flow (cached in the store). *)
+  | Ksp of int  (** k shortest paths per commodity. *)
+  | Ecmp of int  (** Equal shortest paths, up to the limit. *)
+  | Vlb of int  (** Valiant load balancing over N intermediates. *)
+
+type t = {
+  topology : topology;
+  seed : int;  (** Drives generator, traffic and VLB randomness. *)
+  traffic : Core.Cli.traffic_kind;
+  eps : float;
+  gap : float;
+  routing : routing;
+  timeout_s : float option;  (** Per-request deadline override. *)
+}
+
+val routing_to_string : routing -> string
+(** Canonical form; {!parse_routing} round-trips it. *)
+
+val parse_routing : string -> (routing, string) result
+(** [optimal | ksp:K | ecmp[:LIMIT] | vlb:N] (bare [ecmp] means limit 64). *)
+
+val of_json : Json_parse.t -> (t, string) result
+(** Decode the request object. Only ["topology"] is required; defaults:
+    seed 1, permutation traffic, eps 0.05, gap 0.05, optimal routing, no
+    per-request timeout. *)
+
+val of_body : string -> (t, string) result
+(** Parse + decode a request body. *)
+
+type resolved = {
+  topo : Core.Topology.t;
+  matrix : Core.Traffic.t;
+  commodities : Core.Commodity.t array;
+}
+
+val resolve : t -> resolved
+(** Build the topology and traffic matrix. Deterministic: the topology
+    draws from [Random.State.make [| seed |]] and the traffic from
+    [[| seed; 1 |]], the same derivation as the CLI front ends. May raise
+    ([Invalid_argument], [Failure]) on semantically invalid specs; the
+    server maps those to 400. *)
+
+val params : t -> Core.Mcmf_fptas.params
+
+val canonical_text : ?solver_version:string -> t -> resolved -> string
+(** The digested text. Covers everything the response bits depend on and
+    nothing else — in particular the timeout is excluded (it bounds the
+    computation, it does not parameterize the result). [solver_version]
+    defaults to {!Core.Digest_key.solver_version} and exists so tests can
+    check that version bumps change digests. *)
+
+val digest : ?solver_version:string -> t -> resolved -> Core.Digest_key.t

@@ -1,0 +1,329 @@
+(* The solve server.
+
+   Architecture: the main thread owns the listening socket and runs a
+   select-with-timeout accept loop so it can poll the stop flag set by
+   SIGTERM/SIGINT; every accepted connection becomes one detached task on
+   the shared domain pool (Pool.submit), where the blocking read, the
+   solve and the blocking write all happen. Admission control is an
+   atomic in-flight counter checked in the accept loop: beyond
+   workers + queue_capacity connections the server answers 429 with
+   Retry-After instead of queueing unboundedly, and once shutdown has
+   begun (Pool.submit refuses) it answers 503. Graceful drain is then
+   exactly Pool.shutdown: stop accepting, wait for every submitted
+   handler to finish, join the workers, flush the observability sinks.
+
+   Request identity: the body resolves to a Request.digest; concurrent
+   requests with the same digest coalesce (Coalesce) so the solver runs
+   once and every duplicate gets the leader's rendered body,
+   byte-identically. Optimal-routing solves go through Solve_cache, so
+   the coalesced result also lands in the content-addressed store and
+   later identical requests replay it from disk.
+
+   Deadlines: measured from accept time (queue wait counts — a request
+   that waited 9 of its 10 seconds in the queue gets 1 second of solve),
+   enforced cooperatively at FPTAS phase boundaries via
+   Mcmf_fptas.with_cancel. Riders on a coalesced solve share the
+   leader's fate, including its cancellation. *)
+
+module Metrics = Dcn_obs.Metrics
+module Clock = Dcn_obs.Clock
+module Trace = Dcn_obs.Trace
+module Json = Dcn_obs.Json
+
+type config = {
+  host : string;
+  port : int;  (* 0 = ephemeral; the bound port goes to port_file *)
+  queue_capacity : int;
+  default_timeout_s : float option;
+  max_body_bytes : int;
+  port_file : string option;
+  metrics_file : string option;
+  trace_file : string option;
+}
+
+let default_config =
+  {
+    host = "127.0.0.1";
+    port = 8080;
+    queue_capacity = 64;
+    default_timeout_s = Some 300.0;
+    max_body_bytes = 8 * 1024 * 1024;
+    port_file = None;
+    metrics_file = None;
+    trace_file = None;
+  }
+
+type t = {
+  config : config;
+  coalesce : string Coalesce.t;  (* digest -> rendered 200 body *)
+  inflight : int Atomic.t;
+}
+
+let create config = { config; coalesce = Coalesce.create (); inflight = Atomic.make 0 }
+let coalesce_pending t = Coalesce.pending t.coalesce
+
+(* ---- metrics ---- *)
+
+let m_requests = Metrics.counter "serve.requests"
+let m_solves = Metrics.counter "serve.solve.requests"
+let m_led = Metrics.counter "serve.solve.led"
+let m_coalesced = Metrics.counter "serve.solve.coalesced"
+let m_rejected_capacity = Metrics.counter "serve.rejected.capacity"
+let m_rejected_draining = Metrics.counter "serve.rejected.draining"
+let m_2xx = Metrics.counter "serve.status.2xx"
+let m_4xx = Metrics.counter "serve.status.4xx"
+let m_5xx = Metrics.counter "serve.status.5xx"
+let m_request_s = Metrics.histogram "serve.request_s"
+let g_inflight = Metrics.gauge "serve.inflight"
+
+(* ---- response rendering ---- *)
+
+let json_headers = [ ("Content-Type", "application/json") ]
+
+let error_body msg = Printf.sprintf "{\"error\": %s}\n" (Json.quote msg)
+
+let error_response ?(headers = []) status msg =
+  Http.response ~headers:(json_headers @ headers) status (error_body msg)
+
+(* Result floats use the exact round-tripping decimal form, not %.6g:
+   clients replaying a body must see the very bits the solver certified. *)
+let solve_body ~digest ~(req : Request.t) ~(resolved : Request.resolved)
+    ~lambda ~bounds:(lo, hi) =
+  let topo = resolved.Request.topo in
+  let f = Core.Float_text.to_string in
+  let buf = Buffer.create 512 in
+  let field ?(last = false) name value =
+    Buffer.add_string buf
+      (Printf.sprintf "  %s: %s%s\n" (Json.quote name) value (if last then "" else ","))
+  in
+  Buffer.add_string buf "{\n";
+  field "digest" (Json.quote digest);
+  field "topology" (Json.quote topo.Core.Topology.name);
+  field "switches" (string_of_int (Core.Graph.n topo.Core.Topology.graph));
+  field "servers" (string_of_int (Core.Topology.num_servers topo));
+  field "commodities" (string_of_int (Array.length resolved.Request.commodities));
+  field "traffic" (Json.quote (Core.Cli.traffic_to_string req.Request.traffic));
+  field "routing" (Json.quote (Request.routing_to_string req.Request.routing));
+  field "eps" (f req.Request.eps);
+  field "gap" (f req.Request.gap);
+  field "lambda" (f lambda);
+  field "lambda_lower" (f lo);
+  field "lambda_upper" (f hi) ~last:true;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+(* ---- the solve itself ---- *)
+
+let compute_solve (req : Request.t) (resolved : Request.resolved) =
+  let g = resolved.Request.topo.Core.Topology.graph in
+  let cs = resolved.Request.commodities in
+  let params = Request.params req in
+  match req.Request.routing with
+  | Request.Optimal ->
+      (* Through the result store: a cold solve both terminates the
+         coalescing window and seeds the cache. *)
+      let thr =
+        Core.Solve_cache.throughput ~solver:(Core.Throughput.Fptas params) g cs
+      in
+      (thr.Core.Throughput.lambda, thr.Core.Throughput.lambda_bounds)
+  | (Request.Ksp _ | Request.Ecmp _ | Request.Vlb _) as routing ->
+      (* Path-restricted models are not store-cached (their result type
+         never grew a codec); they still coalesce. *)
+      let rcs =
+        match routing with
+        | Request.Ksp k -> Core.Mcmf_paths.of_k_shortest g ~k cs
+        | Request.Ecmp limit -> Core.Mcmf_paths.of_ecmp g ~limit cs
+        | Request.Vlb n ->
+            (* Stream [seed; 2]: independent of the generator ([seed]) and
+               traffic ([seed; 1]) streams. *)
+            let st = Random.State.make [| req.Request.seed; 2 |] in
+            Core.Vlb.restrict st g ~intermediates:n cs
+        | Request.Optimal -> assert false
+      in
+      let r = Core.Mcmf_paths.solve ~params g rcs in
+      ( (r.Core.Mcmf_paths.lambda_lower +. r.Core.Mcmf_paths.lambda_upper) /. 2.0,
+        (r.Core.Mcmf_paths.lambda_lower, r.Core.Mcmf_paths.lambda_upper) )
+
+let with_deadline deadline f =
+  match deadline with
+  | None -> f ()
+  | Some d -> Core.Mcmf_fptas.with_cancel (fun () -> Clock.now_ns () > d) f
+
+(* ---- dispatch ---- *)
+
+let ns_of_s s = Int64.of_float (s *. 1e9)
+
+let handle_solve t ~accept_ns (httpreq : Http.request) =
+  Metrics.incr m_solves;
+  match Request.of_body httpreq.Http.body with
+  | Error msg -> error_response 400 msg
+  | Ok req -> (
+      match Request.resolve req with
+      | exception (Invalid_argument msg | Failure msg | Sys_error msg) ->
+          error_response 400 msg
+      | resolved -> (
+          let digest = Request.digest req resolved in
+          let deadline =
+            match (req.Request.timeout_s, t.config.default_timeout_s) with
+            | Some s, _ | None, Some s -> Some (Int64.add accept_ns (ns_of_s s))
+            | None, None -> None
+          in
+          let timed_out () =
+            match deadline with Some d -> Clock.now_ns () > d | None -> false
+          in
+          if timed_out () then
+            error_response 504 "deadline exceeded before the solve started"
+          else
+            let outcome =
+              Coalesce.run t.coalesce ~key:digest (fun () ->
+                  Metrics.incr m_led;
+                  Trace.with_span ~cat:"serve" ("solve " ^ digest) (fun () ->
+                      with_deadline deadline (fun () ->
+                          let lambda, bounds = compute_solve req resolved in
+                          solve_body ~digest ~req ~resolved ~lambda ~bounds)))
+            in
+            if not outcome.Coalesce.led then Metrics.incr m_coalesced;
+            match outcome.Coalesce.value with
+            | Ok body -> Http.response ~headers:json_headers 200 body
+            | Error Core.Mcmf_fptas.Cancelled ->
+                error_response 504 "deadline exceeded"
+            | Error (Invalid_argument msg | Failure msg) -> error_response 400 msg
+            | Error e -> error_response 500 (Printexc.to_string e)))
+
+let handle t ~accept_ns (req : Http.request) =
+  Metrics.incr m_requests;
+  let resp =
+    match (req.Http.meth, req.Http.target) with
+    | "GET", "/healthz" ->
+        Http.response ~headers:json_headers 200 "{\"status\": \"ok\"}\n"
+    | "GET", "/metrics" ->
+        Metrics.set g_inflight (float_of_int (Atomic.get t.inflight));
+        Http.response ~headers:json_headers 200 (Metrics.to_json (Metrics.snapshot ()))
+    | "POST", "/solve" -> handle_solve t ~accept_ns req
+    | _, ("/healthz" | "/metrics" | "/solve") ->
+        error_response 405 (Printf.sprintf "%s does not accept %s" req.Http.target req.Http.meth)
+    | _, target -> error_response 404 (Printf.sprintf "no such endpoint %s" target)
+  in
+  Metrics.observe m_request_s (Clock.elapsed_s accept_ns);
+  Metrics.incr
+    (if resp.Http.status < 400 then m_2xx
+     else if resp.Http.status < 500 then m_4xx
+     else m_5xx);
+  resp
+
+(* ---- connection plumbing ---- *)
+
+let try_write fd resp =
+  (* The peer may already be gone (client timeout, ^C); its loss. *)
+  try Http.write_response fd resp with Unix.Unix_error _ -> ()
+
+let handle_conn t ~accept_ns fd =
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      (* A stalled client must not pin a worker domain forever. *)
+      (try Unix.setsockopt_float fd Unix.SO_RCVTIMEO 30.0
+       with Unix.Unix_error _ -> ());
+      match Http.read_request ~max_body:t.config.max_body_bytes fd with
+      | exception Unix.Unix_error _ -> ()
+      | Error Http.Closed -> ()
+      | Error (Http.Bad msg) -> try_write fd (error_response 400 msg)
+      | Error Http.Too_large ->
+          try_write fd (error_response 413 "request body too large")
+      | Ok req -> try_write fd (handle t ~accept_ns req))
+
+let admit t conn =
+  let accept_ns = Clock.now_ns () in
+  (* Handler slots = pool workers (or 1 when the pool is disabled and
+     handlers run on the accept thread itself). *)
+  let slots = max 1 (Core.Pool.workers ()) in
+  let capacity = slots + t.config.queue_capacity in
+  if Atomic.fetch_and_add t.inflight 1 >= capacity then begin
+    ignore (Atomic.fetch_and_add t.inflight (-1));
+    Metrics.incr m_rejected_capacity;
+    try_write conn
+      (error_response ~headers:[ ("Retry-After", "1") ] 429 "server at capacity");
+    try Unix.close conn with Unix.Unix_error _ -> ()
+  end
+  else begin
+    Metrics.set g_inflight (float_of_int (Atomic.get t.inflight));
+    let task () =
+      Fun.protect
+        ~finally:(fun () ->
+          ignore (Atomic.fetch_and_add t.inflight (-1));
+          Metrics.set g_inflight (float_of_int (Atomic.get t.inflight)))
+        (fun () -> handle_conn t ~accept_ns conn)
+    in
+    if not (Core.Pool.submit task) then begin
+      ignore (Atomic.fetch_and_add t.inflight (-1));
+      Metrics.incr m_rejected_draining;
+      try_write conn
+        (error_response ~headers:[ ("Retry-After", "1") ] 503 "server is draining");
+      try Unix.close conn with Unix.Unix_error _ -> ()
+    end
+  end
+
+(* ---- lifecycle ---- *)
+
+let flush_sinks config =
+  (match config.metrics_file with
+  | Some path -> Metrics.write ~path (Metrics.snapshot ())
+  | None -> ());
+  match config.trace_file with Some path -> Trace.write path | None -> ()
+
+let serve config =
+  (* A peer resetting mid-write must surface as EPIPE, not kill the
+     process. *)
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  Metrics.set_enabled true;
+  if config.trace_file <> None then Trace.set_enabled true;
+  let t = create config in
+  let stop = Atomic.make false in
+  let on_signal = Sys.Signal_handle (fun _ -> Atomic.set stop true) in
+  Sys.set_signal Sys.sigterm on_signal;
+  Sys.set_signal Sys.sigint on_signal;
+  let listen_fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt listen_fd Unix.SO_REUSEADDR true;
+  let addr =
+    try Unix.inet_addr_of_string config.host
+    with Failure _ -> (
+      try (Unix.gethostbyname config.host).Unix.h_addr_list.(0)
+      with Not_found -> failwith (Printf.sprintf "cannot resolve host %S" config.host))
+  in
+  Unix.bind listen_fd (Unix.ADDR_INET (addr, config.port));
+  Unix.listen listen_fd 128;
+  let port =
+    match Unix.getsockname listen_fd with
+    | Unix.ADDR_INET (_, p) -> p
+    | _ -> config.port
+  in
+  (* Atomic publish: a watcher polling for the file never reads a
+     half-written port number. *)
+  Option.iter
+    (fun path -> Json.atomic_write ~path (string_of_int port ^ "\n"))
+    config.port_file;
+  Printf.printf "dcn_served: listening on %s:%d (handlers=%d, queue=%d)\n%!"
+    config.host port
+    (max 1 (Core.Pool.workers ()))
+    config.queue_capacity;
+  while not (Atomic.get stop) do
+    (* Select with a short timeout, then poll the stop flag: the signal
+       handler only flips an atomic, so shutdown latency is one tick. *)
+    match Unix.select [ listen_fd ] [] [] 0.2 with
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    | [], _, _ -> ()
+    | _ :: _, _, _ -> (
+        match Unix.accept listen_fd with
+        | exception
+            Unix.Unix_error ((Unix.EINTR | Unix.EAGAIN | Unix.EWOULDBLOCK), _, _)
+          ->
+            ()
+        | conn, _ -> admit t conn)
+  done;
+  (* Drain: close the door, finish every admitted request, then flush. *)
+  Unix.close listen_fd;
+  Printf.printf "dcn_served: draining %d in-flight request(s)\n%!"
+    (Atomic.get t.inflight);
+  Core.Pool.shutdown ();
+  flush_sinks config;
+  Printf.printf "dcn_served: drained, exiting\n%!"

@@ -1,0 +1,66 @@
+(** The solve server.
+
+    Endpoints:
+    - [POST /solve] — JSON request ({!Request.of_json} schema) to JSON
+      response with the certified throughput interval. Identical
+      concurrent requests coalesce onto one solver run and receive
+      byte-identical bodies; optimal-routing results land in the shared
+      result store ({!Dcn_store}) when one is installed.
+    - [GET /healthz] — liveness probe.
+    - [GET /metrics] — {!Dcn_obs.Metrics} registry snapshot as JSON
+      (solver counters, store hits/misses, request latency histogram with
+      p50/p95/p99).
+
+    Concurrency: the accept loop runs on the calling thread; each
+    connection is one detached task on the shared domain pool
+    ({!Dcn_util.Pool.submit}). Admission control bounds in-flight work at
+    [pool workers + queue_capacity] (429 + Retry-After beyond, 503 while
+    draining). Deadlines are measured from accept time and enforced at
+    FPTAS phase boundaries ({!Dcn_flow.Mcmf_fptas.with_cancel}); an
+    exceeded deadline is a 504, and riders of a coalesced solve share the
+    leader's fate. SIGTERM/SIGINT stop the accept loop, drain in-flight
+    requests ({!Dcn_util.Pool.shutdown}) and flush the observability
+    sinks before {!serve} returns. *)
+
+type config = {
+  host : string;
+  port : int;  (** 0 picks an ephemeral port; see [port_file]. *)
+  queue_capacity : int;
+      (** Admitted-but-not-yet-handled requests beyond the pool's worker
+          count; above this the server answers 429. *)
+  default_timeout_s : float option;
+      (** Deadline for requests that do not set ["timeout_s"]; [None]
+          means no deadline. *)
+  max_body_bytes : int;
+  port_file : string option;
+      (** Atomically write the bound port here once listening — the only
+          race-free way to use [port = 0]. *)
+  metrics_file : string option;  (** Metrics snapshot written at drain. *)
+  trace_file : string option;
+      (** Chrome-trace span file written at drain; enables tracing. *)
+}
+
+val default_config : config
+(** 127.0.0.1:8080, queue 64, 300 s default deadline, 8 MiB bodies, no
+    files. *)
+
+type t
+
+val create : config -> t
+(** Server state without sockets — {!handle} on a [t] exercises the full
+    dispatch/coalescing/deadline logic in-process, which is how the unit
+    tests drive it. *)
+
+val handle : t -> accept_ns:int64 -> Http.request -> Http.response
+(** Handle one request. [accept_ns] is the monotonic accept timestamp;
+    deadlines count from it, so queue wait is part of the budget. *)
+
+val coalesce_pending : t -> int
+(** In-flight coalesced solves (see {!Coalesce.pending}); tests use it to
+    rendezvous a duplicate with its leader. *)
+
+val serve : config -> unit
+(** Bind, listen, print the [listening] line, run the accept loop until
+    SIGTERM/SIGINT, drain, flush, return. Installs signal handlers and
+    ignores SIGPIPE; enables metrics recording. Runs handlers on the
+    shared pool — size it beforehand with {!Dcn_util.Pool.set_workers}. *)

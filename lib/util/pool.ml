@@ -45,8 +45,17 @@ let work_available = Condition.create ()
 let task_done = Condition.create ()
 
 (* Newest-first: workers prefer inner (nested) batches, whose completion
-   unblocks the outer tasks that submitted them. *)
+   unblocks the outer tasks that submitted them. Async single-task batches
+   from [submit] are appended at the tail instead, so detached work (e.g.
+   server request handlers) is claimed FIFO and never starves a nested
+   batch some thread is waiting on. *)
 let batches : batch list ref = ref []
+
+(* Drain/shutdown state for detached tasks. [async_outstanding] counts
+   [submit]ted tasks not yet finished; [shutting_down] makes further
+   submissions fail fast. Both guarded by [mutex]. *)
+let shutting_down = ref false
+let async_outstanding = ref 0
 
 let default_workers = max 0 (Domain.recommended_domain_count () - 1)
 let target = ref default_workers
@@ -57,6 +66,10 @@ let set_workers n =
   if n < 0 then invalid_arg "Pool.set_workers: negative worker count";
   Mutex.lock mutex;
   target := n;
+  (* Re-open a pool that was shut down: the daemon never resizes after
+     [shutdown], but tests (and any embedder that drains between runs)
+     compose better when a later [set_workers] restores service. *)
+  shutting_down := false;
   if !live > n then Condition.broadcast work_available;
   Mutex.unlock mutex
 
@@ -211,3 +224,74 @@ let run ~total f =
       | None -> ()
     end
   end
+
+(* ---- detached tasks and graceful drain ---------------------------- *)
+
+let m_submitted = Metrics.counter "pool.submitted"
+
+let submit f =
+  let task () =
+    (* Detached tasks have nobody to re-raise into; a task that leaks an
+       exception is a bug in the caller, surfaced on stderr rather than
+       silently killing a worker domain. *)
+    (try f ()
+     with e ->
+       Printf.eprintf "Pool.submit: task raised %s\n%!" (Printexc.to_string e));
+    Mutex.lock mutex;
+    async_outstanding := !async_outstanding - 1;
+    Condition.broadcast task_done;
+    Mutex.unlock mutex
+  in
+  Mutex.lock mutex;
+  if !shutting_down then begin
+    Mutex.unlock mutex;
+    false
+  end
+  else if !target = 0 then begin
+    (* Pool disabled: degrade to synchronous execution on the caller, the
+       same serial fallback [run] uses. *)
+    async_outstanding := !async_outstanding + 1;
+    Mutex.unlock mutex;
+    Metrics.incr m_submitted;
+    task ();
+    true
+  end
+  else begin
+    async_outstanding := !async_outstanding + 1;
+    Metrics.incr m_submitted;
+    let ctx = Dcn_obs.Context.capture () in
+    let b =
+      {
+        total = 1;
+        run = (fun _ -> Dcn_obs.Context.with_captured ctx task);
+        next = Atomic.make 0;
+        completed = Atomic.make 0;
+      }
+    in
+    (* Tail append: FIFO among detached tasks, and always behind nested
+       [run] batches (which some thread is actively waiting on). The list
+       is short — bounded by the embedder's admission control. *)
+    batches := !batches @ [ b ];
+    ensure_workers ();
+    Condition.broadcast work_available;
+    Mutex.unlock mutex;
+    true
+  end
+
+let draining () = !shutting_down
+
+let shutdown () =
+  Mutex.lock mutex;
+  shutting_down := true;
+  while !async_outstanding > 0 do
+    Condition.wait task_done mutex
+  done;
+  (* Retire the worker domains so the process can exit without live
+     domains blocked in [Condition.wait]; a second call finds no
+     outstanding tasks and no handles and returns immediately. *)
+  target := 0;
+  Condition.broadcast work_available;
+  let hs = !handles in
+  handles := [];
+  Mutex.unlock mutex;
+  List.iter Domain.join hs

@@ -22,7 +22,10 @@ val set_workers : int -> unit
     [0] disables the pool: {!run} degrades to a serial loop. Workers are
     spawned lazily on the next {!run} that needs them; shrinking takes
     effect as soon as the excess workers finish their current task. The
-    default is [Domain.recommended_domain_count () - 1]. *)
+    default is [Domain.recommended_domain_count () - 1]. Calling it after
+    {!shutdown} re-opens the pool (useful in tests; a draining daemon
+    should not). Shrinking to [0] while {!submit}ted tasks are still
+    queued can strand them — resize before detached work is in flight. *)
 
 val workers : unit -> int
 (** Current worker-domain target. *)
@@ -37,3 +40,29 @@ val run : total:int -> (int -> unit) -> unit
     state. If several tasks raise, the exception of the smallest task index
     is re-raised after the batch completes (matching what a serial loop
     would surface first); unlike a serial loop, later tasks still run. *)
+
+(** {1 Detached tasks and graceful drain}
+
+    The serving layer ({!Dcn_serve.Server}) feeds its accept loop into the
+    pool: each connection becomes one detached task, and shutdown drains
+    them before the process exits. *)
+
+val submit : (unit -> unit) -> bool
+(** [submit f] enqueues [f] as a single detached task, executed by a
+    worker domain as soon as one is free; the caller does not wait.
+    Detached tasks are claimed in submission order, always after any
+    in-flight {!run} batch. Returns [false] — and does not run [f] — once
+    {!shutdown} has begun. With the pool disabled ([workers () = 0]), [f]
+    runs synchronously on the caller before [submit] returns [true].
+    Exceptions escaping [f] are printed to stderr and dropped: detached
+    tasks must handle their own errors. *)
+
+val draining : unit -> bool
+(** True once {!shutdown} has begun: subsequent {!submit}s are rejected. *)
+
+val shutdown : unit -> unit
+(** Stop accepting detached tasks ({!submit} returns [false] from this
+    point on), wait until every previously submitted task has completed,
+    then retire and join the worker domains. {!run} still works afterwards
+    (serially, until {!set_workers} re-opens the pool). A second call is a
+    no-op. *)

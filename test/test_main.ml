@@ -26,5 +26,6 @@ let () =
       Test_edge_cases.suite;
       Test_resilience.suite;
       Test_properties.suite;
+      Test_serve.suite;
       Test_integration.suite;
     ]

@@ -532,6 +532,68 @@ let test_solver_metrics_recorded () =
       Alcotest.(check bool) "heap pops counted" true
         (Metrics.counter_value snap "dijkstra.heap_pops" > 0))
 
+(* ---- bucketed percentile accessors ---- *)
+
+let test_histogram_quantiles () =
+  let bounds = [| 1.0; 2.0; 4.0; 8.0 |] in
+  (* 0 below 1; 50 in [1,2); 40 in [2,4); 9 in [4,8); 1 overflow = n=100,
+     so ranks land exactly on cumulative-count boundaries. *)
+  let counts = [| 0; 50; 40; 9; 1 |] in
+  let q p = Metrics.histogram_quantile ~bounds ~counts p in
+  let check name expected got = Alcotest.(check (float 0.0)) name expected got in
+  (* rank ⌈0.5·100⌉ = 50 = last observation of bucket [1,2): upper edge 2. *)
+  check "p50 on the boundary" 2.0 (q 0.5);
+  (* rank 51 is the first observation of the next bucket. *)
+  check "p51 crosses the boundary" 4.0 (q 0.51);
+  check "p90" 4.0 (q 0.9);
+  check "p99" 8.0 (q 0.99);
+  check "p100 in overflow" infinity (q 1.0);
+  (* q = 0 clamps to rank 1: the first non-empty bucket. *)
+  check "q0 first observation" 2.0 (q 0.0);
+  Alcotest.(check bool) "empty histogram is nan" true
+    (Float.is_nan
+       (Metrics.histogram_quantile ~bounds ~counts:[| 0; 0; 0; 0; 0 |] 0.5));
+  Alcotest.check_raises "q out of range"
+    (Invalid_argument "Metrics.histogram_quantile: q out of [0,1]") (fun () ->
+      ignore (q 1.5))
+
+let test_value_quantile_from_snapshot () =
+  with_metrics (fun () ->
+      let h = Metrics.histogram ~bounds:[| 1.0; 2.0; 4.0 |] "test.q.hist" in
+      (* Observations exactly on bucket bounds: lower-inclusive semantics
+         put value b in the bucket whose upper edge is the next bound. *)
+      List.iter (Metrics.observe h) [ 1.0; 1.0; 1.0; 2.0 ];
+      let snap = Metrics.snapshot () in
+      (match Metrics.find snap "test.q.hist" with
+      | Some v ->
+          (* ranks 1..3 in [1,2) -> 2.0; rank 4 in [2,4) -> 4.0 *)
+          Alcotest.(check (option (float 0.0))) "p50" (Some 2.0)
+            (Metrics.value_quantile v 0.5);
+          Alcotest.(check (option (float 0.0))) "p99" (Some 4.0)
+            (Metrics.value_quantile v 0.99)
+      | None -> Alcotest.fail "histogram missing");
+      Metrics.incr (Metrics.counter "test.q.counter");
+      match Metrics.find (Metrics.snapshot ()) "test.q.counter" with
+      | Some v ->
+          Alcotest.(check bool) "counters have no quantile" true
+            (Metrics.value_quantile v 0.5 = None)
+      | None -> Alcotest.fail "counter missing")
+
+let test_to_json_percentile_fields () =
+  with_metrics (fun () ->
+      let h = Metrics.histogram ~bounds:[| 1.0; 2.0 |] "test.q.json" in
+      Metrics.observe h 1.5;
+      let j = parse_json (Metrics.to_json (Metrics.snapshot ())) in
+      let entry = member_exn "test.q.json" (member_exn "histograms" j) in
+      match
+        (member_exn "p50" entry, member_exn "p95" entry, member_exn "p99" entry)
+      with
+      | J_num p50, J_num p95, J_num p99 ->
+          Alcotest.(check (float 0.0)) "p50 rendered" 2.0 p50;
+          Alcotest.(check (float 0.0)) "p95 rendered" 2.0 p95;
+          Alcotest.(check (float 0.0)) "p99 rendered" 2.0 p99
+      | _ -> Alcotest.fail "p50/p95/p99 must be numbers for a non-empty histogram")
+
 let suite =
   ( "obs",
     [
@@ -561,4 +623,10 @@ let suite =
         test_instrumentation_is_inert;
       Alcotest.test_case "solver metrics recorded" `Quick
         test_solver_metrics_recorded;
+      Alcotest.test_case "histogram quantiles at bucket boundaries" `Quick
+        test_histogram_quantiles;
+      Alcotest.test_case "value_quantile from snapshot" `Quick
+        test_value_quantile_from_snapshot;
+      Alcotest.test_case "to_json carries p50/p95/p99" `Quick
+        test_to_json_percentile_fields;
     ] )

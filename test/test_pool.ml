@@ -79,6 +79,52 @@ let test_pool_worker_resize () =
       Pool.set_workers 1;
       Alcotest.(check (list int)) "shrunk back" serial (Parallel.map succ xs))
 
+(* ---- detached tasks and graceful drain ---- *)
+
+let test_submit_runs_detached () =
+  with_workers 2 (fun () ->
+      let hits = Atomic.make 0 in
+      for _ = 1 to 20 do
+        Alcotest.(check bool) "accepted" true
+          (Pool.submit (fun () -> Atomic.incr hits))
+      done;
+      (* No completion handle by design; shutdown is the drain barrier. *)
+      Pool.shutdown ();
+      Alcotest.(check int) "all detached tasks ran" 20 (Atomic.get hits))
+
+let test_submit_synchronous_when_disabled () =
+  with_workers 0 (fun () ->
+      let ran = ref false in
+      Alcotest.(check bool) "accepted" true (Pool.submit (fun () -> ran := true));
+      Alcotest.(check bool) "ran synchronously" true !ran)
+
+let test_shutdown_drains_in_flight () =
+  with_workers 2 (fun () ->
+      (* Tasks that are certainly still running when shutdown starts. *)
+      let done_ = Atomic.make 0 in
+      for _ = 1 to 4 do
+        ignore
+          (Pool.submit (fun () ->
+               Thread.delay 0.05;
+               Atomic.incr done_))
+      done;
+      Pool.shutdown ();
+      Alcotest.(check int) "shutdown waited for in-flight tasks" 4
+        (Atomic.get done_))
+
+let test_submit_after_shutdown_rejected () =
+  with_workers 2 (fun () ->
+      Pool.shutdown ();
+      Alcotest.(check bool) "draining" true (Pool.draining ());
+      let ran = ref false in
+      Alcotest.(check bool) "rejected" false (Pool.submit (fun () -> ran := true));
+      Alcotest.(check bool) "not run" false !ran;
+      (* Second shutdown is a no-op, not a deadlock or an error. *)
+      Pool.shutdown ();
+      Alcotest.(check bool) "still draining" true (Pool.draining ()));
+  (* with_workers restored the target via set_workers, which re-opens. *)
+  Alcotest.(check bool) "set_workers re-opens the pool" false (Pool.draining ())
+
 (* ---- run-level determinism of the experiment layer ---- *)
 
 let tiny_scale =
@@ -133,6 +179,13 @@ let suite =
       Alcotest.test_case "nested batches" `Quick test_pool_nested_batches;
       Alcotest.test_case "run covers all tasks" `Quick test_pool_run_basic;
       Alcotest.test_case "worker resize" `Quick test_pool_worker_resize;
+      Alcotest.test_case "submit runs detached" `Quick test_submit_runs_detached;
+      Alcotest.test_case "submit synchronous when disabled" `Quick
+        test_submit_synchronous_when_disabled;
+      Alcotest.test_case "shutdown drains in-flight" `Quick
+        test_shutdown_drains_in_flight;
+      Alcotest.test_case "submit after shutdown rejected" `Quick
+        test_submit_after_shutdown_rejected;
       Alcotest.test_case "scale samples deterministic" `Quick
         test_scale_samples_deterministic;
       Alcotest.test_case "figure table parallel = serial" `Quick

@@ -1,0 +1,477 @@
+(* Tests for the serving layer: JSON parsing, the HTTP codec over a
+   socketpair, typed request decoding, the request-digest identity
+   property, single-flight coalescing, and the server's dispatch /
+   deadline / byte-identity behavior — all in-process via Server.handle,
+   no sockets needed beyond the codec test (the CI smoke job exercises
+   the real daemon). *)
+
+module J = Dcn_serve.Json_parse
+module Http = Dcn_serve.Http
+module Request = Dcn_serve.Request
+module Coalesce = Dcn_serve.Coalesce
+module Server = Dcn_serve.Server
+module Metrics = Dcn_obs.Metrics
+module Clock = Dcn_obs.Clock
+
+let with_metrics f =
+  Metrics.set_enabled true;
+  Fun.protect f ~finally:(fun () ->
+      Metrics.set_enabled false;
+      Metrics.reset ())
+
+(* ---- JSON parsing ---- *)
+
+let test_json_parse_basics () =
+  match J.parse {| {"a": [1, -2.5e1, "x\ny", true, null], "b": {"c": "A"}} |} with
+  | Error msg -> Alcotest.fail msg
+  | Ok v ->
+      (match J.member "a" v with
+      | Some (J.Arr [ one; neg; s; t; n ]) ->
+          Alcotest.(check (option int)) "int" (Some 1) (J.to_int_opt one);
+          Alcotest.(check (option (float 0.0))) "exp float" (Some (-25.0))
+            (J.to_float_opt neg);
+          Alcotest.(check (option string)) "escaped string" (Some "x\ny")
+            (J.to_string_opt s);
+          Alcotest.(check (option bool)) "true" (Some true) (J.to_bool_opt t);
+          Alcotest.(check bool) "null" true (n = J.Null)
+      | _ -> Alcotest.fail "array shape");
+      Alcotest.(check (option string)) "unicode escape" (Some "A")
+        (Option.bind (J.member "b" v) (fun b ->
+             Option.bind (J.member "c" b) J.to_string_opt))
+
+let test_json_parse_rejects () =
+  let rejects s =
+    match J.parse s with
+    | Ok _ -> Alcotest.fail (Printf.sprintf "accepted %S" s)
+    | Error _ -> ()
+  in
+  List.iter rejects
+    [ "{"; "[1,]"; "{\"a\": 1} trailing"; "\"unterminated"; "{'single': 1}";
+      "nul"; "{\"a\" 1}"; "\"bad \\q escape\"" ]
+
+(* ---- HTTP codec over a socketpair ---- *)
+
+let test_http_request_roundtrip () =
+  let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () -> List.iter (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ()) [ a; b ])
+    (fun () ->
+      let body = "{\"topology\": \"rrg:12,6,3\"}" in
+      let raw =
+        Printf.sprintf
+          "POST /solve HTTP/1.1\r\nHost: x\r\nContent-Type: application/json\r\nContent-Length: %d\r\n\r\n%s"
+          (String.length body) body
+      in
+      let writer = Thread.create (fun () -> ignore (Unix.write_substring a raw 0 (String.length raw))) () in
+      (match Http.read_request ~max_body:1_000_000 b with
+      | Ok req ->
+          Alcotest.(check string) "meth" "POST" req.Http.meth;
+          Alcotest.(check string) "target" "/solve" req.Http.target;
+          Alcotest.(check (option string)) "header lowercased"
+            (Some "application/json")
+            (Http.header "content-type" req);
+          Alcotest.(check string) "body" body req.Http.body
+      | Error _ -> Alcotest.fail "read_request failed");
+      Thread.join writer)
+
+let test_http_body_limit () =
+  let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () -> List.iter (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ()) [ a; b ])
+    (fun () ->
+      let raw = "POST /solve HTTP/1.1\r\nContent-Length: 999999\r\n\r\n" in
+      let writer = Thread.create (fun () -> ignore (Unix.write_substring a raw 0 (String.length raw))) () in
+      (match Http.read_request ~max_body:1024 b with
+      | Error Http.Too_large -> ()
+      | Ok _ | Error _ -> Alcotest.fail "oversized body must be Too_large");
+      Thread.join writer)
+
+let test_http_response_wire_format () =
+  let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () -> List.iter (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ()) [ a; b ])
+    (fun () ->
+      let writer =
+        Thread.create
+          (fun () ->
+            Http.write_response a (Http.response ~headers:[ ("X-T", "1") ] 200 "hello");
+            Unix.close a)
+          ()
+      in
+      let buf = Buffer.create 256 in
+      let chunk = Bytes.create 256 in
+      let rec drain () =
+        let n = Unix.read b chunk 0 256 in
+        if n > 0 then begin
+          Buffer.add_subbytes buf chunk 0 n;
+          drain ()
+        end
+      in
+      drain ();
+      Thread.join writer;
+      let text = Buffer.contents buf in
+      let has s =
+        Alcotest.(check bool) (Printf.sprintf "contains %S" s) true
+          (let sl = String.length s and tl = String.length text in
+           let rec go i = i + sl <= tl && (String.sub text i sl = s || go (i + 1)) in
+           go 0)
+      in
+      has "HTTP/1.1 200 OK\r\n";
+      has "X-T: 1\r\n";
+      has "Content-Length: 5\r\n";
+      has "Connection: close\r\n\r\nhello")
+
+(* ---- request decoding ---- *)
+
+let test_request_defaults () =
+  match Request.of_body "{\"topology\": \"rrg:12,6,3\"}" with
+  | Error msg -> Alcotest.fail msg
+  | Ok r ->
+      Alcotest.(check int) "seed" 1 r.Request.seed;
+      Alcotest.(check (float 0.0)) "eps" 0.05 r.Request.eps;
+      Alcotest.(check (float 0.0)) "gap" 0.05 r.Request.gap;
+      Alcotest.(check bool) "routing optimal" true (r.Request.routing = Request.Optimal);
+      Alcotest.(check bool) "no timeout" true (r.Request.timeout_s = None)
+
+let test_request_rejects () =
+  let rejects body =
+    match Request.of_body body with
+    | Ok _ -> Alcotest.fail (Printf.sprintf "accepted %s" body)
+    | Error _ -> ()
+  in
+  List.iter rejects
+    [
+      "{}";  (* no topology *)
+      "not json";
+      "{\"topology\": \"nosuch:1\"}";
+      "{\"topology\": \"rrg:12,6,3\", \"eps\": 1.5}";
+      "{\"topology\": \"rrg:12,6,3\", \"eps\": 0}";
+      "{\"topology\": \"rrg:12,6,3\", \"routing\": \"teleport\"}";
+      "{\"topology\": \"rrg:12,6,3\", \"routing\": \"ksp:0\"}";
+      "{\"topology\": \"rrg:12,6,3\", \"timeout_s\": -1}";
+      "{\"topology\": {\"wrong\": \"key\"}}";
+    ]
+
+let test_routing_roundtrip () =
+  List.iter
+    (fun r ->
+      match Request.parse_routing (Request.routing_to_string r) with
+      | Ok r' -> Alcotest.(check bool) "round-trips" true (r = r')
+      | Error msg -> Alcotest.fail msg)
+    [ Request.Optimal; Request.Ksp 8; Request.Ecmp 64; Request.Vlb 5 ];
+  (* Bare ecmp gets the default limit. *)
+  Alcotest.(check bool) "bare ecmp" true
+    (Request.parse_routing "ecmp" = Ok (Request.Ecmp 64))
+
+(* ---- digest identity (the coalescing/cache key) ---- *)
+
+let base_request =
+  {
+    Request.topology = Request.Spec (Core.Cli.Rrg (12, 6, 3));
+    seed = 1;
+    traffic = Core.Cli.Perm;
+    eps = 0.1;
+    gap = 0.1;
+    routing = Request.Optimal;
+    timeout_s = None;
+  }
+
+let digest_of r = Request.digest r (Request.resolve r)
+
+(* Requests differing only in a result-relevant field must digest
+   differently; the timeout must not participate. Randomized over a grid
+   of valid base requests. *)
+let prop_digest_distinguishes =
+  QCheck.Test.make ~name:"digest distinguishes result-relevant fields" ~count:25
+    QCheck.(
+      quad (int_range 1 5) (int_range 0 2) (int_range 0 2) (int_range 0 3))
+    (fun (seed, traffic_i, eps_i, routing_i) ->
+      let traffic =
+        [| Core.Cli.Perm; Core.Cli.A2a; Core.Cli.Chunky 0.3 |].(traffic_i)
+      in
+      let eps = [| 0.05; 0.1; 0.2 |].(eps_i) in
+      let routing =
+        [| Request.Optimal; Request.Ksp 4; Request.Ecmp 16; Request.Vlb 3 |].(routing_i)
+      in
+      let base = { base_request with Request.seed; traffic; eps; routing } in
+      let d0 = digest_of base in
+      let mutants =
+        [
+          { base with Request.eps = base.Request.eps /. 2.0 };
+          { base with Request.gap = base.Request.gap /. 2.0 };
+          { base with Request.seed = base.Request.seed + 1 };
+          {
+            base with
+            Request.routing =
+              (if base.Request.routing = Request.Optimal then Request.Ksp 4
+               else Request.Optimal);
+          };
+        ]
+      in
+      List.for_all (fun m -> digest_of m <> d0) mutants
+      (* the version tag invalidates, the timeout does not participate *)
+      && Request.digest ~solver_version:"test-vNext" base (Request.resolve base)
+         <> d0
+      && digest_of { base with Request.timeout_s = Some 42.0 } = d0)
+
+let test_digest_spec_inline_agree () =
+  (* A spec and the inline text of the topology it builds are the same
+     request: identity is by resolved content, not by spelling. *)
+  let resolved = Request.resolve base_request in
+  let inline =
+    {
+      base_request with
+      Request.topology =
+        Request.Inline (Core.Topology_io.to_string resolved.Request.topo);
+    }
+  in
+  Alcotest.(check string) "same digest"
+    (Request.digest base_request resolved)
+    (Request.digest inline (Request.resolve inline));
+  Alcotest.(check int) "digest width" Core.Digest_key.hex_length
+    (String.length (Request.digest base_request resolved))
+
+(* ---- coalescing ---- *)
+
+let test_coalesce_single_flight () =
+  let c : string Coalesce.t = Coalesce.create () in
+  let gate = Semaphore.Counting.make 0 in
+  let calls = Atomic.make 0 in
+  let compute () =
+    Semaphore.Counting.acquire gate;
+    Printf.sprintf "body-%d" (Atomic.fetch_and_add calls 1)
+  in
+  let outcomes = Array.make 3 None in
+  let participant i =
+    Thread.create (fun () -> outcomes.(i) <- Some (Coalesce.run c ~key:"k" compute))
+  in
+  let leader = participant 0 () in
+  (* Leader is parked on the gate; riders that arrive now must join it. *)
+  while Coalesce.pending c = 0 do
+    Thread.yield ()
+  done;
+  let riders = [ participant 1 (); participant 2 () ] in
+  Thread.delay 0.05;
+  (* Release enough for everyone: only a single-flight leader acquires. *)
+  for _ = 1 to 3 do
+    Semaphore.Counting.release gate
+  done;
+  List.iter Thread.join (leader :: riders);
+  let values =
+    Array.to_list outcomes
+    |> List.map (function
+         | Some { Coalesce.value = Ok v; _ } -> v
+         | _ -> Alcotest.fail "participant failed")
+  in
+  Alcotest.(check (list string)) "all byte-identical"
+    [ "body-0"; "body-0"; "body-0" ] values;
+  Alcotest.(check int) "computed once" 1 (Atomic.get calls);
+  let leaders =
+    Array.to_list outcomes
+    |> List.filter (function Some { Coalesce.led = true; _ } -> true | _ -> false)
+    |> List.length
+  in
+  Alcotest.(check int) "exactly one leader" 1 leaders;
+  Alcotest.(check int) "window closed" 0 (Coalesce.pending c)
+
+let test_coalesce_propagates_exceptions () =
+  let c : string Coalesce.t = Coalesce.create () in
+  let gate = Semaphore.Counting.make 0 in
+  let boom () =
+    Semaphore.Counting.acquire gate;
+    failwith "boom"
+  in
+  let out = Array.make 2 None in
+  let t0 = Thread.create (fun () -> out.(0) <- Some (Coalesce.run c ~key:"k" boom)) () in
+  while Coalesce.pending c = 0 do
+    Thread.yield ()
+  done;
+  let t1 = Thread.create (fun () -> out.(1) <- Some (Coalesce.run c ~key:"k" boom)) () in
+  Thread.delay 0.02;
+  Semaphore.Counting.release gate;
+  Semaphore.Counting.release gate;
+  Thread.join t0;
+  Thread.join t1;
+  Array.iter
+    (function
+      | Some { Coalesce.value = Error (Failure msg); _ } ->
+          Alcotest.(check string) "leader's exception" "boom" msg
+      | _ -> Alcotest.fail "both participants must see the leader's exception")
+    out;
+  (* The key is reusable after the failure. *)
+  let again = Coalesce.run c ~key:"k" (fun () -> "fresh") in
+  Alcotest.(check bool) "fresh computation" true (again.Coalesce.value = Ok "fresh")
+
+(* ---- server dispatch (in-process, no sockets) ---- *)
+
+let mkreq ?(meth = "POST") ?(target = "/solve") body =
+  { Http.meth; target; headers = []; body }
+
+let handle srv req = Server.handle srv ~accept_ns:(Clock.now_ns ()) req
+
+let no_timeout_config = { Server.default_config with Server.default_timeout_s = None }
+
+let solve_body = "{\"topology\": \"rrg:12,6,3\", \"eps\": 0.2, \"gap\": 0.2}"
+
+let test_server_healthz_and_404 () =
+  let srv = Server.create no_timeout_config in
+  Alcotest.(check int) "healthz" 200
+    (handle srv (mkreq ~meth:"GET" ~target:"/healthz" "")).Http.status;
+  Alcotest.(check int) "unknown endpoint" 404
+    (handle srv (mkreq ~meth:"GET" ~target:"/nope" "")).Http.status;
+  Alcotest.(check int) "GET /solve" 405
+    (handle srv (mkreq ~meth:"GET" ~target:"/solve" "")).Http.status
+
+let test_server_bad_requests () =
+  let srv = Server.create no_timeout_config in
+  let status body = (handle srv (mkreq body)).Http.status in
+  Alcotest.(check int) "invalid JSON" 400 (status "nope");
+  Alcotest.(check int) "missing topology" 400 (status "{}");
+  (* Decodes fine, fails at resolution (invalid generator arguments). *)
+  Alcotest.(check int) "semantically invalid spec" 400
+    (status "{\"topology\": \"rrg:4,100,50\"}")
+
+let test_server_solve_ok () =
+  let srv = Server.create no_timeout_config in
+  let resp = handle srv (mkreq solve_body) in
+  Alcotest.(check int) "200" 200 resp.Http.status;
+  match J.parse resp.Http.body with
+  | Error msg -> Alcotest.fail ("response body must be JSON: " ^ msg)
+  | Ok v ->
+      let num name =
+        match Option.bind (J.member name v) J.to_float_opt with
+        | Some x -> x
+        | None -> Alcotest.fail ("missing numeric field " ^ name)
+      in
+      let lo = num "lambda_lower" and hi = num "lambda_upper" in
+      Alcotest.(check bool) "certified interval ordered" true
+        (0.0 < lo && lo <= hi);
+      Alcotest.(check bool) "lambda inside interval" true
+        (lo <= num "lambda" && num "lambda" <= hi);
+      Alcotest.(check (option int)) "digest width"
+        (Some Core.Digest_key.hex_length)
+        (Option.map String.length
+           (Option.bind (J.member "digest" v) J.to_string_opt));
+      (* Sequential repeat (no store installed): the solver recomputes and
+         must render the very same bytes. *)
+      let again = handle srv (mkreq solve_body) in
+      Alcotest.(check string) "recompute is byte-identical" resp.Http.body
+        again.Http.body
+
+let test_server_routing_modes () =
+  let srv = Server.create no_timeout_config in
+  List.iter
+    (fun routing ->
+      let body =
+        Printf.sprintf
+          "{\"topology\": \"rrg:12,6,3\", \"eps\": 0.2, \"gap\": 0.2, \"routing\": \"%s\"}"
+          routing
+      in
+      let resp = handle srv (mkreq body) in
+      Alcotest.(check int) (routing ^ " solves") 200 resp.Http.status)
+    [ "ksp:4"; "ecmp:16"; "vlb:3" ]
+
+let test_server_deadline_preflight () =
+  let srv =
+    Server.create { Server.default_config with Server.default_timeout_s = Some 0.5 }
+  in
+  (* Accepted 10 simulated seconds ago: the budget is gone before the
+     solve starts. *)
+  let stale = Int64.sub (Clock.now_ns ()) 10_000_000_000L in
+  let resp = Server.handle srv ~accept_ns:stale (mkreq solve_body) in
+  Alcotest.(check int) "504 before solving" 504 resp.Http.status
+
+let test_server_deadline_cancels_solve () =
+  let srv = Server.create no_timeout_config in
+  (* A solve that needs well over 50ms, with a 50ms budget: cancellation
+     fires at an FPTAS phase boundary mid-run. *)
+  let body =
+    "{\"topology\": \"rrg:40,15,10\", \"eps\": 0.03, \"gap\": 0.03, \"timeout_s\": 0.05}"
+  in
+  let resp = handle srv (mkreq body) in
+  Alcotest.(check int) "504 mid-solve" 504 resp.Http.status
+
+let test_server_coalesces_concurrent_duplicates () =
+  with_metrics (fun () ->
+      let srv = Server.create no_timeout_config in
+      (* Slow enough (seconds) that the rider reliably arrives while the
+         leader's solve is in flight. *)
+      let body = "{\"topology\": \"rrg:40,15,10\", \"eps\": 0.03, \"gap\": 0.03}" in
+      let before = Metrics.snapshot () in
+      let responses = Array.make 2 None in
+      let participant i =
+        Thread.create (fun () -> responses.(i) <- Some (handle srv (mkreq body)))
+      in
+      let leader = participant 0 () in
+      let deadline = Int64.add (Clock.now_ns ()) 30_000_000_000L in
+      while Server.coalesce_pending srv = 0 && Clock.now_ns () < deadline do
+        Thread.yield ()
+      done;
+      Alcotest.(check int) "leader registered" 1 (Server.coalesce_pending srv);
+      let rider = participant 1 () in
+      Thread.join leader;
+      Thread.join rider;
+      let bodies =
+        Array.to_list responses
+        |> List.map (function
+             | Some r ->
+                 Alcotest.(check int) "200" 200 r.Http.status;
+                 r.Http.body
+             | None -> Alcotest.fail "participant did not finish")
+      in
+      (match bodies with
+      | [ a; b ] -> Alcotest.(check string) "byte-identical bodies" a b
+      | _ -> assert false);
+      let d = Metrics.diff ~before ~after:(Metrics.snapshot ()) in
+      Alcotest.(check int) "solver led once" 1
+        (Metrics.counter_value d "serve.solve.led");
+      Alcotest.(check int) "one coalesced rider" 1
+        (Metrics.counter_value d "serve.solve.coalesced"))
+
+let test_server_metrics_endpoint () =
+  with_metrics (fun () ->
+      let srv = Server.create no_timeout_config in
+      ignore (handle srv (mkreq ~meth:"GET" ~target:"/healthz" ""));
+      let resp = handle srv (mkreq ~meth:"GET" ~target:"/metrics" "") in
+      Alcotest.(check int) "200" 200 resp.Http.status;
+      match J.parse resp.Http.body with
+      | Error msg -> Alcotest.fail ("/metrics must be JSON: " ^ msg)
+      | Ok v ->
+          Alcotest.(check bool) "request counter present" true
+            (Option.bind (J.member "counters" v) (J.member "serve.requests")
+            <> None))
+
+let suite =
+  ( "serve",
+    [
+      Alcotest.test_case "json parse basics" `Quick test_json_parse_basics;
+      Alcotest.test_case "json parse rejects" `Quick test_json_parse_rejects;
+      Alcotest.test_case "http request round-trip" `Quick
+        test_http_request_roundtrip;
+      Alcotest.test_case "http body limit" `Quick test_http_body_limit;
+      Alcotest.test_case "http response wire format" `Quick
+        test_http_response_wire_format;
+      Alcotest.test_case "request defaults" `Quick test_request_defaults;
+      Alcotest.test_case "request rejects" `Quick test_request_rejects;
+      Alcotest.test_case "routing round-trip" `Quick test_routing_roundtrip;
+      QCheck_alcotest.to_alcotest prop_digest_distinguishes;
+      Alcotest.test_case "digest: spec and inline agree" `Quick
+        test_digest_spec_inline_agree;
+      Alcotest.test_case "coalesce single flight" `Quick
+        test_coalesce_single_flight;
+      Alcotest.test_case "coalesce propagates exceptions" `Quick
+        test_coalesce_propagates_exceptions;
+      Alcotest.test_case "healthz and 404/405" `Quick test_server_healthz_and_404;
+      Alcotest.test_case "bad requests get 400" `Quick test_server_bad_requests;
+      Alcotest.test_case "solve returns certified interval" `Quick
+        test_server_solve_ok;
+      Alcotest.test_case "restricted routing modes solve" `Quick
+        test_server_routing_modes;
+      Alcotest.test_case "deadline rejected before solve" `Quick
+        test_server_deadline_preflight;
+      Alcotest.test_case "deadline cancels mid-solve" `Quick
+        test_server_deadline_cancels_solve;
+      Alcotest.test_case "concurrent duplicates coalesce" `Quick
+        test_server_coalesces_concurrent_duplicates;
+      Alcotest.test_case "metrics endpoint" `Quick test_server_metrics_endpoint;
+    ] )
