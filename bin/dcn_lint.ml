@@ -1,0 +1,136 @@
+(* dcn_lint: typed-AST static analysis enforcing the repo's determinism,
+   domain-safety and float-hygiene invariants over dune-produced .cmt files.
+
+   Usage (normally via the build alias, from the repo root):
+
+     dune build @lint
+
+   which runs, from _build/default:
+
+     dcn_lint --baseline lint-baseline.txt lib bin
+
+   Exit status: 0 when every finding is suppressed or baselined, 1 when new
+   findings (or unreadable cmts) exist, 2 on usage errors. *)
+
+module Finding = Dcn_lint_engine.Finding
+module Rules = Dcn_lint_engine.Rules
+module Baseline = Dcn_lint_engine.Baseline
+module Driver = Dcn_lint_engine.Driver
+
+let () =
+  let json = ref false in
+  let quiet = ref false in
+  let baseline_path = ref "" in
+  let update_baseline = ref false in
+  let source_root = ref "." in
+  let pool_scopes = ref [] in
+  let clock_ok = ref [] in
+  let only_rules = ref [] in
+  let list_rules = ref false in
+  let paths = ref [] in
+  let spec =
+    [
+      ("--json", Arg.Set json, " emit the machine-readable JSON report");
+      ("--quiet", Arg.Set quiet, " print nothing but findings");
+      ( "--baseline",
+        Arg.Set_string baseline_path,
+        "FILE grandfathered findings (file:line:col:rule per line)" );
+      ( "--update-baseline",
+        Arg.Set update_baseline,
+        " rewrite --baseline FILE from the current findings and exit 0" );
+      ( "--source-root",
+        Arg.Set_string source_root,
+        "DIR directory cmt-recorded source paths resolve against (default .)" );
+      ( "--pool-scope",
+        Arg.String (fun s -> pool_scopes := s :: !pool_scopes),
+        "PREFIX apply mutable-global under this path prefix (default lib/)" );
+      ( "--clock-ok",
+        Arg.String (fun s -> clock_ok := s :: !clock_ok),
+        "PREFIX allow ambient-clock under this path prefix (default lib/obs/)"
+      );
+      ( "--rule",
+        Arg.String (fun s -> only_rules := s :: !only_rules),
+        "ID run only this rule (repeatable)" );
+      ("--list-rules", Arg.Set list_rules, " print the rule table and exit");
+    ]
+  in
+  let usage = "dcn_lint [options] <dir-or-cmt>…" in
+  Arg.parse (Arg.align spec) (fun p -> paths := p :: !paths) usage;
+  if !list_rules then begin
+    List.iter
+      (fun (id, summary) -> Printf.printf "%-16s %s\n" id summary)
+      Rules.all_rules;
+    exit 0
+  end;
+  List.iter
+    (fun id ->
+      if not (List.mem_assoc id Rules.all_rules) then begin
+        Printf.eprintf "dcn_lint: unknown rule %S (see --list-rules)\n" id;
+        exit 2
+      end)
+    !only_rules;
+  if !paths = [] then begin
+    Printf.eprintf "dcn_lint: no paths given\n%s\n" (Arg.usage_string spec usage);
+    exit 2
+  end;
+  let opts =
+    {
+      Driver.source_root = !source_root;
+      pool_scopes =
+        (if !pool_scopes = [] then Driver.default_options.Driver.pool_scopes
+         else List.rev !pool_scopes);
+      clock_ok =
+        (if !clock_ok = [] then Driver.default_options.Driver.clock_ok
+         else List.rev !clock_ok);
+      only_rules = (if !only_rules = [] then None else Some (List.rev !only_rules));
+    }
+  in
+  let report = Driver.run opts (List.rev !paths) in
+  if !update_baseline then begin
+    if !baseline_path = "" then begin
+      Printf.eprintf "dcn_lint: --update-baseline requires --baseline FILE\n";
+      exit 2
+    end;
+    Baseline.save !baseline_path report.Driver.findings;
+    if not !quiet then
+      Printf.printf "dcn_lint: wrote %d entr%s to %s\n"
+        (List.length report.Driver.findings)
+        (if List.length report.Driver.findings = 1 then "y" else "ies")
+        !baseline_path;
+    exit 0
+  end;
+  let entries =
+    if !baseline_path = "" then [] else Baseline.load !baseline_path
+  in
+  let split = Baseline.apply entries report.Driver.findings in
+  if !json then
+    print_string
+      (Driver.render_json report ~fresh:split.Baseline.fresh
+         ~grandfathered:split.Baseline.grandfathered ~stale:split.Baseline.stale)
+  else begin
+    List.iter
+      (fun f -> print_endline (Finding.to_string f))
+      split.Baseline.fresh;
+    List.iter (fun e -> Printf.eprintf "dcn_lint: error: %s\n" e) report.Driver.errors;
+    if not !quiet then begin
+      List.iter
+        (fun f ->
+          Printf.printf "baselined: %s\n" (Finding.to_string f))
+        split.Baseline.grandfathered;
+      List.iter
+        (fun e ->
+          Printf.printf "stale baseline entry: %s\n" (Baseline.to_line e))
+        split.Baseline.stale;
+      Printf.printf
+        "dcn_lint: %d file(s), %d new finding(s), %d baselined, %d \
+         suppressed, %d stale baseline entr%s\n"
+        report.Driver.files
+        (List.length split.Baseline.fresh)
+        (List.length split.Baseline.grandfathered)
+        (List.length report.Driver.suppressed)
+        (List.length split.Baseline.stale)
+        (if List.length split.Baseline.stale = 1 then "y" else "ies")
+    end
+  end;
+  exit
+    (if split.Baseline.fresh = [] && report.Driver.errors = [] then 0 else 1)

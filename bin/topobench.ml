@@ -228,7 +228,7 @@ let failures_cmd =
     List.iter
       (fun fraction ->
         let g =
-          if fraction = 0.0 then topo.Core.Topology.graph
+          if Float.equal fraction 0.0 then topo.Core.Topology.graph
           else
             Core.Resilience.fail_links_connected st topo.Core.Topology.graph
               ~fraction

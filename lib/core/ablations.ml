@@ -1,6 +1,5 @@
 module Table = Dcn_util.Table
 module Parallel = Dcn_util.Parallel
-module Graph = Dcn_graph.Graph
 module Cuts = Dcn_graph.Cuts
 module Topology = Dcn_topology.Topology
 module Hetero = Dcn_topology.Hetero
@@ -111,7 +110,7 @@ let equal_equipment_topologies scale =
   in
   let add name topo =
     let lambda, _ =
-      Scale.averaged scale ~salt:(14200 + Hashtbl.hash name) (fun st ->
+      Scale.averaged scale ~salt:(14200 + Dcn_util.Stable_hash.fnv1a name) (fun st ->
           permutation_lambda scale st topo)
     in
     Table.add_row t
@@ -151,13 +150,13 @@ let rrg_construction scale =
       List.iter
         (fun (name, construction) ->
           let aspl, _ =
-            Scale.averaged scale ~salt:(14400 + n + Hashtbl.hash name)
+            Scale.averaged scale ~salt:(14400 + n + Dcn_util.Stable_hash.fnv1a name)
               (fun st ->
                 let topo = Rrg.topology ~construction st ~n ~k:(r + 5) ~r in
                 Graph_metrics.aspl topo.Topology.graph)
           in
           let lambda, _ =
-            Scale.averaged scale ~salt:(14500 + n + Hashtbl.hash name)
+            Scale.averaged scale ~salt:(14500 + n + Dcn_util.Stable_hash.fnv1a name)
               (fun st ->
                 let topo = Rrg.topology ~construction st ~n ~k:(r + 5) ~r in
                 permutation_lambda scale st topo)
@@ -320,7 +319,7 @@ let structured_topologies scale =
   in
   let add name (topo : Topology.t) =
     let lambda, _ =
-      Scale.averaged scale ~salt:(15000 + Hashtbl.hash name) (fun st ->
+      Scale.averaged scale ~salt:(15000 + Dcn_util.Stable_hash.fnv1a name) (fun st ->
           permutation_lambda scale st topo)
     in
     Table.add_row t
@@ -504,7 +503,7 @@ let failure_resilience scale =
     (fun fraction ->
       let retained (topo : Topology.t) base =
         let g =
-          if fraction = 0.0 then topo.Topology.graph
+          if Float.equal fraction 0.0 then topo.Topology.graph
           else
             Dcn_topology.Resilience.fail_links_connected st topo.Topology.graph
               ~fraction

@@ -53,19 +53,18 @@ let parse_topo_spec s =
       (Printf.sprintf "cannot parse topology %S; expected %s" s
          topo_spec_syntax)
   in
+  (* [int_of_string_opt] and [String.split_on_char] never raise: parse
+     failures flow through the options, no exception handler needed (a
+     catch-all here could swallow Cancelled raised around CLI parsing). *)
   let ints rest k =
+    let parts = List.map int_of_string_opt (String.split_on_char ',' rest) in
     match
-      List.map int_of_string_opt (String.split_on_char ',' rest)
+      List.fold_right
+        (fun x acc -> Option.bind acc (fun t -> Option.map (fun x -> x :: t) x))
+        parts (Some [])
     with
-    | exception _ -> fail ()
-    | parts -> (
-        match
-          List.fold_right
-            (fun x acc -> Option.bind acc (fun t -> Option.map (fun x -> x :: t) x))
-            parts (Some [])
-        with
-        | Some xs -> k xs
-        | None -> fail ())
+    | Some xs -> k xs
+    | None -> fail ()
   in
   match String.split_on_char ':' s with
   | [ "rrg"; rest ] ->

@@ -4,7 +4,6 @@ module Stats = Dcn_util.Stats
 module Topology = Dcn_topology.Topology
 module Hetero = Dcn_topology.Hetero
 module Traffic = Dcn_traffic.Traffic
-module Mcmf_fptas = Dcn_flow.Mcmf_fptas
 module Throughput = Dcn_flow.Throughput
 module Solve_cache = Dcn_store.Solve_cache
 module Cut_bound = Dcn_bounds.Cut_bound

@@ -3,7 +3,6 @@ module Topology = Dcn_topology.Topology
 module Rewire = Dcn_topology.Rewire
 module Vl2 = Dcn_topology.Vl2
 module Traffic = Dcn_traffic.Traffic
-module Mcmf_fptas = Dcn_flow.Mcmf_fptas
 module Solve_cache = Dcn_store.Solve_cache
 module Ksp = Dcn_routing.Ksp
 module Packet_sim = Dcn_packetsim.Packet_sim

@@ -5,7 +5,6 @@ module Topology = Dcn_topology.Topology
 module Vl2 = Dcn_topology.Vl2
 module Rewire = Dcn_topology.Rewire
 module Traffic = Dcn_traffic.Traffic
-module Mcmf_fptas = Dcn_flow.Mcmf_fptas
 module Solve_cache = Dcn_store.Solve_cache
 
 type traffic_kind = [ `Permutation | `All_to_all | `Chunky of float ]
@@ -20,7 +19,7 @@ let lambda_for scale st ~traffic (topo : Topology.t) =
     | `All_to_all -> Traffic.all_to_all ~servers
     | `Chunky fraction -> Traffic.chunky st ~servers ~fraction
   in
-  if tm.Traffic.demands = [] then
+  if List.is_empty tm.Traffic.demands then
     (* All traffic stayed inside single switches (e.g. a 1-ToR probe):
        trivially full throughput. *)
     infinity

@@ -28,8 +28,9 @@ let group_by_source ~n cs =
   for s = n - 1 downto 0 do
     if Hashtbl.length merged.(s) > 0 then begin
       let dests =
+        (* Destinations are unique per source table: key order is total. *)
         Hashtbl.fold (fun dst d acc -> (dst, d) :: acc) merged.(s) []
-        |> List.sort compare
+        |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
       in
       groups := (s, dests) :: !groups
     end

@@ -175,7 +175,7 @@ let solve_impl ~params ~dual_check_every ~obs g commodities =
     build_tree ~src:s ~targets;
     let rec route_commodity dst rem =
       if rem > 0.0 then begin
-        if tree.Dijkstra.dist.(dst) = infinity then
+        if Float.equal tree.Dijkstra.dist.(dst) infinity then
           invalid_arg "Mcmf_fptas: commodity endpoints are disconnected";
         let k = load_path dst in
         let current_len, bottleneck = path_length_and_bottleneck k in

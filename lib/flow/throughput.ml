@@ -63,5 +63,7 @@ let class_utilization g ~arc_flow ~cluster =
         in
         Hashtbl.replace acc key (used +. arc_flow.(a), avail +. cap)
       end);
+  (* Keys are unique in [acc], so ordering by key alone is total and never
+     consults the float utilization. *)
   Hashtbl.fold (fun key (used, avail) l -> (key, used /. avail) :: l) acc []
-  |> List.sort compare
+  |> List.sort (fun ((a : int * int), _) ((b : int * int), _) -> compare a b)

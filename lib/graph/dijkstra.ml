@@ -146,7 +146,7 @@ let shortest_tree g ~lengths ~src =
   tree
 
 let path_arcs g tree v =
-  if tree.dist.(v) = infinity then raise Not_found;
+  if Float.equal tree.dist.(v) infinity then raise Not_found;
   let rec walk v acc =
     match tree.parent_arc.(v) with
     | -1 -> acc

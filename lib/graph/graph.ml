@@ -188,21 +188,34 @@ let has_multi_edge g =
       end);
   !dup
 
+(* Explicit total order on (src, dst, cap) triples: graph canonicalization
+   must not ride on polymorphic float ordering (NaN would silently reorder). *)
+let compare_arc (u1, v1, c1) (u2, v2, c2) =
+  let c = Int.compare u1 u2 in
+  if c <> 0 then c
+  else
+    let c = Int.compare v1 v2 in
+    if c <> 0 then c else Float.compare c1 c2
+
 let arc_multiset g =
   let arcs = ref [] in
   iter_arcs g (fun a ->
       if g.arc_cap.(a) > 0.0 then
         arcs := (g.arc_src.(a), g.arc_dst.(a), g.arc_cap.(a)) :: !arcs);
-  List.sort compare !arcs
+  List.sort compare_arc !arcs
 
-let equal_structure g1 g2 = g1.n = g2.n && arc_multiset g1 = arc_multiset g2
+let equal_structure g1 g2 =
+  g1.n = g2.n
+  && List.equal
+       (fun a b -> compare_arc a b = 0)
+       (arc_multiset g1) (arc_multiset g2)
 
 let to_edge_list g =
   let edges = ref [] in
   iter_arcs g (fun a ->
       if g.arc_cap.(a) > 0.0 && a < g.arc_rev.(a) then
         edges := (g.arc_src.(a), g.arc_dst.(a), g.arc_cap.(a)) :: !edges);
-  List.sort compare !edges
+  List.sort compare_arc !edges
 
 let pp ppf g =
   Format.fprintf ppf "graph n=%d edges=%d@." g.n (num_edges g);

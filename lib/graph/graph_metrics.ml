@@ -41,7 +41,7 @@ let weighted_pair_distance g ~pairs =
   let dist = Array.make n 0 in
   let acc = ref 0.0 in
   for s = 0 to n - 1 do
-    if by_src.(s) <> [] then begin
+    if not (List.is_empty by_src.(s)) then begin
       Bfs.distances_into g s dist;
       List.iter
         (fun (t, w) ->

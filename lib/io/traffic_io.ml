@@ -11,7 +11,7 @@ let to_string (tm : Traffic.t) =
   List.iter
     (fun (u, v, d) ->
       addf "demand %d %d %s\n" u v (Dcn_util.Float_text.to_string d))
-    (List.sort compare tm.Traffic.demands);
+    (List.sort Traffic.compare_demand tm.Traffic.demands);
   Buffer.contents buf
 
 let of_string text =
@@ -55,7 +55,7 @@ let of_string text =
   |> List.iteri (fun i line -> parse_line (i + 1) line);
   {
     Traffic.name = !name;
-    demands = List.sort compare !demands;
+    demands = List.sort Traffic.compare_demand !demands;
     flows_per_server = !flows_per_server;
   }
 

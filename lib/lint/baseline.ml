@@ -1,0 +1,82 @@
+type entry = { file : string; line : int; col : int; rule : string }
+
+let entry_of_finding (f : Finding.t) =
+  { file = f.Finding.file; line = f.Finding.line; col = f.Finding.col;
+    rule = f.Finding.rule }
+
+let to_line e = Printf.sprintf "%s:%d:%d:%s" e.file e.line e.col e.rule
+
+(* The file name may itself contain [:] in principle, so parse the three
+   trailing fields from the right. *)
+let of_line line =
+  let line = String.trim line in
+  if line = "" || line.[0] = '#' then None
+  else
+    let split_last s =
+      match String.rindex_opt s ':' with
+      | None -> failwith (Printf.sprintf "lint baseline: malformed line %S" line)
+      | Some i ->
+          (String.sub s 0 i, String.sub s (i + 1) (String.length s - i - 1))
+    in
+    let rest, rule = split_last line in
+    let rest, col = split_last rest in
+    let file, lnum = split_last rest in
+    match (int_of_string_opt lnum, int_of_string_opt col) with
+    | Some line_n, Some col_n ->
+        Some { file; line = line_n; col = col_n; rule }
+    | _ -> failwith (Printf.sprintf "lint baseline: malformed line %S" line)
+
+let load path =
+  if not (Sys.file_exists path) then []
+  else
+    In_channel.with_open_text path (fun ic ->
+        In_channel.input_lines ic |> List.filter_map of_line)
+
+let compare_entry a b =
+  let c = String.compare a.file b.file in
+  if c <> 0 then c
+  else
+    let c = Int.compare a.line b.line in
+    if c <> 0 then c
+    else
+      let c = Int.compare a.col b.col in
+      if c <> 0 then c else String.compare a.rule b.rule
+
+let save path findings =
+  let entries =
+    List.map entry_of_finding findings |> List.sort_uniq compare_entry
+  in
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf
+    "# dcn_lint baseline: grandfathered findings, one file:line:col:rule per \
+     line.\n# Regenerate with: dune exec bin/dcn_lint.exe -- \
+     --update-baseline …\n";
+  List.iter
+    (fun e ->
+      Buffer.add_string buf (to_line e);
+      Buffer.add_char buf '\n')
+    entries;
+  Out_channel.with_open_text path (fun oc ->
+      Out_channel.output_string oc (Buffer.contents buf))
+
+type split = {
+  fresh : Finding.t list;
+  grandfathered : Finding.t list;
+  stale : entry list;
+}
+
+let apply entries findings =
+  let matched = Hashtbl.create 16 in
+  let covered f =
+    let e = entry_of_finding f in
+    if List.exists (fun e' -> compare_entry e e' = 0) entries then begin
+      Hashtbl.replace matched (to_line e) ();
+      true
+    end
+    else false
+  in
+  let grandfathered, fresh = List.partition covered findings in
+  let stale =
+    List.filter (fun e -> not (Hashtbl.mem matched (to_line e))) entries
+  in
+  { fresh; grandfathered; stale }

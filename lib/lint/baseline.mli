@@ -1,0 +1,27 @@
+(** The checked-in baseline of grandfathered findings.
+
+    One entry per line, [file:line:col:rule], sorted; blank lines and lines
+    starting with [#] are ignored. A finding matching an entry is reported as
+    baselined (exit 0); entries with no matching finding are stale and should
+    be pruned with [--update-baseline]. *)
+
+type entry = { file : string; line : int; col : int; rule : string }
+
+val entry_of_finding : Finding.t -> entry
+val to_line : entry -> string
+val of_line : string -> entry option
+(** [None] on blank/comment lines; malformed lines raise [Failure]. *)
+
+val load : string -> entry list
+(** Missing file = empty baseline. *)
+
+val save : string -> Finding.t list -> unit
+(** Writes the sorted, deduplicated baseline for [findings]. *)
+
+type split = {
+  fresh : Finding.t list;  (** findings not covered by the baseline *)
+  grandfathered : Finding.t list;
+  stale : entry list;  (** baseline entries nothing matched *)
+}
+
+val apply : entry list -> Finding.t list -> split

@@ -1,0 +1,126 @@
+type options = {
+  source_root : string;
+  pool_scopes : string list;
+  clock_ok : string list;
+  only_rules : string list option;
+}
+
+let default_options =
+  {
+    source_root = ".";
+    pool_scopes = [ "lib/" ];
+    clock_ok = [ "lib/obs/" ];
+    only_rules = None;
+  }
+
+type report = {
+  findings : Finding.t list;
+  suppressed : (Finding.t * string) list;
+  files : int;
+  skipped : string list;
+  errors : string list;
+}
+
+let is_cmt name =
+  String.length name > 4 && String.sub name (String.length name - 4) 4 = ".cmt"
+
+let scan_paths paths =
+  let acc = ref [] in
+  let rec walk path =
+    if Sys.file_exists path then
+      if Sys.is_directory path then
+        Array.iter
+          (fun entry -> walk (Filename.concat path entry))
+          (Sys.readdir path)
+      else if is_cmt path then acc := path :: !acc
+  in
+  List.iter walk paths;
+  List.sort String.compare !acc
+
+let run opts paths =
+  let findings = ref [] in
+  let suppressed = ref [] in
+  let skipped = ref [] in
+  let errors = ref [] in
+  let files = ref 0 in
+  let seen_sources = Hashtbl.create 64 in
+  let lint_cmt path =
+    (match Cmt_format.read_cmt path with
+    | exception e ->
+        errors :=
+          Printf.sprintf "%s: unreadable cmt (%s)" path (Printexc.to_string e)
+          :: !errors
+    | infos -> (
+        match (infos.Cmt_format.cmt_sourcefile, infos.Cmt_format.cmt_annots) with
+        | Some source, Cmt_format.Implementation str ->
+            if Hashtbl.mem seen_sources source then ()
+            else if
+              not (Sys.file_exists (Filename.concat opts.source_root source))
+            then
+              skipped :=
+                Printf.sprintf "%s: source %s not under %s (stale cmt?)" path
+                  source opts.source_root
+                :: !skipped
+            else begin
+              Hashtbl.add seen_sources source ();
+              incr files;
+              let outcome =
+                Rules.check_structure
+                  {
+                    Rules.source_file = source;
+                    pool_scopes = opts.pool_scopes;
+                    clock_ok = opts.clock_ok;
+                    only_rules = opts.only_rules;
+                  }
+                  str
+              in
+              findings := outcome.Rules.findings :: !findings;
+              suppressed := outcome.Rules.suppressed :: !suppressed
+            end
+        | _ ->
+            skipped := Printf.sprintf "%s: no implementation" path :: !skipped))
+    [@dcn.lint
+      "catch-all: cmt loading failures (foreign compiler version, truncated \
+       artifact) must surface as lint errors, not crash the tool; this code \
+       never runs under the pool or a solve deadline"]
+  in
+  List.iter lint_cmt (scan_paths paths);
+  {
+    findings = List.concat !findings |> List.sort_uniq Finding.compare;
+    suppressed = List.concat !suppressed;
+    files = !files;
+    skipped = List.rev !skipped;
+    errors = List.rev !errors;
+  }
+
+let render_json report ~fresh ~grandfathered ~stale =
+  let buf = Buffer.create 1024 in
+  let finding_array fs =
+    "["
+    ^ String.concat ", " (List.map Finding.to_json fs)
+    ^ "]"
+  in
+  Buffer.add_string buf "{\n";
+  Buffer.add_string buf
+    (Printf.sprintf "  \"files\": %d,\n  \"errors\": %d,\n" report.files
+       (List.length report.errors));
+  Buffer.add_string buf
+    (Printf.sprintf "  \"new\": %s,\n" (finding_array fresh));
+  Buffer.add_string buf
+    (Printf.sprintf "  \"baselined\": %s,\n" (finding_array grandfathered));
+  Buffer.add_string buf
+    (Printf.sprintf "  \"stale_baseline\": [%s],\n"
+       (String.concat ", "
+          (List.map
+             (fun e -> Finding.json_quote (Baseline.to_line e))
+             stale)));
+  Buffer.add_string buf
+    (Printf.sprintf "  \"suppressed\": [%s]\n"
+       (String.concat ", "
+          (List.map
+             (fun ((f : Finding.t), reason) ->
+               Printf.sprintf "{\"finding\": %s, \"reason\": %s}"
+                 (Finding.to_json f) (Finding.json_quote reason))
+             report.suppressed)));
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf

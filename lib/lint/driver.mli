@@ -1,0 +1,41 @@
+(** The lint driver: discovers [.cmt] files, runs {!Rules.check_structure}
+    over each typed implementation, and aggregates the results. *)
+
+type options = {
+  source_root : string;
+      (** directory the cmt-recorded source paths are relative to; cmts whose
+          source no longer exists under it are skipped (stale build artifacts,
+          e.g. a restored CI cache holding a deleted module) *)
+  pool_scopes : string list;  (** see {!Rules.options.pool_scopes} *)
+  clock_ok : string list;  (** see {!Rules.options.clock_ok} *)
+  only_rules : string list option;
+}
+
+val default_options : options
+(** [source_root = "."], [pool_scopes = ["lib/"]], [clock_ok = ["lib/obs/"]],
+    all rules. *)
+
+type report = {
+  findings : Finding.t list;  (** sorted, deduplicated *)
+  suppressed : (Finding.t * string) list;
+  files : int;  (** implementation units linted *)
+  skipped : string list;  (** cmts skipped (no/missing source, interfaces) *)
+  errors : string list;  (** unreadable cmt files *)
+}
+
+val scan_paths : string list -> string list
+(** Expand each argument — a [.cmt] file or a directory scanned recursively
+    (including dot-directories, where dune hides [.objs]) — into a sorted
+    list of cmt paths. *)
+
+val run : options -> string list -> report
+(** [run options paths] lints every cmt under [paths]. Multiple cmts for the
+    same source file (byte + native builds) are linted once. *)
+
+val render_json :
+  report ->
+  fresh:Finding.t list ->
+  grandfathered:Finding.t list ->
+  stale:Baseline.entry list ->
+  string
+(** The machine-readable report envelope for [--json]. *)

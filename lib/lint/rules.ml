@@ -1,0 +1,474 @@
+open Typedtree
+
+let all_rules =
+  [
+    ("global-random",
+     "global Random state; thread an explicit Random.State.t instead");
+    ("ambient-clock",
+     "wall-clock read outside the blessed clock module (lib/obs)");
+    ("poly-hash",
+     "Hashtbl.hash is not stable across OCaml releases; use Stable_hash");
+    ("float-compare",
+     "polymorphic =/<>/compare/min/max at a float-carrying type (NaN hazard)");
+    ("mutable-global",
+     "top-level mutable state reachable from pool workers without \
+      Atomic/mutex/[@dcn.domain_safe]");
+    ("catch-all",
+     "catch-all exception handler can swallow Mcmf_fptas.Cancelled or pool \
+      teardown");
+    ("lint-attr", "malformed [@dcn.lint]/[@dcn.domain_safe] suppression");
+  ]
+
+let is_rule id = List.mem_assoc id all_rules
+
+type options = {
+  source_file : string;
+  pool_scopes : string list;
+  clock_ok : string list;
+  only_rules : string list option;
+}
+
+type outcome = {
+  findings : Finding.t list;
+  suppressed : (Finding.t * string) list;
+}
+
+(* ---- shared helpers ------------------------------------------------ *)
+
+let starts_with prefix s =
+  String.length s >= String.length prefix
+  && String.sub s 0 (String.length prefix) = prefix
+
+let under_any prefixes path = List.exists (fun p -> starts_with p path) prefixes
+
+(* [Path.name] renders fully resolved paths ("Stdlib.Random.self_init"), so
+   rules see through module aliases and [open]s at the use site. *)
+let path_name = Path.name
+
+(* ---- suppression attributes ---------------------------------------- *)
+
+type suppression = { sup_rule : string; reason : string }
+
+let attr_string_payload (attr : Parsetree.attribute) =
+  match attr.Parsetree.attr_payload with
+  | Parsetree.PStr
+      [
+        {
+          pstr_desc =
+            Parsetree.Pstr_eval
+              ({ pexp_desc = Parsetree.Pexp_constant c; _ }, _);
+          _;
+        };
+      ] -> (
+      match c with Parsetree.Pconst_string (s, _, _) -> Some s | _ -> None)
+  | _ -> None
+
+(* Returns in-scope suppressions plus lint-attr findings for malformed ones. *)
+let parse_attributes (attrs : Parsetree.attributes) =
+  List.fold_left
+    (fun (sups, bad) (attr : Parsetree.attribute) ->
+      let malformed msg =
+        (sups, Finding.make ~loc:attr.attr_loc ~rule:"lint-attr" ~message:msg :: bad)
+      in
+      match attr.attr_name.Location.txt with
+      | "dcn.domain_safe" -> (
+          match attr_string_payload attr with
+          | Some reason when String.trim reason <> "" ->
+              ({ sup_rule = "mutable-global"; reason } :: sups, bad)
+          | _ ->
+              malformed
+                "[@dcn.domain_safe] needs a non-empty reason string, e.g. \
+                 [@dcn.domain_safe \"guarded by Pool.mutex\"]")
+      | "dcn.lint" -> (
+          match attr_string_payload attr with
+          | None ->
+              malformed
+                "[@dcn.lint] needs a string payload \"rule-id: reason\""
+          | Some s -> (
+              match String.index_opt s ':' with
+              | None ->
+                  malformed
+                    (Printf.sprintf
+                       "[@dcn.lint %S] is missing a reason; write \
+                        \"rule-id: reason\"" s)
+              | Some i ->
+                  let rule = String.trim (String.sub s 0 i) in
+                  let reason =
+                    String.trim
+                      (String.sub s (i + 1) (String.length s - i - 1))
+                  in
+                  if not (is_rule rule) then
+                    malformed
+                      (Printf.sprintf "[@dcn.lint]: unknown rule id %S" rule)
+                  else if reason = "" then
+                    malformed
+                      (Printf.sprintf
+                         "[@dcn.lint %S] has an empty reason" s)
+                  else ({ sup_rule = rule; reason } :: sups, bad)))
+      | _ -> (sups, bad))
+    ([], []) attrs
+
+(* ---- type inspection ------------------------------------------------ *)
+
+let rec type_exists pred ty =
+  match Types.get_desc ty with
+  | Types.Tconstr (p, args, _) ->
+      pred p || List.exists (type_exists pred) args
+  | Types.Ttuple l -> List.exists (type_exists pred) l
+  | Types.Tarrow (_, a, b, _) -> type_exists pred a || type_exists pred b
+  | Types.Tpoly (t, _) -> type_exists pred t
+  | _ -> false
+
+let is_float_path p =
+  Path.same p Predef.path_float || path_name p = "Stdlib.Float.t"
+
+let carries_float ty = type_exists is_float_path ty
+
+(* Mutable-global classification. [None] = no unguarded mutable root found;
+   [Some name] = the offending constructor. Traversal stops at containers
+   that make their contents domain-safe. *)
+let safe_roots =
+  [
+    "Stdlib.Atomic.t";
+    "Stdlib.Mutex.t";
+    "Stdlib.Condition.t";
+    "Stdlib.Semaphore.Counting.t";
+    "Stdlib.Semaphore.Binary.t";
+    "Stdlib.Domain.DLS.key";
+  ]
+
+let unsafe_roots =
+  [
+    "Stdlib.ref";
+    "Stdlib.Hashtbl.t";
+    "Stdlib.Buffer.t";
+    "Stdlib.Queue.t";
+    "Stdlib.Stack.t";
+  ]
+
+let rec mutable_root ~local_mutable ty =
+  match Types.get_desc ty with
+  | Types.Tconstr (p, args, _) ->
+      let name = path_name p in
+      if List.mem name safe_roots then None
+      else if List.mem name unsafe_roots || Path.same p Predef.path_bytes then
+        Some name
+      else if
+        List.exists
+          (fun id ->
+            match p with Path.Pident i -> Ident.same i id | _ -> false)
+          local_mutable
+      then Some (name ^ " (record with mutable fields)")
+      else List.find_map (mutable_root ~local_mutable) args
+  | Types.Ttuple l -> List.find_map (mutable_root ~local_mutable) l
+  | Types.Tarrow _ -> None (* closures: captured state is out of scope here *)
+  | Types.Tpoly (t, _) -> mutable_root ~local_mutable t
+  | _ -> None
+
+let has_guard ty =
+  type_exists
+    (fun p ->
+      let n = path_name p in
+      n = "Stdlib.Mutex.t" || n = "Stdlib.Condition.t")
+    ty
+
+(* ---- pattern inspection (catch-all rule) ---------------------------- *)
+
+(* Is this pattern a catch-all, and if so which variable (if any) binds the
+   exception? Or-patterns are catch-alls if either side is. *)
+let rec pat_catch_all : type k. k general_pattern -> bool * Ident.t option =
+ fun p ->
+  match p.pat_desc with
+  | Tpat_any -> (true, None)
+  | Tpat_var (id, _) -> (true, Some id)
+  | Tpat_alias (inner, id, _) ->
+      let ca, _ = pat_catch_all inner in
+      if ca then (true, Some id) else (false, None)
+  | Tpat_or (a, b, _) -> (
+      match pat_catch_all a with
+      | (true, _) as r -> r
+      | false, _ -> pat_catch_all b)
+  | Tpat_value v -> pat_catch_all (v :> value general_pattern)
+  | Tpat_exception e -> pat_catch_all e
+  | _ -> (false, None)
+
+(* The exception part of a computation pattern, if any. *)
+let rec exception_part : type k. k general_pattern -> pattern option =
+ fun p ->
+  match p.pat_desc with
+  | Tpat_exception e -> Some e
+  | Tpat_or (a, b, _) -> (
+      match exception_part a with Some e -> Some e | None -> exception_part b)
+  | Tpat_value v -> exception_part (v :> value general_pattern)
+  | _ -> None
+
+let raise_names =
+  [ "Stdlib.raise"; "Stdlib.raise_notrace"; "Stdlib.Printexc.raise_with_backtrace" ]
+
+(* Does [body] re-raise the exception bound to [id] (possibly after
+   cleanup)? Textual containment is a heuristic, but a sound direction: we
+   only use it to *accept* handlers, never to find violations. *)
+let handler_reraises id body =
+  let found = ref false in
+  let default = Tast_iterator.default_iterator in
+  let expr sub e =
+    (match e.exp_desc with
+    | Texp_apply ({ exp_desc = Texp_ident (p, _, _); _ }, args)
+      when List.mem (path_name p) raise_names -> (
+        let first_arg =
+          List.find_map
+            (function
+              | Asttypes.Nolabel, (Some _ as a) -> Some a | _ -> None)
+            args
+        in
+        match first_arg with
+        | Some (Some { exp_desc = Texp_ident (Path.Pident id', _, _); _ })
+          when Ident.same id id' ->
+            found := true
+        | _ -> ())
+    | _ -> ());
+    default.expr sub e
+  in
+  let it = { default with expr } in
+  it.expr it body;
+  !found
+
+(* ---- the checker ----------------------------------------------------- *)
+
+type ctx = {
+  opts : options;
+  mutable stack : suppression list list;  (* innermost scope first *)
+  mutable file_sups : suppression list;  (* from floating [@@@dcn.lint] *)
+  mutable out_findings : Finding.t list;
+  mutable out_suppressed : (Finding.t * string) list;
+  mutable local_mutable : Ident.t list;  (* record decls with mutable fields *)
+}
+
+let rule_enabled ctx rule =
+  match ctx.opts.only_rules with
+  | None -> true
+  | Some rules -> List.mem rule rules
+
+let report ctx ~loc ~rule message =
+  if rule_enabled ctx rule then begin
+    let f = Finding.make ~loc ~rule ~message in
+    let in_scope =
+      List.find_map
+        (fun frame ->
+          List.find_map
+            (fun s -> if s.sup_rule = rule then Some s.reason else None)
+            frame)
+        (ctx.file_sups :: ctx.stack)
+    in
+    match in_scope with
+    | Some reason -> ctx.out_suppressed <- (f, reason) :: ctx.out_suppressed
+    | None -> ctx.out_findings <- f :: ctx.out_findings
+  end
+
+let push ctx (attrs : Parsetree.attributes) =
+  let sups, bad = parse_attributes attrs in
+  List.iter
+    (fun (f : Finding.t) ->
+      if rule_enabled ctx f.Finding.rule then
+        ctx.out_findings <- f :: ctx.out_findings)
+    bad;
+  ctx.stack <- sups :: ctx.stack
+
+let pop ctx = ctx.stack <- List.tl ctx.stack
+
+(* -- ident-level rules -- *)
+
+let poly_compare_names =
+  [ ("Stdlib.=", "="); ("Stdlib.<>", "<>"); ("Stdlib.compare", "compare");
+    ("Stdlib.min", "min"); ("Stdlib.max", "max") ]
+
+let poly_hash_names =
+  [ "Stdlib.Hashtbl.hash"; "Stdlib.Hashtbl.seeded_hash";
+    "Stdlib.Hashtbl.hash_param" ]
+
+let ambient_clock_names = [ "Unix.gettimeofday"; "Unix.time"; "Stdlib.Sys.time" ]
+
+let check_ident ctx loc name ty =
+  if starts_with "Stdlib.Random." name
+     && not (starts_with "Stdlib.Random.State." name)
+  then
+    report ctx ~loc ~rule:"global-random"
+      (Printf.sprintf
+         "%s uses the process-global Random state; thread a Random.State.t \
+          (made from the run's seed and salt) instead"
+         name);
+  if List.mem name ambient_clock_names
+     && not (under_any ctx.opts.clock_ok ctx.opts.source_file)
+  then
+    report ctx ~loc ~rule:"ambient-clock"
+      (Printf.sprintf
+         "%s reads ambient wall-clock; use Dcn_obs.Clock (monotonic) or \
+          take the time as an input"
+         name);
+  if List.mem name poly_hash_names then
+    report ctx ~loc ~rule:"poly-hash"
+      (Printf.sprintf
+         "%s is not specified to be stable across OCaml releases, so it must \
+          not feed salts, digests or cached results; use \
+          Dcn_util.Stable_hash.fnv1a"
+         name);
+  match List.assoc_opt name poly_compare_names with
+  | Some op when carries_float ty ->
+      report ctx ~loc ~rule:"float-compare"
+        (Printf.sprintf
+           "polymorphic %s instantiated at a float-carrying type: NaN breaks \
+            reflexivity/ordering; use Float.equal/Float.compare (or an \
+            epsilon test)"
+           op)
+  | _ -> ()
+
+(* -- catch-all rule -- *)
+
+let check_handler_case ctx ~what (pat : pattern) guard body =
+  match guard with
+  | Some _ -> () (* a guarded case lets unmatched exceptions propagate *)
+  | None -> (
+      match pat_catch_all pat with
+      | false, _ -> ()
+      | true, bound -> (
+          let flag () =
+            report ctx ~loc:pat.pat_loc ~rule:"catch-all"
+              (Printf.sprintf
+                 "%s catches every exception and can swallow \
+                  Mcmf_fptas.Cancelled or pool teardown; match specific \
+                  exceptions, or re-raise the variable after cleanup"
+                 what)
+          in
+          match bound with
+          | None -> flag ()
+          | Some id -> if not (handler_reraises id body) then flag ()))
+
+let check_expr ctx e =
+  match e.exp_desc with
+  | Texp_ident (p, _, _) -> check_ident ctx e.exp_loc (path_name p) e.exp_type
+  | Texp_try (_, cases) ->
+      List.iter
+        (fun c -> check_handler_case ctx ~what:"try … with" c.c_lhs c.c_guard c.c_rhs)
+        cases
+  | Texp_match (_, cases, _) ->
+      List.iter
+        (fun c ->
+          match exception_part c.c_lhs with
+          | Some p ->
+              check_handler_case ctx ~what:"match … with exception" p c.c_guard
+                c.c_rhs
+          | None -> ())
+        cases
+  | _ -> ()
+
+(* -- mutable-global rule (top-level bindings only) -- *)
+
+let binding_name (vb : value_binding) =
+  match vb.vb_pat.pat_desc with
+  | Tpat_var (_, name) -> name.Location.txt
+  | Tpat_alias (_, _, name) -> name.Location.txt
+  | _ -> "_"
+
+let check_top_binding ctx (vb : value_binding) =
+  let ty = vb.vb_pat.pat_type in
+  match mutable_root ~local_mutable:ctx.local_mutable ty with
+  | None -> ()
+  | Some root ->
+      if not (has_guard ty) then
+        report ctx ~loc:vb.vb_pat.pat_loc ~rule:"mutable-global"
+          (Printf.sprintf
+             "top-level %S holds mutable state (%s) shared across pool \
+              workers; use Atomic.t, bundle it with its Mutex.t, move it \
+              into Domain.DLS, or annotate [@dcn.domain_safe \"reason\"]"
+             (binding_name vb) root)
+
+let collect_mutable_decls ctx (decls : type_declaration list) =
+  List.iter
+    (fun (d : type_declaration) ->
+      match d.typ_type.Types.type_kind with
+      | Types.Type_record (fields, _) ->
+          if
+            List.exists
+              (fun (f : Types.label_declaration) ->
+                f.Types.ld_mutable = Asttypes.Mutable)
+              fields
+          then ctx.local_mutable <- d.typ_id :: ctx.local_mutable
+      | _ -> ())
+    decls
+
+(* Top-level bindings, including those of nested [module M = struct … end].
+   Expression-level state (refs inside closures) is per-call and out of
+   scope for the rule, so we do not descend into expressions here. *)
+let rec check_structure_top ctx (str : structure) =
+  List.iter
+    (fun item ->
+      match item.str_desc with
+      | Tstr_type (_, decls) -> collect_mutable_decls ctx decls
+      | Tstr_value (_, vbs) ->
+          List.iter
+            (fun vb ->
+              push ctx vb.vb_attributes;
+              check_top_binding ctx vb;
+              pop ctx)
+            vbs
+      | Tstr_module mb -> check_module_expr ctx mb.mb_expr
+      | Tstr_recmodule mbs ->
+          List.iter (fun mb -> check_module_expr ctx mb.mb_expr) mbs
+      | Tstr_include incl -> check_module_expr ctx incl.incl_mod
+      | _ -> ())
+    str.str_items
+
+and check_module_expr ctx me =
+  match me.mod_desc with
+  | Tmod_structure s -> check_structure_top ctx s
+  | Tmod_constraint (inner, _, _, _) -> check_module_expr ctx inner
+  | Tmod_functor (_, body) -> check_module_expr ctx body
+  | _ -> ()
+
+(* ---- entry point ----------------------------------------------------- *)
+
+let check_structure opts (str : structure) =
+  let ctx =
+    {
+      opts;
+      stack = [];
+      file_sups = [];
+      out_findings = [];
+      out_suppressed = [];
+      local_mutable = [];
+    }
+  in
+  (* Floating [@@@dcn.lint "rule: reason"] silences a rule file-wide. *)
+  List.iter
+    (fun item ->
+      match item.str_desc with
+      | Tstr_attribute attr ->
+          let sups, bad = parse_attributes [ attr ] in
+          List.iter
+            (fun (f : Finding.t) ->
+              if rule_enabled ctx f.Finding.rule then
+                ctx.out_findings <- f :: ctx.out_findings)
+            bad;
+          ctx.file_sups <- sups @ ctx.file_sups
+      | _ -> ())
+    str.str_items;
+  if under_any opts.pool_scopes opts.source_file then
+    check_structure_top ctx str;
+  let default = Tast_iterator.default_iterator in
+  let expr sub e =
+    push ctx e.exp_attributes;
+    check_expr ctx e;
+    default.expr sub e;
+    pop ctx
+  in
+  let value_binding sub vb =
+    push ctx vb.vb_attributes;
+    default.value_binding sub vb;
+    pop ctx
+  in
+  let it = { default with expr; value_binding } in
+  it.structure it str;
+  {
+    findings = List.sort_uniq Finding.compare ctx.out_findings;
+    suppressed = ctx.out_suppressed;
+  }

@@ -1,0 +1,53 @@
+(** The rule engine: walks one typed implementation ([Typedtree.structure])
+    and reports invariant violations as {!Finding.t} values.
+
+    Rules (see docs/lint.md for rationale):
+    - [global-random] — uses of the global [Random] state ([Random.self_init],
+      [Random.int], [Random.get_state], …). Randomness must be threaded as an
+      explicit [Random.State.t] so runs are reproducible at any [--jobs].
+    - [ambient-clock] — [Unix.gettimeofday]/[Unix.time]/[Sys.time] outside the
+      blessed clock module ({!options.clock_ok} path prefixes, default
+      [lib/obs/]). Solvers must never read wall-clock.
+    - [poly-hash] — [Hashtbl.hash]/[seeded_hash]/[hash_param]: the polymorphic
+      hash is not specified to be stable across OCaml releases, so it must not
+      feed anything cache- or digest-relevant. Use [Dcn_util.Stable_hash].
+    - [float-compare] — polymorphic [=], [<>], [compare], [min], [max]
+      instantiated at a float-carrying type: NaN breaks reflexivity and
+      [min]/[max] are order-sensitive under NaN. Use [Float.equal],
+      [Float.compare] or an epsilon test.
+    - [mutable-global] — top-level mutable state (ref, [Hashtbl.t],
+      [Buffer.t], [Queue.t], [Stack.t], [bytes], or a locally declared record
+      with mutable fields) in a library reachable from pool workers
+      ({!options.pool_scopes} path prefixes, default [lib/]). Must be
+      [Atomic.t], bundled with a [Mutex.t]/[Condition.t] in the same value, a
+      [Domain.DLS.key], or carry [[\@dcn.domain_safe "reason"]].
+    - [catch-all] — [try … with _ ->] or [with e ->] (also
+      [match … with exception _ ->]) handlers that can swallow
+      [Mcmf_fptas.Cancelled] or pool-teardown exceptions. A handler that
+      re-raises the caught variable (via [raise], [raise_notrace] or
+      [Printexc.raise_with_backtrace]) is accepted; so is a guarded case.
+    - [lint-attr] — malformed suppression attribute (unknown rule id, or a
+      missing/empty reason string).
+
+    Suppression: [[\@dcn.lint "rule-id: reason"]] on an expression or value
+    binding silences [rule-id] for everything underneath it;
+    [[\@dcn.domain_safe "reason"]] is shorthand for the [mutable-global] rule;
+    [[\@\@\@dcn.lint "rule-id: reason"]] silences a rule for the whole file. *)
+
+val all_rules : (string * string) list
+(** [(id, one-line summary)] for every rule, in documentation order. *)
+
+type options = {
+  source_file : string;  (** path of the unit being linted, for scoping *)
+  pool_scopes : string list;  (** [mutable-global] applies under these prefixes *)
+  clock_ok : string list;  (** [ambient-clock] allowed under these prefixes *)
+  only_rules : string list option;  (** restrict to these rule ids *)
+}
+
+type outcome = {
+  findings : Finding.t list;  (** sorted with {!Finding.compare} *)
+  suppressed : (Finding.t * string) list;
+      (** findings silenced by an in-scope attribute, with the reason *)
+}
+
+val check_structure : options -> Typedtree.structure -> outcome

@@ -17,7 +17,8 @@ type histogram = {
 
 type metric = C of counter | G of gauge | H of histogram
 
-let registry : (string, metric) Hashtbl.t = Hashtbl.create 64
+let registry : (string, metric) Hashtbl.t =
+  Hashtbl.create 64 [@@dcn.domain_safe "guarded by [reg_mutex]"]
 let reg_mutex = Mutex.create ()
 
 let register name make =
@@ -41,7 +42,7 @@ let kind_error name want =
 let counter name =
   match register name (fun () -> C { c_name = name; c = Atomic.make 0 }) with
   | C c -> c
-  | _ -> kind_error name "counter"
+  | G _ | H _ -> kind_error name "counter"
 
 let gauge name =
   match
@@ -49,7 +50,7 @@ let gauge name =
         G { g_name = name; g = Atomic.make (Int64.bits_of_float 0.0) })
   with
   | G g -> g
-  | _ -> kind_error name "gauge"
+  | C _ | H _ -> kind_error name "gauge"
 
 (* Exponential latency grid, 1µs .. 30s, for durations in seconds. *)
 let default_bounds =
@@ -74,7 +75,7 @@ let histogram ?(bounds = default_bounds) name =
           })
   with
   | H h -> h
-  | _ -> kind_error name "histogram"
+  | C _ | G _ -> kind_error name "histogram"
 
 let add c n = if Atomic.get on then ignore (Atomic.fetch_and_add c.c n)
 let incr c = add c 1
@@ -159,7 +160,9 @@ let snapshot () =
 let find snap name = List.assoc_opt name snap
 
 let counter_value snap name =
-  match find snap name with Some (Counter_v n) -> n | _ -> 0
+  match find snap name with
+  | Some (Counter_v n) -> n
+  | Some (Gauge_v _ | Histogram_v _) | None -> 0
 
 let diff ~before ~after =
   List.filter_map
@@ -168,7 +171,7 @@ let diff ~before ~after =
       | Counter_v a, Some (Counter_v b) ->
           if a = b then None else Some (name, Counter_v (a - b))
       | Gauge_v a, Some (Gauge_v b) ->
-          if a = b then None else Some (name, Gauge_v a)
+          if Float.equal a b then None else Some (name, Gauge_v a)
       | Histogram_v h, Some (Histogram_v hb)
         when Array.length h.counts = Array.length hb.counts ->
           let counts = Array.mapi (fun i c -> c - hb.counts.(i)) h.counts in
@@ -181,7 +184,9 @@ let diff ~before ~after =
       | Counter_v 0, None -> None
       | Histogram_v h, None when Array.for_all (fun c -> c = 0) h.counts ->
           None
-      | v, _ -> Some (name, v))
+      | ( ((Counter_v _ | Gauge_v _ | Histogram_v _) as v),
+          (Some (Counter_v _ | Gauge_v _ | Histogram_v _) | None) ) ->
+          Some (name, v))
     after
 
 let merge a b =
@@ -191,7 +196,9 @@ let merge a b =
   List.filter_map
     (fun name ->
       match (find a name, find b name) with
-      | Some v, None | None, Some v -> Some (name, v)
+      | Some ((Counter_v _ | Gauge_v _ | Histogram_v _) as v), None
+      | None, Some ((Counter_v _ | Gauge_v _ | Histogram_v _) as v) ->
+          Some (name, v)
       | Some (Counter_v x), Some (Counter_v y) -> Some (name, Counter_v (x + y))
       | Some (Gauge_v _), Some (Gauge_v y) -> Some (name, Gauge_v y)
       | Some (Histogram_v x), Some (Histogram_v y)
@@ -204,7 +211,9 @@ let merge a b =
                   counts = Array.mapi (fun i c -> c + y.counts.(i)) x.counts;
                   sum = x.sum +. y.sum;
                 } )
-      | _, Some v -> Some (name, v)
+      | ( Some (Counter_v _ | Gauge_v _ | Histogram_v _),
+          Some ((Counter_v _ | Gauge_v _ | Histogram_v _) as v) ) ->
+          Some (name, v)
       | None, None -> None)
     names
 
@@ -228,9 +237,11 @@ let to_json snap =
   Buffer.add_string buf "{\n";
   section "counters" (function
     | Counter_v n -> Some (string_of_int n)
-    | _ -> None);
+    | Gauge_v _ | Histogram_v _ -> None);
   Buffer.add_string buf ",\n";
-  section "gauges" (function Gauge_v v -> Some (Json.number v) | _ -> None);
+  section "gauges" (function
+    | Gauge_v v -> Some (Json.number v)
+    | Counter_v _ | Histogram_v _ -> None);
   Buffer.add_string buf ",\n";
   section "histograms" (function
     | Histogram_v { bounds; counts; sum } ->
@@ -248,7 +259,7 @@ let to_json snap =
              (arr Json.number bounds)
              (arr string_of_int counts)
              (Json.number sum) count (q 0.5) (q 0.95) (q 0.99))
-    | _ -> None);
+    | Counter_v _ | Gauge_v _ -> None);
   Buffer.add_string buf "\n}\n";
   Buffer.contents buf
 

@@ -8,7 +8,8 @@ let enabled () = Atomic.get on
    each followed by ",\n"; [write] trims the final separator. *)
 type sink = { tid : int; buf : Buffer.t; lock : Mutex.t }
 
-let sinks : sink list ref = ref []
+let sinks : sink list ref =
+  ref [] [@@dcn.domain_safe "guarded by [sinks_mutex]"]
 let sinks_mutex = Mutex.create ()
 let next_tid = Atomic.make 0
 

@@ -8,7 +8,8 @@ type 'a t = {
 
 let create () = { heap = [||]; size = 0; next_seq = 0 }
 
-let earlier a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
+let earlier a b =
+  a.time < b.time || (Float.equal a.time b.time && a.seq < b.seq)
 
 let swap q i j =
   let tmp = q.heap.(i) in

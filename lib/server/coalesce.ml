@@ -48,7 +48,13 @@ let run t ~key f =
       let cell = { state = Pending } in
       Hashtbl.add t.table key cell;
       Mutex.unlock t.mutex;
-      let value = try Ok (f ()) with e -> Error e in
+      let value =
+        (try Ok (f ()) with e -> Error e)
+        [@dcn.lint
+          "catch-all: single-flight by design — the leader's exception \
+           (Cancelled included) is captured as [Error] and delivered to \
+           every rider verbatim, then re-raised by each caller"]
+      in
       Mutex.lock t.mutex;
       cell.state <- Done value;
       (* Close the coalescing window: riders hold the cell, new arrivals

@@ -167,11 +167,22 @@ let parse text =
 
 (* ---- accessors ---- *)
 
-let member key = function Obj fields -> List.assoc_opt key fields | _ -> None
-let to_string_opt = function Str s -> Some s | _ -> None
-let to_float_opt = function Num x -> Some x | _ -> None
-let to_bool_opt = function Bool b -> Some b | _ -> None
+let member key = function
+  | Obj fields -> List.assoc_opt key fields
+  | Null | Bool _ | Num _ | Str _ | Arr _ -> None
+
+let to_string_opt = function
+  | Str s -> Some s
+  | Null | Bool _ | Num _ | Arr _ | Obj _ -> None
+
+let to_float_opt = function
+  | Num x -> Some x
+  | Null | Bool _ | Str _ | Arr _ | Obj _ -> None
+
+let to_bool_opt = function
+  | Bool b -> Some b
+  | Null | Num _ | Str _ | Arr _ | Obj _ -> None
 
 let to_int_opt = function
   | Num x when Float.is_integer x && Float.abs x <= 1e15 -> Some (int_of_float x)
-  | _ -> None
+  | Null | Bool _ | Num _ | Str _ | Arr _ | Obj _ -> None

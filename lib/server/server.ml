@@ -295,7 +295,7 @@ let serve config =
   let port =
     match Unix.getsockname listen_fd with
     | Unix.ADDR_INET (_, p) -> p
-    | _ -> config.port
+    | Unix.ADDR_UNIX _ -> config.port
   in
   (* Atomic publish: a watcher polling for the file never reads a
      half-written port number. *)

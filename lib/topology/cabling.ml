@@ -62,7 +62,8 @@ let shorten_cables ?(evaluations = 4000) ?preserve_cut st g placement =
   let edges = Hashtbl.create (Graph.num_arcs g) in
   List.iter
     (fun (u, v, cap) ->
-      if cap <> 1.0 then invalid_arg "Cabling: unit capacities required";
+      if not (Float.equal cap 1.0) then
+        invalid_arg "Cabling: unit capacities required";
       Hashtbl.replace edges (min u v, max u v) ())
     (Graph.to_edge_list g);
   let adjacent u v = Hashtbl.mem edges (min u v, max u v) in
@@ -94,7 +95,10 @@ let shorten_cables ?(evaluations = 4000) ?preserve_cut st g placement =
                && crossings [ (p, q); (r, s) ] = old_cross)
         |> List.map (fun (((p, q), (r, s)) as cand) ->
                (dist p q +. dist r s, cand))
-        |> List.sort compare
+        |> List.sort (fun (l1, c1) (l2, c2) ->
+               let c = Float.compare l1 l2 in
+               if c <> 0 then c
+               else compare (c1 : (int * int) * (int * int)) c2)
       in
       match candidates with
       | (new_len, ((p, q), (r, s))) :: _ when new_len < old_len -. 1e-12 ->

@@ -22,7 +22,7 @@ let state_of_graph g =
   let edges = Hashtbl.create (Graph.num_arcs g) in
   List.iter
     (fun (u, v, cap) ->
-      if cap <> 1.0 then
+      if not (Float.equal cap 1.0) then
         invalid_arg "Local_search: unit capacities required";
       Hashtbl.replace edges (min u v, max u v) ())
     (Graph.to_edge_list g);

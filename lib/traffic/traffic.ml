@@ -4,6 +4,17 @@ type t = {
   flows_per_server : int;
 }
 
+(* Canonical demand order: by endpoint pair, then volume. Endpoint pairs are
+   unique in every generator, so the Float.compare tail never decides in
+   practice — it exists to keep the order total without polymorphic float
+   comparison. *)
+let compare_demand (u1, v1, d1) (u2, v2, d2) =
+  let c = Int.compare u1 u2 in
+  if c <> 0 then c
+  else
+    let c = Int.compare v1 v2 in
+    if c <> 0 then c else Float.compare d1 d2
+
 let num_servers ~servers = Array.fold_left ( + ) 0 servers
 
 let offsets servers =
@@ -48,12 +59,12 @@ let aggregate ~name ~flows_per_server ~servers pairs =
     pairs;
   let demands =
     Hashtbl.fold (fun (u, v) d acc -> (u, v, d) :: acc) tbl []
-    |> List.sort compare
+    |> List.sort compare_demand
   in
   { name; demands; flows_per_server }
 
 let to_commodities t =
-  if t.demands = [] then
+  if List.is_empty t.demands then
     invalid_arg "Traffic.to_commodities: no inter-switch demand";
   Array.of_list
     (List.map
@@ -87,7 +98,7 @@ let all_to_all ~servers =
   done;
   {
     name = "all-to-all";
-    demands = List.sort compare !demands;
+    demands = List.sort compare_demand !demands;
     flows_per_server = total - 1;
   }
 

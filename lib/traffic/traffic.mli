@@ -21,6 +21,12 @@ type t = {
           [1 / flows_per_server]. *)
 }
 
+val compare_demand : int * int * float -> int * int * float -> int
+(** The canonical demand order ((src, dst) lexicographic, then
+    [Float.compare] on volume). Serialization and generators both sort with
+    this, so equal matrices render byte-identically without ever comparing
+    floats polymorphically. *)
+
 val to_commodities : t -> Dcn_flow.Commodity.t array
 (** Raises [Invalid_argument] if the matrix is empty (all traffic was
     intra-switch). *)

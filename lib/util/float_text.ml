@@ -1,12 +1,12 @@
 let to_string x =
   if Float.is_nan x then "nan"
-  else if x = Float.infinity then "inf"
-  else if x = Float.neg_infinity then "-inf"
+  else if Float.equal x Float.infinity then "inf"
+  else if Float.equal x Float.neg_infinity then "-inf"
   else begin
     (* Shortest round-tripping form: %.17g always round-trips for finite
        doubles; prefer the shorter renderings when they happen to be
        exact (which covers every value used by the topology generators). *)
-    let exact s = float_of_string s = x in
+    let exact s = Float.equal (float_of_string s) x in
     let g = Printf.sprintf "%g" x in
     if exact g then g
     else begin

@@ -10,9 +10,12 @@ let run_tasks f tasks =
   let results = Array.make n Pending in
   Pool.run ~total:n (fun i ->
       results.(i) <-
-        (match f tasks.(i) with
-        | v -> Done v
-        | exception e -> Failed (e, Printexc.get_raw_backtrace ())));
+        ((match f tasks.(i) with
+         | v -> Done v
+         | exception e -> Failed (e, Printexc.get_raw_backtrace ()))
+        [@dcn.lint
+          "catch-all: not swallowed — every [Failed] is re-raised with its \
+           original backtrace once the batch completes, in task order"]));
   Array.map
     (function
       | Done v -> v

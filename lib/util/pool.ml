@@ -49,18 +49,21 @@ let task_done = Condition.create ()
    from [submit] are appended at the tail instead, so detached work (e.g.
    server request handlers) is claimed FIFO and never starves a nested
    batch some thread is waiting on. *)
-let batches : batch list ref = ref []
+let batches : batch list ref =
+  ref [] [@@dcn.domain_safe "guarded by [mutex]"]
 
 (* Drain/shutdown state for detached tasks. [async_outstanding] counts
    [submit]ted tasks not yet finished; [shutting_down] makes further
    submissions fail fast. Both guarded by [mutex]. *)
-let shutting_down = ref false
-let async_outstanding = ref 0
+let shutting_down = ref false [@@dcn.domain_safe "guarded by [mutex]"]
+let async_outstanding = ref 0 [@@dcn.domain_safe "guarded by [mutex]"]
 
 let default_workers = max 0 (Domain.recommended_domain_count () - 1)
-let target = ref default_workers
-let live = ref 0
-let handles : unit Domain.t list ref = ref []
+let target = ref default_workers [@@dcn.domain_safe "guarded by [mutex]"]
+let live = ref 0 [@@dcn.domain_safe "guarded by [mutex]"]
+
+let handles : unit Domain.t list ref =
+  ref [] [@@dcn.domain_safe "guarded by [mutex]"]
 
 let set_workers n =
   if n < 0 then invalid_arg "Pool.set_workers: negative worker count";
@@ -165,7 +168,11 @@ let run ~total f =
       let ctx = Dcn_obs.Context.capture () in
       let task i =
         Dcn_obs.Context.with_captured ctx (fun () ->
-            try f i with e -> record i e (Printexc.get_raw_backtrace ()))
+            (try f i with e -> record i e (Printexc.get_raw_backtrace ()))
+            [@dcn.lint
+              "catch-all: not swallowed — the smallest-index failure is \
+               re-raised with its backtrace by the batch owner after the \
+               batch drains, matching serial-loop semantics"])
       in
       let run_one i =
         if not (Metrics.enabled () || Trace.enabled ()) then task i
@@ -236,7 +243,10 @@ let submit f =
        silently killing a worker domain. *)
     (try f ()
      with e ->
-       Printf.eprintf "Pool.submit: task raised %s\n%!" (Printexc.to_string e));
+       Printf.eprintf "Pool.submit: task raised %s\n%!" (Printexc.to_string e))
+    [@dcn.lint
+      "catch-all: detached tasks have no waiter to re-raise into; leaks \
+       are reported on stderr instead of killing a worker domain"];
     Mutex.lock mutex;
     async_outstanding := !async_outstanding - 1;
     Condition.broadcast task_done;

@@ -48,7 +48,7 @@ let split_proportionally ~total ~weights =
     Array.mapi (fun i s -> (s -. floor s, i)) shares |> Array.to_list
   in
   let by_remainder =
-    List.sort (fun (r1, _) (r2, _) -> compare r2 r1) remainders
+    List.sort (fun (r1, _) (r2, _) -> Float.compare r2 r1) remainders
   in
   let rec distribute todo = function
     | [] -> if todo > 0 then invalid_arg "split_proportionally: ran out of bins"

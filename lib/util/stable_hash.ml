@@ -1,0 +1,21 @@
+(* FNV-1a: h <- (h xor byte) * prime, with the standard offset bases and
+   primes. The 32-bit variant runs in plain int arithmetic (every
+   intermediate fits in 63-bit native ints) and masks back to 32 bits after
+   each multiply, so results match the reference algorithm exactly. *)
+
+let fnv1a s =
+  let prime = 0x0100_0193 and mask = 0xFFFF_FFFF in
+  let h = ref 0x811c_9dc5 in
+  String.iter
+    (fun c -> h := (!h lxor Char.code c) * prime land mask)
+    s;
+  !h
+
+let fnv1a_64 s =
+  let prime = 0x100_0000_01b3L in
+  let h = ref 0xcbf2_9ce4_8422_2325L in
+  String.iter
+    (fun c ->
+      h := Int64.mul (Int64.logxor !h (Int64.of_int (Char.code c))) prime)
+    s;
+  !h

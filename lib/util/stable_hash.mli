@@ -1,0 +1,16 @@
+(** Version-stable string hashing.
+
+    [Hashtbl.hash] is not specified to produce the same values across OCaml
+    releases, so it must never feed anything that is supposed to be
+    reproducible — sample salts, cache digests, figure data. FNV-1a is a
+    fixed public algorithm: these values are part of the repo's determinism
+    contract and will never change. *)
+
+val fnv1a : string -> int
+(** 32-bit FNV-1a of the bytes of the string, as a non-negative int
+    (identical on 32- and 64-bit platforms and across OCaml releases).
+    Reference vectors: [fnv1a "" = 0x811c9dc5], [fnv1a "a" = 0xe40c292c],
+    [fnv1a "foobar" = 0xbf9cf968]. *)
+
+val fnv1a_64 : string -> int64
+(** 64-bit FNV-1a, for digest-grade uses where 32 bits collide too easily. *)

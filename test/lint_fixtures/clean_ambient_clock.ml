@@ -1,0 +1,3 @@
+(* Clean twin of [trig_ambient_clock]: time enters as data, never read
+   ambiently, so the function is a pure map from timestamps. *)
+let elapsed ~start ~stop = stop -. start

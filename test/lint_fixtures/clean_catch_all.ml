@@ -1,0 +1,9 @@
+(* Clean twins of [trig_catch_all]: a named exception never swallows
+   foreign control flow, and a catch-all that re-raises is accepted. *)
+let getenv_opt name = try Some (Sys.getenv name) with Not_found -> None
+
+let with_logging f =
+  try f ()
+  with e ->
+    prerr_endline (Printexc.to_string e);
+    raise e

@@ -1,0 +1,3 @@
+(* Clean twin of [trig_float_compare]: Float.equal is total and explicit
+   about IEEE semantics (NaN equals NaN, -0. equals 0.). *)
+let same a b = Float.equal a b

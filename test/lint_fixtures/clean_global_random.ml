@@ -1,0 +1,2 @@
+(* Clean twin of [trig_global_random]: randomness threaded explicitly. *)
+let roll st = Random.State.int st 6

@@ -1,0 +1,7 @@
+(* Clean twin of [trig_lint_attr]: a well-formed suppression — rule id,
+   colon, reason — silences exactly one poly-hash finding underneath it
+   and shows up in the suppressed list instead. *)
+let salt name =
+  (Hashtbl.hash name)
+  [@dcn.lint
+    "poly-hash: fixture demonstrating a well-formed, in-scope suppression"]

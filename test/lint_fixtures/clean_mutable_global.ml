@@ -1,0 +1,3 @@
+(* Clean twin of [trig_mutable_global]: Atomic.t is safe to share across
+   pool workers without external locking. *)
+let counter = Atomic.make 0

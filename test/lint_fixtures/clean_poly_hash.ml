@@ -1,0 +1,3 @@
+(* Clean twin of [trig_poly_hash]: FNV-1a is specified byte-for-byte, so
+   the salt survives compiler upgrades. *)
+let salt name = Dcn_util.Stable_hash.fnv1a name

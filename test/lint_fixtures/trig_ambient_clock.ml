@@ -1,0 +1,3 @@
+(* Violates [ambient-clock]: reads wall-clock outside the blessed clock
+   module, so repeated runs observe different values. *)
+let now () = Unix.gettimeofday ()

@@ -1,0 +1,3 @@
+(* Violates [catch-all]: the wildcard handler swallows every exception,
+   including Mcmf_fptas.Cancelled and pool teardown. *)
+let swallow f = try Some (f ()) with _ -> None

@@ -1,0 +1,3 @@
+(* Violates [float-compare]: polymorphic = instantiated at float — NaN is
+   not equal to itself, so this equality is not reflexive. *)
+let same (a : float) (b : float) = a = b

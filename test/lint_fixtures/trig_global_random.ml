@@ -1,0 +1,3 @@
+(* Violates [global-random]: draws from the process-global Random state,
+   which makes results depend on scheduling order under the pool. *)
+let roll () = Random.int 6

@@ -1,0 +1,3 @@
+(* Violates [lint-attr]: a [@dcn.lint] suppression with no payload is
+   malformed and must itself be reported, never silently honoured. *)
+let answer = (41 + 1) [@dcn.lint]

@@ -1,0 +1,3 @@
+(* Violates [mutable-global]: a bare top-level ref is a data race waiting
+   to happen once pool workers touch this module. *)
+let counter = ref 0

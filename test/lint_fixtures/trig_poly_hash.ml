@@ -1,0 +1,3 @@
+(* Violates [poly-hash]: Hashtbl.hash is not specified to be stable across
+   OCaml releases, so it must not feed seeds, digests, or cache keys. *)
+let salt name = Hashtbl.hash name

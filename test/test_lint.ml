@@ -1,0 +1,208 @@
+(* Tests for the dcn_lint engine and executable.
+
+   The fixture library under lint_fixtures/ holds one trig_* module per
+   rule (each violating it exactly once at a known spot) and a clean_*
+   twin doing the same job idiomatically. The test runner executes from
+   _build/default/test, so the fixture cmts sit under lint_fixtures/ and
+   their cmt-recorded source paths (test/lint_fixtures/…) resolve against
+   --source-root "..". *)
+
+module Finding = Dcn_lint_engine.Finding
+module Rules = Dcn_lint_engine.Rules
+module Baseline = Dcn_lint_engine.Baseline
+module Driver = Dcn_lint_engine.Driver
+
+let fixture_opts =
+  {
+    Driver.source_root = "..";
+    pool_scopes = [ "test/lint_fixtures" ];
+    clock_ok = [];
+    only_rules = None;
+  }
+
+let fixture_report = lazy (Driver.run fixture_opts [ "lint_fixtures" ])
+
+let base f = Filename.basename f.Finding.file
+
+(* ---- fixtures trigger, clean twins stay silent ---- *)
+
+let expected_triggers =
+  [
+    ("trig_global_random.ml", "global-random");
+    ("trig_ambient_clock.ml", "ambient-clock");
+    ("trig_poly_hash.ml", "poly-hash");
+    ("trig_float_compare.ml", "float-compare");
+    ("trig_mutable_global.ml", "mutable-global");
+    ("trig_catch_all.ml", "catch-all");
+    ("trig_lint_attr.ml", "lint-attr");
+  ]
+
+let test_each_rule_fires_once () =
+  let report = Lazy.force fixture_report in
+  Alcotest.(check (list string)) "no cmt errors" [] report.Driver.errors;
+  List.iter
+    (fun (file, rule) ->
+      let hits =
+        List.filter
+          (fun f -> base f = file && f.Finding.rule = rule)
+          report.Driver.findings
+      in
+      Alcotest.(check int)
+        (Printf.sprintf "%s fires %s once" file rule)
+        1 (List.length hits);
+      let f = List.hd hits in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s has a real location" file)
+        true
+        (f.Finding.line > 0 && f.Finding.col >= 0))
+    expected_triggers;
+  Alcotest.(check int)
+    "nothing beyond the expected triggers"
+    (List.length expected_triggers)
+    (List.length report.Driver.findings)
+
+let test_clean_twins_silent () =
+  let report = Lazy.force fixture_report in
+  List.iter
+    (fun f ->
+      Alcotest.(check bool)
+        (Printf.sprintf "finding only in trig_* files (got %s)" (base f))
+        true
+        (String.length (base f) >= 5 && String.sub (base f) 0 5 = "trig_"))
+    report.Driver.findings
+
+let test_wellformed_suppression () =
+  let report = Lazy.force fixture_report in
+  match report.Driver.suppressed with
+  | [ (f, reason) ] ->
+      Alcotest.(check string)
+        "suppressed in the clean twin" "clean_lint_attr.ml" (base f);
+      Alcotest.(check string) "suppressed rule" "poly-hash" f.Finding.rule;
+      Alcotest.(check bool)
+        "reason carried through" true
+        (String.length reason > 0)
+  | l ->
+      Alcotest.failf "expected exactly one suppressed finding, got %d"
+        (List.length l)
+
+let test_rule_filter () =
+  let report =
+    Driver.run
+      { fixture_opts with Driver.only_rules = Some [ "poly-hash" ] }
+      [ "lint_fixtures" ]
+  in
+  Alcotest.(check int) "only poly-hash reported" 1
+    (List.length report.Driver.findings);
+  Alcotest.(check string) "and it is poly-hash" "poly-hash"
+    (List.hd report.Driver.findings).Finding.rule
+
+(* ---- baseline lifecycle: add -> suppress -> remove ---- *)
+
+let test_baseline_line_roundtrip () =
+  (* Paths may contain colons; parsing is anchored from the right. *)
+  let e =
+    { Baseline.file = "test/we:ird/name.ml"; line = 12; col = 3;
+      rule = "catch-all" }
+  in
+  (match Baseline.of_line (Baseline.to_line e) with
+  | Some e' -> Alcotest.(check bool) "entry round-trips" true (e = e')
+  | None -> Alcotest.fail "entry line did not parse");
+  Alcotest.(check bool) "comments skipped" true
+    (Baseline.of_line "# comment" = None);
+  Alcotest.(check bool) "blank skipped" true (Baseline.of_line "   " = None);
+  (match Baseline.of_line "not-a-finding" with
+  | exception Failure _ -> ()
+  | _ -> Alcotest.fail "malformed line must raise")
+
+let test_baseline_lifecycle () =
+  let report = Lazy.force fixture_report in
+  let findings = report.Driver.findings in
+  Alcotest.(check bool) "fixtures produce findings" true (findings <> []);
+  (* Add: with no baseline everything is fresh. *)
+  let s0 = Baseline.apply [] findings in
+  Alcotest.(check int) "all fresh without a baseline"
+    (List.length findings) (List.length s0.Baseline.fresh);
+  (* Suppress: a saved baseline grandfathers every finding. *)
+  let tmp = Filename.temp_file "dcn_lint_baseline" ".txt" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove tmp with Sys_error _ -> ())
+    (fun () ->
+      Baseline.save tmp findings;
+      let entries = Baseline.load tmp in
+      let s1 = Baseline.apply entries findings in
+      Alcotest.(check int) "nothing fresh once baselined" 0
+        (List.length s1.Baseline.fresh);
+      Alcotest.(check int) "everything grandfathered"
+        (List.length findings)
+        (List.length s1.Baseline.grandfathered);
+      Alcotest.(check int) "no stale entries yet" 0
+        (List.length s1.Baseline.stale);
+      (* Remove: fixing the findings turns every entry stale. *)
+      let s2 = Baseline.apply entries [] in
+      Alcotest.(check int) "fixed findings leave stale entries"
+        (List.length entries)
+        (List.length s2.Baseline.stale);
+      (* And pruning rewrites the baseline empty. *)
+      Baseline.save tmp [];
+      Alcotest.(check (list string)) "pruned baseline is empty" []
+        (List.map Baseline.to_line (Baseline.load tmp)))
+
+let test_baseline_missing_file () =
+  Alcotest.(check int) "missing baseline file means empty baseline" 0
+    (List.length (Baseline.load "lint_fixtures/no-such-baseline.txt"))
+
+(* ---- the executable's exit codes ---- *)
+
+let exe = Filename.concat ".." (Filename.concat "bin" "dcn_lint.exe")
+
+let run_exe args =
+  Sys.command
+    (Printf.sprintf "%s %s >/dev/null 2>&1" (Filename.quote exe) args)
+
+let test_exe_exit_codes () =
+  if not (Sys.file_exists exe) then
+    Alcotest.skip ()
+  else begin
+    Alcotest.(check int) "fresh findings exit 1" 1
+      (run_exe
+         "--quiet --source-root .. --pool-scope test/lint_fixtures \
+          lint_fixtures");
+    Alcotest.(check int) "clean scan exits 0" 0
+      (run_exe
+         "--quiet --source-root .. --rule ambient-clock --clock-ok test/ \
+          lint_fixtures");
+    Alcotest.(check int) "unknown rule exits 2" 2
+      (run_exe "--rule no-such-rule lint_fixtures");
+    (* CLI baseline lifecycle: update-baseline, then a baselined run is
+       green. *)
+    let tmp = Filename.temp_file "dcn_lint_cli_baseline" ".txt" in
+    Fun.protect
+      ~finally:(fun () -> try Sys.remove tmp with Sys_error _ -> ())
+      (fun () ->
+        let common =
+          Printf.sprintf
+            "--quiet --source-root .. --pool-scope test/lint_fixtures \
+             --baseline %s lint_fixtures"
+            (Filename.quote tmp)
+        in
+        Alcotest.(check int) "update-baseline exits 0" 0
+          (run_exe ("--update-baseline " ^ common));
+        Alcotest.(check int) "baselined run exits 0" 0 (run_exe common))
+  end
+
+let suite =
+  ( "lint",
+    [
+      Alcotest.test_case "each rule fires once" `Quick
+        test_each_rule_fires_once;
+      Alcotest.test_case "clean twins silent" `Quick test_clean_twins_silent;
+      Alcotest.test_case "well-formed suppression" `Quick
+        test_wellformed_suppression;
+      Alcotest.test_case "rule filter" `Quick test_rule_filter;
+      Alcotest.test_case "baseline line round-trip" `Quick
+        test_baseline_line_roundtrip;
+      Alcotest.test_case "baseline lifecycle" `Quick test_baseline_lifecycle;
+      Alcotest.test_case "baseline missing file" `Quick
+        test_baseline_missing_file;
+      Alcotest.test_case "exe exit codes" `Quick test_exe_exit_codes;
+    ] )

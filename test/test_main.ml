@@ -27,5 +27,6 @@ let () =
       Test_resilience.suite;
       Test_properties.suite;
       Test_serve.suite;
+      Test_lint.suite;
       Test_integration.suite;
     ]

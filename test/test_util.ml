@@ -160,6 +160,41 @@ let test_parallel_propagates_exceptions () =
   | _ -> Alcotest.fail "expected exception"
   | exception Failure msg -> Alcotest.(check string) "message" "boom" msg
 
+(* ---- Stable_hash ---- *)
+
+(* Published FNV-1a reference vectors: the whole point of the function is
+   that these values never change, across OCaml releases or platforms
+   (ablation salts and cache keys depend on it). *)
+let test_fnv1a_vectors () =
+  let check_hash s expect =
+    Alcotest.(check int)
+      (Printf.sprintf "fnv1a %S" s)
+      expect
+      (Dcn_util.Stable_hash.fnv1a s)
+  in
+  check_hash "" 0x811c9dc5;
+  check_hash "a" 0xe40c292c;
+  check_hash "foobar" 0xbf9cf968;
+  let check_hash64 s expect =
+    Alcotest.(check int64)
+      (Printf.sprintf "fnv1a_64 %S" s)
+      expect
+      (Dcn_util.Stable_hash.fnv1a_64 s)
+  in
+  check_hash64 "" 0xcbf29ce484222325L;
+  check_hash64 "a" 0xaf63dc4c8601ec8cL;
+  check_hash64 "foobar" 0x85944171f73967e8L
+
+let test_fnv1a_range () =
+  List.iter
+    (fun s ->
+      let h = Dcn_util.Stable_hash.fnv1a s in
+      Alcotest.(check bool)
+        (Printf.sprintf "fnv1a %S in [0, 2^32)" s)
+        true
+        (h >= 0 && h <= 0xFFFFFFFF))
+    [ ""; "a"; "rrg"; "fail_links"; String.make 300 '\xff' ]
+
 let suite =
   ( "util",
     [
@@ -183,4 +218,6 @@ let suite =
       Alcotest.test_case "parallel map" `Quick test_parallel_matches_sequential;
       Alcotest.test_case "parallel exceptions" `Quick
         test_parallel_propagates_exceptions;
+      Alcotest.test_case "fnv1a reference vectors" `Quick test_fnv1a_vectors;
+      Alcotest.test_case "fnv1a range" `Quick test_fnv1a_range;
     ] )
