@@ -16,6 +16,7 @@
      dune exec bench/main.exe -- --metrics m.json        # solver-internal counters
      dune exec bench/main.exe -- --trace t.json          # Perfetto-loadable spans
      dune exec bench/main.exe -- --progress              # per-sample lines on stderr
+     dune exec bench/main.exe -- --sweep-warm            # cold-vs-warm sweep speedups
 
    [--jobs j] sets the total parallelism (defaults to the machine's
    recommended domain count): the shared domain pool gets [j - 1] workers
@@ -309,7 +310,47 @@ let microbenchmarks () =
 let json_escape = Dcn_obs.Json.escape
 let json_float = Dcn_obs.Json.number
 
-let write_bench_json path ~mode ~jobs ~figures ~micro ~total_seconds =
+(* One JSON object per --sweep-warm report: every grid point's two legs
+   plus the aggregate geomeans/flags CI asserts on. *)
+let sweep_warm_json (r : Core.Experiments.sweep_warm_report) =
+  let open Core.Experiments in
+  let points =
+    List.map
+      (fun p ->
+        Printf.sprintf
+          "      {\"label\": \"%s\", \"cold_phases\": %d, \"warm_phases\": \
+           %d, \"speedup_phases\": %s, \"cold_seconds\": %s, \
+           \"warm_seconds\": %s, \"speedup_wall\": %s, \"cold_lower\": %s, \
+           \"cold_upper\": %s, \"warm_lower\": %s, \"warm_upper\": %s, \
+           \"certified\": %b, \"overlap\": %b}"
+          (json_escape p.swp_label) p.swp_cold_phases p.swp_warm_phases
+          (json_float (speedup_phases p))
+          (json_float p.swp_cold_seconds)
+          (json_float p.swp_warm_seconds)
+          (json_float (speedup_wall p))
+          (json_float p.swp_cold_lower) (json_float p.swp_cold_upper)
+          (json_float p.swp_warm_lower) (json_float p.swp_warm_upper)
+          p.swp_certified p.swp_overlap)
+      r.swr_points
+  in
+  Printf.sprintf
+    "    {\"name\": \"%s\", \"requested_gap\": %s, \"baseline_phases\": %d, \
+     \"baseline_seconds\": %s,\n\
+     \     \"points\": [\n%s\n     ],\n\
+     \     \"cold_phases_total\": %d, \"warm_phases_total\": %d, \
+     \"geomean_phases\": %s, \"geomean_wall\": %s, \"all_certified\": %b, \
+     \"all_overlap\": %b}"
+    (json_escape r.swr_name)
+    (json_float r.swr_requested_gap)
+    r.swr_baseline_phases
+    (json_float r.swr_baseline_seconds)
+    (String.concat ",\n" points)
+    r.swr_cold_phases r.swr_warm_phases
+    (json_float r.swr_geomean_phases)
+    (json_float r.swr_geomean_wall)
+    r.swr_all_certified r.swr_all_overlap
+
+let write_bench_json path ~mode ~jobs ~figures ~micro ~sweeps ~total_seconds =
   let figure_entries =
     List.map
       (fun r ->
@@ -364,6 +405,11 @@ let write_bench_json path ~mode ~jobs ~figures ~micro ~total_seconds =
     (String.concat ",\n" figure_entries);
   Printf.fprintf oc "  \"micro\": [\n%s\n  ],\n"
     (String.concat ",\n" micro_entries);
+  (match sweeps with
+  | [] -> ()
+  | sweeps ->
+      Printf.fprintf oc "  \"sweep_warm\": [\n%s\n  ],\n"
+        (String.concat ",\n" (List.map sweep_warm_json sweeps)));
   output_string oc cache_json;
   Printf.fprintf oc "  \"metrics\": %s,\n" metrics_json;
   Printf.fprintf oc "  \"total_seconds\": %s\n" (json_float total_seconds);
@@ -377,7 +423,7 @@ let usage () =
   prerr_endline
     "usage: bench [--full] [--jobs N] [--csv-dir DIR] [--bench-json FILE] \
      [--cache-dir DIR] [--resume] [--no-cache] [--metrics FILE] \
-     [--trace FILE] [--progress] [--list] [TARGET ...]";
+     [--trace FILE] [--progress] [--sweep-warm] [--list] [TARGET ...]";
   prerr_endline "targets: figure names (fig1a, ..., ablation_*) and 'micro';";
   prerr_endline "         none selects everything (--list prints them all)"
 
@@ -415,6 +461,7 @@ type options = {
   metrics_file : string option;
   trace_file : string option;
   progress : bool;
+  sweep_warm : bool;
   list : bool;
   targets : string list;
 }
@@ -445,6 +492,7 @@ let parse_args argv =
     | "--trace" :: path :: rest -> go { acc with trace_file = Some path } rest
     | [ "--trace" ] -> die "--trace expects a file path"
     | "--progress" :: rest -> go { acc with progress = true } rest
+    | "--sweep-warm" :: rest -> go { acc with sweep_warm = true } rest
     | "--list" :: rest -> go { acc with list = true } rest
     | ("--help" | "-h") :: _ ->
         usage ();
@@ -456,7 +504,8 @@ let parse_args argv =
   go
     { full = false; jobs = default_jobs; csv_dir = None; bench_json = None;
       cache_dir = None; resume = false; no_cache = false; metrics_file = None;
-      trace_file = None; progress = false; list = false; targets = [] }
+      trace_file = None; progress = false; sweep_warm = false; list = false;
+      targets = [] }
     (List.tl (Array.to_list argv))
 
 let () =
@@ -508,7 +557,9 @@ let () =
     | Some store -> Printf.sprintf ", cache=%s" (Core.Store.root store)
     | None -> "");
   let names = opts.targets in
-  let wants name = names = [] || List.mem name names in
+  (* --sweep-warm alone runs just the warm-start sweeps; explicit targets
+     can be given alongside to run both. *)
+  let wants name = (names = [] && not opts.sweep_warm) || List.mem name names in
   let known = List.map (fun (n, _, _) -> n) figures @ [ "micro" ] in
   List.iter
     (fun n ->
@@ -571,6 +622,32 @@ let () =
     end
   in
   let micro = if wants "micro" then microbenchmarks () else [] in
+  (* Warm-start sweep bench: each grid point solved cold and warm, the
+     per-point speedup printed and (with --bench-json) serialized. Runs
+     serially on the submitting domain — wall-clock comparisons would be
+     meaningless with both legs sharing a pool. *)
+  let sweeps =
+    if not opts.sweep_warm then []
+    else begin
+      let reports =
+        [
+          Core.Experiments.sweep_warm_failures scale;
+          Core.Hetero_experiments.sweep_warm_demand scale;
+        ]
+      in
+      List.iter
+        (fun r ->
+          Core.Table.print
+            ~title:
+              (Printf.sprintf "sweep-warm %s — baseline %d phases in %.2fs"
+                 r.Core.Experiments.swr_name
+                 r.Core.Experiments.swr_baseline_phases
+                 r.Core.Experiments.swr_baseline_seconds)
+            (Core.Experiments.sweep_warm_table r))
+        reports;
+      reports
+    end
+  in
   (match Core.Store.shared () with
   | Some store ->
       let c = Core.Store.counters store in
@@ -583,7 +660,7 @@ let () =
   | Some path ->
       write_bench_json path
         ~mode:(if opts.full then "full" else "quick")
-        ~jobs:opts.jobs ~figures:computed ~micro
+        ~jobs:opts.jobs ~figures:computed ~micro ~sweeps
         ~total_seconds:(Clock.elapsed_s t0));
   (match opts.metrics_file with
   | None -> ()

@@ -216,25 +216,42 @@ let failures_cmd =
     let topo = build_topology spec seed in
     let st = Random.State.make [| seed; 2 |] in
     let params = params_of eps gap in
-    let lambda_of g =
-      let tm_st = Random.State.make [| seed; 3 |] in
-      let tm = Core.Traffic.permutation tm_st ~servers:topo.Core.Topology.servers in
-      Core.Solve_cache.fptas_lambda ~params g (Core.Traffic.to_commodities tm)
+    let tm_st = Random.State.make [| seed; 3 |] in
+    let tm =
+      Core.Traffic.permutation tm_st ~servers:topo.Core.Topology.servers
     in
-    let base = lambda_of topo.Core.Topology.graph in
+    let cs = Core.Traffic.to_commodities tm in
+    let midpoint (r : Core.Mcmf_fptas.result) =
+      (r.Core.Mcmf_fptas.lambda_lower +. r.Core.Mcmf_fptas.lambda_upper) /. 2.0
+    in
+    (* One group-tracked baseline; each non-zero fraction is an incremental
+       delta-solve of the masked survivor against it (repaired trees,
+       surviving flow reused) rather than a from-scratch solve. *)
+    let base_state, base_warm =
+      Core.Solve_cache.fptas_with_state ~params ~track_groups:true
+        topo.Core.Topology.graph cs
+    in
+    let base = midpoint base_state.Core.Mcmf_fptas.result in
     let table =
       Core.Table.create ~header:[ "failed_fraction"; "lambda"; "retained" ]
     in
     List.iter
       (fun fraction ->
-        let g =
-          if Float.equal fraction 0.0 then topo.Core.Topology.graph
-          else
-            Core.Resilience.fail_links_connected st topo.Core.Topology.graph
+        if Float.equal fraction 0.0 then
+          (* The unfailed point is the baseline itself. *)
+          Core.Table.add_floats table [ 0.0; base; 1.0 ]
+        else begin
+          let masked, failed =
+            Core.Resilience.fail_arcs_connected st topo.Core.Topology.graph
               ~fraction
-        in
-        let lambda = lambda_of g in
-        Core.Table.add_floats table [ fraction; lambda; lambda /. base ])
+          in
+          let solved, _ =
+            Core.Solve_cache.fptas_delta ~params ~warm:base_warm ~failed
+              masked cs
+          in
+          let lambda = midpoint solved.Core.Mcmf_fptas.result in
+          Core.Table.add_floats table [ fraction; lambda; lambda /. base ]
+        end)
       fractions;
     Core.Table.print table
   in

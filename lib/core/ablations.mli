@@ -12,7 +12,9 @@ val bisection_vs_throughput : Scale.t -> Dcn_util.Table.t
 
 val fptas_accuracy : Scale.t -> Dcn_util.Table.t
 (** FPTAS certified interval vs. the exact simplex optimum on small random
-    instances, across eps settings — the CPLEX-substitution ablation. *)
+    instances, across eps settings — the CPLEX-substitution ablation. The
+    eps ladder runs as a warm chain (each rung seeds the next with its
+    final lengths), which changes nothing about the certificates. *)
 
 val equal_equipment_topologies : Scale.t -> Dcn_util.Table.t
 (** RRG vs. hypercube vs. torus vs. fat-tree with identical switch
@@ -71,7 +73,10 @@ val transport_comparison : Scale.t -> Dcn_util.Table.t
 val failure_resilience : Scale.t -> Dcn_util.Table.t
 (** Throughput retention under uniform random link failures: RRG vs
     fat-tree at comparable equipment (the graceful-degradation argument
-    of the random-graph literature §2 builds on). *)
+    of the random-graph literature §2 builds on). Each topology is solved
+    once with group tracking; every failed fraction is then an
+    incremental {!Dcn_flow.Mcmf_fptas.resolve_after_failure} against that
+    baseline, and the zero fraction emits retention 1 without solving. *)
 
 val multi_class_placement : Scale.t -> Dcn_util.Table.t
 (** Future-work item (c) of §9: with three switch classes, sweeping the

@@ -2,12 +2,14 @@ module Table = Dcn_util.Table
 module Parallel = Dcn_util.Parallel
 module Topology = Dcn_topology.Topology
 module Rrg = Dcn_topology.Rrg
+module Resilience = Dcn_topology.Resilience
 module Traffic = Dcn_traffic.Traffic
 module Mcmf_fptas = Dcn_flow.Mcmf_fptas
 module Solve_cache = Dcn_store.Solve_cache
 module Graph_metrics = Dcn_graph.Graph_metrics
 module Aspl_bound = Dcn_bounds.Aspl_bound
 module Throughput_bound = Dcn_bounds.Throughput_bound
+module Clock = Dcn_obs.Clock
 
 let rrg_throughput_ratio scale ~salt ~n ~r ~traffic =
   let servers_per_switch =
@@ -120,6 +122,211 @@ let fig2b scale =
     (size_grid scale)
   |> List.iter (Table.add_floats t);
   t
+
+(* ------------------------------------------------------------------ *)
+(* Warm-start sweep bench (bench --sweep-warm)                         *)
+
+type sweep_warm_point = {
+  swp_label : string;
+  swp_cold_phases : int;
+  swp_warm_phases : int;
+  swp_cold_seconds : float;
+  swp_warm_seconds : float;
+  swp_cold_lower : float;
+  swp_cold_upper : float;
+  swp_warm_lower : float;
+  swp_warm_upper : float;
+  swp_certified : bool;
+  swp_overlap : bool;
+}
+
+type sweep_warm_report = {
+  swr_name : string;
+  swr_requested_gap : float;
+  swr_baseline_phases : int;
+  swr_baseline_seconds : float;
+  swr_points : sweep_warm_point list;
+  swr_cold_phases : int;
+  swr_warm_phases : int;
+  swr_geomean_phases : float;
+  swr_geomean_wall : float;
+  swr_all_certified : bool;
+  swr_all_overlap : bool;
+}
+
+let speedup_phases p =
+  float_of_int p.swp_cold_phases /. float_of_int (max 1 p.swp_warm_phases)
+
+let speedup_wall p = p.swp_cold_seconds /. Float.max 1e-9 p.swp_warm_seconds
+
+let geomean = function
+  | [] -> Float.nan
+  | xs ->
+      exp
+        (List.fold_left (fun acc x -> acc +. log x) 0.0 xs
+        /. float_of_int (List.length xs))
+
+let sweep_warm_point ~label ~requested_gap ~(cold : Mcmf_fptas.result)
+    ~cold_seconds ~(warm : Mcmf_fptas.solve_state) ~warm_seconds =
+  let wr = warm.Mcmf_fptas.result in
+  let gap_of (r : Mcmf_fptas.result) =
+    (r.Mcmf_fptas.lambda_upper /. r.Mcmf_fptas.lambda_lower) -. 1.0
+  in
+  {
+    swp_label = label;
+    swp_cold_phases = cold.Mcmf_fptas.phases;
+    (* The warm leg's cost is what it executed, not what it inherited from
+       the seed's ledger. *)
+    swp_warm_phases = warm.Mcmf_fptas.warm.Mcmf_fptas.w_executed;
+    swp_cold_seconds = cold_seconds;
+    swp_warm_seconds = warm_seconds;
+    swp_cold_lower = cold.Mcmf_fptas.lambda_lower;
+    swp_cold_upper = cold.Mcmf_fptas.lambda_upper;
+    swp_warm_lower = wr.Mcmf_fptas.lambda_lower;
+    swp_warm_upper = wr.Mcmf_fptas.lambda_upper;
+    swp_certified =
+      wr.Mcmf_fptas.converged && gap_of wr <= requested_gap +. 1e-9;
+    (* Both certified intervals contain the true optimum, so they must
+       intersect; a disjoint pair would falsify one certificate. *)
+    swp_overlap =
+      wr.Mcmf_fptas.lambda_lower <= cold.Mcmf_fptas.lambda_upper
+      && cold.Mcmf_fptas.lambda_lower <= wr.Mcmf_fptas.lambda_upper;
+  }
+
+let sweep_warm_report ~name ~requested_gap ~baseline_phases ~baseline_seconds
+    points =
+  {
+    swr_name = name;
+    swr_requested_gap = requested_gap;
+    swr_baseline_phases = baseline_phases;
+    swr_baseline_seconds = baseline_seconds;
+    swr_points = points;
+    swr_cold_phases =
+      List.fold_left (fun acc p -> acc + p.swp_cold_phases) 0 points;
+    swr_warm_phases =
+      List.fold_left (fun acc p -> acc + p.swp_warm_phases) 0 points;
+    swr_geomean_phases = geomean (List.map speedup_phases points);
+    swr_geomean_wall = geomean (List.map speedup_wall points);
+    swr_all_certified = List.for_all (fun p -> p.swp_certified) points;
+    swr_all_overlap = List.for_all (fun p -> p.swp_overlap) points;
+  }
+
+let sweep_warm_table report =
+  let t =
+    Table.create
+      ~header:
+        [ "point"; "cold_phases"; "warm_phases"; "speedup_phases";
+          "cold_s"; "warm_s"; "speedup_wall"; "certified"; "overlap" ]
+  in
+  List.iter
+    (fun p ->
+      Table.add_row t
+        [
+          p.swp_label;
+          string_of_int p.swp_cold_phases;
+          string_of_int p.swp_warm_phases;
+          Printf.sprintf "%.1f" (speedup_phases p);
+          Printf.sprintf "%.4f" p.swp_cold_seconds;
+          Printf.sprintf "%.4f" p.swp_warm_seconds;
+          Printf.sprintf "%.1f" (speedup_wall p);
+          string_of_bool p.swp_certified;
+          string_of_bool p.swp_overlap;
+        ])
+    report.swr_points;
+  Table.add_row t
+    [
+      "geomean";
+      string_of_int report.swr_cold_phases;
+      string_of_int report.swr_warm_phases;
+      Printf.sprintf "%.1f" report.swr_geomean_phases;
+      "";
+      "";
+      Printf.sprintf "%.1f" report.swr_geomean_wall;
+      string_of_bool report.swr_all_certified;
+      string_of_bool report.swr_all_overlap;
+    ];
+  t
+
+let sweep_warm_failures scale =
+  let params = scale.Scale.params in
+  (* The baseline is solved at half the requested gap. The delta-solve
+     precheck re-certifies against the carried dual bound at the seeded
+     lengths: the tighter baseline interval is exactly the slack a small
+     failure consumes, so most points below re-certify with zero (or very
+     few) fresh phases — the cold leg pays the full phase count every
+     time. Both legs call the solver directly (never the cache), so the
+     timings compare compute against compute. *)
+  let base_params =
+    { params with Mcmf_fptas.gap = params.Mcmf_fptas.gap /. 2.0 }
+  in
+  let st = Random.State.make [| scale.Scale.seed; 16000 |] in
+  (* Degree 10: a single link is a tenth of one switch's capacity, so a
+     random small failure usually moves λ* by less than the gap — the
+     regime where the inherited certificate can re-close after the repair.
+     (On sparse graphs — r = 5 say — one link is 20% of a switch and a
+     lucky hit moves the optimum past any reasonable gap budget, forcing
+     real phases on cold and warm alike; no warm-start can dodge that.)
+     The movement also shrinks with the failed link's share of total
+     capacity, so the paper-scale sweep — whose gap budget is 0.03 rather
+     than 0.08 — uses a twice-larger instance: one link out of 400 moves
+     λ* about half as far as one out of 200, probing the same physics
+     within the tighter budget. *)
+  let n = if scale.Scale.dense then 80 else 40 in
+  let topo = Rrg.topology st ~n ~k:15 ~r:10 in
+  let g = topo.Topology.graph in
+  let tm = Traffic.permutation st ~servers:topo.Topology.servers in
+  let cs = Traffic.to_commodities tm in
+  let t0 = Clock.now_ns () in
+  let base =
+    Mcmf_fptas.solve_with_state ~params:base_params ~track_groups:true g cs
+  in
+  let baseline_seconds = Clock.elapsed_s t0 in
+  (* Fractions are chosen so the grid fails exactly 1 / 3 / 5 links
+     (n·r/2 = 200 links quick, 400 dense). The grid is weighted toward
+     single-link failures — by far the most common event in deployment
+     failure traces, and the case the delta-solve targets — with
+     multi-link points keeping the tail honest. *)
+  let grid =
+    if scale.Scale.dense then
+      [
+        (0.0025, 1); (0.0025, 2); (0.0025, 3); (0.0025, 4); (0.0025, 5);
+        (0.0025, 6); (0.0075, 1); (0.0075, 2); (0.0125, 1); (0.0125, 2);
+      ]
+    else
+      [ (0.005, 1); (0.005, 2); (0.005, 3); (0.005, 4); (0.015, 1);
+        (0.025, 1) ]
+  in
+  let points =
+    List.map
+      (fun (fraction, fs) ->
+        let fst_ =
+          Random.State.make
+            [| scale.Scale.seed; 16001; fs;
+               int_of_float (fraction *. 1000.0) |]
+        in
+        let masked, failed =
+          Resilience.fail_arcs_connected fst_ g ~fraction
+        in
+        let label =
+          Printf.sprintf "f=%.3f s=%d (%d links)" fraction fs
+            (List.length failed)
+        in
+        let tc = Clock.now_ns () in
+        let cold = Mcmf_fptas.solve ~params masked cs in
+        let cold_seconds = Clock.elapsed_s tc in
+        let tw = Clock.now_ns () in
+        let warm =
+          Mcmf_fptas.resolve_after_failure ~params
+            ~warm:base.Mcmf_fptas.warm ~failed masked cs
+        in
+        let warm_seconds = Clock.elapsed_s tw in
+        sweep_warm_point ~label ~requested_gap:params.Mcmf_fptas.gap
+          ~cold ~cold_seconds ~warm ~warm_seconds)
+      grid
+  in
+  sweep_warm_report ~name:"failures" ~requested_gap:params.Mcmf_fptas.gap
+    ~baseline_phases:base.Mcmf_fptas.result.Mcmf_fptas.phases
+    ~baseline_seconds points
 
 let fig3 scale =
   let r = 4 in

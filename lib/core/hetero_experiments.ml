@@ -609,3 +609,61 @@ let fig11 scale =
         count_pairs)
     port_pairs;
   t
+
+(* ------------------------------------------------------------------ *)
+(* Warm-start sweep bench (bench --sweep-warm)                         *)
+
+(* The figure sweeps above rebuild a topology at every grid point (the
+   x-axes are structural: splits, counts, cross ratios), so a warm state
+   never transfers across their points — the seed's shape check would
+   fall back to a cold solve every time. The one hetero sweep axis that
+   keeps the graph fixed is demand intensity: scale every commodity of a
+   two-class instance and chain each point's warm state into the next.
+   Scaling demands moves the optimum as 1/s but barely moves the
+   *normalized* optimal lengths, which is exactly what the seed carries. *)
+let sweep_warm_demand scale =
+  let params = scale.Scale.params in
+  let st = Random.State.make [| scale.Scale.seed; 16100 |] in
+  let large = { Hetero.count = 10; ports = 20; servers_each = 8 } in
+  let small = { Hetero.count = 15; ports = 10; servers_each = 4 } in
+  let topo = Hetero.two_class st ~large ~small in
+  let g = topo.Topology.graph in
+  let tm = Traffic.permutation st ~servers:topo.Topology.servers in
+  let cs = Traffic.to_commodities tm in
+  let scaled s =
+    Array.map
+      (fun c -> { c with Dcn_flow.Commodity.demand = c.Dcn_flow.Commodity.demand *. s })
+      cs
+  in
+  let module Mcmf_fptas = Dcn_flow.Mcmf_fptas in
+  let module Clock = Dcn_obs.Clock in
+  let t0 = Clock.now_ns () in
+  let base = Mcmf_fptas.solve_with_state ~params g cs in
+  let baseline_seconds = Clock.elapsed_s t0 in
+  let grid =
+    if scale.Scale.dense then [ 1.1; 1.25; 1.5; 2.0; 3.0; 5.0 ]
+    else [ 1.25; 2.0; 5.0 ]
+  in
+  let _, points =
+    List.fold_left
+      (fun (warm, acc) s ->
+        let cs_s = scaled s in
+        let tc = Clock.now_ns () in
+        let cold = Mcmf_fptas.solve ~params g cs_s in
+        let cold_seconds = Clock.elapsed_s tc in
+        let tw = Clock.now_ns () in
+        let next = Mcmf_fptas.solve_with_state ~params ~warm g cs_s in
+        let warm_seconds = Clock.elapsed_s tw in
+        let p =
+          Experiments.sweep_warm_point
+            ~label:(Printf.sprintf "demand x%.2f" s)
+            ~requested_gap:params.Mcmf_fptas.gap ~cold ~cold_seconds
+            ~warm:next ~warm_seconds
+        in
+        (next.Mcmf_fptas.warm, p :: acc))
+      (base.Mcmf_fptas.warm, []) grid
+  in
+  Experiments.sweep_warm_report ~name:"demand"
+    ~requested_gap:params.Mcmf_fptas.gap
+    ~baseline_phases:base.Mcmf_fptas.result.Mcmf_fptas.phases
+    ~baseline_seconds (List.rev points)

@@ -67,3 +67,10 @@ val fig11 : Scale.t -> Dcn_util.Table.t
 (** 18 two-cluster configurations: per configuration and cross-link ratio,
     normalized throughput plus the analytically derived C̄* threshold ratio
     below which throughput must drop. *)
+
+val sweep_warm_demand : Scale.t -> Experiments.sweep_warm_report
+(** Warm-start bench over the one hetero axis that keeps the graph fixed:
+    demand intensity on a two-class instance. Each point is solved cold
+    and warm (chained from the previous point's state); the structural
+    sweeps (splits, counts, cross ratios) rebuild the topology per point,
+    so a warm seed could never transfer across them. *)

@@ -18,6 +18,17 @@ let m_solve_s = Metrics.histogram "fptas.solve_s"
 
 let m_cancelled = Metrics.counter "fptas.cancelled"
 
+(* Warm-start accounting. [fptas.phases_saved] is an estimate: the
+   producing solve's certified phase count minus the phases this call
+   actually routed — i.e. how many phases the seed let us inherit rather
+   than re-execute. For delta-solves that is exact bookkeeping (inherited
+   phases are literally not re-run); for cross-instance warm starts it is
+   a proxy (the neighboring instance's cold cost stands in for this
+   instance's). *)
+let m_warm_starts = Metrics.counter "fptas.warm_starts"
+let m_phases_saved = Metrics.counter "fptas.phases_saved"
+let m_delta_solves = Metrics.counter "fptas.delta_solves"
+
 type params = { eps : float; gap : float; max_phases : int }
 
 (* ---- cooperative cancellation ----
@@ -56,10 +67,59 @@ type result = {
   converged : bool;
 }
 
+(* ---- warm state ----
+
+   Everything a later solve can soundly reuse, captured only at the end of
+   a successful solve (so cancellation can never publish a torn state) and
+   never aliased with live solver internals: the arrays are copies (or
+   handed off exclusively), and consumers copy them back in before
+   mutating. *)
+
+type group_state = {
+  gs_flow : float array array;
+      (* per source group, per arc: the group's share of the raw
+         (unnormalized) flow at capture time. Summing over groups
+         reproduces the aggregate flow exactly (each routed chunk is added
+         to exactly one group). *)
+  gs_tree : Dijkstra.tree array;
+      (* per source group: a full shortest-path tree at the captured
+         lengths — the starting point for dynamic repair after a
+         failure. *)
+}
+
+type warm_state = {
+  w_n : int;
+  w_num_arcs : int;
+  w_commodities : Commodity.t array;
+  w_scale : float;
+  w_eps : float;
+  w_phases : int;
+  w_executed : int;
+  w_dual : float;
+  w_lengths : float array;
+  w_groups : group_state option;
+}
+
+type solve_state = { result : result; warm : warm_state }
+
 let validate_params p =
   if p.eps <= 0.0 || p.eps >= 1.0 then invalid_arg "Mcmf_fptas: eps out of (0,1)";
   if p.gap <= 0.0 then invalid_arg "Mcmf_fptas: gap must be positive";
   if p.max_phases < 1 then invalid_arg "Mcmf_fptas: max_phases < 1"
+
+let commodities_equal a b =
+  Array.length a = Array.length b
+  &&
+  let ok = ref true in
+  Array.iteri
+    (fun i (c : Commodity.t) ->
+      let d = b.(i) in
+      if
+        c.src <> d.Commodity.src || c.dst <> d.Commodity.dst
+        || not (Float.equal c.demand d.Commodity.demand)
+      then ok := false)
+    a;
+  !ok
 
 (* Pre-scale demands so the optimum concurrency is Θ(1): the number of
    phases the FPTAS needs is proportional to λ*, so a wildly large or small
@@ -68,47 +128,84 @@ let validate_params p =
    we care about. Results are scaled back transparently. *)
 let demand_scale g commodities =
   let pairs =
-    Array.to_list
-      (Array.map (fun (c : Commodity.t) -> (c.src, c.dst, c.demand)) commodities)
+    Array.map (fun (c : Commodity.t) -> (c.src, c.dst, c.demand)) commodities
   in
-  let mean_dist = Graph_metrics.weighted_pair_distance g ~pairs in
+  let mean_dist = Graph_metrics.weighted_pair_distance_array g ~pairs in
   let capacity = Graph.total_capacity g in
   let demand = Commodity.total_demand commodities in
   let bound = capacity /. (Float.max 1.0 mean_dist *. demand) in
   (* After scaling demands by [bound], the Theorem-1 bound on λ* becomes 1. *)
   Float.max 1e-30 bound
 
-(* Cheap per-solve event tallies, flushed to the registry by [solve]. *)
+(* Cheap per-solve event tallies, flushed to the registry by the [run]
+   wrapper. [o_mode] records what the solve actually did (0 = cold, 1 =
+   length-seeded warm start, 2 = delta-solve), [o_inherited] the seed's
+   certified phase count. *)
 type obs = {
   mutable o_dual_checks : int;
   mutable o_tree_rebuilds : int;
   mutable o_eps_halvings : int;
+  mutable o_mode : int;
+  mutable o_inherited : int;
 }
 
-let solve_impl ~params ~dual_check_every ~obs g commodities =
+let stall_window = 30
+let min_eps = 0.0125
+
+let solve_impl ~params ~dual_check_every ~obs ~warm ~failed ~track_groups g
+    commodities =
   validate_params params;
   if dual_check_every < 1 then
     invalid_arg "Mcmf_fptas: dual_check_every must be >= 1";
   if Array.length commodities = 0 then invalid_arg "Mcmf_fptas: no commodities";
   let n = Graph.n g in
   Commodity.validate ~n commodities;
-  (* The length step shrinks adaptively: the primal value plateaus at
-     roughly λ*(1 - O(eps)), so when the certified gap stalls above target
-     the only cure is a finer step. Both certificates stay valid across a
-     change of eps: λ_lo = phases/μ only needs each phase to route full
-     demands, and the dual bound holds for any positive lengths. *)
-  let eps = ref params.eps in
   let m_all = Graph.num_arcs g in
   let m_pos = ref 0 in
   Graph.iter_arcs g (fun a -> if Graph.arc_cap g a > 0.0 then incr m_pos);
   if !m_pos = 0 then invalid_arg "Mcmf_fptas: graph has no capacity";
-  let scale = demand_scale g commodities in
+  (* A seed from a differently shaped instance cannot be applied (per-arc
+     state is indexed by arc id); fall back to a cold start silently so
+     sweep drivers can thread state without caring where a grid changes
+     size. *)
+  let warm =
+    match warm with
+    | Some w when w.w_num_arcs = m_all && w.w_n = n -> Some w
+    | _ -> None
+  in
+  (match warm with
+  | Some w ->
+      obs.o_mode <- 1;
+      obs.o_inherited <- w.w_phases
+  | None -> ());
+  (* The scale is a pure change of units — any positive value yields a
+     correct certificate — so when the demand vector is unchanged we reuse
+     the seed's scale and skip the BFS sweep behind [demand_scale]. *)
+  let scale =
+    match warm with
+    | Some w when commodities_equal w.w_commodities commodities -> w.w_scale
+    | _ -> demand_scale g commodities
+  in
+  (* The length step shrinks adaptively: the primal value plateaus at
+     roughly λ*(1 - O(eps)), so when the certified gap stalls above target
+     the only cure is a finer step. Both certificates stay valid across a
+     change of eps: the primal bound only needs each phase to route full
+     demands, and the dual bound holds for any positive lengths. A warm
+     start resumes at the seed's reached eps (clamped to the requested
+     range) so the chain does not re-pay the halving ladder. *)
+  let eps =
+    ref
+      (match warm with
+      | Some w -> Float.max min_eps (Float.min params.eps w.w_eps)
+      | None -> params.eps)
+  in
   let groups =
     Commodity.group_by_source ~n
       (Array.map
          (fun (c : Commodity.t) -> { c with Commodity.demand = c.demand *. scale })
          commodities)
   in
+  let ngroups = Array.length groups in
   (* Per-source target lists, computed once: the shortest-path sweeps only
      need distances (and tree paths) to these destinations, so Dijkstra can
      stop as soon as all of them are finalized. *)
@@ -119,9 +216,47 @@ let solve_impl ~params ~dual_check_every ~obs g commodities =
     (float_of_int !m_pos /. (1.0 -. !eps)) ** (-1.0 /. !eps)
   in
   let lengths = Array.make m_all 0.0 in
-  Graph.iter_arcs g (fun a ->
-      if Graph.arc_cap g a > 0.0 then lengths.(a) <- delta /. Graph.arc_cap g a);
+  (match warm with
+  | Some w ->
+      (* Seeded lengths: copy the seed (never mutate the caller's state);
+         arcs the seed left at zero — e.g. capacity restored between
+         instances — get the cold floor so every usable arc has a positive
+         length. The dual bound is valid for any positive lengths, so this
+         is purely a quality-of-start choice. *)
+      Graph.iter_arcs g (fun a ->
+          if Graph.arc_cap g a > 0.0 then begin
+            let seed = w.w_lengths.(a) in
+            lengths.(a) <-
+              (if seed > 0.0 then seed else delta /. Graph.arc_cap g a)
+          end)
+  | None ->
+      Graph.iter_arcs g (fun a ->
+          if Graph.arc_cap g a > 0.0 then
+            lengths.(a) <- delta /. Graph.arc_cap g a));
+  (* A fine step inherited from the seed is the right pace only while we
+     also keep the seed's lengths: a restart from the cold floor should
+     pace itself like a cold solve. Each eps halving roughly doubles the
+     phases to a given gap, so restarting at the seed's halved eps would
+     make the fallback *slower* than the cold solve it is meant to beat.
+     Reset the step and recompute the matching floor. *)
+  let cold_restart_lengths () =
+    eps := params.eps;
+    let d = (float_of_int !m_pos /. (1.0 -. !eps)) ** (-1.0 /. !eps) in
+    Graph.iter_arcs g (fun a ->
+        lengths.(a) <-
+          (if Graph.arc_cap g a > 0.0 then d /. Graph.arc_cap g a else 0.0))
+  in
   let flow = Array.make m_all 0.0 in
+  (* Per-group flow tracking, requested by callers that want the returned
+     warm state to support delta-solves. Kept out of the per-arc routing
+     loop: the extra write loop runs once per routed path, only when
+     tracking. *)
+  let gflow =
+    if track_groups then
+      Some (Array.init ngroups (fun _ -> Array.make m_all 0.0))
+    else None
+  in
+  let cur_gflow = ref None in
   let tree =
     { Dijkstra.dist = Array.make n infinity; parent_arc = Array.make n (-1) }
   in
@@ -169,10 +304,24 @@ let solve_impl ~params ~dual_check_every ~obs g commodities =
       let cap = Array.unsafe_get arc_cap a in
       Array.unsafe_set lengths a
         (Array.unsafe_get lengths a *. (1.0 +. (!eps *. amount /. cap)))
-    done
+    done;
+    match !cur_gflow with
+    | Some gfa ->
+        for i = k - 1 downto 0 do
+          let a = Array.unsafe_get path_buf i in
+          Array.unsafe_set gfa a (Array.unsafe_get gfa a +. amount)
+        done
+    | None -> ()
   in
-  let route_source s dests targets =
-    build_tree ~src:s ~targets;
+  (* [preloaded] skips the initial tree build when the caller has already
+     placed a tree valid for the current lengths in [tree] (delta repair
+     does, via {!Dijkstra.repair_tree}); staleness rebuilds proceed as
+     usual from there. *)
+  let route_source ?(preloaded = false) gi s dests targets =
+    (match gflow with
+    | Some gf -> cur_gflow := Some gf.(gi)
+    | None -> ());
+    if not preloaded then build_tree ~src:s ~targets;
     let rec route_commodity dst rem =
       if rem > 0.0 then begin
         if Float.equal tree.Dijkstra.dist.(dst) infinity then
@@ -210,13 +359,19 @@ let solve_impl ~params ~dual_check_every ~obs g commodities =
       done
     end
   in
-  (* Dual bound for the current lengths: D(l) / Σ_j d_j · dist_l(j). *)
-  let dual_bound () =
+  (* D(l) = Σ_a cap_a · l_a; masked (zero-capacity) arcs drop out
+     automatically. *)
+  let length_volume () =
     let d_l = ref 0.0 in
     for a = 0 to m_all - 1 do
       d_l :=
         !d_l +. (Array.unsafe_get arc_cap a *. Array.unsafe_get lengths a)
     done;
+    !d_l
+  in
+  (* Dual bound for the current lengths: D(l) / Σ_j d_j · dist_l(j). *)
+  let dual_bound () =
+    let d_l = length_volume () in
     let alpha = ref 0.0 in
     Array.iteri
       (fun gi (s, dests) ->
@@ -225,7 +380,7 @@ let solve_impl ~params ~dual_check_every ~obs g commodities =
           (fun (dst, d) -> alpha := !alpha +. (d *. tree.Dijkstra.dist.(dst)))
           dests)
       groups;
-    let bound = !d_l /. !alpha in
+    let bound = d_l /. !alpha in
     if Float.is_nan bound || bound <= 0.0 then infinity else bound
   in
   let congestion () =
@@ -237,29 +392,377 @@ let solve_impl ~params ~dual_check_every ~obs g commodities =
     done;
     !mu
   in
+  (* ---- delta-solve preparation ----
+
+     After masking the failed arcs, the inherited primal certificate is
+     damaged only where flow actually crossed a failed arc. The damage is
+     surgical, so the repair is too: for each source group, peel off
+     exactly the path-flow through the failed arcs — repeatedly extract an
+     [s → … → a → … → t] path inside the flow's support and subtract its
+     bottleneck — and re-route only the peeled shipments. Everything else
+     (the overwhelming majority of the flow after a small failure) is kept
+     in place, so the surviving congestion is essentially the baseline's
+     and the precheck below usually re-certifies with zero new phases.
+     The seed's dual bound survives too: removing capacity can only lower
+     λ*, so any upper bound for the unmasked instance still upper-bounds
+     the masked one.
+
+     If the peeled volume is a large share of the inherited ledger
+     (> 1/4), re-shipping it against the frozen remainder would congest
+     more than it saves; fall back to a cold-length solve that keeps only
+     the seed's dual bound. (Converged lengths are a bad start for a
+     perturbed instance — they encode pressure toward the now-dead arcs —
+     while the carried dual bound stays valid and cuts the convergence
+     tail, so the fallback is measurably {e faster} than a cold solve.) *)
+  let cold_lengths_carry_dual (w : warm_state) =
+    cold_restart_lengths ();
+    (0, w.w_dual)
+  in
+  let start_phases, start_dual =
+    match (failed, warm) with
+    | Some failed_arcs, Some w -> (
+        match w.w_groups with
+        | None -> cold_lengths_carry_dual w
+        | Some gs ->
+            check_cancelled ();
+            let failed_all =
+              List.sort_uniq Int.compare
+                (List.concat_map
+                   (fun a -> [ a; Graph.arc_rev g a ])
+                   failed_arcs)
+            in
+            let arc_dst = csr.Graph.csr_arc_dst in
+            let arc_rev = csr.Graph.csr_arc_rev in
+            let adj_off = csr.Graph.csr_adj_off in
+            let adj_arc = csr.Graph.csr_adj_arc in
+            let p = float_of_int w.w_phases in
+            (* Peeling scratch, shared across groups. [pos] doubles as the
+               visited set of the walk in flight (node → step index). *)
+            let nodes_b = Array.make n (-1) and arcs_b = Array.make n (-1) in
+            let nodes_f = Array.make n (-1) and arcs_f = Array.make n (-1) in
+            let pos = Array.make n (-1) in
+            let absorb = Array.make n 0.0 in
+            let removed = Array.make n 0.0 in
+            let is_dst = Array.make n false in
+            (* Walk backward from [u0] to [s] along in-arcs with positive
+               flow. Directed flow cycles met on the way are cancelled
+               (pure congestion, no shipment) and the walk restarts; each
+               cancellation zeroes at least one arc, so this terminates.
+               Returns the path length, or -1 when conservation dust left
+               the walk stuck. *)
+            let rec back_walk f s u0 =
+              let k = ref 0 and u = ref u0 in
+              let stuck = ref false and cycled = ref false in
+              nodes_b.(0) <- u0;
+              pos.(u0) <- 0;
+              while !u <> s && (not !stuck) && not !cycled do
+                let b = ref (-1) in
+                let idx = ref adj_off.(!u) in
+                let hi = adj_off.(!u + 1) in
+                while !b < 0 && !idx < hi do
+                  let cand = arc_rev.(adj_arc.(!idx)) in
+                  if f.(cand) > 0.0 then b := cand else incr idx
+                done;
+                if !b < 0 then stuck := true
+                else begin
+                  let pu = arc_src.(!b) in
+                  if pos.(pu) >= 0 then begin
+                    (* Cycle pu → u_k → … → u_j = pu: arc [b] plus the
+                       already-collected arcs from step [pos pu] on. *)
+                    let j = pos.(pu) in
+                    let c = ref f.(!b) in
+                    for i = j to !k - 1 do
+                      c := Float.min !c f.(arcs_b.(i))
+                    done;
+                    f.(!b) <- f.(!b) -. !c;
+                    for i = j to !k - 1 do
+                      f.(arcs_b.(i)) <- f.(arcs_b.(i)) -. !c
+                    done;
+                    cycled := true
+                  end
+                  else begin
+                    arcs_b.(!k) <- !b;
+                    incr k;
+                    nodes_b.(!k) <- pu;
+                    pos.(pu) <- !k;
+                    u := pu
+                  end
+                end
+              done;
+              for i = 0 to !k do
+                pos.(nodes_b.(i)) <- -1
+              done;
+              if !stuck then -1
+              else if !cycled then back_walk f s u0
+              else !k
+            in
+            (* Walk forward from [v0] along out-arcs with positive flow
+               until a destination with remaining absorption; same cycle
+               cancellation. Returns (length, terminal) — terminal = -1
+               when stuck on dust. *)
+            let rec fwd_walk f v0 =
+              let k = ref 0 and v = ref v0 and t = ref (-1) in
+              let stuck = ref false and cycled = ref false in
+              nodes_f.(0) <- v0;
+              pos.(v0) <- 0;
+              while !t < 0 && (not !stuck) && not !cycled do
+                if is_dst.(!v) && absorb.(!v) > 0.0 then t := !v
+                else begin
+                  let o = ref (-1) in
+                  let idx = ref adj_off.(!v) in
+                  let hi = adj_off.(!v + 1) in
+                  while !o < 0 && !idx < hi do
+                    let cand = adj_arc.(!idx) in
+                    if f.(cand) > 0.0 then o := cand else incr idx
+                  done;
+                  if !o < 0 then begin
+                    (* No onward flow: a destination whose analytic
+                       absorption was exhausted by float dust, or — only
+                       via dust — a dead end. Either way, stop here. *)
+                    if is_dst.(!v) then t := !v else stuck := true
+                  end
+                  else begin
+                    let w = arc_dst.(!o) in
+                    if pos.(w) >= 0 then begin
+                      let j = pos.(w) in
+                      let c = ref f.(!o) in
+                      for i = j to !k - 1 do
+                        c := Float.min !c f.(arcs_f.(i))
+                      done;
+                      f.(!o) <- f.(!o) -. !c;
+                      for i = j to !k - 1 do
+                        f.(arcs_f.(i)) <- f.(arcs_f.(i)) -. !c
+                      done;
+                      cycled := true
+                    end
+                    else begin
+                      arcs_f.(!k) <- !o;
+                      incr k;
+                      nodes_f.(!k) <- w;
+                      pos.(w) <- !k;
+                      v := w
+                    end
+                  end
+                end
+              done;
+              for i = 0 to !k do
+                pos.(nodes_f.(i)) <- -1
+              done;
+              if !cycled then fwd_walk f v0
+              else if !stuck then (-1, -1)
+              else (!k, !t)
+            in
+            (* Peel one group's flow copy [f] off every failed arc,
+               crediting peeled amounts to [removed] per destination. *)
+            let peel_group f s =
+              List.iter
+                (fun a ->
+                  while f.(a) > 0.0 do
+                    let bl = back_walk f s arc_src.(a) in
+                    if bl < 0 then
+                      (* Conservation dust (≲1e-9 relative): discard. *)
+                      f.(a) <- 0.0
+                    else begin
+                      let fl, t = fwd_walk f arc_dst.(a) in
+                      if fl < 0 then f.(a) <- 0.0
+                      else begin
+                        let amt = ref f.(a) in
+                        for i = 0 to bl - 1 do
+                          amt := Float.min !amt f.(arcs_b.(i))
+                        done;
+                        for i = 0 to fl - 1 do
+                          amt := Float.min !amt f.(arcs_f.(i))
+                        done;
+                        if absorb.(t) > 0.0 then
+                          amt := Float.min !amt absorb.(t);
+                        let c = !amt in
+                        (* [c] can be 0 when a cycle cancellation inside
+                           [fwd_walk] zeroed a back-path arc; the next
+                           walk routes around it. *)
+                        if c > 0.0 then begin
+                          f.(a) <- f.(a) -. c;
+                          for i = 0 to bl - 1 do
+                            f.(arcs_b.(i)) <- f.(arcs_b.(i)) -. c
+                          done;
+                          for i = 0 to fl - 1 do
+                            f.(arcs_f.(i)) <- f.(arcs_f.(i)) -. c
+                          done;
+                          absorb.(t) <- absorb.(t) -. c;
+                          removed.(t) <- removed.(t) +. c
+                        end
+                      end
+                    end
+                  done)
+                failed_all
+            in
+            let stripped = Array.make ngroups None in
+            let reship = Array.make ngroups [] in
+            let total_removed = ref 0.0 and total_ledger = ref 0.0 in
+            Array.iteri
+              (fun gi (s, dests) ->
+                List.iter
+                  (fun (_, d) -> total_ledger := !total_ledger +. (p *. d))
+                  dests;
+                let f0 = gs.gs_flow.(gi) in
+                if List.exists (fun a -> f0.(a) > 0.0) failed_all then begin
+                  check_cancelled ();
+                  let f = Array.copy f0 in
+                  List.iter
+                    (fun (dst, d) ->
+                      is_dst.(dst) <- true;
+                      absorb.(dst) <- p *. d)
+                    dests;
+                  peel_group f s;
+                  let rm =
+                    List.filter_map
+                      (fun (dst, _) ->
+                        if removed.(dst) > 0.0 then begin
+                          total_removed := !total_removed +. removed.(dst);
+                          Some (dst, removed.(dst))
+                        end
+                        else None)
+                      dests
+                  in
+                  List.iter
+                    (fun (dst, _) ->
+                      is_dst.(dst) <- false;
+                      absorb.(dst) <- 0.0;
+                      removed.(dst) <- 0.0)
+                    dests;
+                  stripped.(gi) <- Some f;
+                  reship.(gi) <- rm
+                end)
+              groups;
+            if !total_removed *. 4.0 > !total_ledger then
+              cold_lengths_carry_dual w
+            else begin
+              obs.o_mode <- 2;
+              for gi = 0 to ngroups - 1 do
+                let f =
+                  match stripped.(gi) with
+                  | Some f -> f
+                  | None -> gs.gs_flow.(gi)
+                in
+                for a = 0 to m_all - 1 do
+                  flow.(a) <- flow.(a) +. f.(a)
+                done;
+                match gflow with
+                | Some gf -> Array.blit f 0 gf.(gi) 0 m_all
+                | None -> ()
+              done;
+              (* Repair every group's tree for the masked graph at the
+                 seeded lengths: the repairs give an immediate dual bound
+                 (distances under the current lengths) before any re-ship
+                 perturbs the lengths. *)
+              let rtrees =
+                Array.map
+                  (fun (t : Dijkstra.tree) ->
+                    {
+                      Dijkstra.dist = Array.copy t.Dijkstra.dist;
+                      parent_arc = Array.copy t.Dijkstra.parent_arc;
+                    })
+                  gs.gs_tree
+              in
+              let alpha = ref 0.0 in
+              Array.iteri
+                (fun gi (_, dests) ->
+                  let t = rtrees.(gi) in
+                  Dijkstra.repair_tree scratch csr ~lengths ~arcs:failed_all t;
+                  List.iter
+                    (fun (dst, d) ->
+                      if Float.equal t.Dijkstra.dist.(dst) infinity then
+                        invalid_arg
+                          "Mcmf_fptas: commodity endpoints are disconnected";
+                      alpha := !alpha +. (d *. t.Dijkstra.dist.(dst)))
+                    dests)
+                groups;
+              obs.o_dual_checks <- obs.o_dual_checks + 1;
+              let fresh =
+                let bound = length_volume () /. !alpha in
+                if Float.is_nan bound || bound <= 0.0 then infinity else bound
+              in
+              let start_dual = Float.min w.w_dual fresh in
+              (* Re-ship the peeled amounts under the seeded lengths. They
+                 are small — bounded by the failed arcs' carried flow, not
+                 by the groups' full ledgers — so routing them in one pass
+                 barely moves the congestion profile. *)
+              Array.iteri
+                (fun gi (s, _) ->
+                  match reship.(gi) with
+                  | [] -> ()
+                  | rm ->
+                      check_cancelled ();
+                      route_source gi s rm (List.map fst rm))
+                groups;
+              rescale_lengths ();
+              (w.w_phases, start_dual)
+            end)
+    | _ -> (0, infinity)
+  in
+  (* Phases inherited from the seed, for the executed-phase ledger. The
+     precheck-failure fallback below zeroes it when it discards the
+     inherited flow. *)
+  let inherited = ref start_phases in
+  let capture_groups () =
+    match gflow with
+    | None -> None
+    | Some gf ->
+        (* Full trees at the final lengths, one sweep per source — the
+           price of making the state delta-capable, paid only when the
+           caller asked for it. *)
+        let trees =
+          Array.map
+            (fun (s, _) ->
+              let t =
+                {
+                  Dijkstra.dist = Array.make n infinity;
+                  parent_arc = Array.make n (-1);
+                }
+              in
+              Dijkstra.shortest_tree_full scratch csr ~lengths ~src:s t;
+              t)
+            groups
+        in
+        Some { gs_flow = gf; gs_tree = trees }
+  in
   let finish phases lambda_lo lambda_hi mu ~converged =
     let arc_flow =
       if mu > 0.0 then Array.map (fun f -> f /. mu) flow else Array.copy flow
     in
-    {
-      lambda_lower = lambda_lo *. scale;
-      lambda_upper = lambda_hi *. scale;
-      arc_flow;
-      phases;
-      converged;
-    }
+    let result =
+      {
+        lambda_lower = lambda_lo *. scale;
+        lambda_upper = lambda_hi *. scale;
+        arc_flow;
+        phases;
+        converged;
+      }
+    in
+    let warm_out =
+      {
+        w_n = n;
+        w_num_arcs = m_all;
+        w_commodities = Array.copy commodities;
+        w_scale = scale;
+        w_eps = !eps;
+        w_phases = phases;
+        w_executed = phases - !inherited;
+        w_dual = lambda_hi;
+        w_lengths = Array.copy lengths;
+        w_groups = capture_groups ();
+      }
+    in
+    { result; warm = warm_out }
   in
-  let stall_window = 30 in
-  let min_eps = 0.0125 in
   let rec phase_loop phases best_dual last_ratio stalled =
     (* Deadline check between phases: all flow and length state is
        consistent here, so [Cancelled] aborts with no partial phase. *)
     check_cancelled ();
-    (* One span per phase: the trace's phase-span count equals the
-       returned [phases] field (cross-checked by the test suite). *)
+    (* One span per phase: the trace's phase-span count equals the number
+       of phases this call routed (cross-checked by the test suite). *)
     let sp_phase = Trace.begin_span ~cat:"fptas" "phase" in
     Array.iteri
-      (fun gi (s, dests) -> route_source s dests group_targets.(gi))
+      (fun gi (s, dests) -> route_source gi s dests group_targets.(gi))
       groups;
     rescale_lengths ();
     let phases = phases + 1 in
@@ -313,21 +816,85 @@ let solve_impl ~params ~dual_check_every ~obs g commodities =
       else phase_loop phases best_dual last_ratio stalled
     end
   in
-  phase_loop 0 infinity infinity 0
+  (* With the surviving flow restored and the stripped groups re-shipped,
+     the inherited primal certificate is whole again: every commodity has
+     shipped [start_phases · d_j]. Check it against the (already computed)
+     dual before paying for any new phase — single-link failures usually
+     converge right here, with zero phases routed beyond the repair. *)
+  let precheck =
+    if start_phases > 0 then begin
+      let mu = congestion () in
+      if mu > 0.0 then begin
+        let lambda_lo = float_of_int start_phases /. mu in
+        if start_dual /. lambda_lo <= 1.0 +. params.gap then
+          Some (finish start_phases lambda_lo start_dual mu ~converged:true)
+        else None
+      end
+      else None
+    end
+    else None
+  in
+  match precheck with
+  | Some st -> st
+  | None ->
+      (* Inherited flow that fails the precheck by a wide margin is dead
+         weight: the phase loop would need ~inherited·(excess/gap) phases
+         just to dilute its congestion. Past 2× the target gap, drop the
+         primal mass and keep only the (still valid) lengths and dual —
+         the solve degrades to a length-seeded warm start instead of
+         grinding. *)
+      let start_phases, start_dual =
+        if start_phases > 0 then begin
+          let mu = congestion () in
+          let lambda_lo =
+            if mu > 0.0 then float_of_int start_phases /. mu else infinity
+          in
+          if start_dual /. lambda_lo > 1.0 +. (2.0 *. params.gap) then begin
+            Array.fill flow 0 m_all 0.0;
+            (match gflow with
+            | Some gf -> Array.iter (fun f -> Array.fill f 0 m_all 0.0) gf
+            | None -> ());
+            cold_restart_lengths ();
+            inherited := 0;
+            (0, start_dual)
+          end
+          else (start_phases, start_dual)
+        end
+        else (start_phases, start_dual)
+      in
+      phase_loop start_phases start_dual infinity 0
 
-let solve ?(params = default_params) ?(dual_check_every = 1) g commodities =
+let run ~params ~dual_check_every ~warm ~failed ~track_groups g commodities =
   let sp = Trace.begin_span ~cat:"solver" "fptas.solve" in
   let t0 = Dcn_obs.Clock.now_ns () in
-  let obs = { o_dual_checks = 0; o_tree_rebuilds = 0; o_eps_halvings = 0 } in
-  match solve_impl ~params ~dual_check_every ~obs g commodities with
-  | r ->
+  let obs =
+    {
+      o_dual_checks = 0;
+      o_tree_rebuilds = 0;
+      o_eps_halvings = 0;
+      o_mode = 0;
+      o_inherited = 0;
+    }
+  in
+  match
+    solve_impl ~params ~dual_check_every ~obs ~warm ~failed ~track_groups g
+      commodities
+  with
+  | st ->
+      let r = st.result in
+      let executed = st.warm.w_executed in
       let gap = (r.lambda_upper /. r.lambda_lower) -. 1.0 in
       if Metrics.enabled () then begin
         Metrics.incr m_solves;
-        Metrics.add m_phases r.phases;
+        Metrics.add m_phases executed;
         Metrics.add m_dual_checks obs.o_dual_checks;
         Metrics.add m_tree_rebuilds obs.o_tree_rebuilds;
         Metrics.add m_eps_halvings obs.o_eps_halvings;
+        if obs.o_mode >= 1 then begin
+          Metrics.incr m_warm_starts;
+          Metrics.add m_phases_saved (max 0 (obs.o_inherited - executed))
+        end;
+        if obs.o_mode = 2 then Metrics.incr m_delta_solves;
         if not r.converged then Metrics.incr m_unconverged;
         Metrics.set m_last_gap gap;
         Metrics.observe m_solve_s (Dcn_obs.Clock.elapsed_s t0)
@@ -337,12 +904,36 @@ let solve ?(params = default_params) ?(dual_check_every = 1) g commodities =
           [ ("phases", Trace.Int r.phases);
             ("gap", Trace.Float gap);
             ("converged", Trace.Bool r.converged) ];
-      r
+      st
   | exception e ->
       let bt = Printexc.get_raw_backtrace () in
       (match e with Cancelled -> Metrics.incr m_cancelled | _ -> ());
       Trace.end_span sp;
       Printexc.raise_with_backtrace e bt
+
+let solve ?(params = default_params) ?(dual_check_every = 1) g commodities =
+  (run ~params ~dual_check_every ~warm:None ~failed:None ~track_groups:false g
+     commodities)
+    .result
+
+let solve_with_state ?(params = default_params) ?(dual_check_every = 1) ?warm
+    ?(track_groups = false) g commodities =
+  run ~params ~dual_check_every ~warm ~failed:None ~track_groups g commodities
+
+let resolve_after_failure ?(params = default_params) ?(dual_check_every = 1)
+    ?(track_groups = false) ~warm ~failed g commodities =
+  if warm.w_num_arcs <> Graph.num_arcs g || warm.w_n <> Graph.n g then
+    invalid_arg "Mcmf_fptas.resolve_after_failure: instance shape mismatch";
+  if not (commodities_equal warm.w_commodities commodities) then
+    invalid_arg
+      "Mcmf_fptas.resolve_after_failure: commodities differ from warm state";
+  List.iter
+    (fun a ->
+      if a < 0 || a >= Graph.num_arcs g then
+        invalid_arg "Mcmf_fptas.resolve_after_failure: arc id out of range")
+    failed;
+  run ~params ~dual_check_every ~warm:(Some warm) ~failed:(Some failed)
+    ~track_groups g commodities
 
 let lambda ?params ?dual_check_every g commodities =
   let r = solve ?params ?dual_check_every g commodities in

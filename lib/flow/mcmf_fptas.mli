@@ -75,6 +75,102 @@ type result = {
   converged : bool;  (** Whether the target gap was certified in budget. *)
 }
 
+(** {1 Warm starts and delta-solves}
+
+    Sweep workloads solve hundreds of nearly identical instances. The
+    solver therefore returns, alongside every result, a {!warm_state}
+    capturing what a later solve can soundly reuse, and accepts such a
+    state as a seed.
+
+    Why this stays certified: the dual bound [D(l)/Σ dⱼ·dist_l(j)] holds
+    for {e any} positive length function (LP duality) — the seed merely
+    starts the search at lengths that are already nearly optimal for the
+    neighboring instance. The primal bound is never taken on trust: it is
+    re-derived from the actual flow ([λ_lo = shipped-phases / μ] with [μ]
+    the measured peak congestion of the concrete flow array, so the
+    returned [arc_flow / μ] is feasible by construction). A warm-started
+    solve's certificate is exactly as trustworthy as a cold one's — the
+    seed can only change how fast the target gap is reached.
+
+    For a single-failure delta-solve ({!resolve_after_failure}) the
+    inherited flow is reused too: groups whose flow avoided every failed
+    arc still ship their full per-phase ledger; affected groups are
+    stripped entirely and their ledger re-routed on the survivor graph
+    (shortest-path trees repaired incrementally via
+    {!Dcn_graph.Dijkstra.repair_tree} rather than rebuilt). The seed's
+    dual bound also carries over — removing capacity can only lower the
+    optimum — so single-link failures typically re-certify after the
+    repair with zero new phases. *)
+
+type group_state = {
+  gs_flow : float array array;
+      (** Per source group, per arc: the group's share of the raw flow.
+          Sums to the aggregate exactly. *)
+  gs_tree : Dijkstra.tree array;
+      (** Per source group: full shortest-path tree at [w_lengths]. *)
+}
+
+type warm_state = {
+  w_n : int;  (** Node count of the producing instance. *)
+  w_num_arcs : int;  (** Arc count — seeds only apply to same-shape graphs. *)
+  w_commodities : Commodity.t array;  (** Copy of the producing demands. *)
+  w_scale : float;  (** Internal demand scale (a pure change of units). *)
+  w_eps : float;  (** Length step reached (after adaptive halvings). *)
+  w_phases : int;  (** Certified phase ledger of the producing solve. *)
+  w_executed : int;  (** Phases the producing {e call} actually routed. *)
+  w_dual : float;  (** Best dual bound at capture, in scaled units. *)
+  w_lengths : float array;  (** Final arc lengths (a private copy). *)
+  w_groups : group_state option;
+      (** Present iff the producing call tracked groups; required for
+          {!resolve_after_failure} to reuse flow. *)
+}
+
+type solve_state = { result : result; warm : warm_state }
+
+val solve_with_state :
+  ?params:params -> ?dual_check_every:int -> ?warm:warm_state ->
+  ?track_groups:bool -> Graph.t -> Commodity.t array -> solve_state
+(** Like {!solve}, returning the warm state alongside the result. Without
+    [warm] (and with [track_groups = false], the default) the trajectory —
+    and hence the result — is bit-identical to {!solve}.
+
+    [warm] seeds the solve with the given state's arc lengths and reached
+    eps. The seed is applied only when the instance shape matches
+    ([w_num_arcs] and [w_n]); otherwise the solve silently runs cold, so
+    sweep drivers can thread state across a grid without tracking where it
+    changes size. The input state is never mutated, and the returned state
+    is constructed only on successful completion — a {!Cancelled} solve
+    leaves no torn state.
+
+    [track_groups] additionally records per-source-group flows and full
+    shortest-path trees in the returned state (costing one extra sweep per
+    source at the end), which is what makes the state usable as a
+    {!resolve_after_failure} baseline. *)
+
+val resolve_after_failure :
+  ?params:params -> ?dual_check_every:int -> ?track_groups:bool ->
+  warm:warm_state -> failed:int list -> Graph.t -> Commodity.t array ->
+  solve_state
+(** [resolve_after_failure ~warm ~failed g cs] re-solves after the arcs in
+    [failed] (and their reverses) lost their capacity, where [g] is the
+    masked survivor graph — same node numbering and arc ids as the
+    baseline, e.g. from {!Dcn_graph.Graph.mask_arcs} — and [warm] is a
+    group-tracked state of the baseline solve.
+
+    Surviving flow is reused as described above. When reuse cannot pay for
+    itself — [warm] carries no group state, the peeled volume is a large
+    share of the inherited ledger, or the repaired certificate misses the
+    target gap by more than 2× (a wide failure moved the optimum past what
+    the inherited flow can certify) — the call restarts from cold-floor
+    lengths at the requested eps, keeping only the seed's still-valid dual
+    bound to cut the convergence tail. The result is a certificate for the
+    masked instance with gap ≤ requested, exactly as from a cold solve of
+    [g].
+
+    Raises [Invalid_argument] if the instance shape or commodities differ
+    from the warm state's, if an arc id is out of range, or if the failure
+    disconnects a commodity. *)
+
 val solve :
   ?params:params -> ?dual_check_every:int -> Graph.t -> Commodity.t array ->
   result

@@ -99,6 +99,7 @@ type csr = {
   csr_arc_src : int array;
   csr_arc_dst : int array;
   csr_arc_cap : float array;
+  csr_arc_rev : int array;
   csr_adj_off : int array;
   csr_adj_arc : int array;
 }
@@ -111,9 +112,29 @@ let csr g =
     csr_arc_src = g.arc_src;
     csr_arc_dst = g.arc_dst;
     csr_arc_cap = g.arc_cap;
+    csr_arc_rev = g.arc_rev;
     csr_adj_off = g.adj_off;
     csr_adj_arc = g.adj_arc;
   }
+
+(* Failure masking: zero the capacities of the given arcs (and their
+   reverses) while keeping node numbering, arc ids and adjacency intact.
+   Only [arc_cap] is copied — everything else is shared with the original —
+   so per-arc solver state (lengths, flows) indexed by arc id transfers
+   directly from the unmasked graph, which is what makes incremental
+   re-solves after failures possible. Capacity-aware consumers
+   ([to_edge_list], Dijkstra, the flow solvers) see exactly the survivor
+   subgraph. *)
+let mask_arcs g ~arcs =
+  let cap = Array.copy g.arc_cap in
+  List.iter
+    (fun a ->
+      if a < 0 || a >= Array.length cap then
+        invalid_arg "Graph.mask_arcs: arc id out of range";
+      cap.(a) <- 0.0;
+      cap.(g.arc_rev.(a)) <- 0.0)
+    arcs;
+  { g with arc_cap = cap }
 
 let out_degree g u = g.adj_off.(u + 1) - g.adj_off.(u)
 
@@ -216,6 +237,17 @@ let to_edge_list g =
       if g.arc_cap.(a) > 0.0 && a < g.arc_rev.(a) then
         edges := (g.arc_src.(a), g.arc_dst.(a), g.arc_cap.(a)) :: !edges);
   List.sort compare_arc !edges
+
+(* Same traversal and the same (stable) sort on the same comparator as
+   [to_edge_list], so position [i] here carries exactly the edge at
+   position [i] there — failure samplers rely on that to produce identical
+   survivor sets whether they rebuild the graph or mask arc ids. *)
+let to_edge_list_ids g =
+  let edges = ref [] in
+  iter_arcs g (fun a ->
+      if g.arc_cap.(a) > 0.0 && a < g.arc_rev.(a) then
+        edges := ((g.arc_src.(a), g.arc_dst.(a), g.arc_cap.(a)), a) :: !edges);
+  List.sort (fun (e1, _) (e2, _) -> compare_arc e1 e2) !edges
 
 let pp ppf g =
   Format.fprintf ppf "graph n=%d edges=%d@." g.n (num_edges g);

@@ -70,11 +70,23 @@ type csr = private {
   csr_arc_src : int array;
   csr_arc_dst : int array;
   csr_arc_cap : float array;
+  csr_arc_rev : int array;  (** reverse-arc ids, as {!arc_rev}. *)
   csr_adj_off : int array;  (** length [n + 1]. *)
   csr_adj_arc : int array;  (** arc ids grouped by source node. *)
 }
 
 val csr : t -> csr
+
+val mask_arcs : t -> arcs:int list -> t
+(** [mask_arcs g ~arcs] returns [g] with the capacities of the given arcs
+    {e and their reverses} set to zero. Node numbering, arc ids and the
+    adjacency layout are unchanged (only the capacity array is copied), so
+    per-arc solver state indexed by arc id carries over from [g] — the
+    substrate for incremental failure re-solves. Capacity-aware consumers
+    ({!to_edge_list}, {!equal_structure}, shortest paths, the flow
+    solvers) see exactly the survivor subgraph, so the masked graph is
+    observably equivalent to rebuilding it from the surviving links.
+    Raises [Invalid_argument] on an out-of-range arc id. *)
 
 val fold_out : t -> int -> ('a -> int -> 'a) -> 'a -> 'a
 
@@ -107,6 +119,12 @@ val equal_structure : t -> t -> bool
 
 val to_edge_list : t -> (int * int * float) list
 (** Undirected edges (forward copies only), sorted. *)
+
+val to_edge_list_ids : t -> ((int * int * float) * int) list
+(** {!to_edge_list} with each edge's forward arc id attached, in exactly
+    the same order (the id does not participate in the sort). Lets failure
+    samplers translate a sampled edge position into the arc ids to pass to
+    {!mask_arcs}. *)
 
 val pp : Format.formatter -> t -> unit
 

@@ -22,6 +22,13 @@ val weighted_pair_distance :
     pairs — the Σᵢdᵢ/f term of Theorem 1 for a concrete traffic matrix.
     Pairs with [src = dst] contribute distance 0. *)
 
+val weighted_pair_distance_array :
+  Graph.t -> pairs:(int * int * float) array -> float
+(** Same as {!weighted_pair_distance} over an array of pairs, for hot
+    callers (the FPTAS demand pre-scaler) that already hold an array and
+    should not build a throwaway list per solve. Bit-identical to the list
+    variant on the same pair sequence. *)
+
 val degree_histogram : Graph.t -> (int * int) list
 (** (degree, node count) pairs, ascending by degree. *)
 

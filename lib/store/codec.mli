@@ -11,5 +11,14 @@
 val fptas_result_to_string : Dcn_flow.Mcmf_fptas.result -> string
 val fptas_result_of_string : string -> Dcn_flow.Mcmf_fptas.result option
 
+val fptas_state_to_string : Dcn_flow.Mcmf_fptas.solve_state -> string
+val fptas_state_of_string :
+  string -> Dcn_flow.Mcmf_fptas.solve_state option
+(** Full solve state — result {e and} warm seed (lengths, eps, ledger,
+    per-group flows and trees when tracked). The warm fields round-trip
+    bit-exactly so a chain seeded from a replayed state computes the same
+    bits as one seeded from the live state: warm chains stay deterministic
+    across cache states. *)
+
 val throughput_to_string : Dcn_flow.Throughput.t -> string
 val throughput_of_string : string -> Dcn_flow.Throughput.t option

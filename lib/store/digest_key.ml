@@ -40,11 +40,12 @@ let params_text ~params ~dual_check_every =
     (Float_text.to_string params.Dcn_flow.Mcmf_fptas.gap)
     params.Dcn_flow.Mcmf_fptas.max_phases dual_check_every
 
-let of_solve ~kind ~params ~dual_check_every g cs =
+let of_solve ~kind ~params ~dual_check_every ?(extras = []) g cs =
   let buf = Buffer.create 8192 in
   Buffer.add_string buf (Printf.sprintf "kind %s\n" kind);
   Buffer.add_string buf (Printf.sprintf "solver %s\n" solver_version);
   Buffer.add_string buf (params_text ~params ~dual_check_every);
+  List.iter (fun line -> Buffer.add_string buf (line ^ "\n")) extras;
   Buffer.add_string buf (graph_text g);
   Buffer.add_string buf (commodities_text cs);
   of_text (Buffer.contents buf)

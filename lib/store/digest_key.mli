@@ -42,12 +42,19 @@ val of_solve :
   kind:string ->
   params:Dcn_flow.Mcmf_fptas.params ->
   dual_check_every:int ->
+  ?extras:string list ->
   Dcn_graph.Graph.t ->
   Dcn_flow.Commodity.t array ->
   t
 (** Key of one solver invocation. [kind] names the cached computation
     ("fptas", "throughput-fptas", ...) so different result payloads never
-    collide even on identical inputs. Includes {!solver_version}. *)
+    collide even on identical inputs. Includes {!solver_version}.
+
+    [extras] (default none) are additional canonical lines folded into the
+    digest — the warm-provenance channel: a warm-started solve's result
+    depends on its seed, so its key must name the seed (the producing
+    entry's key, recursively content-addressed) or it would collide with
+    the cold solve of the same instance. *)
 
 val of_run :
   kind:string -> fingerprint:string -> t

@@ -53,6 +53,66 @@ let fptas ?(params = Mcmf_fptas.default_params) ?(dual_check_every = 1) g cs =
     ~decode:Codec.fptas_result_of_string (fun () ->
       Mcmf_fptas.solve ~params ~dual_check_every g cs)
 
+(* ---- warm-started variants ----
+
+   A warm-started solve's result depends on its seed, so its key must name
+   the seed: [wl_from] is the content address of the producing entry
+   (itself covering {e its} seed, recursively), making the whole chain
+   content-addressed. The cached payload carries the full warm state
+   bit-exactly, so a chain replayed from cache computes exactly the bits a
+   live chain computes — the determinism guarantee survives warm starts. *)
+
+type warm_link = {
+  wl_state : Mcmf_fptas.warm_state;
+  wl_from : Digest_key.t;
+}
+
+let link key (st : Mcmf_fptas.solve_state) =
+  (st, { wl_state = st.Mcmf_fptas.warm; wl_from = key })
+
+let fptas_with_state ?(params = Mcmf_fptas.default_params)
+    ?(dual_check_every = 1) ?warm ?(track_groups = false) g cs =
+  let extras =
+    (match warm with
+    | Some w -> [ Printf.sprintf "warm lengths %s" w.wl_from ]
+    | None -> [])
+    @ if track_groups then [ "state groups" ] else []
+  in
+  let key =
+    Digest_key.of_solve ~kind:"fptas-state" ~params ~dual_check_every ~extras
+      g cs
+  in
+  let st =
+    cached ~key ~encode:Codec.fptas_state_to_string
+      ~decode:Codec.fptas_state_of_string (fun () ->
+        Mcmf_fptas.solve_with_state ~params ~dual_check_every
+          ?warm:(Option.map (fun w -> w.wl_state) warm)
+          ~track_groups g cs)
+  in
+  link key st
+
+let fptas_delta ?(params = Mcmf_fptas.default_params) ?(dual_check_every = 1)
+    ?(track_groups = false) ~warm ~failed g cs =
+  let extras =
+    [
+      Printf.sprintf "warm delta %s" warm.wl_from;
+      Printf.sprintf "failed %s"
+        (String.concat " " (List.map string_of_int failed));
+    ]
+    @ if track_groups then [ "state groups" ] else []
+  in
+  let key =
+    Digest_key.of_solve ~kind:"fptas-state" ~params ~dual_check_every ~extras
+      g cs
+  in
+  let st =
+    cached ~key ~encode:Codec.fptas_state_to_string
+      ~decode:Codec.fptas_state_of_string (fun () ->
+        Mcmf_fptas.resolve_after_failure ~params ~dual_check_every
+          ~track_groups ~warm:warm.wl_state ~failed g cs)
+  in
+  link key st
+
 let fptas_lambda ?params ?dual_check_every g cs =
   let r = fptas ?params ?dual_check_every g cs in
   (r.Mcmf_fptas.lambda_lower +. r.Mcmf_fptas.lambda_upper) /. 2.0

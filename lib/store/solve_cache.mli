@@ -23,6 +23,47 @@ val fptas :
     a hit only if the entry decodes; invalid requests never get cached
     because the solver raises before {!Store.add}). *)
 
+(** {1 Warm-started variants}
+
+    Warm chains stay both cached and deterministic: each link's key names
+    its seed's key ([wl_from], recursively content-addressed via the
+    digest's warm-provenance lines), and the cached payload carries the
+    full warm state bit-exactly, so replaying any prefix of a chain from
+    the store yields the same bits as computing it live. Entries live
+    under their own kind ("fptas-state") and never collide with {!fptas}
+    entries. *)
+
+type warm_link = {
+  wl_state : Dcn_flow.Mcmf_fptas.warm_state;
+  wl_from : Digest_key.t;  (** Content address of the producing entry. *)
+}
+
+val fptas_with_state :
+  ?params:Dcn_flow.Mcmf_fptas.params ->
+  ?dual_check_every:int ->
+  ?warm:warm_link ->
+  ?track_groups:bool ->
+  Dcn_graph.Graph.t ->
+  Dcn_flow.Commodity.t array ->
+  Dcn_flow.Mcmf_fptas.solve_state * warm_link
+(** Cached {!Dcn_flow.Mcmf_fptas.solve_with_state}. The returned link
+    packages this solve's warm state with its own key, ready to pass as
+    [?warm] to the next point of a sweep (or to {!fptas_delta}). *)
+
+val fptas_delta :
+  ?params:Dcn_flow.Mcmf_fptas.params ->
+  ?dual_check_every:int ->
+  ?track_groups:bool ->
+  warm:warm_link ->
+  failed:int list ->
+  Dcn_graph.Graph.t ->
+  Dcn_flow.Commodity.t array ->
+  Dcn_flow.Mcmf_fptas.solve_state * warm_link
+(** Cached {!Dcn_flow.Mcmf_fptas.resolve_after_failure}; [g] is the
+    masked survivor graph (e.g. from
+    {!Dcn_topology.Resilience.fail_arcs}). The failed arc ids participate
+    in the key alongside the seed's address. *)
+
 val fptas_lambda :
   ?params:Dcn_flow.Mcmf_fptas.params ->
   ?dual_check_every:int ->

@@ -14,12 +14,41 @@ let fail_links st g ~fraction =
   done;
   Graph.freeze b
 
+(* Masked variant for incremental re-solves: identical sampling to
+   [fail_links] — the same edge array in the same order, the same shuffle,
+   the same prefix failed — but instead of rebuilding the survivor graph it
+   zeroes the failed arcs' capacities in place ({!Graph.mask_arcs}), so arc
+   ids survive and per-arc solver state (a warm FPTAS baseline) transfers.
+   The survivor is structurally equal to what [fail_links] would build from
+   the same RNG state, and the RNG is advanced identically. *)
+let fail_arcs st g ~fraction =
+  if fraction < 0.0 || fraction >= 1.0 then
+    invalid_arg "Resilience.fail_arcs: fraction outside [0, 1)";
+  let edges = Array.of_list (Graph.to_edge_list_ids g) in
+  let total = Array.length edges in
+  let to_fail = int_of_float (floor (fraction *. float_of_int total)) in
+  Dcn_util.Sampling.shuffle st edges;
+  let failed = ref [] in
+  for i = to_fail - 1 downto 0 do
+    failed := snd edges.(i) :: !failed
+  done;
+  (Graph.mask_arcs g ~arcs:!failed, !failed)
+
 let fail_links_connected ?(attempts = 50) st g ~fraction =
   let rec go k =
     if k >= attempts then
       failwith "Resilience: no connected survivor at this failure rate";
     let survivor = fail_links st g ~fraction in
     if Graph.is_connected survivor then survivor else go (k + 1)
+  in
+  go 0
+
+let fail_arcs_connected ?(attempts = 50) st g ~fraction =
+  let rec go k =
+    if k >= attempts then
+      failwith "Resilience: no connected survivor at this failure rate";
+    let (survivor, failed) = fail_arcs st g ~fraction in
+    if Graph.is_connected survivor then (survivor, failed) else go (k + 1)
   in
   go 0
 

@@ -23,6 +23,21 @@ val fail_links_connected :
     survivor is connected; raises [Failure] if it never is (the failure
     rate exceeds what the topology can absorb). *)
 
+val fail_arcs :
+  Random.State.t -> Graph.t -> fraction:float -> Graph.t * int list
+(** Masked variant of {!fail_links} for incremental re-solves: the same
+    links are failed (identical sampling — same RNG draws, structurally
+    equal survivor), but the survivor keeps the original node numbering
+    and arc ids with the failed arcs' capacities zeroed
+    ({!Graph.mask_arcs}), so a warm solver baseline indexed by arc id
+    transfers. Also returns the failed forward-arc ids, for
+    {!Dcn_flow.Mcmf_fptas.resolve_after_failure}. *)
+
+val fail_arcs_connected :
+  ?attempts:int -> Random.State.t -> Graph.t -> fraction:float ->
+  Graph.t * int list
+(** {!fail_arcs} with the resampling policy of {!fail_links_connected}. *)
+
 val degrade :
   Topology.t -> graph:Graph.t -> Topology.t
 (** The same topology (servers, clusters, name annotated with "+failures")

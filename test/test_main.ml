@@ -25,6 +25,7 @@ let () =
       Test_vlb.suite;
       Test_edge_cases.suite;
       Test_resilience.suite;
+      Test_warm.suite;
       Test_properties.suite;
       Test_serve.suite;
       Test_lint.suite;
