@@ -51,6 +51,7 @@
 module Metrics = Dcn_obs.Metrics
 module Trace = Dcn_obs.Trace
 module Clock = Dcn_obs.Clock
+module Orch = Dcn_orchestrate.Orchestrator
 
 let figures : (string * string * (Core.Scale.t -> Core.Table.t)) list =
   [
@@ -350,7 +351,36 @@ let sweep_warm_json (r : Core.Experiments.sweep_warm_report) =
     (json_float r.swr_geomean_wall)
     r.swr_all_certified r.swr_all_overlap
 
-let write_bench_json path ~mode ~jobs ~figures ~micro ~sweeps ~total_seconds =
+(* One JSON object per --orchestrate leg: the same grid run serially and
+   over 1/2/4 spawned workers, with the scheduler's counters and the
+   wall-clock speedup relative to the serial leg. *)
+type orch_leg = { ol_label : string; ol_workers : int; ol_summary : Orch.summary }
+
+let orchestrate_json ~serial_wall legs =
+  let leg_json l =
+    let s = l.ol_summary in
+    let speedup =
+      if l.ol_workers = 0 || s.Orch.wall_s <= 0.0 then 1.0
+      else serial_wall /. s.Orch.wall_s
+    in
+    Printf.sprintf
+      "    {\"label\": \"%s\", \"workers\": %d, \"total\": %d, \"computed\": \
+       %d, \"wall_s\": %s, \"speedup_vs_serial\": %s, \"dispatched\": %d, \
+       \"retried\": %d, \"hedged\": %d, \"evicted\": %d, \"per_worker\": [%s]}"
+      (json_escape l.ol_label) l.ol_workers s.Orch.total s.Orch.computed
+      (json_float s.Orch.wall_s) (json_float speedup) s.Orch.dispatched
+      s.Orch.retried s.Orch.hedged s.Orch.evicted
+      (String.concat ", "
+         (List.map
+            (fun (worker, units) ->
+              Printf.sprintf "{\"worker\": \"%s\", \"units\": %d}"
+                (json_escape worker) units)
+            s.Orch.per_worker))
+  in
+  String.concat ",\n" (List.map leg_json legs)
+
+let write_bench_json path ~mode ~jobs ~figures ~micro ~sweeps ~orch
+    ~total_seconds =
   let figure_entries =
     List.map
       (fun r ->
@@ -410,6 +440,16 @@ let write_bench_json path ~mode ~jobs ~figures ~micro ~sweeps ~total_seconds =
   | sweeps ->
       Printf.fprintf oc "  \"sweep_warm\": [\n%s\n  ],\n"
         (String.concat ",\n" (List.map sweep_warm_json sweeps)));
+  (match orch with
+  | [] -> ()
+  | legs ->
+      let serial_wall =
+        match List.find_opt (fun l -> l.ol_workers = 0) legs with
+        | Some l -> l.ol_summary.Orch.wall_s
+        | None -> 0.0
+      in
+      Printf.fprintf oc "  \"orchestrate\": [\n%s\n  ],\n"
+        (orchestrate_json ~serial_wall legs));
   output_string oc cache_json;
   Printf.fprintf oc "  \"metrics\": %s,\n" metrics_json;
   Printf.fprintf oc "  \"total_seconds\": %s\n" (json_float total_seconds);
@@ -423,7 +463,8 @@ let usage () =
   prerr_endline
     "usage: bench [--full] [--jobs N] [--csv-dir DIR] [--bench-json FILE] \
      [--cache-dir DIR] [--resume] [--no-cache] [--metrics FILE] \
-     [--trace FILE] [--progress] [--sweep-warm] [--list] [TARGET ...]";
+     [--trace FILE] [--progress] [--sweep-warm] [--orchestrate] [--list] \
+     [TARGET ...]";
   prerr_endline "targets: figure names (fig1a, ..., ablation_*) and 'micro';";
   prerr_endline "         none selects everything (--list prints them all)"
 
@@ -450,6 +491,115 @@ let rec mkdir_p dir =
   else if not (Sys.is_directory dir) then
     die "%s exists and is not a directory" dir
 
+(* ------------------------------------------------------------------ *)
+(* Orchestrated scaling (--orchestrate)                                *)
+
+(* A small fixed grid (2 topologies x 4 seeds) run end to end four ways:
+   serially in-process, then over 1, 2 and 4 spawned dcn_served workers.
+   Each leg gets a fresh store under a temp root, so every leg solves the
+   same 8 units cold and the wall-clock ratio is a real scaling number,
+   not a cache artifact. *)
+let orchestrate_grid () =
+  (* ~200 ms per unit: heavy enough that dispatch overhead (HTTP, port
+     polling) is noise against the solve, so the speedup column measures
+     scaling, not protocol costs. *)
+  Dcn_orchestrate.Grid.create
+    ~topos:[ Core.Cli.Rrg (32, 12, 8); Core.Cli.Rrg (36, 12, 8) ]
+    ~seeds:[ 1; 2; 3; 4 ] ()
+
+let orchestrate_leg ~root ~label ~workers grid =
+  let module Spawn = Dcn_orchestrate.Spawn in
+  let dir = Filename.concat root label in
+  let store_dir = Filename.concat dir "store" in
+  mkdir_p store_dir;
+  let store = Core.Store.open_store store_dir in
+  (* One solve at a time per worker, no hedging: the scaling axis is the
+     worker count, and hedged duplicates would distort the wall-clock
+     ratio this section exists to measure. *)
+  let scheduler =
+    {
+      Dcn_orchestrate.Scheduler.default_config with
+      Dcn_orchestrate.Scheduler.hedge_after_s = None;
+    }
+  in
+  let result =
+    if workers = 0 then Orch.run ~store ~grid Orch.Serial
+    else
+      match Spawn.find_exe () with
+      | None -> Error "cannot locate the dcn_served executable"
+      | Some exe ->
+          let procs =
+            List.init workers (fun index ->
+                Spawn.start ~exe ~scratch_dir:(Filename.concat dir "scratch")
+                  ~index ~jobs:1 ~cache_dir:(Some store_dir))
+          in
+          Fun.protect
+            ~finally:(fun () -> Spawn.stop procs)
+            (fun () ->
+              let rec await acc = function
+                | [] -> Ok (List.rev acc)
+                | p :: rest -> (
+                    match Spawn.endpoint p with
+                    | Ok e -> await (e :: acc) rest
+                    | Error msg -> Error msg)
+              in
+              match await [] procs with
+              | Error msg -> Error msg
+              | Ok endpoints ->
+                  Orch.run ~scheduler ~store ~grid (Orch.Fleet endpoints))
+  in
+  match result with
+  | Error msg -> die "orchestrate leg %s: %s" label msg
+  | Ok (_, summary) ->
+      (match summary.Orch.failed with
+      | [] -> ()
+      | (unit_label, err) :: _ ->
+          die "orchestrate leg %s: unit %s failed: %s" label unit_label err);
+      { ol_label = label; ol_workers = workers; ol_summary = summary }
+
+let orchestrate_bench () =
+  let grid = orchestrate_grid () in
+  let root =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "dcn-bench-orch.%d" (Unix.getpid ()))
+  in
+  let legs =
+    List.map
+      (fun (label, workers) -> orchestrate_leg ~root ~label ~workers grid)
+      [ ("serial", 0); ("workers1", 1); ("workers2", 2); ("workers4", 4) ]
+  in
+  let serial_wall =
+    match legs with l :: _ -> l.ol_summary.Orch.wall_s | [] -> 0.0
+  in
+  let table =
+    Core.Table.create
+      ~header:
+        [ "leg"; "workers"; "units"; "wall_s"; "speedup"; "dispatched";
+          "retried"; "hedged"; "per_worker" ]
+  in
+  List.iter
+    (fun l ->
+      let s = l.ol_summary in
+      Core.Table.add_row table
+        [ l.ol_label; string_of_int l.ol_workers; string_of_int s.Orch.computed;
+          Printf.sprintf "%.3f" s.Orch.wall_s;
+          (if l.ol_workers = 0 || s.Orch.wall_s <= 0.0 then "1.00"
+           else Printf.sprintf "%.2f" (serial_wall /. s.Orch.wall_s));
+          string_of_int s.Orch.dispatched; string_of_int s.Orch.retried;
+          string_of_int s.Orch.hedged;
+          String.concat " "
+            (List.map
+               (fun (_, units) -> string_of_int units)
+               s.Orch.per_worker) ])
+    legs;
+  Core.Table.print
+    ~title:
+      (Printf.sprintf "orchestrated scaling — %d-unit grid, serial vs fleets"
+         (Dcn_orchestrate.Grid.size grid))
+    table;
+  legs
+
 type options = {
   full : bool;
   jobs : int;
@@ -462,6 +612,7 @@ type options = {
   trace_file : string option;
   progress : bool;
   sweep_warm : bool;
+  orchestrate : bool;
   list : bool;
   targets : string list;
 }
@@ -493,6 +644,7 @@ let parse_args argv =
     | [ "--trace" ] -> die "--trace expects a file path"
     | "--progress" :: rest -> go { acc with progress = true } rest
     | "--sweep-warm" :: rest -> go { acc with sweep_warm = true } rest
+    | "--orchestrate" :: rest -> go { acc with orchestrate = true } rest
     | "--list" :: rest -> go { acc with list = true } rest
     | ("--help" | "-h") :: _ ->
         usage ();
@@ -504,8 +656,8 @@ let parse_args argv =
   go
     { full = false; jobs = default_jobs; csv_dir = None; bench_json = None;
       cache_dir = None; resume = false; no_cache = false; metrics_file = None;
-      trace_file = None; progress = false; sweep_warm = false; list = false;
-      targets = [] }
+      trace_file = None; progress = false; sweep_warm = false;
+      orchestrate = false; list = false; targets = [] }
     (List.tl (Array.to_list argv))
 
 let () =
@@ -559,7 +711,10 @@ let () =
   let names = opts.targets in
   (* --sweep-warm alone runs just the warm-start sweeps; explicit targets
      can be given alongside to run both. *)
-  let wants name = (names = [] && not opts.sweep_warm) || List.mem name names in
+  let wants name =
+    (names = [] && not opts.sweep_warm && not opts.orchestrate)
+    || List.mem name names
+  in
   let known = List.map (fun (n, _, _) -> n) figures @ [ "micro" ] in
   List.iter
     (fun n ->
@@ -648,6 +803,10 @@ let () =
       reports
     end
   in
+  (* Orchestrated scaling: the same fixed grid serial then over spawned
+     fleets; wall-clock speedups land in --bench-json's "orchestrate"
+     section. *)
+  let orch = if opts.orchestrate then orchestrate_bench () else [] in
   (match Core.Store.shared () with
   | Some store ->
       let c = Core.Store.counters store in
@@ -660,7 +819,7 @@ let () =
   | Some path ->
       write_bench_json path
         ~mode:(if opts.full then "full" else "quick")
-        ~jobs:opts.jobs ~figures:computed ~micro ~sweeps
+        ~jobs:opts.jobs ~figures:computed ~micro ~sweeps ~orch
         ~total_seconds:(Clock.elapsed_s t0));
   (match opts.metrics_file with
   | None -> ()

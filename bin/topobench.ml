@@ -466,22 +466,98 @@ let client_cmd =
     Arg.(value & flag & info [ "expect-2xx" ]
            ~doc:"Exit non-zero if any request fails or is rejected (CI mode).")
   in
+  let json_arg =
+    Arg.(value & flag & info [ "json" ]
+           ~doc:"Emit a machine-readable JSON report (load and probe modes) \
+                 instead of the human-readable one.")
+  in
+  let probe_arg =
+    Arg.(value & flag & info [ "probe" ]
+           ~doc:"Probe GET /healthz instead of sending a solve; exit 0 iff \
+                 the server is healthy and not draining. The same decoding \
+                 the orchestrator admits workers with.")
+  in
   let body_for spec ~seed ~traffic ~eps ~gap ~routing ~timeout =
-    let f = Core.Float_text.to_string in
+    Dcn_serve.Request.to_body
+      {
+        Dcn_serve.Request.topology = Dcn_serve.Request.Spec spec;
+        seed;
+        traffic;
+        eps;
+        gap;
+        routing;
+        timeout_s = (if timeout > 0.0 then Some timeout else None);
+      }
+  in
+  let probe_healthz ~host ~port ~json =
     let q = Core.Obs.Json.quote in
-    Printf.sprintf
-      "{\"topology\": %s, \"seed\": %d, \"traffic\": %s, \"eps\": %s, \
-       \"gap\": %s, \"routing\": %s%s}"
-      (q (Core.Cli.topo_spec_to_string spec))
-      seed
-      (q (Core.Cli.traffic_to_string traffic))
-      (f eps) (f gap)
-      (q (Dcn_serve.Request.routing_to_string routing))
-      (if timeout > 0.0 then Printf.sprintf ", \"timeout_s\": %s" (f timeout)
-       else "")
+    match Dcn_orchestrate.Worker.healthz { Dcn_orchestrate.Worker.host; port } with
+    | Error msg ->
+        if json then
+          Printf.printf "{\"ok\": false, \"error\": %s}\n" (q msg)
+        else prerr_endline ("topobench client: " ^ msg);
+        exit 1
+    | Ok h ->
+        let healthy = h.Dcn_orchestrate.Worker.ok && not h.Dcn_orchestrate.Worker.draining in
+        if json then
+          Printf.printf
+            "{\"ok\": %b, \"solver_version\": %s, \"jobs\": %d, \"queue\": %d, \
+             \"inflight\": %d, \"draining\": %b}\n"
+            healthy
+            (q h.Dcn_orchestrate.Worker.solver_version)
+            h.Dcn_orchestrate.Worker.jobs h.Dcn_orchestrate.Worker.queue
+            h.Dcn_orchestrate.Worker.inflight h.Dcn_orchestrate.Worker.draining
+        else
+          Printf.printf
+            "healthz %s:%d: %s (solver %s, jobs=%d, queue=%d, inflight=%d%s)\n"
+            host port
+            (if healthy then "ok" else "NOT healthy")
+            h.Dcn_orchestrate.Worker.solver_version h.Dcn_orchestrate.Worker.jobs
+            h.Dcn_orchestrate.Worker.queue h.Dcn_orchestrate.Worker.inflight
+            (if h.Dcn_orchestrate.Worker.draining then ", draining" else "");
+        if not healthy then exit 1
+  in
+  let report_json (report : Dcn_serve.Load_gen.report) ~transport_errors =
+    let buf = Buffer.create 256 in
+    Buffer.add_string buf "{\n";
+    let field ?(last = false) name value =
+      Buffer.add_string buf
+        (Printf.sprintf "  %s: %s%s\n" (Core.Obs.Json.quote name) value
+           (if last then "" else ","))
+    in
+    let n = Core.Obs.Json.number in
+    field "total" (string_of_int report.Dcn_serve.Load_gen.total);
+    field "by_status"
+      ("["
+      ^ String.concat ", "
+          (List.map
+             (fun (status, count) ->
+               Printf.sprintf "{\"status\": %d, \"count\": %d}" status count)
+             report.Dcn_serve.Load_gen.by_status)
+      ^ "]");
+    field "transport_errors" (string_of_int transport_errors);
+    field "p50_s" (n report.Dcn_serve.Load_gen.p50);
+    field "p95_s" (n report.Dcn_serve.Load_gen.p95);
+    field "p99_s" (n report.Dcn_serve.Load_gen.p99);
+    field "max_s" (n report.Dcn_serve.Load_gen.max_s);
+    field "elapsed_s" (n report.Dcn_serve.Load_gen.elapsed_s);
+    field "duplicates_identical" ~last:true
+      (string_of_bool report.Dcn_serve.Load_gen.duplicates_identical);
+    Buffer.add_string buf "}\n";
+    Buffer.contents buf
   in
   let run spec host port traffic seed eps gap routing timeout load qps
-      concurrency variants expect_2xx =
+      concurrency variants expect_2xx json probe =
+    if probe then probe_healthz ~host ~port ~json
+    else begin
+    let spec =
+      match spec with
+      | Some s -> s
+      | None ->
+          prerr_endline "topobench client: a TOPOLOGY argument is required \
+                         unless --probe is given";
+          exit 2
+    in
     let body seed = body_for spec ~seed ~traffic ~eps ~gap ~routing ~timeout in
     if load <= 0 then begin
       (* Single request: print the response body, exit by status class. *)
@@ -505,7 +581,13 @@ let client_cmd =
         Dcn_serve.Load_gen.run ~host ~port ~bodies ~requests:load ~concurrency
           ~qps
       in
-      Dcn_serve.Load_gen.print_report report;
+      let transport_errors =
+        List.fold_left
+          (fun acc (status, count) -> if status = 0 then acc + count else acc)
+          0 report.Dcn_serve.Load_gen.by_status
+      in
+      if json then print_string (report_json report ~transport_errors)
+      else Dcn_serve.Load_gen.print_report report;
       let failures =
         List.exists
           (fun (status, _) -> status < 200 || status > 299)
@@ -516,18 +598,308 @@ let client_cmd =
           "topobench client: duplicate responses were NOT byte-identical";
         exit 1
       end;
+      (* A transport error (connection refused, reset, timeout) is never
+         a success, --expect-2xx or not. *)
+      if transport_errors > 0 then begin
+        Printf.eprintf "topobench client: %d transport error(s)\n"
+          transport_errors;
+        exit 1
+      end;
       if expect_2xx && failures then begin
         prerr_endline "topobench client: non-2xx responses under --expect-2xx";
         exit 1
       end
     end
+    end
+  in
+  let topo_opt_arg =
+    Arg.(value & pos 0 (some Core.Cli.topo_conv) None
+           & info [] ~docv:"TOPOLOGY"
+               ~doc:"Topology spec (same vocabulary as the solver commands). \
+                     Required except in $(b,--probe) mode.")
   in
   let doc = "Send solve requests to a running dcn_served daemon." in
   Cmd.v (Cmd.info "client" ~doc)
     Term.(
-      const run $ topo_arg $ host_arg $ port_arg $ traffic_arg $ seed_arg
+      const run $ topo_opt_arg $ host_arg $ port_arg $ traffic_arg $ seed_arg
       $ eps_arg $ gap_arg $ routing_arg $ timeout_arg $ load_arg $ qps_arg
-      $ concurrency_arg $ variants_arg $ expect_2xx_arg)
+      $ concurrency_arg $ variants_arg $ expect_2xx_arg $ json_arg $ probe_arg)
+
+(* ---- orchestrate command ---- *)
+
+let orchestrate_cmd =
+  let module Grid = Dcn_orchestrate.Grid in
+  let module Scheduler = Dcn_orchestrate.Scheduler in
+  let module Worker = Dcn_orchestrate.Worker in
+  let module Spawn = Dcn_orchestrate.Spawn in
+  let module Orchestrator = Dcn_orchestrate.Orchestrator in
+  let topos_arg =
+    Arg.(non_empty & opt_all Core.Cli.topo_conv []
+           & info [ "topo" ] ~docv:"TOPOLOGY"
+               ~doc:"Topology axis of the sweep grid (repeatable; same \
+                     vocabulary as the solver commands).")
+  in
+  let seeds_arg =
+    Arg.(value & opt int 1 & info [ "seeds" ] ~docv:"N"
+           ~doc:"Seed axis: sweep seeds 1..$(docv).")
+  in
+  let traffics_arg =
+    Arg.(value & opt_all Core.Cli.traffic_conv []
+           & info [ "traffic" ] ~docv:"KIND"
+               ~doc:"Traffic axis (repeatable): permutation | a2a | \
+                     chunky:PERCENT. Default: permutation.")
+  in
+  let epses_arg =
+    Arg.(value & opt_all (Core.Cli.unit_open_conv "eps") []
+           & info [ "eps" ] ~docv:"EPS"
+               ~doc:"FPTAS accuracy axis (repeatable). Default: 0.05.")
+  in
+  let gaps_arg =
+    Arg.(value & opt_all (Core.Cli.unit_open_conv "gap") []
+           & info [ "gap" ] ~docv:"GAP"
+               ~doc:"Termination-gap axis (repeatable). Default: 0.05.")
+  in
+  let routing_conv =
+    Arg.conv
+      ( (fun s ->
+          match Dcn_serve.Request.parse_routing s with
+          | Ok r -> Ok r
+          | Error msg -> Error (`Msg msg)),
+        fun ppf r ->
+          Format.pp_print_string ppf (Dcn_serve.Request.routing_to_string r) )
+  in
+  let routings_arg =
+    Arg.(value & opt_all routing_conv []
+           & info [ "routing" ] ~docv:"MODE"
+               ~doc:"Routing axis (repeatable): optimal | ksp:K | \
+                     ecmp[:LIMIT] | vlb:N. Default: optimal.")
+  in
+  let serial_arg =
+    Arg.(value & flag & info [ "serial" ]
+           ~doc:"Run every unit in-process, one at a time (the reference \
+                 execution distributed runs must match byte for byte).")
+  in
+  let workers_arg =
+    Arg.(value & opt int 2 & info [ "workers" ] ~docv:"N"
+           ~doc:"Spawn $(docv) local dcn_served workers on ephemeral ports, \
+                 sharing the coordinator's store. Ignored when $(b,--worker) \
+                 or $(b,--serial) is given.")
+  in
+  let worker_urls_arg =
+    Arg.(value & opt_all string []
+           & info [ "worker" ] ~docv:"URL"
+               ~doc:"Dispatch to an already-running dcn_served at \
+                     HOST:PORT or http://HOST:PORT (repeatable). Remote \
+                     workers keep their own caches; results stream back \
+                     into the coordinator's store.")
+  in
+  let worker_jobs_arg =
+    Arg.(value & opt int 2 & info [ "worker-jobs" ] ~docv:"J"
+           ~doc:"--jobs for each spawned worker (handler threads + solver \
+                 domains).")
+  in
+  let cache_dir_required_arg =
+    Arg.(required & opt (some string) None
+           & info [ "cache-dir" ] ~docv:"DIR"
+               ~doc:"The shared result store (coordinator's source of \
+                     truth; spawned workers mount the same directory).")
+  in
+  let resume_arg =
+    Arg.(value & flag & info [ "resume" ]
+           ~doc:"Resume a previous run: units whose digests are already in \
+                 the store are replayed from it (completion is re-verified \
+                 against the store entry, not just the manifest).")
+  in
+  let unit_timeout_arg =
+    Arg.(value & opt float 300.0 & info [ "unit-timeout" ] ~docv:"SECONDS"
+           ~doc:"Per-unit deadline, injected into each dispatched request.")
+  in
+  let max_attempts_arg =
+    Arg.(value & opt int Scheduler.default_config.Scheduler.max_attempts
+           & info [ "max-attempts" ] ~docv:"N"
+               ~doc:"Dispatch attempts before a unit is failed.")
+  in
+  let hedge_after_arg =
+    Arg.(value & opt float 1.0 & info [ "hedge-after" ] ~docv:"SECONDS"
+           ~doc:"Once the queue drains, re-issue in-flight units older than \
+                 $(docv) on a second worker (first result wins); 0 disables \
+                 hedging.")
+  in
+  let summary_json_arg =
+    Arg.(value & opt (some string) None
+           & info [ "summary-json" ] ~docv:"FILE"
+               ~doc:"Also write the run summary as JSON to $(docv).")
+  in
+  let chaos_kill_arg =
+    Arg.(value & opt int 0 & info [ "chaos-kill" ] ~docv:"N"
+           ~doc:"Testing hook: SIGKILL the first spawned worker after $(docv) \
+                 computed results have landed, to exercise retry/eviction. \
+                 0 disables; ignored unless workers are spawned.")
+  in
+  let print_outcome ~total counter (o : Orchestrator.outcome) =
+    incr counter;
+    let src =
+      match o.Orchestrator.o_source with
+      | Orchestrator.From_cache -> "cache"
+      | Orchestrator.Computed w -> w
+    in
+    let extras =
+      (if o.Orchestrator.o_hedged then " hedged" else "")
+      ^
+      if o.Orchestrator.o_attempts > 1 then
+        Printf.sprintf " attempts=%d" o.Orchestrator.o_attempts
+      else ""
+    in
+    Printf.printf "[%*d/%d] %-44s %8.3fs  %s%s\n%!"
+      (String.length (string_of_int total))
+      !counter total o.Orchestrator.o_unit.Grid.label
+      o.Orchestrator.o_seconds src extras
+  in
+  let print_summary (s : Orchestrator.summary) =
+    Printf.printf
+      "orchestrate: %d units — %d from cache, %d computed in %.2fs\n"
+      s.Orchestrator.total s.Orchestrator.from_cache s.Orchestrator.computed
+      s.Orchestrator.wall_s;
+    List.iter
+      (fun (worker, n) -> Printf.printf "  %-24s %d unit(s)\n" worker n)
+      s.Orchestrator.per_worker;
+    Printf.printf "  dispatched=%d retried=%d hedged=%d evicted=%d readmitted=%d\n"
+      s.Orchestrator.dispatched s.Orchestrator.retried s.Orchestrator.hedged
+      s.Orchestrator.evicted s.Orchestrator.readmitted;
+    List.iter
+      (fun (unit_label, err) ->
+        Printf.eprintf "orchestrate: FAILED %s: %s\n" unit_label err)
+      s.Orchestrator.failed
+  in
+  let run topos seeds traffics epses gaps routings serial workers worker_urls
+      worker_jobs cache_dir resume unit_timeout max_attempts hedge_after
+      summary_json chaos_kill obs =
+    with_obs obs @@ fun () ->
+    if seeds < 1 then begin
+      prerr_endline "orchestrate: --seeds must be at least 1";
+      exit 2
+    end;
+    let non_empty defaults = function [] -> defaults | l -> l in
+    let grid =
+      Grid.create ~topos
+        ~seeds:(List.init seeds (fun i -> i + 1))
+        ~traffics:(non_empty [ Core.Cli.Perm ] traffics)
+        ~epses:(non_empty [ 0.05 ] epses)
+        ~gaps:(non_empty [ 0.05 ] gaps)
+        ~routings:(non_empty [ Dcn_serve.Request.Optimal ] routings)
+        ()
+    in
+    let store = Core.Store.open_store cache_dir in
+    let scheduler =
+      {
+        Scheduler.default_config with
+        Scheduler.max_attempts;
+        hedge_after_s = (if hedge_after <= 0.0 then None else Some hedge_after);
+      }
+    in
+    let spawned = ref [] in
+    let result =
+      Fun.protect
+        ~finally:(fun () -> Spawn.stop !spawned)
+        (fun () ->
+          let exec =
+            if serial then Ok Orchestrator.Serial
+            else
+              match worker_urls with
+              | _ :: _ ->
+                  let rec parse acc = function
+                    | [] -> Ok (Orchestrator.Fleet (List.rev acc))
+                    | url :: rest -> (
+                        match Worker.parse_url url with
+                        | Ok e -> parse (e :: acc) rest
+                        | Error msg ->
+                            Error (Printf.sprintf "--worker %s: %s" url msg))
+                  in
+                  parse [] worker_urls
+              | [] -> (
+                  if workers < 1 then
+                    Error "--workers must be at least 1"
+                  else
+                    match Spawn.find_exe () with
+                    | None ->
+                        Error
+                          "cannot locate the dcn_served executable (set \
+                           DCN_SERVED_EXE)"
+                    | Some exe ->
+                        (* Scratch (port files, logs) lives OUTSIDE the
+                           store so serial and distributed stores stay
+                           directory-diffable. *)
+                        let scratch_dir =
+                          Filename.concat
+                            (Filename.get_temp_dir_name ())
+                            (Printf.sprintf "dcn-orch.%d" (Unix.getpid ()))
+                        in
+                        let procs =
+                          List.init workers (fun index ->
+                              Spawn.start ~exe ~scratch_dir ~index
+                                ~jobs:worker_jobs ~cache_dir:(Some cache_dir))
+                        in
+                        spawned := procs;
+                        let rec await acc = function
+                          | [] -> Ok (Orchestrator.Fleet (List.rev acc))
+                          | p :: rest -> (
+                              match Spawn.endpoint p with
+                              | Ok e -> await (e :: acc) rest
+                              | Error msg -> Error msg)
+                        in
+                        await [] procs)
+          in
+          match exec with
+          | Error msg -> Error msg
+          | Ok exec ->
+              let total = Grid.size grid in
+              let counter = ref 0 in
+              let computed_seen = ref 0 in
+              let on_outcome o =
+                (match o.Orchestrator.o_source with
+                | Orchestrator.Computed _ ->
+                    incr computed_seen;
+                    if chaos_kill > 0 && !computed_seen = chaos_kill then (
+                      match !spawned with
+                      | p :: _ ->
+                          Printf.eprintf
+                            "orchestrate: chaos — SIGKILL worker %d (pid %d)\n\
+                             %!"
+                            p.Spawn.index p.Spawn.pid;
+                          Spawn.kill p
+                      | [] -> ())
+                | Orchestrator.From_cache -> ());
+                print_outcome ~total counter o
+              in
+              Orchestrator.run ~scheduler ~unit_timeout_s:unit_timeout ~resume
+                ~on_outcome ~store ~grid exec)
+    in
+    match result with
+    | Error msg ->
+        prerr_endline ("orchestrate: " ^ msg);
+        exit 1
+    | Ok (_outcomes, summary) ->
+        print_summary summary;
+        Option.iter
+          (fun path ->
+            Core.Obs.Json.atomic_write ~path
+              (Orchestrator.summary_to_json summary))
+          summary_json;
+        if summary.Orchestrator.failed <> [] then exit 1
+  in
+  let doc =
+    "Expand a parameter grid into digest-keyed work units and run it to \
+     completion — serially, over spawned local workers, or over a remote \
+     dcn_served fleet — streaming results into a shared store with \
+     retries, hedging, health-driven eviction, and crash-safe resume."
+  in
+  Cmd.v (Cmd.info "orchestrate" ~doc)
+    Term.(
+      const run $ topos_arg $ seeds_arg $ traffics_arg $ epses_arg $ gaps_arg
+      $ routings_arg $ serial_arg $ workers_arg $ worker_urls_arg
+      $ worker_jobs_arg $ cache_dir_required_arg $ resume_arg
+      $ unit_timeout_arg $ max_attempts_arg $ hedge_after_arg
+      $ summary_json_arg $ chaos_kill_arg $ obs_args)
 
 (* ---- main ---- *)
 
@@ -538,4 +910,5 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ throughput_cmd; aspl_cmd; spectral_cmd; compare_cmd; routing_cmd;
-            failures_cmd; save_cmd; export_cmd; figure_cmd; client_cmd ]))
+            failures_cmd; save_cmd; export_cmd; figure_cmd; client_cmd;
+            orchestrate_cmd ]))

@@ -37,12 +37,26 @@ let atomic_write ~path contents =
     Printf.sprintf "%s.tmp.%d.%d" path (Unix.getpid ())
       (Atomic.fetch_and_add staged_seq 1)
   in
-  let oc = Out_channel.open_bin staged in
   (try
+     let fd =
+       Unix.openfile staged [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644
+     in
      Fun.protect
-       ~finally:(fun () -> Out_channel.close oc)
-       (fun () -> Out_channel.output_string oc contents)
-   with e ->
+       ~finally:(fun () -> Unix.close fd)
+       (fun () ->
+         let len = String.length contents in
+         let rec write_all off =
+           if off < len then
+             write_all (off + Unix.write_substring fd contents off (len - off))
+         in
+         write_all 0;
+         (* Data must be durable before the rename publishes the name: a
+            crash between rename and writeback would otherwise leave a
+            *visible* empty file, which is exactly the torn state watchers
+            (e.g. a coordinator polling for a daemon's port file) rely on
+            never observing. *)
+         Unix.fsync fd)
+   with Unix.Unix_error (err, _, _) ->
      (try Sys.remove staged with Sys_error _ -> ());
-     raise e);
+     raise (Sys_error (staged ^ ": " ^ Unix.error_message err)));
   Sys.rename staged path

@@ -17,8 +17,8 @@ val number : float -> string
 
 val atomic_write : path:string -> string -> unit
 (** Write [contents] to [path] via a staged temporary file in the same
-    directory followed by [Sys.rename] — the same publish discipline as
-    the result store, so a crash mid-write never leaves a truncated file
-    and concurrent writers of the same path never interleave. Parent
-    directories are created as needed. Raises [Sys_error] on unwritable
-    destinations. *)
+    directory, [fsync], then [Sys.rename] — the same publish discipline
+    as the result store, so a crash mid-write never leaves a truncated
+    (or, thanks to the fsync, post-crash empty) file and concurrent
+    writers of the same path never interleave. Parent directories are
+    created as needed. Raises [Sys_error] on unwritable destinations. *)

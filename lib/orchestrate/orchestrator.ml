@@ -1,0 +1,350 @@
+(* The coordinator: a grid, a store, and an execution mode.
+
+   Every work unit is digest-keyed, and the store is the source of
+   truth: a unit whose digest is already present (self-validating entry;
+   Store.find re-reads and checks the header) is complete — whether it
+   was computed by a previous run of this coordinator, a serial run, or
+   some worker's own cache — and is replayed without any dispatch. The
+   manifest under runs/<digest-of-unit-digests>/ adds the audit trail
+   (grid config, per-unit worker assignment and timing, summary) and the
+   resume warning path: a unit the manifest records as done but whose
+   store entry is missing or corrupt is loudly recomputed, never
+   silently trusted.
+
+   Serial mode drives the full server dispatch stack in-process
+   (Server.handle — no sockets), so serial and distributed runs execute
+   the same code path end to end and their stores come out
+   byte-identical; that equality is what the CI smoke job asserts.
+
+   Distributed mode admits each endpoint via /healthz, hard-failing on a
+   solver-version mismatch (digests are only comparable across identical
+   versions), sizes per-worker concurrency from the advertised handler
+   count, and hands the units to the Scheduler with the HTTP transport.
+   The per-unit timeout is injected into the request body (so the worker
+   itself gives up with a 504 at the same deadline the client stops
+   waiting) — the timeout is excluded from the digest and the response,
+   so byte-identity is preserved. *)
+
+module Store = Dcn_store.Store
+module Manifest = Dcn_store.Manifest
+module Clock = Dcn_obs.Clock
+module Json = Dcn_obs.Json
+module Request = Dcn_serve.Request
+module Server = Dcn_serve.Server
+module Http = Dcn_serve.Http
+
+type exec = Serial | Fleet of Worker.endpoint list
+
+type source = From_cache | Computed of string
+
+type outcome = {
+  o_unit : Grid.unit_;
+  o_body : string;
+  o_source : source;
+  o_attempts : int;
+  o_hedged : bool;
+  o_seconds : float;
+}
+
+type summary = {
+  total : int;
+  from_cache : int;
+  computed : int;
+  per_worker : (string * int) list;
+  dispatched : int;
+  retried : int;
+  hedged : int;
+  evicted : int;
+  readmitted : int;
+  failed : (string * string) list;
+  wall_s : float;
+}
+
+let serial_worker = "serial"
+
+let summary_to_json s =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf "{\n";
+  let field ?(last = false) name value =
+    Buffer.add_string buf
+      (Printf.sprintf "  %s: %s%s\n" (Json.quote name) value
+         (if last then "" else ","))
+  in
+  let objects render l = "[" ^ String.concat ", " (List.map render l) ^ "]" in
+  field "total" (string_of_int s.total);
+  field "from_cache" (string_of_int s.from_cache);
+  field "computed" (string_of_int s.computed);
+  field "dispatched" (string_of_int s.dispatched);
+  field "retried" (string_of_int s.retried);
+  field "hedged" (string_of_int s.hedged);
+  field "evicted" (string_of_int s.evicted);
+  field "readmitted" (string_of_int s.readmitted);
+  field "wall_s" (Json.number s.wall_s);
+  field "per_worker"
+    (objects
+       (fun (worker, units) ->
+         Printf.sprintf "{\"worker\": %s, \"units\": %d}" (Json.quote worker)
+           units)
+       s.per_worker);
+  field "failed" ~last:true
+    (objects
+       (fun (unit_label, error) ->
+         Printf.sprintf "{\"unit\": %s, \"error\": %s}" (Json.quote unit_label)
+           (Json.quote error))
+       s.failed);
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+(* /healthz admission: reachable, healthy, and running the coordinator's
+   exact solver version. Returns (endpoint, advertised jobs) pairs. *)
+let admit_fleet ~probe_timeout_s endpoints =
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | e :: rest -> (
+        match Worker.healthz ~timeout_s:probe_timeout_s e with
+        | Error msg ->
+            Error (Printf.sprintf "worker %s: %s" (Worker.name e) msg)
+        | Ok h ->
+            if not h.Worker.ok then
+              Error (Printf.sprintf "worker %s: unhealthy" (Worker.name e))
+            else if h.Worker.solver_version <> Core.Digest_key.solver_version
+            then
+              Error
+                (Printf.sprintf
+                   "worker %s runs solver version %S, this coordinator %S: \
+                    results would not be comparable; refusing the fleet"
+                   (Worker.name e) h.Worker.solver_version
+                   Core.Digest_key.solver_version)
+            else go ((e, max 1 h.Worker.jobs) :: acc) rest)
+  in
+  go [] endpoints
+
+let run ?(scheduler = Scheduler.default_config) ?(unit_timeout_s = 300.0)
+    ?(probe_timeout_s = 2.0) ?(resume = false) ?on_outcome ~store ~grid exec =
+  let t0 = Clock.now_ns () in
+  let units = Grid.expand grid in
+  let dir = Manifest.dir ~store ~fingerprint:(Grid.fingerprint units) in
+  Manifest.write_artifact ~dir ~name:"grid.json" (Grid.to_json grid);
+  let emit =
+    match on_outcome with
+    | None -> fun (_ : outcome) -> ()
+    | Some f ->
+        (* Streaming callbacks fire from scheduler worker threads;
+           serialize them so the caller can print without interleaving. *)
+        let pm = Mutex.create () in
+        fun o ->
+          Mutex.lock pm;
+          Fun.protect ~finally:(fun () -> Mutex.unlock pm) (fun () -> f o)
+  in
+  let recorded = Hashtbl.create 64 in
+  if resume then
+    List.iter
+      (fun r -> Hashtbl.replace recorded r.Manifest.u_target r)
+      (Manifest.load_units ~dir ());
+  (* Resume/skip: the store lookup IS the digest re-verification — the
+     entry is re-read and its header validated; a corrupt entry degrades
+     to a miss and is recomputed. The manifest only contributes recorded
+     timing and the warning when its record has no backing entry. *)
+  let cached, todo =
+    List.partition_map
+      (fun u ->
+        match Store.find store u.Grid.digest with
+        | Some body ->
+            let seconds =
+              match Hashtbl.find_opt recorded u.Grid.label with
+              | Some r when r.Manifest.u_digest = u.Grid.digest ->
+                  r.Manifest.u_seconds
+              | Some _ | None -> 0.0
+            in
+            Left
+              {
+                o_unit = u;
+                o_body = body;
+                o_source = From_cache;
+                o_attempts = 0;
+                o_hedged = false;
+                o_seconds = seconds;
+              }
+        | None ->
+            if resume && Hashtbl.mem recorded u.Grid.label then
+              Printf.eprintf
+                "orchestrate: manifest records %s as done but the store entry \
+                 is missing or corrupt; recomputing\n\
+                 %!"
+                u.Grid.label;
+            Right u)
+      units
+  in
+  List.iter emit cached;
+  let publish ~worker u body seconds =
+    Store.add store u.Grid.digest body;
+    Manifest.mark_unit ~dir
+      {
+        Manifest.u_target = u.Grid.label;
+        u_digest = u.Grid.digest;
+        u_worker = worker;
+        u_seconds = seconds;
+      }
+  in
+  let computed_result =
+    match exec with
+    | Serial ->
+        (* The full dispatch stack in-process: same code path as a
+           worker, no sockets. Solve_cache consults the process-shared
+           store, so point it at ours for the duration. *)
+        let previous_shared = Store.shared () in
+        Store.set_shared (Some store);
+        Fun.protect
+          ~finally:(fun () -> Store.set_shared previous_shared)
+          (fun () ->
+            let server =
+              Server.create
+                { Server.default_config with Server.default_timeout_s = None }
+            in
+            let outcomes = ref [] and failures = ref [] in
+            List.iter
+              (fun u ->
+                let t1 = Clock.now_ns () in
+                let resp =
+                  Server.handle server ~accept_ns:t1
+                    {
+                      Http.meth = "POST";
+                      target = "/solve";
+                      headers = [];
+                      body = u.Grid.body;
+                    }
+                in
+                let seconds = Clock.elapsed_s t1 in
+                if resp.Http.status = 200 then begin
+                  publish ~worker:serial_worker u resp.Http.body seconds;
+                  let o =
+                    {
+                      o_unit = u;
+                      o_body = resp.Http.body;
+                      o_source = Computed serial_worker;
+                      o_attempts = 1;
+                      o_hedged = false;
+                      o_seconds = seconds;
+                    }
+                  in
+                  emit o;
+                  outcomes := o :: !outcomes
+                end
+                else
+                  failures :=
+                    ( u.Grid.label,
+                      Printf.sprintf "HTTP %d: %s" resp.Http.status
+                        (String.trim resp.Http.body) )
+                    :: !failures)
+              todo;
+            Ok
+              ( List.rev !outcomes,
+                List.rev !failures,
+                [ (serial_worker, List.length !outcomes) ],
+                None ))
+    | Fleet endpoints -> (
+        match admit_fleet ~probe_timeout_s endpoints with
+        | Error msg -> Error msg
+        | Ok admitted -> (
+            let weighted = Array.of_list admitted in
+            let workers = Array.map fst weighted in
+            let transport e (u : Grid.unit_) =
+              (* Inject the per-unit deadline into the body: the worker
+                 504s at the same deadline the client stops waiting.
+                 Digest and response both exclude the timeout, so
+                 byte-identity with serial runs is preserved. *)
+              let body =
+                Request.to_body
+                  { u.Grid.request with Request.timeout_s = Some unit_timeout_s }
+              in
+              (* The client-side bound is looser than the server's: the
+                 server should answer 504 first, which classifies as
+                 Retry with the server's message. *)
+              Worker.solve ~timeout_s:(unit_timeout_s +. 10.0) e ~body
+            in
+            let on_result (r : Worker.endpoint Scheduler.result_) =
+              let worker = Worker.name r.Scheduler.r_worker in
+              publish ~worker r.Scheduler.r_unit r.Scheduler.r_body
+                r.Scheduler.r_seconds;
+              emit
+                {
+                  o_unit = r.Scheduler.r_unit;
+                  o_body = r.Scheduler.r_body;
+                  o_source = Computed worker;
+                  o_attempts = r.Scheduler.r_attempts;
+                  o_hedged = r.Scheduler.r_hedged;
+                  o_seconds = r.Scheduler.r_seconds;
+                }
+            in
+            match
+              Scheduler.run ~config:scheduler ~workers
+                ~capacity:(fun i _ -> snd weighted.(i))
+                ~transport
+                ~health:(Worker.alive ~timeout_s:probe_timeout_s)
+                ~on_result todo
+            with
+            | Error msg -> Error msg
+            | Ok out ->
+                let outcomes =
+                  List.map
+                    (fun (r : Worker.endpoint Scheduler.result_) ->
+                      {
+                        o_unit = r.Scheduler.r_unit;
+                        o_body = r.Scheduler.r_body;
+                        o_source = Computed (Worker.name r.Scheduler.r_worker);
+                        o_attempts = r.Scheduler.r_attempts;
+                        o_hedged = r.Scheduler.r_hedged;
+                        o_seconds = r.Scheduler.r_seconds;
+                      })
+                    out.Scheduler.results
+                in
+                let per_worker =
+                  Array.to_list
+                    (Array.mapi
+                       (fun i e ->
+                         (Worker.name e, out.Scheduler.stats.Scheduler.per_worker.(i)))
+                       workers)
+                in
+                let failed =
+                  List.map
+                    (fun (u, msg) -> (u.Grid.label, msg))
+                    out.Scheduler.failed
+                in
+                Ok (outcomes, failed, per_worker, Some out.Scheduler.stats)))
+  in
+  match computed_result with
+  | Error msg -> Error msg
+  | Ok (computed, failed, per_worker, stats) ->
+      let all =
+        List.sort
+          (fun a b -> Int.compare a.o_unit.Grid.id b.o_unit.Grid.id)
+          (cached @ computed)
+      in
+      let dispatched, retried, hedged, evicted, readmitted =
+        match stats with
+        | None -> (List.length computed, 0, 0, 0, 0)
+        | Some (s : Scheduler.stats) ->
+            ( s.Scheduler.dispatched,
+              s.Scheduler.retried,
+              s.Scheduler.hedged,
+              s.Scheduler.evicted,
+              s.Scheduler.readmitted )
+      in
+      let summary =
+        {
+          total = List.length units;
+          from_cache = List.length cached;
+          computed = List.length computed;
+          per_worker;
+          dispatched;
+          retried;
+          hedged;
+          evicted;
+          readmitted;
+          failed;
+          wall_s = Clock.elapsed_s t0;
+        }
+      in
+      Manifest.write_artifact ~dir ~name:"summary.json"
+        (summary_to_json summary);
+      Ok (all, summary)

@@ -1,0 +1,68 @@
+(** The coordinator: expand a grid, skip what the store already holds,
+    execute the rest serially or across a worker fleet, stream results
+    into the store, and record an auditable manifest.
+
+    The store is the source of truth: a unit whose digest is present
+    (entries self-validate on read) is complete regardless of who
+    computed it. Serial mode drives the full server dispatch stack
+    in-process, so serial and distributed runs produce byte-identical
+    stores — the property the CI smoke job asserts with [diff -r]. *)
+
+type exec =
+  | Serial  (** In-process {!Dcn_serve.Server.handle}, one unit at a time. *)
+  | Fleet of Worker.endpoint list
+      (** Scheduler dispatch over [dcn_served] workers. Each endpoint is
+          admitted via [/healthz]; a solver-version mismatch fails the
+          run (digests are only comparable across identical versions). *)
+
+type source = From_cache | Computed of string  (** Worker name. *)
+
+type outcome = {
+  o_unit : Grid.unit_;
+  o_body : string;  (** The 200 response body (also the store payload). *)
+  o_source : source;
+  o_attempts : int;  (** 0 for cache replays. *)
+  o_hedged : bool;
+  o_seconds : float;
+      (** Wall time of the winning attempt; for cache replays, the
+          manifest-recorded original time when available, else 0. *)
+}
+
+type summary = {
+  total : int;
+  from_cache : int;
+  computed : int;
+  per_worker : (string * int) list;  (** (worker, completed units). *)
+  dispatched : int;
+  retried : int;
+  hedged : int;
+  evicted : int;
+  readmitted : int;
+  failed : (string * string) list;  (** (unit label, error). *)
+  wall_s : float;
+}
+
+val summary_to_json : summary -> string
+
+val run :
+  ?scheduler:Scheduler.config ->
+  ?unit_timeout_s:float ->
+  ?probe_timeout_s:float ->
+  ?resume:bool ->
+  ?on_outcome:(outcome -> unit) ->
+  store:Dcn_store.Store.t ->
+  grid:Grid.t ->
+  exec ->
+  (outcome list * summary, string) result
+(** Run the grid to completion. [unit_timeout_s] (default 300) is
+    injected into each dispatched request (the worker 504s at the same
+    deadline the client stops waiting; excluded from digests, so
+    byte-identity holds). [resume] loads the manifest's unit records
+    for timing/warnings — completion itself is always re-verified
+    against the store, and a recorded unit whose entry is missing or
+    corrupt is recomputed with a stderr warning, never trusted.
+    [on_outcome] streams results as they land (serialized; called from
+    worker threads). Outcomes are returned sorted by unit id. [Error]
+    is orchestration-level (unreachable/mismatched fleet, all workers
+    lost); per-unit failures land in [summary.failed]. The summary is
+    also written as the [summary.json] manifest artifact. *)

@@ -1,0 +1,40 @@
+(** One [dcn_served] worker endpoint, over the existing HTTP/JSON
+    protocol: URL parsing, the [/healthz] decoding a coordinator admits
+    workers on, and the [/solve] call with the error classification the
+    scheduler's retry policy keys on. *)
+
+type endpoint = { host : string; port : int }
+
+val name : endpoint -> string
+(** ["host:port"] — the worker's identity in manifests and summaries. *)
+
+val parse_url : string -> (endpoint, string) result
+(** Accepts [HOST:PORT] or [http://HOST:PORT] (optional trailing
+    slash). *)
+
+type health = {
+  ok : bool;  (** ["status"] was ["ok"]. *)
+  solver_version : string;
+      (** Must equal the coordinator's {!Core.Digest_key.solver_version}
+          — digests are only comparable across identical versions. *)
+  jobs : int;  (** Handler capacity; sizes the dispatch window. *)
+  queue : int;
+  inflight : int;
+  draining : bool;
+}
+
+val healthz : ?timeout_s:float -> endpoint -> (health, string) result
+(** [GET /healthz], decoded. Default timeout 2 s. *)
+
+val alive : ?timeout_s:float -> endpoint -> bool
+(** Healthy and not draining; the scheduler's eviction/re-admission
+    probe. *)
+
+val solve :
+  ?timeout_s:float ->
+  endpoint ->
+  body:string ->
+  (string, Scheduler.error_class) result
+(** [POST /solve]. [Ok] carries the 200 body; transport errors and
+    408/429/5xx are {!Scheduler.Retry}, other 4xx {!Scheduler.Fatal}.
+    [timeout_s] bounds connect and each read/write. *)

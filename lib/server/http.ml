@@ -175,19 +175,51 @@ let write_response fd resp =
 
 (* ---- client side ---- *)
 
-let client_request ~host ~port ~meth ~target ?(body = "") () =
-  let addr =
-    try (Unix.gethostbyname host).Unix.h_addr_list.(0)
-    with Not_found -> Unix.inet_addr_of_string host
-  in
+(* Connect with an optional deadline: non-blocking connect, select on
+   writability, then check SO_ERROR — the portable shape. On success the
+   socket is switched back to blocking with kernel read/write timeouts,
+   so a worker that accepts the connection and then hangs cannot pin a
+   coordinator thread forever. *)
+let connect_opt_timeout fd addr ~host ~port timeout_s =
+  match timeout_s with
+  | None -> Unix.connect fd addr
+  | Some t ->
+      Unix.set_nonblock fd;
+      (try Unix.connect fd addr
+       with Unix.Unix_error ((Unix.EINPROGRESS | Unix.EWOULDBLOCK), _, _) -> (
+         match Unix.select [] [ fd ] [] t with
+         | _, [], _ ->
+             raise
+               (Unix.Unix_error
+                  (Unix.ETIMEDOUT, "connect", Printf.sprintf "%s:%d" host port))
+         | _, _ :: _, _ -> (
+             match Unix.getsockopt_error fd with
+             | None -> ()
+             | Some e ->
+                 raise
+                   (Unix.Unix_error (e, "connect", Printf.sprintf "%s:%d" host port)))));
+      Unix.clear_nonblock fd;
+      Unix.setsockopt_float fd Unix.SO_RCVTIMEO t;
+      Unix.setsockopt_float fd Unix.SO_SNDTIMEO t
+
+let client_request ~host ~port ~meth ~target ?(body = "") ?timeout_s () =
+  match
+    try Ok (Unix.gethostbyname host).Unix.h_addr_list.(0)
+    with Not_found -> (
+      try Ok (Unix.inet_addr_of_string host)
+      with Failure _ -> Error (Printf.sprintf "cannot resolve host %S" host))
+  with
+  | Error msg -> Error msg
+  | Ok addr -> (
   let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
   Fun.protect
     ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
     (fun () ->
-      match Unix.connect fd (Unix.ADDR_INET (addr, port)) with
+      match connect_opt_timeout fd (Unix.ADDR_INET (addr, port)) ~host ~port timeout_s with
       | exception Unix.Unix_error (e, _, _) ->
           Error (Printf.sprintf "connect %s:%d: %s" host port (Unix.error_message e))
       | () -> (
+          try
           let content =
             if body = "" && meth = "GET" then ""
             else
@@ -245,4 +277,16 @@ let client_request ~host ~port ~meth ~target ?(body = "") () =
                         | None -> ()
                       in
                       drain ();
-                      Ok (status, Buffer.contents buf)))))
+                      Ok (status, Buffer.contents buf)))
+          with Unix.Unix_error (e, fn, _) ->
+            (* Reset/EPIPE mid-exchange, or an SO_RCVTIMEO/SO_SNDTIMEO
+               expiry (EAGAIN): a transport error, never an exception — the
+               load generator and the orchestrator retry on these. *)
+            let what =
+              if e = Unix.EAGAIN || e = Unix.EWOULDBLOCK then "timed out"
+              else Unix.error_message e
+            in
+            Error
+              (Printf.sprintf "%s %s:%d: %s"
+                 (if fn = "" then "exchange" else fn)
+                 host port what))))

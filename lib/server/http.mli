@@ -50,8 +50,13 @@ val client_request :
   meth:string ->
   target:string ->
   ?body:string ->
+  ?timeout_s:float ->
   unit ->
   (int * string, string) result
 (** One client exchange: connect, send, read (status, body), close. Used
-    by [topobench client] and the tests; errors are connection-level
-    (refused, reset, malformed response), never HTTP statuses. *)
+    by [topobench client], the orchestrator's worker client and the
+    tests; errors are connection-level (refused, reset, timed out,
+    malformed response), never HTTP statuses, and never exceptions.
+    [timeout_s] bounds the connect and each subsequent read/write
+    (kernel [SO_RCVTIMEO]/[SO_SNDTIMEO]); omitted means block
+    indefinitely, as before. *)

@@ -127,6 +127,32 @@ let of_body body =
   | Error msg -> Error (Printf.sprintf "invalid JSON: %s" msg)
   | Ok json -> of_json json
 
+(* ---- JSON encoding ----
+
+   The wire form of a request, shared by [topobench client] and the
+   orchestrator so every front end speaks the same bytes. Round-trips
+   through [of_body] (tested), and renders every field explicitly — a
+   body is self-describing even where it matches the defaults. *)
+
+let to_body t =
+  let f = Core.Float_text.to_string in
+  let q = Dcn_obs.Json.quote in
+  let topology =
+    match t.topology with
+    | Spec spec -> q (Cli.topo_spec_to_string spec)
+    | Inline text -> Printf.sprintf "{\"inline\": %s}" (q text)
+  in
+  Printf.sprintf
+    "{\"topology\": %s, \"seed\": %d, \"traffic\": %s, \"eps\": %s, \
+     \"gap\": %s, \"routing\": %s%s}"
+    topology t.seed
+    (q (Cli.traffic_to_string t.traffic))
+    (f t.eps) (f t.gap)
+    (q (routing_to_string t.routing))
+    (match t.timeout_s with
+    | None -> ""
+    | Some s -> Printf.sprintf ", \"timeout_s\": %s" (f s))
+
 (* ---- resolution ---- *)
 
 type resolved = {

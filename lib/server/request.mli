@@ -40,6 +40,11 @@ val of_json : Json_parse.t -> (t, string) result
 val of_body : string -> (t, string) result
 (** Parse + decode a request body. *)
 
+val to_body : t -> string
+(** Canonical JSON wire form; [of_body (to_body t) = Ok t]. Shared by
+    [topobench client] and the orchestrator's work units so every front
+    end sends the same bytes for the same request. *)
+
 type resolved = {
   topo : Core.Topology.t;
   matrix : Core.Traffic.t;

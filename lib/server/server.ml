@@ -195,7 +195,19 @@ let handle t ~accept_ns (req : Http.request) =
   let resp =
     match (req.Http.meth, req.Http.target) with
     | "GET", "/healthz" ->
-        Http.response ~headers:json_headers 200 "{\"status\": \"ok\"}\n"
+        (* Enough for a coordinator to admit this worker without further
+           probes: the solver version (digests are only comparable across
+           identical versions, so a mismatched worker must be rejected),
+           the handler capacity to size its dispatch window, and the
+           current load/drain state. *)
+        Http.response ~headers:json_headers 200
+          (Printf.sprintf
+             "{\"status\": \"ok\", \"solver_version\": %s, \"jobs\": %d, \
+              \"queue\": %d, \"inflight\": %d, \"draining\": %b}\n"
+             (Json.quote Core.Digest_key.solver_version)
+             (max 1 (Core.Pool.workers ()))
+             t.config.queue_capacity (Atomic.get t.inflight)
+             (Core.Pool.draining ()))
     | "GET", "/metrics" ->
         Metrics.set g_inflight (float_of_int (Atomic.get t.inflight));
         Http.response ~headers:json_headers 200 (Metrics.to_json (Metrics.snapshot ()))

@@ -6,7 +6,10 @@
       concurrent requests coalesce onto one solver run and receive
       byte-identical bodies; optimal-routing results land in the shared
       result store ({!Dcn_store}) when one is installed.
-    - [GET /healthz] — liveness probe.
+    - [GET /healthz] — liveness probe, carrying the worker facts a sweep
+      coordinator needs: [solver_version] (digests only compare across
+      identical versions), [jobs] (handler capacity), [queue],
+      [inflight] and [draining].
     - [GET /metrics] — {!Dcn_obs.Metrics} registry snapshot as JSON
       (solver counters, store hits/misses, request latency histogram with
       p50/p95/p99).

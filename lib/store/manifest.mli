@@ -35,6 +35,33 @@ val load : dir:string -> entry list
 val mark_done : dir:string -> entry -> unit
 (** Append one completion record and flush it to the OS. *)
 
+(** {1 Orchestrated work units}
+
+    Distributed sweeps record one ["unit <seconds> <digest> <worker>
+    <target>"] line per completed work unit in the same manifest file —
+    the exact result digest (so a resume can re-verify the store entry
+    before trusting the record) and the worker that produced it (for
+    audit and per-worker accounting). The two record kinds coexist;
+    each loader ignores the other's lines. *)
+
+type unit_entry = {
+  u_target : string;  (** Work-unit label; no whitespace. *)
+  u_digest : string;  (** {!Digest_key.t} of the unit's result. *)
+  u_worker : string;  (** Worker name ([host:port] or ["serial"]). *)
+  u_seconds : float;  (** Wall time of the original computation. *)
+}
+
+val load_units :
+  ?warn:(string -> unit) -> dir:string -> unit -> unit_entry list
+(** Completed unit records, oldest first, later-wins per target. Lines
+    that are neither blank nor a valid record of either kind — a torn
+    append, bit rot — are reported through [warn] (default: a stderr
+    message) and skipped; corruption degrades to a recompute, never a
+    crash. *)
+
+val mark_unit : dir:string -> unit_entry -> unit
+(** Append one work-unit completion record (single [O_APPEND] write). *)
+
 val write_artifact : dir:string -> name:string -> string -> unit
 (** Atomically write [dir/name]. *)
 

@@ -315,8 +315,22 @@ let solve_body = "{\"topology\": \"rrg:12,6,3\", \"eps\": 0.2, \"gap\": 0.2}"
 
 let test_server_healthz_and_404 () =
   let srv = Server.create no_timeout_config in
-  Alcotest.(check int) "healthz" 200
-    (handle srv (mkreq ~meth:"GET" ~target:"/healthz" "")).Http.status;
+  let health = handle srv (mkreq ~meth:"GET" ~target:"/healthz" "") in
+  Alcotest.(check int) "healthz" 200 health.Http.status;
+  (* The body advertises what a coordinator admits workers on: the exact
+     solver version (digest comparability) and the handler capacity. *)
+  (match J.parse health.Http.body with
+  | Error msg -> Alcotest.fail ("healthz body: " ^ msg)
+  | Ok v ->
+      Alcotest.(check (option string)) "solver version advertised"
+        (Some Dcn_store.Digest_key.solver_version)
+        (Option.bind (J.member "solver_version" v) J.to_string_opt);
+      Alcotest.(check bool) "jobs at least 1" true
+        (match Option.bind (J.member "jobs" v) J.to_int_opt with
+        | Some jobs -> jobs >= 1
+        | None -> false);
+      Alcotest.(check (option bool)) "not draining" (Some false)
+        (Option.bind (J.member "draining" v) J.to_bool_opt));
   Alcotest.(check int) "unknown endpoint" 404
     (handle srv (mkreq ~meth:"GET" ~target:"/nope" "")).Http.status;
   Alcotest.(check int) "GET /solve" 405
