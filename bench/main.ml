@@ -366,10 +366,11 @@ let orchestrate_json ~serial_wall legs =
     Printf.sprintf
       "    {\"label\": \"%s\", \"workers\": %d, \"total\": %d, \"computed\": \
        %d, \"wall_s\": %s, \"speedup_vs_serial\": %s, \"dispatched\": %d, \
-       \"retried\": %d, \"hedged\": %d, \"evicted\": %d, \"per_worker\": [%s]}"
+       \"retried\": %d, \"hedged\": %d, \"discarded\": %d, \"evicted\": %d, \
+       \"per_worker\": [%s]}"
       (json_escape l.ol_label) l.ol_workers s.Orch.total s.Orch.computed
       (json_float s.Orch.wall_s) (json_float speedup) s.Orch.dispatched
-      s.Orch.retried s.Orch.hedged s.Orch.evicted
+      s.Orch.retried s.Orch.hedged s.Orch.discarded s.Orch.evicted
       (String.concat ", "
          (List.map
             (fun (worker, units) ->
@@ -531,7 +532,7 @@ let orchestrate_leg ~root ~label ~workers grid =
           let procs =
             List.init workers (fun index ->
                 Spawn.start ~exe ~scratch_dir:(Filename.concat dir "scratch")
-                  ~index ~jobs:1 ~cache_dir:(Some store_dir))
+                  ~index ~jobs:1 ~cache_dir:(Some store_dir) ())
           in
           Fun.protect
             ~finally:(fun () -> Spawn.stop procs)

@@ -37,7 +37,32 @@ let timeout_arg =
   in
   Arg.(value & opt float 300.0 & info [ "timeout" ] ~doc ~docv:"SECONDS")
 
-let run host port port_file queue timeout jobs cache_dir no_cache metrics trace =
+let access_log_arg =
+  let doc =
+    "Append one JSON line per request to $(docv): method, path, status, \
+     wall milliseconds, and for solves the digest plus whether this \
+     process led the solve or coalesced onto a leader."
+  in
+  Arg.(value & opt (some string) None & info [ "access-log" ] ~doc ~docv:"FILE")
+
+let trace_buffer_arg =
+  let doc =
+    "Buffer trace spans in memory for collection over $(b,GET /trace) \
+     (a coordinator merges fleet buffers into one timeline). Implied by \
+     $(b,--trace); with $(i,--trace-buffer) alone nothing is written \
+     locally on exit."
+  in
+  Arg.(value & flag & info [ "trace-buffer" ] ~doc)
+
+let log_tag_arg =
+  let doc =
+    "Prefix every daemon log line with [$(docv) pid=N] — how spawned \
+     fleet workers keep interleaved logs attributable."
+  in
+  Arg.(value & opt (some string) None & info [ "log-tag" ] ~doc ~docv:"TAG")
+
+let run host port port_file queue timeout jobs cache_dir no_cache metrics trace
+    access_log trace_buffer log_tag =
   (* jobs handler domains; the main thread only accepts. *)
   Core.Pool.set_workers jobs;
   ignore (Core.Cli.setup_store cache_dir no_cache);
@@ -51,6 +76,9 @@ let run host port port_file queue timeout jobs cache_dir no_cache metrics trace 
       port_file;
       metrics_file = metrics;
       trace_file = trace;
+      trace_buffer;
+      access_log;
+      log_tag;
     }
 
 let cmd =
@@ -75,6 +103,7 @@ let cmd =
     Term.(
       const run $ host_arg $ port_arg $ port_file_arg $ queue_arg $ timeout_arg
       $ Core.Cli.jobs_arg $ Core.Cli.cache_dir_arg $ Core.Cli.no_cache_arg
-      $ Core.Cli.metrics_arg $ Core.Cli.trace_arg)
+      $ Core.Cli.metrics_arg $ Core.Cli.trace_arg $ access_log_arg
+      $ trace_buffer_arg $ log_tag_arg)
 
 let () = exit (Cmd.eval cmd)

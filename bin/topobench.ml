@@ -736,6 +736,19 @@ let orchestrate_cmd =
                  computed results have landed, to exercise retry/eviction. \
                  0 disables; ignored unless workers are spawned.")
   in
+  let event_log_arg =
+    Arg.(value & opt (some string) None
+           & info [ "event-log" ] ~docv:"FILE"
+               ~doc:"Append one timestamped JSON line per scheduler decision \
+                     (dispatch, retry backoff, hedge, discard, eviction, \
+                     re-admission, health probe) to $(docv). Crash-safe \
+                     appends; a torn final line is tolerated by readers.")
+  in
+  let status_arg =
+    Arg.(value & flag & info [ "status" ]
+           ~doc:"Live status line on stderr: units done/in-flight/failed, \
+                 throughput, ETA, per-worker completions.")
+  in
   let print_outcome ~total counter (o : Orchestrator.outcome) =
     incr counter;
     let src =
@@ -763,9 +776,12 @@ let orchestrate_cmd =
     List.iter
       (fun (worker, n) -> Printf.printf "  %-24s %d unit(s)\n" worker n)
       s.Orchestrator.per_worker;
-    Printf.printf "  dispatched=%d retried=%d hedged=%d evicted=%d readmitted=%d\n"
+    Printf.printf
+      "  dispatched=%d retried=%d hedged=%d discarded=%d evicted=%d \
+       readmitted=%d\n"
       s.Orchestrator.dispatched s.Orchestrator.retried s.Orchestrator.hedged
-      s.Orchestrator.evicted s.Orchestrator.readmitted;
+      s.Orchestrator.discarded s.Orchestrator.evicted
+      s.Orchestrator.readmitted;
     List.iter
       (fun (unit_label, err) ->
         Printf.eprintf "orchestrate: FAILED %s: %s\n" unit_label err)
@@ -773,8 +789,13 @@ let orchestrate_cmd =
   in
   let run topos seeds traffics epses gaps routings serial workers worker_urls
       worker_jobs cache_dir resume unit_timeout max_attempts hedge_after
-      summary_json chaos_kill obs =
-    with_obs obs @@ fun () ->
+      summary_json chaos_kill event_log status_flag obs =
+    (* The merged fleet trace is the orchestrator's to write (it splices
+       the workers' buffers in); hand with_obs only metrics/progress so
+       it doesn't overwrite the merged file with coordinator-only spans
+       on exit. *)
+    let metrics, trace, progress = obs in
+    with_obs (metrics, None, progress) @@ fun () ->
     if seeds < 1 then begin
       prerr_endline "orchestrate: --seeds must be at least 1";
       exit 2
@@ -803,12 +824,12 @@ let orchestrate_cmd =
         ~finally:(fun () -> Spawn.stop !spawned)
         (fun () ->
           let exec =
-            if serial then Ok Orchestrator.Serial
+            if serial then Ok (Orchestrator.Serial, [])
             else
               match worker_urls with
               | _ :: _ ->
                   let rec parse acc = function
-                    | [] -> Ok (Orchestrator.Fleet (List.rev acc))
+                    | [] -> Ok (Orchestrator.Fleet (List.rev acc), [])
                     | url :: rest -> (
                         match Worker.parse_url url with
                         | Ok e -> parse (e :: acc) rest
@@ -837,21 +858,35 @@ let orchestrate_cmd =
                         let procs =
                           List.init workers (fun index ->
                               Spawn.start ~exe ~scratch_dir ~index
-                                ~jobs:worker_jobs ~cache_dir:(Some cache_dir))
+                                ~jobs:worker_jobs ~cache_dir:(Some cache_dir)
+                                ~trace_buffer:(trace <> None) ())
                         in
                         spawned := procs;
                         let rec await acc = function
-                          | [] -> Ok (Orchestrator.Fleet (List.rev acc))
+                          | [] -> Ok (List.rev acc)
                           | p :: rest -> (
                               match Spawn.endpoint p with
                               | Ok e -> await (e :: acc) rest
                               | Error msg -> Error msg)
                         in
-                        await [] procs)
+                        (match await [] procs with
+                        | Error msg -> Error msg
+                        | Ok endpoints ->
+                            let info =
+                              List.map2
+                                (fun p e ->
+                                  ( Worker.name e,
+                                    {
+                                      Orchestrator.wi_pid = Some p.Spawn.pid;
+                                      Orchestrator.wi_log = Some p.Spawn.log_file;
+                                    } ))
+                                procs endpoints
+                            in
+                            Ok (Orchestrator.Fleet endpoints, info)))
           in
           match exec with
           | Error msg -> Error msg
-          | Ok exec ->
+          | Ok (exec, worker_info) ->
               let total = Grid.size grid in
               let counter = ref 0 in
               let computed_seen = ref 0 in
@@ -871,8 +906,16 @@ let orchestrate_cmd =
                 | Orchestrator.From_cache -> ());
                 print_outcome ~total counter o
               in
+              let telemetry =
+                {
+                  Orchestrator.t_trace = trace;
+                  t_event_log = event_log;
+                  t_status = status_flag;
+                  t_worker_info = worker_info;
+                }
+              in
               Orchestrator.run ~scheduler ~unit_timeout_s:unit_timeout ~resume
-                ~on_outcome ~store ~grid exec)
+                ~telemetry ~on_outcome ~store ~grid exec)
     in
     match result with
     | Error msg ->
@@ -899,7 +942,8 @@ let orchestrate_cmd =
       $ routings_arg $ serial_arg $ workers_arg $ worker_urls_arg
       $ worker_jobs_arg $ cache_dir_required_arg $ resume_arg
       $ unit_timeout_arg $ max_attempts_arg $ hedge_after_arg
-      $ summary_json_arg $ chaos_kill_arg $ obs_args)
+      $ summary_json_arg $ chaos_kill_arg $ event_log_arg $ status_arg
+      $ obs_args)
 
 (* ---- main ---- *)
 

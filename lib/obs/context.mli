@@ -1,14 +1,16 @@
-(** Domain-local label stack naming the work currently executing.
+(** Domain-local context naming and identifying the work currently
+    executing: a label stack set by experiment drivers, plus an optional
+    distributed-trace identity (run trace id + unit id) installed by the
+    serving layer around remote solves.
 
-    Experiment drivers set the current figure name around their
-    computation; lower layers (per-sample spans, progress lines) read it
-    to label what they emit without threading a name through every call.
-
-    The stack is domain-local: labels set inside one pool task never leak
-    into tasks running on other domains. Code that fans work out to the
-    pool should capture {!get} {e before} submitting and bake the label
-    into the task closures (as {!Core.Scale.samples} does), because the
-    executing domain's own stack is unrelated to the submitter's. *)
+    Lower layers (per-sample spans, progress lines, the tracer) read the
+    context to tag what they emit without threading names through every
+    call. The context is domain-local: labels and ids set inside one pool
+    task never leak into tasks running on other domains. Code that fans
+    work out to the pool should capture {!capture} {e before} submitting
+    and bake it into the task closures; the pool wraps every task in
+    {!with_captured}, so both labels and trace ids follow work across
+    domains. *)
 
 val with_label : string -> (unit -> 'a) -> 'a
 (** Push the label for the duration of the callback (exception-safe). *)
@@ -16,13 +18,21 @@ val with_label : string -> (unit -> 'a) -> 'a
 val get : unit -> string option
 (** Innermost label on the calling domain, if any. *)
 
+val with_ids : trace:string -> unit_id:int -> (unit -> 'a) -> 'a
+(** Install a distributed-trace identity for the duration of the
+    callback (exception-safe). The tracer stamps every event recorded
+    while an identity is installed with ["trace"] and ["unit"] args, so
+    a worker's FPTAS/Dijkstra/cache spans carry the coordinator's ids. *)
+
+val ids : unit -> (string * int) option
+(** The calling domain's current trace identity, if any. *)
+
 type saved
-(** A captured label stack, ready to transplant onto another domain. *)
+(** A captured context, ready to transplant onto another domain. *)
 
 val capture : unit -> saved
-(** The calling domain's current stack. Cheap (one domain-local read). *)
+(** The calling domain's current context. Cheap (one domain-local read). *)
 
 val with_captured : saved -> (unit -> 'a) -> 'a
-(** Install a captured stack for the duration of the callback, restoring
-    the domain's own stack afterwards (exception-safe). The pool wraps
-    every task in this, so labels follow work across domains. *)
+(** Install a captured context for the duration of the callback,
+    restoring the domain's own context afterwards (exception-safe). *)

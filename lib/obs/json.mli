@@ -15,6 +15,11 @@ val number : float -> string
 (** A JSON-safe rendering of a float: ["%.6g"] for finite values, ["null"]
     for NaN and infinities (JSON has no literals for them). *)
 
+val mkdir_p : string -> unit
+(** Create the directory and any missing parents (0o755); concurrent
+    creators are fine. Raises [Sys_error] only if the path still is not
+    a directory afterwards. *)
+
 val atomic_write : path:string -> string -> unit
 (** Write [contents] to [path] via a staged temporary file in the same
     directory, [fsync], then [Sys.rename] — the same publish discipline

@@ -217,7 +217,7 @@ let merge a b =
       | None, None -> None)
     names
 
-let to_json snap =
+let to_json ?(meta = []) snap =
   let buf = Buffer.create 1024 in
   let section kind render =
     let entries =
@@ -235,6 +235,10 @@ let to_json snap =
     Buffer.add_char buf '}'
   in
   Buffer.add_string buf "{\n";
+  List.iter
+    (fun (k, v) ->
+      Buffer.add_string buf (Printf.sprintf "  %s: %s,\n" (Json.quote k) v))
+    meta;
   section "counters" (function
     | Counter_v n -> Some (string_of_int n)
     | Gauge_v _ | Histogram_v _ -> None);

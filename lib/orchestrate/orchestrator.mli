@@ -6,7 +6,13 @@
     (entries self-validate on read) is complete regardless of who
     computed it. Serial mode drives the full server dispatch stack
     in-process, so serial and distributed runs produce byte-identical
-    stores — the property the CI smoke job asserts with [diff -r]. *)
+    stores — the property the CI smoke job asserts with [diff -r].
+
+    Telemetry is strictly observational: the trace id rides in the
+    [x-dcn-trace] header (never the body, so digests are unchanged), and
+    no metric, span or event feeds back into any computation, so the
+    store stays byte-identical with telemetry on or off, at any worker
+    count. *)
 
 type exec =
   | Serial  (** In-process {!Dcn_serve.Server.handle}, one unit at a time. *)
@@ -28,6 +34,51 @@ type outcome = {
           manifest-recorded original time when available, else 0. *)
 }
 
+type worker_info = {
+  wi_pid : int option;  (** The daemon's pid, when the caller spawned it. *)
+  wi_log : string option;  (** Its log file, for the summary. *)
+}
+
+(** What to observe, all off by default ({!no_telemetry}). *)
+type telemetry = {
+  t_trace : string option;
+      (** Write a merged Perfetto trace here: the coordinator's dispatch
+          spans plus every worker's drained [GET /trace] buffer, one
+          process track per participant, flow arrows from each dispatch
+          to its remote solve. Spawned fleets should enable the workers'
+          [--trace-buffer]. *)
+  t_event_log : string option;
+      (** Append one JSON line per scheduler decision (dispatch, retry
+          backoff, hedge, first-result-wins discard, eviction,
+          re-admission, health probe) plus run_start/cache_replay/
+          run_end markers; see {!Dcn_obs.Event_log}. *)
+  t_status : bool;  (** Live stderr status line ({!Status}). *)
+  t_worker_info : (string * worker_info) list;
+      (** Worker name ({!Worker.name}) → spawn-time identity, folded
+          into the summary's per-worker stats. *)
+}
+
+val no_telemetry : telemetry
+
+(** Per-worker rollup from the worker's own [/metrics] registry: the
+    delta between admission and completion, so a shared long-lived
+    daemon reports only this run's work (plus anything concurrent). *)
+type worker_stat = {
+  ws_worker : string;
+  ws_pid : int option;
+  ws_log : string option;
+  ws_units : int;  (** Units this worker completed (scheduler view). *)
+  ws_solves : int;  (** [serve.solve.requests] delta. *)
+  ws_cache_hits : int;  (** [store.hits] delta. *)
+  ws_cache_misses : int;  (** [store.misses] delta. *)
+  ws_solve_p50_s : float option;
+      (** Bucketed quantiles of [fptas.solve_s]; [None] when the worker
+          recorded no solves or the rank fell in the overflow bucket. *)
+  ws_solve_p95_s : float option;
+  ws_solve_p99_s : float option;
+  ws_queue_p95_s : float option;  (** [pool.queue_wait_s] p95. *)
+}
+
 type summary = {
   total : int;
   from_cache : int;
@@ -36,19 +87,30 @@ type summary = {
   dispatched : int;
   retried : int;
   hedged : int;
+  discarded : int;  (** Hedge losers dropped (first-result-wins). *)
   evicted : int;
   readmitted : int;
   failed : (string * string) list;  (** (unit label, error). *)
   wall_s : float;
+  trace_id : string option;
+      (** The run's trace id (minted when any telemetry is on) — the
+          ["trace"] arg on every span of this run, local and remote. *)
+  worker_stats : worker_stat list;
 }
 
 val summary_to_json : summary -> string
+(** Renders every field, plus a ["sched"] object holding the decision
+    counts (dispatched/retried/hedged/discarded/evicted/readmitted/
+    completed/failed) — the same numbers the [sched.*] counters track
+    and the event log records line by line, so the three views
+    reconcile. *)
 
 val run :
   ?scheduler:Scheduler.config ->
   ?unit_timeout_s:float ->
   ?probe_timeout_s:float ->
   ?resume:bool ->
+  ?telemetry:telemetry ->
   ?on_outcome:(outcome -> unit) ->
   store:Dcn_store.Store.t ->
   grid:Grid.t ->
@@ -61,8 +123,12 @@ val run :
     for timing/warnings — completion itself is always re-verified
     against the store, and a recorded unit whose entry is missing or
     corrupt is recomputed with a stderr warning, never trusted.
-    [on_outcome] streams results as they land (serialized; called from
-    worker threads). Outcomes are returned sorted by unit id. [Error]
-    is orchestration-level (unreachable/mismatched fleet, all workers
-    lost); per-unit failures land in [summary.failed]. The summary is
-    also written as the [summary.json] manifest artifact. *)
+    [telemetry] (default {!no_telemetry}) adds the merged trace, the
+    structured event log, the live status line and per-worker metrics
+    deltas; serial runs observe the in-process pipeline with a single
+    ["serial"] worker track. [on_outcome] streams results as they land
+    (serialized; called from worker threads). Outcomes are returned
+    sorted by unit id. [Error] is orchestration-level (unreachable/
+    mismatched fleet, all workers lost); per-unit failures land in
+    [summary.failed]. The summary is also written as the [summary.json]
+    manifest artifact. *)

@@ -32,17 +32,27 @@
    the unit immediately. Eviction is reversible: the health thread
    probes every worker each [health_period_s] and re-admits one whose
    probe succeeds again. If every worker is evicted and there is no
-   health probe to re-admit any, the run aborts instead of spinning. *)
+   health probe to re-admit any, the run aborts instead of spinning.
+
+   Observability: every decision the policy takes is surfaced twice —
+   as a [sched.*] counter and as a typed {!event} delivered to
+   [?on_event]. Events are collected under the lock but delivered
+   OUTSIDE it (same discipline as [?on_result]), so a listener that
+   blocks — an event-log write, a status repaint — can never deadlock
+   or stall the dispatch path. *)
 
 module Metrics = Dcn_obs.Metrics
 module Clock = Dcn_obs.Clock
 
-let m_dispatched = Metrics.counter "orch.dispatched"
-let m_retried = Metrics.counter "orch.retried"
-let m_hedged = Metrics.counter "orch.hedged"
-let m_evicted = Metrics.counter "orch.evicted"
-let m_readmitted = Metrics.counter "orch.readmitted"
-let m_completed = Metrics.counter "orch.completed"
+let m_dispatched = Metrics.counter "sched.dispatched"
+let m_retried = Metrics.counter "sched.retried"
+let m_hedged = Metrics.counter "sched.hedged"
+let m_discarded = Metrics.counter "sched.discarded"
+let m_evicted = Metrics.counter "sched.evicted"
+let m_readmitted = Metrics.counter "sched.readmitted"
+let m_completed = Metrics.counter "sched.completed"
+let m_failed = Metrics.counter "sched.failed"
+let m_probes = Metrics.counter "sched.probes"
 
 type error_class = Fatal of string | Retry of string
 
@@ -67,6 +77,36 @@ let default_config =
     poll_s = 0.02;
   }
 
+type event =
+  | Dispatch of {
+      unit_id : int;
+      label : string;
+      worker : int;
+      attempt : int;
+      hedged : bool;
+    }
+  | Complete of {
+      unit_id : int;
+      label : string;
+      worker : int;
+      attempts : int;
+      hedged : bool;
+      seconds : float;
+    }
+  | Discard of { unit_id : int; label : string; worker : int; seconds : float }
+  | Backoff of {
+      unit_id : int;
+      label : string;
+      worker : int;
+      failures : int;
+      backoff_s : float;
+      error : string;
+    }
+  | Unit_failed of { unit_id : int; label : string; worker : int; error : string }
+  | Evict of { worker : int }
+  | Readmit of { worker : int }
+  | Probe of { worker : int; ok : bool }
+
 type 'w result_ = {
   r_unit : Grid.unit_;
   r_body : string;
@@ -80,6 +120,7 @@ type stats = {
   dispatched : int;
   retried : int;
   hedged : int;
+  discarded : int;
   evicted : int;
   readmitted : int;
   per_worker : int array;
@@ -117,6 +158,7 @@ type counters = {
   mutable c_dispatched : int;
   mutable c_retried : int;
   mutable c_hedged : int;
+  mutable c_discarded : int;
   mutable c_evicted : int;
   mutable c_readmitted : int;
 }
@@ -124,7 +166,7 @@ type counters = {
 let ns_of_s s = Int64.of_float (s *. 1e9)
 
 let run ?(config = default_config) ~workers ~capacity ~transport ?health
-    ?on_result units =
+    ?on_event ?on_result units =
   let n = Array.length workers in
   if n = 0 then invalid_arg "Scheduler.run: no workers";
   if config.max_attempts < 1 then invalid_arg "Scheduler.run: max_attempts < 1";
@@ -150,13 +192,20 @@ let run ?(config = default_config) ~workers ~capacity ~transport ?health
         { evicted = false; consecutive_failures = 0; completed = 0 })
   in
   let c =
-    { c_dispatched = 0; c_retried = 0; c_hedged = 0; c_evicted = 0;
-      c_readmitted = 0 }
+    { c_dispatched = 0; c_retried = 0; c_hedged = 0; c_discarded = 0;
+      c_evicted = 0; c_readmitted = 0 }
   in
   let m = Mutex.create () in
   let remaining = ref (Array.length us) in  (* units still Pending *)
   let results = ref [] in
   let abort = ref None in
+  (* Events queue up under the lock (into the caller's per-region list)
+     and flush to the listener after unlock, preserving order. *)
+  let flush_events evq =
+    match on_event with
+    | None -> ()
+    | Some f -> List.iter f (List.rev evq)
+  in
   (* under lock *)
   let finished () = !remaining = 0 || Option.is_some !abort in
   let other_live widx =
@@ -164,11 +213,12 @@ let run ?(config = default_config) ~workers ~capacity ~transport ?health
     Array.iteri (fun i w -> if i <> widx && not w.evicted then found := true) ws;
     !found
   in
-  let evict widx =
+  let evict ~evq widx =
     if not ws.(widx).evicted then begin
       ws.(widx).evicted <- true;
       c.c_evicted <- c.c_evicted + 1;
       Metrics.incr m_evicted;
+      evq := Evict { worker = widx } :: !evq;
       if
         Option.is_none health
         && Array.for_all (fun w -> w.evicted) ws
@@ -231,9 +281,17 @@ let run ?(config = default_config) ~workers ~capacity ~transport ?health
   in
   (* Under lock. Returns the result to report outside the lock, or None
      when a hedge twin already won — the duplicate bytes are discarded. *)
-  let settle_ok st widx ~hedged ~seconds body =
+  let settle_ok ~evq st widx ~hedged ~seconds body =
     match st.status with
-    | Done -> None
+    | Done ->
+        Metrics.incr m_discarded;
+        c.c_discarded <- c.c_discarded + 1;
+        evq :=
+          Discard
+            { unit_id = st.u.Grid.id; label = st.u.Grid.label; worker = widx;
+              seconds }
+          :: !evq;
+        None
     | (Pending | Failed _) as before ->
         (match before with
         | Pending -> remaining := !remaining - 1
@@ -253,32 +311,43 @@ let run ?(config = default_config) ~workers ~capacity ~transport ?health
           }
         in
         results := r :: !results;
+        evq :=
+          Complete
+            { unit_id = st.u.Grid.id; label = st.u.Grid.label; worker = widx;
+              attempts = st.attempts; hedged; seconds }
+          :: !evq;
         Some r
   in
-  let settle_err st widx err =
+  let settle_err ~evq st widx err =
     match st.status with
     | Done | Failed _ -> ()  (* late duplicate; the unit is settled *)
     | Pending -> (
         st.failures <- st.failures + 1;
         st.last_failed_on <- widx;
+        let fail msg =
+          st.status <- Failed msg;
+          remaining := !remaining - 1;
+          Metrics.incr m_failed;
+          evq :=
+            Unit_failed
+              { unit_id = st.u.Grid.id; label = st.u.Grid.label; worker = widx;
+                error = msg }
+            :: !evq
+        in
         match err with
         | Fatal msg ->
             (* The request itself is bad — no worker would answer
                differently; not held against this worker. *)
-            st.status <- Failed msg;
-            remaining := !remaining - 1
+            fail msg
         | Retry msg ->
             ws.(widx).consecutive_failures <-
               ws.(widx).consecutive_failures + 1;
             if ws.(widx).consecutive_failures >= config.evict_after then
-              evict widx;
-            if st.failures >= config.max_attempts && st.running_on = [] then begin
-              st.status <-
-                Failed
-                  (Printf.sprintf "gave up after %d attempts; last error: %s"
-                     st.failures msg);
-              remaining := !remaining - 1
-            end
+              evict ~evq widx;
+            if st.failures >= config.max_attempts && st.running_on = [] then
+              fail
+                (Printf.sprintf "gave up after %d attempts; last error: %s"
+                   st.failures msg)
             else begin
               c.c_retried <- c.c_retried + 1;
               Metrics.incr m_retried;
@@ -287,7 +356,13 @@ let run ?(config = default_config) ~workers ~capacity ~transport ?health
                   (config.backoff_base_s
                   *. (2.0 ** float_of_int (st.failures - 1)))
               in
-              st.not_before_ns <- Int64.add (Clock.now_ns ()) (ns_of_s backoff)
+              st.not_before_ns <- Int64.add (Clock.now_ns ()) (ns_of_s backoff);
+              evq :=
+                Backoff
+                  { unit_id = st.u.Grid.id; label = st.u.Grid.label;
+                    worker = widx; failures = st.failures; backoff_s = backoff;
+                    error = msg }
+                :: !evq
             end)
   in
   let worker_loop widx () =
@@ -317,7 +392,14 @@ let run ?(config = default_config) ~workers ~capacity ~transport ?health
               c.c_hedged <- c.c_hedged + 1;
               Metrics.incr m_hedged
             end;
+            let attempt = st.attempts in
             Mutex.unlock m;
+            flush_events
+              [
+                Dispatch
+                  { unit_id = st.u.Grid.id; label = st.u.Grid.label;
+                    worker = widx; attempt; hedged };
+              ];
             let t0 = Clock.now_ns () in
             (* The blocking call; must return Error, not raise (the HTTP
                transport guarantees this). *)
@@ -325,14 +407,16 @@ let run ?(config = default_config) ~workers ~capacity ~transport ?health
             let seconds = Clock.elapsed_s t0 in
             Mutex.lock m;
             st.running_on <- List.filter (fun i -> i <> widx) st.running_on;
+            let evq = ref [] in
             let report =
               match answer with
-              | Ok body -> settle_ok st widx ~hedged ~seconds body
+              | Ok body -> settle_ok ~evq st widx ~hedged ~seconds body
               | Error err ->
-                  settle_err st widx err;
+                  settle_err ~evq st widx err;
                   None
             in
             Mutex.unlock m;
+            flush_events !evq;
             (match report with
             | Some r -> (
                 match on_result with Some f -> f r | None -> ())
@@ -357,15 +441,19 @@ let run ?(config = default_config) ~workers ~capacity ~transport ?health
             (* The probe blocks (bounded by its own timeout): outside the
                lock. *)
             let ok = probe w in
+            Metrics.incr m_probes;
+            let evq = ref [ Probe { worker = i; ok } ] in
             Mutex.lock m;
             if ok && ws.(i).evicted then begin
               ws.(i).evicted <- false;
               ws.(i).consecutive_failures <- 0;
               c.c_readmitted <- c.c_readmitted + 1;
-              Metrics.incr m_readmitted
+              Metrics.incr m_readmitted;
+              evq := Readmit { worker = i } :: !evq
             end
-            else if (not ok) && not ws.(i).evicted then evict i;
-            Mutex.unlock m)
+            else if (not ok) && not ws.(i).evicted then evict ~evq i;
+            Mutex.unlock m;
+            flush_events !evq)
           workers;
         (* Sleep in poll-sized ticks so completion ends the thread
            promptly. *)
@@ -386,6 +474,7 @@ let run ?(config = default_config) ~workers ~capacity ~transport ?health
       dispatched = c.c_dispatched;
       retried = c.c_retried;
       hedged = c.c_hedged;
+      discarded = c.c_discarded;
       evicted = c.c_evicted;
       readmitted = c.c_readmitted;
       per_worker = Array.map (fun w -> w.completed) ws;

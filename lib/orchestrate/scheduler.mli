@@ -43,6 +43,42 @@ val default_config : config
 (** 4 attempts, 50 ms base / 2 s cap backoff, hedge after 1 s, evict
     after 3, 1 s health period, 20 ms poll. *)
 
+(** One typed event per scheduler decision, delivered to [?on_event] in
+    decision order, outside the scheduler lock (a blocking listener —
+    event-log append, status repaint — can never stall dispatch).
+    [worker] is an index into the [workers] array throughout. *)
+type event =
+  | Dispatch of {
+      unit_id : int;
+      label : string;
+      worker : int;
+      attempt : int;  (** 1-based dispatch count for this unit. *)
+      hedged : bool;
+    }
+  | Complete of {
+      unit_id : int;
+      label : string;
+      worker : int;
+      attempts : int;
+      hedged : bool;
+      seconds : float;
+    }
+  | Discard of { unit_id : int; label : string; worker : int; seconds : float }
+      (** A hedge loser's bytes arrived after its twin won
+          (first-result-wins). *)
+  | Backoff of {
+      unit_id : int;
+      label : string;
+      worker : int;
+      failures : int;
+      backoff_s : float;
+      error : string;
+    }
+  | Unit_failed of { unit_id : int; label : string; worker : int; error : string }
+  | Evict of { worker : int }
+  | Readmit of { worker : int }
+  | Probe of { worker : int; ok : bool }
+
 type 'w result_ = {
   r_unit : Grid.unit_;
   r_body : string;  (** The winning 200 response body. *)
@@ -56,6 +92,7 @@ type stats = {
   dispatched : int;
   retried : int;
   hedged : int;
+  discarded : int;  (** Hedge losers whose results were dropped. *)
   evicted : int;
   readmitted : int;
   per_worker : int array;  (** Completions, indexed like [workers]. *)
@@ -73,6 +110,7 @@ val run :
   capacity:(int -> 'w -> int) ->
   transport:('w -> Grid.unit_ -> (string, error_class) result) ->
   ?health:('w -> bool) ->
+  ?on_event:(event -> unit) ->
   ?on_result:('w result_ -> unit) ->
   Grid.unit_ list ->
   ('w outcome, string) result
@@ -81,8 +119,13 @@ val run :
     handler count) plus, when [health] is given, one probe thread that
     evicts failing workers and re-admits recovering ones. [transport]
     and [health] run outside the scheduler lock and must return rather
-    than raise. [on_result] fires once per unit, on the winning
-    attempt's thread, as results land (streaming). [Error] only for
-    scheduler-level aborts (every worker evicted with no health probe);
-    per-unit failures are reported in [failed]. Also bumps the
-    [orch.*] metrics counters. *)
+    than raise. [on_event] receives every scheduler decision, in order,
+    outside the lock; it may be called concurrently from different
+    worker threads, so listeners synchronize internally (both
+    {!Dcn_obs.Event_log.log} and {!Status.event} do). [on_result] fires
+    once per unit, on the winning attempt's thread, as results land
+    (streaming). [Error] only for scheduler-level aborts (every worker
+    evicted with no health probe); per-unit failures are reported in
+    [failed]. Also bumps the [sched.*] metrics counters (dispatched,
+    retried, hedged, discarded, evicted, readmitted, completed, failed,
+    probes). *)

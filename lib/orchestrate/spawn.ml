@@ -40,7 +40,8 @@ let find_exe () =
             "dcn_served.exe";
         ]
 
-let start ~exe ~scratch_dir ~index ~jobs ~cache_dir =
+let start ?(trace_buffer = false) ?(access_log = false) ~exe ~scratch_dir
+    ~index ~jobs ~cache_dir () =
   mkdir_p scratch_dir;
   let port_file =
     Filename.concat scratch_dir (Printf.sprintf "worker%d.port" index)
@@ -51,10 +52,20 @@ let start ~exe ~scratch_dir ~index ~jobs ~cache_dir =
   in
   let args =
     [ exe; "--host"; "127.0.0.1"; "--port"; "0"; "--port-file"; port_file;
-      "--jobs"; string_of_int jobs ]
+      "--jobs"; string_of_int jobs;
+      (* Interleaved fleet logs must stay attributable to a worker. *)
+      "--log-tag"; Printf.sprintf "worker%d" index ]
     @ (match cache_dir with
       | Some d -> [ "--cache-dir"; d ]
       | None -> [ "--no-cache" ])
+    @ (if trace_buffer then [ "--trace-buffer" ] else [])
+    @
+    if access_log then
+      [
+        "--access-log";
+        Filename.concat scratch_dir (Printf.sprintf "worker%d.access.jsonl" index);
+      ]
+    else []
   in
   let log_fd =
     Unix.openfile log_file [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644

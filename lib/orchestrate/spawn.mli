@@ -19,15 +19,22 @@ val find_exe : unit -> string option
     relative to it — the dune build layout. *)
 
 val start :
+  ?trace_buffer:bool ->
+  ?access_log:bool ->
   exe:string ->
   scratch_dir:string ->
   index:int ->
   jobs:int ->
   cache_dir:string option ->
+  unit ->
   proc
 (** Fork one daemon. [cache_dir] should be the coordinator's store root:
     sharing it is what makes a distributed run's store byte-identical to
-    a serial run's. [None] passes [--no-cache]. *)
+    a serial run's. [None] passes [--no-cache]. Every worker runs with
+    [--log-tag workerN], so its log lines carry its identity and pid.
+    [trace_buffer] (default false) starts the daemon with tracing
+    buffered for [GET /trace] collection; [access_log] (default false)
+    adds [--access-log <scratch>/workerN.access.jsonl]. *)
 
 val endpoint : ?wait_s:float -> proc -> (Worker.endpoint, string) result
 (** Poll the port file (50 ms ticks, default 30 s budget) until the

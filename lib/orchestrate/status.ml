@@ -1,0 +1,107 @@
+(* Live orchestration status: a single stderr line, repainted in place
+   from the scheduler's event stream. The listener contract (see
+   Scheduler.run) is that on_event may fire concurrently from worker
+   threads, so all state lives behind one mutex; repaints are throttled
+   so a fast fleet doesn't turn stderr into a firehose. *)
+
+module Clock = Dcn_obs.Clock
+
+type t = {
+  out : out_channel;
+  total : int;
+  workers : string array;
+  lock : Mutex.t;
+  mutable done_ : int;  (* computed units completed *)
+  mutable cached : int;  (* store replays, never dispatched *)
+  mutable inflight : int;
+  mutable failed : int;
+  per_worker : int array;
+  t0 : int64;
+  mutable last_paint_ns : int64;
+  mutable last_len : int;  (* previous line length, for \r clearing *)
+}
+
+let repaint_period_ns = 200_000_000L
+
+let create ?(out = stderr) ~total ~workers () =
+  {
+    out;
+    total;
+    workers;
+    lock = Mutex.create ();
+    done_ = 0;
+    cached = 0;
+    inflight = 0;
+    failed = 0;
+    per_worker = Array.make (max 1 (Array.length workers)) 0;
+    t0 = Clock.now_ns ();
+    last_paint_ns = 0L;
+    last_len = 0;
+  }
+
+let render t =
+  let finished = t.done_ + t.cached in
+  let elapsed = Int64.to_float (Int64.sub (Clock.now_ns ()) t.t0) /. 1e9 in
+  let rate = if elapsed > 0.0 then float_of_int t.done_ /. elapsed else 0.0 in
+  let remaining = t.total - finished - t.failed in
+  let eta =
+    if remaining <= 0 then " | done"
+    else if rate <= 0.0 then ""
+    else Printf.sprintf " | ETA %.0fs" (float_of_int remaining /. rate)
+  in
+  let per_worker =
+    if Array.length t.workers = 0 then ""
+    else
+      " | "
+      ^ String.concat " "
+          (Array.to_list
+             (Array.mapi
+                (fun i w -> Printf.sprintf "%s:%d" w t.per_worker.(i))
+                t.workers))
+  in
+  Printf.sprintf
+    "[orchestrate] %d/%d units (%d cached) | in-flight %d | failed %d | %.1f \
+     u/s%s%s"
+    finished t.total t.cached t.inflight t.failed rate eta per_worker
+
+(* Caller holds the lock. *)
+let paint ?(force = false) t =
+  let now = Clock.now_ns () in
+  if force || Int64.sub now t.last_paint_ns >= repaint_period_ns then begin
+    t.last_paint_ns <- now;
+    let line = render t in
+    let pad = max 0 (t.last_len - String.length line) in
+    t.last_len <- String.length line;
+    Printf.fprintf t.out "\r%s%s%!" line (String.make pad ' ')
+  end
+
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let cache_hit t =
+  locked t (fun () ->
+      t.cached <- t.cached + 1;
+      paint t)
+
+let event t (ev : Scheduler.event) =
+  locked t (fun () ->
+      (match ev with
+      | Scheduler.Dispatch _ -> t.inflight <- t.inflight + 1
+      | Scheduler.Complete { worker; _ } ->
+          t.inflight <- max 0 (t.inflight - 1);
+          t.done_ <- t.done_ + 1;
+          if worker >= 0 && worker < Array.length t.per_worker then
+            t.per_worker.(worker) <- t.per_worker.(worker) + 1
+      | Scheduler.Discard _ | Scheduler.Backoff _ ->
+          t.inflight <- max 0 (t.inflight - 1)
+      | Scheduler.Unit_failed _ ->
+          t.inflight <- max 0 (t.inflight - 1);
+          t.failed <- t.failed + 1
+      | Scheduler.Evict _ | Scheduler.Readmit _ | Scheduler.Probe _ -> ());
+      paint t)
+
+let finish t =
+  locked t (fun () ->
+      paint ~force:true t;
+      Printf.fprintf t.out "\n%!")

@@ -1,0 +1,24 @@
+(** Live orchestration status: one stderr line repainted in place from
+    the scheduler's event stream — units finished / in-flight / failed,
+    throughput, ETA, and per-worker completion counts.
+
+    Thread-safe: {!event} is a valid [Scheduler.run ?on_event] listener
+    (may be called concurrently from worker threads). Repaints are
+    throttled to ~5 Hz; {!finish} forces a final paint and ends the
+    line. *)
+
+type t
+
+val create : ?out:out_channel -> total:int -> workers:string array -> unit -> t
+(** [total] is the full unit count (cache replays included); [workers]
+    the display names indexed like the scheduler's worker array (use
+    [[|"serial"|]] for serial runs). [out] defaults to [stderr]. *)
+
+val cache_hit : t -> unit
+(** Count a store replay (a unit finished without any dispatch). *)
+
+val event : t -> Scheduler.event -> unit
+(** Fold one scheduler decision into the view and maybe repaint. *)
+
+val finish : t -> unit
+(** Final forced repaint plus a newline, releasing the line. *)

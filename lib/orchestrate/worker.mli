@@ -32,9 +32,38 @@ val alive : ?timeout_s:float -> endpoint -> bool
 
 val solve :
   ?timeout_s:float ->
+  ?trace:string ->
   endpoint ->
   body:string ->
   (string, Scheduler.error_class) result
 (** [POST /solve]. [Ok] carries the 200 body; transport errors and
     408/429/5xx are {!Scheduler.Retry}, other 4xx {!Scheduler.Fatal}.
-    [timeout_s] bounds connect and each read/write. *)
+    [timeout_s] bounds connect and each read/write. [trace] — a
+    [trace_id/unit_id/flow_id] triple — is sent as the [x-dcn-trace]
+    header, so the worker's solve spans inherit the coordinator's ids;
+    it is a header, not body, hence excluded from the digest. *)
+
+val metrics :
+  ?timeout_s:float -> endpoint -> (Dcn_obs.Metrics.snapshot, string) result
+(** [GET /metrics], decoded through {!Dcn_serve.Metrics_io} into the
+    local snapshot algebra (diff/merge-ready). Default timeout 5 s. *)
+
+type trace_dump = {
+  t_pid : int;  (** The worker process's pid — its process track id. *)
+  t_uptime_ns : int64;
+  t_events : string;
+      (** Raw contents of the ["events"] array (comma-separated trace
+          event objects), spliced verbatim into a merged trace. *)
+}
+
+val trace_dump :
+  ?timeout_s:float ->
+  ?epoch_ns:int64 ->
+  ?drain:bool ->
+  endpoint ->
+  (trace_dump, string) result
+(** [GET /trace]. [epoch_ns] asks the worker to render timestamps
+    relative to the caller's trace epoch ({!Dcn_obs.Trace.epoch_ns}),
+    aligning both processes' events on one timeline (same-host
+    monotonic clocks share a zero). [drain] empties the worker's
+    buffers as they are read. Default timeout 10 s. *)

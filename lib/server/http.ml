@@ -113,6 +113,29 @@ let parse_header line =
 
 let header name (req : request) = List.assoc_opt name req.headers
 
+(* Split a request target into path and query parameters. The closed
+   world needs no percent-decoding: every parameter the daemon accepts is
+   numeric ([drain=1], [epoch_ns=...]). A key without [=] maps to "". *)
+let split_target target =
+  match String.index_opt target '?' with
+  | None -> (target, [])
+  | Some i ->
+      let path = String.sub target 0 i in
+      let query = String.sub target (i + 1) (String.length target - i - 1) in
+      let params =
+        String.split_on_char '&' query
+        |> List.filter_map (fun kv ->
+               if kv = "" then None
+               else
+                 match String.index_opt kv '=' with
+                 | None -> Some (kv, "")
+                 | Some j ->
+                     Some
+                       ( String.sub kv 0 j,
+                         String.sub kv (j + 1) (String.length kv - j - 1) ))
+      in
+      (path, params)
+
 let read_request ~max_body fd =
   let r = make_reader fd in
   let* first = read_line r ~max:8192 in
@@ -202,7 +225,8 @@ let connect_opt_timeout fd addr ~host ~port timeout_s =
       Unix.setsockopt_float fd Unix.SO_RCVTIMEO t;
       Unix.setsockopt_float fd Unix.SO_SNDTIMEO t
 
-let client_request ~host ~port ~meth ~target ?(body = "") ?timeout_s () =
+let client_request ~host ~port ~meth ~target ?(headers = []) ?(body = "")
+    ?timeout_s () =
   match
     try Ok (Unix.gethostbyname host).Unix.h_addr_list.(0)
     with Not_found -> (
@@ -226,9 +250,15 @@ let client_request ~host ~port ~meth ~target ?(body = "") ?timeout_s () =
               Printf.sprintf "Content-Type: application/json\r\nContent-Length: %d\r\n"
                 (String.length body)
           in
+          let extra =
+            String.concat ""
+              (List.map
+                 (fun (name, value) -> Printf.sprintf "%s: %s\r\n" name value)
+                 headers)
+          in
           write_all fd
-            (Printf.sprintf "%s %s HTTP/1.1\r\nHost: %s\r\n%sConnection: close\r\n\r\n%s"
-               meth target host content body);
+            (Printf.sprintf "%s %s HTTP/1.1\r\nHost: %s\r\n%s%sConnection: close\r\n\r\n%s"
+               meth target host extra content body);
           let r = make_reader fd in
           let fail e =
             Error

@@ -44,11 +44,18 @@ val write_response : Unix.file_descr -> response -> unit
 val header : string -> request -> string option
 (** Case-insensitive header lookup (pass the name in lowercase). *)
 
+val split_target : string -> string * (string * string) list
+(** Split a request target into path and query parameters:
+    [split_target "/trace?drain=1&epoch_ns=5"] is
+    [("/trace", [("drain", "1"); ("epoch_ns", "5")])]. No
+    percent-decoding — every parameter the daemon accepts is numeric. *)
+
 val client_request :
   host:string ->
   port:int ->
   meth:string ->
   target:string ->
+  ?headers:(string * string) list ->
   ?body:string ->
   ?timeout_s:float ->
   unit ->
@@ -59,4 +66,5 @@ val client_request :
     malformed response), never HTTP statuses, and never exceptions.
     [timeout_s] bounds the connect and each subsequent read/write
     (kernel [SO_RCVTIMEO]/[SO_SNDTIMEO]); omitted means block
-    indefinitely, as before. *)
+    indefinitely, as before. [headers] adds extra request headers (e.g.
+    [x-dcn-trace]) after [Host]. *)

@@ -28,7 +28,9 @@
 module Metrics = Dcn_obs.Metrics
 module Clock = Dcn_obs.Clock
 module Trace = Dcn_obs.Trace
+module Context = Dcn_obs.Context
 module Json = Dcn_obs.Json
+module Event_log = Dcn_obs.Event_log
 
 type config = {
   host : string;
@@ -39,6 +41,9 @@ type config = {
   port_file : string option;
   metrics_file : string option;
   trace_file : string option;
+  trace_buffer : bool;
+  access_log : string option;
+  log_tag : string option;
 }
 
 let default_config =
@@ -51,15 +56,28 @@ let default_config =
     port_file = None;
     metrics_file = None;
     trace_file = None;
+    trace_buffer = false;
+    access_log = None;
+    log_tag = None;
   }
 
 type t = {
   config : config;
   coalesce : string Coalesce.t;  (* digest -> rendered 200 body *)
   inflight : int Atomic.t;
+  started_ns : int64;
+  access : Event_log.t option;
 }
 
-let create config = { config; coalesce = Coalesce.create (); inflight = Atomic.make 0 }
+let create config =
+  {
+    config;
+    coalesce = Coalesce.create ();
+    inflight = Atomic.make 0;
+    started_ns = Clock.now_ns ();
+    access = Option.map (fun path -> Event_log.create path) config.access_log;
+  }
+
 let coalesce_pending t = Coalesce.pending t.coalesce
 
 (* ---- metrics ---- *)
@@ -153,14 +171,41 @@ let with_deadline deadline f =
 
 let ns_of_s s = Int64.of_float (s *. 1e9)
 
+(* What the access log wants to know about a handled request beyond the
+   response itself: the solve digest (when the body resolved to one) and
+   whether this request led the coalesced solve or rode on a leader. *)
+type served = {
+  resp : Http.response;
+  sv_digest : string option;
+  sv_role : string option;  (* "led" | "coalesced" *)
+}
+
+let plain resp = { resp; sv_digest = None; sv_role = None }
+
+(* The coordinator's dispatch identity rides in one header —
+   [x-dcn-trace: trace_id/unit_id/flow_id] — and is deliberately not part
+   of the request body, so it is excluded from the digest the same way
+   [timeout_s] is: telemetry must never change what result bytes a
+   request maps to. *)
+let parse_trace_header (req : Http.request) =
+  match Http.header "x-dcn-trace" req with
+  | None -> None
+  | Some v -> (
+      match String.split_on_char '/' v with
+      | [ trace; unit_id; flow ] when trace <> "" -> (
+          match (int_of_string_opt unit_id, int_of_string_opt flow) with
+          | Some u, Some f -> Some (trace, u, f)
+          | _ -> None)
+      | _ -> None)
+
 let handle_solve t ~accept_ns (httpreq : Http.request) =
   Metrics.incr m_solves;
   match Request.of_body httpreq.Http.body with
-  | Error msg -> error_response 400 msg
+  | Error msg -> plain (error_response 400 msg)
   | Ok req -> (
       match Request.resolve req with
       | exception (Invalid_argument msg | Failure msg | Sys_error msg) ->
-          error_response 400 msg
+          plain (error_response 400 msg)
       | resolved -> (
           let digest = Request.digest req resolved in
           let deadline =
@@ -171,56 +216,139 @@ let handle_solve t ~accept_ns (httpreq : Http.request) =
           let timed_out () =
             match deadline with Some d -> Clock.now_ns () > d | None -> false
           in
+          let with_digest sv_role resp =
+            { resp; sv_digest = Some digest; sv_role }
+          in
           if timed_out () then
-            error_response 504 "deadline exceeded before the solve started"
+            with_digest None
+              (error_response 504 "deadline exceeded before the solve started")
           else
+            let trace_ids = parse_trace_header httpreq in
             let outcome =
               Coalesce.run t.coalesce ~key:digest (fun () ->
                   Metrics.incr m_led;
-                  Trace.with_span ~cat:"serve" ("solve " ^ digest) (fun () ->
-                      with_deadline deadline (fun () ->
-                          let lambda, bounds = compute_solve req resolved in
-                          solve_body ~digest ~req ~resolved ~lambda ~bounds)))
+                  let solve () =
+                    Trace.with_span ~cat:"serve" ("solve " ^ digest)
+                      (fun () ->
+                        (match trace_ids with
+                        | Some (_, u, flow) ->
+                            (* Receiving end of the coordinator's dispatch
+                               arrow; binds to this solve span. *)
+                            Trace.flow_in ~cat:"orch" ~id:flow
+                              ("u" ^ string_of_int u)
+                        | None -> ());
+                        with_deadline deadline (fun () ->
+                            let lambda, bounds = compute_solve req resolved in
+                            solve_body ~digest ~req ~resolved ~lambda ~bounds))
+                  in
+                  match trace_ids with
+                  | Some (trace, u, _) ->
+                      (* Everything recorded under here — the solve span,
+                         nested FPTAS/Dijkstra/cache spans, pool tasks
+                         (the pool transplants the context) — carries the
+                         coordinator's trace/unit ids. *)
+                      Context.with_ids ~trace ~unit_id:u solve
+                  | None -> solve ())
             in
             if not outcome.Coalesce.led then Metrics.incr m_coalesced;
+            let role = Some (if outcome.Coalesce.led then "led" else "coalesced") in
             match outcome.Coalesce.value with
-            | Ok body -> Http.response ~headers:json_headers 200 body
+            | Ok body -> with_digest role (Http.response ~headers:json_headers 200 body)
             | Error Core.Mcmf_fptas.Cancelled ->
-                error_response 504 "deadline exceeded"
-            | Error (Invalid_argument msg | Failure msg) -> error_response 400 msg
-            | Error e -> error_response 500 (Printexc.to_string e)))
+                with_digest role (error_response 504 "deadline exceeded")
+            | Error (Invalid_argument msg | Failure msg) ->
+                with_digest role (error_response 400 msg)
+            | Error e -> with_digest role (error_response 500 (Printexc.to_string e))))
+
+let uptime_ns t = Int64.sub (Clock.now_ns ()) t.started_ns
+
+let trace_response t params =
+  let drain =
+    match List.assoc_opt "drain" params with
+    | Some v -> v = "1" || v = "true"
+    | None -> false
+  in
+  let epoch_ns =
+    match List.assoc_opt "epoch_ns" params with
+    | Some s -> Int64.of_string_opt s
+    | None -> None
+  in
+  let events = Trace.serialize ?epoch_ns ~drain () in
+  Http.response ~headers:json_headers 200
+    (Printf.sprintf
+       "{\"solver_version\": %s,\n\
+        \ \"uptime_ns\": %Ld,\n\
+        \ \"pid\": %d,\n\
+        \ \"enabled\": %b,\n\
+        \ \"events\": [\n\
+        %s\n\
+        ]}\n"
+       (Json.quote Core.Digest_key.solver_version)
+       (uptime_ns t) (Unix.getpid ()) (Trace.enabled ()) events)
 
 let handle t ~accept_ns (req : Http.request) =
   Metrics.incr m_requests;
-  let resp =
-    match (req.Http.meth, req.Http.target) with
+  let path, params = Http.split_target req.Http.target in
+  let served =
+    match (req.Http.meth, path) with
     | "GET", "/healthz" ->
         (* Enough for a coordinator to admit this worker without further
            probes: the solver version (digests are only comparable across
            identical versions, so a mismatched worker must be rejected),
            the handler capacity to size its dispatch window, and the
            current load/drain state. *)
-        Http.response ~headers:json_headers 200
-          (Printf.sprintf
-             "{\"status\": \"ok\", \"solver_version\": %s, \"jobs\": %d, \
-              \"queue\": %d, \"inflight\": %d, \"draining\": %b}\n"
-             (Json.quote Core.Digest_key.solver_version)
-             (max 1 (Core.Pool.workers ()))
-             t.config.queue_capacity (Atomic.get t.inflight)
-             (Core.Pool.draining ()))
+        plain
+          (Http.response ~headers:json_headers 200
+             (Printf.sprintf
+                "{\"status\": \"ok\", \"solver_version\": %s, \"jobs\": %d, \
+                 \"queue\": %d, \"inflight\": %d, \"draining\": %b}\n"
+                (Json.quote Core.Digest_key.solver_version)
+                (max 1 (Core.Pool.workers ()))
+                t.config.queue_capacity (Atomic.get t.inflight)
+                (Core.Pool.draining ())))
     | "GET", "/metrics" ->
         Metrics.set g_inflight (float_of_int (Atomic.get t.inflight));
-        Http.response ~headers:json_headers 200 (Metrics.to_json (Metrics.snapshot ()))
+        plain
+          (Http.response ~headers:json_headers 200
+             (Metrics.to_json
+                ~meta:
+                  [
+                    ("solver_version", Json.quote Core.Digest_key.solver_version);
+                    ("uptime_ns", Printf.sprintf "%Ld" (uptime_ns t));
+                  ]
+                (Metrics.snapshot ())))
+    | "GET", "/trace" -> plain (trace_response t params)
     | "POST", "/solve" -> handle_solve t ~accept_ns req
-    | _, ("/healthz" | "/metrics" | "/solve") ->
-        error_response 405 (Printf.sprintf "%s does not accept %s" req.Http.target req.Http.meth)
-    | _, target -> error_response 404 (Printf.sprintf "no such endpoint %s" target)
+    | _, ("/healthz" | "/metrics" | "/trace" | "/solve") ->
+        plain
+          (error_response 405
+             (Printf.sprintf "%s does not accept %s" path req.Http.meth))
+    | _, target -> plain (error_response 404 (Printf.sprintf "no such endpoint %s" target))
   in
-  Metrics.observe m_request_s (Clock.elapsed_s accept_ns);
+  let resp = served.resp in
+  let wall_s = Clock.elapsed_s accept_ns in
+  Metrics.observe m_request_s wall_s;
   Metrics.incr
     (if resp.Http.status < 400 then m_2xx
      else if resp.Http.status < 500 then m_4xx
      else m_5xx);
+  (match t.access with
+  | Some log ->
+      Event_log.log log ~ev:"request"
+        ([
+           ("method", Event_log.Str req.Http.meth);
+           ("path", Event_log.Str path);
+           ("status", Event_log.Int resp.Http.status);
+           ("wall_ms", Event_log.Float (wall_s *. 1e3));
+         ]
+        @ (match served.sv_digest with
+          | Some d -> [ ("digest", Event_log.Str d) ]
+          | None -> [])
+        @
+        match served.sv_role with
+        | Some r -> [ ("role", Event_log.Str r) ]
+        | None -> [])
+  | None -> ());
   resp
 
 (* ---- connection plumbing ---- *)
@@ -288,7 +416,15 @@ let serve config =
      process. *)
   Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
   Metrics.set_enabled true;
-  if config.trace_file <> None then Trace.set_enabled true;
+  if config.trace_file <> None || config.trace_buffer then
+    Trace.set_enabled true;
+  (* Fleet log lines must be attributable after a coordinator interleaves
+     several workers' logs: prefix every line this daemon prints. *)
+  let tag =
+    match config.log_tag with
+    | Some tag -> Printf.sprintf "[%s pid=%d] " tag (Unix.getpid ())
+    | None -> ""
+  in
   let t = create config in
   let stop = Atomic.make false in
   let on_signal = Sys.Signal_handle (fun _ -> Atomic.set stop true) in
@@ -314,8 +450,8 @@ let serve config =
   Option.iter
     (fun path -> Json.atomic_write ~path (string_of_int port ^ "\n"))
     config.port_file;
-  Printf.printf "dcn_served: listening on %s:%d (handlers=%d, queue=%d)\n%!"
-    config.host port
+  Printf.printf "%sdcn_served: listening on %s:%d (handlers=%d, queue=%d)\n%!"
+    tag config.host port
     (max 1 (Core.Pool.workers ()))
     config.queue_capacity;
   while not (Atomic.get stop) do
@@ -334,8 +470,9 @@ let serve config =
   done;
   (* Drain: close the door, finish every admitted request, then flush. *)
   Unix.close listen_fd;
-  Printf.printf "dcn_served: draining %d in-flight request(s)\n%!"
+  Printf.printf "%sdcn_served: draining %d in-flight request(s)\n%!" tag
     (Atomic.get t.inflight);
   Core.Pool.shutdown ();
   flush_sinks config;
-  Printf.printf "dcn_served: drained, exiting\n%!"
+  Option.iter Event_log.close t.access;
+  Printf.printf "%sdcn_served: drained, exiting\n%!" tag

@@ -12,7 +12,26 @@
       [inflight] and [draining].
     - [GET /metrics] — {!Dcn_obs.Metrics} registry snapshot as JSON
       (solver counters, store hits/misses, request latency histogram with
-      p50/p95/p99).
+      p50/p95/p99), prefixed with [solver_version] and [uptime_ns] meta
+      fields. A coordinator polls it before and after a sweep and diffs
+      the parsed snapshots ({!Metrics_io}) for a per-worker delta.
+    - [GET /trace] — this process's buffered trace events as a JSON
+      envelope ([solver_version], [uptime_ns], [pid], [enabled],
+      [events]). [?epoch_ns=N] renders timestamps relative to the
+      caller's epoch (see {!Dcn_obs.Trace.epoch_ns}); [?drain=1] empties
+      the buffers as they are read, so a long-lived daemon can be
+      collected repeatedly without re-sending or accumulating history.
+      Requires the daemon to run with [trace_buffer] (or a trace file)
+      or the buffers are simply empty.
+
+    Distributed tracing: a [POST /solve] carrying an
+    [x-dcn-trace: trace_id/unit_id/flow_id] header runs its solve under
+    {!Dcn_obs.Context.with_ids}, so the solve span and every nested
+    FPTAS/Dijkstra/cache span carries the coordinator's ids, and emits a
+    flow-in event binding the coordinator's dispatch arrow to the remote
+    solve span. The header is not part of the request body, hence — like
+    [timeout_s] — excluded from the digest: telemetry never changes
+    result identity.
 
     Concurrency: the accept loop runs on the calling thread; each
     connection is one detached task on the shared domain pool
@@ -41,6 +60,16 @@ type config = {
   metrics_file : string option;  (** Metrics snapshot written at drain. *)
   trace_file : string option;
       (** Chrome-trace span file written at drain; enables tracing. *)
+  trace_buffer : bool;
+      (** Enable tracing without a drain-time file, for collection over
+          [GET /trace] (a coordinator merging fleet traces). *)
+  access_log : string option;
+      (** Append one {!Dcn_obs.Event_log} JSON line per request: method,
+          path, status, wall ms, and for solves the digest and a
+          led/coalesced role. *)
+  log_tag : string option;
+      (** Prefix every daemon log line with ["[tag pid=N] "] so
+          interleaved fleet logs stay attributable. *)
 }
 
 val default_config : config

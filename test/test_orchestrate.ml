@@ -15,6 +15,9 @@ module Orchestrator = Dcn_orchestrate.Orchestrator
 module Store = Dcn_store.Store
 module Manifest = Dcn_store.Manifest
 module Request = Dcn_serve.Request
+module J = Dcn_serve.Json_parse
+module Trace = Dcn_obs.Trace
+module Event_log = Dcn_obs.Event_log
 
 let tmp_counter = ref 0
 
@@ -431,6 +434,220 @@ let test_orchestrator_serial_and_resume () =
         (List.map (fun o -> o.Orchestrator.o_body) outcomes)
         (List.map (fun o -> o.Orchestrator.o_body) healed))
 
+(* ---- the scheduler event stream reconciles with its stats ---- *)
+
+let test_scheduler_event_stream_reconciles () =
+  (* Same retry/eviction scenario as above, but this time every decision
+     must also surface as a typed event, and the event counts must agree
+     exactly with the stats the scheduler returns — the invariant that
+     makes the event log auditable against --summary-json. *)
+  let units = units_of 6 in
+  let events = ref [] in
+  let ev_mutex = Mutex.create () in
+  let on_event ev =
+    Mutex.lock ev_mutex;
+    events := ev :: !events;
+    Mutex.unlock ev_mutex
+  in
+  let bad_failures = Atomic.make 0 in
+  let out =
+    match
+      Scheduler.run ~config:fast_config
+        ~workers:[| "bad"; "good" |]
+        ~capacity:(fun _ _ -> 1)
+        ~transport:(fun w u ->
+          if w = "bad" then begin
+            Atomic.incr bad_failures;
+            Error (Scheduler.Retry "boom")
+          end
+          else begin
+            while Atomic.get bad_failures < 2 do
+              Thread.delay 0.002
+            done;
+            Ok ("good:" ^ u.Grid.label)
+          end)
+        ~on_event units
+    with
+    | Error msg -> Alcotest.fail ("scheduler aborted: " ^ msg)
+    | Ok out -> out
+  in
+  let events = List.rev !events in
+  let count p = List.length (List.filter p events) in
+  let stats = out.Scheduler.stats in
+  Alcotest.(check int) "one dispatch event per dispatch"
+    stats.Scheduler.dispatched
+    (count (function Scheduler.Dispatch _ -> true | _ -> false));
+  Alcotest.(check int) "one complete event per result"
+    (List.length out.Scheduler.results)
+    (count (function Scheduler.Complete _ -> true | _ -> false));
+  Alcotest.(check int) "one backoff event per retry" stats.Scheduler.retried
+    (count (function Scheduler.Backoff _ -> true | _ -> false));
+  Alcotest.(check int) "one discard event per hedge loser"
+    stats.Scheduler.discarded
+    (count (function Scheduler.Discard _ -> true | _ -> false));
+  Alcotest.(check int) "one evict event per eviction" stats.Scheduler.evicted
+    (count (function Scheduler.Evict _ -> true | _ -> false));
+  Alcotest.(check int) "one readmit event per re-admission"
+    stats.Scheduler.readmitted
+    (count (function Scheduler.Readmit _ -> true | _ -> false));
+  Alcotest.(check int) "one failure event per failed unit"
+    (List.length out.Scheduler.failed)
+    (count (function Scheduler.Unit_failed _ -> true | _ -> false));
+  Alcotest.(check int) "hedged dispatches marked" stats.Scheduler.hedged
+    (count (function
+      | Scheduler.Dispatch { hedged; _ } -> hedged
+      | _ -> false));
+  (* Causality within a unit: its first event is a dispatch, and every
+     completion is preceded by a dispatch of the same unit. *)
+  List.iter
+    (fun r ->
+      let uid = r.Scheduler.r_unit.Grid.id in
+      let mine =
+        List.filter
+          (function
+            | Scheduler.Dispatch { unit_id; _ }
+            | Scheduler.Complete { unit_id; _ }
+            | Scheduler.Discard { unit_id; _ }
+            | Scheduler.Backoff { unit_id; _ }
+            | Scheduler.Unit_failed { unit_id; _ } ->
+                unit_id = uid
+            | _ -> false)
+          events
+      in
+      match mine with
+      | Scheduler.Dispatch _ :: _ -> ()
+      | _ -> Alcotest.fail "a unit's first event must be its dispatch")
+    out.Scheduler.results
+
+(* ---- serial orchestrator telemetry: trace, event log, summary ---- *)
+
+let test_orchestrator_serial_telemetry () =
+  with_store (fun store ->
+      let trace_path = Filename.temp_file "dcn_orch_trace" ".json" in
+      let elog_path = Filename.temp_file "dcn_orch_events" ".jsonl" in
+      Sys.remove elog_path;
+      let cleanup () =
+        Trace.set_enabled false;
+        Trace.reset ();
+        if Sys.file_exists trace_path then Sys.remove trace_path;
+        if Sys.file_exists elog_path then Sys.remove elog_path
+      in
+      Fun.protect ~finally:cleanup @@ fun () ->
+      let grid = small_grid () in
+      let telemetry =
+        {
+          Orchestrator.t_trace = Some trace_path;
+          t_event_log = Some elog_path;
+          t_status = false;
+          t_worker_info = [];
+        }
+      in
+      let summary =
+        match
+          Orchestrator.run ~telemetry ~store ~grid Orchestrator.Serial
+        with
+        | Error msg -> Alcotest.fail msg
+        | Ok (_, summary) -> summary
+      in
+      Alcotest.(check int) "all units computed" 4
+        summary.Orchestrator.computed;
+      (* The summary names the trace and attributes the one serial
+         worker. *)
+      let trace_id =
+        match summary.Orchestrator.trace_id with
+        | Some t when String.length t > 0 -> t
+        | Some _ | None -> Alcotest.fail "summary must carry the trace id"
+      in
+      (match summary.Orchestrator.worker_stats with
+      | [ ws ] ->
+          Alcotest.(check string) "serial worker attributed" "serial"
+            ws.Orchestrator.ws_worker;
+          Alcotest.(check (option int)) "serial pid is this process"
+            (Some (Unix.getpid ()))
+            ws.Orchestrator.ws_pid;
+          Alcotest.(check int) "serial worker did every unit" 4
+            ws.Orchestrator.ws_units
+      | l ->
+          Alcotest.fail
+            (Printf.sprintf "%d worker stats for a serial run"
+               (List.length l)));
+      (* The merged trace is one valid JSON document whose solve spans
+         carry the run's trace id, with the dispatch→solve flow arrows
+         present. *)
+      (match J.parse (In_channel.with_open_bin trace_path In_channel.input_all)
+       with
+      | Error msg -> Alcotest.fail ("merged trace must parse: " ^ msg)
+      | Ok v ->
+          let events =
+            match J.member "traceEvents" v with
+            | Some (J.Arr evs) -> evs
+            | _ -> Alcotest.fail "traceEvents must be an array"
+          in
+          let str m e = Option.bind (J.member m e) J.to_string_opt in
+          let tagged =
+            List.filter
+              (fun e ->
+                str "ph" e = Some "X"
+                && Option.bind (J.member "args" e) (fun a ->
+                       Option.bind (J.member "trace" a) J.to_string_opt)
+                   = Some trace_id)
+              events
+          in
+          Alcotest.(check bool) "spans tagged with the run's trace id" true
+            (List.length tagged >= 4);
+          Alcotest.(check bool) "flow-out arrows present" true
+            (List.exists (fun e -> str "ph" e = Some "s") events);
+          Alcotest.(check bool) "flow-in arrows present" true
+            (List.exists (fun e -> str "ph" e = Some "f") events);
+          Alcotest.(check bool) "coordinator process named" true
+            (List.exists
+               (fun e ->
+                 str "name" e = Some "process_name"
+                 && Option.bind (J.member "args" e) (fun a ->
+                        Option.bind (J.member "name" a) J.to_string_opt)
+                    = Some "coordinator")
+               events));
+      (* The event log brackets the run and reconciles with the summary:
+         one dispatch and one complete per computed unit. *)
+      let lines = Event_log.read_lines elog_path in
+      let parsed =
+        List.map
+          (fun line ->
+            match J.parse line with
+            | Ok v -> v
+            | Error msg -> Alcotest.fail ("event line must be JSON: " ^ msg))
+          lines
+      in
+      let ev_name v = Option.bind (J.member "ev" v) J.to_string_opt in
+      (match parsed with
+      | first :: _ ->
+          Alcotest.(check (option string)) "run_start first" (Some "run_start")
+            (ev_name first);
+          Alcotest.(check (option string)) "run_start names the trace"
+            (Some trace_id)
+            (Option.bind (J.member "trace_id" first) J.to_string_opt)
+      | [] -> Alcotest.fail "event log is empty");
+      (match List.rev parsed with
+      | last :: _ ->
+          Alcotest.(check (option string)) "run_end last" (Some "run_end")
+            (ev_name last);
+          Alcotest.(check (option int)) "run_end computed count" (Some 4)
+            (Option.bind (J.member "computed" last) J.to_int_opt)
+      | [] -> assert false);
+      let count name =
+        List.length (List.filter (fun v -> ev_name v = Some name) parsed)
+      in
+      Alcotest.(check int) "one dispatch line per unit" 4 (count "dispatch");
+      Alcotest.(check int) "one complete line per unit" 4 (count "complete");
+      Alcotest.(check int) "no failures logged" 0 (count "unit_failed");
+      List.iter
+        (fun v ->
+          if ev_name v = Some "dispatch" then
+            Alcotest.(check (option string)) "dispatch attributed to serial"
+              (Some "serial")
+              (Option.bind (J.member "worker" v) J.to_string_opt))
+        parsed)
+
 let suite =
   ( "orchestrate",
     [
@@ -453,6 +670,10 @@ let suite =
         test_scheduler_aborts_when_all_evicted;
       Alcotest.test_case "manifest unit records" `Quick
         test_manifest_unit_records;
+      Alcotest.test_case "scheduler event stream reconciles" `Quick
+        test_scheduler_event_stream_reconciles;
+      Alcotest.test_case "serial orchestrator telemetry" `Quick
+        test_orchestrator_serial_telemetry;
       Alcotest.test_case "orchestrator serial, resume, corruption" `Quick
         test_orchestrator_serial_and_resume;
     ] )

@@ -10,7 +10,10 @@ module Http = Dcn_serve.Http
 module Request = Dcn_serve.Request
 module Coalesce = Dcn_serve.Coalesce
 module Server = Dcn_serve.Server
+module Metrics_io = Dcn_serve.Metrics_io
 module Metrics = Dcn_obs.Metrics
+module Trace = Dcn_obs.Trace
+module Event_log = Dcn_obs.Event_log
 module Clock = Dcn_obs.Clock
 
 let with_metrics f =
@@ -18,6 +21,13 @@ let with_metrics f =
   Fun.protect f ~finally:(fun () ->
       Metrics.set_enabled false;
       Metrics.reset ())
+
+let with_trace f =
+  Trace.set_enabled true;
+  Trace.reset ();
+  Fun.protect f ~finally:(fun () ->
+      Trace.set_enabled false;
+      Trace.reset ())
 
 (* ---- JSON parsing ---- *)
 
@@ -304,8 +314,8 @@ let test_coalesce_propagates_exceptions () =
 
 (* ---- server dispatch (in-process, no sockets) ---- *)
 
-let mkreq ?(meth = "POST") ?(target = "/solve") body =
-  { Http.meth; target; headers = []; body }
+let mkreq ?(meth = "POST") ?(target = "/solve") ?(headers = []) body =
+  { Http.meth; target; headers; body }
 
 let handle srv req = Server.handle srv ~accept_ns:(Clock.now_ns ()) req
 
@@ -448,12 +458,195 @@ let test_server_metrics_endpoint () =
       ignore (handle srv (mkreq ~meth:"GET" ~target:"/healthz" ""));
       let resp = handle srv (mkreq ~meth:"GET" ~target:"/metrics" "") in
       Alcotest.(check int) "200" 200 resp.Http.status;
+      Alcotest.(check (option string)) "json content type"
+        (Some "application/json")
+        (List.assoc_opt "Content-Type" resp.Http.headers);
       match J.parse resp.Http.body with
       | Error msg -> Alcotest.fail ("/metrics must be JSON: " ^ msg)
       | Ok v ->
           Alcotest.(check bool) "request counter present" true
             (Option.bind (J.member "counters" v) (J.member "serve.requests")
-            <> None))
+            <> None);
+          (* Envelope meta, so a coordinator can attribute and age the
+             registry it polled. *)
+          Alcotest.(check (option string)) "solver_version meta"
+            (Some Dcn_store.Digest_key.solver_version)
+            (Option.bind (J.member "solver_version" v) J.to_string_opt);
+          Alcotest.(check bool) "uptime_ns meta non-negative" true
+            (match Option.bind (J.member "uptime_ns" v) J.to_float_opt with
+            | Some ns -> ns >= 0.0
+            | None -> false))
+
+(* ---- GET /trace: the fleet-trace collection endpoint ---- *)
+
+let test_server_trace_endpoint () =
+  with_trace (fun () ->
+      let srv = Server.create no_timeout_config in
+      (* A solve carrying the coordinator's identity: the solve span (and
+         everything nested under it) must be tagged with the trace/unit
+         ids, and a flow-in must bind the dispatch arrow. *)
+      let resp =
+        handle srv
+          (mkreq ~headers:[ ("x-dcn-trace", "run-xyz/5/99") ] solve_body)
+      in
+      Alcotest.(check int) "solve 200" 200 resp.Http.status;
+      let dump = handle srv (mkreq ~meth:"GET" ~target:"/trace?drain=1" "") in
+      Alcotest.(check int) "trace 200" 200 dump.Http.status;
+      Alcotest.(check (option string)) "json content type"
+        (Some "application/json")
+        (List.assoc_opt "Content-Type" dump.Http.headers);
+      (match J.parse dump.Http.body with
+      | Error msg -> Alcotest.fail ("/trace must be JSON: " ^ msg)
+      | Ok v ->
+          Alcotest.(check (option string)) "solver_version"
+            (Some Dcn_store.Digest_key.solver_version)
+            (Option.bind (J.member "solver_version" v) J.to_string_opt);
+          Alcotest.(check (option int)) "pid" (Some (Unix.getpid ()))
+            (Option.bind (J.member "pid" v) J.to_int_opt);
+          Alcotest.(check (option bool)) "enabled" (Some true)
+            (Option.bind (J.member "enabled" v) J.to_bool_opt);
+          let events =
+            match J.member "events" v with
+            | Some (J.Arr evs) -> evs
+            | _ -> Alcotest.fail "events must be an array"
+          in
+          let str m e = Option.bind (J.member m e) J.to_string_opt in
+          let solve_spans =
+            List.filter
+              (fun e ->
+                str "ph" e = Some "X"
+                && str "cat" e = Some "serve"
+                && (match str "name" e with
+                   | Some n ->
+                       String.length n >= 6 && String.sub n 0 6 = "solve "
+                   | None -> false))
+              events
+          in
+          (match solve_spans with
+          | [ span ] ->
+              let args =
+                match J.member "args" span with
+                | Some a -> a
+                | None -> Alcotest.fail "solve span has no args"
+              in
+              Alcotest.(check (option string)) "span carries the trace id"
+                (Some "run-xyz")
+                (Option.bind (J.member "trace" args) J.to_string_opt);
+              Alcotest.(check (option int)) "span carries the unit id" (Some 5)
+                (Option.bind (J.member "unit" args) J.to_int_opt)
+          | l ->
+              Alcotest.fail
+                (Printf.sprintf "%d solve spans in dump" (List.length l)));
+          let flow_ins =
+            List.filter
+              (fun e ->
+                str "ph" e = Some "f"
+                && Option.bind (J.member "id" e) J.to_int_opt = Some 99)
+              events
+          in
+          Alcotest.(check int) "dispatch flow bound once" 1
+            (List.length flow_ins));
+      (* drain=1 emptied the buffers: a second dump reports no events. *)
+      let again = handle srv (mkreq ~meth:"GET" ~target:"/trace" "") in
+      match J.parse again.Http.body with
+      | Error msg -> Alcotest.fail ("second /trace must be JSON: " ^ msg)
+      | Ok v -> (
+          match J.member "events" v with
+          | Some (J.Arr []) -> ()
+          | Some (J.Arr evs) ->
+              Alcotest.fail
+                (Printf.sprintf "%d events survived the drain" (List.length evs))
+          | _ -> Alcotest.fail "events must be an array"))
+
+(* ---- access log ---- *)
+
+let test_server_access_log () =
+  let path = Filename.temp_file "dcn_serve_access" ".jsonl" in
+  Sys.remove path;
+  let srv =
+    Server.create { no_timeout_config with Server.access_log = Some path }
+  in
+  ignore (handle srv (mkreq ~meth:"GET" ~target:"/healthz" ""));
+  ignore (handle srv (mkreq solve_body));
+  let lines = Event_log.read_lines path in
+  Alcotest.(check int) "one line per request" 2 (List.length lines);
+  let parsed =
+    List.map
+      (fun line ->
+        match J.parse line with
+        | Ok v -> v
+        | Error msg -> Alcotest.fail ("access line must be JSON: " ^ msg))
+      lines
+  in
+  (match parsed with
+  | [ health; solve ] ->
+      let str m e = Option.bind (J.member m e) J.to_string_opt in
+      Alcotest.(check (option string)) "ev" (Some "request") (str "ev" health);
+      Alcotest.(check (option string)) "healthz path" (Some "/healthz")
+        (str "path" health);
+      Alcotest.(check bool) "healthz has no digest" true
+        (J.member "digest" health = None);
+      Alcotest.(check (option string)) "solve path" (Some "/solve")
+        (str "path" solve);
+      Alcotest.(check (option int)) "solve status" (Some 200)
+        (Option.bind (J.member "status" solve) J.to_int_opt);
+      Alcotest.(check (option int)) "digest width"
+        (Some Core.Digest_key.hex_length)
+        (Option.map String.length (str "digest" solve));
+      (* Uncontended request: this process led its own solve. *)
+      Alcotest.(check (option string)) "role" (Some "led") (str "role" solve);
+      Alcotest.(check bool) "wall time recorded" true
+        (match Option.bind (J.member "wall_ms" solve) J.to_float_opt with
+        | Some ms -> ms >= 0.0
+        | None -> false)
+  | _ -> assert false);
+  Sys.remove path
+
+(* ---- Metrics_io: the cross-process snapshot decoder ---- *)
+
+let test_metrics_io_roundtrip_merge () =
+  with_metrics (fun () ->
+      (* Controlled values on every axis so the %.6g rendering is exact:
+         integer counters, short decimal gauge/sums, bucket bounds that
+         render losslessly. *)
+      let c = Metrics.counter "io.rt.counter" in
+      let g = Metrics.gauge "io.rt.gauge" in
+      let h =
+        Metrics.histogram ~bounds:[| 0.001; 0.01; 0.1; 1.0 |] "io.rt.hist"
+      in
+      Metrics.add c 7;
+      Metrics.set g 1.5;
+      Metrics.observe h 0.01;
+      Metrics.observe h 0.5;
+      let a = Metrics.snapshot () in
+      Metrics.add c 35;
+      Metrics.set g 2.25;
+      Metrics.observe h 0.001;
+      Metrics.observe h 2.0;
+      let b = Metrics.diff ~before:a ~after:(Metrics.snapshot ()) in
+      let reparse snap =
+        match Metrics_io.snapshot_of_body (Metrics.to_json snap) with
+        | Ok s -> s
+        | Error msg -> Alcotest.fail ("snapshot_of_body: " ^ msg)
+      in
+      (* Decode round-trip is exact on controlled values... *)
+      Alcotest.(check string) "snapshot round-trips through JSON"
+        (Metrics.to_json a)
+        (Metrics.to_json (reparse a));
+      (* ...and merging two decoded snapshots equals merging the
+         originals — the coordinator's aggregation path: each worker's
+         registry crosses the wire as JSON, then merges locally. *)
+      Alcotest.(check string) "merge commutes with the wire format"
+        (Metrics.to_json (Metrics.merge a b))
+        (Metrics.to_json (Metrics.merge (reparse a) (reparse b)));
+      (* Decoder rejections: histograms must be structurally sound. *)
+      match
+        Metrics_io.snapshot_of_body
+          "{\"counters\": {}, \"gauges\": {}, \"histograms\": {\"bad\": \
+           {\"bounds\": [1.0], \"counts\": [1, 2, 3], \"sum\": 0}}}"
+      with
+      | Ok _ -> Alcotest.fail "mismatched counts length must be rejected"
+      | Error _ -> ())
 
 let suite =
   ( "serve",
@@ -488,4 +681,9 @@ let suite =
       Alcotest.test_case "concurrent duplicates coalesce" `Quick
         test_server_coalesces_concurrent_duplicates;
       Alcotest.test_case "metrics endpoint" `Quick test_server_metrics_endpoint;
+      Alcotest.test_case "trace endpoint propagates ids and drains" `Quick
+        test_server_trace_endpoint;
+      Alcotest.test_case "access log lines" `Quick test_server_access_log;
+      Alcotest.test_case "metrics wire round-trip merges" `Quick
+        test_metrics_io_roundtrip_merge;
     ] )
