@@ -380,7 +380,54 @@ let orchestrate_json ~serial_wall legs =
   in
   String.concat ",\n" (List.map leg_json legs)
 
-let write_bench_json path ~mode ~jobs ~figures ~micro ~sweeps ~orch
+(* One JSON object per --serving engine leg: a warm closed-loop
+   keep-alive burst over cached variants, then an open-loop saturation
+   burst at 1.25x that engine's warm rate with cold seeds mixed in.
+   Both engines share the setup, client and request mix, so the
+   warm-throughput ratio isolates the transport: per-connection threads
+   + close-per-response vs the event loop's keep-alive + hot cache. *)
+type serving_leg = {
+  se_engine : string;
+  se_warm : Dcn_serve.Load_gen.report;
+  se_sat : Dcn_serve.Load_gen.report;
+}
+
+let serving_threaded_rps legs =
+  match List.find_opt (fun l -> l.se_engine = "threaded") legs with
+  | Some l -> l.se_warm.Dcn_serve.Load_gen.rps
+  | None -> 0.0
+
+let serving_json legs =
+  let threaded_rps = serving_threaded_rps legs in
+  let phase (r : Dcn_serve.Load_gen.report) =
+    Printf.sprintf
+      "{\"rps\": %s, \"p50_s\": %s, \"p95_s\": %s, \"p99_s\": %s, \
+       \"reuse_rate\": %s, \"bound_responses\": %d, \"by_status\": [%s]}"
+      (json_float r.Dcn_serve.Load_gen.rps)
+      (json_float r.Dcn_serve.Load_gen.p50)
+      (json_float r.Dcn_serve.Load_gen.p95)
+      (json_float r.Dcn_serve.Load_gen.p99)
+      (json_float r.Dcn_serve.Load_gen.reuse_rate)
+      r.Dcn_serve.Load_gen.bound_responses
+      (String.concat ", "
+         (List.map
+            (fun (status, count) ->
+              Printf.sprintf "{\"status\": %d, \"count\": %d}" status count)
+            r.Dcn_serve.Load_gen.by_status))
+  in
+  String.concat ",\n"
+    (List.map
+       (fun l ->
+         Printf.sprintf
+           "    {\"engine\": \"%s\", \"warm\": %s, \"saturation\": %s, \
+            \"speedup_vs_threaded\": %s}"
+           (json_escape l.se_engine) (phase l.se_warm) (phase l.se_sat)
+           (if threaded_rps <= 0.0 then "null"
+            else
+              json_float (l.se_warm.Dcn_serve.Load_gen.rps /. threaded_rps)))
+       legs)
+
+let write_bench_json path ~mode ~jobs ~figures ~micro ~sweeps ~orch ~serving
     ~total_seconds =
   let figure_entries =
     List.map
@@ -451,6 +498,10 @@ let write_bench_json path ~mode ~jobs ~figures ~micro ~sweeps ~orch
       in
       Printf.fprintf oc "  \"orchestrate\": [\n%s\n  ],\n"
         (orchestrate_json ~serial_wall legs));
+  (match serving with
+  | [] -> ()
+  | legs ->
+      Printf.fprintf oc "  \"serving\": [\n%s\n  ],\n" (serving_json legs));
   output_string oc cache_json;
   Printf.fprintf oc "  \"metrics\": %s,\n" metrics_json;
   Printf.fprintf oc "  \"total_seconds\": %s\n" (json_float total_seconds);
@@ -464,8 +515,8 @@ let usage () =
   prerr_endline
     "usage: bench [--full] [--jobs N] [--csv-dir DIR] [--bench-json FILE] \
      [--cache-dir DIR] [--resume] [--no-cache] [--metrics FILE] \
-     [--trace FILE] [--progress] [--sweep-warm] [--orchestrate] [--list] \
-     [TARGET ...]";
+     [--trace FILE] [--progress] [--sweep-warm] [--orchestrate] [--serving] \
+     [--list] [TARGET ...]";
   prerr_endline "targets: figure names (fig1a, ..., ablation_*) and 'micro';";
   prerr_endline "         none selects everything (--list prints them all)"
 
@@ -601,6 +652,114 @@ let orchestrate_bench () =
     table;
   legs
 
+(* ------------------------------------------------------------------ *)
+(* Serving engines (--serving)                                         *)
+
+let serving_body ~seed =
+  Dcn_serve.Request.to_body
+    {
+      Dcn_serve.Request.topology =
+        Dcn_serve.Request.Spec (Core.Cli.Rrg (20, 4, 3));
+      seed;
+      traffic = Core.Cli.Perm;
+      eps = 0.1;
+      gap = 0.1;
+      routing = Dcn_serve.Request.Optimal;
+      timeout_s = None;
+    }
+
+let serving_warm_requests = 2000
+let serving_sat_requests = 1000
+let serving_variants = 4
+
+let serving_leg ~root ~jobs engine =
+  let module Spawn = Dcn_orchestrate.Spawn in
+  let exe =
+    match Spawn.find_exe () with
+    | Some exe -> exe
+    | None -> die "serving bench: cannot locate the dcn_served executable"
+  in
+  let dir = Filename.concat root engine in
+  let store_dir = Filename.concat dir "store" in
+  mkdir_p store_dir;
+  (* Both engines get the result store, so the threaded leg's warm
+     requests are store hits, not re-solves — the comparison measures
+     serving transport, not solver caching. *)
+  let proc =
+    Spawn.start ~exe ~scratch_dir:dir ~index:0 ~jobs
+      ~cache_dir:(Some store_dir)
+      ~extra_args:[ "--engine"; engine ] ()
+  in
+  Fun.protect
+    ~finally:(fun () -> Spawn.stop [ proc ])
+    (fun () ->
+      match Spawn.endpoint proc with
+      | Error msg -> die "serving leg %s: %s" engine msg
+      | Ok ep ->
+          let host = ep.Dcn_orchestrate.Worker.host
+          and port = ep.Dcn_orchestrate.Worker.port in
+          let bodies =
+            Array.init serving_variants (fun i -> serving_body ~seed:(i + 1))
+          in
+          (* Populate the caches: every variant solved once. *)
+          ignore
+            (Dcn_serve.Load_gen.run ~host ~port ~bodies
+               ~requests:serving_variants ~concurrency:1 ~qps:0.0 ());
+          let warm, _ =
+            Dcn_serve.Load_gen.run ~host ~port ~bodies
+              ~requests:serving_warm_requests ~concurrency:8 ~qps:0.0 ()
+          in
+          let sat_bodies =
+            Array.init (serving_variants + 2) (fun i ->
+                serving_body ~seed:(i + 1))
+          in
+          let sat, _ =
+            Dcn_serve.Load_gen.run ~host ~port ~bodies:sat_bodies
+              ~requests:serving_sat_requests ~concurrency:8
+              ~qps:(warm.Dcn_serve.Load_gen.rps *. 1.25) ()
+          in
+          { se_engine = engine; se_warm = warm; se_sat = sat })
+
+let serving_bench ~jobs () =
+  let root =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "dcn-bench-serving.%d" (Unix.getpid ()))
+  in
+  let legs = List.map (serving_leg ~root ~jobs) [ "threaded"; "epoll" ] in
+  let threaded_rps = serving_threaded_rps legs in
+  let table =
+    Core.Table.create
+      ~header:
+        [ "engine"; "warm_rps"; "speedup"; "p50_ms"; "p99_ms"; "reuse";
+          "sat_rps"; "sat_p99_ms"; "bound" ]
+  in
+  let ms s = Printf.sprintf "%.2f" (s *. 1e3) in
+  List.iter
+    (fun l ->
+      let w = l.se_warm and s = l.se_sat in
+      Core.Table.add_row table
+        [ l.se_engine;
+          Printf.sprintf "%.0f" w.Dcn_serve.Load_gen.rps;
+          (if threaded_rps <= 0.0 then "n/a"
+           else
+             Printf.sprintf "%.2f"
+               (w.Dcn_serve.Load_gen.rps /. threaded_rps));
+          ms w.Dcn_serve.Load_gen.p50; ms w.Dcn_serve.Load_gen.p99;
+          Printf.sprintf "%.3f" w.Dcn_serve.Load_gen.reuse_rate;
+          Printf.sprintf "%.0f" s.Dcn_serve.Load_gen.rps;
+          ms s.Dcn_serve.Load_gen.p99;
+          string_of_int s.Dcn_serve.Load_gen.bound_responses ])
+    legs;
+  Core.Table.print
+    ~title:
+      (Printf.sprintf
+         "serving engines — %d-request warm keep-alive burst, %d-request \
+          saturation (jobs=%d)"
+         serving_warm_requests serving_sat_requests jobs)
+    table;
+  legs
+
 type options = {
   full : bool;
   jobs : int;
@@ -614,6 +773,7 @@ type options = {
   progress : bool;
   sweep_warm : bool;
   orchestrate : bool;
+  serving : bool;
   list : bool;
   targets : string list;
 }
@@ -646,6 +806,7 @@ let parse_args argv =
     | "--progress" :: rest -> go { acc with progress = true } rest
     | "--sweep-warm" :: rest -> go { acc with sweep_warm = true } rest
     | "--orchestrate" :: rest -> go { acc with orchestrate = true } rest
+    | "--serving" :: rest -> go { acc with serving = true } rest
     | "--list" :: rest -> go { acc with list = true } rest
     | ("--help" | "-h") :: _ ->
         usage ();
@@ -658,7 +819,7 @@ let parse_args argv =
     { full = false; jobs = default_jobs; csv_dir = None; bench_json = None;
       cache_dir = None; resume = false; no_cache = false; metrics_file = None;
       trace_file = None; progress = false; sweep_warm = false;
-      orchestrate = false; list = false; targets = [] }
+      orchestrate = false; serving = false; list = false; targets = [] }
     (List.tl (Array.to_list argv))
 
 let () =
@@ -713,7 +874,8 @@ let () =
   (* --sweep-warm alone runs just the warm-start sweeps; explicit targets
      can be given alongside to run both. *)
   let wants name =
-    (names = [] && not opts.sweep_warm && not opts.orchestrate)
+    (names = [] && not opts.sweep_warm && not opts.orchestrate
+   && not opts.serving)
     || List.mem name names
   in
   let known = List.map (fun (n, _, _) -> n) figures @ [ "micro" ] in
@@ -808,6 +970,10 @@ let () =
      fleets; wall-clock speedups land in --bench-json's "orchestrate"
      section. *)
   let orch = if opts.orchestrate then orchestrate_bench () else [] in
+  (* Serving engines: the daemon booted per engine and measured with the
+     keep-alive load generator; throughput/latency land in --bench-json's
+     "serving" section. *)
+  let serving = if opts.serving then serving_bench ~jobs:opts.jobs () else [] in
   (match Core.Store.shared () with
   | Some store ->
       let c = Core.Store.counters store in
@@ -820,7 +986,7 @@ let () =
   | Some path ->
       write_bench_json path
         ~mode:(if opts.full then "full" else "quick")
-        ~jobs:opts.jobs ~figures:computed ~micro ~sweeps ~orch
+        ~jobs:opts.jobs ~figures:computed ~micro ~sweeps ~orch ~serving
         ~total_seconds:(Clock.elapsed_s t0));
   (match opts.metrics_file with
   | None -> ()

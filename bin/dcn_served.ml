@@ -61,12 +61,75 @@ let log_tag_arg =
   in
   Arg.(value & opt (some string) None & info [ "log-tag" ] ~doc ~docv:"TAG")
 
+let engine_arg =
+  let doc =
+    "Serving engine: $(b,threaded) (reference: blocking sockets, one \
+     pool task per connection) or $(b,epoll) (event loop: non-blocking \
+     keep-alive HTTP/1.1 with pipelining, topology-batched solves, hot \
+     LRU cache, load-shedding tiers). Response bodies are byte-identical \
+     across engines."
+  in
+  Arg.(value & opt (enum [ ("threaded", `Threaded); ("epoll", `Epoll) ])
+         `Threaded
+       & info [ "engine" ] ~doc ~docv:"ENGINE")
+
+let max_conns_arg =
+  let doc =
+    "($(b,--engine epoll)) Open-connection budget; accepts beyond it are \
+     answered 429 and closed."
+  in
+  Arg.(value & opt int 1024 & info [ "max-conns" ] ~doc ~docv:"N")
+
+let idle_timeout_arg =
+  let doc =
+    "($(b,--engine epoll)) Close kept-alive connections idle this many \
+     seconds; 0 never closes idlers."
+  in
+  Arg.(value & opt float 30.0 & info [ "idle-timeout" ] ~doc ~docv:"SECONDS")
+
+let hot_cache_arg =
+  let doc =
+    "($(b,--engine epoll)) Hot result cache entries (LRU, byte-identical \
+     rendered bodies, in front of the result store); 0 disables."
+  in
+  Arg.(value & opt int 4096 & info [ "hot-cache" ] ~doc ~docv:"ENTRIES")
+
+let hot_cache_mb_arg =
+  let doc = "($(b,--engine epoll)) Hot result cache byte budget, in MiB." in
+  Arg.(value & opt int 64 & info [ "hot-cache-mb" ] ~doc ~docv:"MIB")
+
+let shed_queue_arg =
+  let doc =
+    "($(b,--engine epoll)) Backlog high watermark: while more than \
+     $(docv) solve jobs queue behind a dispatched batch, solves are \
+     answered with certified upper bounds (\"tier\": \"bound\") instead \
+     of full FPTAS runs; full service resumes at half the watermark. \
+     0 disables shedding (the default — every answer is full tier)."
+  in
+  Arg.(value & opt int 0 & info [ "shed-queue" ] ~doc ~docv:"N")
+
+let shed_latency_arg =
+  let doc =
+    "($(b,--engine epoll)) Shed when the oldest queued solve has waited \
+     this many seconds; 0 disables the latency trigger."
+  in
+  Arg.(value & opt float 0.0 & info [ "shed-latency" ] ~doc ~docv:"SECONDS")
+
+let batch_max_arg =
+  let doc =
+    "($(b,--engine epoll)) Max solve jobs grouped into one topology \
+     batch (one topology build amortized across the batch)."
+  in
+  Arg.(value & opt int 8 & info [ "batch-max" ] ~doc ~docv:"N")
+
 let run host port port_file queue timeout jobs cache_dir no_cache metrics trace
-    access_log trace_buffer log_tag =
-  (* jobs handler domains; the main thread only accepts. *)
+    access_log trace_buffer log_tag engine max_conns idle_timeout hot_cache
+    hot_cache_mb shed_queue shed_latency batch_max =
+  (* jobs handler domains; the main thread only accepts (threaded) or
+     runs the event loop (epoll). *)
   Core.Pool.set_workers jobs;
   ignore (Core.Cli.setup_store cache_dir no_cache);
-  Dcn_serve.Server.serve
+  let base =
     {
       Dcn_serve.Server.default_config with
       host;
@@ -80,6 +143,21 @@ let run host port port_file queue timeout jobs cache_dir no_cache metrics trace
       access_log;
       log_tag;
     }
+  in
+  match engine with
+  | `Threaded -> Dcn_serve.Server.serve base
+  | `Epoll ->
+      Dcn_engine.Engine.serve
+        {
+          (Dcn_engine.Engine.default base) with
+          max_conns = max 1 max_conns;
+          idle_timeout_s = Float.max 0.0 idle_timeout;
+          hot_cache_entries = max 0 hot_cache;
+          hot_cache_bytes = max 0 hot_cache_mb * 1024 * 1024;
+          shed_queue = max 0 shed_queue;
+          shed_latency_s = Float.max 0.0 shed_latency;
+          batch_max = max 1 batch_max;
+        }
 
 let cmd =
   let doc = "serve certified topology-throughput solves over HTTP" in
@@ -104,6 +182,8 @@ let cmd =
       const run $ host_arg $ port_arg $ port_file_arg $ queue_arg $ timeout_arg
       $ Core.Cli.jobs_arg $ Core.Cli.cache_dir_arg $ Core.Cli.no_cache_arg
       $ Core.Cli.metrics_arg $ Core.Cli.trace_arg $ access_log_arg
-      $ trace_buffer_arg $ log_tag_arg)
+      $ trace_buffer_arg $ log_tag_arg $ engine_arg $ max_conns_arg
+      $ idle_timeout_arg $ hot_cache_arg $ hot_cache_mb_arg $ shed_queue_arg
+      $ shed_latency_arg $ batch_max_arg)
 
 let () = exit (Cmd.eval cmd)

@@ -462,6 +462,16 @@ let client_cmd =
                  seed..seed+V-1, round robin), so the mix exercises both \
                  coalescing/cache hits and cold solves deterministically.")
   in
+  let no_keepalive_arg =
+    Arg.(value & flag & info [ "no-keepalive" ]
+           ~doc:"Dial a fresh connection per request in $(b,--load) mode \
+                 instead of per-worker HTTP/1.1 keep-alive connections.")
+  in
+  let pipeline_arg =
+    Arg.(value & opt int 1 & info [ "pipeline" ] ~docv:"DEPTH"
+           ~doc:"Write $(docv) requests per connection before reading the \
+                 responses back in order (keep-alive mode only).")
+  in
   let expect_2xx_arg =
     Arg.(value & flag & info [ "expect-2xx" ]
            ~doc:"Exit non-zero if any request fails or is rejected (CI mode).")
@@ -541,13 +551,18 @@ let client_cmd =
     field "p99_s" (n report.Dcn_serve.Load_gen.p99);
     field "max_s" (n report.Dcn_serve.Load_gen.max_s);
     field "elapsed_s" (n report.Dcn_serve.Load_gen.elapsed_s);
+    field "rps" (n report.Dcn_serve.Load_gen.rps);
+    field "connects" (string_of_int report.Dcn_serve.Load_gen.connects);
+    field "reuse_rate" (n report.Dcn_serve.Load_gen.reuse_rate);
+    field "bound_responses"
+      (string_of_int report.Dcn_serve.Load_gen.bound_responses);
     field "duplicates_identical" ~last:true
       (string_of_bool report.Dcn_serve.Load_gen.duplicates_identical);
     Buffer.add_string buf "}\n";
     Buffer.contents buf
   in
   let run spec host port traffic seed eps gap routing timeout load qps
-      concurrency variants expect_2xx json probe =
+      concurrency variants no_keepalive pipeline expect_2xx json probe =
     if probe then probe_healthz ~host ~port ~json
     else begin
     let spec =
@@ -578,8 +593,9 @@ let client_cmd =
     else begin
       let bodies = Array.init (max 1 variants) (fun i -> body (seed + i)) in
       let report, _rows =
-        Dcn_serve.Load_gen.run ~host ~port ~bodies ~requests:load ~concurrency
-          ~qps
+        Dcn_serve.Load_gen.run ~keepalive:(not no_keepalive)
+          ~pipeline:(max 1 pipeline) ~host ~port ~bodies ~requests:load
+          ~concurrency ~qps ()
       in
       let transport_errors =
         List.fold_left
@@ -623,7 +639,8 @@ let client_cmd =
     Term.(
       const run $ topo_opt_arg $ host_arg $ port_arg $ traffic_arg $ seed_arg
       $ eps_arg $ gap_arg $ routing_arg $ timeout_arg $ load_arg $ qps_arg
-      $ concurrency_arg $ variants_arg $ expect_2xx_arg $ json_arg $ probe_arg)
+      $ concurrency_arg $ variants_arg $ no_keepalive_arg $ pipeline_arg
+      $ expect_2xx_arg $ json_arg $ probe_arg)
 
 (* ---- orchestrate command ---- *)
 

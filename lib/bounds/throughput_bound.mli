@@ -17,3 +17,14 @@ val upper_bound_capacity :
 (** Capacity form for arbitrary (heterogeneous) graphs:
     C / Σⱼ dⱼ·dist(sⱼ,tⱼ) with exact hop distances — the generalization
     used to normalize the FPTAS and to upper-bound λ in tests. *)
+
+val upper_bound_capacity_dist :
+  total_capacity:float ->
+  dist:(int -> int array) ->
+  Dcn_flow.Commodity.t array ->
+  float
+(** The same C / Σⱼ dⱼ·dist(sⱼ,tⱼ) bound with a caller-supplied
+    hop-distance oracle ([dist src] as {!Dcn_graph.Bfs.distances}), so a
+    batched server can share BFS trees across many traffic variants on
+    one topology. Returns [0.] if some commodity's endpoints are
+    disconnected — no positive λ routes that commodity. *)

@@ -1,0 +1,37 @@
+(** Bounded, mutex-guarded LRU cache for hot response bodies.
+
+    Sits in front of the digest-keyed disk store: a hit returns the
+    byte-identical rendered body without resolving the request, touching
+    the store, or taking a pool slot. Bounded by entry count and total
+    bytes (keys + values); least-recently-used entries are evicted when
+    either bound is exceeded. Hits, misses, evictions, entries and bytes
+    are mirrored into the {!Dcn_obs.Metrics} registry under
+    [metrics_prefix]. *)
+
+type t
+
+val create :
+  ?max_bytes:int -> ?metrics_prefix:string -> entries:int -> unit -> t
+(** [entries <= 0] disables the cache: {!find} always misses (without
+    counting), {!insert} is a no-op. [max_bytes] defaults to 64 MiB;
+    [metrics_prefix] to ["engine.cache"]. *)
+
+val enabled : t -> bool
+
+val find : t -> string -> string option
+(** Lookup; a hit promotes the entry to most-recently-used. Safe from
+    any thread. *)
+
+val insert : t -> string -> string -> unit
+(** Insert or refresh [key -> body], then evict from the LRU end while
+    over either bound. Safe from any thread. *)
+
+type stats = {
+  entries : int;
+  bytes : int;  (** Sum of key + value bytes currently held. *)
+  hits : int;
+  misses : int;
+  evictions : int;
+}
+
+val stats : t -> stats

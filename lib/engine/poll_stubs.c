@@ -1,0 +1,75 @@
+/* poll(2) for the serving event loop.
+ *
+ * One stateless entry point: the OCaml side rebuilds the interest set
+ * from its connection table every iteration and passes parallel int
+ * arrays (fds, requested events, returned events). Stateless poll keeps
+ * the stub trivial and portable; at the daemon's connection budgets
+ * (thousands, not millions) rebuilding the set is noise next to one
+ * solve. The runtime lock is released around the blocking wait so pool
+ * workers keep computing while the loop sleeps.
+ *
+ * Event bits, shared with poller.ml: 1 = readable, 2 = writable,
+ * 4 = error/hangup. */
+
+#include <caml/mlvalues.h>
+#include <caml/memory.h>
+#include <caml/fail.h>
+#include <caml/threads.h>
+#include <caml/unixsupport.h>
+#include <poll.h>
+#include <errno.h>
+#include <stdlib.h>
+
+#define DCN_POLL_IN 1
+#define DCN_POLL_OUT 2
+#define DCN_POLL_ERR 4
+
+/* A fixed on-stack set covers every realistic interest set; beyond it we
+ * fall back to malloc rather than cap the connection budget here. */
+#define DCN_POLL_STACK 1024
+
+CAMLprim value dcn_engine_poll(value v_fds, value v_events, value v_revents,
+                               value v_n, value v_timeout_ms)
+{
+  int n = Int_val(v_n);
+  int timeout_ms = Int_val(v_timeout_ms);
+  struct pollfd stack_set[DCN_POLL_STACK];
+  struct pollfd *set = stack_set;
+  int i, ready;
+
+  if (n < 0 || n > Wosize_val(v_fds) || n > Wosize_val(v_events) ||
+      n > Wosize_val(v_revents))
+    caml_invalid_argument("dcn_engine_poll: bad set size");
+  if (n > DCN_POLL_STACK) {
+    set = malloc((size_t)n * sizeof(struct pollfd));
+    if (set == NULL) caml_raise_out_of_memory();
+  }
+  for (i = 0; i < n; i++) {
+    int ev = Int_val(Field(v_events, i));
+    /* Unix.file_descr is an immediate int on Unix. */
+    set[i].fd = Int_val(Field(v_fds, i));
+    set[i].events = ((ev & DCN_POLL_IN) ? POLLIN : 0) |
+                    ((ev & DCN_POLL_OUT) ? POLLOUT : 0);
+    set[i].revents = 0;
+  }
+
+  caml_release_runtime_system();
+  ready = poll(set, (nfds_t)n, timeout_ms);
+  caml_acquire_runtime_system();
+
+  if (ready < 0) {
+    int err = errno;
+    if (set != stack_set) free(set);
+    if (err == EINTR) return Val_int(0); /* spurious wake; caller re-loops */
+    unix_error(err, "poll", Nothing);
+  }
+  for (i = 0; i < n; i++) {
+    int rev = set[i].revents;
+    int out = ((rev & POLLIN) ? DCN_POLL_IN : 0) |
+              ((rev & POLLOUT) ? DCN_POLL_OUT : 0) |
+              ((rev & (POLLERR | POLLHUP | POLLNVAL)) ? DCN_POLL_ERR : 0);
+    Store_field(v_revents, i, Val_int(out));
+  }
+  if (set != stack_set) free(set);
+  return Val_int(ready);
+}

@@ -1,0 +1,60 @@
+(* Readiness multiplexing over the poll(2) stub.
+
+   The interest set is rebuilt from scratch every wait: the engine's
+   connection table is the single source of truth, so there is no
+   register/unregister state to keep coherent with it (the classic epoll
+   bug class). Parallel arrays grow geometrically and are reused across
+   iterations. *)
+
+type event = int
+
+let readable = 1
+let writable = 2
+let error = 4
+let wants mask ev = mask land ev <> 0
+
+external poll_stub :
+  Unix.file_descr array -> int array -> int array -> int -> int -> int
+  = "dcn_engine_poll"
+
+type t = {
+  mutable fds : Unix.file_descr array;
+  mutable events : int array;
+  mutable revents : int array;
+  mutable n : int;
+}
+
+let create () =
+  {
+    fds = Array.make 64 Unix.stdin;
+    events = Array.make 64 0;
+    revents = Array.make 64 0;
+    n = 0;
+  }
+
+let clear t = t.n <- 0
+
+let add t fd ev =
+  let cap = Array.length t.fds in
+  if t.n = cap then begin
+    let fds = Array.make (2 * cap) Unix.stdin in
+    let events = Array.make (2 * cap) 0 in
+    let revents = Array.make (2 * cap) 0 in
+    Array.blit t.fds 0 fds 0 cap;
+    Array.blit t.events 0 events 0 cap;
+    t.fds <- fds;
+    t.events <- events;
+    t.revents <- revents
+  end;
+  t.fds.(t.n) <- fd;
+  t.events.(t.n) <- ev;
+  t.revents.(t.n) <- 0;
+  t.n <- t.n + 1
+
+let wait t ~timeout_ms f =
+  let ready = poll_stub t.fds t.events t.revents t.n timeout_ms in
+  if ready > 0 then
+    for i = 0 to t.n - 1 do
+      if t.revents.(i) <> 0 then f t.fds.(i) t.revents.(i)
+    done;
+  ready

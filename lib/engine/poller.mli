@@ -1,0 +1,36 @@
+(** Readiness multiplexing for the event-loop engine: a thin, reusable
+    interest set over the [poll(2)] C stub (runtime lock released around
+    the blocking wait).
+
+    Usage per loop iteration: {!clear}, {!add} every fd of interest,
+    {!wait}. Rebuilding the set each time keeps the engine's connection
+    table the single source of truth — there is no registration state to
+    drift out of sync. *)
+
+type event = int
+(** Bitmask: {!readable} lor {!writable}; {!error} only appears in
+    returned masks. *)
+
+val readable : event
+val writable : event
+val error : event
+(** Error/hangup on the fd ([POLLERR]/[POLLHUP]/[POLLNVAL]). Delivered
+    even when not requested. *)
+
+val wants : event -> event -> bool
+(** [wants mask ev] tests whether [mask] contains [ev]. *)
+
+type t
+
+val create : unit -> t
+
+val clear : t -> unit
+(** Empty the interest set (arrays are retained and reused). *)
+
+val add : t -> Unix.file_descr -> event -> unit
+
+val wait : t -> timeout_ms:int -> (Unix.file_descr -> event -> unit) -> int
+(** Block until readiness or timeout; call the callback once per ready
+    fd with its returned event mask. Returns the number of ready fds
+    (0 on timeout or [EINTR]). Raises [Unix.Unix_error] on a real poll
+    failure. *)

@@ -40,8 +40,8 @@ let find_exe () =
             "dcn_served.exe";
         ]
 
-let start ?(trace_buffer = false) ?(access_log = false) ~exe ~scratch_dir
-    ~index ~jobs ~cache_dir () =
+let start ?(trace_buffer = false) ?(access_log = false) ?(extra_args = [])
+    ~exe ~scratch_dir ~index ~jobs ~cache_dir () =
   mkdir_p scratch_dir;
   let port_file =
     Filename.concat scratch_dir (Printf.sprintf "worker%d.port" index)
@@ -59,13 +59,14 @@ let start ?(trace_buffer = false) ?(access_log = false) ~exe ~scratch_dir
       | Some d -> [ "--cache-dir"; d ]
       | None -> [ "--no-cache" ])
     @ (if trace_buffer then [ "--trace-buffer" ] else [])
-    @
-    if access_log then
-      [
-        "--access-log";
-        Filename.concat scratch_dir (Printf.sprintf "worker%d.access.jsonl" index);
-      ]
-    else []
+    @ (if access_log then
+         [
+           "--access-log";
+           Filename.concat scratch_dir
+             (Printf.sprintf "worker%d.access.jsonl" index);
+         ]
+       else [])
+    @ extra_args
   in
   let log_fd =
     Unix.openfile log_file [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644

@@ -21,6 +21,7 @@ val find_exe : unit -> string option
 val start :
   ?trace_buffer:bool ->
   ?access_log:bool ->
+  ?extra_args:string list ->
   exe:string ->
   scratch_dir:string ->
   index:int ->
@@ -34,7 +35,9 @@ val start :
     [--log-tag workerN], so its log lines carry its identity and pid.
     [trace_buffer] (default false) starts the daemon with tracing
     buffered for [GET /trace] collection; [access_log] (default false)
-    adds [--access-log <scratch>/workerN.access.jsonl]. *)
+    adds [--access-log <scratch>/workerN.access.jsonl]. [extra_args] are
+    appended verbatim — how the serving bench selects
+    [--engine epoll] and its tuning flags. *)
 
 val endpoint : ?wait_s:float -> proc -> (Worker.endpoint, string) result
 (** Poll the port file (50 ms ticks, default 30 s budget) until the

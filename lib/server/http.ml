@@ -1,9 +1,8 @@
 (* HTTP/1.1, the small closed-world subset the serving layer needs.
 
-   One request per connection (every response carries Connection: close):
-   solve requests are seconds-long computations, so connection reuse buys
-   nothing and closing keeps the server's state machine trivial — the
-   whole protocol is read one request, write one response, close. Bodies
+   The threaded reference server speaks one request per connection (every
+   response carries Connection: close); the event-loop engine reuses this
+   module's types and serialization but keeps connections alive. Bodies
    are delimited by Content-Length only; chunked encoding is not accepted
    (411 from the caller's side). *)
 
@@ -20,7 +19,7 @@ type response = {
   body : string;
 }
 
-type read_error = Closed | Bad of string | Too_large
+type read_error = Closed | Bad of string | Too_large | Headers_too_large
 
 let reason = function
   | 200 -> "OK"
@@ -31,10 +30,17 @@ let reason = function
   | 411 -> "Length Required"
   | 413 -> "Content Too Large"
   | 429 -> "Too Many Requests"
+  | 431 -> "Request Header Fields Too Large"
   | 500 -> "Internal Server Error"
   | 503 -> "Service Unavailable"
   | 504 -> "Gateway Timeout"
   | _ -> "Status"
+
+(* Header budgets shared by the blocking reader and the engine's
+   incremental parser: one line, the whole head, and the header count. *)
+let max_header_line = 8192
+let max_head_bytes = 32768
+let max_header_count = 100
 
 let response ?(headers = []) status body = { status; headers; body }
 
@@ -77,7 +83,7 @@ let read_line r ~max =
         let n = String.length s in
         Ok (if n > 0 && s.[n - 1] = '\r' then String.sub s 0 (n - 1) else s)
     | Some c ->
-        if Buffer.length buf >= max then Error (Bad "header line too long")
+        if Buffer.length buf >= max then Error Headers_too_large
         else begin
           Buffer.add_char buf c;
           go ()
@@ -138,7 +144,7 @@ let split_target target =
 
 let read_request ~max_body fd =
   let r = make_reader fd in
-  let* first = read_line r ~max:8192 in
+  let* first = read_line r ~max:max_header_line in
   let* meth, target =
     match String.split_on_char ' ' first with
     | [ meth; target; version ]
@@ -146,16 +152,20 @@ let read_request ~max_body fd =
         Ok (meth, target)
     | _ -> Error (Bad (Printf.sprintf "malformed request line %S" first))
   in
-  let rec headers acc count =
-    if count > 100 then Error (Bad "too many headers")
+  (* The whole head is bounded, not just each line: many maximal lines
+     would otherwise let a rogue client hold ~800 KiB per connection. *)
+  let rec headers acc count bytes =
+    if count > max_header_count then Error Headers_too_large
     else
-      let* line = read_line r ~max:8192 in
-      if line = "" then Ok (List.rev acc)
+      let* line = read_line r ~max:max_header_line in
+      let bytes = bytes + String.length line + 2 in
+      if bytes > max_head_bytes then Error Headers_too_large
+      else if line = "" then Ok (List.rev acc)
       else
         let* h = parse_header line in
-        headers (h :: acc) (count + 1)
+        headers (h :: acc) (count + 1) bytes
   in
-  let* headers = headers [] 0 in
+  let* headers = headers [] 0 (String.length first + 2) in
   let req = { meth; target; headers; body = "" } in
   match header "content-length" req with
   | None ->
@@ -183,7 +193,10 @@ let write_all fd s =
   in
   go 0
 
-let write_response fd resp =
+(* Keep-alive responses omit the Connection header (persistent is the
+   HTTP/1.1 default); the threaded server always closes, so the bytes it
+   wrote before this function existed are exactly [~keep_alive:false]. *)
+let serialize_response ?(keep_alive = false) resp =
   let buf = Buffer.create (String.length resp.body + 256) in
   Buffer.add_string buf
     (Printf.sprintf "HTTP/1.1 %d %s\r\n" resp.status (reason resp.status));
@@ -191,10 +204,12 @@ let write_response fd resp =
     (fun (name, value) -> Buffer.add_string buf (Printf.sprintf "%s: %s\r\n" name value))
     resp.headers;
   Buffer.add_string buf
-    (Printf.sprintf "Content-Length: %d\r\nConnection: close\r\n\r\n"
-       (String.length resp.body));
+    (Printf.sprintf "Content-Length: %d\r\n%s\r\n" (String.length resp.body)
+       (if keep_alive then "" else "Connection: close\r\n"));
   Buffer.add_string buf resp.body;
-  write_all fd (Buffer.contents buf)
+  Buffer.contents buf
+
+let write_response fd resp = write_all fd (serialize_response resp)
 
 (* ---- client side ---- *)
 
@@ -224,6 +239,205 @@ let connect_opt_timeout fd addr ~host ~port timeout_s =
       Unix.clear_nonblock fd;
       Unix.setsockopt_float fd Unix.SO_RCVTIMEO t;
       Unix.setsockopt_float fd Unix.SO_SNDTIMEO t
+
+(* ---- persistent client connections (keep-alive) ---- *)
+
+type conn = {
+  c_host : string;
+  c_port : int;
+  c_timeout : float option;
+  mutable c_sock : (Unix.file_descr * reader) option;
+  mutable c_used : bool;  (* current socket has carried >= 1 full response *)
+  mutable c_connects : int;
+  mutable c_requests : int;
+}
+
+let conn_create ~host ~port ?timeout_s () =
+  {
+    c_host = host;
+    c_port = port;
+    c_timeout = timeout_s;
+    c_sock = None;
+    c_used = false;
+    c_connects = 0;
+    c_requests = 0;
+  }
+
+let conn_connects c = c.c_connects
+let conn_requests c = c.c_requests
+let conn_alive c = c.c_sock <> None
+
+let conn_close c =
+  match c.c_sock with
+  | None -> ()
+  | Some (fd, _) ->
+      c.c_sock <- None;
+      (try Unix.close fd with Unix.Unix_error _ -> ())
+
+let transport_error c fn e =
+  let what =
+    if e = Unix.EAGAIN || e = Unix.EWOULDBLOCK then "timed out"
+    else Unix.error_message e
+  in
+  Printf.sprintf "%s %s:%d: %s"
+    (if fn = "" then "exchange" else fn)
+    c.c_host c.c_port what
+
+let conn_ensure c : (Unix.file_descr * reader, string) result =
+  match c.c_sock with
+  | Some s -> Ok s
+  | None -> (
+      match
+        try Ok (Unix.gethostbyname c.c_host).Unix.h_addr_list.(0)
+        with Not_found -> (
+          try Ok (Unix.inet_addr_of_string c.c_host)
+          with Failure _ ->
+            Error (Printf.sprintf "cannot resolve host %S" c.c_host))
+      with
+      | Error msg -> Error msg
+      | Ok addr -> (
+          let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+          match
+            connect_opt_timeout fd
+              (Unix.ADDR_INET (addr, c.c_port))
+              ~host:c.c_host ~port:c.c_port c.c_timeout
+          with
+          | exception Unix.Unix_error (e, _, _) ->
+              (try Unix.close fd with Unix.Unix_error _ -> ());
+              Error
+                (Printf.sprintf "connect %s:%d: %s" c.c_host c.c_port
+                   (Unix.error_message e))
+          | () ->
+              (* Request/response round trips on a reused connection are
+                 write-then-wait; Nagle would add a delayed-ACK stall. *)
+              (try Unix.setsockopt fd Unix.TCP_NODELAY true
+               with Unix.Unix_error _ -> ());
+              let s = (fd, make_reader fd) in
+              c.c_sock <- Some s;
+              c.c_used <- false;
+              c.c_connects <- c.c_connects + 1;
+              Ok s))
+
+let conn_send c ~meth ~target ?(headers = []) ?(body = "") () =
+  match conn_ensure c with
+  | Error msg -> Error msg
+  | Ok (fd, _) -> (
+      let content =
+        if body = "" && meth = "GET" then ""
+        else
+          Printf.sprintf
+            "Content-Type: application/json\r\nContent-Length: %d\r\n"
+            (String.length body)
+      in
+      let extra =
+        String.concat ""
+          (List.map
+             (fun (name, value) -> Printf.sprintf "%s: %s\r\n" name value)
+             headers)
+      in
+      (* No Connection header: persistent is the HTTP/1.1 default. *)
+      match
+        write_all fd
+          (Printf.sprintf "%s %s HTTP/1.1\r\nHost: %s\r\n%s%s\r\n%s" meth
+             target c.c_host extra content body)
+      with
+      | () ->
+          c.c_requests <- c.c_requests + 1;
+          Ok ()
+      | exception Unix.Unix_error (e, fn, _) ->
+          conn_close c;
+          Error (transport_error c fn e))
+
+let conn_recv c =
+  match c.c_sock with
+  | None -> Error "not connected"
+  | Some (fd, r) -> (
+      ignore fd;
+      let fail e =
+        conn_close c;
+        Error
+          (match e with
+          | Closed -> "server closed the connection mid-response"
+          | Bad msg -> msg
+          | Too_large -> "response too large"
+          | Headers_too_large -> "response header too large")
+      in
+      try
+        match read_line r ~max:max_header_line with
+        | Error e -> fail e
+        | Ok status_line -> (
+            match
+              match String.split_on_char ' ' status_line with
+              | _ :: code :: _ -> int_of_string_opt code
+              | _ -> None
+            with
+            | None ->
+                conn_close c;
+                Error (Printf.sprintf "bad status line %S" status_line)
+            | Some status -> (
+                let rec headers length close =
+                  match read_line r ~max:max_header_line with
+                  | Error e -> Error e
+                  | Ok "" -> Ok (length, close)
+                  | Ok line -> (
+                      match parse_header line with
+                      | Ok ("content-length", v) ->
+                          headers (int_of_string_opt v) close
+                      | Ok ("connection", v) ->
+                          headers length
+                            (String.lowercase_ascii (String.trim v) = "close")
+                      | Ok _ -> headers length close
+                      | Error e -> Error e)
+                in
+                match headers None false with
+                | Error e -> fail e
+                | Ok (length, close) -> (
+                    match length with
+                    | Some n -> (
+                        match read_exact r n with
+                        | Ok body ->
+                            c.c_used <- true;
+                            if close then conn_close c;
+                            Ok (status, body)
+                        | Error _ ->
+                            conn_close c;
+                            Error "connection closed mid-body")
+                    | None ->
+                        (* No Content-Length: the body is EOF-delimited, so
+                           the connection cannot be reused afterwards. *)
+                        let buf = Buffer.create 1024 in
+                        let rec drain () =
+                          match read_byte r with
+                          | Some ch ->
+                              Buffer.add_char buf ch;
+                              drain ()
+                          | None -> ()
+                        in
+                        drain ();
+                        c.c_used <- true;
+                        conn_close c;
+                        Ok (status, Buffer.contents buf))))
+      with Unix.Unix_error (e, fn, _) ->
+        conn_close c;
+        Error (transport_error c fn e))
+
+let conn_request c ~meth ~target ?headers ?body () =
+  let attempt () =
+    match conn_send c ~meth ~target ?headers ?body () with
+    | Error msg -> Error msg
+    | Ok () -> conn_recv c
+  in
+  let reused = conn_alive c && c.c_used in
+  match attempt () with
+  | Ok r -> Ok r
+  | Error _ when reused ->
+      (* The server may have dropped the kept-alive connection between
+         exchanges (idle timeout, or a close-per-request peer like the
+         threaded engine). One retry on a fresh connection is safe in
+         this idempotent closed world. *)
+      conn_close c;
+      attempt ()
+  | Error msg -> Error msg
 
 let client_request ~host ~port ~meth ~target ?(headers = []) ?(body = "")
     ?timeout_s () =
@@ -265,7 +479,8 @@ let client_request ~host ~port ~meth ~target ?(headers = []) ?(body = "")
               (match e with
               | Closed -> "server closed the connection mid-response"
               | Bad msg -> msg
-              | Too_large -> "response too large")
+              | Too_large -> "response too large"
+              | Headers_too_large -> "response header too large")
           in
           match read_line r ~max:8192 with
           | Error e -> fail e

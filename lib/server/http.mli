@@ -26,20 +26,46 @@ type read_error =
   | Closed  (** Peer closed before sending a request. *)
   | Bad of string  (** Malformed request; respond 400. *)
   | Too_large  (** Declared body exceeds the limit; respond 413. *)
+  | Headers_too_large
+      (** A header line, the header count, or the whole request head
+          exceeds its bound; respond 431. *)
 
 val reason : int -> string
 (** Canonical reason phrase for the status codes the server emits. *)
 
+val max_header_line : int
+(** Bound on one request-head line (request line or header), in bytes. *)
+
+val max_head_bytes : int
+(** Bound on the whole request head (request line + headers), in bytes. *)
+
+val max_header_count : int
+(** Bound on the number of header lines in one request. *)
+
 val response : ?headers:(string * string) list -> int -> string -> response
+
+val parse_header : string -> (string * string, read_error) result
+(** Parse one [Name: value] header line; the name comes back lowercased,
+    the value trimmed. *)
 
 val read_request : max_body:int -> Unix.file_descr -> (request, read_error) result
 (** Blocking read of one request. The body is read fully iff a valid
-    [Content-Length] at most [max_body] is declared. *)
+    [Content-Length] at most [max_body] is declared. The request head is
+    bounded ({!max_header_line}, {!max_head_bytes}, {!max_header_count});
+    overruns surface as [Headers_too_large] regardless of how the bytes
+    were split across reads. *)
+
+val serialize_response : ?keep_alive:bool -> response -> string
+(** Wire bytes of a response. [keep_alive:false] (default) appends
+    [Connection: close] exactly as {!write_response} always has;
+    [keep_alive:true] omits the Connection header (persistent is the
+    HTTP/1.1 default), leaving the body bytes identical. *)
 
 val write_response : Unix.file_descr -> response -> unit
-(** Blocking write of the full response. Raises [Unix.Unix_error] (e.g.
-    [EPIPE]) if the peer is gone; callers ignore that — the response has
-    no one to go to. *)
+(** Blocking write of the full response ([serialize_response
+    ~keep_alive:false]). Raises [Unix.Unix_error] (e.g. [EPIPE]) if the
+    peer is gone; callers ignore that — the response has no one to go
+    to. *)
 
 val header : string -> request -> string option
 (** Case-insensitive header lookup (pass the name in lowercase). *)
@@ -68,3 +94,62 @@ val client_request :
     (kernel [SO_RCVTIMEO]/[SO_SNDTIMEO]); omitted means block
     indefinitely, as before. [headers] adds extra request headers (e.g.
     [x-dcn-trace]) after [Host]. *)
+
+(** {2 Persistent client connections}
+
+    A [conn] is a lazily-connected, reusable HTTP/1.1 client connection:
+    the load generator holds one per worker so a keep-alive server sees a
+    long-lived socket instead of connect-per-request churn. Requests are
+    sent without a [Connection] header (persistent by default); the
+    connection is dropped when the server answers [Connection: close],
+    when a response is EOF-delimited, or on any transport error — the
+    next send transparently reconnects. *)
+
+type conn
+
+val conn_create : host:string -> port:int -> ?timeout_s:float -> unit -> conn
+(** No I/O happens until the first send. [timeout_s] applies to each
+    connect and to each read/write on the socket, as in
+    {!client_request}. *)
+
+val conn_connects : conn -> int
+(** TCP connections opened so far (reuse rate = 1 - connects/requests). *)
+
+val conn_requests : conn -> int
+(** Requests successfully written so far. *)
+
+val conn_alive : conn -> bool
+(** Whether a socket is currently open. *)
+
+val conn_close : conn -> unit
+(** Close the underlying socket if open; the [conn] stays usable and
+    will reconnect on the next send. *)
+
+val conn_send :
+  conn ->
+  meth:string ->
+  target:string ->
+  ?headers:(string * string) list ->
+  ?body:string ->
+  unit ->
+  (unit, string) result
+(** Write one request, connecting first if needed. May be called several
+    times before any {!conn_recv} to pipeline requests on the wire. *)
+
+val conn_recv : conn -> (int * string, string) result
+(** Read one response (status, body) in send order. Transport errors
+    close the socket and come back as [Error]; HTTP error statuses are
+    [Ok]. *)
+
+val conn_request :
+  conn ->
+  meth:string ->
+  target:string ->
+  ?headers:(string * string) list ->
+  ?body:string ->
+  unit ->
+  (int * string, string) result
+(** [conn_send] then [conn_recv]. If the exchange fails on a connection
+    that already served at least one response (the server likely closed
+    it between exchanges), retries exactly once on a fresh connection
+    before reporting the error. *)

@@ -7,7 +7,13 @@
     avoiding coordinated omission), closed-loop when [qps = 0].
     Percentiles use the same fixed-bucket machinery as the server's
     histograms ({!Dcn_obs.Metrics.bucket_index},
-    {!Dcn_obs.Metrics.histogram_quantile}). *)
+    {!Dcn_obs.Metrics.histogram_quantile}).
+
+    Every worker thread holds one persistent HTTP/1.1 keep-alive
+    connection ({!Http.conn}) reused across its requests; the report's
+    [connects]/[reuse_rate] expose how well reuse held (a server that
+    closes per response — or mid-burst — shows up as a low rate, not an
+    error). *)
 
 type row = { status : int; latency_s : float; body : string }
 (** [status = 0] means the connection itself failed. *)
@@ -20,20 +26,40 @@ type report = {
   p99 : float;
   max_s : float;
   duplicates_identical : bool;
-      (** Within each variant, all 2xx bodies were byte-identical. *)
+      (** Within each (variant, serving tier) pair, all 2xx bodies were
+          byte-identical. Bound-tier bodies (marked ["tier": "bound"])
+          are compared against each other, not against full answers. *)
   elapsed_s : float;
+  connects : int;  (** TCP connections established across all workers. *)
+  reuse_rate : float;
+      (** [1 - connects/requests]: 0 when every request dialed fresh,
+          approaching 1 under perfect keep-alive. *)
+  bound_responses : int;  (** 2xx bodies carrying ["tier": "bound"]. *)
+  rps : float;  (** [total / elapsed_s]. *)
 }
 
+val is_bound_body : string -> bool
+(** Whether a response body is marked ["tier": "bound"] (shed tier). *)
+
 val run :
+  ?keepalive:bool ->
+  ?pipeline:int ->
   host:string ->
   port:int ->
   bodies:string array ->
   requests:int ->
   concurrency:int ->
   qps:float ->
+  unit ->
   report * row array
-(** Fire [requests] POSTs at [/solve] from [concurrency] threads; returns
-    the report and the per-request rows (slot [i] is request [i]). Raises
-    [Invalid_argument] on an empty [bodies] or [requests < 1]. *)
+(** Fire [requests] POSTs at [/solve] from [concurrency] worker threads;
+    returns the report and the per-request rows (slot [i] is request
+    [i]). [keepalive] (default true) gives each worker one persistent
+    connection; [false] dials per request. [pipeline] (default 1, only
+    meaningful with keep-alive) writes up to that many requests onto the
+    wire before reading the responses back in order — a mid-chunk
+    failure poisons the rest of the chunk, which reports as transport
+    errors. Raises [Invalid_argument] on an empty [bodies] or
+    [requests < 1]. *)
 
 val print_report : report -> unit

@@ -161,18 +161,44 @@ type resolved = {
   commodities : Core.Commodity.t array;
 }
 
-let resolve t =
-  let topo =
-    match t.topology with
-    | Spec spec -> Cli.build_topology spec ~seed:t.seed
-    | Inline text -> Core.Topology_io.of_string text
-  in
-  (* Same derivation as the CLI front ends: traffic from stream [seed; 1],
-     so "topology": "rrg:40,15,10" here measures exactly what
-     `topobench throughput rrg:40,15,10` measures. *)
+let build_topology t =
+  match t.topology with
+  | Spec spec -> Cli.build_topology spec ~seed:t.seed
+  | Inline text -> Core.Topology_io.of_string text
+
+(* Resolve against an already-built topology: the engine's batched
+   dispatch builds the topology (and its CSR) once per batch and resolves
+   every grouped request against it. The caller owns the claim that
+   [topo] is what [build_topology t] would produce — {!topology_key} is
+   the grouping key that makes the claim safe. *)
+let resolve_with ~topo t =
   let st = Random.State.make [| t.seed; 1 |] in
   let matrix = Cli.make_traffic t.traffic st ~servers:topo.Core.Topology.servers in
   { topo; matrix; commodities = Core.Traffic.to_commodities matrix }
+
+let resolve t =
+  (* Same derivation as the CLI front ends: traffic from stream [seed; 1],
+     so "topology": "rrg:40,15,10" here measures exactly what
+     `topobench throughput rrg:40,15,10` measures. *)
+  resolve_with ~topo:(build_topology t) t
+
+(* Groups requests whose [build_topology] provably returns identical
+   topologies: same naming (spec spelling or inline text) and same seed.
+   A heuristic for batching only — a spec and its own serialized output
+   get different keys and merely miss the amortization, never identity
+   (digests are computed from resolved bytes as always). *)
+let topology_key t =
+  match t.topology with
+  | Spec spec ->
+      Printf.sprintf "spec:%s#%d" (Cli.topo_spec_to_string spec) t.seed
+  | Inline text ->
+      Printf.sprintf "inline:%s#%d" (Core.Digest_key.of_text text) t.seed
+
+(* Hot-cache key: the canonical wire body with the timeout stripped —
+   available before resolution (so a cache hit costs no topology build),
+   and timeout-blind like the digest (the timeout bounds the computation,
+   it does not parameterize the result). *)
+let cache_key t = to_body { t with timeout_s = None }
 
 let params t = Cli.params_of t.eps t.gap
 

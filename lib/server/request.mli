@@ -58,6 +58,30 @@ val resolve : t -> resolved
     ([Invalid_argument], [Failure]) on semantically invalid specs; the
     server maps those to 400. *)
 
+val build_topology : t -> Core.Topology.t
+(** Just the topology construction step of {!resolve}. *)
+
+val resolve_with : topo:Core.Topology.t -> t -> resolved
+(** {!resolve} against an already-built topology, for batched dispatch
+    that amortizes topology (and CSR) construction across requests
+    sharing a {!topology_key}. The caller is responsible for [topo]
+    being what {!build_topology} would return. *)
+
+val topology_key : t -> string
+(** Batching key: equal keys (same spec spelling or inline text, same
+    seed) provably build identical topologies. A heuristic for
+    amortization only — distinct keys can still resolve to equal
+    topologies and merely miss the batch; identity always comes from
+    {!digest}. *)
+
+val cache_key : t -> string
+(** Hot-cache key: the canonical wire body with [timeout_s] stripped.
+    Computable without resolving (a cache hit costs no topology build)
+    and timeout-blind like {!digest}. Distinct spellings of the same
+    resolved instance (a spec vs its inline serialization) get distinct
+    cache keys — they miss the hot cache and fall through to the
+    digest-keyed disk store. *)
+
 val params : t -> Core.Mcmf_fptas.params
 
 val canonical_text : ?solver_version:string -> t -> resolved -> string

@@ -67,6 +67,10 @@ type t = {
   inflight : int Atomic.t;
   started_ns : int64;
   access : Event_log.t option;
+  (* Draining as reported by /healthz: the pool's own flag OR'd with this
+     one, which the serving loop (threaded drain phase, or the event-loop
+     engine) sets the moment it stops admitting solves. *)
+  draining : bool Atomic.t;
 }
 
 let create config =
@@ -76,7 +80,11 @@ let create config =
     inflight = Atomic.make 0;
     started_ns = Clock.now_ns ();
     access = Option.map (fun path -> Event_log.create path) config.access_log;
+    draining = Atomic.make false;
   }
+
+let set_draining t v = Atomic.set t.draining v
+let is_draining t = Core.Pool.draining () || Atomic.get t.draining
 
 let coalesce_pending t = Coalesce.pending t.coalesce
 
@@ -124,6 +132,7 @@ let solve_body ~digest ~(req : Request.t) ~(resolved : Request.resolved)
   field "routing" (Json.quote (Request.routing_to_string req.Request.routing));
   field "eps" (f req.Request.eps);
   field "gap" (f req.Request.gap);
+  field "tier" (Json.quote "fptas");
   field "lambda" (f lambda);
   field "lambda_lower" (f lo);
   field "lambda_upper" (f hi) ~last:true;
@@ -198,6 +207,62 @@ let parse_trace_header (req : Http.request) =
           | _ -> None)
       | _ -> None)
 
+(* The coalesced solve for an already-resolved request. Exported: the
+   event-loop engine resolves requests itself (amortizing topology
+   construction across a batch) and then joins the exact same
+   coalescing/deadline/rendering path, which is what keeps its response
+   bodies byte-identical to the threaded engine's. *)
+let solve_resolved t ~accept_ns ?trace_ids ~digest (req : Request.t)
+    (resolved : Request.resolved) =
+  let deadline =
+    match (req.Request.timeout_s, t.config.default_timeout_s) with
+    | Some s, _ | None, Some s -> Some (Int64.add accept_ns (ns_of_s s))
+    | None, None -> None
+  in
+  let timed_out () =
+    match deadline with Some d -> Clock.now_ns () > d | None -> false
+  in
+  let with_digest sv_role resp = { resp; sv_digest = Some digest; sv_role } in
+  if timed_out () then
+    with_digest None
+      (error_response 504 "deadline exceeded before the solve started")
+  else
+    let outcome =
+      Coalesce.run t.coalesce ~key:digest (fun () ->
+          Metrics.incr m_led;
+          let solve () =
+            Trace.with_span ~cat:"serve" ("solve " ^ digest)
+              (fun () ->
+                (match trace_ids with
+                | Some (_, u, flow) ->
+                    (* Receiving end of the coordinator's dispatch
+                       arrow; binds to this solve span. *)
+                    Trace.flow_in ~cat:"orch" ~id:flow
+                      ("u" ^ string_of_int u)
+                | None -> ());
+                with_deadline deadline (fun () ->
+                    let lambda, bounds = compute_solve req resolved in
+                    solve_body ~digest ~req ~resolved ~lambda ~bounds))
+          in
+          match trace_ids with
+          | Some (trace, u, _) ->
+              (* Everything recorded under here — the solve span,
+                 nested FPTAS/Dijkstra/cache spans, pool tasks
+                 (the pool transplants the context) — carries the
+                 coordinator's trace/unit ids. *)
+              Context.with_ids ~trace ~unit_id:u solve
+          | None -> solve ())
+    in
+    if not outcome.Coalesce.led then Metrics.incr m_coalesced;
+    let role = Some (if outcome.Coalesce.led then "led" else "coalesced") in
+    match outcome.Coalesce.value with
+    | Ok body -> with_digest role (Http.response ~headers:json_headers 200 body)
+    | Error Core.Mcmf_fptas.Cancelled ->
+        with_digest role (error_response 504 "deadline exceeded")
+    | Error (Invalid_argument msg | Failure msg) ->
+        with_digest role (error_response 400 msg)
+    | Error e -> with_digest role (error_response 500 (Printexc.to_string e))
+
 let handle_solve t ~accept_ns (httpreq : Http.request) =
   Metrics.incr m_solves;
   match Request.of_body httpreq.Http.body with
@@ -206,59 +271,10 @@ let handle_solve t ~accept_ns (httpreq : Http.request) =
       match Request.resolve req with
       | exception (Invalid_argument msg | Failure msg | Sys_error msg) ->
           plain (error_response 400 msg)
-      | resolved -> (
+      | resolved ->
           let digest = Request.digest req resolved in
-          let deadline =
-            match (req.Request.timeout_s, t.config.default_timeout_s) with
-            | Some s, _ | None, Some s -> Some (Int64.add accept_ns (ns_of_s s))
-            | None, None -> None
-          in
-          let timed_out () =
-            match deadline with Some d -> Clock.now_ns () > d | None -> false
-          in
-          let with_digest sv_role resp =
-            { resp; sv_digest = Some digest; sv_role }
-          in
-          if timed_out () then
-            with_digest None
-              (error_response 504 "deadline exceeded before the solve started")
-          else
-            let trace_ids = parse_trace_header httpreq in
-            let outcome =
-              Coalesce.run t.coalesce ~key:digest (fun () ->
-                  Metrics.incr m_led;
-                  let solve () =
-                    Trace.with_span ~cat:"serve" ("solve " ^ digest)
-                      (fun () ->
-                        (match trace_ids with
-                        | Some (_, u, flow) ->
-                            (* Receiving end of the coordinator's dispatch
-                               arrow; binds to this solve span. *)
-                            Trace.flow_in ~cat:"orch" ~id:flow
-                              ("u" ^ string_of_int u)
-                        | None -> ());
-                        with_deadline deadline (fun () ->
-                            let lambda, bounds = compute_solve req resolved in
-                            solve_body ~digest ~req ~resolved ~lambda ~bounds))
-                  in
-                  match trace_ids with
-                  | Some (trace, u, _) ->
-                      (* Everything recorded under here — the solve span,
-                         nested FPTAS/Dijkstra/cache spans, pool tasks
-                         (the pool transplants the context) — carries the
-                         coordinator's trace/unit ids. *)
-                      Context.with_ids ~trace ~unit_id:u solve
-                  | None -> solve ())
-            in
-            if not outcome.Coalesce.led then Metrics.incr m_coalesced;
-            let role = Some (if outcome.Coalesce.led then "led" else "coalesced") in
-            match outcome.Coalesce.value with
-            | Ok body -> with_digest role (Http.response ~headers:json_headers 200 body)
-            | Error Core.Mcmf_fptas.Cancelled ->
-                with_digest role (error_response 504 "deadline exceeded")
-            | Error (Invalid_argument msg | Failure msg) ->
-                with_digest role (error_response 400 msg)
-            | Error e -> with_digest role (error_response 500 (Printexc.to_string e))))
+          let trace_ids = parse_trace_header httpreq in
+          solve_resolved t ~accept_ns ?trace_ids ~digest req resolved)
 
 let uptime_ns t = Int64.sub (Clock.now_ns ()) t.started_ns
 
@@ -286,6 +302,51 @@ let trace_response t params =
        (Json.quote Core.Digest_key.solver_version)
        (uptime_ns t) (Unix.getpid ()) (Trace.enabled ()) events)
 
+(* Per-request accounting shared by both engines: latency histogram,
+   status-class counters, one access-log line. Returns the response so
+   dispatch tails straight into it. *)
+let account t ~accept_ns ~meth ~path (served : served) =
+  let resp = served.resp in
+  let wall_s = Clock.elapsed_s accept_ns in
+  Metrics.observe m_request_s wall_s;
+  Metrics.incr
+    (if resp.Http.status < 400 then m_2xx
+     else if resp.Http.status < 500 then m_4xx
+     else m_5xx);
+  (match t.access with
+  | Some log ->
+      Event_log.log log ~ev:"request"
+        ([
+           ("method", Event_log.Str meth);
+           ("path", Event_log.Str path);
+           ("status", Event_log.Int resp.Http.status);
+           ("wall_ms", Event_log.Float (wall_s *. 1e3));
+         ]
+        @ (match served.sv_digest with
+          | Some d -> [ ("digest", Event_log.Str d) ]
+          | None -> [])
+        @
+        match served.sv_role with
+        | Some r -> [ ("role", Event_log.Str r) ]
+        | None -> [])
+  | None -> ());
+  resp
+
+let note_request t ~solve =
+  ignore t;
+  Metrics.incr m_requests;
+  if solve then Metrics.incr m_solves
+
+let reject t kind =
+  ignore t;
+  match kind with
+  | `Capacity ->
+      Metrics.incr m_rejected_capacity;
+      error_response ~headers:[ ("Retry-After", "1") ] 429 "server at capacity"
+  | `Draining ->
+      Metrics.incr m_rejected_draining;
+      error_response ~headers:[ ("Retry-After", "1") ] 503 "server is draining"
+
 let handle t ~accept_ns (req : Http.request) =
   Metrics.incr m_requests;
   let path, params = Http.split_target req.Http.target in
@@ -305,7 +366,7 @@ let handle t ~accept_ns (req : Http.request) =
                 (Json.quote Core.Digest_key.solver_version)
                 (max 1 (Core.Pool.workers ()))
                 t.config.queue_capacity (Atomic.get t.inflight)
-                (Core.Pool.draining ())))
+                (is_draining t)))
     | "GET", "/metrics" ->
         Metrics.set g_inflight (float_of_int (Atomic.get t.inflight));
         plain
@@ -325,31 +386,7 @@ let handle t ~accept_ns (req : Http.request) =
              (Printf.sprintf "%s does not accept %s" path req.Http.meth))
     | _, target -> plain (error_response 404 (Printf.sprintf "no such endpoint %s" target))
   in
-  let resp = served.resp in
-  let wall_s = Clock.elapsed_s accept_ns in
-  Metrics.observe m_request_s wall_s;
-  Metrics.incr
-    (if resp.Http.status < 400 then m_2xx
-     else if resp.Http.status < 500 then m_4xx
-     else m_5xx);
-  (match t.access with
-  | Some log ->
-      Event_log.log log ~ev:"request"
-        ([
-           ("method", Event_log.Str req.Http.meth);
-           ("path", Event_log.Str path);
-           ("status", Event_log.Int resp.Http.status);
-           ("wall_ms", Event_log.Float (wall_s *. 1e3));
-         ]
-        @ (match served.sv_digest with
-          | Some d -> [ ("digest", Event_log.Str d) ]
-          | None -> [])
-        @
-        match served.sv_role with
-        | Some r -> [ ("role", Event_log.Str r) ]
-        | None -> [])
-  | None -> ());
-  resp
+  account t ~accept_ns ~meth:req.Http.meth ~path served
 
 (* ---- connection plumbing ---- *)
 
@@ -370,6 +407,8 @@ let handle_conn t ~accept_ns fd =
       | Error (Http.Bad msg) -> try_write fd (error_response 400 msg)
       | Error Http.Too_large ->
           try_write fd (error_response 413 "request body too large")
+      | Error Http.Headers_too_large ->
+          try_write fd (error_response 431 "request header too large")
       | Ok req -> try_write fd (handle t ~accept_ns req))
 
 let admit t conn =
@@ -380,9 +419,7 @@ let admit t conn =
   let capacity = slots + t.config.queue_capacity in
   if Atomic.fetch_and_add t.inflight 1 >= capacity then begin
     ignore (Atomic.fetch_and_add t.inflight (-1));
-    Metrics.incr m_rejected_capacity;
-    try_write conn
-      (error_response ~headers:[ ("Retry-After", "1") ] 429 "server at capacity");
+    try_write conn (reject t `Capacity);
     try Unix.close conn with Unix.Unix_error _ -> ()
   end
   else begin
@@ -396,14 +433,37 @@ let admit t conn =
     in
     if not (Core.Pool.submit task) then begin
       ignore (Atomic.fetch_and_add t.inflight (-1));
-      Metrics.incr m_rejected_draining;
-      try_write conn
-        (error_response ~headers:[ ("Retry-After", "1") ] 503 "server is draining");
+      try_write conn (reject t `Draining);
       try Unix.close conn with Unix.Unix_error _ -> ()
     end
   end
 
+(* During graceful drain the read-only endpoints keep answering on the
+   accept thread itself (the pool is retiring), so an orchestrator probe
+   never misclassifies a draining worker as dead. Solves get the same
+   503 they would get from a refused submit. *)
+let serve_readonly t conn =
+  let accept_ns = Clock.now_ns () in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close conn with Unix.Unix_error _ -> ())
+    (fun () ->
+      (* A slow client must not stall the drain; one second is plenty for
+         a probe's request head. *)
+      (try Unix.setsockopt_float conn Unix.SO_RCVTIMEO 1.0
+       with Unix.Unix_error _ -> ());
+      match Http.read_request ~max_body:t.config.max_body_bytes conn with
+      | exception Unix.Unix_error _ -> ()
+      | Error _ -> ()
+      | Ok req -> (
+          let path, _ = Http.split_target req.Http.target in
+          match (req.Http.meth, path) with
+          | "GET", ("/healthz" | "/metrics" | "/trace") ->
+              try_write conn (handle t ~accept_ns req)
+          | _ -> try_write conn (reject t `Draining)))
+
 (* ---- lifecycle ---- *)
+
+let close_logs t = Option.iter Event_log.close t.access
 
 let flush_sinks config =
   (match config.metrics_file with
@@ -468,11 +528,28 @@ let serve config =
             ()
         | conn, _ -> admit t conn)
   done;
-  (* Drain: close the door, finish every admitted request, then flush. *)
-  Unix.close listen_fd;
+  (* Drain: stop admitting solves but keep the listener open so
+     /healthz, /metrics and /trace still answer while in-flight solves
+     flush; then retire the pool and flush the sinks. A 30 s cap bounds
+     the drain even if a handler wedges. *)
+  set_draining t true;
   Printf.printf "%sdcn_served: draining %d in-flight request(s)\n%!" tag
     (Atomic.get t.inflight);
+  let drain_deadline = Int64.add (Clock.now_ns ()) (ns_of_s 30.0) in
+  while Atomic.get t.inflight > 0 && Clock.now_ns () < drain_deadline do
+    match Unix.select [ listen_fd ] [] [] 0.05 with
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    | [], _, _ -> ()
+    | _ :: _, _, _ -> (
+        match Unix.accept listen_fd with
+        | exception
+            Unix.Unix_error ((Unix.EINTR | Unix.EAGAIN | Unix.EWOULDBLOCK), _, _)
+          ->
+            ()
+        | conn, _ -> serve_readonly t conn)
+  done;
+  Unix.close listen_fd;
   Core.Pool.shutdown ();
   flush_sinks config;
-  Option.iter Event_log.close t.access;
+  close_logs t;
   Printf.printf "%sdcn_served: drained, exiting\n%!" tag

@@ -91,6 +91,73 @@ val coalesce_pending : t -> int
 (** In-flight coalesced solves (see {!Coalesce.pending}); tests use it to
     rendezvous a duplicate with its leader. *)
 
+(** {2 Building blocks for alternative serving loops}
+
+    The event-loop engine ({!Dcn_engine.Engine}) owns its own sockets
+    and request parsing but reuses this module's dispatch pipeline piece
+    by piece, which is what keeps its response bodies byte-identical to
+    the threaded reference engine's. *)
+
+type served = {
+  resp : Http.response;
+  sv_digest : string option;  (** Solve digest, when the body resolved. *)
+  sv_role : string option;
+      (** Access-log role: ["led"] / ["coalesced"] from solves; an
+          alternative loop may add its own (["hot"], ["bound"]). *)
+}
+
+val plain : Http.response -> served
+(** A [served] with no digest and no role. *)
+
+val error_response :
+  ?headers:(string * string) list -> int -> string -> Http.response
+(** The canonical [{"error": ...}] JSON error body. *)
+
+val solve_resolved :
+  t ->
+  accept_ns:int64 ->
+  ?trace_ids:string * int * int ->
+  digest:string ->
+  Request.t ->
+  Request.resolved ->
+  served
+(** The full solve path for an already-resolved request: deadline from
+    [accept_ns], digest coalescing, cooperative cancellation, exact
+    response-body rendering, result-store write-through. [trace_ids] is
+    the parsed [x-dcn-trace] header ({!parse_trace_header}). *)
+
+val account : t -> accept_ns:int64 -> meth:string -> path:string -> served -> Http.response
+(** Per-request accounting (latency histogram, status-class counters,
+    access-log line); returns [served.resp]. {!handle} calls this
+    itself — only alternative loops that dispatched around {!handle}
+    need it. *)
+
+val note_request : t -> solve:bool -> unit
+(** Count one incoming request (and one solve request) in the serve
+    metrics, as {!handle} does on entry. *)
+
+val reject : t -> [ `Capacity | `Draining ] -> Http.response
+(** The canonical 429/503 admission rejection, counted in the rejection
+    metrics. *)
+
+val parse_trace_header : Http.request -> (string * int * int) option
+(** Parse [x-dcn-trace: trace_id/unit_id/flow_id]; [None] when absent or
+    malformed. *)
+
+val set_draining : t -> bool -> unit
+(** Mark the server as draining: [/healthz] reports [draining: true] and
+    orchestrators stop dispatching here. OR'd with the pool's own drain
+    flag. *)
+
+val is_draining : t -> bool
+
+val flush_sinks : config -> unit
+(** Write the metrics snapshot and trace file, when configured. *)
+
+val close_logs : t -> unit
+(** Close the access log, when configured; the last step of a serving
+    loop's shutdown. *)
+
 val serve : config -> unit
 (** Bind, listen, print the [listening] line, run the accept loop until
     SIGTERM/SIGINT, drain, flush, return. Installs signal handlers and

@@ -28,6 +28,7 @@ let () =
       Test_warm.suite;
       Test_properties.suite;
       Test_serve.suite;
+      Test_engine.suite;
       Test_orchestrate.suite;
       Test_lint.suite;
       Test_integration.suite;

@@ -131,6 +131,91 @@ let test_http_response_wire_format () =
       has "Content-Length: 5\r\n";
       has "Connection: close\r\n\r\nhello")
 
+(* A request delivered one byte at a time: the reader must reassemble
+   it identically to a single write, whatever the read boundaries. *)
+let test_http_dribbled_request () =
+  let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () -> List.iter (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ()) [ a; b ])
+    (fun () ->
+      let body = "{\"topology\": \"rrg:12,6,3\"}" in
+      let raw =
+        Printf.sprintf
+          "POST /solve HTTP/1.1\r\nHost: x\r\nContent-Length: %d\r\n\r\n%s"
+          (String.length body) body
+      in
+      let writer =
+        Thread.create
+          (fun () ->
+            String.iter
+              (fun c ->
+                ignore (Unix.write_substring a (String.make 1 c) 0 1))
+              raw)
+          ()
+      in
+      (match Http.read_request ~max_body:1_000_000 b with
+      | Ok req ->
+          Alcotest.(check string) "target" "/solve" req.Http.target;
+          Alcotest.(check string) "body" body req.Http.body
+      | Error _ -> Alcotest.fail "dribbled read_request failed");
+      Thread.join writer)
+
+(* Unbounded header lines / header blocks must fail with the dedicated
+   431 error, not hang or allocate without limit. *)
+let test_http_oversized_headers () =
+  let giant_line () =
+    let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    Fun.protect
+      ~finally:(fun () -> List.iter (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ()) [ a; b ])
+      (fun () ->
+        let raw =
+          "GET / HTTP/1.1\r\nX-Big: " ^ String.make (Http.max_header_line + 10) 'a'
+          ^ "\r\n\r\n"
+        in
+        let writer =
+          Thread.create
+            (fun () ->
+              (try ignore (Unix.write_substring a raw 0 (String.length raw))
+               with Unix.Unix_error _ -> ()))
+            ()
+        in
+        (match Http.read_request ~max_body:1024 b with
+        | Error Http.Headers_too_large -> ()
+        | Ok _ | Error _ ->
+            Alcotest.fail "oversized header line must be Headers_too_large");
+        Thread.join writer)
+  in
+  let too_many () =
+    let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    Fun.protect
+      ~finally:(fun () -> List.iter (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ()) [ a; b ])
+      (fun () ->
+        let buf = Buffer.create 4096 in
+        Buffer.add_string buf "GET / HTTP/1.1\r\n";
+        for i = 0 to Http.max_header_count + 5 do
+          Buffer.add_string buf (Printf.sprintf "X-H%d: v\r\n" i)
+        done;
+        Buffer.add_string buf "\r\n";
+        let raw = Buffer.contents buf in
+        let writer =
+          Thread.create
+            (fun () ->
+              (try ignore (Unix.write_substring a raw 0 (String.length raw))
+               with Unix.Unix_error _ -> ()))
+            ()
+        in
+        (match Http.read_request ~max_body:1024 b with
+        | Error Http.Headers_too_large -> ()
+        | Ok _ | Error _ ->
+            Alcotest.fail "too many headers must be Headers_too_large");
+        Thread.join writer)
+  in
+  giant_line ();
+  too_many ();
+  (* 431 has a reason phrase on the wire. *)
+  Alcotest.(check bool) "431 reason" true
+    (String.length (Http.serialize_response (Http.response 431 "x")) > 0)
+
 (* ---- request decoding ---- *)
 
 let test_request_defaults () =
@@ -648,6 +733,31 @@ let test_metrics_io_roundtrip_merge () =
       | Ok _ -> Alcotest.fail "mismatched counts length must be rejected"
       | Error _ -> ())
 
+(* Read-only endpoints keep answering while the server drains: the flag
+   flips healthz (so orchestrators stop dispatching) and new solves are
+   rejected 503, but the probe itself still works. *)
+let test_server_draining_flag () =
+  let srv = Server.create no_timeout_config in
+  let contains s sub =
+    let sl = String.length sub and tl = String.length s in
+    let rec go i = i + sl <= tl && (String.sub s i sl = sub || go (i + 1)) in
+    go 0
+  in
+  Server.set_draining srv true;
+  Alcotest.(check bool) "is_draining" true (Server.is_draining srv);
+  let h = handle srv (mkreq ~meth:"GET" ~target:"/healthz" "") in
+  Alcotest.(check int) "healthz still 200" 200 h.Http.status;
+  Alcotest.(check bool) "healthz reports draining" true
+    (contains h.Http.body "\"draining\": true");
+  let m = handle srv (mkreq ~meth:"GET" ~target:"/metrics" "") in
+  Alcotest.(check int) "metrics still 200" 200 m.Http.status;
+  let r = Server.reject srv `Draining in
+  Alcotest.(check int) "new solves 503" 503 r.Http.status;
+  Server.set_draining srv false;
+  let h = handle srv (mkreq ~meth:"GET" ~target:"/healthz" "") in
+  Alcotest.(check bool) "flag clears" true
+    (contains h.Http.body "\"draining\": false")
+
 let suite =
   ( "serve",
     [
@@ -658,6 +768,10 @@ let suite =
       Alcotest.test_case "http body limit" `Quick test_http_body_limit;
       Alcotest.test_case "http response wire format" `Quick
         test_http_response_wire_format;
+      Alcotest.test_case "http dribbled request" `Quick
+        test_http_dribbled_request;
+      Alcotest.test_case "http oversized headers get 431" `Quick
+        test_http_oversized_headers;
       Alcotest.test_case "request defaults" `Quick test_request_defaults;
       Alcotest.test_case "request rejects" `Quick test_request_rejects;
       Alcotest.test_case "routing round-trip" `Quick test_routing_roundtrip;
@@ -686,4 +800,6 @@ let suite =
       Alcotest.test_case "access log lines" `Quick test_server_access_log;
       Alcotest.test_case "metrics wire round-trip merges" `Quick
         test_metrics_io_roundtrip_merge;
+      Alcotest.test_case "draining flag: healthz + 503" `Quick
+        test_server_draining_flag;
     ] )
