@@ -26,6 +26,7 @@ let () =
   let pool_scopes = ref [] in
   let clock_ok = ref [] in
   let only_rules = ref [] in
+  let excludes = ref [] in
   let list_rules = ref false in
   let paths = ref [] in
   let spec =
@@ -51,6 +52,9 @@ let () =
       ( "--rule",
         Arg.String (fun s -> only_rules := s :: !only_rules),
         "ID run only this rule (repeatable)" );
+      ( "--exclude",
+        Arg.String (fun s -> excludes := s :: !excludes),
+        "PREFIX skip units whose source path starts here (repeatable)" );
       ("--list-rules", Arg.Set list_rules, " print the rule table and exit");
     ]
   in
@@ -83,6 +87,7 @@ let () =
         (if !clock_ok = [] then Driver.default_options.Driver.clock_ok
          else List.rev !clock_ok);
       only_rules = (if !only_rules = [] then None else Some (List.rev !only_rules));
+      excludes = List.rev !excludes;
     }
   in
   let report = Driver.run opts (List.rev !paths) in

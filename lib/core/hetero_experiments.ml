@@ -556,10 +556,13 @@ let fig11 scale =
               let f = { nl; kl; ns; ks; total_servers = total } in
               let split = proportional_split f in
               let grid = cross_grid scale in
+              (* snapshot before dispatch: pool tasks must not read the
+                 mutable counter (domain-escape) *)
+              let cfg = !config_id in
               let rows =
                 Parallel.map
                   (fun x ->
-                    let salt = 11000 + (100 * !config_id) + int_of_float (x *. 20.0) in
+                    let salt = 11000 + (100 * cfg) + int_of_float (x *. 20.0) in
                     let _, _, topo, tm = measure scale ~salt ~cross_fraction:x f ~split in
                     (x, topo, tm))
                   grid

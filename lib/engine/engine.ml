@@ -101,7 +101,7 @@ type loop = {
   conns : (int, conn) Hashtbl.t;
   by_fd : (Unix.file_descr, int) Hashtbl.t;
   pending : job Queue.t;  (* loop thread only *)
-  completions : completion Queue.t;  (* guarded by comp_lock *)
+  completions : completion Queue.t [@dcn.guarded_by "comp_lock"];
   comp_lock : Mutex.t;
   wake_r : Unix.file_descr;
   wake_w : Unix.file_descr;
@@ -136,14 +136,20 @@ let close_conn lp c =
 
 (* Write as much of the output queue as the socket takes; close on flush
    when the protocol said so. *)
-let try_write lp c =
+let[@dcn.event_loop] try_write lp c =
   if not c.c_dead then begin
     (try
        let progress = ref true in
        while (not (Queue.is_empty c.c_out)) && !progress do
          let s = Queue.peek c.c_out in
          let len = String.length s - c.c_out_off in
-         let n = Unix.write_substring c.c_fd s c.c_out_off len in
+         let n =
+           (Unix.write_substring c.c_fd s c.c_out_off len
+           [@dcn.lint
+             "loop-blocking: connection sockets are set nonblocking at \
+              accept; a full buffer returns EAGAIN (handled below), never \
+              blocks"])
+         in
          if n = len then begin
            ignore (Queue.pop c.c_out);
            c.c_out_off <- 0
@@ -255,9 +261,13 @@ let launch_batch lp jobs tier =
   in
   (* submit only refuses after Pool.shutdown, which this loop performs
      last; run inline rather than drop work if it ever races. *)
-  if not (Pool.submit task) then task ()
+  if not (Pool.submit task) then
+    (task ()
+    [@dcn.lint
+      "loop-blocking: inline fallback only fires after Pool.shutdown, \
+       when the loop is already draining and latency tiers are moot"])
 
-let dispatch lp =
+let[@dcn.event_loop] dispatch lp =
   Metrics.set g_queue (float_of_int (Queue.length lp.pending));
   let max_batches = max 1 (Pool.workers ()) in
   while
@@ -364,7 +374,12 @@ let dispatch_request lp c slot (req : Http.request) =
   | _ ->
       (* GET /healthz, /metrics, /trace and every error path: the
          threaded dispatcher verbatim, so bodies and metrics match. *)
-      complete lp c slot (Server.handle lp.srv ~accept_ns req)
+      complete lp c slot
+        (Server.handle lp.srv ~accept_ns req
+        [@dcn.lint
+          "loop-blocking: non-solve endpoints render in-memory state \
+           (health, metrics, trace snapshots); file writes happen on \
+           explicit dump requests the operator issues while idle"])
 
 let process_stream lp c =
   let continue = ref true in
@@ -387,8 +402,13 @@ let process_stream lp c =
         dispatch_request lp c slot req
   done
 
-let on_readable lp c =
-  match Unix.read c.c_fd lp.read_buf 0 (Bytes.length lp.read_buf) with
+let[@dcn.event_loop] on_readable lp c =
+  match
+    (Unix.read c.c_fd lp.read_buf 0 (Bytes.length lp.read_buf)
+    [@dcn.lint
+      "loop-blocking: connection sockets are set nonblocking at accept; \
+       an empty buffer returns EAGAIN (handled below), never blocks"])
+  with
   | exception
       Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) ->
       ()
@@ -401,10 +421,15 @@ let on_readable lp c =
       Reqstream.feed c.c_stream lp.read_buf n;
       process_stream lp c
 
-let accept_ready lp listen_fd =
+let[@dcn.event_loop] accept_ready lp listen_fd =
   let continue = ref true in
   while !continue do
-    match Unix.accept listen_fd with
+    match
+      (Unix.accept listen_fd
+      [@dcn.lint
+        "loop-blocking: the listen socket is set nonblocking in [serve]; \
+         an empty accept queue returns EAGAIN (handled below)"])
+    with
     | exception
         Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
       ->
@@ -412,7 +437,11 @@ let accept_ready lp listen_fd =
     | fd, _ ->
         if Hashtbl.length lp.conns >= lp.cfg.max_conns then begin
           (* Best-effort 429 on the (fresh, empty-buffer) socket. *)
-          (try Http.write_response fd (Server.reject lp.srv `Capacity)
+          (try
+             Http.write_response fd (Server.reject lp.srv `Capacity)
+             [@dcn.lint
+               "loop-blocking: one small write into a fresh socket's empty \
+                kernel buffer; cannot stall on a 64KiB-plus backlog"]
            with Unix.Unix_error _ -> ());
           try Unix.close fd with Unix.Unix_error _ -> ()
         end
@@ -448,7 +477,7 @@ let accept_ready lp listen_fd =
         end
   done
 
-let drain_completions lp =
+let[@dcn.event_loop] drain_completions lp =
   Mutex.lock lp.comp_lock;
   let items = Queue.create () in
   Queue.transfer lp.completions items;
@@ -459,7 +488,7 @@ let drain_completions lp =
       | Batch_done -> lp.inflight_batches <- lp.inflight_batches - 1)
     items
 
-let sweep_idle lp =
+let[@dcn.event_loop] sweep_idle lp =
   if lp.cfg.idle_timeout_s > 0.0 then begin
     let victims = ref [] in
     Hashtbl.iter

@@ -18,14 +18,14 @@ type node = {
 
 type t = {
   lock : Mutex.t;
-  table : (string, node) Hashtbl.t;
+  table : (string, node) Hashtbl.t [@dcn.guarded_by "lock"];
   sentinel : node;
   max_entries : int;
   max_bytes : int;
-  mutable bytes : int;
-  mutable hits : int;
-  mutable misses : int;
-  mutable evictions : int;
+  mutable bytes : int [@dcn.guarded_by "lock"];
+  mutable hits : int [@dcn.guarded_by "lock"];
+  mutable misses : int [@dcn.guarded_by "lock"];
+  mutable evictions : int [@dcn.guarded_by "lock"];
   m_hits : Metrics.counter;
   m_misses : Metrics.counter;
   m_evictions : Metrics.counter;

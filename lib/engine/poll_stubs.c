@@ -37,8 +37,8 @@ CAMLprim value dcn_engine_poll(value v_fds, value v_events, value v_revents,
   struct pollfd *set = stack_set;
   int i, ready;
 
-  if (n < 0 || n > Wosize_val(v_fds) || n > Wosize_val(v_events) ||
-      n > Wosize_val(v_revents))
+  if (n < 0 || (uintnat)n > Wosize_val(v_fds) ||
+      (uintnat)n > Wosize_val(v_events) || (uintnat)n > Wosize_val(v_revents))
     caml_invalid_argument("dcn_engine_poll: bad set size");
   if (n > DCN_POLL_STACK) {
     set = malloc((size_t)n * sizeof(struct pollfd));

@@ -42,10 +42,11 @@ let compare_entry a b =
       let c = Int.compare a.col b.col in
       if c <> 0 then c else String.compare a.rule b.rule
 
-let save path findings =
-  let entries =
-    List.map entry_of_finding findings |> List.sort_uniq compare_entry
-  in
+(* Deterministic on purpose: stable sort by (file, line, col, rule) and
+   dedupe, so [--update-baseline] twice in a row is a byte-level fixpoint
+   regardless of finding order (test_lint pins this). *)
+let save_entries path entries =
+  let entries = List.sort_uniq compare_entry entries in
   let buf = Buffer.create 256 in
   Buffer.add_string buf
     "# dcn_lint baseline: grandfathered findings, one file:line:col:rule per \
@@ -58,6 +59,8 @@ let save path findings =
     entries;
   Out_channel.with_open_text path (fun oc ->
       Out_channel.output_string oc (Buffer.contents buf))
+
+let save path findings = save_entries path (List.map entry_of_finding findings)
 
 type split = {
   fresh : Finding.t list;

@@ -16,7 +16,12 @@ val load : string -> entry list
 (** Missing file = empty baseline. *)
 
 val save : string -> Finding.t list -> unit
-(** Writes the sorted, deduplicated baseline for [findings]. *)
+(** Writes the sorted, deduplicated baseline for [findings]. Deterministic:
+    the output depends only on the entry set, never on finding order, so
+    rewriting twice is a fixpoint. *)
+
+val save_entries : string -> entry list -> unit
+(** {!save} for already-converted entries (e.g. a loaded baseline). *)
 
 type split = {
   fresh : Finding.t list;  (** findings not covered by the baseline *)

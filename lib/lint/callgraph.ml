@@ -1,0 +1,149 @@
+(* The whole-program call graph over module summaries.
+
+   Nodes come from {!Collect}; edges are the references whose target id
+   names another node. [roots] are the entry points an outside caller can
+   reach with no locks held: every [(init)] pseudo-node (module
+   initialization runs unlocked at load time) plus every top-level node
+   the unit's interface exports. When a unit has no .cmti, everything
+   top-level is treated as exported — the conservative direction for
+   lockset, which asks "can this be entered unlocked?". *)
+
+type export = Exact of string | Prefix of string
+
+type t = {
+  cg_nodes : (string, Summary.node) Hashtbl.t;
+  cg_summaries : Summary.t list;
+  cg_roots : string list;  (* sorted *)
+  cg_guarded : Summary.guarded list;
+  cg_long_held : string list;
+}
+
+let matches_export id = function
+  | Exact e -> e = id
+  | Prefix p ->
+      String.length id >= String.length p && String.sub id 0 (String.length p) = p
+
+let build ~exports (summaries : Summary.t list) =
+  let cg_nodes = Hashtbl.create 256 in
+  List.iter
+    (fun sm ->
+      List.iter
+        (fun (n : Summary.node) -> Hashtbl.replace cg_nodes n.n_id n)
+        sm.Summary.sm_nodes)
+    summaries;
+  let exported sm (n : Summary.node) =
+    n.Summary.n_name = Summary.init_name
+    ||
+    match exports sm.Summary.sm_module with
+    | None -> true  (* no interface: everything is reachable *)
+    | Some exs -> List.exists (matches_export n.Summary.n_id) exs
+  in
+  let cg_roots =
+    List.concat_map
+      (fun sm ->
+        List.filter_map
+          (fun (n : Summary.node) ->
+            if n.n_toplevel && exported sm n then Some n.n_id else None)
+          sm.Summary.sm_nodes)
+      summaries
+    |> List.sort_uniq compare
+  in
+  {
+    cg_nodes;
+    cg_summaries = summaries;
+    cg_roots;
+    cg_guarded = List.concat_map (fun sm -> sm.Summary.sm_guarded) summaries;
+    cg_long_held =
+      List.concat_map (fun sm -> sm.Summary.sm_long_held) summaries;
+  }
+
+let node t id = Hashtbl.find_opt t.cg_nodes id
+let roots t = t.cg_roots
+let summaries t = t.cg_summaries
+let guarded t = t.cg_guarded
+let long_held t = t.cg_long_held
+
+let iter_nodes t f =
+  List.iter
+    (fun sm -> List.iter f sm.Summary.sm_nodes)
+    t.cg_summaries
+
+(* Nodes possibly entered while [mutex] is NOT held, with a one-line
+   witness for messages. Seeds: the export roots, and the target of every
+   detached reference (a spawned/deferred closure runs with no caller
+   locks regardless of where it was created). An edge n -> g propagates
+   "unlocked" when the reference neither holds [mutex] nor carries an
+   in-scope lockset suppression (the suppression vouches for the edge). *)
+let unlocked_set t ~mutex =
+  let u : (string, string) Hashtbl.t = Hashtbl.create 64 in
+  let q = Queue.create () in
+  let add id why =
+    if (not (Hashtbl.mem u id)) && Hashtbl.mem t.cg_nodes id then begin
+      Hashtbl.add u id why;
+      Queue.add id q
+    end
+  in
+  List.iter (fun r -> add r "it is callable from outside the library") t.cg_roots;
+  iter_nodes t (fun n ->
+      List.iter
+        (fun (r : Summary.reference) ->
+          if r.r_detached then
+            add r.r_target
+              "it runs detached (spawned thread/domain, pool task, or \
+               at_exit), where no caller lock survives")
+        n.Summary.n_refs);
+  while not (Queue.is_empty q) do
+    let id = Queue.pop q in
+    match Hashtbl.find_opt t.cg_nodes id with
+    | None -> ()
+    | Some n ->
+        List.iter
+          (fun (r : Summary.reference) ->
+            if
+              (not (List.mem mutex r.r_held))
+              && Summary.suppressed_at r.r_site "lockset" = None
+            then
+              add r.r_target
+                (Printf.sprintf "it is called without the lock from %s" id))
+          n.Summary.n_refs
+  done;
+  u
+
+(* Breadth-first reachability from one root, skipping detached references
+   (pool dispatch and spawns break the synchronous chain) and edges
+   carrying a loop-blocking suppression. Returns the visited set with
+   parent pointers for path reconstruction. *)
+let reach_sync t ~root =
+  let visited : (string, string option) Hashtbl.t = Hashtbl.create 64 in
+  let q = Queue.create () in
+  if Hashtbl.mem t.cg_nodes root then begin
+    Hashtbl.add visited root None;
+    Queue.add root q
+  end;
+  while not (Queue.is_empty q) do
+    let id = Queue.pop q in
+    match Hashtbl.find_opt t.cg_nodes id with
+    | None -> ()
+    | Some n ->
+        List.iter
+          (fun (r : Summary.reference) ->
+            if
+              (not r.r_detached)
+              && (not (Hashtbl.mem visited r.r_target))
+              && Hashtbl.mem t.cg_nodes r.r_target
+              && Summary.suppressed_at r.r_site "loop-blocking" = None
+            then begin
+              Hashtbl.add visited r.r_target (Some id);
+              Queue.add r.r_target q
+            end)
+          n.Summary.n_refs
+  done;
+  visited
+
+let path_to visited id =
+  let rec up acc id =
+    match Hashtbl.find_opt visited id with
+    | Some (Some parent) -> up (id :: acc) parent
+    | _ -> id :: acc
+  in
+  up [] id

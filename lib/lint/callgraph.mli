@@ -1,0 +1,36 @@
+(** Whole-program call graph over {!Summary.t} values, with the two
+    reachability queries the flow rules need. *)
+
+type export =
+  | Exact of string  (** an exported top-level value's node id *)
+  | Prefix of string
+      (** everything under this id prefix (submodules whose signature the
+          driver does not enumerate) *)
+
+type t
+
+val build : exports:(string -> export list option) -> Summary.t list -> t
+(** [exports m] is the export list for normalized module path [m], or
+    [None] when the unit has no interface (then everything top-level in it
+    is treated as externally callable). *)
+
+val node : t -> string -> Summary.node option
+val roots : t -> string list
+val summaries : t -> Summary.t list
+val guarded : t -> Summary.guarded list
+val long_held : t -> string list
+val iter_nodes : t -> (Summary.node -> unit) -> unit
+
+val unlocked_set : t -> mutex:string -> (string, string) Hashtbl.t
+(** Node ids possibly entered while [mutex] is not held, mapped to a
+    human-readable witness. Seeds are the export roots and every target of
+    a detached reference; propagation follows references that do not hold
+    [mutex] and carry no lockset suppression. *)
+
+val reach_sync : t -> root:string -> (string, string option) Hashtbl.t
+(** Nodes synchronously reachable from [root]: detached references and
+    loop-blocking-suppressed edges are not followed. Values are parent
+    pointers ([None] at the root). *)
+
+val path_to : (string, string option) Hashtbl.t -> string -> string list
+(** Reconstruct root-to-node path from a {!reach_sync} result. *)

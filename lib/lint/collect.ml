@@ -1,0 +1,808 @@
+(* Per-module collection for the interprocedural rules.
+
+   One walk over a typed implementation produces a {!Summary.t}: call-graph
+   nodes with context-tagged outgoing references, [@dcn.guarded_by]
+   annotations, [@dcn.event_loop]/[@dcn.long_held] markers, and
+   domain-escape candidates. The walk is flow-sensitive about mutexes:
+   [Mutex.lock m] in statement position adds [m] to the lexically-held set
+   for the rest of the sequence, [Mutex.unlock m] removes it, and
+   [Mutex.protect m (fun () -> …)] holds [m] inside the closure literal.
+
+   Conservative fallbacks, all in the accepting direction for lockset and
+   the skipping direction for call edges (documented in docs/lint.md and
+   pinned by the clean_cg_* fixtures):
+   - closures "run where written": an anonymous closure inherits the held
+     set of its definition site, except arguments to spawn-class functions
+     (Domain.spawn, Thread.create, at_exit) and pool dispatch, which run
+     detached with nothing held;
+   - calls through functor applications, functor parameters, first-class
+     modules and higher-order function parameters resolve to no target and
+     produce no edge — they can hide neither a false lockset finding nor a
+     loop-blocking edge, only missed ones;
+   - branch-local lock effects ([if]/[match] arms that lock without
+     unlocking) do not survive past the branch;
+   - record-field mutex identity is per type, not per value: two values of
+     one annotated record type are not distinguished. *)
+
+open Typedtree
+
+type env = {
+  held : string list;  (* mutex ids, innermost lock first *)
+  detached : bool;
+}
+
+type st = {
+  modname : string;
+  source : string;
+  (* ident environments (idents are globally unique per cmt) *)
+  top_values : (Ident.t, string) Hashtbl.t;
+  local_fns : (Ident.t, string) Hashtbl.t;
+  local_vals : (Ident.t, string) Hashtbl.t;  (* local mutexes / guarded *)
+  locals_ty : (Ident.t, Types.type_expr) Hashtbl.t;
+  mod_env : (Ident.t, string option) Hashtbl.t;  (* None = unresolvable *)
+  type_ids : (Ident.t, string) Hashtbl.t;  (* type ident -> fq type path *)
+  top_ids : (string, unit) Hashtbl.t;  (* all top-level value ids *)
+  brokers : (string, string list) Hashtbl.t;  (* node id -> held fields *)
+  mutable local_mutable : Ident.t list;
+  mutable name_scope : (string * string) list;  (* name -> id, innermost first *)
+  mutable sup_stack : (string * string) list list;
+  mutable file_sups : (string * string) list;
+  mutable cur : Summary.reference list ref;  (* refs of the node being built *)
+  mutable cur_node : string;  (* its id, for naming local functions *)
+  init_refs : Summary.reference list ref;
+  mutable nodes : Summary.node list;
+  mutable guarded : Summary.guarded list;
+  mutable long_held : string list;
+  mutable escape : (Finding.t * Summary.site) list;
+  mutable attr_bad : Finding.t list;
+}
+
+(* ---- names and paths ------------------------------------------------ *)
+
+(* Dune wraps library modules as "Dcn_util__Pool"; cross-module paths
+   spell the same module "Dcn_util.Pool". Normalize to the dotted form. *)
+let normalize_unit name =
+  let buf = Buffer.create (String.length name) in
+  let n = String.length name in
+  let i = ref 0 in
+  while !i < n do
+    if !i + 1 < n && name.[!i] = '_' && name.[!i + 1] = '_' then begin
+      Buffer.add_char buf '.';
+      i := !i + 2
+    end
+    else begin
+      Buffer.add_char buf name.[!i];
+      incr i
+    end
+  done;
+  Buffer.contents buf
+
+let rec module_prefix st (p : Path.t) =
+  match p with
+  | Path.Pident id -> (
+      match Hashtbl.find_opt st.mod_env id with
+      | Some resolved -> resolved  (* may be None: unresolvable alias *)
+      | None -> if Ident.global id then Some (normalize_unit (Ident.name id)) else None)
+  | Path.Pdot (pre, s) ->
+      Option.map (fun x -> x ^ "." ^ s) (module_prefix st pre)
+  | Path.Papply _ | Path.Pextra_ty _ -> None
+
+let resolve_value st (p : Path.t) =
+  match p with
+  | Path.Pident id -> (
+      match Hashtbl.find_opt st.top_values id with
+      | Some v -> Some v
+      | None -> (
+          match Hashtbl.find_opt st.local_fns id with
+          | Some v -> Some v
+          | None -> Hashtbl.find_opt st.local_vals id))
+  | _ -> module_prefix st p
+
+let type_path_name st (p : Path.t) =
+  match p with
+  | Path.Pident id -> (
+      match Hashtbl.find_opt st.type_ids id with
+      | Some fq -> Some fq
+      | None ->
+          if Ident.global id then Some (normalize_unit (Ident.name id))
+          else Some (st.modname ^ "." ^ Ident.name id))
+  | _ -> module_prefix st p
+
+let field_id st (lbl : Types.label_description) =
+  match Types.get_desc lbl.Types.lbl_res with
+  | Types.Tconstr (p, _, _) ->
+      Option.map
+        (fun fq -> "field:" ^ fq ^ "." ^ lbl.Types.lbl_name)
+        (type_path_name st p)
+  | _ -> None
+
+let local_id id = "local:" ^ Ident.unique_name id
+
+(* ---- classification tables ------------------------------------------ *)
+
+let mutex_lock = "Stdlib.Mutex.lock"
+let mutex_unlock = "Stdlib.Mutex.unlock"
+let mutex_protect = "Stdlib.Mutex.protect"
+
+(* Pool entry points: closures handed to these run on worker domains (or
+   deferred); they are both detached-execution edges and the domain-escape
+   dispatch sites. Matched by normalized name so fixture scans work
+   without the pool's own cmt present. *)
+let dispatch_class =
+  [
+    "Dcn_util.Pool.submit";
+    "Dcn_util.Pool.run";
+    "Dcn_util.Parallel.map";
+    "Dcn_util.Parallel.map_array";
+  ]
+
+(* Raw spawn primitives: detached execution, but with explicitly managed
+   state (the pool itself uses them), so no escape analysis. *)
+let spawn_class =
+  [ "Stdlib.Domain.spawn"; "Thread.create"; "Stdlib.at_exit" ]
+
+let is_mutex_ty ty =
+  Rules.has_guard ty
+  (* has_guard = contains Mutex.t/Condition.t; for binding registration we
+     only care that locking through this value is meaningful *)
+
+(* ---- state helpers --------------------------------------------------- *)
+
+let site st loc =
+  { Summary.s_loc = loc; s_sups = List.concat st.sup_stack @ st.file_sups }
+
+let push_attrs st (attrs : Parsetree.attributes) =
+  let sups, _bad = Rules.parse_attributes attrs in
+  (* malformed expr/binding attributes are reported by the per-module
+     Rules pass; collect only validates label-declaration annotations *)
+  st.sup_stack <-
+    List.map (fun s -> (s.Rules.sup_rule, s.Rules.reason)) sups :: st.sup_stack
+
+let pop_attrs st = st.sup_stack <- List.tl st.sup_stack
+
+let emit_ref st env ?lock_arg ~loc target =
+  st.cur :=
+    {
+      Summary.r_target = target;
+      r_lock_arg = lock_arg;
+      r_site = site st loc;
+      r_held = env.held;
+      r_detached = env.detached;
+    }
+    :: !(st.cur)
+
+let record_path st env ~loc ?lock_arg p =
+  match resolve_value st p with
+  | None -> ()  (* unresolved: documented conservative skip *)
+  | Some target -> emit_ref st env ?lock_arg ~loc target
+
+let record_field st env ~loc lbl =
+  match field_id st lbl with
+  | None -> ()
+  | Some target -> emit_ref st env ~loc target
+
+let remove_held m held =
+  let rec go = function
+    | [] -> []
+    | x :: tl -> if x = m then tl else x :: go tl
+  in
+  go held
+
+let resolve_name st name =
+  match List.assoc_opt name st.name_scope with
+  | Some id -> Some id
+  | None ->
+      let fq = st.modname ^ "." ^ name in
+      if Hashtbl.mem st.top_ids fq then Some fq else None
+
+(* ---- patterns -------------------------------------------------------- *)
+
+let rec pattern_idents : type k. k general_pattern -> (Ident.t * Types.type_expr) list =
+ fun p ->
+  match p.pat_desc with
+  | Tpat_var (id, _) -> [ (id, p.pat_type) ]
+  | Tpat_alias (inner, id, _) -> (id, p.pat_type) :: pattern_idents inner
+  | Tpat_tuple l | Tpat_construct (_, _, l, _) | Tpat_array l ->
+      List.concat_map pattern_idents l
+  | Tpat_variant (_, Some inner, _) -> pattern_idents inner
+  | Tpat_record (fields, _) ->
+      List.concat_map (fun (_, _, pat) -> pattern_idents pat) fields
+  | Tpat_lazy inner -> pattern_idents inner
+  | Tpat_or (a, b, _) -> pattern_idents a @ pattern_idents b
+  | Tpat_value v -> pattern_idents (v :> value general_pattern)
+  | Tpat_exception e -> pattern_idents e
+  | _ -> []
+
+let register_pattern st p =
+  List.iter
+    (fun (id, ty) -> Hashtbl.replace st.locals_ty id ty)
+    (pattern_idents p)
+
+(* ---- mutex operands -------------------------------------------------- *)
+
+let mutex_of_expr st (e : expression) =
+  match e.exp_desc with
+  | Texp_ident (p, _, _) -> resolve_value st p
+  | Texp_field (_, _, lbl) -> field_id st lbl
+  | _ -> None
+
+let first_nolabel_args args =
+  List.filter_map
+    (function Asttypes.Nolabel, Some a -> Some a | _ -> None)
+    args
+
+(* ---- domain-escape --------------------------------------------------- *)
+
+(* Free idents of a closure literal: uses minus everything bound inside.
+   Returns the lexically first use site per ident. *)
+let closure_free_uses (closure : expression) =
+  let bound = Hashtbl.create 16 in
+  let uses = Hashtbl.create 16 in
+  let default = Tast_iterator.default_iterator in
+  let pat : type k. Tast_iterator.iterator -> k general_pattern -> unit =
+   fun sub p ->
+    List.iter (fun (id, _) -> Hashtbl.replace bound id ()) (pattern_idents p);
+    default.pat sub p
+  in
+  let expr sub e =
+    (match e.exp_desc with
+    | Texp_ident (Path.Pident id, _, _) ->
+        if not (Hashtbl.mem uses id) then Hashtbl.replace uses id e.exp_loc
+    | _ -> ());
+    default.expr sub e
+  in
+  let it = { default with pat; expr } in
+  it.expr it closure;
+  Hashtbl.fold
+    (fun id loc acc -> if Hashtbl.mem bound id then acc else (id, loc) :: acc)
+    uses []
+  |> List.sort (fun (_, (a : Location.t)) (_, b) ->
+         compare
+           (a.loc_start.Lexing.pos_lnum, a.loc_start.Lexing.pos_cnum)
+           (b.loc_start.Lexing.pos_lnum, b.loc_start.Lexing.pos_cnum))
+
+let escape_check st ~dispatch (closure : expression) =
+  List.iter
+    (fun (id, loc) ->
+      if
+        (not (Hashtbl.mem st.top_values id))
+        && (not (Hashtbl.mem st.local_fns id))
+        && (not (Hashtbl.mem st.local_vals id))
+        (* registered locals are mutexes or lockset-guarded: exempt *)
+      then
+        match Hashtbl.find_opt st.locals_ty id with
+        | None -> ()
+        | Some ty -> (
+            match Rules.mutable_root ~local_mutable:st.local_mutable ty with
+            | None -> ()
+            | Some root ->
+                if not (Rules.has_guard ty) then
+                  let f =
+                    Finding.make ~loc ~rule:"domain-escape"
+                      ~message:
+                        (Printf.sprintf
+                           "closure passed to %s captures local %S (%s) from \
+                            the enclosing scope; tasks on other domains \
+                            must not share it unsynchronized — pass data by \
+                            task index, use Atomic.t, or bundle the state \
+                            with a Mutex.t ([@dcn.guarded_by] state is \
+                            exempt: lockset checks it instead)"
+                           dispatch (Ident.name id) root)
+                  in
+                  st.escape <- (f, site st loc) :: st.escape))
+    (closure_free_uses closure)
+
+(* ---- annotations on bindings ----------------------------------------- *)
+
+let guarded_of_binding st ~id ~display (attrs : Parsetree.attributes) ~loc =
+  match Rules.attr_guarded_by attrs with
+  | None -> ()
+  | Some name ->
+      st.guarded <-
+        {
+          Summary.g_id = id;
+          g_display = display;
+          g_mutex = resolve_name st name;
+          g_mutex_name = name;
+          g_site = site st loc;
+        }
+        :: st.guarded
+
+(* ---- the expression walker ------------------------------------------- *)
+
+let binding_var (vb : value_binding) =
+  match vb.vb_pat.pat_desc with
+  | Tpat_var (id, name) -> Some (id, name.Location.txt)
+  | _ -> None
+
+let is_function (e : expression) =
+  match e.exp_desc with Texp_function _ -> true | _ -> false
+
+let rec walk st env (e : expression) : string list =
+  push_attrs st e.exp_attributes;
+  let held_after = walk_desc st env e in
+  pop_attrs st;
+  held_after
+
+and walk_desc st env (e : expression) : string list =
+  match e.exp_desc with
+  | Texp_ident (p, _, _) ->
+      record_path st env ~loc:e.exp_loc p;
+      env.held
+  | Texp_apply (fn, args) -> walk_apply st env e fn args
+  | Texp_function { cases; _ } ->
+      (* closure literal outside a special argument position: runs where
+         written — same held set, same detachment *)
+      List.iter
+        (fun c ->
+          register_pattern st c.c_lhs;
+          Option.iter (fun g -> ignore (walk st env g)) c.c_guard;
+          ignore (walk st env c.c_rhs))
+        cases;
+      env.held
+  | Texp_let (_, vbs, body) ->
+      let held =
+        List.fold_left
+          (fun held vb ->
+            push_attrs st vb.vb_attributes;
+            let held' = walk_local_binding st { env with held } vb in
+            pop_attrs st;
+            held')
+          env.held vbs
+      in
+      walk st { env with held } body
+  | Texp_sequence (a, b) ->
+      let held = walk st env a in
+      walk st { env with held } b
+  | Texp_ifthenelse (c, t, eo) ->
+      let held = walk st env c in
+      ignore (walk st { env with held } t);
+      Option.iter (fun e' -> ignore (walk st { env with held } e')) eo;
+      held
+  | Texp_match (scrut, cases, _) ->
+      let held = walk st env scrut in
+      List.iter
+        (fun c ->
+          register_pattern st c.c_lhs;
+          Option.iter (fun g -> ignore (walk st { env with held } g)) c.c_guard;
+          ignore (walk st { env with held } c.c_rhs))
+        cases;
+      held
+  | Texp_field (r, _, lbl) ->
+      record_field st env ~loc:e.exp_loc lbl;
+      ignore (walk st env r);
+      env.held
+  | Texp_setfield (r, _, lbl, v) ->
+      record_field st env ~loc:e.exp_loc lbl;
+      ignore (walk st env r);
+      ignore (walk st env v);
+      env.held
+  | _ ->
+      (* generic fallback: walk direct children with the current context
+         (no sequencing of lock effects across them). [default.expr it e]
+         visits e's children through [it], whose hooks re-enter [walk] —
+         [e] itself is not revisited, so this terminates. *)
+      let default = Tast_iterator.default_iterator in
+      let expr _sub child = ignore (walk st env child) in
+      let pat : type k. Tast_iterator.iterator -> k general_pattern -> unit =
+       fun _sub p -> register_pattern st p
+      in
+      let it = { default with expr; pat } in
+      default.expr it e;
+      env.held
+
+and walk_local_binding st env (vb : value_binding) : string list =
+  register_pattern st vb.vb_pat;
+  match binding_var vb with
+  | Some (id, name) when is_function vb.vb_expr ->
+      (* local named function: its own call-graph node; the body starts
+         with nothing held — callers' held sets live on the edges *)
+      let line = vb.vb_loc.Location.loc_start.Lexing.pos_lnum in
+      let node_id = Printf.sprintf "%s.%s@%d" st.cur_node name line in
+      Hashtbl.replace st.local_fns id node_id;
+      with_node st ~id:node_id ~name ~loc:vb.vb_loc ~toplevel:false
+        ~event_loop:(Rules.attr_present "dcn.event_loop" vb.vb_attributes)
+        (fun () ->
+          ignore (walk st { held = []; detached = false } vb.vb_expr));
+      env.held
+  | binding ->
+      (match binding with
+      | Some (id, name) ->
+          let annotated = Rules.attr_guarded_by vb.vb_attributes <> None in
+          if annotated || is_mutex_ty vb.vb_pat.pat_type then begin
+            let lid = local_id id in
+            Hashtbl.replace st.local_vals id lid;
+            st.name_scope <- (name, lid) :: st.name_scope;
+            guarded_of_binding st ~id:lid ~display:name vb.vb_attributes
+              ~loc:vb.vb_pat.pat_loc;
+            if Rules.attr_present "dcn.long_held" vb.vb_attributes then
+              st.long_held <- lid :: st.long_held
+          end
+      | None -> ());
+      walk st env vb.vb_expr
+
+and walk_apply st env (_e : expression) fn args : string list =
+  match fn.exp_desc with
+  | Texp_ident (p, _, _) -> (
+      let target = resolve_value st p in
+      let plain = first_nolabel_args args in
+      let walk_args env' =
+        List.iter
+          (function _, Some a -> ignore (walk st env' a) | _, None -> ())
+          args
+      in
+      match target with
+      | Some t when t = mutex_lock || t = mutex_unlock ->
+          let m = match plain with a :: _ -> mutex_of_expr st a | [] -> None in
+          record_path st env ~loc:fn.exp_loc ?lock_arg:m p;
+          walk_args env;
+          let held =
+            match m with
+            | None -> env.held
+            | Some m when t = mutex_lock -> m :: env.held
+            | Some m -> remove_held m env.held
+          in
+          held
+      | Some t when t = mutex_protect ->
+          let m = match plain with a :: _ -> mutex_of_expr st a | [] -> None in
+          record_path st env ~loc:fn.exp_loc ?lock_arg:m p;
+          let inner =
+            match m with
+            | Some m -> { env with held = m :: env.held }
+            | None -> env
+          in
+          List.iteri
+            (fun i arg ->
+              match arg with
+              | _, Some a ->
+                  (* the mutex operand itself stays in the outer context *)
+                  ignore (walk st (if i = 0 then env else inner) a)
+              | _, None -> ())
+            args;
+          env.held
+      | Some t when List.mem t dispatch_class || List.mem t spawn_class ->
+          record_path st env ~loc:fn.exp_loc p;
+          let detached_env = { held = []; detached = true } in
+          List.iter
+            (function
+              | _, Some a -> (
+                  (* closure literals and bare function idents run
+                     detached; any other argument is evaluated here, in
+                     the caller's context *)
+                  match a.exp_desc with
+                  | Texp_function _ ->
+                      if List.mem t dispatch_class then
+                        escape_check st ~dispatch:t a;
+                      ignore (walk st detached_env a)
+                  | Texp_ident _ -> ignore (walk st detached_env a)
+                  | _ -> ignore (walk st env a))
+              | _, None -> ())
+            args;
+          env.held
+      | Some t when Hashtbl.mem st.brokers t ->
+          (* local lock-broker (the Lru.with_lock idiom): closure-literal
+             arguments run with the broker's field mutexes held *)
+          record_path st env ~loc:fn.exp_loc p;
+          let held' = Hashtbl.find st.brokers t @ env.held in
+          List.iter
+            (function
+              | _, Some a ->
+                  if is_function a then
+                    ignore (walk st { env with held = held' } a)
+                  else ignore (walk st env a)
+              | _, None -> ())
+            args;
+          env.held
+      | _ ->
+          record_path st env ~loc:fn.exp_loc p;
+          walk_args env;
+          env.held)
+  | _ ->
+      ignore (walk st env fn);
+      List.iter
+        (function _, Some a -> ignore (walk st env a) | _, None -> ())
+        args;
+      env.held
+
+and with_node st ~id ~name ~loc ~toplevel ~event_loop f =
+  let saved_cur = st.cur in
+  let saved_node = st.cur_node in
+  let saved_scope = st.name_scope in
+  st.cur <- ref [];
+  st.cur_node <- id;
+  f ();
+  st.nodes <-
+    {
+      Summary.n_id = id;
+      n_name = name;
+      n_loc = loc;
+      n_toplevel = toplevel;
+      n_event_loop = event_loop;
+      n_refs = List.rev !(st.cur);
+    }
+    :: st.nodes;
+  st.cur <- saved_cur;
+  st.cur_node <- saved_node;
+  st.name_scope <- saved_scope
+
+(* ---- pre-pass: names, types, aliases, brokers ------------------------ *)
+
+let label_guard_annotation st ~tyfq (labels : label_declaration list) =
+  let names = List.map (fun l -> l.ld_name.Location.txt) labels in
+  List.iter
+    (fun (l : label_declaration) ->
+      match Rules.attr_guarded_by l.ld_attributes with
+      | None ->
+          (* still validate a malformed [@dcn.guarded_by …] payload here:
+             label attributes are outside the Rules pass's reach *)
+          let _, bad = Rules.parse_attributes l.ld_attributes in
+          st.attr_bad <- bad @ st.attr_bad
+      | Some mutex_field ->
+          let lbl = l.ld_name.Location.txt in
+          if not (List.mem mutex_field names) then
+            st.attr_bad <-
+              Finding.make ~loc:l.ld_loc ~rule:"lint-attr"
+                ~message:
+                  (Printf.sprintf
+                     "[@dcn.guarded_by %S] on field %S: no such sibling \
+                      field in this record"
+                     mutex_field lbl)
+              :: st.attr_bad
+          else
+            st.guarded <-
+              {
+                Summary.g_id = "field:" ^ tyfq ^ "." ^ lbl;
+                g_display = Filename.basename tyfq ^ "." ^ lbl;
+                g_mutex = Some ("field:" ^ tyfq ^ "." ^ mutex_field);
+                g_mutex_name = mutex_field;
+                g_site = site st l.ld_loc;
+              }
+              :: st.guarded)
+    labels
+
+(* Broker detection: a top-level function that locks [param.F] and applies
+   (or passes on) another function-typed parameter is treated as running
+   its closure arguments under [F]. Covers the [with_lock t f] idiom;
+   aliasing between records of the same type is not distinguished. *)
+let detect_broker st ~node_id (vb : value_binding) =
+  let rec params_and_body acc (e : expression) =
+    match e.exp_desc with
+    | Texp_function { cases = [ { c_lhs; c_rhs; c_guard = None; _ } ]; _ } ->
+        params_and_body (pattern_idents c_lhs @ acc) c_rhs
+    | _ -> (acc, e)
+  in
+  let params, body = params_and_body [] vb.vb_expr in
+  if params = [] then ()
+  else begin
+    let param_ids = List.map fst params in
+    let locked = ref [] in
+    let uses_fn_param = ref false in
+    let default = Tast_iterator.default_iterator in
+    let expr sub (e : expression) =
+      (match e.exp_desc with
+      | Texp_apply ({ exp_desc = Texp_ident (p, _, _); _ }, args) -> (
+          match module_prefix st p with
+          | Some t when t = mutex_lock || t = mutex_protect -> (
+              match first_nolabel_args args with
+              | {
+                  exp_desc =
+                    Texp_field
+                      ({ exp_desc = Texp_ident (Path.Pident pid, _, _); _ }, _, lbl);
+                  _;
+                }
+                :: _
+                when List.exists (Ident.same pid) param_ids -> (
+                  match field_id st lbl with
+                  | Some fid when not (List.mem fid !locked) ->
+                      locked := fid :: !locked
+                  | _ -> ())
+              | _ -> ())
+          | _ -> ())
+      | Texp_ident (Path.Pident id, _, _)
+        when List.exists (Ident.same id) param_ids -> (
+          match
+            List.find_opt (fun (pid, _) -> Ident.same pid id) params
+          with
+          | Some (_, ty) -> (
+              match Types.get_desc ty with
+              | Types.Tarrow _ -> uses_fn_param := true
+              | _ -> ())
+          | None -> ())
+      | _ -> ());
+      default.expr sub e
+    in
+    let it = { default with expr } in
+    it.expr it body;
+    if !locked <> [] && !uses_fn_param then
+      Hashtbl.replace st.brokers node_id !locked
+  end
+
+let rec pre_structure st prefix (str : structure) =
+  List.iter
+    (fun item ->
+      match item.str_desc with
+      | Tstr_value (_, vbs) ->
+          List.iter
+            (fun vb ->
+              match binding_var vb with
+              | Some (id, name) ->
+                  let fq = prefix ^ "." ^ name in
+                  Hashtbl.replace st.top_values id fq;
+                  Hashtbl.replace st.top_ids fq ();
+                  if is_function vb.vb_expr then
+                    detect_broker st ~node_id:fq vb
+              | None -> ())
+            vbs
+      | Tstr_primitive vd ->
+          let fq = prefix ^ "." ^ vd.val_name.Location.txt in
+          Hashtbl.replace st.top_values vd.val_id fq;
+          Hashtbl.replace st.top_ids fq ()
+      | Tstr_type (_, decls) ->
+          List.iter
+            (fun (d : type_declaration) ->
+              let tyfq = prefix ^ "." ^ d.typ_name.Location.txt in
+              Hashtbl.replace st.type_ids d.typ_id tyfq;
+              (match d.typ_type.Types.type_kind with
+              | Types.Type_record (fields, _) ->
+                  if
+                    List.exists
+                      (fun (f : Types.label_declaration) ->
+                        f.Types.ld_mutable = Asttypes.Mutable)
+                      fields
+                  then st.local_mutable <- d.typ_id :: st.local_mutable
+              | _ -> ());
+              match d.typ_kind with
+              | Ttype_record labels ->
+                  label_guard_annotation st ~tyfq labels
+              | _ -> ())
+            decls
+      | Tstr_module mb -> pre_module st prefix mb
+      | Tstr_recmodule mbs -> List.iter (pre_module st prefix) mbs
+      | _ -> ())
+    str.str_items
+
+and pre_module st prefix (mb : module_binding) =
+  match (mb.mb_id, mb.mb_name.Location.txt) with
+  | Some id, Some name -> (
+      let rec resolve (me : module_expr) =
+        match me.mod_desc with
+        | Tmod_structure s ->
+            let sub = prefix ^ "." ^ name in
+            Hashtbl.replace st.mod_env id (Some sub);
+            pre_structure st sub s
+        | Tmod_ident (p, _) ->
+            Hashtbl.replace st.mod_env id (module_prefix st p)
+        | Tmod_constraint (inner, _, _, _) -> resolve inner
+        | Tmod_functor _ | Tmod_apply _ | Tmod_apply_unit _ | Tmod_unpack _ ->
+            (* functor / first-class module: conservative skip — member
+               references resolve to no target (see module header) *)
+            Hashtbl.replace st.mod_env id None
+      in
+      resolve mb.mb_expr)
+  | _ -> ()
+
+(* ---- main pass -------------------------------------------------------- *)
+
+let rec main_structure st prefix (str : structure) =
+  List.iter
+    (fun item ->
+      match item.str_desc with
+      | Tstr_value (_, vbs) ->
+          List.iter
+            (fun vb ->
+              push_attrs st vb.vb_attributes;
+              (match binding_var vb with
+              | Some (_, name) when is_function vb.vb_expr ->
+                  let fq = prefix ^ "." ^ name in
+                  guarded_of_binding st ~id:fq ~display:name vb.vb_attributes
+                    ~loc:vb.vb_pat.pat_loc;
+                  with_node st ~id:fq ~name ~loc:vb.vb_loc ~toplevel:true
+                    ~event_loop:
+                      (Rules.attr_present "dcn.event_loop" vb.vb_attributes)
+                    (fun () ->
+                      ignore
+                        (walk st { held = []; detached = false } vb.vb_expr))
+              | Some (_, name) ->
+                  let fq = prefix ^ "." ^ name in
+                  guarded_of_binding st ~id:fq ~display:name vb.vb_attributes
+                    ~loc:vb.vb_pat.pat_loc;
+                  if Rules.attr_present "dcn.long_held" vb.vb_attributes then
+                    st.long_held <- fq :: st.long_held;
+                  register_pattern st vb.vb_pat;
+                  (* module-initialization code: runs unlocked at load *)
+                  let saved = st.cur in
+                  st.cur <- st.init_refs;
+                  ignore (walk st { held = []; detached = false } vb.vb_expr);
+                  st.cur <- saved
+              | None ->
+                  register_pattern st vb.vb_pat;
+                  let saved = st.cur in
+                  st.cur <- st.init_refs;
+                  ignore (walk st { held = []; detached = false } vb.vb_expr);
+                  st.cur <- saved);
+              pop_attrs st)
+            vbs
+      | Tstr_eval (e, attrs) ->
+          push_attrs st attrs;
+          let saved = st.cur in
+          st.cur <- st.init_refs;
+          ignore (walk st { held = []; detached = false } e);
+          st.cur <- saved;
+          pop_attrs st
+      | Tstr_module mb -> main_module st prefix mb
+      | Tstr_recmodule mbs -> List.iter (main_module st prefix) mbs
+      | _ -> ())
+    str.str_items
+
+and main_module st prefix (mb : module_binding) =
+  match (mb.mb_id, mb.mb_name.Location.txt) with
+  | Some _, Some name -> (
+      let rec descend (me : module_expr) =
+        match me.mod_desc with
+        | Tmod_structure s -> main_structure st (prefix ^ "." ^ name) s
+        | Tmod_constraint (inner, _, _, _) -> descend inner
+        | _ -> ()  (* aliases carry no code; functor bodies are skipped *)
+      in
+      descend mb.mb_expr)
+  | _ -> ()
+
+(* ---- entry point ------------------------------------------------------ *)
+
+let structure ~modname ~source (str : structure) : Summary.t =
+  let st =
+    {
+      modname = normalize_unit modname;
+      source;
+      top_values = Hashtbl.create 64;
+      local_fns = Hashtbl.create 64;
+      local_vals = Hashtbl.create 16;
+      locals_ty = Hashtbl.create 256;
+      mod_env = Hashtbl.create 16;
+      type_ids = Hashtbl.create 32;
+      top_ids = Hashtbl.create 64;
+      brokers = Hashtbl.create 8;
+      local_mutable = [];
+      name_scope = [];
+      sup_stack = [];
+      file_sups = [];
+      cur = ref [];
+      cur_node = "";
+      init_refs = ref [];
+      nodes = [];
+      guarded = [];
+      long_held = [];
+      escape = [];
+      attr_bad = [];
+    }
+  in
+  List.iter
+    (fun item ->
+      match item.str_desc with
+      | Tstr_attribute attr ->
+          let sups, _bad = Rules.parse_attributes [ attr ] in
+          st.file_sups <-
+            List.map (fun s -> (s.Rules.sup_rule, s.Rules.reason)) sups
+            @ st.file_sups
+      | _ -> ())
+    str.str_items;
+  pre_structure st st.modname str;
+  main_structure st st.modname str;
+  let init_node =
+    {
+      Summary.n_id = st.modname ^ "." ^ Summary.init_name;
+      n_name = Summary.init_name;
+      n_loc = Location.none;
+      n_toplevel = true;
+      n_event_loop = false;
+      n_refs = List.rev !(st.init_refs);
+    }
+  in
+  {
+    Summary.sm_module = st.modname;
+    sm_source = source;
+    sm_nodes = List.rev (init_node :: st.nodes);
+    sm_guarded = List.rev st.guarded;
+    sm_long_held = st.long_held;
+    sm_escape = List.rev st.escape;
+    sm_attr_bad = List.rev st.attr_bad;
+  }

@@ -1,0 +1,23 @@
+(** Per-module fact collection for the interprocedural rules.
+
+    One walk over a typed implementation yields a {!Summary.t}: call-graph
+    nodes with context-tagged references (mutexes lexically held,
+    detached-execution flag, in-scope suppressions), [[\@\@dcn.guarded_by]]
+    annotations with their resolved mutexes, [[\@\@dcn.event_loop]] /
+    [[\@\@dcn.long_held]] markers, and domain-escape candidates.
+
+    Conservative fallbacks (documented in docs/lint.md, pinned by the
+    [clean_cg_*] fixtures): references through functor applications,
+    functor parameters, first-class modules, and higher-order function
+    parameters resolve to no target and contribute no call edge — the
+    analysis can miss a violation behind them but never invents one. *)
+
+val normalize_unit : string -> string
+(** Dune's wrapped-module mangling, undone: ["Dcn_util__Pool"] becomes
+    ["Dcn_util.Pool"]. Identity on already-dotted or unwrapped names. *)
+
+val structure :
+  modname:string -> source:string -> Typedtree.structure -> Summary.t
+(** [structure ~modname ~source str] with [modname] the cmt-recorded unit
+    name (["Dcn_util__Pool"] is normalized to ["Dcn_util.Pool"]) and
+    [source] the cmt-recorded source path used in findings. *)

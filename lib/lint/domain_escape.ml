@@ -1,0 +1,23 @@
+(* The domain-escape rule.
+
+   Candidates are computed during collection (free variables of closure
+   literals at Pool.submit / Pool.run / Parallel.map / Parallel.map_array
+   call sites, intersected with the mutable-global classifier on the
+   enclosing scope's locals); this pass only applies the suppression
+   lifecycle so candidates share the baseline/json plumbing with the other
+   interprocedural rules. [@dcn.guarded_by]-annotated locals are exempt at
+   collection time — lockset owns them. *)
+
+let check (graph : Callgraph.t) =
+  let findings = ref [] in
+  let suppressed = ref [] in
+  List.iter
+    (fun sm ->
+      List.iter
+        (fun ((f : Finding.t), site) ->
+          match Summary.suppressed_at site "domain-escape" with
+          | Some reason -> suppressed := (f, reason) :: !suppressed
+          | None -> findings := f :: !findings)
+        sm.Summary.sm_escape)
+    (Callgraph.summaries graph);
+  (List.rev !findings, List.rev !suppressed)

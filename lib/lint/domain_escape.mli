@@ -1,0 +1,5 @@
+(** The [domain-escape] rule: closures handed to pool dispatch must not
+    capture unguarded mutable locals from the enclosing scope. Candidates
+    are computed during collection; this pass applies suppressions. *)
+
+val check : Callgraph.t -> Finding.t list * (Finding.t * string) list

@@ -9,11 +9,14 @@ type options = {
   pool_scopes : string list;  (** see {!Rules.options.pool_scopes} *)
   clock_ok : string list;  (** see {!Rules.options.clock_ok} *)
   only_rules : string list option;
+  excludes : string list;
+      (** skip units whose cmt-recorded source path starts with one of
+          these prefixes (lint fixtures deliberately violate the rules) *)
 }
 
 val default_options : options
 (** [source_root = "."], [pool_scopes = ["lib/"]], [clock_ok = ["lib/obs/"]],
-    all rules. *)
+    all rules, no excludes. *)
 
 type report = {
   findings : Finding.t list;  (** sorted, deduplicated *)
@@ -30,7 +33,12 @@ val scan_paths : string list -> string list
 
 val run : options -> string list -> report
 (** [run options paths] lints every cmt under [paths]. Multiple cmts for the
-    same source file (byte + native builds) are linted once. *)
+    same source file (byte + native builds) are linted once. When any
+    interprocedural rule (lockset, domain-escape, loop-blocking, lint-attr)
+    is enabled, a second phase builds a whole-program call graph from
+    per-module summaries ({!Collect}, {!Callgraph}) plus the exported
+    surface read from [.cmti] files under the same paths, and appends the
+    flow-rule findings. *)
 
 val render_json :
   report ->

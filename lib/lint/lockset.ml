@@ -1,0 +1,90 @@
+(* The lockset rule.
+
+   For every value or record field annotated [@@dcn.guarded_by "m"], each
+   reference must satisfy one of:
+   - the reference lexically holds m (Mutex.lock/protect, or a recognized
+     lock-broker like [Lru.with_lock]); or
+   - every call-graph path from an entry point to the enclosing function
+     holds m — i.e. the function is not in [Callgraph.unlocked_set]; or
+   - an in-scope [@dcn.lint "lockset: reason"] suppression vouches for it.
+
+   A detached reference (inside a spawned/pool closure) is never excused
+   by the caller's context: whatever the spawner held is gone by the time
+   the closure runs.
+
+   An annotation whose mutex name does not resolve is itself a lockset
+   finding at the annotation site — a guard that names nothing checks
+   nothing, which is worse than no annotation. *)
+
+let loc_of_site (s : Summary.site) = s.Summary.s_loc
+
+let check (graph : Callgraph.t) =
+  let findings = ref [] in
+  let suppressed = ref [] in
+  let emit ~loc ~message = function
+    | Some reason ->
+        suppressed :=
+          (Finding.make ~loc ~rule:"lockset" ~message, reason) :: !suppressed
+    | None -> findings := Finding.make ~loc ~rule:"lockset" ~message :: !findings
+  in
+  let guarded = Callgraph.guarded graph in
+  (* unresolved annotations *)
+  List.iter
+    (fun (g : Summary.guarded) ->
+      if g.g_mutex = None then
+        emit
+          ~loc:(loc_of_site g.g_site)
+          ~message:
+            (Printf.sprintf
+               "[@dcn.guarded_by %S] on %S: no mutex with that name is in \
+                scope (expected a local binding, a top-level value of this \
+                module, or a sibling record field)"
+               g.g_mutex_name g.g_display)
+          (Summary.suppressed_at g.g_site "lockset"))
+    guarded;
+  (* one unlocked-entry set per distinct mutex *)
+  let mutexes =
+    List.filter_map (fun (g : Summary.guarded) -> g.g_mutex) guarded
+    |> List.sort_uniq compare
+  in
+  let unlocked =
+    List.map (fun m -> (m, Callgraph.unlocked_set graph ~mutex:m)) mutexes
+  in
+  let by_id =
+    List.filter_map
+      (fun (g : Summary.guarded) ->
+        Option.map (fun m -> (g.Summary.g_id, (g, m))) g.g_mutex)
+      guarded
+  in
+  Callgraph.iter_nodes graph (fun n ->
+      List.iter
+        (fun (r : Summary.reference) ->
+          match List.assoc_opt r.r_target by_id with
+          | None -> ()
+          | Some (g, m) ->
+              let sup = Summary.suppressed_at r.r_site "lockset" in
+              if List.mem m r.r_held then ()
+              else if r.r_detached then
+                emit ~loc:(loc_of_site r.r_site)
+                  ~message:
+                    (Printf.sprintf
+                       "%S is guarded by %S but accessed without it held: \
+                        this closure runs detached (spawned thread/domain, \
+                        pool task, or at_exit), so no caller-held lock \
+                        applies"
+                       g.Summary.g_display g.g_mutex_name)
+                  sup
+              else
+                let u = List.assoc m unlocked in
+                match Hashtbl.find_opt u n.Summary.n_id with
+                | None -> ()  (* every path into this function holds m *)
+                | Some why ->
+                    emit ~loc:(loc_of_site r.r_site)
+                      ~message:
+                        (Printf.sprintf
+                           "%S is guarded by %S but accessed without it \
+                            held in %s, and %s"
+                           g.Summary.g_display g.g_mutex_name n.n_id why)
+                      sup)
+        n.Summary.n_refs);
+  (List.rev !findings, List.rev !suppressed)

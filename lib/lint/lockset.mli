@@ -1,0 +1,8 @@
+(** The [lockset] rule: every reference to a [[\@\@dcn.guarded_by "m"]]
+    value or field must hold [m] lexically, or sit in a function every
+    call-graph path into which holds [m]. See the module comment in
+    [lockset.ml] for the full contract. *)
+
+val check : Callgraph.t -> Finding.t list * (Finding.t * string) list
+(** Findings plus suppressed findings with their reasons, in source
+    order within each module. *)

@@ -1,0 +1,95 @@
+(* The loop-blocking rule.
+
+   From every [@@dcn.event_loop] node, walk the synchronous call graph
+   (detached references — pool dispatch, spawns — break the chain) and
+   flag any reachable blocking primitive: sleeping, waiting, blocking
+   Unix I/O, Thread/Domain joins, Condition.wait, and Mutex.lock/protect
+   on a [@@dcn.long_held] mutex. One finding per blocking site, first
+   event-loop root (in sorted id order) wins; the message carries the
+   call path so the fix — dispatch to the pool, or make the fd
+   nonblocking — is obvious from the report alone.
+
+   Unix.read/write on a nonblocking fd do not actually block; the engine
+   suppresses those sites with [@dcn.lint "loop-blocking: ..."] stating
+   exactly that. *)
+
+let blocking_primitives =
+  [
+    "Unix.sleep"; "Unix.sleepf"; "Unix.wait"; "Unix.waitpid"; "Unix.system";
+    "Unix.select"; "Unix.read"; "Unix.write"; "Unix.write_substring";
+    "Unix.read_substring"; "Unix.single_write"; "Unix.single_write_substring";
+    "Unix.connect"; "Unix.accept"; "Unix.recv"; "Unix.send"; "Unix.sendto";
+    "Unix.recvfrom"; "Thread.delay"; "Thread.join"; "Stdlib.Domain.join";
+    "Stdlib.Condition.wait";
+  ]
+
+let lock_like = [ "Stdlib.Mutex.lock"; "Stdlib.Mutex.protect" ]
+
+let is_blocking ~long_held (r : Summary.reference) =
+  List.mem r.Summary.r_target blocking_primitives
+  || (List.mem r.Summary.r_target lock_like
+     &&
+     match r.Summary.r_lock_arg with
+     | Some m -> List.mem m long_held
+     | None -> false)
+
+let site_key (r : Summary.reference) =
+  let p = r.Summary.r_site.Summary.s_loc.Location.loc_start in
+  (p.Lexing.pos_fname, p.Lexing.pos_lnum, p.Lexing.pos_cnum, r.Summary.r_target)
+
+let short id =
+  match String.rindex_opt id '.' with
+  | Some i -> String.sub id (i + 1) (String.length id - i - 1)
+  | None -> id
+
+let check (graph : Callgraph.t) =
+  let long_held = Callgraph.long_held graph in
+  let findings = ref [] in
+  let suppressed = ref [] in
+  let reported = Hashtbl.create 32 in
+  let roots = ref [] in
+  Callgraph.iter_nodes graph (fun n ->
+      if n.Summary.n_event_loop then roots := n.n_id :: !roots);
+  List.iter
+    (fun root ->
+      let visited = Callgraph.reach_sync graph ~root in
+      Hashtbl.iter
+        (fun id _parent ->
+          match Callgraph.node graph id with
+          | None -> ()
+          | Some n ->
+              List.iter
+                (fun (r : Summary.reference) ->
+                  if
+                    (not r.Summary.r_detached)
+                    && is_blocking ~long_held r
+                    && not (Hashtbl.mem reported (site_key r))
+                  then begin
+                    Hashtbl.add reported (site_key r) ();
+                    let loc = r.Summary.r_site.Summary.s_loc in
+                    let path =
+                      Callgraph.path_to visited id @ [ short r.r_target ]
+                    in
+                    let message =
+                      Printf.sprintf
+                        "blocking call %s is reachable from [@@dcn.event_loop] \
+                         %s (path: %s); dispatch it to the pool or make the \
+                         operation nonblocking"
+                        r.r_target root
+                        (String.concat " -> " path)
+                    in
+                    match Summary.suppressed_at r.r_site "loop-blocking" with
+                    | Some reason ->
+                        suppressed :=
+                          ( Finding.make ~loc ~rule:"loop-blocking" ~message,
+                            reason )
+                          :: !suppressed
+                    | None ->
+                        findings :=
+                          Finding.make ~loc ~rule:"loop-blocking" ~message
+                          :: !findings
+                  end)
+                n.Summary.n_refs)
+        visited)
+    (List.sort_uniq compare !roots);
+  (List.rev !findings, List.rev !suppressed)

@@ -1,0 +1,6 @@
+(** The [loop-blocking] rule: no blocking primitive (sleeps, waits,
+    blocking Unix I/O, joins, [Condition.wait], [Mutex.lock] on a
+    [[\@\@dcn.long_held]] mutex) may be synchronously reachable from a
+    [[\@\@dcn.event_loop]] node — pool dispatch breaks the chain. *)
+
+val check : Callgraph.t -> Finding.t list * (Finding.t * string) list

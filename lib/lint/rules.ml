@@ -16,7 +16,18 @@ let all_rules =
     ("catch-all",
      "catch-all exception handler can swallow Mcmf_fptas.Cancelled or pool \
       teardown");
-    ("lint-attr", "malformed [@dcn.lint]/[@dcn.domain_safe] suppression");
+    ("lockset",
+     "access to a [@dcn.guarded_by]-annotated value on a call-graph path \
+      that does not hold the named mutex");
+    ("domain-escape",
+     "closure passed to Pool.submit/Parallel.map captures unguarded \
+      mutable state from the enclosing scope");
+    ("loop-blocking",
+     "blocking call reachable from a [@dcn.event_loop] callback without \
+      going through pool dispatch");
+    ("lint-attr",
+     "malformed [@dcn.lint]/[@dcn.domain_safe]/[@dcn.guarded_by] \
+      annotation");
   ]
 
 let is_rule id = List.mem_assoc id all_rules
@@ -63,6 +74,34 @@ let attr_string_payload (attr : Parsetree.attribute) =
       match c with Parsetree.Pconst_string (s, _, _) -> Some s | _ -> None)
   | _ -> None
 
+(* Distinguishes an attribute with no payload from one with a non-string
+   payload, which [attr_string_payload] conflates. *)
+let attr_payload_kind (attr : Parsetree.attribute) =
+  match attr.Parsetree.attr_payload with
+  | Parsetree.PStr [] -> `Empty
+  | _ -> (
+      match attr_string_payload attr with
+      | Some s -> `String s
+      | None -> `Other)
+
+(* The mutex name of a well-formed [@dcn.guarded_by "name"], if present.
+   Malformed payloads are reported by [parse_attributes]; callers that
+   only need the name treat them as absent. *)
+let attr_guarded_by (attrs : Parsetree.attributes) =
+  List.find_map
+    (fun (attr : Parsetree.attribute) ->
+      if attr.attr_name.Location.txt = "dcn.guarded_by" then
+        match attr_payload_kind attr with
+        | `String s when String.trim s <> "" -> Some (String.trim s)
+        | _ -> None
+      else None)
+    attrs
+
+let attr_present name (attrs : Parsetree.attributes) =
+  List.exists
+    (fun (attr : Parsetree.attribute) -> attr.attr_name.Location.txt = name)
+    attrs
+
 (* Returns in-scope suppressions plus lint-attr findings for malformed ones. *)
 let parse_attributes (attrs : Parsetree.attributes) =
   List.fold_left
@@ -105,6 +144,32 @@ let parse_attributes (attrs : Parsetree.attributes) =
                       (Printf.sprintf
                          "[@dcn.lint %S] has an empty reason" s)
                   else ({ sup_rule = rule; reason } :: sups, bad)))
+      | "dcn.guarded_by" -> (
+          (* Not a suppression: the annotation is the lockset contract
+             itself (and it exempts the binding from mutable-global, since
+             the lockset rule now enforces the guard). *)
+          match attr_payload_kind attr with
+          | `String s when String.trim s <> "" -> (sups, bad)
+          | _ ->
+              malformed
+                "[@dcn.guarded_by] needs the guarding mutex's name, e.g. \
+                 [@@dcn.guarded_by \"mutex\"]")
+      | "dcn.event_loop" -> (
+          match attr_payload_kind attr with
+          | `Empty -> (sups, bad)
+          | `String s when String.trim s <> "" -> (sups, bad)
+          | _ ->
+              malformed
+                "[@dcn.event_loop] takes no payload (or a non-empty note \
+                 string)")
+      | "dcn.long_held" -> (
+          match attr_payload_kind attr with
+          | `Empty -> (sups, bad)
+          | `String s when String.trim s <> "" -> (sups, bad)
+          | _ ->
+              malformed
+                "[@dcn.long_held] takes no payload (or a non-empty note \
+                 string)")
       | _ -> (sups, bad))
     ([], []) attrs
 
@@ -374,7 +439,11 @@ let check_top_binding ctx (vb : value_binding) =
   match mutable_root ~local_mutable:ctx.local_mutable ty with
   | None -> ()
   | Some root ->
-      if not (has_guard ty) then
+      (* [@dcn.guarded_by "m"] is a stronger claim than domain_safe: the
+         lockset rule verifies every access path, so the declaration-site
+         rule stands down (no suppression entry — nothing was silenced). *)
+      if attr_guarded_by vb.vb_attributes <> None then ()
+      else if not (has_guard ty) then
         report ctx ~loc:vb.vb_pat.pat_loc ~rule:"mutable-global"
           (Printf.sprintf
              "top-level %S holds mutable state (%s) shared across pool \

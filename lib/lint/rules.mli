@@ -26,8 +26,18 @@
       [Mcmf_fptas.Cancelled] or pool-teardown exceptions. A handler that
       re-raises the caught variable (via [raise], [raise_notrace] or
       [Printexc.raise_with_backtrace]) is accepted; so is a guarded case.
-    - [lint-attr] — malformed suppression attribute (unknown rule id, or a
-      missing/empty reason string).
+    - [lockset] — interprocedural (see {!Lockset}): every access to a value
+      or record field annotated [[\@\@dcn.guarded_by "m"]] must be reachable
+      only while mutex [m] is held.
+    - [domain-escape] — closures passed to [Pool.submit]/[Pool.run]/
+      [Parallel.map]/[Parallel.map_array] must not capture unguarded mutable
+      locals from the enclosing scope (see {!Domain_escape}).
+    - [loop-blocking] — interprocedural (see {!Loop_blocking}): no blocking
+      primitive may be reachable from a [[\@\@dcn.event_loop]] callback
+      except through pool dispatch.
+    - [lint-attr] — malformed annotation (unknown rule id, missing/empty
+      reason or mutex name, or a [[\@dcn.guarded_by]] naming an unknown
+      sibling field).
 
     Suppression: [[\@dcn.lint "rule-id: reason"]] on an expression or value
     binding silences [rule-id] for everything underneath it;
@@ -51,3 +61,26 @@ type outcome = {
 }
 
 val check_structure : options -> Typedtree.structure -> outcome
+
+(** {1 Shared with the interprocedural pass ({!Collect})} *)
+
+type suppression = { sup_rule : string; reason : string }
+
+val parse_attributes :
+  Parsetree.attributes -> suppression list * Finding.t list
+(** In-scope suppressions plus lint-attr findings for malformed
+    annotations (including the interprocedural ones: [dcn.guarded_by],
+    [dcn.event_loop], [dcn.long_held]). *)
+
+val attr_guarded_by : Parsetree.attributes -> string option
+(** The mutex name of a well-formed [[\@dcn.guarded_by "name"]]. *)
+
+val attr_present : string -> Parsetree.attributes -> bool
+
+val mutable_root : local_mutable:Ident.t list -> Types.type_expr -> string option
+(** The mutable-global classifier: the offending constructor name if [ty]
+    holds mutable state not wrapped in a domain-safe container. *)
+
+val has_guard : Types.type_expr -> bool
+(** True when the type bundles a [Mutex.t]/[Condition.t] alongside the
+    mutable state (the accepted mutex-bundled-record idiom). *)

@@ -1,0 +1,76 @@
+(* Per-module facts feeding the interprocedural pass.
+
+   [Collect.structure] walks one typed implementation and produces a
+   [Summary.t]: the module's call-graph nodes (top-level bindings, local
+   named functions, and an [(init)] pseudo-node for module-initialization
+   code), every outgoing value/field reference with its lexical context
+   (mutexes held, detached-execution flag, in-scope suppressions), the
+   [@dcn.guarded_by]-annotated values, and pre-computed domain-escape
+   candidates. The global rules (Lockset, Loop_blocking, Domain_escape)
+   then work on summaries alone — no typedtree survives past collection.
+
+   Identifier namespaces, shared by values, nodes and mutexes:
+   - ["Dcn_util.Pool.submit"] — a top-level value, module path normalized
+     (dune's ["Dcn_util__Pool"] mangling becomes dots, local module
+     aliases are expanded);
+   - ["Dcn_util.Pool.run.drain@214"] — a local named function, nested
+     under its top-level binding with its definition line;
+   - ["local:m_271"] — a local non-function binding (mutex or guarded
+     value), keyed by its unique ident so distinct [let m] bindings never
+     collide;
+   - ["field:Dcn_engine.Lru.t.lock"] — a record field, keyed by the
+     record's type path and label name (field identity is per-type, not
+     per-value: aliasing between values of one type is not tracked). *)
+
+type site = {
+  s_loc : Location.t;
+  s_sups : (string * string) list;
+      (* in-scope suppressions, innermost first: (rule id, reason) *)
+}
+
+type reference = {
+  r_target : string;  (* normalized target, one of the namespaces above *)
+  r_lock_arg : string option;
+      (* for Mutex.lock/unlock/protect: the mutex operand, if resolvable *)
+  r_site : site;
+  r_held : string list;  (* mutex ids lexically held at the reference *)
+  r_detached : bool;
+      (* inside a closure handed to Domain.spawn / Thread.create /
+         at_exit / the pool: runs on another thread (or later) with no
+         caller-held locks *)
+}
+
+type node = {
+  n_id : string;
+  n_name : string;  (* short name; "(init)" for the module-init node *)
+  n_loc : Location.t;
+  n_toplevel : bool;
+  n_event_loop : bool;  (* [@@dcn.event_loop] root for loop-blocking *)
+  n_refs : reference list;  (* source order *)
+}
+
+type guarded = {
+  g_id : string;  (* the annotated value or field *)
+  g_display : string;  (* human name for messages *)
+  g_mutex : string option;  (* resolved mutex id; None = name not found *)
+  g_mutex_name : string;  (* the annotation payload as written *)
+  g_site : site;  (* the annotation, for unresolved-mutex findings *)
+}
+
+type t = {
+  sm_module : string;  (* normalized module path, e.g. "Dcn_util.Pool" *)
+  sm_source : string;  (* cmt-recorded source path *)
+  sm_nodes : node list;
+  sm_guarded : guarded list;
+  sm_long_held : string list;  (* [@@dcn.long_held] mutex ids *)
+  sm_escape : (Finding.t * site) list;  (* domain-escape candidates *)
+  sm_attr_bad : Finding.t list;  (* malformed annotations (lint-attr) *)
+}
+
+let init_name = "(init)"
+
+(* Innermost suppression for [rule] at [site], if any. *)
+let suppressed_at site rule =
+  List.find_map
+    (fun (r, reason) -> if r = rule then Some reason else None)
+    site.s_sups

@@ -18,7 +18,7 @@ type histogram = {
 type metric = C of counter | G of gauge | H of histogram
 
 let registry : (string, metric) Hashtbl.t =
-  Hashtbl.create 64 [@@dcn.domain_safe "guarded by [reg_mutex]"]
+  Hashtbl.create 64 [@@dcn.guarded_by "reg_mutex"]
 let reg_mutex = Mutex.create ()
 
 let register name make =

@@ -24,10 +24,13 @@ type ev = {
    and [reset] (events are appended by the owning domain alone), so an
    append is an uncontended lock + cons. Events are stored newest-first;
    rendering reverses. *)
-type sink = { tid : int; mutable evs : ev list; lock : Mutex.t }
+type sink = {
+  tid : int;
+  mutable evs : ev list [@dcn.guarded_by "lock"];
+  lock : Mutex.t;
+}
 
-let sinks : sink list ref =
-  ref [] [@@dcn.domain_safe "guarded by [sinks_mutex]"]
+let sinks : sink list ref = ref [] [@@dcn.guarded_by "sinks_mutex"]
 let sinks_mutex = Mutex.create ()
 let next_tid = Atomic.make 0
 

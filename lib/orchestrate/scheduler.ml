@@ -196,9 +196,11 @@ let run ?(config = default_config) ~workers ~capacity ~transport ?health
       c_evicted = 0; c_readmitted = 0 }
   in
   let m = Mutex.create () in
-  let remaining = ref (Array.length us) in  (* units still Pending *)
-  let results = ref [] in
-  let abort = ref None in
+  (* Scheduler table: every mutable cell below is touched by worker and
+     health threads; [m] is the single lock. *)
+  let remaining = ref (Array.length us) [@@dcn.guarded_by "m"] in
+  let results = ref [] [@@dcn.guarded_by "m"] in
+  let abort = ref None [@@dcn.guarded_by "m"] in
   (* Events queue up under the lock (into the caller's per-region list)
      and flush to the listener after unlock, preserving order. *)
   let flush_events evq =
@@ -494,7 +496,12 @@ let run ?(config = default_config) ~workers ~capacity ~transport ?health
     | Some probe -> threads := Thread.create (health_loop probe) () :: !threads
     | None -> ());
     List.iter Thread.join !threads;
-    match !abort with
+    match
+      (!abort
+      [@dcn.lint
+        "lockset: every worker and health thread has been joined; this \
+         thread is the only one left, so the unlocked read cannot race"])
+    with
     | Some msg -> Error msg
     | None ->
         let failed =
@@ -507,7 +514,10 @@ let run ?(config = default_config) ~workers ~capacity ~transport ?health
         let ordered =
           List.sort
             (fun a b -> Int.compare a.r_unit.Grid.id b.r_unit.Grid.id)
-            !results
+            (!results
+            [@dcn.lint
+              "lockset: read after every worker thread has been joined; no \
+               concurrent writer remains"])
         in
         Ok { results = ordered; failed; stats = zero_stats () }
   end

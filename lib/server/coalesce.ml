@@ -21,7 +21,7 @@ type 'a cell = { mutable state : 'a state }
 type 'a t = {
   mutex : Mutex.t;
   done_ : Condition.t;
-  table : (string, 'a cell) Hashtbl.t;
+  table : (string, 'a cell) Hashtbl.t [@dcn.guarded_by "mutex"];
 }
 
 let create () =

@@ -49,21 +49,19 @@ let task_done = Condition.create ()
    from [submit] are appended at the tail instead, so detached work (e.g.
    server request handlers) is claimed FIFO and never starves a nested
    batch some thread is waiting on. *)
-let batches : batch list ref =
-  ref [] [@@dcn.domain_safe "guarded by [mutex]"]
+let batches : batch list ref = ref [] [@@dcn.guarded_by "mutex"]
 
 (* Drain/shutdown state for detached tasks. [async_outstanding] counts
    [submit]ted tasks not yet finished; [shutting_down] makes further
    submissions fail fast. Both guarded by [mutex]. *)
-let shutting_down = ref false [@@dcn.domain_safe "guarded by [mutex]"]
-let async_outstanding = ref 0 [@@dcn.domain_safe "guarded by [mutex]"]
+let shutting_down = ref false [@@dcn.guarded_by "mutex"]
+let async_outstanding = ref 0 [@@dcn.guarded_by "mutex"]
 
 let default_workers = max 0 (Domain.recommended_domain_count () - 1)
-let target = ref default_workers [@@dcn.domain_safe "guarded by [mutex]"]
-let live = ref 0 [@@dcn.domain_safe "guarded by [mutex]"]
+let target = ref default_workers [@@dcn.guarded_by "mutex"]
+let live = ref 0 [@@dcn.guarded_by "mutex"]
 
-let handles : unit Domain.t list ref =
-  ref [] [@@dcn.domain_safe "guarded by [mutex]"]
+let handles : unit Domain.t list ref = ref [] [@@dcn.guarded_by "mutex"]
 
 let set_workers n =
   if n < 0 then invalid_arg "Pool.set_workers: negative worker count";
@@ -77,7 +75,14 @@ let set_workers n =
   Mutex.unlock mutex
 
 let workers () = !target
+[@@dcn.lint
+  "lockset: deliberately unlocked read — a momentarily stale worker count \
+   only informs sizing heuristics, never correctness"]
+
 let enabled () = !target > 0
+[@@dcn.lint
+  "lockset: deliberately unlocked read — callers use it as a fast-path \
+   hint and [run]/[submit] re-check under the mutex"]
 
 let prune_exhausted () =
   batches := List.filter (fun b -> Atomic.get b.next < b.total) !batches
@@ -134,9 +139,12 @@ let () =
       Mutex.lock mutex;
       target := 0;
       Condition.broadcast work_available;
+      (* Snapshot under the mutex (as [shutdown] does): reading [handles]
+         after unlocking raced a concurrent [ensure_workers]. *)
+      let hs = !handles in
+      handles := [];
       Mutex.unlock mutex;
-      List.iter Domain.join !handles;
-      handles := [])
+      List.iter Domain.join hs)
 
 let run ~total f =
   if total < 0 then invalid_arg "Pool.run: negative task count";
@@ -289,6 +297,9 @@ let submit f =
   end
 
 let draining () = !shutting_down
+[@@dcn.lint
+  "lockset: deliberately unlocked read — admission control may observe \
+   the flag one task late; [submit] re-checks under the mutex"]
 
 let shutdown () =
   Mutex.lock mutex;

@@ -1,0 +1,16 @@
+(* call-graph conservative fallback for first-class modules: calls
+   through an unpacked module ([let (module M) = …]) resolve to no
+   target. No edges, no findings — the documented silent skip. *)
+
+module type S = sig
+  val poke : unit -> unit
+end
+
+let make () : (module S) =
+  (module struct
+    let poke () = ()
+  end : S)
+
+let use () =
+  let (module M) = make () in
+  M.poke ()

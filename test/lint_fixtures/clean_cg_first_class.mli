@@ -1,0 +1,6 @@
+module type S = sig
+  val poke : unit -> unit
+end
+
+val make : unit -> (module S)
+val use : unit -> unit

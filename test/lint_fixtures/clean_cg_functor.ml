@@ -1,0 +1,25 @@
+(* call-graph conservative fallback for functors: the body of
+   [MakeCounter] and the application [Local = MakeCounter (…)] are not
+   resolved — references through them produce no edges and no findings
+   (documented in docs/lint.md). This fixture pins that the fallback is a
+   silent skip, not a crash or a spurious finding. *)
+
+module type COUNTER = sig
+  val label : string
+end
+
+module MakeCounter (C : COUNTER) = struct
+  let mu = Mutex.create ()
+  let n = ref 0 [@@dcn.guarded_by "mu"]
+
+  let bump () =
+    Mutex.protect mu (fun () ->
+        incr n;
+        ignore C.label)
+end
+
+module Local = MakeCounter (struct
+  let label = "local"
+end)
+
+let touch () = Local.bump ()

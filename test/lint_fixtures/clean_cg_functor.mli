@@ -1,0 +1,1 @@
+val touch : unit -> unit

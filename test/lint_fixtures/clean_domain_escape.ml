@@ -1,0 +1,14 @@
+(* domain-escape clean twin: immutable captures, Atomic captures, and
+   mutex-bundled state are all fine to share with pool tasks. *)
+
+let run_ok () =
+  let base = 41 in
+  ignore (Dcn_util.Pool.submit (fun () -> ignore (base + 1)));
+  base
+
+let counter_ok () =
+  let c = Atomic.make 0 in
+  ignore (Dcn_util.Pool.submit (fun () -> Atomic.incr c));
+  Atomic.get c
+
+let squares_ok () = Dcn_util.Parallel.map (fun x -> x * x) [ 1; 2; 3 ]

@@ -1,0 +1,16 @@
+(* lockset clean twin: the raw accessor never holds [mu] itself, but it is
+   not exported (see the .mli) and every call-graph path into it — [bump]
+   and [read] — locks first. The interprocedural pass must accept this;
+   a purely lexical checker would flag [bump_raw]. *)
+
+let mu = Mutex.create ()
+let count = ref 0 [@@dcn.guarded_by "mu"]
+
+let bump_raw () = incr count
+
+let bump () =
+  Mutex.lock mu;
+  bump_raw ();
+  Mutex.unlock mu
+
+let read () = Mutex.protect mu (fun () -> !count)

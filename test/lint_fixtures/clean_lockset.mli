@@ -1,0 +1,2 @@
+val bump : unit -> unit
+val read : unit -> int

@@ -1,0 +1,14 @@
+(* loop-blocking clean twin: blocking work behind pool dispatch is the
+   sanctioned shape, and Mutex.lock on a short-held (un-annotated) mutex
+   is not a blocking primitive. *)
+
+let work () = Unix.sleepf 0.001
+
+let[@dcn.event_loop] on_ready_ok () =
+  if not (Dcn_util.Pool.submit (fun () -> work ())) then ()
+
+let quick_mu = Mutex.create ()
+
+let[@dcn.event_loop] tick_ok () =
+  Mutex.lock quick_mu;
+  Mutex.unlock quick_mu

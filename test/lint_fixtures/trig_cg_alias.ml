@@ -1,0 +1,16 @@
+(* call-graph trigger through an aliased module path: [go] (the only
+   export) calls [I.bump] where [I] aliases [Inner]; the alias must be
+   expanded so the edge [go -> Inner.bump] exists and [bump]'s unlocked
+   access to [hits] is flagged. A resolver that dropped aliased paths
+   would silently miss this direct call. Exactly one finding. *)
+
+let mu = Mutex.create ()
+let hits = ref 0 [@@dcn.guarded_by "mu"]
+
+module Inner = struct
+  let bump () = incr hits
+end
+
+module I = Inner
+
+let go () = I.bump ()

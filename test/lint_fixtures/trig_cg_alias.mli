@@ -1,0 +1,1 @@
+val go : unit -> unit

@@ -1,0 +1,9 @@
+(* domain-escape trigger: the closure handed to [Pool.submit] captures
+   [acc], an unguarded mutable local of the enclosing scope. The task may
+   run on another domain, racing the enclosing function's own reads.
+   Exactly one finding ([acc] is deduplicated across its two uses). *)
+
+let run_bad () =
+  let acc = ref 0 in
+  ignore (Dcn_util.Pool.submit (fun () -> acc := !acc + 1));
+  !acc

@@ -1,0 +1,13 @@
+(* lockset trigger: [hits] is guarded by [mu], and [bump_unlocked] — an
+   exported entry point — touches it with nothing held. Exactly one
+   finding: the access in [bump_locked] holds the mutex lexically. *)
+
+let mu = Mutex.create ()
+let hits = ref 0 [@@dcn.guarded_by "mu"]
+
+let bump_locked () =
+  Mutex.lock mu;
+  incr hits;
+  Mutex.unlock mu
+
+let bump_unlocked () = incr hits

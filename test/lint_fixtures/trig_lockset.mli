@@ -1,0 +1,2 @@
+val bump_locked : unit -> unit
+val bump_unlocked : unit -> unit

@@ -1,0 +1,11 @@
+(* loop-blocking trigger via [@@dcn.long_held]: taking a mutex that is
+   held across whole solves from an event-loop callback stalls the loop
+   just like sleeping. Exactly one finding, at the [Mutex.lock]. *)
+
+let slow_mu = Mutex.create () [@@dcn.long_held "held across whole solves"]
+
+let solve_locked () =
+  Mutex.lock slow_mu;
+  Mutex.unlock slow_mu
+
+let[@dcn.event_loop] on_tick () = solve_locked ()

@@ -1,0 +1,7 @@
+(* loop-blocking trigger: the [@dcn.event_loop] callback reaches a
+   blocking [Unix.sleepf] through a helper — synchronously, one hop away.
+   Exactly one finding, at the sleep site. *)
+
+let step () = Unix.sleepf 0.001
+
+let[@dcn.event_loop] on_ready () = step ()

@@ -18,6 +18,7 @@ let fixture_opts =
     pool_scopes = [ "test/lint_fixtures" ];
     clock_ok = [];
     only_rules = None;
+    excludes = [];
   }
 
 let fixture_report = lazy (Driver.run fixture_opts [ "lint_fixtures" ])
@@ -35,6 +36,11 @@ let expected_triggers =
     ("trig_mutable_global.ml", "mutable-global");
     ("trig_catch_all.ml", "catch-all");
     ("trig_lint_attr.ml", "lint-attr");
+    ("trig_lockset.ml", "lockset");
+    ("trig_cg_alias.ml", "lockset");
+    ("trig_domain_escape.ml", "domain-escape");
+    ("trig_loop_blocking.ml", "loop-blocking");
+    ("trig_long_held.ml", "loop-blocking");
   ]
 
 let test_each_rule_fires_once () =
@@ -96,6 +102,25 @@ let test_rule_filter () =
   Alcotest.(check string) "and it is poly-hash" "poly-hash"
     (List.hd report.Driver.findings).Finding.rule
 
+(* ---- call-graph conservative fallback ---- *)
+
+let test_callgraph_fallback () =
+  (* Functor applications and first-class modules are outside the call
+     graph's resolution power: the analysis must fall back to silence
+     (conservative for reporting), never to a spurious finding. The alias
+     fixture proves the opposite direction — a plain [module I = Inner]
+     alias IS resolved, so the unlocked call is traced through it. *)
+  let report =
+    Driver.run
+      { fixture_opts with Driver.only_rules = Some [ "lockset" ] }
+      [ "lint_fixtures" ]
+  in
+  let files = List.sort_uniq compare (List.map base report.Driver.findings) in
+  Alcotest.(check (list string))
+    "aliases resolve; functors and first-class modules stay silent"
+    [ "trig_cg_alias.ml"; "trig_lockset.ml" ]
+    files
+
 (* ---- baseline lifecycle: add -> suppress -> remove ---- *)
 
 let test_baseline_line_roundtrip () =
@@ -146,6 +171,29 @@ let test_baseline_lifecycle () =
       Baseline.save tmp [];
       Alcotest.(check (list string)) "pruned baseline is empty" []
         (List.map Baseline.to_line (Baseline.load tmp)))
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let test_baseline_fixpoint () =
+  (* --update-baseline must be deterministic: saving, loading and saving
+     again is a byte-level fixpoint, regardless of finding order. *)
+  let report = Lazy.force fixture_report in
+  let shuffled = List.rev report.Driver.findings in
+  let tmp = Filename.temp_file "dcn_lint_fixpoint" ".txt" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove tmp with Sys_error _ -> ())
+    (fun () ->
+      Baseline.save tmp report.Driver.findings;
+      let first = read_file tmp in
+      Baseline.save tmp shuffled;
+      Alcotest.(check string) "order-independent bytes" first (read_file tmp);
+      Baseline.save_entries tmp (Baseline.load tmp);
+      Alcotest.(check string) "load/save round-trip is a fixpoint" first
+        (read_file tmp))
 
 let test_baseline_missing_file () =
   Alcotest.(check int) "missing baseline file means empty baseline" 0
@@ -199,9 +247,13 @@ let suite =
       Alcotest.test_case "well-formed suppression" `Quick
         test_wellformed_suppression;
       Alcotest.test_case "rule filter" `Quick test_rule_filter;
+      Alcotest.test_case "call-graph conservative fallback" `Quick
+        test_callgraph_fallback;
       Alcotest.test_case "baseline line round-trip" `Quick
         test_baseline_line_roundtrip;
       Alcotest.test_case "baseline lifecycle" `Quick test_baseline_lifecycle;
+      Alcotest.test_case "baseline save fixpoint" `Quick
+        test_baseline_fixpoint;
       Alcotest.test_case "baseline missing file" `Quick
         test_baseline_missing_file;
       Alcotest.test_case "exe exit codes" `Quick test_exe_exit_codes;

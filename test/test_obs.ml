@@ -418,9 +418,16 @@ let test_trace_file_well_formed () =
       Alcotest.(check bool) "thread_name metadata present" true
         (List.length thread_names >= 1);
       let tids =
+        (* Only tracks carrying real events must be named; metadata rows
+           (process_name is pinned to tid 0) don't create a track, and
+           whether the submitting domain claims any task of its own batch
+           is a race against the workers. *)
         List.sort_uniq compare
           (List.filter_map
-             (fun e -> Option.map num_exn (member "tid" e))
+             (fun e ->
+               match Option.bind (member "ph" e) str_opt with
+               | Some "M" -> None
+               | _ -> Option.map num_exn (member "tid" e))
              events)
       in
       let named_tids =

@@ -94,9 +94,10 @@ let test_submit_runs_detached () =
 
 let test_submit_synchronous_when_disabled () =
   with_workers 0 (fun () ->
-      let ran = ref false in
-      Alcotest.(check bool) "accepted" true (Pool.submit (fun () -> ran := true));
-      Alcotest.(check bool) "ran synchronously" true !ran)
+      let ran = Atomic.make false in
+      Alcotest.(check bool) "accepted" true
+        (Pool.submit (fun () -> Atomic.set ran true));
+      Alcotest.(check bool) "ran synchronously" true (Atomic.get ran))
 
 let test_shutdown_drains_in_flight () =
   with_workers 2 (fun () ->
@@ -116,9 +117,10 @@ let test_submit_after_shutdown_rejected () =
   with_workers 2 (fun () ->
       Pool.shutdown ();
       Alcotest.(check bool) "draining" true (Pool.draining ());
-      let ran = ref false in
-      Alcotest.(check bool) "rejected" false (Pool.submit (fun () -> ran := true));
-      Alcotest.(check bool) "not run" false !ran;
+      let ran = Atomic.make false in
+      Alcotest.(check bool) "rejected" false
+        (Pool.submit (fun () -> Atomic.set ran true));
+      Alcotest.(check bool) "not run" false (Atomic.get ran);
       (* Second shutdown is a no-op, not a deadlock or an error. *)
       Pool.shutdown ();
       Alcotest.(check bool) "still draining" true (Pool.draining ()));
